@@ -1,0 +1,60 @@
+// E6 (ablation) — smart duplicate compression vs the fraction of the
+// product catalog selling per day. The paper calls "all products sell
+// every day" the worst case for compression; this sweep quantifies the
+// whole curve: auxiliary size is proportional to the number of distinct
+// (day, product) groups, not to the number of transactions.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "maintenance/engine.h"
+#include "workload/retail.h"
+
+int main() {
+  using namespace mindetail;  // NOLINT
+  using mindetail::bench::Unwrap;
+
+  bench::Header("E6 / ablation",
+                "compression ratio vs daily distinct-product fraction");
+
+  std::printf("  %-10s %10s %12s %12s %9s %12s\n", "fraction",
+              "fact rows", "aux groups", "fact bytes", "ratio",
+              "bytes/txn");
+
+  for (double fraction : {0.02, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    RetailParams params;
+    params.days = 20;
+    params.stores = 2;
+    params.products = 200;
+    // Every store walks the whole daily pool, so the number of distinct
+    // products selling per day is exactly fraction × products.
+    params.products_sold_per_store_day = 200;
+    params.transactions_per_product = 2;
+    params.daily_distinct_fraction = fraction;
+    RetailWarehouse warehouse = Unwrap(GenerateRetail(params));
+
+    GpsjViewDef def = Unwrap(ProductSalesView(warehouse.catalog));
+    SelfMaintenanceEngine engine =
+        Unwrap(SelfMaintenanceEngine::Create(warehouse.catalog, def));
+
+    const Table* sale = Unwrap(warehouse.catalog.GetTable("sale"));
+    const uint64_t fact_bytes = sale->PaperSizeBytes();
+    const uint64_t aux_bytes = engine.AuxPaperSizeBytes();
+    // Aux groups of the fact table's auxiliary view.
+    const size_t groups = engine.AuxContents("sale").NumRows();
+    std::printf("  %-10.2f %10zu %12zu %12s %8.1fx %12.3f\n", fraction,
+                sale->NumRows(), groups, FormatBytes(fact_bytes).c_str(),
+                static_cast<double>(fact_bytes) /
+                    static_cast<double>(aux_bytes),
+                static_cast<double>(aux_bytes) /
+                    static_cast<double>(sale->NumRows()));
+  }
+
+  std::cout << "\nReading: the transaction count is constant across rows; "
+               "only the number of\ndistinct (day, product) groups grows "
+               "with the fraction, and the auxiliary view\nsize follows "
+               "it — the paper's storage claim in curve form.\n";
+  return 0;
+}

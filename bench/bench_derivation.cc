@@ -1,0 +1,93 @@
+// E9 (ablation) — cost of running Algorithm 3.2 itself as the schema
+// grows: snowflakes of increasing depth and fan-out. Derivation is a
+// design-time operation; this confirms it stays well under a
+// millisecond even for wide snowflakes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/derive.h"
+#include "gpsj/builder.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Unwrap;
+
+struct Fixture {
+  SnowflakeWarehouse warehouse;
+  GpsjViewDef def;
+};
+
+Fixture MakeFixture(int depth, int fanout) {
+  SnowflakeParams params;
+  params.depth = depth;
+  params.fanout = fanout;
+  params.fact_rows = 50;  // Derivation cost is data-independent.
+  params.dim_rows = 10;
+  SnowflakeWarehouse warehouse = Unwrap(GenerateSnowflake(params));
+
+  GpsjViewBuilder builder("bench_view");
+  builder.From(warehouse.fact);
+  for (const std::string& dim : warehouse.dims) {
+    builder.From(dim);
+    builder.Join(warehouse.parent.at(dim), warehouse.link_attr.at(dim),
+                 dim);
+  }
+  if (!warehouse.dims.empty()) {
+    builder.GroupBy(warehouse.dims.front(), "a", "GroupA");
+    builder.GroupBy(warehouse.dims.back(), "s", "GroupS");
+  } else {
+    builder.GroupBy(warehouse.fact, "m1", "GroupM1");
+  }
+  builder.Sum(warehouse.fact, "m2", "SumM2").CountStar("Cnt");
+  GpsjViewDef def = Unwrap(builder.Build(warehouse.catalog));
+  return Fixture{std::move(warehouse), std::move(def)};
+}
+
+// state.range(0): depth; state.range(1): fanout.
+void BM_DeriveAuxViews(benchmark::State& state) {
+  Fixture fixture = MakeFixture(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(Derivation::Derive(fixture.def, fixture.warehouse.catalog)));
+  }
+  state.counters["tables"] =
+      static_cast<double>(fixture.warehouse.dims.size() + 1);
+}
+
+void BM_BuildJoinGraph(benchmark::State& state) {
+  Fixture fixture = MakeFixture(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(ExtendedJoinGraph::Build(
+        fixture.def, fixture.warehouse.catalog)));
+  }
+}
+
+void BM_NeedSets(benchmark::State& state) {
+  Fixture fixture = MakeFixture(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(1)));
+  ExtendedJoinGraph graph = Unwrap(
+      ExtendedJoinGraph::Build(fixture.def, fixture.warehouse.catalog));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllNeedSets(graph));
+  }
+}
+
+BENCHMARK(BM_DeriveAuxViews)
+    ->ArgsProduct({{1, 2, 3, 4}, {1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildJoinGraph)
+    ->ArgsProduct({{2, 4}, {2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NeedSets)
+    ->ArgsProduct({{2, 4}, {2}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E8 (ablation) — auxiliary-view elimination (paper Sec. 3.3): for a
+// key-grouped view, compare the engine with the fact auxiliary view
+// eliminated (the paper's algorithm) against the same engine with
+// elimination disabled. Storage drops to the dimension views alone and
+// maintenance skips the fact-view upkeep.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "maintenance/engine.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+RetailWarehouse MakeWarehouse() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 4;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+// state.range(0): 1 = allow elimination (the paper), 0 = ablated.
+void BM_KeyGroupedMaintenance(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = Unwrap(SalesByProductKeyView(source));
+  EngineOptions options;
+  options.derive.allow_elimination = state.range(0) == 1;
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, def, options));
+  RetailDeltaGenerator gen(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, 128, 64, 32));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(engine.Apply("sale", delta));
+    benchmark::DoNotOptimize(Unwrap(engine.View()));
+  }
+  state.counters["detail_bytes"] =
+      static_cast<double>(engine.AuxPaperSizeBytes());
+  state.counters["fact_aux_rows"] =
+      engine.HasAux("sale")
+          ? static_cast<double>(engine.AuxContents("sale").NumRows())
+          : 0.0;
+}
+
+BENCHMARK(BM_KeyGroupedMaintenance)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// A one-shot storage report printed before the timing runs.
+void StorageReport() {
+  RetailWarehouse warehouse = MakeWarehouse();
+  GpsjViewDef def = Unwrap(SalesByProductKeyView(warehouse.catalog));
+  EngineOptions eliminated;
+  EngineOptions ablated;
+  ablated.derive.allow_elimination = false;
+  SelfMaintenanceEngine with = Unwrap(
+      SelfMaintenanceEngine::Create(warehouse.catalog, def, eliminated));
+  SelfMaintenanceEngine without = Unwrap(
+      SelfMaintenanceEngine::Create(warehouse.catalog, def, ablated));
+  const Table* sale = Unwrap(warehouse.catalog.GetTable("sale"));
+  bench::Header("E8 / ablation",
+                "auxiliary-view elimination for the key-grouped view");
+  std::printf("  raw fact table:            %s (%zu rows)\n",
+              FormatBytes(sale->PaperSizeBytes()).c_str(),
+              sale->NumRows());
+  std::printf("  detail, elimination OFF:   %s (fact aux %zu rows)\n",
+              FormatBytes(without.AuxPaperSizeBytes()).c_str(),
+              without.AuxContents("sale").NumRows());
+  std::printf("  detail, elimination ON:    %s (fact aux OMITTED — the\n"
+              "                             dimension views are all the "
+              "warehouse stores)\n\n",
+              FormatBytes(with.AuxPaperSizeBytes()).c_str());
+}
+
+}  // namespace
+}  // namespace mindetail
+
+int main(int argc, char** argv) {
+  mindetail::StorageReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

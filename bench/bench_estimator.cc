@@ -1,0 +1,67 @@
+// E11 (extension) — the size estimator vs reality: predicted auxiliary
+// rows/bytes from table statistics against materialized sizes, across
+// scales and distinct-fraction settings (the design-time form of the
+// paper's Sec. 1.1 sizing argument).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "core/estimate.h"
+#include "maintenance/engine.h"
+#include "workload/retail.h"
+
+int main() {
+  using namespace mindetail;  // NOLINT
+  using mindetail::bench::Unwrap;
+
+  bench::Header("E11 / extension",
+                "predicted vs measured auxiliary-view sizes");
+  std::printf("  %-34s %12s %12s %8s\n", "workload", "predicted",
+              "measured", "ratio");
+
+  struct Config {
+    const char* label;
+    int64_t days, stores, products, sold;
+    double fraction;
+  };
+  const Config configs[] = {
+      {"worst case, small", 20, 2, 50, 50, 1.0},
+      {"worst case, medium", 40, 4, 100, 100, 1.0},
+      {"sparse days (10% distinct)", 40, 4, 200, 200, 0.1},
+      {"half distinct", 40, 4, 200, 200, 0.5},
+  };
+  for (const Config& config : configs) {
+    RetailParams params;
+    params.days = config.days;
+    params.stores = config.stores;
+    params.products = config.products;
+    params.products_sold_per_store_day = config.sold;
+    params.transactions_per_product = 3;
+    params.daily_distinct_fraction = config.fraction;
+    RetailWarehouse warehouse = Unwrap(GenerateRetail(params));
+
+    GpsjViewDef def = Unwrap(ProductSalesView(warehouse.catalog));
+    Derivation derivation =
+        Unwrap(Derivation::Derive(def, warehouse.catalog));
+    auto stats = Unwrap(ComputeAllStats(warehouse.catalog, derivation));
+    const uint64_t predicted =
+        Unwrap(EstimateTotalDetailBytes(derivation, stats));
+
+    SelfMaintenanceEngine engine =
+        Unwrap(SelfMaintenanceEngine::Create(warehouse.catalog, def));
+    const uint64_t measured = engine.AuxPaperSizeBytes();
+
+    std::printf("  %-34s %12s %12s %7.2fx\n", config.label,
+                FormatBytes(predicted).c_str(),
+                FormatBytes(measured).c_str(),
+                static_cast<double>(predicted) /
+                    static_cast<double>(measured));
+  }
+  std::printf(
+      "\nReading: the independence-assumption estimate tracks reality "
+      "closely on the\nworst case and over-predicts when per-day distinct "
+      "products are capped below\nthe independence bound — the usual "
+      "bias direction for group-count estimates.\n");
+  return 0;
+}

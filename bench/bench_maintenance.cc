@@ -1,0 +1,161 @@
+// E7 (ablation) — maintenance cost: minimal-detail self-maintenance vs
+// PSJ-style detail vs full recomputation from replicas, across batch
+// sizes and view shapes. google-benchmark timing harness.
+//
+// Each iteration applies one mixed fact batch and refreshes the view
+// (the engine's view render is incremental; the baselines recompute).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "maintenance/baselines.h"
+#include "maintenance/engine.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+RetailWarehouse MakeWarehouse() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 4;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+GpsjViewDef MakeView(const Catalog& catalog, bool with_distinct) {
+  return with_distinct ? Unwrap(ProductSalesView(catalog))
+                       : Unwrap(ProductSalesCsmasView(catalog));
+}
+
+// state.range(0): batch size; state.range(1): 1 = with DISTINCT.
+void BM_SelfMaintenance(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = MakeView(source, state.range(1) == 1);
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, def));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(engine.Apply("sale", delta));
+    benchmark::DoNotOptimize(Unwrap(engine.View()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n));
+}
+
+void BM_PsjStyle(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = MakeView(source, state.range(1) == 1);
+  PsjStyleMaintainer maintainer =
+      Unwrap(PsjStyleMaintainer::Create(source, def));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(maintainer.Apply("sale", delta));
+    benchmark::DoNotOptimize(Unwrap(maintainer.View()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n));
+}
+
+void BM_FullRecompute(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = MakeView(source, state.range(1) == 1);
+  FullReplicationMaintainer maintainer =
+      Unwrap(FullReplicationMaintainer::Create(source, def));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(maintainer.Apply("sale", delta));
+    benchmark::DoNotOptimize(Unwrap(maintainer.View()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n));
+}
+
+// Dimension churn: brand updates (protected updates through the delta
+// join) — the path full recomputation pays the whole view for.
+void BM_SelfMaintenanceDimUpdates(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = Unwrap(ProductSalesView(source));
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, def));
+  RetailDeltaGenerator gen(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.ProductBrandUpdates(source, 8));
+    Check(ApplyDelta(Unwrap(source.MutableTable("product")), delta));
+    state.ResumeTiming();
+    Check(engine.Apply("product", delta));
+    benchmark::DoNotOptimize(Unwrap(engine.View()));
+  }
+}
+
+// Need-based delta-join pruning ablation: the same fact batches with
+// pruning disabled (every auxiliary view joins into every delta).
+// Compare against BM_SelfMaintenance/N/1 — with pruning, the CSMAS
+// delta join skips the product auxiliary view, which only feeds the
+// DISTINCT output.
+void BM_SelfMaintenanceUnpruned(benchmark::State& state) {
+  RetailWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = MakeView(source, /*with_distinct=*/true);
+  EngineOptions options;
+  options.prune_delta_joins = false;
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, def, options));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(engine.Apply("sale", delta));
+    benchmark::DoNotOptimize(Unwrap(engine.View()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+BENCHMARK(BM_SelfMaintenance)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelfMaintenanceUnpruned)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PsjStyle)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullRecompute)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelfMaintenanceDimUpdates)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// E5 — Paper Sec. 1.1 storage analysis: the 13.14-billion-tuple /
+// ~245 GB fact table collapses to a ~167 MB auxiliary view.
+//
+// Part 1 reproduces the paper's arithmetic exactly (analytic, full
+// scale). Part 2 materializes scaled-down instances, derives the
+// auxiliary views, and checks that the measured reduction tracks the
+// model's prediction at every scale.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "maintenance/baselines.h"
+#include "maintenance/engine.h"
+#include "workload/retail.h"
+#include "workload/sizing.h"
+
+int main() {
+  using namespace mindetail;  // NOLINT
+  using mindetail::bench::Unwrap;
+
+  bench::Header("E5 / Paper Sec. 1.1",
+                "storage: fact table vs minimal auxiliary views");
+
+  // Part 1 — the paper's arithmetic at full scale.
+  StorageModel model;
+  std::cout << model.Report() << "\n";
+  std::cout << "Paper reports: 13,140,000,000 fact tuples = 245 GBytes;\n"
+            << "auxiliary view 10,950,000 tuples = 167 MBytes.\n\n";
+
+  // Part 2 — measured at laptop scale. The worst case for compression
+  // (all products sell every day) is used, matching the paper.
+  std::cout << "Measured, scaled-down instances "
+               "(daily_distinct_fraction = 1.0, worst case):\n\n";
+  std::printf("  %-28s %12s %12s %12s %8s %9s\n", "scale", "fact", "PSJ",
+              "minimal", "ratio", "model");
+
+  struct Scale {
+    const char* label;
+    int64_t days, stores, products, sold, tx;
+  };
+  // Worst case means every product sells in every store every day
+  // (products_sold_per_store_day = products), mirroring the paper's
+  // "all 30,000 different products ... sold each day".
+  const Scale scales[] = {
+      {"days=20 stores=2 p=50", 20, 2, 50, 50, 4},
+      {"days=40 stores=4 p=100", 40, 4, 100, 100, 4},
+      {"days=60 stores=6 p=200", 60, 6, 200, 200, 5},
+  };
+  for (const Scale& scale : scales) {
+    RetailParams params;
+    params.days = scale.days;
+    params.stores = scale.stores;
+    params.products = scale.products;
+    params.products_sold_per_store_day = scale.sold;
+    params.transactions_per_product = scale.tx;
+    params.daily_distinct_fraction = 1.0;
+    RetailWarehouse warehouse = Unwrap(GenerateRetail(params));
+
+    GpsjViewDef def = Unwrap(ProductSalesView(warehouse.catalog));
+    SelfMaintenanceEngine engine =
+        Unwrap(SelfMaintenanceEngine::Create(warehouse.catalog, def));
+    PsjStyleMaintainer psj =
+        Unwrap(PsjStyleMaintainer::Create(warehouse.catalog, def));
+
+    const Table* sale = Unwrap(warehouse.catalog.GetTable("sale"));
+    const uint64_t fact_bytes = sale->PaperSizeBytes();
+    const uint64_t aux_bytes = engine.AuxPaperSizeBytes();
+    const uint64_t psj_bytes = psj.DetailPaperSizeBytes();
+    const double ratio = static_cast<double>(fact_bytes) /
+                         static_cast<double>(aux_bytes);
+
+    // The model's prediction at this scale. Fact aux groups: retained
+    // days × distinct products per day; dimension aux views are small
+    // but counted in the measurement, so the prediction is a floor.
+    StorageModel scaled;
+    scaled.days = scale.days;
+    scaled.stores = scale.stores;
+    scaled.products = scale.products;
+    scaled.products_sold_per_store_day = scale.sold;
+    scaled.transactions_per_product = scale.tx;
+    const double predicted =
+        scaled.CompressionFactor(0.5, scale.products);
+
+    std::printf("  %-28s %12s %12s %12s %7.1fx %8.1fx\n", scale.label,
+                FormatBytes(fact_bytes).c_str(),
+                FormatBytes(psj_bytes).c_str(),
+                FormatBytes(aux_bytes).c_str(), ratio, predicted);
+  }
+
+  std::cout << "\n(The measured ratio lands below the pure-fact-table "
+               "prediction because the\n measured minimal detail also "
+               "counts the dimension auxiliary views, which the\n paper "
+               "ignores as insignificant.)\n";
+  return 0;
+}

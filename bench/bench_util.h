@@ -1,0 +1,41 @@
+// Shared helpers for the benchmark/reproduction binaries.
+
+#ifndef MINDETAIL_BENCH_BENCH_UTIL_H_
+#define MINDETAIL_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mindetail {
+namespace bench {
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "FATAL: " << status << "\n";
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "FATAL: " << result.status() << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void Header(const char* experiment, const char* title) {
+  std::cout << "\n============================================================"
+            << "\n " << experiment << ": " << title
+            << "\n============================================================"
+            << "\n";
+}
+
+}  // namespace bench
+}  // namespace mindetail
+
+#endif  // MINDETAIL_BENCH_BENCH_UTIL_H_

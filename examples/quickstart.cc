@@ -1,0 +1,122 @@
+// Quickstart: define a GPSJ view, derive its minimal auxiliary views
+// (Algorithm 3.2), and keep it maintained through changes without ever
+// re-reading the base tables.
+//
+// This walks the paper's Sec. 1.1 running example end to end on a tiny
+// hand-filled star schema.
+
+#include <cstdio>
+#include <iostream>
+
+#include "gpsj/builder.h"
+#include "gpsj/evaluator.h"
+#include "maintenance/engine.h"
+#include "relational/catalog.h"
+
+namespace {
+
+using namespace mindetail;  // NOLINT: example brevity.
+
+// Aborts with a message when an operation fails — fine for an example.
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    std::abort();
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  // 1. Describe the source schema: a sales fact table and two
+  //    dimensions, with keys and referential integrity.
+  Catalog source;
+  Check(source.CreateTable("time",
+                           Schema({{"id", ValueType::kInt64},
+                                   {"month", ValueType::kInt64},
+                                   {"year", ValueType::kInt64}}),
+                           "id"));
+  Check(source.CreateTable("product",
+                           Schema({{"id", ValueType::kInt64},
+                                   {"brand", ValueType::kString}}),
+                           "id"));
+  Check(source.CreateTable("sale",
+                           Schema({{"id", ValueType::kInt64},
+                                   {"timeid", ValueType::kInt64},
+                                   {"productid", ValueType::kInt64},
+                                   {"price", ValueType::kDouble}}),
+                           "id"));
+  Check(source.AddForeignKey("sale", "timeid", "time"));
+  Check(source.AddForeignKey("sale", "productid", "product"));
+
+  // 2. Fill in some data.
+  Table* time = Unwrap(source.MutableTable("time"));
+  Check(time->Insert({Value(1), Value(1), Value(1997)}));
+  Check(time->Insert({Value(2), Value(2), Value(1997)}));
+  Check(time->Insert({Value(3), Value(2), Value(1996)}));
+  Table* product = Unwrap(source.MutableTable("product"));
+  Check(product->Insert({Value(1), Value("Alpha")}));
+  Check(product->Insert({Value(2), Value("Beta")}));
+  Table* sale = Unwrap(source.MutableTable("sale"));
+  Check(sale->Insert({Value(1), Value(1), Value(1), Value(10.0)}));
+  Check(sale->Insert({Value(2), Value(1), Value(1), Value(10.0)}));
+  Check(sale->Insert({Value(3), Value(2), Value(2), Value(30.0)}));
+  Check(sale->Insert({Value(4), Value(3), Value(2), Value(99.0)}));  // 1996.
+
+  // 3. Define the paper's product_sales view.
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount")
+      .CountDistinct("product", "brand", "DifferentBrands");
+  GpsjViewDef view = Unwrap(builder.Build(source));
+  std::cout << view.ToSqlString() << "\n\n";
+
+  // 4. Run Algorithm 3.2 and inspect the derivation.
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, view));
+  std::cout << engine.derivation().ToString() << "\n";
+
+  std::cout << "Initial view:\n" << Unwrap(engine.View()).ToString()
+            << "\n";
+  std::cout << "Fact auxiliary view (smart duplicate compression):\n"
+            << engine.AuxContents("sale").ToString() << "\n";
+
+  // 5. Stream changes. The engine only sees the deltas — the base
+  //    tables above could now live behind a firewall.
+  Delta batch;
+  batch.inserts.push_back({Value(5), Value(2), Value(1), Value(12.5)});
+  batch.deletes.push_back({Value(1), Value(1), Value(1), Value(10.0)});
+  Check(engine.Apply("sale", batch));
+
+  std::cout << "View after inserting sale 5 and deleting sale 1:\n"
+            << Unwrap(engine.View()).ToString() << "\n";
+
+  // 6. A protected update on a dimension: renaming a brand flows into
+  //    the DISTINCT aggregate through the delta join.
+  Delta rename;
+  rename.updates.push_back(Update{{Value(2), Value("Beta")},
+                                  {Value(2), Value("Alpha")}});
+  Check(engine.Apply("product", rename));
+  std::cout << "View after renaming Beta -> Alpha:\n"
+            << Unwrap(engine.View()).ToString() << "\n";
+
+  std::printf("Detail footprint: %llu bytes (paper model)\n",
+              static_cast<unsigned long long>(engine.AuxPaperSizeBytes()));
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "common/bytes.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return StrCat(FormatDouble(static_cast<double>(bytes) / kGiB, 1), " GB");
+  }
+  if (bytes >= kMiB) {
+    return StrCat(FormatDouble(static_cast<double>(bytes) / kMiB, 1), " MB");
+  }
+  if (bytes >= kKiB) {
+    return StrCat(FormatDouble(static_cast<double>(bytes) / kKiB, 1), " KB");
+  }
+  return StrCat(bytes, " B");
+}
+
+}  // namespace mindetail

@@ -1,0 +1,23 @@
+// Byte-count formatting for storage reports.
+
+#ifndef MINDETAIL_COMMON_BYTES_H_
+#define MINDETAIL_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mindetail {
+
+// Renders a byte count in the most natural binary unit, e.g.
+// "245.0 GB" or "167.1 MB". Uses 1024-based units to match the paper's
+// arithmetic (245 GBytes = 13.14e9 * 20 / 2^30).
+std::string FormatBytes(uint64_t bytes);
+
+// Unit constants (binary, matching the paper's "GBytes").
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_BYTES_H_

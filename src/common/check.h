@@ -1,0 +1,45 @@
+// Assertion macros for programmer errors.
+//
+// `MD_CHECK` family macros abort the process with a diagnostic when their
+// condition fails. They are for invariants that indicate a bug in the
+// caller or in the library itself — recoverable failures (bad user input,
+// malformed view definitions, constraint violations in deltas) are
+// reported through `Status`/`Result` instead (see status.h).
+
+#ifndef MINDETAIL_COMMON_CHECK_H_
+#define MINDETAIL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mindetail {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "MD_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace mindetail
+
+// Aborts if `cond` is false. Always evaluated (also in release builds):
+// the library's invariants are cheap and violating them silently would
+// corrupt maintained views.
+#define MD_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mindetail::internal_check::CheckFailed(__FILE__, __LINE__,    \
+                                               #cond);                \
+    }                                                                 \
+  } while (0)
+
+#define MD_CHECK_EQ(a, b) MD_CHECK((a) == (b))
+#define MD_CHECK_NE(a, b) MD_CHECK((a) != (b))
+#define MD_CHECK_LT(a, b) MD_CHECK((a) < (b))
+#define MD_CHECK_LE(a, b) MD_CHECK((a) <= (b))
+#define MD_CHECK_GT(a, b) MD_CHECK((a) > (b))
+#define MD_CHECK_GE(a, b) MD_CHECK((a) >= (b))
+
+#endif  // MINDETAIL_COMMON_CHECK_H_

@@ -1,0 +1,37 @@
+// Hashing helpers: FNV-1a and hash combining for composite keys.
+
+#ifndef MINDETAIL_COMMON_HASH_H_
+#define MINDETAIL_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mindetail {
+
+// 64-bit FNV-1a over a byte range.
+inline uint64_t Fnv1a(const void* data, size_t size,
+                      uint64_t seed = 14695981039346656037ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+inline uint64_t Fnv1a(std::string_view text,
+                      uint64_t seed = 14695981039346656037ULL) {
+  return Fnv1a(text.data(), text.size(), seed);
+}
+
+// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_HASH_H_

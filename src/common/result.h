@@ -1,0 +1,77 @@
+// Result<T>: a value or a Status. Mirrors absl::StatusOr.
+
+#ifndef MINDETAIL_COMMON_RESULT_H_
+#define MINDETAIL_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace mindetail {
+
+// Holds either a `T` or a non-OK `Status` describing why no value was
+// produced. Accessing the value of a non-OK Result is a programmer error
+// and aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit, so functions can `return value;` and
+  // `return SomeError(...);` symmetrically (matches absl::StatusOr).
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    MD_CHECK(!status_.ok());  // An OK status must carry a value.
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    MD_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    MD_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    MD_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace mindetail
+
+// Assigns the value of a Result expression to `lhs`, or returns its
+// error Status from the enclosing function.
+#define MD_ASSIGN_OR_RETURN(lhs, expr)                       \
+  MD_ASSIGN_OR_RETURN_IMPL_(                                 \
+      MD_RESULT_CONCAT_(md_result__, __LINE__), lhs, expr)
+
+#define MD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define MD_RESULT_CONCAT_(a, b) MD_RESULT_CONCAT_IMPL_(a, b)
+#define MD_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MINDETAIL_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Uses SplitMix64 seeding into xoshiro256**. Deterministic across
+// platforms so that tests and benchmark workloads are reproducible.
+
+#ifndef MINDETAIL_COMMON_RNG_H_
+#define MINDETAIL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace mindetail {
+
+// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+// Copyable; a copy continues the same stream independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling
+  // to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in the closed interval [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_RNG_H_

@@ -1,0 +1,90 @@
+// Exception-free error reporting.
+//
+// All fallible library operations return `Status` (or `Result<T>`, see
+// result.h). A `Status` is either OK or carries an error code plus a
+// human-readable message. The design mirrors absl::Status but is
+// self-contained.
+
+#ifndef MINDETAIL_COMMON_STATUS_H_
+#define MINDETAIL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mindetail {
+
+// Error taxonomy used across the library.
+enum class StatusCode {
+  kOk = 0,
+  // The caller supplied a malformed argument (e.g. a view definition
+  // referencing an unknown attribute).
+  kInvalidArgument,
+  // A named entity (table, attribute, view) does not exist.
+  kNotFound,
+  // An entity with the given name already exists.
+  kAlreadyExists,
+  // A constraint (key, referential integrity, tree-shaped join graph)
+  // would be violated by the operation.
+  kFailedPrecondition,
+  // The requested combination of features is valid per the paper but not
+  // implemented (none currently; reserved).
+  kUnimplemented,
+  // Internal invariant failure surfaced as a recoverable error.
+  kInternal,
+};
+
+// Returns the canonical name of `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+// Value-type result of a fallible operation; cheap to copy when OK.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors matching the taxonomy above.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace mindetail
+
+// Propagates a non-OK Status to the caller.
+#define MD_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::mindetail::Status md_status__ = (expr); \
+    if (!md_status__.ok()) return md_status__; \
+  } while (0)
+
+#endif  // MINDETAIL_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+#include "common/strings.h"
+
+#include <cstdio>
+
+namespace mindetail {
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatWithCommas(long long v) {
+  const bool negative = v < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(v)
+               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string PadLeft(std::string_view text, size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string PadRight(std::string_view text, size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,57 @@
+// Small string utilities used across the library.
+
+#ifndef MINDETAIL_COMMON_STRINGS_H_
+#define MINDETAIL_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mindetail {
+
+namespace internal_strings {
+
+inline void AppendPieces(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& head,
+                  const Rest&... rest) {
+  os << head;
+  AppendPieces(os, rest...);
+}
+
+}  // namespace internal_strings
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_strings::AppendPieces(os, args...);
+  return os.str();
+}
+
+// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// Splits `text` at every occurrence of `delimiter`; empty pieces kept.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// True iff `text` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Renders `v` with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+// Renders an integer with thousands separators, e.g. 13,140,000,000.
+std::string FormatWithCommas(long long v);
+
+// Left-/right-pads `text` with spaces to at least `width` characters.
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_STRINGS_H_

@@ -1,0 +1,223 @@
+#include "core/compression.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "gpsj/aggregate.h"
+
+namespace mindetail {
+
+std::string AuxColumn::ToString() const {
+  switch (kind) {
+    case Kind::kPlain:
+      return output_name;
+    case Kind::kSum:
+      return StrCat("SUM(", source_attr, ") AS ", output_name);
+    case Kind::kMin:
+      return StrCat("MIN(", source_attr, ") AS ", output_name);
+    case Kind::kMax:
+      return StrCat("MAX(", source_attr, ") AS ", output_name);
+    case Kind::kCountStar:
+      return StrCat("COUNT(*) AS ", output_name);
+  }
+  return "?";
+}
+
+std::string MinColumnName(const std::string& attr_name) {
+  return StrCat("min_", attr_name);
+}
+
+std::string MaxColumnName(const std::string& attr_name) {
+  return StrCat("max_", attr_name);
+}
+
+std::vector<std::string> CompressionPlan::PlainAttrs() const {
+  std::vector<std::string> out;
+  for (const AuxColumn& col : columns) {
+    if (col.kind == AuxColumn::Kind::kPlain) out.push_back(col.source_attr);
+  }
+  return out;
+}
+
+std::vector<PhysicalAggregate> CompressionPlan::Aggregates() const {
+  std::vector<PhysicalAggregate> out;
+  for (const AuxColumn& col : columns) {
+    switch (col.kind) {
+      case AuxColumn::Kind::kPlain:
+        break;
+      case AuxColumn::Kind::kSum:
+        out.push_back(PhysicalAggregate{AggFn::kSum, col.source_attr, false,
+                                        col.output_name});
+        break;
+      case AuxColumn::Kind::kMin:
+        out.push_back(PhysicalAggregate{AggFn::kMin, col.source_attr, false,
+                                        col.output_name});
+        break;
+      case AuxColumn::Kind::kMax:
+        out.push_back(PhysicalAggregate{AggFn::kMax, col.source_attr, false,
+                                        col.output_name});
+        break;
+      case AuxColumn::Kind::kCountStar:
+        out.push_back(
+            PhysicalAggregate{AggFn::kCountStar, "", false, col.output_name});
+        break;
+    }
+  }
+  return out;
+}
+
+int CompressionPlan::CountColumnIndex() const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].kind == AuxColumn::Kind::kCountStar) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CompressionPlan::SumColumnIndex(const std::string& source_attr) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].kind == AuxColumn::Kind::kSum &&
+        columns[i].source_attr == source_attr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CompressionPlan::MinColumnIndex(const std::string& source_attr) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].kind == AuxColumn::Kind::kMin &&
+        columns[i].source_attr == source_attr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CompressionPlan::MaxColumnIndex(const std::string& source_attr) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].kind == AuxColumn::Kind::kMax &&
+        columns[i].source_attr == source_attr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int CompressionPlan::PlainColumnIndex(const std::string& source_attr) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].kind == AuxColumn::Kind::kPlain &&
+        columns[i].source_attr == source_attr) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string CompressionPlan::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns.size());
+  for (const AuxColumn& col : columns) parts.push_back(col.ToString());
+  return StrCat(compressed ? "compressed" : "plain", ": [",
+                Join(parts, ", "), "]");
+}
+
+Result<CompressionPlan> ComputeCompressionPlan(
+    const GpsjViewDef& def, const Catalog& catalog, const std::string& table,
+    const LocalReduction& reduction) {
+  MD_ASSIGN_OR_RETURN(std::string key, catalog.KeyAttr(table));
+
+  CompressionPlan plan;
+
+  // Step 1 precondition: the COUNT(*) would be superfluous when the
+  // projected attributes include the base table's key — every group is a
+  // single tuple and the auxiliary view degenerates into a PSJ view.
+  const bool key_retained =
+      std::find(reduction.attrs.begin(), reduction.attrs.end(), key) !=
+      reduction.attrs.end();
+  if (key_retained) {
+    plan.compressed = false;
+    for (const std::string& attr : reduction.attrs) {
+      plan.columns.push_back(
+          AuxColumn{AuxColumn::Kind::kPlain, attr, attr});
+    }
+    return plan;
+  }
+
+  plan.compressed = true;
+
+  // Classify each attribute's uses within this table.
+  std::set<std::string> join_attrs;
+  for (const std::string& attr : def.JoinAttrs(table, catalog)) {
+    join_attrs.insert(attr);
+  }
+  std::set<std::string> group_by_attrs;
+  for (const AttributeRef& ref : def.GroupByAttrs()) {
+    if (ref.table == table) group_by_attrs.insert(ref.attr);
+  }
+  // Under the insert-only relaxation (paper Sec. 4), MIN/MAX join the
+  // compressible class — each gets a per-group MIN/MAX column.
+  const bool insert_only = def.IsInsertOnly(catalog);
+  std::set<std::string> non_csmas_attrs;
+  std::map<std::string, std::vector<AggregateSpec>> compressible_by_attr;
+  for (const AggregateSpec& agg : def.Aggregates()) {
+    if (agg.fn == AggFn::kCountStar || agg.input.table != table) continue;
+    const bool compressible =
+        insert_only ? IsCsmasUnderInsertOnly(agg) : IsCsmas(agg);
+    if (compressible) {
+      compressible_by_attr[agg.input.attr].push_back(agg);
+    } else {
+      non_csmas_attrs.insert(agg.input.attr);
+    }
+  }
+
+  // Step 2: an attribute stays plain if it is used in non-CSMASs, join
+  // conditions, or group-by clauses; otherwise its CSMASs are replaced
+  // by the distributive set of Table 2 (the attribute itself vanishes).
+  std::vector<AuxColumn> aggregated;
+  for (const std::string& attr : reduction.attrs) {
+    const bool must_stay_plain = join_attrs.count(attr) > 0 ||
+                                 group_by_attrs.count(attr) > 0 ||
+                                 non_csmas_attrs.count(attr) > 0;
+    if (must_stay_plain) {
+      plan.columns.push_back(AuxColumn{AuxColumn::Kind::kPlain, attr, attr});
+      continue;
+    }
+    // Only compressible uses: COUNT collapses into the shared COUNT(*);
+    // SUM and AVG need a SUM column; insert-only MIN/MAX their own.
+    auto it = compressible_by_attr.find(attr);
+    MD_CHECK(it != compressible_by_attr.end());  // Reduction kept it.
+    bool needs_sum = false;
+    bool needs_min = false;
+    bool needs_max = false;
+    for (const AggregateSpec& agg : it->second) {
+      if (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg) needs_sum = true;
+      if (agg.fn == AggFn::kMin) needs_min = true;
+      if (agg.fn == AggFn::kMax) needs_max = true;
+    }
+    if (needs_sum) {
+      aggregated.push_back(
+          AuxColumn{AuxColumn::Kind::kSum, attr, SumColumnName(attr)});
+    }
+    if (needs_min) {
+      aggregated.push_back(
+          AuxColumn{AuxColumn::Kind::kMin, attr, MinColumnName(attr)});
+    }
+    if (needs_max) {
+      aggregated.push_back(
+          AuxColumn{AuxColumn::Kind::kMax, attr, MaxColumnName(attr)});
+    }
+  }
+  plan.columns.insert(plan.columns.end(), aggregated.begin(),
+                      aggregated.end());
+
+  // Step 1: include the COUNT(*) (never superfluous here — the key was
+  // projected away, so duplicates are possible).
+  plan.columns.push_back(
+      AuxColumn{AuxColumn::Kind::kCountStar, "", kCountStarColumn});
+  return plan;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,84 @@
+// Smart duplicate compression (paper Algorithm 3.1).
+//
+// After local reduction, an auxiliary view is a duplicate-eliminating
+// generalized projection. To keep it self-maintainable a COUNT(*) is
+// added (unless superfluous, i.e. the base table's key survives the
+// projection, in which case the view degenerates to a PSJ view), and
+// every attribute used only in CSMAS aggregates is replaced by its
+// distributive replacement set (Table 2) — collapsing the potentially
+// huge fact detail into one row per group.
+
+#ifndef MINDETAIL_CORE_COMPRESSION_H_
+#define MINDETAIL_CORE_COMPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/reduction.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+
+// One column of a compressed auxiliary view.
+struct AuxColumn {
+  enum class Kind {
+    kPlain,      // A base attribute kept verbatim (grouping column).
+    kSum,        // SUM(source_attr) over the compressed group.
+    kMin,        // MIN(source_attr) — insert-only relaxation (Sec. 4).
+    kMax,        // MAX(source_attr) — insert-only relaxation (Sec. 4).
+    kCountStar,  // The COUNT(*) duplicate counter (paper's cnt0).
+  };
+
+  Kind kind = Kind::kPlain;
+  std::string source_attr;  // Base attribute; empty for kCountStar.
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+// The compression decision for one auxiliary view.
+struct CompressionPlan {
+  // True when Algorithm 3.1 applied: plain attributes become grouping
+  // columns, CSMAS attributes collapse into SUM columns, and a COUNT(*)
+  // is appended. False when the base key survives local reduction and
+  // the view degenerates to a plain PSJ projection.
+  bool compressed = false;
+  std::vector<AuxColumn> columns;
+
+  // The grouping (kPlain) source attributes, in column order.
+  std::vector<std::string> PlainAttrs() const;
+  // The aggregate columns as physical aggregates over the local-reduced
+  // input (kSum and kCountStar columns).
+  std::vector<PhysicalAggregate> Aggregates() const;
+  // Index of the COUNT(*) column, or -1 when uncompressed.
+  int CountColumnIndex() const;
+  // Index of the SUM column for `source_attr`, or -1.
+  int SumColumnIndex(const std::string& source_attr) const;
+  // Index of the MIN/MAX column for `source_attr`, or -1.
+  int MinColumnIndex(const std::string& source_attr) const;
+  int MaxColumnIndex(const std::string& source_attr) const;
+  // Index of the plain column for `source_attr`, or -1.
+  int PlainColumnIndex(const std::string& source_attr) const;
+
+  std::string ToString() const;
+};
+
+// Runs Algorithm 3.1 for `table` given its local reduction. When the
+// view is insert-only (all tables append-only, paper Sec. 4), the
+// relaxed classification applies: attributes used only in non-DISTINCT
+// MIN/MAX (besides CSMAS) aggregates are compressed into per-group
+// MIN/MAX columns instead of staying plain.
+Result<CompressionPlan> ComputeCompressionPlan(
+    const GpsjViewDef& def, const Catalog& catalog, const std::string& table,
+    const LocalReduction& reduction);
+
+// Canonical MIN/MAX replacement column names.
+std::string MinColumnName(const std::string& attr_name);
+std::string MaxColumnName(const std::string& attr_name);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_COMPRESSION_H_

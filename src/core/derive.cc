@@ -1,0 +1,199 @@
+#include "core/derive.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+
+std::string AuxViewDef::ToSqlString() const {
+  std::vector<std::string> select_items;
+  std::vector<std::string> group_items;
+  for (const AuxColumn& col : plan.columns) {
+    select_items.push_back(col.ToString());
+    if (col.kind == AuxColumn::Kind::kPlain && plan.compressed) {
+      group_items.push_back(col.output_name);
+    }
+  }
+
+  std::vector<std::string> where_items;
+  for (const Condition& c : reduction.conditions.conditions()) {
+    where_items.push_back(c.ToString());
+  }
+  for (const AuxDependency& dep : dependencies) {
+    where_items.push_back(StrCat(dep.from_attr, " IN (SELECT <key> FROM ",
+                                 dep.to_table, "DTL)"));
+  }
+
+  std::string sql = StrCat("CREATE VIEW ", name, " AS\nSELECT ",
+                           Join(select_items, ", "), "\nFROM ", base_table);
+  if (!where_items.empty()) {
+    sql += StrCat("\nWHERE ", Join(where_items, "\n  AND "));
+  }
+  if (plan.compressed && !group_items.empty()) {
+    sql += StrCat("\nGROUP BY ", Join(group_items, ", "));
+  }
+  if (eliminated) sql += "\n-- ELIMINATED: not materialized (Sec. 3.3)";
+  return sql;
+}
+
+Result<Derivation> Derivation::Derive(const GpsjViewDef& def,
+                                      const Catalog& catalog,
+                                      DeriveOptions options) {
+  Derivation out;
+  out.view_ = def;
+  out.insert_only_ = def.IsInsertOnly(catalog);
+
+  // Step 1: construct the extended join graph.
+  MD_ASSIGN_OR_RETURN(out.graph_, ExtendedJoinGraph::Build(def, catalog));
+
+  // Step 2 (per table): compute Need sets, test elimination, otherwise
+  // derive X_Rᵢ = (Π σ Rᵢ) ⋉ deps with local reduction and compression.
+  out.need_sets_ = AllNeedSets(out.graph_);
+
+  for (const std::string& table : out.graph_.TopologicalOrder()) {
+    AuxViewDef aux;
+    aux.name = StrCat(table, "DTL");
+    aux.base_table = table;
+
+    MD_ASSIGN_OR_RETURN(aux.key_attr, catalog.KeyAttr(table));
+    MD_ASSIGN_OR_RETURN(aux.reduction,
+                        ComputeLocalReduction(def, catalog, table));
+    for (const ExtendedJoinGraph::Dependency& dep :
+         out.graph_.DirectDependencies(table, catalog)) {
+      aux.dependencies.push_back(AuxDependency{dep.to_table, dep.from_attr});
+    }
+    MD_ASSIGN_OR_RETURN(
+        aux.plan, ComputeCompressionPlan(def, catalog, table, aux.reduction));
+
+    // Resolve the auxiliary schema's types (derived attributes resolve
+    // through the view definition).
+    std::vector<Attribute> attrs;
+    for (const AuxColumn& col : aux.plan.columns) {
+      switch (col.kind) {
+        case AuxColumn::Kind::kPlain:
+        case AuxColumn::Kind::kSum:
+        case AuxColumn::Kind::kMin:
+        case AuxColumn::Kind::kMax: {
+          MD_ASSIGN_OR_RETURN(
+              ValueType type,
+              def.AttrType(catalog, AttributeRef{table, col.source_attr}));
+          attrs.push_back(Attribute{col.output_name, type});
+          break;
+        }
+        case AuxColumn::Kind::kCountStar:
+          attrs.push_back(Attribute{col.output_name, ValueType::kInt64});
+          break;
+      }
+    }
+    aux.schema = Schema(std::move(attrs));
+
+    EliminationDecision decision = CanEliminateAuxView(
+        def, catalog, out.graph_, out.need_sets_, table);
+    aux.eliminated = options.allow_elimination && decision.eliminable;
+    aux.elimination_reason = decision.reason;
+
+    out.aux_index_.emplace(table, out.aux_views_.size());
+    out.aux_views_.push_back(std::move(aux));
+  }
+  return out;
+}
+
+const AuxViewDef& Derivation::aux_for(const std::string& table) const {
+  auto it = aux_index_.find(table);
+  MD_CHECK(it != aux_index_.end());
+  return aux_views_[it->second];
+}
+
+std::string Derivation::ToString() const {
+  std::string out = StrCat("=== Derivation for view '", view_.name(),
+                           "' ===\n\n", view_.ToSqlString(),
+                           "\n\nExtended join graph (root = ", root(),
+                           "):\n", graph_.ToString(), "\nNeed sets:\n");
+  for (const auto& [table, need] : need_sets_) {
+    std::vector<std::string> names(need.begin(), need.end());
+    out += StrCat("  Need(", table, ") = {", Join(names, ", "), "}\n");
+  }
+  out += "\nAuxiliary views:\n";
+  for (const AuxViewDef& aux : aux_views_) {
+    out += StrCat("\n-- ", aux.name, aux.eliminated ? " (ELIMINATED)" : "",
+                  "\n", aux.ToSqlString(), "\n");
+    if (!aux.eliminated && !aux.elimination_reason.empty()) {
+      out += StrCat("-- kept because ", aux.elimination_reason, "\n");
+    }
+  }
+  return out;
+}
+
+Result<Table> MaterializeAuxView(const Catalog& catalog,
+                                 const Derivation& derivation,
+                                 const std::string& table,
+                                 const std::map<std::string, Table>& deps) {
+  const AuxViewDef& aux = derivation.aux_for(table);
+  MD_ASSIGN_OR_RETURN(const Table* base, catalog.GetTable(table));
+
+  // Local reduction: σ, then derived columns, then π (bag projection;
+  // duplicates survive until compression).
+  MD_ASSIGN_OR_RETURN(Table current, Select(*base, aux.reduction.conditions));
+  MD_ASSIGN_OR_RETURN(current, derivation.view().AppendDerivedColumns(
+                                   table, std::move(current)));
+  MD_ASSIGN_OR_RETURN(current,
+                      Project(current, aux.reduction.attrs, false));
+
+  // Join reductions: semijoin with each dependency's auxiliary view.
+  for (const AuxDependency& dep : aux.dependencies) {
+    auto it = deps.find(dep.to_table);
+    if (it == deps.end()) {
+      return InvalidArgumentError(
+          StrCat("dependency '", dep.to_table,
+                 "' not materialized before '", table, "'"));
+    }
+    MD_ASSIGN_OR_RETURN(std::string dep_key, catalog.KeyAttr(dep.to_table));
+    MD_ASSIGN_OR_RETURN(
+        current, SemiJoin(current, it->second, dep.from_attr, dep_key));
+  }
+
+  // Smart duplicate compression.
+  if (aux.plan.compressed) {
+    MD_ASSIGN_OR_RETURN(current,
+                        GroupAggregate(current, aux.plan.PlainAttrs(),
+                                       aux.plan.Aggregates(), aux.name));
+    // Scalar aggregation over an empty input produces a cnt0 = 0 row;
+    // an auxiliary view stores no such group.
+    const int cnt_idx = aux.plan.CountColumnIndex();
+    MD_CHECK_GE(cnt_idx, 0);
+    Table filtered(aux.name, current.schema());
+    filtered.set_allow_null(true);
+    for (const Tuple& row : current.rows()) {
+      if (row[cnt_idx].AsInt64() > 0) {
+        MD_RETURN_IF_ERROR(filtered.Insert(row));
+      }
+    }
+    return filtered;
+  }
+  Table named(aux.name, current.schema());
+  named.set_allow_null(true);
+  for (const Tuple& row : current.rows()) {
+    MD_RETURN_IF_ERROR(named.Insert(row));
+  }
+  return named;
+}
+
+Result<std::map<std::string, Table>> MaterializeAuxViews(
+    const Catalog& catalog, const Derivation& derivation) {
+  std::map<std::string, Table> out;
+  // Leaves first: reverse topological order guarantees every semijoin
+  // dependency is materialized before its dependent.
+  std::vector<std::string> order = derivation.graph().TopologicalOrder();
+  std::reverse(order.begin(), order.end());
+  for (const std::string& table : order) {
+    if (derivation.IsEliminated(table)) continue;
+    MD_ASSIGN_OR_RETURN(Table aux,
+                        MaterializeAuxView(catalog, derivation, table, out));
+    out.emplace(table, std::move(aux));
+  }
+  return out;
+}
+
+}  // namespace mindetail

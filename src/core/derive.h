@@ -1,0 +1,122 @@
+// Algorithm 3.2: derivation of the minimal set of auxiliary views that
+// makes a GPSJ view self-maintainable.
+//
+// For each base table Rᵢ the algorithm either eliminates the auxiliary
+// view (Sec. 3.3) or produces
+//
+//   X_Rᵢ = (Π_{A_Rᵢ} σ_S Rᵢ) ⋉ X_Rⱼ₁ ⋉ … ⋉ X_Rⱼₙ
+//
+// where A_Rᵢ results from local reduction plus smart duplicate
+// compression, S is Rᵢ's local condition, and the semijoins are with the
+// auxiliary views of the tables Rᵢ depends on (join reduction).
+
+#ifndef MINDETAIL_CORE_DERIVE_H_
+#define MINDETAIL_CORE_DERIVE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/compression.h"
+#include "core/eliminate.h"
+#include "core/join_graph.h"
+#include "core/need.h"
+#include "core/reduction.h"
+
+namespace mindetail {
+
+// A semijoin reduction applied to an auxiliary view: this view's
+// `from_attr` column must match the key of `to_table`'s auxiliary view.
+struct AuxDependency {
+  std::string to_table;
+  std::string from_attr;
+};
+
+// The definition of one auxiliary view X_Rᵢ.
+struct AuxViewDef {
+  std::string name;        // "<base_table>DTL", e.g. "saleDTL".
+  std::string base_table;  // Rᵢ.
+  // True when Sec. 3.3 elimination applies; the view is then not
+  // materialized and the remaining fields describe what it *would* be.
+  bool eliminated = false;
+  std::string elimination_reason;  // Why it was NOT eliminated, if so.
+  LocalReduction reduction;
+  std::vector<AuxDependency> dependencies;
+  CompressionPlan plan;
+  Schema schema;  // Resolved column names and types.
+  // The base table's primary-key attribute. When this auxiliary view is
+  // a join target, the key survives local reduction as a plain column
+  // under this name.
+  std::string key_attr;
+
+  // A readable CREATE VIEW rendering in the paper's SQL style.
+  std::string ToSqlString() const;
+};
+
+struct DeriveOptions {
+  // When false, Sec. 3.3 elimination is skipped and every auxiliary
+  // view is materialized (ablation support; the result is still
+  // self-maintainable, just larger).
+  bool allow_elimination = true;
+};
+
+// The full result of running Algorithm 3.2 on a view.
+class Derivation {
+ public:
+  // Runs Algorithm 3.2. Fails when the view's join graph is not a
+  // single-rooted tree (paper Sec. 3.3 assumption).
+  static Result<Derivation> Derive(const GpsjViewDef& def,
+                                   const Catalog& catalog,
+                                   DeriveOptions options = DeriveOptions{});
+
+  const GpsjViewDef& view() const { return view_; }
+  const ExtendedJoinGraph& graph() const { return graph_; }
+  const std::map<std::string, std::set<std::string>>& need_sets() const {
+    return need_sets_;
+  }
+  // Aux view definitions in topological order (root first); includes
+  // eliminated ones, flagged.
+  const std::vector<AuxViewDef>& aux_views() const { return aux_views_; }
+  const AuxViewDef& aux_for(const std::string& table) const;
+  bool IsEliminated(const std::string& table) const {
+    return aux_for(table).eliminated;
+  }
+  const std::string& root() const { return graph_.root(); }
+
+  // True when every referenced table was append-only at derivation
+  // time — the insert-only relaxation (paper Sec. 4) is in effect:
+  // MIN/MAX are compressed into the auxiliary views and maintained
+  // incrementally.
+  bool insert_only() const { return insert_only_; }
+
+  // Human-readable derivation report: graph, Need sets, per-table
+  // reductions, compression and elimination decisions.
+  std::string ToString() const;
+
+ private:
+  GpsjViewDef view_;
+  ExtendedJoinGraph graph_;
+  std::map<std::string, std::set<std::string>> need_sets_;
+  std::vector<AuxViewDef> aux_views_;
+  std::map<std::string, size_t> aux_index_;
+  bool insert_only_ = false;
+};
+
+// Materializes all (non-eliminated) auxiliary views from the base
+// tables in `catalog`, leaves-first so semijoin reductions see their
+// dependencies. Returns base-table name → materialized auxiliary view.
+Result<std::map<std::string, Table>> MaterializeAuxViews(
+    const Catalog& catalog, const Derivation& derivation);
+
+// Materializes a single auxiliary view given its (already materialized)
+// dependencies. `deps` maps base-table name → that table's auxiliary
+// view contents.
+Result<Table> MaterializeAuxView(const Catalog& catalog,
+                                 const Derivation& derivation,
+                                 const std::string& table,
+                                 const std::map<std::string, Table>& deps);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_DERIVE_H_

@@ -1,0 +1,48 @@
+#include "core/eliminate.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+EliminationDecision CanEliminateAuxView(
+    const GpsjViewDef& def, const Catalog& catalog,
+    const ExtendedJoinGraph& graph,
+    const std::map<std::string, std::set<std::string>>& need_sets,
+    const std::string& table) {
+  EliminationDecision decision;
+
+  if (!graph.TransitivelyDependsOnAll(table, catalog)) {
+    decision.reason = StrCat(
+        "'", table, "' does not transitively depend on all other base "
+        "tables (a dependence needs a key join, referential integrity, "
+        "and no exposed updates)");
+    return decision;
+  }
+
+  for (const auto& [other, need] : need_sets) {
+    if (other == table) continue;
+    if (need.count(table) > 0) {
+      decision.reason =
+          StrCat("'", table, "' is in the Need set of '", other,
+                 "', so it is required to propagate deletions and "
+                 "protected updates of '", other, "'");
+      return decision;
+    }
+  }
+
+  // Under the insert-only relaxation (paper Sec. 4) MIN/MAX do not
+  // block elimination: they are self-maintainable when deletions are
+  // impossible.
+  if (def.TableHasEffectiveNonCsmasAttr(table, catalog)) {
+    decision.reason = StrCat(
+        "attributes of '", table, "' are involved in non-CSMAS "
+        "aggregates (MIN/MAX or DISTINCT), which may require "
+        "recomputation from the auxiliary view");
+    return decision;
+  }
+
+  decision.eliminable = true;
+  return decision;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,36 @@
+// Auxiliary-view elimination (paper Sec. 3.3).
+//
+// The auxiliary view of a base table Rᵢ — typically the huge fact
+// table — can be omitted entirely when (1) Rᵢ transitively depends on
+// all other base tables in the view, (2) Rᵢ is not in the Need set of
+// any other base table, and (3) no attribute of Rᵢ is involved in a
+// non-CSMAS aggregate.
+
+#ifndef MINDETAIL_CORE_ELIMINATE_H_
+#define MINDETAIL_CORE_ELIMINATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/join_graph.h"
+#include "core/need.h"
+
+namespace mindetail {
+
+// The elimination decision for one table, with the reason when negative
+// (surfaced in derivation reports and examples).
+struct EliminationDecision {
+  bool eliminable = false;
+  std::string reason;  // Why not, when eliminable == false; else empty.
+};
+
+EliminationDecision CanEliminateAuxView(
+    const GpsjViewDef& def, const Catalog& catalog,
+    const ExtendedJoinGraph& graph,
+    const std::map<std::string, std::set<std::string>>& need_sets,
+    const std::string& table);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_ELIMINATE_H_

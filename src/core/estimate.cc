@@ -1,0 +1,161 @@
+#include "core/estimate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.rows = table.NumRows();
+  for (size_t c = 0; c < table.schema().size(); ++c) {
+    std::unordered_set<Value, ValueHash, ValueEqual> values;
+    values.reserve(table.NumRows());
+    for (const Tuple& row : table.rows()) {
+      values.insert(row[c]);
+    }
+    stats.distinct.emplace(table.schema().attribute(c).name,
+                           values.size());
+  }
+  return stats;
+}
+
+Result<std::map<std::string, TableStats>> ComputeAllStats(
+    const Catalog& catalog, const Derivation& derivation) {
+  std::map<std::string, TableStats> out;
+  for (const std::string& table : derivation.graph().TopologicalOrder()) {
+    MD_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
+    if (derivation.view().DerivedAttrsOf(table).empty()) {
+      out.emplace(table, ComputeTableStats(*t));
+    } else {
+      // Materialize the derived columns so their distinct counts are
+      // available too.
+      MD_ASSIGN_OR_RETURN(
+          Table with_derived,
+          derivation.view().AppendDerivedColumns(table, *t));
+      out.emplace(table, ComputeTableStats(with_derived));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Textbook selectivity of one comparison against a column with
+// `distinct` values.
+double ConditionSelectivity(CompareOp op, uint64_t distinct) {
+  const double d = std::max<double>(1.0, static_cast<double>(distinct));
+  switch (op) {
+    case CompareOp::kEq:
+      return 1.0 / d;
+    case CompareOp::kNe:
+      return 1.0 - 1.0 / d;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1.0 / 3.0;
+  }
+  return 1.0;
+}
+
+// Selectivity of a table's local conjunction.
+Result<double> LocalSelectivity(const LocalReduction& reduction,
+                                const TableStats& stats) {
+  double selectivity = 1.0;
+  for (const Condition& c : reduction.conditions.conditions()) {
+    auto it = stats.distinct.find(c.attr);
+    if (it == stats.distinct.end()) {
+      return NotFoundError(
+          StrCat("no statistics for condition attribute '", c.attr, "'"));
+    }
+    selectivity *= ConditionSelectivity(c.op, it->second);
+  }
+  return selectivity;
+}
+
+}  // namespace
+
+Result<AuxSizeEstimate> EstimateAuxSize(
+    const Derivation& derivation, const std::string& table,
+    const std::map<std::string, TableStats>& stats) {
+  const AuxViewDef& aux = derivation.aux_for(table);
+  auto stats_it = stats.find(table);
+  if (stats_it == stats.end()) {
+    return NotFoundError(StrCat("no statistics for table '", table, "'"));
+  }
+  const TableStats& own = stats_it->second;
+
+  AuxSizeEstimate estimate;
+  estimate.eliminated = aux.eliminated;
+  if (aux.eliminated) return estimate;
+
+  // Local reduction.
+  MD_ASSIGN_OR_RETURN(double selectivity,
+                      LocalSelectivity(aux.reduction, own));
+  double rows = static_cast<double>(own.rows) * selectivity;
+
+  // Join reductions: each dependency keeps the fraction of referenced
+  // keys that survive in the dependency's own auxiliary view — and the
+  // surviving rows can only reference that many distinct key values, so
+  // the from-attribute's effective distinct count shrinks accordingly.
+  std::map<std::string, double> adjusted_distinct;
+  for (const auto& [attr, distinct] : own.distinct) {
+    adjusted_distinct.emplace(attr, static_cast<double>(distinct));
+  }
+  for (const AuxDependency& dep : aux.dependencies) {
+    MD_ASSIGN_OR_RETURN(AuxSizeEstimate dep_estimate,
+                        EstimateAuxSize(derivation, dep.to_table, stats));
+    auto dep_stats = stats.find(dep.to_table);
+    MD_CHECK(dep_stats != stats.end());
+    const double base_rows =
+        std::max<double>(1.0, static_cast<double>(dep_stats->second.rows));
+    rows *= std::min(1.0, dep_estimate.rows / base_rows);
+    auto it = adjusted_distinct.find(dep.from_attr);
+    if (it != adjusted_distinct.end()) {
+      it->second = std::min(it->second, dep_estimate.rows);
+    }
+  }
+  estimate.retained_rows = rows;
+
+  // Duplicate compression: groups ≤ product of grouping-column distinct
+  // counts (independence assumption), and never more than the retained
+  // rows.
+  if (aux.plan.compressed) {
+    double groups = 1.0;
+    for (const std::string& attr : aux.plan.PlainAttrs()) {
+      auto it = adjusted_distinct.find(attr);
+      if (it == adjusted_distinct.end()) {
+        return NotFoundError(
+            StrCat("no statistics for attribute '", attr, "' of '", table,
+                   "'"));
+      }
+      groups *= std::max(1.0, it->second);
+      if (groups > rows) break;  // Already capped.
+    }
+    estimate.rows = std::min(rows, groups);
+  } else {
+    estimate.rows = rows;
+  }
+  estimate.paper_bytes = static_cast<uint64_t>(
+      estimate.rows * static_cast<double>(aux.plan.columns.size()) * 4.0);
+  return estimate;
+}
+
+Result<uint64_t> EstimateTotalDetailBytes(
+    const Derivation& derivation,
+    const std::map<std::string, TableStats>& stats) {
+  uint64_t total = 0;
+  for (const AuxViewDef& aux : derivation.aux_views()) {
+    if (aux.eliminated) continue;
+    MD_ASSIGN_OR_RETURN(
+        AuxSizeEstimate estimate,
+        EstimateAuxSize(derivation, aux.base_table, stats));
+    total += estimate.paper_bytes;
+  }
+  return total;
+}
+
+}  // namespace mindetail

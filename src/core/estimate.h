@@ -1,0 +1,62 @@
+// Auxiliary-view size estimation from table statistics.
+//
+// The paper's Sec. 1.1 sizing argument is an instance of a general
+// estimate: after local reduction and smart duplicate compression, the
+// fact auxiliary view holds ≈ min(retained rows, ∏ distinct(gᵢ)) rows,
+// where gᵢ are its grouping columns. This module computes that estimate
+// from per-table statistics (row and per-column distinct counts) using
+// textbook selectivity rules, so a warehouse designer can predict the
+// detail footprint of a candidate view *before* materializing anything.
+
+#ifndef MINDETAIL_CORE_ESTIMATE_H_
+#define MINDETAIL_CORE_ESTIMATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/derive.h"
+
+namespace mindetail {
+
+// Per-table statistics: total rows and per-attribute distinct counts.
+struct TableStats {
+  uint64_t rows = 0;
+  std::map<std::string, uint64_t> distinct;
+};
+
+// Scans `table` once and counts rows plus exact per-column distinct
+// values.
+TableStats ComputeTableStats(const Table& table);
+
+// Statistics for every table referenced by `derivation`, computed from
+// the catalog's current contents.
+Result<std::map<std::string, TableStats>> ComputeAllStats(
+    const Catalog& catalog, const Derivation& derivation);
+
+// The estimate for one auxiliary view.
+struct AuxSizeEstimate {
+  bool eliminated = false;
+  double retained_rows = 0;   // After local + join reductions.
+  double rows = 0;            // After duplicate compression.
+  uint64_t paper_bytes = 0;   // rows × columns × 4 bytes.
+};
+
+// Estimates the auxiliary view of `table` under `derivation`:
+//  * local conditions scale rows by textbook selectivities
+//    (= → 1/distinct, ≠ → 1−1/distinct, range → 1/3),
+//  * join reductions scale by the retained fraction of each dependency,
+//  * compression caps rows at the product of the grouping columns'
+//    distinct counts (attribute-independence assumption).
+Result<AuxSizeEstimate> EstimateAuxSize(
+    const Derivation& derivation, const std::string& table,
+    const std::map<std::string, TableStats>& stats);
+
+// Sum of paper-model bytes across all non-eliminated auxiliary views.
+Result<uint64_t> EstimateTotalDetailBytes(
+    const Derivation& derivation,
+    const std::map<std::string, TableStats>& stats);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_ESTIMATE_H_

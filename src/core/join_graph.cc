@@ -1,0 +1,179 @@
+#include "core/join_graph.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+const char* VertexAnnotationName(VertexAnnotation annotation) {
+  switch (annotation) {
+    case VertexAnnotation::kNone:
+      return "";
+    case VertexAnnotation::kGroupBy:
+      return "g";
+    case VertexAnnotation::kKeyGroupBy:
+      return "k";
+  }
+  return "?";
+}
+
+Result<ExtendedJoinGraph> ExtendedJoinGraph::Build(const GpsjViewDef& def,
+                                                   const Catalog& catalog) {
+  ExtendedJoinGraph graph;
+  for (const std::string& table : def.tables()) {
+    JoinGraphVertex vertex;
+    vertex.table = table;
+    if (def.TableKeyInGroupBy(table, catalog)) {
+      vertex.annotation = VertexAnnotation::kKeyGroupBy;
+    } else if (def.TableHasGroupByAttr(table)) {
+      vertex.annotation = VertexAnnotation::kGroupBy;
+    }
+    graph.vertices_.emplace(table, std::move(vertex));
+  }
+
+  for (const JoinEdge& edge : def.joins()) {
+    if (edge.from_table == edge.to_table) {
+      return FailedPreconditionError(
+          StrCat("self-join on '", edge.from_table,
+                 "' is outside the supported GPSJ class"));
+    }
+    JoinGraphVertex& to = graph.vertices_.at(edge.to_table);
+    if (to.parent.has_value()) {
+      return FailedPreconditionError(StrCat(
+          "join graph of '", def.name(), "' is not a tree: '",
+          edge.to_table, "' has two incoming edges (from '", *to.parent,
+          "' and '", edge.from_table, "')"));
+    }
+    to.parent = edge.from_table;
+    to.parent_attr = edge.from_attr;
+    graph.vertices_.at(edge.from_table).children.push_back(edge.to_table);
+  }
+
+  // Exactly one root.
+  std::vector<std::string> roots;
+  for (const std::string& table : def.tables()) {
+    if (!graph.vertices_.at(table).parent.has_value()) {
+      roots.push_back(table);
+    }
+  }
+  if (roots.size() != 1) {
+    return FailedPreconditionError(
+        StrCat("join graph of '", def.name(), "' has ", roots.size(),
+               " roots; a single-rooted tree is required"));
+  }
+  graph.root_ = roots.front();
+
+  // Breadth-first order; also detects disconnection (a cycle among
+  // non-root vertices would leave them unreached, since every vertex has
+  // at most one incoming edge).
+  std::deque<std::string> frontier = {graph.root_};
+  while (!frontier.empty()) {
+    std::string table = frontier.front();
+    frontier.pop_front();
+    graph.topological_.push_back(table);
+    for (const std::string& child : graph.vertices_.at(table).children) {
+      frontier.push_back(child);
+    }
+  }
+  if (graph.topological_.size() != graph.vertices_.size()) {
+    return FailedPreconditionError(
+        StrCat("join graph of '", def.name(),
+               "' is disconnected or cyclic (", graph.topological_.size(),
+               " of ", graph.vertices_.size(), " tables reachable)"));
+  }
+  return graph;
+}
+
+const JoinGraphVertex& ExtendedJoinGraph::vertex(
+    const std::string& table) const {
+  auto it = vertices_.find(table);
+  MD_CHECK(it != vertices_.end());
+  return it->second;
+}
+
+std::vector<std::string> ExtendedJoinGraph::Subtree(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  std::deque<std::string> frontier = {table};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    out.push_back(current);
+    for (const std::string& child : vertex(current).children) {
+      frontier.push_back(child);
+    }
+  }
+  return out;
+}
+
+bool ExtendedJoinGraph::DependsOn(const std::string& table_i,
+                                  const std::string& table_j,
+                                  const Catalog& catalog) const {
+  const JoinGraphVertex& vj = vertex(table_j);
+  if (!vj.parent.has_value() || *vj.parent != table_i) return false;
+  if (!catalog.HasForeignKey(table_i, vj.parent_attr, table_j)) return false;
+  return !catalog.HasExposedUpdates(table_j);
+}
+
+std::vector<ExtendedJoinGraph::Dependency>
+ExtendedJoinGraph::DirectDependencies(const std::string& table,
+                                      const Catalog& catalog) const {
+  std::vector<Dependency> out;
+  for (const std::string& child : vertex(table).children) {
+    if (DependsOn(table, child, catalog)) {
+      out.push_back(Dependency{child, vertex(child).parent_attr});
+    }
+  }
+  return out;
+}
+
+bool ExtendedJoinGraph::TransitivelyDependsOnAll(
+    const std::string& table, const Catalog& catalog) const {
+  std::set<std::string> reached = {table};
+  std::deque<std::string> frontier = {table};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    for (const Dependency& dep : DirectDependencies(current, catalog)) {
+      if (reached.insert(dep.to_table).second) {
+        frontier.push_back(dep.to_table);
+      }
+    }
+  }
+  return reached.size() == vertices_.size();
+}
+
+namespace {
+
+void RenderSubtree(const ExtendedJoinGraph& graph, const std::string& table,
+                   const std::string& prefix, std::string* out) {
+  const JoinGraphVertex& v = graph.vertex(table);
+  const std::vector<std::string>& children = v.children;
+  for (size_t i = 0; i < children.size(); ++i) {
+    const bool last = i + 1 == children.size();
+    const JoinGraphVertex& child = graph.vertex(children[i]);
+    const char* annotation = VertexAnnotationName(child.annotation);
+    *out += StrCat(prefix, last ? "└── " : "├── ", children[i],
+                   annotation[0] == '\0' ? "" : StrCat(" [", annotation, "]"),
+                   "\n");
+    RenderSubtree(graph, children[i], StrCat(prefix, last ? "    " : "│   "),
+                  out);
+  }
+}
+
+}  // namespace
+
+std::string ExtendedJoinGraph::ToString() const {
+  const JoinGraphVertex& r = vertex(root_);
+  const char* annotation = VertexAnnotationName(r.annotation);
+  std::string out =
+      StrCat(root_,
+             annotation[0] == '\0' ? "" : StrCat(" [", annotation, "]"),
+             "\n");
+  RenderSubtree(*this, root_, "", &out);
+  return out;
+}
+
+}  // namespace mindetail

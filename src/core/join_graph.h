@@ -1,0 +1,103 @@
+// The extended join graph G(V) of a GPSJ view (paper Definition 2).
+//
+// Vertices are the base tables referenced in V; there is a directed edge
+// e(Rᵢ, Rⱼ) when V contains a join condition Rᵢ.b = Rⱼ.a with `a` the key
+// of Rⱼ. A vertex is annotated `g` if it contributes group-by attributes
+// and `k` if one of those is its own key. The paper (Sec. 3.3) assumes
+// the graph is a tree with no self-joins; Build() validates this. The
+// table at the root of the tree is the *root table* R₀ (the fact table
+// of a star schema).
+
+#ifndef MINDETAIL_CORE_JOIN_GRAPH_H_
+#define MINDETAIL_CORE_JOIN_GRAPH_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+// Vertex annotation per Definition 2. `k` subsumes `g` (a key-annotated
+// vertex also has group-by attributes).
+enum class VertexAnnotation {
+  kNone,
+  kGroupBy,     // g
+  kKeyGroupBy,  // k
+};
+
+const char* VertexAnnotationName(VertexAnnotation annotation);
+
+struct JoinGraphVertex {
+  std::string table;
+  VertexAnnotation annotation = VertexAnnotation::kNone;
+  // The unique incoming edge (absent for the root): parent.parent_attr
+  // joins to this vertex's key.
+  std::optional<std::string> parent;
+  std::string parent_attr;
+  // Outgoing edges, in view-definition order.
+  std::vector<std::string> children;
+};
+
+class ExtendedJoinGraph {
+ public:
+  // Validates tree shape (single root, at most one incoming edge per
+  // vertex, connected, acyclic, no self-joins) and computes annotations.
+  static Result<ExtendedJoinGraph> Build(const GpsjViewDef& def,
+                                         const Catalog& catalog);
+
+  const std::string& root() const { return root_; }
+  const JoinGraphVertex& vertex(const std::string& table) const;
+  bool HasVertex(const std::string& table) const {
+    return vertices_.count(table) > 0;
+  }
+  size_t NumVertices() const { return vertices_.size(); }
+
+  // All tables, root first, parents before children.
+  const std::vector<std::string>& TopologicalOrder() const {
+    return topological_;
+  }
+
+  // The subtree rooted at `table`, including `table` itself.
+  std::vector<std::string> Subtree(const std::string& table) const;
+
+  // Direct dependence per paper Sec. 2.2: Rᵢ depends on Rⱼ iff V joins
+  // Rᵢ.b = Rⱼ.a (a key of Rⱼ), referential integrity is declared from
+  // Rᵢ.b to Rⱼ, and Rⱼ has no exposed updates.
+  bool DependsOn(const std::string& table_i, const std::string& table_j,
+                 const Catalog& catalog) const;
+
+  // The children of `table` it directly depends on, with the joining
+  // attribute (Rᵢ.b).
+  struct Dependency {
+    std::string to_table;
+    std::string from_attr;
+  };
+  std::vector<Dependency> DirectDependencies(const std::string& table,
+                                             const Catalog& catalog) const;
+
+  // True iff `table` transitively depends on every other base table in
+  // the view (first elimination condition, paper Sec. 3.3).
+  bool TransitivelyDependsOnAll(const std::string& table,
+                                const Catalog& catalog) const;
+
+  // ASCII rendering of the graph with annotations, e.g.
+  //   sale
+  //   ├── time [g]
+  //   └── product
+  std::string ToString() const;
+
+ private:
+  std::string root_;
+  std::map<std::string, JoinGraphVertex> vertices_;
+  std::vector<std::string> topological_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_JOIN_GRAPH_H_

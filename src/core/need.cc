@@ -1,0 +1,61 @@
+#include "core/need.h"
+
+namespace mindetail {
+
+std::set<std::string> Need0(const ExtendedJoinGraph& graph,
+                            const std::string& table) {
+  std::set<std::string> out;
+  const JoinGraphVertex& v = graph.vertex(table);
+  // A vertex annotated k stops the traversal: grouping on its key
+  // functionally determines all attributes of its subtree, so group-bys
+  // below it cannot refine the combined key (paper Sec. 3.3).
+  if (v.annotation == VertexAnnotation::kKeyGroupBy) return out;
+  for (const std::string& child : v.children) {
+    // Enter the child's subtree only if it contains an annotated vertex.
+    bool has_annotated = false;
+    for (const std::string& t : graph.Subtree(child)) {
+      if (graph.vertex(t).annotation != VertexAnnotation::kNone) {
+        has_annotated = true;
+        break;
+      }
+    }
+    if (!has_annotated) continue;
+    out.insert(child);
+    std::set<std::string> rest = Need0(graph, child);
+    out.insert(rest.begin(), rest.end());
+  }
+  return out;
+}
+
+std::set<std::string> Need(const ExtendedJoinGraph& graph,
+                           const std::string& table) {
+  const JoinGraphVertex& v = graph.vertex(table);
+  if (v.annotation == VertexAnnotation::kKeyGroupBy) return {};
+  if (v.parent.has_value()) {
+    std::set<std::string> out = Need(graph, *v.parent);
+    out.insert(*v.parent);
+    return out;
+  }
+  return Need0(graph, table);  // The root.
+}
+
+std::map<std::string, std::set<std::string>> AllNeedSets(
+    const ExtendedJoinGraph& graph) {
+  std::map<std::string, std::set<std::string>> out;
+  for (const std::string& table : graph.TopologicalOrder()) {
+    out.emplace(table, Need(graph, table));
+  }
+  return out;
+}
+
+bool IsInAnyOtherNeedSet(
+    const std::map<std::string, std::set<std::string>>& need_sets,
+    const std::string& table) {
+  for (const auto& [other, need] : need_sets) {
+    if (other == table) continue;
+    if (need.count(table) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace mindetail

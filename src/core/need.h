@@ -1,0 +1,48 @@
+// The Need and Need₀ functions (paper Definitions 3 and 4).
+//
+// Need(Rᵢ, G(V)) is the minimal set of base tables Rᵢ must join with so
+// that the unique set of V-tuples associated with any given Rᵢ tuple can
+// be identified — required to propagate deletions and protected updates
+// of Rᵢ. A table that appears in some other table's Need set cannot have
+// its auxiliary view eliminated (paper Sec. 3.3).
+
+#ifndef MINDETAIL_CORE_NEED_H_
+#define MINDETAIL_CORE_NEED_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/join_graph.h"
+
+namespace mindetail {
+
+// Definition 3:
+//   Need(Rᵢ) = ∅                      if Rᵢ is annotated k,
+//   Need(Rᵢ) = {Rⱼ} ∪ Need(Rⱼ)        if Rᵢ is not annotated k and has a
+//                                     parent Rⱼ (edge e(Rⱼ, Rᵢ)), i ≠ 0,
+//   Need(Rᵢ) = Need₀(R₀)              otherwise (the root, not annotated k).
+std::set<std::string> Need(const ExtendedJoinGraph& graph,
+                           const std::string& table);
+
+// Definition 4: depth-first traversal collecting the minimal set of
+// tables whose group-by attributes form a combined key to V. A child's
+// subtree is entered only if it contains a vertex annotated k or g, and
+// the traversal stops below any vertex annotated k (grouping on a key
+// functionally determines every attribute in that vertex's subtree).
+std::set<std::string> Need0(const ExtendedJoinGraph& graph,
+                            const std::string& table);
+
+// Need sets of every table in the graph.
+std::map<std::string, std::set<std::string>> AllNeedSets(
+    const ExtendedJoinGraph& graph);
+
+// True iff `table` appears in the Need set of some *other* table
+// (second elimination condition, paper Sec. 3.3).
+bool IsInAnyOtherNeedSet(
+    const std::map<std::string, std::set<std::string>>& need_sets,
+    const std::string& table);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_NEED_H_

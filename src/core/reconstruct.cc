@@ -1,0 +1,512 @@
+#include "core/reconstruct.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+
+std::string ContribSumColumn(const std::string& output_name) {
+  return StrCat("__sum_", output_name);
+}
+
+std::string ContribMinMaxColumn(const std::string& output_name) {
+  return StrCat("__mm_", output_name);
+}
+
+namespace {
+
+// Closes `required` upward: every required table's ancestors up to the
+// root are required too (the join tree must stay connected).
+std::set<std::string> CloseUpward(const ExtendedJoinGraph& graph,
+                                  std::set<std::string> required) {
+  required.insert(graph.root());
+  std::vector<std::string> worklist(required.begin(), required.end());
+  while (!worklist.empty()) {
+    std::string table = worklist.back();
+    worklist.pop_back();
+    const JoinGraphVertex& v = graph.vertex(table);
+    if (v.parent.has_value() && required.insert(*v.parent).second) {
+      worklist.push_back(*v.parent);
+    }
+  }
+  return required;
+}
+
+// Appends a computed column `name` = row[src] * row[cnt] to `input`.
+Result<Table> AppendScaledColumn(const Table& input, const std::string& src,
+                                 const std::string& cnt,
+                                 const std::string& name) {
+  std::optional<size_t> src_idx = input.schema().IndexOf(src);
+  std::optional<size_t> cnt_idx = input.schema().IndexOf(cnt);
+  if (!src_idx.has_value() || !cnt_idx.has_value()) {
+    return InternalError(
+        StrCat("scaled column inputs '", src, "'/'", cnt, "' missing"));
+  }
+  std::vector<Attribute> attrs = input.schema().attributes();
+  attrs.push_back(Attribute{name, input.schema().attribute(*src_idx).type});
+  Table out(input.name(), Schema(std::move(attrs)));
+  out.set_allow_null(true);
+  for (const Tuple& row : input.rows()) {
+    Tuple extended = row;
+    extended.push_back(ScaleValue(row[*src_idx], row[*cnt_idx].AsInt64()));
+    MD_RETURN_IF_ERROR(out.Insert(std::move(extended)));
+  }
+  return out;
+}
+
+// How SUM-like mass for attribute `T.a` is obtained from the joined
+// auxiliary table.
+struct SumSource {
+  std::string column;  // Column of the joined table to SUM.
+  bool needs_scaling = false;  // Multiply by the root's cnt0 first.
+};
+
+SumSource ResolveSumSource(const Derivation& derivation,
+                           const AttributeRef& input) {
+  const AuxViewDef& root_aux = derivation.aux_for(derivation.root());
+  const bool root_compressed = root_aux.plan.compressed;
+  if (input.table == derivation.root() &&
+      root_aux.plan.SumColumnIndex(input.attr) >= 0) {
+    // The attribute was compressed into a per-group SUM column.
+    return SumSource{StrCat(input.table, ".", SumColumnName(input.attr)),
+                     false};
+  }
+  // The attribute survived as a plain column (on a dimension, or kept
+  // plain on the root because of other uses). With a compressed root,
+  // each joined row stands for cnt0 duplicates: f(a · cnt0), Sec. 3.2.
+  return SumSource{StrCat(input.table, ".", input.attr), root_compressed};
+}
+
+// The name of the root's qualified cnt0 column, or empty when the root
+// auxiliary view is uncompressed (every row stands for one tuple).
+std::string RootCountColumn(const Derivation& derivation) {
+  const AuxViewDef& root_aux = derivation.aux_for(derivation.root());
+  if (!root_aux.plan.compressed) return "";
+  return StrCat(derivation.root(), ".", kCountStarColumn);
+}
+
+// Source column for a MIN/MAX aggregate over `input`: the compressed
+// per-group MIN/MAX column when the insert-only relaxation produced
+// one, otherwise the plain (qualified) attribute. MIN and MAX are
+// idempotent over duplicates, so no cnt0 scaling applies either way.
+std::string ResolveMinMaxSource(const Derivation& derivation,
+                                const AttributeRef& input, AggFn fn) {
+  if (input.table == derivation.root()) {
+    const CompressionPlan& plan =
+        derivation.aux_for(derivation.root()).plan;
+    const int idx = fn == AggFn::kMin ? plan.MinColumnIndex(input.attr)
+                                      : plan.MaxColumnIndex(input.attr);
+    if (idx >= 0) {
+      return StrCat(input.table, ".",
+                    fn == AggFn::kMin ? MinColumnName(input.attr)
+                                      : MaxColumnName(input.attr));
+    }
+  }
+  return input.ToString();
+}
+
+}  // namespace
+
+std::set<std::string> OutputSupplierTables(const Derivation& derivation,
+                                           bool csmas_only) {
+  std::set<std::string> out;
+  for (const OutputItem& item : derivation.view().outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      out.insert(item.attr.table);
+      continue;
+    }
+    if (item.agg.fn == AggFn::kCountStar) continue;
+    if (csmas_only) {
+      const bool incremental = derivation.insert_only()
+                                   ? IsCsmasUnderInsertOnly(item.agg)
+                                   : IsCsmas(item.agg);
+      if (!incremental) continue;
+    }
+    out.insert(item.agg.input.table);
+  }
+  return out;
+}
+
+Result<Table> JoinAuxAlongGraph(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& tables,
+    const std::set<std::string>& required) {
+  const ExtendedJoinGraph& graph = derivation.graph();
+  const std::set<std::string> closed = CloseUpward(graph, required);
+
+  // Qualify each participating table's columns with its base-table name.
+  std::map<std::string, Table> qualified;
+  for (const std::string& table : closed) {
+    auto it = tables.find(table);
+    if (it == tables.end() || it->second == nullptr) {
+      return InvalidArgumentError(
+          StrCat("auxiliary contents for '", table, "' not provided"));
+    }
+    qualified.emplace(table, QualifyColumns(*it->second, table));
+  }
+
+  Table current = std::move(qualified.at(graph.root()));
+  // Parents precede children in topological order, so one pass attaches
+  // every required child to the partial join.
+  for (const std::string& table : graph.TopologicalOrder()) {
+    if (table == graph.root() || closed.count(table) == 0) continue;
+    const JoinGraphVertex& v = graph.vertex(table);
+    const AuxViewDef& aux = derivation.aux_for(table);
+    MD_ASSIGN_OR_RETURN(
+        current, HashJoin(current, qualified.at(table),
+                          StrCat(*v.parent, ".", v.parent_attr),
+                          StrCat(table, ".", aux.key_attr)));
+  }
+  return current;
+}
+
+namespace {
+
+// The pieces needed to render one view output from the grouped result.
+struct OutputPlan {
+  enum class Kind {
+    kGroupColumn,  // A group-by column of the grouped table.
+    kDirect,       // One physical aggregate, used as-is.
+    kRatio,        // numerator / denominator (AVG).
+  };
+  Kind kind = Kind::kGroupColumn;
+  std::string column;       // kGroupColumn / kDirect.
+  std::string numerator;    // kRatio.
+  std::string denominator;  // kRatio.
+};
+
+// Builds the physical aggregation over the joined auxiliary table that
+// yields every view output, plus per-output rendering plans.
+struct AggregationPlan {
+  std::vector<std::string> group_columns;        // Qualified group-by refs.
+  std::vector<std::string> scaled_sources;       // Columns needing a*cnt0.
+  std::vector<PhysicalAggregate> physical;
+  std::vector<OutputPlan> outputs;               // One per view output.
+};
+
+Result<AggregationPlan> BuildAggregationPlan(const Derivation& derivation) {
+  AggregationPlan plan;
+  const std::string cnt_col = RootCountColumn(derivation);
+
+  for (const AttributeRef& ref : derivation.view().GroupByAttrs()) {
+    plan.group_columns.push_back(ref.ToString());
+  }
+
+  // Shared duplicate-count aggregate: SUM(cnt0) or COUNT(*).
+  bool need_count = false;
+  auto add_physical = [&plan](PhysicalAggregate agg) -> std::string {
+    for (const PhysicalAggregate& existing : plan.physical) {
+      if (existing.output_name == agg.output_name) return agg.output_name;
+    }
+    plan.physical.push_back(std::move(agg));
+    return plan.physical.back().output_name;
+  };
+  auto count_column = [&]() -> std::string {
+    need_count = true;
+    if (cnt_col.empty()) {
+      return add_physical(
+          PhysicalAggregate{AggFn::kCountStar, "", false, "__dupcnt"});
+    }
+    return add_physical(
+        PhysicalAggregate{AggFn::kSum, cnt_col, false, "__dupcnt"});
+  };
+  (void)need_count;
+
+  auto sum_column = [&](const AttributeRef& input,
+                        const std::string& out_name) -> std::string {
+    SumSource source = ResolveSumSource(derivation, input);
+    std::string src = source.column;
+    if (source.needs_scaling) {
+      src = StrCat("__scaled_", source.column);
+      if (std::find(plan.scaled_sources.begin(), plan.scaled_sources.end(),
+                    source.column) == plan.scaled_sources.end()) {
+        plan.scaled_sources.push_back(source.column);
+      }
+    }
+    return add_physical(PhysicalAggregate{AggFn::kSum, src, false, out_name});
+  };
+
+  size_t group_idx = 0;
+  for (const OutputItem& item : derivation.view().outputs()) {
+    OutputPlan out;
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      out.kind = OutputPlan::Kind::kGroupColumn;
+      out.column = plan.group_columns[group_idx++];
+      plan.outputs.push_back(std::move(out));
+      continue;
+    }
+    const AggregateSpec& agg = item.agg;
+    const std::string qualified_input =
+        agg.fn == AggFn::kCountStar ? "" : agg.input.ToString();
+    if (IsCsmas(agg)) {
+      switch (agg.fn) {
+        case AggFn::kCountStar:
+        case AggFn::kCount:
+          // NULL-free inputs: COUNT(a) ≡ COUNT(*) ≡ total duplicates.
+          out.kind = OutputPlan::Kind::kDirect;
+          out.column = count_column();
+          break;
+        case AggFn::kSum:
+          out.kind = OutputPlan::Kind::kDirect;
+          out.column =
+              sum_column(agg.input, StrCat("__sum_v_", item.output_name));
+          break;
+        case AggFn::kAvg:
+          out.kind = OutputPlan::Kind::kRatio;
+          out.numerator =
+              sum_column(agg.input, StrCat("__sum_v_", item.output_name));
+          out.denominator = count_column();
+          break;
+        default:
+          return InternalError("unexpected CSMAS aggregate");
+      }
+    } else if (agg.distinct &&
+               (agg.fn == AggFn::kAvg || agg.fn == AggFn::kSum ||
+                agg.fn == AggFn::kCount)) {
+      // DISTINCT ignores duplicates — recompute directly from the plain
+      // column (paper Sec. 3.2, final remark).
+      if (agg.fn == AggFn::kAvg) {
+        out.kind = OutputPlan::Kind::kRatio;
+        out.numerator = add_physical(
+            PhysicalAggregate{AggFn::kSum, qualified_input, true,
+                              StrCat("__sumd_", item.output_name)});
+        out.denominator = add_physical(
+            PhysicalAggregate{AggFn::kCount, qualified_input, true,
+                              StrCat("__cntd_", item.output_name)});
+      } else {
+        out.kind = OutputPlan::Kind::kDirect;
+        out.column = add_physical(
+            PhysicalAggregate{agg.fn, qualified_input, true,
+                              StrCat("__d_", item.output_name)});
+      }
+    } else {
+      // MIN / MAX: duplicates are irrelevant; recompute directly, from
+      // the compressed per-group MIN/MAX column when one exists
+      // (insert-only relaxation).
+      out.kind = OutputPlan::Kind::kDirect;
+      const std::string source =
+          agg.distinct ? qualified_input
+                       : ResolveMinMaxSource(derivation, agg.input, agg.fn);
+      out.column = add_physical(
+          PhysicalAggregate{agg.fn, source, agg.distinct,
+                            StrCat("__m_", item.output_name)});
+    }
+    plan.outputs.push_back(std::move(out));
+  }
+  return plan;
+}
+
+// Runs the aggregation plan over the joined auxiliary table and shapes
+// the final view output.
+Result<Table> AggregateJoined(const Derivation& derivation, Table joined) {
+  MD_ASSIGN_OR_RETURN(AggregationPlan plan,
+                      BuildAggregationPlan(derivation));
+
+  const std::string cnt_col = RootCountColumn(derivation);
+  for (const std::string& src : plan.scaled_sources) {
+    MD_ASSIGN_OR_RETURN(
+        joined,
+        AppendScaledColumn(joined, src, cnt_col, StrCat("__scaled_", src)));
+  }
+
+  MD_ASSIGN_OR_RETURN(
+      Table grouped,
+      GroupAggregate(joined, plan.group_columns, plan.physical));
+
+  // Drop the phantom row scalar-aggregate semantics produce over an
+  // empty joined input when the view has group-bys... (GroupAggregate
+  // already returns no rows for grouped empty input; the phantom row
+  // only appears for scalar views, where it is correct SQL semantics.)
+
+  std::vector<Attribute> attrs;
+  std::vector<OutputPlan>& outs = plan.outputs;
+  const std::vector<OutputItem>& items = derivation.view().outputs();
+  MD_CHECK_EQ(outs.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ValueType type;
+    if (outs[i].kind == OutputPlan::Kind::kRatio) {
+      type = ValueType::kDouble;
+    } else {
+      std::optional<size_t> idx = grouped.schema().IndexOf(outs[i].column);
+      if (!idx.has_value()) {
+        return InternalError(
+            StrCat("aggregation lost column '", outs[i].column, "'"));
+      }
+      type = grouped.schema().attribute(*idx).type;
+    }
+    attrs.push_back(Attribute{items[i].output_name, type});
+  }
+
+  Table result(derivation.view().name(), Schema(std::move(attrs)));
+  result.set_allow_null(true);
+  for (const Tuple& row : grouped.rows()) {
+    Tuple shaped;
+    shaped.reserve(outs.size());
+    for (const OutputPlan& out : outs) {
+      switch (out.kind) {
+        case OutputPlan::Kind::kGroupColumn:
+        case OutputPlan::Kind::kDirect: {
+          shaped.push_back(row[*grouped.schema().IndexOf(out.column)]);
+          break;
+        }
+        case OutputPlan::Kind::kRatio: {
+          const Value& num = row[*grouped.schema().IndexOf(out.numerator)];
+          const Value& den =
+              row[*grouped.schema().IndexOf(out.denominator)];
+          if (num.is_null() || den.is_null() || den.AsInt64() == 0) {
+            shaped.push_back(Value());
+          } else {
+            shaped.push_back(Value(num.NumericAsDouble() /
+                                   static_cast<double>(den.AsInt64())));
+          }
+          break;
+        }
+      }
+    }
+    MD_RETURN_IF_ERROR(result.Insert(std::move(shaped)));
+  }
+  SortRows(&result);
+  return result;
+}
+
+}  // namespace
+
+Result<Table> ReconstructView(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& aux_tables) {
+  if (derivation.IsEliminated(derivation.root())) {
+    return FailedPreconditionError(StrCat(
+        "the root auxiliary view of '", derivation.view().name(),
+        "' was eliminated; the materialized view itself is the only copy "
+        "of its data"));
+  }
+  MD_ASSIGN_OR_RETURN(
+      Table joined,
+      JoinAuxAlongGraph(derivation, aux_tables,
+                        OutputSupplierTables(derivation, false)));
+  MD_ASSIGN_OR_RETURN(Table result,
+                      AggregateJoined(derivation, std::move(joined)));
+  // HAVING applies to the view's *contents*; group-restricted
+  // recomputation (ReconstructGroups) deliberately skips it, because
+  // maintenance needs the state of every affected group.
+  const GpsjViewDef& def = derivation.view();
+  if (def.having().empty()) return result;
+  Table filtered(def.name(), result.schema());
+  filtered.set_allow_null(true);
+  for (const Tuple& row : result.rows()) {
+    if (def.PassesHaving(row)) {
+      MD_RETURN_IF_ERROR(filtered.Insert(row));
+    }
+  }
+  return filtered;
+}
+
+Result<Table> ReconstructGroups(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& aux_tables,
+    const GroupKeySet& groups) {
+  if (derivation.IsEliminated(derivation.root())) {
+    return FailedPreconditionError(
+        "cannot recompute groups: the root auxiliary view was eliminated");
+  }
+  MD_ASSIGN_OR_RETURN(
+      Table joined,
+      JoinAuxAlongGraph(derivation, aux_tables,
+                        OutputSupplierTables(derivation, false)));
+
+  // Keep only rows belonging to an affected group.
+  std::vector<size_t> group_idx;
+  for (const AttributeRef& ref : derivation.view().GroupByAttrs()) {
+    std::optional<size_t> idx = joined.schema().IndexOf(ref.ToString());
+    if (!idx.has_value()) {
+      return InternalError(
+          StrCat("joined table lost group column '", ref.ToString(), "'"));
+    }
+    group_idx.push_back(*idx);
+  }
+  Table filtered(joined.name(), joined.schema());
+  filtered.set_allow_null(true);
+  for (const Tuple& row : joined.rows()) {
+    Tuple key;
+    key.reserve(group_idx.size());
+    for (size_t idx : group_idx) key.push_back(row[idx]);
+    if (groups.count(key) > 0) {
+      MD_RETURN_IF_ERROR(filtered.Insert(row));
+    }
+  }
+  return AggregateJoined(derivation, std::move(filtered));
+}
+
+Result<Table> ComputeContributions(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& tables,
+    const std::set<std::string>& required) {
+  MD_ASSIGN_OR_RETURN(Table joined,
+                      JoinAuxAlongGraph(derivation, tables, required));
+
+  const std::string cnt_col = RootCountColumn(derivation);
+  std::vector<std::string> group_columns;
+  for (const AttributeRef& ref : derivation.view().GroupByAttrs()) {
+    group_columns.push_back(ref.ToString());
+  }
+
+  std::vector<PhysicalAggregate> physical;
+  if (cnt_col.empty()) {
+    physical.push_back(
+        PhysicalAggregate{AggFn::kCountStar, "", false, kContribCountColumn});
+  } else {
+    physical.push_back(
+        PhysicalAggregate{AggFn::kSum, cnt_col, false, kContribCountColumn});
+  }
+  for (const OutputItem& item : derivation.view().outputs()) {
+    if (item.kind != OutputItem::Kind::kAggregate) continue;
+    const AggregateSpec& agg = item.agg;
+    if (IsCsmas(agg) && (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg)) {
+      SumSource source = ResolveSumSource(derivation, agg.input);
+      std::string src = source.column;
+      if (source.needs_scaling) {
+        src = StrCat("__scaled_", source.column);
+        if (!joined.schema().Contains(src)) {
+          MD_ASSIGN_OR_RETURN(
+              joined,
+              AppendScaledColumn(joined, source.column, cnt_col, src));
+        }
+      }
+      physical.push_back(PhysicalAggregate{
+          AggFn::kSum, src, false, ContribSumColumn(item.output_name)});
+      continue;
+    }
+    // Insert-only relaxation: MIN/MAX contributions merge into the
+    // summary incrementally.
+    if (derivation.insert_only() && !agg.distinct &&
+        (agg.fn == AggFn::kMin || agg.fn == AggFn::kMax)) {
+      physical.push_back(PhysicalAggregate{
+          agg.fn, ResolveMinMaxSource(derivation, agg.input, agg.fn),
+          false, ContribMinMaxColumn(item.output_name)});
+    }
+  }
+
+  MD_ASSIGN_OR_RETURN(Table contributions,
+                      GroupAggregate(joined, group_columns, physical,
+                                     "contributions"));
+  // Scalar views: drop the phantom zero-contribution row.
+  if (group_columns.empty()) {
+    std::optional<size_t> cnt_idx =
+        contributions.schema().IndexOf(kContribCountColumn);
+    MD_CHECK(cnt_idx.has_value());
+    if (contributions.NumRows() == 1) {
+      const Value& cnt = contributions.row(0)[*cnt_idx];
+      if (cnt.is_null() ||
+          (cnt.type() == ValueType::kInt64 && cnt.AsInt64() == 0)) {
+        Table empty("contributions", contributions.schema());
+        empty.set_allow_null(true);
+        return empty;
+      }
+    }
+  }
+  return contributions;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,82 @@
+// Reconstructing a GPSJ view from its auxiliary views alone
+// (paper Sec. 1.1 example and Sec. 3.2 maintenance rules).
+//
+// The view is recomputed by joining the auxiliary views along the join
+// graph and re-aggregating, with duplicate accounting: a compressed root
+// row carries cnt0 = COUNT(*) duplicates, so
+//   COUNT(*)  in V  =  SUM(cnt0),
+//   SUM(a)    in V  =  SUM(sum_a)            if a was compressed into sum_a,
+//                   =  SUM(a · cnt0)         if a survived as a plain column,
+//   AVG(a)    in V  =  SUM(…) / SUM(cnt0),
+// and MIN/MAX/DISTINCT aggregates — which ignore duplicates — are
+// recomputed directly from the plain columns.
+
+#ifndef MINDETAIL_CORE_RECONSTRUCT_H_
+#define MINDETAIL_CORE_RECONSTRUCT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "core/derive.h"
+
+namespace mindetail {
+
+// A set of view group-by keys.
+using GroupKeySet = std::unordered_set<Tuple, TupleHash, TupleEqual>;
+
+// Joins auxiliary views along the join graph with qualified column
+// names ("sale.cnt0", "time.month"). `tables` maps base-table name →
+// current auxiliary contents (a delta table may stand in for one of
+// them). Only tables in `required` — closed upward to the root — are
+// joined. Rows that fail to join (e.g. unreduced root rows referencing
+// filtered-out dimensions) drop out, matching V's semantics.
+Result<Table> JoinAuxAlongGraph(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& tables,
+    const std::set<std::string>& required);
+
+// Tables that supply view outputs: group-by attributes always, plus
+// aggregate inputs (all of them, or only non-CSMAS ones when
+// `csmas_only` is true — the incremental path recomputes only CSMAS
+// contributions).
+std::set<std::string> OutputSupplierTables(const Derivation& derivation,
+                                           bool csmas_only);
+
+// Computes the complete view contents from the auxiliary views, no base
+// access. Fails if the root's auxiliary view was eliminated (V itself
+// is then the only copy of its data). Output matches EvaluateGpsj:
+// view-output columns, sorted rows.
+Result<Table> ReconstructView(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& aux_tables);
+
+// As ReconstructView, but only for the groups whose group-by key tuple
+// is in `groups` (affected-group recomputation for non-CSMAS outputs).
+Result<Table> ReconstructGroups(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& aux_tables,
+    const GroupKeySet& groups);
+
+// Internal contribution table for incremental CSMAS maintenance.
+// Columns: the view's group-by outputs, then "__cnt" (total duplicate
+// count, i.e. the group's COUNT(*) contribution), then one
+// "__sum_<output>" column per non-distinct SUM/AVG view output.
+// `tables` must cover `required` (closed upward); a delta table may
+// stand in for the changed table.
+Result<Table> ComputeContributions(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& tables,
+    const std::set<std::string>& required);
+
+// Column-name constants of the contribution table.
+inline constexpr char kContribCountColumn[] = "__cnt";
+std::string ContribSumColumn(const std::string& output_name);
+// Present only for insert-only derivations: one MIN/MAX contribution
+// column per non-distinct MIN/MAX view output.
+std::string ContribMinMaxColumn(const std::string& output_name);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_RECONSTRUCT_H_

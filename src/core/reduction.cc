@@ -1,0 +1,30 @@
+#include "core/reduction.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+Result<LocalReduction> ComputeLocalReduction(const GpsjViewDef& def,
+                                             const Catalog& catalog,
+                                             const std::string& table) {
+  if (!def.ReferencesTable(table)) {
+    return InvalidArgumentError(
+        StrCat("table '", table, "' not referenced by view '", def.name(),
+               "'"));
+  }
+  LocalReduction out;
+  out.table = table;
+  std::set<std::string> seen;
+  for (const std::string& attr : def.PreservedAttrs(table)) {
+    if (seen.insert(attr).second) out.attrs.push_back(attr);
+  }
+  for (const std::string& attr : def.JoinAttrs(table, catalog)) {
+    if (seen.insert(attr).second) out.attrs.push_back(attr);
+  }
+  out.conditions = def.LocalConditions(table);
+  return out;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,38 @@
+// Local reductions (paper Sec. 2.2).
+//
+// Local reduction pushes projections and local selection conditions into
+// each base table's auxiliary view: only attributes preserved in V or
+// involved in join conditions are stored, and only tuples satisfying the
+// table's local conditions. (Unlike PSJ views, keys are *not* implicitly
+// required — the generalized projection handles duplicates.)
+
+#ifndef MINDETAIL_CORE_REDUCTION_H_
+#define MINDETAIL_CORE_REDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+// The outcome of local reduction on one base table.
+struct LocalReduction {
+  std::string table;
+  // Attributes retained (preserved-in-V first, then join attributes),
+  // deduplicated, in a stable order.
+  std::vector<std::string> attrs;
+  // The local selection conjunction pushed into the auxiliary view.
+  Conjunction conditions;
+};
+
+// Computes the local reduction of `table` under `def`.
+Result<LocalReduction> ComputeLocalReduction(const GpsjViewDef& def,
+                                             const Catalog& catalog,
+                                             const std::string& table);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_REDUCTION_H_

@@ -1,0 +1,148 @@
+#include "gpsj/aggregate.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+std::string AggregateSpec::ToString() const {
+  std::string expr;
+  if (fn == AggFn::kCountStar) {
+    expr = "COUNT(*)";
+  } else {
+    expr = StrCat(AggFnName(fn), "(", distinct ? "DISTINCT " : "",
+                  input.ToString(), ")");
+  }
+  return StrCat(expr, " AS ", output_name);
+}
+
+bool IsSmaUnderInsert(AggFn fn, bool distinct) {
+  if (distinct) return false;
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+    case AggFn::kSum:
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return true;
+    case AggFn::kAvg:
+      return false;
+  }
+  return false;
+}
+
+bool IsSmaUnderDelete(AggFn fn, bool distinct) {
+  if (distinct) return false;
+  return fn == AggFn::kCountStar || fn == AggFn::kCount;
+}
+
+bool IsSmasUnderDelete(AggFn fn, bool distinct) {
+  if (distinct) return false;
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+    case AggFn::kSum:  // With COUNT included.
+    case AggFn::kAvg:  // With COUNT and SUM included.
+      return true;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return false;
+  }
+  return false;
+}
+
+bool IsCsmasFn(AggFn fn, bool distinct) {
+  if (distinct) return false;
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      return true;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return false;
+  }
+  return false;
+}
+
+bool IsCsmas(const AggregateSpec& spec) {
+  return IsCsmasFn(spec.fn, spec.distinct);
+}
+
+bool IsCsmasUnderInsertOnly(const AggregateSpec& spec) {
+  if (IsCsmas(spec)) return true;
+  if (spec.distinct) return false;
+  return spec.fn == AggFn::kMin || spec.fn == AggFn::kMax;
+}
+
+std::string SumColumnName(const std::string& attr_name) {
+  return StrCat("sum_", attr_name);
+}
+
+std::vector<PhysicalAggregate> ReplacementSet(const AggregateSpec& spec,
+                                              const std::string& attr_name) {
+  std::vector<PhysicalAggregate> out;
+  if (!IsCsmas(spec)) {
+    // Non-CSMAS aggregates are not replaced (Table 2); the caller keeps
+    // the raw attribute instead.
+    PhysicalAggregate same;
+    same.fn = spec.fn;
+    same.input_attr = attr_name;
+    same.distinct = spec.distinct;
+    same.output_name = spec.output_name;
+    out.push_back(std::move(same));
+    return out;
+  }
+  switch (spec.fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      out.push_back(PhysicalAggregate{AggFn::kCountStar, "", false,
+                                      kCountStarColumn});
+      break;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      out.push_back(PhysicalAggregate{AggFn::kSum, attr_name, false,
+                                      SumColumnName(attr_name)});
+      out.push_back(PhysicalAggregate{AggFn::kCountStar, "", false,
+                                      kCountStarColumn});
+      break;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      break;  // Unreachable: filtered by IsCsmas above.
+  }
+  return out;
+}
+
+std::string Table1Row(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return "COUNT     | SMA: +/-  | SMAS: +/-";
+    case AggFn::kSum:
+      return "SUM       | SMA: +    | SMAS: +/-, if COUNT is included";
+    case AggFn::kAvg:
+      return "AVG       | not a SMA | SMAS: +/-, if COUNT and SUM are included";
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return "MAX/MIN   | SMA: +    | SMAS: +";
+  }
+  return "?";
+}
+
+std::string Table2Row(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return "COUNT     | replaced by COUNT(*)       | CSMAS";
+    case AggFn::kSum:
+      return "SUM       | replaced by SUM, COUNT(*)  | CSMAS";
+    case AggFn::kAvg:
+      return "AVG       | replaced by SUM, COUNT(*)  | CSMAS";
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return "MAX/MIN   | not replaced               | non-CSMAS";
+  }
+  return "?";
+}
+
+}  // namespace mindetail

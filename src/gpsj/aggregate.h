@@ -1,0 +1,97 @@
+// SQL aggregates and their self-maintainability classification
+// (paper Sec. 3.1, Tables 1 and 2).
+//
+// An aggregate f(a) is a *self-maintainable aggregate* (SMA) w.r.t. a
+// change kind if its new value can be computed from its old value and
+// the change alone. A *self-maintainable aggregate set* (SMAS) may rely
+// on other aggregates in the set (e.g. SUM is deletion-maintainable
+// when a COUNT is alongside it). A *completely self-maintainable
+// aggregate set* (CSMAS, Definition 1) is self-maintainable under both
+// insertions and deletions. DISTINCT makes any aggregate
+// non-distributive and therefore non-CSMAS.
+
+#ifndef MINDETAIL_GPSJ_AGGREGATE_H_
+#define MINDETAIL_GPSJ_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/ops.h"
+#include "relational/schema.h"
+
+namespace mindetail {
+
+// A view-level aggregate over a single base-table attribute
+// (paper Sec. 2.1: all aggregates are on single attributes).
+struct AggregateSpec {
+  AggFn fn = AggFn::kCountStar;
+  AttributeRef input;  // Ignored for kCountStar.
+  bool distinct = false;
+  std::string output_name;
+
+  // e.g. "SUM(sale.price) AS TotalPrice".
+  std::string ToString() const;
+
+  friend bool operator==(const AggregateSpec& a, const AggregateSpec& b) {
+    return a.fn == b.fn && a.input == b.input && a.distinct == b.distinct &&
+           a.output_name == b.output_name;
+  }
+};
+
+// --- Table 1: SMA / SMAS w.r.t. insertion and deletion -------------------
+
+// True iff f is a self-maintainable aggregate w.r.t. insertions.
+// COUNT, SUM, MIN, MAX qualify; AVG does not (it is not distributive on
+// its own); DISTINCT disqualifies everything.
+bool IsSmaUnderInsert(AggFn fn, bool distinct);
+
+// True iff f is a self-maintainable aggregate w.r.t. deletions on its
+// own. Only COUNT/COUNT(*) qualify.
+bool IsSmaUnderDelete(AggFn fn, bool distinct);
+
+// True iff f participates in a SMAS w.r.t. deletions given suitable
+// companions: COUNT alone; SUM if COUNT is included; AVG if COUNT and
+// SUM are included. MIN/MAX never.
+bool IsSmasUnderDelete(AggFn fn, bool distinct);
+
+// --- Table 2: CSMAS classification and replacement -----------------------
+
+// True iff the aggregate (after replacement) belongs to a completely
+// self-maintainable aggregate set: COUNT, SUM, AVG without DISTINCT.
+bool IsCsmas(const AggregateSpec& spec);
+bool IsCsmasFn(AggFn fn, bool distinct);
+
+// The relaxed classification for insert-only (append-only) detail data
+// (paper Sec. 4): with deletions impossible, an aggregate only has to
+// be self-maintainable under insertions, which admits MIN and MAX.
+// DISTINCT aggregates remain out (the distinct value set is unknown).
+bool IsCsmasUnderInsertOnly(const AggregateSpec& spec);
+
+// The distributive replacement set of Table 2, as physical aggregates
+// over the *unqualified* attribute name `attr_name`:
+//   COUNT(a)  -> { COUNT(*) }
+//   COUNT(*)  -> { COUNT(*) }
+//   SUM(a)    -> { SUM(a), COUNT(*) }
+//   AVG(a)    -> { SUM(a), COUNT(*) }
+//   MIN/MAX   -> not replaced (returned unchanged)
+// DISTINCT aggregates are never replaced.
+// Output names follow the convention "sum_<attr>" / "cnt0" so multiple
+// view aggregates over the same attribute share replacement columns.
+std::vector<PhysicalAggregate> ReplacementSet(const AggregateSpec& spec,
+                                              const std::string& attr_name);
+
+// Canonical replacement column names.
+std::string SumColumnName(const std::string& attr_name);
+// The COUNT(*) column every compressed auxiliary view carries
+// ("cnt0" when on the root table, paper Sec. 3.2).
+inline constexpr char kCountStarColumn[] = "cnt0";
+
+// Renders the classification row of paper Table 1 for `fn`
+// (benchmark/report support).
+std::string Table1Row(AggFn fn);
+// Renders the classification row of paper Table 2 for `fn`.
+std::string Table2Row(AggFn fn);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_GPSJ_AGGREGATE_H_

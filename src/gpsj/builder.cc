@@ -1,0 +1,378 @@
+#include "gpsj/builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+GpsjViewBuilder::GpsjViewBuilder(std::string view_name) {
+  def_.name_ = std::move(view_name);
+}
+
+GpsjViewBuilder& GpsjViewBuilder::From(const std::string& table) {
+  def_.tables_.push_back(table);
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::Where(const std::string& table,
+                                        const std::string& attr,
+                                        CompareOp op, Value constant) {
+  def_.local_conditions_[table].Add(
+      Condition{attr, op, std::move(constant)});
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::Join(const std::string& from_table,
+                                       const std::string& from_attr,
+                                       const std::string& to_table) {
+  def_.joins_.push_back(JoinEdge{from_table, from_attr, to_table});
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::GroupBy(const std::string& table,
+                                          const std::string& attr,
+                                          const std::string& output_name) {
+  def_.outputs_.push_back(OutputItem::GroupBy(
+      AttributeRef{table, attr},
+      output_name.empty() ? attr : output_name));
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::AddAggregate(
+    AggFn fn, const std::string& table, const std::string& attr,
+    bool distinct, const std::string& output_name) {
+  AggregateSpec spec;
+  spec.fn = fn;
+  spec.input = AttributeRef{table, attr};
+  spec.distinct = distinct;
+  spec.output_name = output_name;
+  def_.outputs_.push_back(OutputItem::Aggregate(std::move(spec)));
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::CountStar(const std::string& output_name) {
+  return AddAggregate(AggFn::kCountStar, "", "", false, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::Count(const std::string& table,
+                                        const std::string& attr,
+                                        const std::string& output_name) {
+  return AddAggregate(AggFn::kCount, table, attr, false, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::CountDistinct(
+    const std::string& table, const std::string& attr,
+    const std::string& output_name) {
+  return AddAggregate(AggFn::kCount, table, attr, true, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::Sum(const std::string& table,
+                                      const std::string& attr,
+                                      const std::string& output_name) {
+  return AddAggregate(AggFn::kSum, table, attr, false, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::SumDistinct(const std::string& table,
+                                              const std::string& attr,
+                                              const std::string& output_name) {
+  return AddAggregate(AggFn::kSum, table, attr, true, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::Avg(const std::string& table,
+                                      const std::string& attr,
+                                      const std::string& output_name) {
+  return AddAggregate(AggFn::kAvg, table, attr, false, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::Min(const std::string& table,
+                                      const std::string& attr,
+                                      const std::string& output_name) {
+  return AddAggregate(AggFn::kMin, table, attr, false, output_name);
+}
+GpsjViewBuilder& GpsjViewBuilder::Max(const std::string& table,
+                                      const std::string& attr,
+                                      const std::string& output_name) {
+  return AddAggregate(AggFn::kMax, table, attr, false, output_name);
+}
+
+GpsjViewBuilder& GpsjViewBuilder::Aggregate(AggregateSpec spec) {
+  def_.outputs_.push_back(OutputItem::Aggregate(std::move(spec)));
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::Having(const std::string& output_name,
+                                         CompareOp op, Value constant) {
+  def_.having_.push_back(
+      HavingCondition{output_name, op, std::move(constant)});
+  return *this;
+}
+
+namespace {
+
+// Registers `derived` on `table`, ignoring an exact re-declaration
+// (the SQL parser re-derives expressions repeated in HAVING).
+void AddDerived(std::map<std::string, std::vector<DerivedAttr>>* derived_map,
+                const std::string& table, DerivedAttr derived) {
+  std::vector<DerivedAttr>& list = (*derived_map)[table];
+  for (const DerivedAttr& existing : list) {
+    if (existing == derived) return;
+  }
+  list.push_back(std::move(derived));
+}
+
+}  // namespace
+
+GpsjViewBuilder& GpsjViewBuilder::Derive(const std::string& table,
+                                         const std::string& name,
+                                         const std::string& lhs,
+                                         DerivedAttr::Op op,
+                                         const std::string& rhs_attr) {
+  DerivedAttr derived;
+  derived.name = name;
+  derived.lhs = lhs;
+  derived.op = op;
+  derived.rhs_attr = rhs_attr;
+  AddDerived(&def_.derived_, table, std::move(derived));
+  return *this;
+}
+
+GpsjViewBuilder& GpsjViewBuilder::DeriveConst(const std::string& table,
+                                              const std::string& name,
+                                              const std::string& lhs,
+                                              DerivedAttr::Op op,
+                                              Value constant) {
+  DerivedAttr derived;
+  derived.name = name;
+  derived.lhs = lhs;
+  derived.op = op;
+  derived.rhs_constant = std::move(constant);
+  AddDerived(&def_.derived_, table, std::move(derived));
+  return *this;
+}
+
+namespace {
+
+// Resolves `ref` against a view table's schema in `catalog`, including
+// the view's derived attributes.
+Result<ValueType> ResolveAttr(const Catalog& catalog,
+                              const GpsjViewDef& def,
+                              const AttributeRef& ref) {
+  if (!def.ReferencesTable(ref.table)) {
+    return InvalidArgumentError(StrCat("view '", def.name(),
+                                       "' does not reference table '",
+                                       ref.table, "'"));
+  }
+  return def.AttrType(catalog, ref);
+}
+
+}  // namespace
+
+Result<GpsjViewDef> GpsjViewBuilder::Build(const Catalog& catalog) const {
+  const GpsjViewDef& def = def_;
+  if (def.tables().empty()) {
+    return InvalidArgumentError(
+        StrCat("view '", def.name(), "' references no tables"));
+  }
+  // Tables exist and are distinct (no self-joins, paper Sec. 3.3).
+  std::set<std::string> table_set;
+  for (const std::string& table : def.tables()) {
+    if (!catalog.HasTable(table)) {
+      return NotFoundError(StrCat("table '", table, "' not in catalog"));
+    }
+    if (!table_set.insert(table).second) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' referenced twice; self-joins are "
+                 "outside the supported GPSJ class"));
+    }
+  }
+
+  // Derived attributes: operands exist and are numeric; names are fresh.
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
+    std::set<std::string> derived_names;
+    for (const DerivedAttr& d : def.DerivedAttrsOf(table)) {
+      if (t->schema().Contains(d.name) ||
+          !derived_names.insert(d.name).second) {
+        return AlreadyExistsError(
+            StrCat("derived attribute '", d.name, "' collides with an "
+                   "existing attribute of '", table, "'"));
+      }
+      auto check_operand = [&](const std::string& attr) -> Status {
+        std::optional<size_t> idx = t->schema().IndexOf(attr);
+        if (!idx.has_value()) {
+          return NotFoundError(StrCat("derived attribute ", d.ToString(),
+                                      ": operand '", attr,
+                                      "' not in '", table, "'"));
+        }
+        if (t->schema().attribute(*idx).type == ValueType::kString) {
+          return InvalidArgumentError(
+              StrCat("derived attribute ", d.ToString(),
+                     ": operand '", attr, "' is not numeric"));
+        }
+        return Status::Ok();
+      };
+      MD_RETURN_IF_ERROR(check_operand(d.lhs));
+      if (!d.rhs_attr.empty()) {
+        MD_RETURN_IF_ERROR(check_operand(d.rhs_attr));
+      } else if (!d.rhs_constant.IsNumeric()) {
+        return InvalidArgumentError(
+            StrCat("derived attribute ", d.ToString(),
+                   ": constant operand must be numeric"));
+      }
+    }
+  }
+  // Derived attributes may not appear in selection or join conditions
+  // (they are computed after selection).
+  for (const auto& [table, conjunction] : def_.local_conditions_) {
+    for (const Condition& c : conjunction.conditions()) {
+      if (def.FindDerived(table, c.attr) != nullptr) {
+        return InvalidArgumentError(
+            StrCat("condition '", c.ToString(), "' references derived "
+                   "attribute '", c.attr, "'; conditions apply before "
+                   "derivation"));
+      }
+    }
+  }
+  for (const JoinEdge& edge : def.joins()) {
+    if (def.FindDerived(edge.from_table, edge.from_attr) != nullptr) {
+      return InvalidArgumentError(
+          StrCat("join ", edge.ToString(),
+                 " uses a derived attribute; joins are on base keys"));
+    }
+  }
+  // Tables named in derivations must be in the FROM list.
+  for (const auto& [table, derived] : def_.derived_) {
+    (void)derived;
+    if (table_set.count(table) == 0) {
+      return InvalidArgumentError(
+          StrCat("derived attribute declared on table '", table,
+                 "' which is not in the view's FROM list"));
+    }
+  }
+
+  // Local conditions type-check against their table's schema.
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
+    MD_RETURN_IF_ERROR(def.LocalConditions(table).Validate(t->schema()));
+  }
+  // Conditions must not name tables outside the FROM list.
+  for (const auto& [table, conjunction] : def_.local_conditions_) {
+    (void)conjunction;
+    if (table_set.count(table) == 0) {
+      return InvalidArgumentError(StrCat(
+          "local condition references table '", table,
+          "' which is not in the view's FROM list"));
+    }
+  }
+
+  // Join conditions: both sides referenced; from_attr exists; target is
+  // keyed and types match.
+  for (const JoinEdge& edge : def.joins()) {
+    if (table_set.count(edge.from_table) == 0 ||
+        table_set.count(edge.to_table) == 0) {
+      return InvalidArgumentError(StrCat(
+          "join ", edge.ToString(), " references a table outside the view"));
+    }
+    MD_ASSIGN_OR_RETURN(
+        ValueType from_type,
+        ResolveAttr(catalog, def,
+                    AttributeRef{edge.from_table, edge.from_attr}));
+    MD_ASSIGN_OR_RETURN(std::string key, catalog.KeyAttr(edge.to_table));
+    MD_ASSIGN_OR_RETURN(ValueType key_type,
+                        ResolveAttr(catalog, def,
+                                    AttributeRef{edge.to_table, key}));
+    if (from_type != key_type) {
+      return InvalidArgumentError(
+          StrCat("join ", edge.ToString(), " compares ",
+                 ValueTypeName(from_type), " with ",
+                 ValueTypeName(key_type)));
+    }
+  }
+
+  // Output items resolve; output names unique; aggregates well-typed;
+  // no superfluous aggregates (paper Sec. 2.1 assumption).
+  if (def.outputs().empty()) {
+    return InvalidArgumentError(
+        StrCat("view '", def.name(), "' projects nothing"));
+  }
+  std::set<std::string> output_names;
+  std::set<std::pair<std::string, std::string>> group_by_set;
+  for (const OutputItem& item : def.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      group_by_set.emplace(item.attr.table, item.attr.attr);
+    }
+  }
+  for (const OutputItem& item : def.outputs()) {
+    if (item.output_name.empty()) {
+      return InvalidArgumentError("output item lacks a name");
+    }
+    if (!output_names.insert(item.output_name).second) {
+      return AlreadyExistsError(
+          StrCat("duplicate output name '", item.output_name, "'"));
+    }
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      MD_RETURN_IF_ERROR(ResolveAttr(catalog, def, item.attr).status());
+      continue;
+    }
+    const AggregateSpec& agg = item.agg;
+    if (agg.fn == AggFn::kCountStar) continue;
+    MD_ASSIGN_OR_RETURN(ValueType input_type,
+                        ResolveAttr(catalog, def, agg.input));
+    if ((agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg) &&
+        input_type == ValueType::kString) {
+      return InvalidArgumentError(
+          StrCat(agg.ToString(), " aggregates a string attribute"));
+    }
+    if (group_by_set.count({agg.input.table, agg.input.attr}) > 0) {
+      return InvalidArgumentError(StrCat(
+          "superfluous aggregate ", agg.ToString(), ": its input is a "
+          "group-by attribute, so f(a) can be replaced by a (the paper "
+          "assumes no superfluous aggregates)"));
+    }
+  }
+
+  // HAVING conditions: resolve output positions and check types.
+  GpsjViewDef validated = def_;
+  validated.having_positions_.clear();
+  for (const HavingCondition& h : validated.having_) {
+    if (h.constant.is_null()) {
+      return InvalidArgumentError(
+          StrCat("HAVING ", h.ToString(), " compares against NULL"));
+    }
+    bool found = false;
+    for (size_t i = 0; i < validated.outputs_.size(); ++i) {
+      const OutputItem& item = validated.outputs_[i];
+      if (item.output_name != h.output_name) continue;
+      // Type compatibility: determine the output's value type.
+      ValueType out_type = ValueType::kDouble;
+      if (item.kind == OutputItem::Kind::kGroupBy) {
+        MD_ASSIGN_OR_RETURN(out_type,
+                            ResolveAttr(catalog, def, item.attr));
+      } else if (item.agg.fn == AggFn::kCountStar ||
+                 item.agg.fn == AggFn::kCount) {
+        out_type = ValueType::kInt64;
+      } else if (item.agg.fn == AggFn::kAvg) {
+        out_type = ValueType::kDouble;
+      } else {
+        MD_ASSIGN_OR_RETURN(out_type,
+                            ResolveAttr(catalog, def, item.agg.input));
+      }
+      const bool out_numeric = out_type == ValueType::kInt64 ||
+                               out_type == ValueType::kDouble;
+      const bool constant_numeric = h.constant.IsNumeric();
+      if (out_numeric != constant_numeric) {
+        return InvalidArgumentError(
+            StrCat("HAVING ", h.ToString(), " compares ",
+                   ValueTypeName(out_type), " with ",
+                   ValueTypeName(h.constant.type())));
+      }
+      validated.having_positions_.push_back(i);
+      found = true;
+      break;
+    }
+    if (!found) {
+      return NotFoundError(StrCat("HAVING references unknown output '",
+                                  h.output_name, "'"));
+    }
+  }
+
+  return validated;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,108 @@
+// Fluent construction of GPSJ view definitions.
+//
+// Example — the paper's Sec. 1.1 `product_sales` view:
+//
+//   GpsjViewBuilder b("product_sales");
+//   b.From("sale").From("time").From("product")
+//    .Where("time", "year", CompareOp::kEq, 1997)
+//    .Join("sale", "timeid", "time")
+//    .Join("sale", "productid", "product")
+//    .GroupBy("time", "month")
+//    .Sum("sale", "price", "TotalPrice")
+//    .CountStar("TotalCount")
+//    .CountDistinct("product", "brand", "DifferentBrands");
+//   Result<GpsjViewDef> view = b.Build(catalog);
+//
+// Build() validates everything against the catalog: table existence,
+// attribute resolution and typing, keyed join targets, local-condition
+// types, and the paper's well-formedness assumptions (Sec. 2.1): no
+// superfluous aggregates and SUM/AVG over numeric attributes.
+
+#ifndef MINDETAIL_GPSJ_BUILDER_H_
+#define MINDETAIL_GPSJ_BUILDER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+
+namespace mindetail {
+
+class GpsjViewBuilder {
+ public:
+  explicit GpsjViewBuilder(std::string view_name);
+
+  // Adds a base table to the FROM list.
+  GpsjViewBuilder& From(const std::string& table);
+
+  // Adds a local selection condition `table.attr op constant`.
+  GpsjViewBuilder& Where(const std::string& table, const std::string& attr,
+                         CompareOp op, Value constant);
+
+  // Adds a join condition `from_table.from_attr = to_table.<key>`.
+  GpsjViewBuilder& Join(const std::string& from_table,
+                        const std::string& from_attr,
+                        const std::string& to_table);
+
+  // Adds a group-by attribute (also projected, with optional output
+  // name defaulting to the attribute name).
+  GpsjViewBuilder& GroupBy(const std::string& table, const std::string& attr,
+                           const std::string& output_name = "");
+
+  // Aggregate outputs.
+  GpsjViewBuilder& CountStar(const std::string& output_name);
+  GpsjViewBuilder& Count(const std::string& table, const std::string& attr,
+                         const std::string& output_name);
+  GpsjViewBuilder& CountDistinct(const std::string& table,
+                                 const std::string& attr,
+                                 const std::string& output_name);
+  GpsjViewBuilder& Sum(const std::string& table, const std::string& attr,
+                       const std::string& output_name);
+  GpsjViewBuilder& SumDistinct(const std::string& table,
+                               const std::string& attr,
+                               const std::string& output_name);
+  GpsjViewBuilder& Avg(const std::string& table, const std::string& attr,
+                       const std::string& output_name);
+  GpsjViewBuilder& Min(const std::string& table, const std::string& attr,
+                       const std::string& output_name);
+  GpsjViewBuilder& Max(const std::string& table, const std::string& attr,
+                       const std::string& output_name);
+
+  // Adds a pre-built aggregate spec (used when deriving internal view
+  // variants from an existing definition).
+  GpsjViewBuilder& Aggregate(AggregateSpec spec);
+
+  // Adds a restriction on groups: `output_name op constant` over one of
+  // the view's output columns (HAVING). The referenced output must
+  // exist at Build() time.
+  GpsjViewBuilder& Having(const std::string& output_name, CompareOp op,
+                          Value constant);
+
+  // Declares a derived attribute `name` = `lhs op rhs_attr` on `table`
+  // (both operands numeric attributes of that table). The derived
+  // attribute can then feed aggregates and group-bys like any base
+  // attribute: e.g. Derive("sale", "revenue", "price",
+  // DerivedAttr::Op::kMul, "qty") then Sum("sale", "revenue", ...).
+  GpsjViewBuilder& Derive(const std::string& table, const std::string& name,
+                          const std::string& lhs, DerivedAttr::Op op,
+                          const std::string& rhs_attr);
+  // As Derive, with a numeric constant on the right.
+  GpsjViewBuilder& DeriveConst(const std::string& table,
+                               const std::string& name,
+                               const std::string& lhs, DerivedAttr::Op op,
+                               Value constant);
+
+  // Validates the accumulated definition against `catalog`.
+  Result<GpsjViewDef> Build(const Catalog& catalog) const;
+
+ private:
+  GpsjViewBuilder& AddAggregate(AggFn fn, const std::string& table,
+                                const std::string& attr, bool distinct,
+                                const std::string& output_name);
+
+  GpsjViewDef def_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_GPSJ_BUILDER_H_

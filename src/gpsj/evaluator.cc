@@ -1,0 +1,179 @@
+#include "gpsj/evaluator.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+namespace {
+
+// Renames and reorders `input`'s columns according to the view's output
+// items: group-by columns are looked up by their qualified name,
+// aggregates by their output name.
+Result<Table> ShapeOutput(const Table& input, const GpsjViewDef& def) {
+  std::vector<size_t> indexes;
+  std::vector<Attribute> attrs;
+  for (const OutputItem& item : def.outputs()) {
+    const std::string source_name =
+        item.kind == OutputItem::Kind::kGroupBy ? item.attr.ToString()
+                                                : item.output_name;
+    std::optional<size_t> idx = input.schema().IndexOf(source_name);
+    if (!idx.has_value()) {
+      return InternalError(
+          StrCat("evaluator lost column '", source_name, "'"));
+    }
+    indexes.push_back(*idx);
+    attrs.push_back(
+        Attribute{item.output_name, input.schema().attribute(*idx).type});
+  }
+  Table out(def.name(), Schema(std::move(attrs)));
+  out.set_allow_null(true);
+  for (const Tuple& row : input.rows()) {
+    Tuple shaped;
+    shaped.reserve(indexes.size());
+    for (size_t idx : indexes) shaped.push_back(row[idx]);
+    MD_RETURN_IF_ERROR(out.Insert(std::move(shaped)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> EvaluateJoinOver(
+    const std::map<std::string, const Table*>& tables,
+    const GpsjViewDef& def) {
+  // Locally select and qualify every referenced table.
+  std::map<std::string, Table> prepared;
+  for (const std::string& name : def.tables()) {
+    auto it = tables.find(name);
+    if (it == tables.end() || it->second == nullptr) {
+      return NotFoundError(StrCat("no table provided for '", name, "'"));
+    }
+    MD_ASSIGN_OR_RETURN(Table selected,
+                        Select(*it->second, def.LocalConditions(name)));
+    MD_ASSIGN_OR_RETURN(
+        selected, def.AppendDerivedColumns(name, std::move(selected)));
+    prepared.emplace(name, QualifyColumns(selected, name));
+  }
+
+  // Identify root(s): tables with no incoming join edge.
+  std::set<std::string> has_incoming;
+  for (const JoinEdge& edge : def.joins()) {
+    has_incoming.insert(edge.to_table);
+  }
+  std::vector<std::string> roots;
+  for (const std::string& name : def.tables()) {
+    if (has_incoming.count(name) == 0) roots.push_back(name);
+  }
+  if (def.tables().size() > 1 && roots.size() != 1) {
+    return FailedPreconditionError(StrCat(
+        "view '", def.name(), "' join graph is not a single-rooted tree (",
+        roots.size(), " roots)"));
+  }
+
+  Table current = std::move(prepared.at(def.tables().size() == 1
+                                            ? def.tables().front()
+                                            : roots.front()));
+  std::set<std::string> joined = {def.tables().size() == 1
+                                      ? def.tables().front()
+                                      : roots.front()};
+
+  // Repeatedly attach any table whose parent is already joined.
+  std::vector<JoinEdge> pending = def.joins();
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const JoinEdge& edge = pending[i];
+      if (joined.count(edge.from_table) == 0) continue;
+      if (joined.count(edge.to_table) > 0) {
+        return FailedPreconditionError(
+            StrCat("join graph of '", def.name(),
+                   "' is not a tree: '", edge.to_table,
+                   "' reached twice"));
+      }
+      // The target's key attribute is the first (and only) join column;
+      // reconstruct its qualified name from the prepared table schema.
+      const Table& target = prepared.at(edge.to_table);
+      // Join on from_table.from_attr = to_table.<key>. The key name is
+      // not stored in the edge; the caller's catalog knows it, but the
+      // qualified schema preserves position, so look it up via the
+      // provided base table's key index.
+      auto base_it = tables.find(edge.to_table);
+      std::optional<size_t> key_idx = base_it->second->key_index();
+      if (!key_idx.has_value()) {
+        return FailedPreconditionError(
+            StrCat("join target '", edge.to_table, "' has no key"));
+      }
+      const std::string right_attr =
+          target.schema().attribute(*key_idx).name;
+      MD_ASSIGN_OR_RETURN(
+          current,
+          HashJoin(current, target,
+                   StrCat(edge.from_table, ".", edge.from_attr),
+                   right_attr));
+      joined.insert(edge.to_table);
+      pending.erase(pending.begin() + i);
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      return FailedPreconditionError(
+          StrCat("join graph of '", def.name(),
+                 "' is disconnected or cyclic"));
+    }
+  }
+
+  if (joined.size() != def.tables().size()) {
+    return FailedPreconditionError(StrCat(
+        "view '", def.name(), "' joins ", joined.size(), " of ",
+        def.tables().size(), " referenced tables; cross products are "
+        "outside the supported GPSJ class"));
+  }
+  return current;
+}
+
+Result<Table> EvaluateGpsjOver(
+    const std::map<std::string, const Table*>& tables,
+    const GpsjViewDef& def) {
+  MD_ASSIGN_OR_RETURN(Table joined, EvaluateJoinOver(tables, def));
+
+  std::vector<std::string> group_attrs;
+  for (const AttributeRef& ref : def.GroupByAttrs()) {
+    group_attrs.push_back(ref.ToString());
+  }
+  std::vector<PhysicalAggregate> aggregates;
+  for (const AggregateSpec& spec : def.Aggregates()) {
+    PhysicalAggregate agg;
+    agg.fn = spec.fn;
+    agg.distinct = spec.distinct;
+    agg.output_name = spec.output_name;
+    if (spec.fn != AggFn::kCountStar) {
+      agg.input_attr = spec.input.ToString();
+    }
+    aggregates.push_back(std::move(agg));
+  }
+  MD_ASSIGN_OR_RETURN(Table grouped,
+                      GroupAggregate(joined, group_attrs, aggregates));
+  MD_ASSIGN_OR_RETURN(Table shaped, ShapeOutput(grouped, def));
+  if (def.having().empty()) return shaped;
+  Table filtered(def.name(), shaped.schema());
+  filtered.set_allow_null(true);
+  for (const Tuple& row : shaped.rows()) {
+    if (def.PassesHaving(row)) {
+      MD_RETURN_IF_ERROR(filtered.Insert(row));
+    }
+  }
+  return filtered;
+}
+
+Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def) {
+  std::map<std::string, const Table*> tables;
+  for (const std::string& name : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    tables.emplace(name, table);
+  }
+  return EvaluateGpsjOver(tables, def);
+}
+
+}  // namespace mindetail

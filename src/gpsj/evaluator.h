@@ -1,0 +1,39 @@
+// Direct evaluation of GPSJ views over base tables.
+//
+// This is the semantics-defining implementation: V = Π_A σ_S (R₁ ⋈ … Rₙ)
+// computed bottom-up with physical operators. The maintenance engine and
+// all tests use it as the correctness oracle, and the full-replication
+// baseline uses it for recomputation.
+
+#ifndef MINDETAIL_GPSJ_EVALUATOR_H_
+#define MINDETAIL_GPSJ_EVALUATOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+// Evaluates `def` over explicitly provided tables (one per referenced
+// base table, with the base-table schema). Output columns follow the
+// view's output order and names; rows are sorted for determinism.
+Result<Table> EvaluateGpsjOver(
+    const std::map<std::string, const Table*>& tables,
+    const GpsjViewDef& def);
+
+// Convenience: evaluates over the base tables in `catalog`.
+Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def);
+
+// The join of all referenced tables after local selections, with
+// qualified column names ("sale.price"), *before* generalized
+// projection. Exposed for the PSJ baseline and for tests.
+Result<Table> EvaluateJoinOver(
+    const std::map<std::string, const Table*>& tables,
+    const GpsjViewDef& def);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_GPSJ_EVALUATOR_H_

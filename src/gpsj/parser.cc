@@ -1,0 +1,648 @@
+#include "gpsj/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+#include "gpsj/builder.h"
+
+namespace mindetail {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokenType {
+  kIdent,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // One of . , ( ) * plus the comparison operators.
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Raw text; identifiers keep their original case.
+  std::string upper;  // Uppercased text for keyword matching.
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.type = TokenType::kEnd;
+        tokens.push_back(std::move(token));
+        return tokens;
+      }
+      const char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.type = TokenType::kIdent;
+        token.text = ReadWhile([](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+        });
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string digits = ReadWhile([](char ch) {
+          return std::isdigit(static_cast<unsigned char>(ch)) != 0;
+        });
+        if (!AtEnd() && Peek() == '.' && LookaheadIsDigit()) {
+          Advance();  // '.'
+          digits += '.';
+          digits += ReadWhile([](char ch) {
+            return std::isdigit(static_cast<unsigned char>(ch)) != 0;
+          });
+          token.type = TokenType::kFloat;
+        } else {
+          token.type = TokenType::kInteger;
+        }
+        token.text = std::move(digits);
+      } else if (c == '\'') {
+        Advance();
+        std::string value;
+        while (!AtEnd() && Peek() != '\'') {
+          value += Peek();
+          Advance();
+        }
+        if (AtEnd()) {
+          return InvalidArgumentError(
+              StrCat(token.line, ":", token.column,
+                     ": unterminated string literal"));
+        }
+        Advance();  // Closing quote.
+        token.type = TokenType::kString;
+        token.text = std::move(value);
+      } else if (c == '<' || c == '>' || c == '!' || c == '=') {
+        token.type = TokenType::kSymbol;
+        token.text += c;
+        Advance();
+        if (!AtEnd() && ((c == '<' && (Peek() == '=' || Peek() == '>')) ||
+                         (c == '>' && Peek() == '=') ||
+                         (c == '!' && Peek() == '='))) {
+          token.text += Peek();
+          Advance();
+        }
+        if (token.text == "!") {
+          return InvalidArgumentError(
+              StrCat(token.line, ":", token.column, ": stray '!'"));
+        }
+      } else if (c == '.' || c == ',' || c == '(' || c == ')' || c == '*' ||
+                 c == ';' || c == '+' || c == '-') {
+        token.type = TokenType::kSymbol;
+        token.text = std::string(1, c);
+        Advance();
+      } else {
+        return InvalidArgumentError(StrCat(token.line, ":", token.column,
+                                           ": unexpected character '", c,
+                                           "'"));
+      }
+      token.upper = token.text;
+      std::transform(token.upper.begin(), token.upper.end(),
+                     token.upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookaheadIsDigit() const {
+    return pos_ + 1 < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]));
+  }
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+  template <typename Pred>
+  std::string ReadWhile(Pred pred) {
+    std::string out;
+    while (!AtEnd() && pred(Peek())) {
+      out += Peek();
+      Advance();
+    }
+    return out;
+  }
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+        continue;
+      }
+      if (Peek() == '-' && pos_ + 1 < input_.size() &&
+          input_[pos_ + 1] == '-') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct QualAttr {
+  std::string table;
+  std::string attr;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Result<GpsjViewDef> Parse() {
+    MD_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    MD_RETURN_IF_ERROR(ExpectKeyword("VIEW"));
+    MD_ASSIGN_OR_RETURN(std::string view_name, ExpectIdent("view name"));
+    MD_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    MD_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    GpsjViewBuilder builder(view_name);
+
+    // SELECT items are buffered: plain items become group-bys once the
+    // GROUP BY clause confirms them; aggregates are appended in order.
+    struct PlainItem {
+      QualAttr attr;
+      std::string alias;
+      Token at;
+    };
+    std::vector<PlainItem> plain_items;
+    struct AggItem {
+      AggregateSpec spec;
+    };
+    std::vector<AggItem> agg_items;
+    std::vector<int> item_order;  // >=0: plain index; <0: ~agg index.
+    std::set<std::string> used_names;
+
+    while (true) {
+      const Token& token = Peek();
+      // An aggregate only when the function name is followed by '(' —
+      // a table could legitimately be named "sum".
+      const bool is_aggregate =
+          token.type == TokenType::kIdent && IsAggregateFn(token.upper) &&
+          pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].type == TokenType::kSymbol &&
+          tokens_[pos_ + 1].text == "(";
+      if (is_aggregate) {
+        MD_ASSIGN_OR_RETURN(AggregateSpec spec, ParseAggregate(&builder));
+        MD_ASSIGN_OR_RETURN(std::string alias, ParseOptionalAlias());
+        spec.output_name =
+            alias.empty() ? DefaultAggName(spec, used_names) : alias;
+        used_names.insert(spec.output_name);
+        item_order.push_back(~static_cast<int>(agg_items.size()));
+        agg_items.push_back(AggItem{std::move(spec)});
+      } else {
+        Token at = Peek();
+        MD_ASSIGN_OR_RETURN(QualAttr attr, ParseQualAttr());
+        MD_ASSIGN_OR_RETURN(std::string alias, ParseOptionalAlias());
+        if (alias.empty()) alias = attr.attr;
+        used_names.insert(alias);
+        item_order.push_back(static_cast<int>(plain_items.size()));
+        plain_items.push_back(PlainItem{std::move(attr), std::move(alias),
+                                        std::move(at)});
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    MD_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    std::vector<std::string> tables;
+    while (true) {
+      MD_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      tables.push_back(table);
+      builder.From(table);
+      if (!ConsumeSymbol(",")) break;
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      while (true) {
+        MD_RETURN_IF_ERROR(ParseCondition(&builder));
+        if (!ConsumeKeyword("AND")) break;
+      }
+    }
+
+    std::vector<QualAttr> group_by;
+    if (ConsumeKeyword("GROUP")) {
+      MD_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        MD_ASSIGN_OR_RETURN(QualAttr attr, ParseQualAttr());
+        group_by.push_back(std::move(attr));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+
+    // HAVING: conditions over output columns, referenced by alias, by
+    // group-by attribute, or by repeating an aggregate expression that
+    // also appears in SELECT.
+    if (ConsumeKeyword("HAVING")) {
+      while (true) {
+        const Token at = Peek();
+        std::string output_name;
+        const bool is_having_aggregate =
+            at.type == TokenType::kIdent && IsAggregateFn(at.upper) &&
+            pos_ + 1 < tokens_.size() &&
+            tokens_[pos_ + 1].type == TokenType::kSymbol &&
+            tokens_[pos_ + 1].text == "(";
+        if (is_having_aggregate) {
+          MD_ASSIGN_OR_RETURN(AggregateSpec spec, ParseAggregate(&builder));
+          bool matched = false;
+          for (const AggItem& item : agg_items) {
+            AggregateSpec candidate = item.spec;
+            AggregateSpec probe = spec;
+            probe.output_name = candidate.output_name;
+            if (probe == candidate) {
+              output_name = candidate.output_name;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            return Error(at,
+                         "HAVING aggregate must also appear in SELECT");
+          }
+        } else if (at.type == TokenType::kIdent && pos_ + 1 < tokens_.size() &&
+                   tokens_[pos_ + 1].type == TokenType::kSymbol &&
+                   tokens_[pos_ + 1].text == ".") {
+          MD_ASSIGN_OR_RETURN(QualAttr attr, ParseQualAttr());
+          bool matched = false;
+          for (const PlainItem& item : plain_items) {
+            if (item.attr.table == attr.table &&
+                item.attr.attr == attr.attr) {
+              output_name = item.alias;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            return Error(at, StrCat("HAVING references ", attr.table, ".",
+                                    attr.attr,
+                                    " which is not a selected group-by "
+                                    "attribute"));
+          }
+        } else {
+          MD_ASSIGN_OR_RETURN(output_name,
+                              ExpectIdent("an output column in HAVING"));
+        }
+
+        MD_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+        MD_ASSIGN_OR_RETURN(Value constant, ParseLiteral());
+        builder.Having(output_name, op, std::move(constant));
+        if (!ConsumeKeyword("AND")) break;
+      }
+    }
+    (void)ConsumeSymbol(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error(Peek(), "trailing input after the view definition");
+    }
+
+    // Generalized projection discipline: plain SELECT items are exactly
+    // the GROUP BY attributes.
+    auto in_group_by = [&group_by](const QualAttr& attr) {
+      for (const QualAttr& g : group_by) {
+        if (g.table == attr.table && g.attr == attr.attr) return true;
+      }
+      return false;
+    };
+    for (const PlainItem& item : plain_items) {
+      if (!in_group_by(item.attr)) {
+        return Error(item.at,
+                     StrCat("selected attribute ", item.attr.table, ".",
+                            item.attr.attr,
+                            " is not in GROUP BY (a GPSJ view projects "
+                            "exactly its grouping attributes)"));
+      }
+    }
+    for (const QualAttr& g : group_by) {
+      const bool selected =
+          std::any_of(plain_items.begin(), plain_items.end(),
+                      [&g](const PlainItem& item) {
+                        return item.attr.table == g.table &&
+                               item.attr.attr == g.attr;
+                      });
+      if (!selected) {
+        return InvalidArgumentError(
+            StrCat("GROUP BY attribute ", g.table, ".", g.attr,
+                   " is not selected (a GPSJ view projects its grouping "
+                   "attributes)"));
+      }
+    }
+
+    // Emit outputs in SELECT order.
+    for (int code : item_order) {
+      if (code >= 0) {
+        const PlainItem& item = plain_items[static_cast<size_t>(code)];
+        builder.GroupBy(item.attr.table, item.attr.attr, item.alias);
+      } else {
+        builder.Aggregate(agg_items[static_cast<size_t>(~code)].spec);
+      }
+    }
+    return builder.Build(catalog_);
+  }
+
+ private:
+  static bool IsAggregateFn(const std::string& upper) {
+    return upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+           upper == "MIN" || upper == "MAX";
+  }
+
+  static Status Error(const Token& token, std::string message) {
+    return InvalidArgumentError(
+        StrCat(token.line, ":", token.column, ": ", message,
+               token.type == TokenType::kEnd
+                   ? " (at end of input)"
+                   : StrCat(" (near '", token.text, "')")));
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (Peek().type == TokenType::kIdent && Peek().upper == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Error(Peek(), StrCat("expected ", keyword));
+    }
+    return Status::Ok();
+  }
+  bool ConsumeSymbol(const char* symbol) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Error(Peek(), StrCat("expected '", symbol, "'"));
+    }
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Error(Peek(), StrCat("expected ", what));
+    }
+    return Next().text;
+  }
+
+  Result<QualAttr> ParseQualAttr() {
+    MD_ASSIGN_OR_RETURN(std::string table,
+                        ExpectIdent("a table-qualified attribute"));
+    MD_RETURN_IF_ERROR(ExpectSymbol("."));
+    MD_ASSIGN_OR_RETURN(std::string attr, ExpectIdent("attribute name"));
+    return QualAttr{std::move(table), std::move(attr)};
+  }
+
+  Result<std::string> ParseOptionalAlias() {
+    if (ConsumeKeyword("AS")) {
+      return ExpectIdent("output name after AS");
+    }
+    return std::string();
+  }
+
+  // Parses `fn([DISTINCT] qualattr [arith (qualattr | number)])`.
+  // Arithmetic operands register a derived attribute on `builder` with
+  // a generated name (e.g. SUM(sale.price * sale.qty) aggregates the
+  // derived `price_mul_qty`).
+  Result<AggregateSpec> ParseAggregate(GpsjViewBuilder* builder) {
+    const Token fn_token = Next();
+    MD_RETURN_IF_ERROR(ExpectSymbol("("));
+    AggregateSpec spec;
+    if (fn_token.upper == "COUNT" && ConsumeSymbol("*")) {
+      spec.fn = AggFn::kCountStar;
+      MD_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return spec;
+    }
+    if (fn_token.upper == "COUNT") {
+      spec.fn = AggFn::kCount;
+    } else if (fn_token.upper == "SUM") {
+      spec.fn = AggFn::kSum;
+    } else if (fn_token.upper == "AVG") {
+      spec.fn = AggFn::kAvg;
+    } else if (fn_token.upper == "MIN") {
+      spec.fn = AggFn::kMin;
+    } else {
+      spec.fn = AggFn::kMax;
+    }
+    spec.distinct = ConsumeKeyword("DISTINCT");
+    const Token at = Peek();
+    MD_ASSIGN_OR_RETURN(QualAttr attr, ParseQualAttr());
+
+    // Optional arithmetic: attr (*|+|-) (attr | number).
+    std::optional<DerivedAttr::Op> op;
+    const char* op_name = "";
+    if (ConsumeSymbol("*")) {
+      op = DerivedAttr::Op::kMul;
+      op_name = "mul";
+    } else if (ConsumeSymbol("+")) {
+      op = DerivedAttr::Op::kAdd;
+      op_name = "add";
+    } else if (ConsumeSymbol("-")) {
+      op = DerivedAttr::Op::kSub;
+      op_name = "sub";
+    }
+    if (!op.has_value()) {
+      spec.input =
+          AttributeRef{std::move(attr.table), std::move(attr.attr)};
+      MD_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return spec;
+    }
+
+    std::string derived_name;
+    const Token& rhs = Peek();
+    if (rhs.type == TokenType::kInteger || rhs.type == TokenType::kFloat) {
+      Value constant =
+          rhs.type == TokenType::kInteger
+              ? Value(static_cast<int64_t>(std::stoll(rhs.text)))
+              : Value(std::stod(rhs.text));
+      ++pos_;
+      derived_name = StrCat(attr.attr, "_", op_name, "_",
+                            rhs.type == TokenType::kInteger
+                                ? rhs.text
+                                : StrCat("c", derived_counter_++));
+      builder->DeriveConst(attr.table, derived_name, attr.attr, *op,
+                           std::move(constant));
+    } else {
+      MD_ASSIGN_OR_RETURN(QualAttr rhs_attr, ParseQualAttr());
+      if (rhs_attr.table != attr.table) {
+        return Error(at,
+                     "expression operands must come from the same table");
+      }
+      derived_name = StrCat(attr.attr, "_", op_name, "_", rhs_attr.attr);
+      builder->Derive(attr.table, derived_name, attr.attr, *op,
+                      rhs_attr.attr);
+    }
+    spec.input = AttributeRef{attr.table, derived_name};
+    MD_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return spec;
+  }
+
+  static std::string DefaultAggName(const AggregateSpec& spec,
+                                    const std::set<std::string>& used) {
+    std::string base;
+    switch (spec.fn) {
+      case AggFn::kCountStar:
+        base = "cnt";
+        break;
+      case AggFn::kCount:
+        base = StrCat("count_", spec.input.attr);
+        break;
+      case AggFn::kSum:
+        base = StrCat("sum_", spec.input.attr);
+        break;
+      case AggFn::kAvg:
+        base = StrCat("avg_", spec.input.attr);
+        break;
+      case AggFn::kMin:
+        base = StrCat("min_", spec.input.attr);
+        break;
+      case AggFn::kMax:
+        base = StrCat("max_", spec.input.attr);
+        break;
+    }
+    std::string name = base;
+    int suffix = 2;
+    while (used.count(name) > 0) name = StrCat(base, suffix++);
+    return name;
+  }
+
+  // Parses an optionally negated numeric literal or a string literal.
+  Result<Value> ParseLiteral() {
+    bool negative = false;
+    if (Peek().type == TokenType::kSymbol && Peek().text == "-") {
+      negative = true;
+      ++pos_;
+    }
+    const Token& token = Peek();
+    if (token.type == TokenType::kInteger) {
+      const int64_t v = static_cast<int64_t>(std::stoll(token.text));
+      ++pos_;
+      return Value(negative ? -v : v);
+    }
+    if (token.type == TokenType::kFloat) {
+      const double v = std::stod(token.text);
+      ++pos_;
+      return Value(negative ? -v : v);
+    }
+    if (token.type == TokenType::kString && !negative) {
+      std::string text = token.text;
+      ++pos_;
+      return Value(std::move(text));
+    }
+    return Error(token, "expected a literal");
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    const Token& token = Peek();
+    if (token.type != TokenType::kSymbol) {
+      return Error(token, "expected a comparison operator");
+    }
+    CompareOp op;
+    if (token.text == "=") {
+      op = CompareOp::kEq;
+    } else if (token.text == "<>" || token.text == "!=") {
+      op = CompareOp::kNe;
+    } else if (token.text == "<") {
+      op = CompareOp::kLt;
+    } else if (token.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (token.text == ">") {
+      op = CompareOp::kGt;
+    } else if (token.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Error(token, "expected a comparison operator");
+    }
+    ++pos_;
+    return op;
+  }
+
+  // cond := qualattr op literal | qualattr "=" qualattr
+  Status ParseCondition(GpsjViewBuilder* builder) {
+    const Token at = Peek();
+    MD_ASSIGN_OR_RETURN(QualAttr lhs, ParseQualAttr());
+    const Token op_token = Peek();
+    MD_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+
+    const Token& rhs = Peek();
+    if (rhs.type == TokenType::kIdent) {
+      // Join condition: orient by which side names a primary key.
+      if (op != CompareOp::kEq) {
+        return Error(op_token, "join conditions must use '='");
+      }
+      MD_ASSIGN_OR_RETURN(QualAttr rhs_attr, ParseQualAttr());
+      MD_ASSIGN_OR_RETURN(bool rhs_is_key, IsKeyOf(rhs_attr));
+      if (rhs_is_key) {
+        builder->Join(lhs.table, lhs.attr, rhs_attr.table);
+        return Status::Ok();
+      }
+      MD_ASSIGN_OR_RETURN(bool lhs_is_key, IsKeyOf(lhs));
+      if (lhs_is_key) {
+        builder->Join(rhs_attr.table, rhs_attr.attr, lhs.table);
+        return Status::Ok();
+      }
+      return Error(at,
+                   StrCat("join condition ", lhs.table, ".", lhs.attr,
+                          " = ", rhs_attr.table, ".", rhs_attr.attr,
+                          " matches no primary key on either side (GPSJ "
+                          "views join on keys)"));
+    }
+
+    // Local condition.
+    MD_ASSIGN_OR_RETURN(Value constant, ParseLiteral());
+    builder->Where(lhs.table, lhs.attr, op, std::move(constant));
+    return Status::Ok();
+  }
+
+  Result<bool> IsKeyOf(const QualAttr& attr) const {
+    if (!catalog_.HasTable(attr.table)) return false;
+    Result<std::string> key = catalog_.KeyAttr(attr.table);
+    if (!key.ok()) return false;
+    return *key == attr.attr;
+  }
+
+  std::vector<Token> tokens_;
+  const Catalog& catalog_;
+  size_t pos_ = 0;
+  int derived_counter_ = 0;
+};
+
+}  // namespace
+
+Result<GpsjViewDef> ParseGpsjView(std::string_view sql,
+                                  const Catalog& catalog) {
+  Lexer lexer(sql);
+  MD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), catalog);
+  return parser.Parse();
+}
+
+}  // namespace mindetail

@@ -1,0 +1,58 @@
+// A parser for the GPSJ SQL fragment (paper Sec. 2.1), so views can be
+// declared exactly as the paper writes them:
+//
+//   CREATE VIEW product_sales AS
+//   SELECT time.month, SUM(sale.price) AS TotalPrice,
+//          COUNT(*) AS TotalCount,
+//          COUNT(DISTINCT product.brand) AS DifferentBrands
+//   FROM sale, time, product
+//   WHERE time.year = 1997
+//     AND sale.timeid = time.id
+//     AND sale.productid = product.id
+//   GROUP BY time.month
+//
+// Supported grammar (keywords case-insensitive):
+//
+//   statement   := CREATE VIEW ident AS select
+//   select      := SELECT item ("," item)*
+//                  FROM ident ("," ident)*
+//                  [WHERE cond (AND cond)*]
+//                  [GROUP BY qualattr ("," qualattr)*]
+//                  [HAVING havingref op literal (AND …)*]
+//   havingref   := ident            (an output alias)
+//                | qualattr         (a selected group-by attribute)
+//                | aggregate        (must also appear in SELECT)
+//   item        := qualattr [AS ident]
+//                | fn "(" [DISTINCT] qualattr ")" [AS ident]
+//                | COUNT "(" "*" ")" [AS ident]
+//   fn          := COUNT | SUM | AVG | MIN | MAX
+//   cond        := qualattr op literal      (local condition)
+//                | qualattr "=" qualattr    (join condition)
+//   op          := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+//   literal     := integer | float | "'" chars "'"
+//   qualattr    := ident "." ident
+//
+// Join conditions are oriented by the catalog: the side naming a
+// table's primary key becomes the join target (paper: every join is
+// Rᵢ.b = Rⱼ.a with a the key of Rⱼ). Plain SELECT items must appear in
+// GROUP BY and vice versa (generalized projection). Aggregates without
+// AS get names like "sum_price" / "cnt".
+
+#ifndef MINDETAIL_GPSJ_PARSER_H_
+#define MINDETAIL_GPSJ_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+
+namespace mindetail {
+
+// Parses one CREATE VIEW statement and validates it against `catalog`.
+// Errors carry 1-based line:column positions.
+Result<GpsjViewDef> ParseGpsjView(std::string_view sql,
+                                  const Catalog& catalog);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_GPSJ_PARSER_H_

@@ -1,0 +1,354 @@
+#include "gpsj/view_def.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+OutputItem OutputItem::GroupBy(AttributeRef ref, std::string output_name) {
+  OutputItem item;
+  item.kind = Kind::kGroupBy;
+  item.attr = std::move(ref);
+  item.output_name = std::move(output_name);
+  return item;
+}
+
+OutputItem OutputItem::Aggregate(AggregateSpec spec) {
+  OutputItem item;
+  item.kind = Kind::kAggregate;
+  item.output_name = spec.output_name;
+  item.agg = std::move(spec);
+  return item;
+}
+
+std::string OutputItem::ToString() const {
+  if (kind == Kind::kGroupBy) {
+    if (output_name == attr.attr) return attr.ToString();
+    return StrCat(attr.ToString(), " AS ", output_name);
+  }
+  return agg.ToString();
+}
+
+const Conjunction& GpsjViewDef::LocalConditions(
+    const std::string& table) const {
+  static const Conjunction kEmpty;
+  auto it = local_conditions_.find(table);
+  return it == local_conditions_.end() ? kEmpty : it->second;
+}
+
+bool GpsjViewDef::ReferencesTable(const std::string& table) const {
+  return std::find(tables_.begin(), tables_.end(), table) != tables_.end();
+}
+
+std::vector<AttributeRef> GpsjViewDef::GroupByAttrs() const {
+  std::vector<AttributeRef> out;
+  for (const OutputItem& item : outputs_) {
+    if (item.kind == OutputItem::Kind::kGroupBy) out.push_back(item.attr);
+  }
+  return out;
+}
+
+std::vector<AggregateSpec> GpsjViewDef::Aggregates() const {
+  std::vector<AggregateSpec> out;
+  for (const OutputItem& item : outputs_) {
+    if (item.kind == OutputItem::Kind::kAggregate) out.push_back(item.agg);
+  }
+  return out;
+}
+
+std::vector<std::string> GpsjViewDef::PreservedAttrs(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const OutputItem& item : outputs_) {
+    const AttributeRef* ref = nullptr;
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      ref = &item.attr;
+    } else if (item.agg.fn != AggFn::kCountStar) {
+      ref = &item.agg.input;
+    }
+    if (ref != nullptr && ref->table == table && seen.insert(ref->attr).second) {
+      out.push_back(ref->attr);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GpsjViewDef::JoinAttrs(const std::string& table,
+                                                const Catalog& catalog) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const JoinEdge& edge : joins_) {
+    if (edge.from_table == table && seen.insert(edge.from_attr).second) {
+      out.push_back(edge.from_attr);
+    }
+    if (edge.to_table == table) {
+      Result<std::string> key = catalog.KeyAttr(table);
+      MD_CHECK(key.ok());  // Validated at build time.
+      if (seen.insert(*key).second) out.push_back(*key);
+    }
+  }
+  return out;
+}
+
+bool GpsjViewDef::TableHasNonCsmasAttr(const std::string& table) const {
+  for (const OutputItem& item : outputs_) {
+    if (item.kind != OutputItem::Kind::kAggregate) continue;
+    const AggregateSpec& agg = item.agg;
+    if (agg.fn == AggFn::kCountStar) continue;
+    if (agg.input.table == table && !IsCsmas(agg)) return true;
+  }
+  return false;
+}
+
+bool GpsjViewDef::TableHasGroupByAttr(const std::string& table) const {
+  for (const OutputItem& item : outputs_) {
+    if (item.kind == OutputItem::Kind::kGroupBy && item.attr.table == table) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GpsjViewDef::TableKeyInGroupBy(const std::string& table,
+                                    const Catalog& catalog) const {
+  Result<std::string> key = catalog.KeyAttr(table);
+  if (!key.ok()) return false;
+  for (const OutputItem& item : outputs_) {
+    if (item.kind == OutputItem::Kind::kGroupBy &&
+        item.attr.table == table && item.attr.attr == *key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+const char* DerivedOpName(DerivedAttr::Op op) {
+  switch (op) {
+    case DerivedAttr::Op::kAdd:
+      return "+";
+    case DerivedAttr::Op::kSub:
+      return "-";
+    case DerivedAttr::Op::kMul:
+      return "*";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DerivedAttr::ToString() const {
+  return StrCat(name, " = ", lhs, " ", DerivedOpName(op), " ",
+                rhs_attr.empty() ? rhs_constant.ToString() : rhs_attr);
+}
+
+Value DerivedAttr::Eval(const Value& lhs_value,
+                        const Value& rhs_value) const {
+  if (lhs_value.is_null() || rhs_value.is_null()) return Value();
+  const bool both_int = lhs_value.type() == ValueType::kInt64 &&
+                        rhs_value.type() == ValueType::kInt64;
+  switch (op) {
+    case Op::kAdd:
+      return AddValues(lhs_value, rhs_value);
+    case Op::kSub:
+      return AddValues(lhs_value, NegateValue(rhs_value));
+    case Op::kMul:
+      if (both_int) {
+        return Value(lhs_value.AsInt64() * rhs_value.AsInt64());
+      }
+      return Value(lhs_value.NumericAsDouble() *
+                   rhs_value.NumericAsDouble());
+  }
+  return Value();
+}
+
+const std::vector<DerivedAttr>& GpsjViewDef::DerivedAttrsOf(
+    const std::string& table) const {
+  static const std::vector<DerivedAttr> kEmpty;
+  auto it = derived_.find(table);
+  return it == derived_.end() ? kEmpty : it->second;
+}
+
+const DerivedAttr* GpsjViewDef::FindDerived(const std::string& table,
+                                            const std::string& attr) const {
+  for (const DerivedAttr& d : DerivedAttrsOf(table)) {
+    if (d.name == attr) return &d;
+  }
+  return nullptr;
+}
+
+Result<ValueType> GpsjViewDef::AttrType(const Catalog& catalog,
+                                        const AttributeRef& ref) const {
+  MD_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(ref.table));
+  const DerivedAttr* derived = FindDerived(ref.table, ref.attr);
+  if (derived != nullptr) {
+    std::optional<size_t> lhs_idx = table->schema().IndexOf(derived->lhs);
+    if (!lhs_idx.has_value()) {
+      return NotFoundError(StrCat("derived operand '", derived->lhs,
+                                  "' missing from '", ref.table, "'"));
+    }
+    ValueType rhs_type = ValueType::kInt64;
+    if (derived->rhs_attr.empty()) {
+      rhs_type = derived->rhs_constant.type();
+    } else {
+      std::optional<size_t> rhs_idx =
+          table->schema().IndexOf(derived->rhs_attr);
+      if (!rhs_idx.has_value()) {
+        return NotFoundError(StrCat("derived operand '", derived->rhs_attr,
+                                    "' missing from '", ref.table, "'"));
+      }
+      rhs_type = table->schema().attribute(*rhs_idx).type;
+    }
+    const ValueType lhs_type = table->schema().attribute(*lhs_idx).type;
+    return lhs_type == ValueType::kInt64 && rhs_type == ValueType::kInt64
+               ? ValueType::kInt64
+               : ValueType::kDouble;
+  }
+  std::optional<size_t> idx = table->schema().IndexOf(ref.attr);
+  if (!idx.has_value()) {
+    return NotFoundError(
+        StrCat("attribute ", ref.ToString(), " does not exist"));
+  }
+  return table->schema().attribute(*idx).type;
+}
+
+Result<Table> GpsjViewDef::AppendDerivedColumns(const std::string& table,
+                                                Table input) const {
+  const std::vector<DerivedAttr>& derived = DerivedAttrsOf(table);
+  if (derived.empty()) return input;
+  std::vector<Attribute> attrs = input.schema().attributes();
+  struct Resolved {
+    size_t lhs_idx;
+    std::optional<size_t> rhs_idx;
+    const DerivedAttr* def;
+  };
+  std::vector<Resolved> resolved;
+  for (const DerivedAttr& d : derived) {
+    // Idempotent: inputs that already carry the derived column (e.g.
+    // PSJ detail tables, which store it) are left alone.
+    if (input.schema().Contains(d.name)) continue;
+    std::optional<size_t> lhs_idx = input.schema().IndexOf(d.lhs);
+    std::optional<size_t> rhs_idx =
+        d.rhs_attr.empty() ? std::nullopt
+                           : input.schema().IndexOf(d.rhs_attr);
+    if (!lhs_idx.has_value() ||
+        (!d.rhs_attr.empty() && !rhs_idx.has_value())) {
+      return NotFoundError(StrCat("derived attribute ", d.ToString(),
+                                  " references missing columns of '",
+                                  table, "'"));
+    }
+    // Determine the output type from the operand columns.
+    const ValueType lhs_type = input.schema().attribute(*lhs_idx).type;
+    const ValueType rhs_type =
+        d.rhs_attr.empty() ? d.rhs_constant.type()
+                           : input.schema().attribute(*rhs_idx).type;
+    attrs.push_back(Attribute{
+        d.name, lhs_type == ValueType::kInt64 &&
+                        rhs_type == ValueType::kInt64
+                    ? ValueType::kInt64
+                    : ValueType::kDouble});
+    resolved.push_back(Resolved{*lhs_idx, rhs_idx, &d});
+  }
+  Table out(input.name(), Schema(std::move(attrs)));
+  out.set_allow_null(true);
+  for (const Tuple& row : input.rows()) {
+    Tuple extended = row;
+    for (const Resolved& r : resolved) {
+      const Value& rhs = r.rhs_idx.has_value() ? row[*r.rhs_idx]
+                                               : r.def->rhs_constant;
+      Value computed = r.def->Eval(row[r.lhs_idx], rhs);
+      // Keep the declared column type stable: widen int results to
+      // double when the column is DOUBLE (mixed-type operands).
+      extended.push_back(std::move(computed));
+    }
+    MD_RETURN_IF_ERROR(out.Insert(std::move(extended)));
+  }
+  return out;
+}
+
+std::string HavingCondition::ToString() const {
+  return StrCat(output_name, " ", CompareOpName(op), " ",
+                constant.ToString());
+}
+
+bool GpsjViewDef::PassesHaving(const Tuple& row) const {
+  for (size_t i = 0; i < having_.size(); ++i) {
+    const size_t pos = having_positions_[i];
+    MD_CHECK_LT(pos, row.size());
+    if (row[pos].is_null()) return false;  // SQL: NULL fails HAVING.
+    if (!EvalCompare(having_[i].op, row[pos], having_[i].constant)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool GpsjViewDef::IsInsertOnly(const Catalog& catalog) const {
+  for (const std::string& table : tables_) {
+    if (!catalog.IsAppendOnly(table)) return false;
+  }
+  return !tables_.empty();
+}
+
+bool GpsjViewDef::TableHasEffectiveNonCsmasAttr(
+    const std::string& table, const Catalog& catalog) const {
+  const bool insert_only = IsInsertOnly(catalog);
+  for (const OutputItem& item : outputs_) {
+    if (item.kind != OutputItem::Kind::kAggregate) continue;
+    const AggregateSpec& agg = item.agg;
+    if (agg.fn == AggFn::kCountStar) continue;
+    if (agg.input.table != table) continue;
+    const bool maintainable =
+        insert_only ? IsCsmasUnderInsertOnly(agg) : IsCsmas(agg);
+    if (!maintainable) return true;
+  }
+  return false;
+}
+
+std::string GpsjViewDef::ToSqlString() const {
+  std::vector<std::string> select_items;
+  std::vector<std::string> group_items;
+  for (const OutputItem& item : outputs_) {
+    select_items.push_back(item.ToString());
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      group_items.push_back(item.attr.ToString());
+    }
+  }
+
+  std::vector<std::string> where_items;
+  for (const auto& [table, conjunction] : local_conditions_) {
+    for (const Condition& c : conjunction.conditions()) {
+      where_items.push_back(StrCat(table, ".", c.ToString()));
+    }
+  }
+  for (const JoinEdge& edge : joins_) {
+    where_items.push_back(StrCat(edge.from_table, ".", edge.from_attr, " = ",
+                                 edge.to_table, ".<key>"));
+  }
+
+  std::string sql = StrCat("CREATE VIEW ", name_, " AS\nSELECT ",
+                           Join(select_items, ",\n       "), "\nFROM ",
+                           Join(tables_, ", "));
+  if (!where_items.empty()) {
+    sql += StrCat("\nWHERE ", Join(where_items, "\n  AND "));
+  }
+  if (!group_items.empty()) {
+    sql += StrCat("\nGROUP BY ", Join(group_items, ", "));
+  }
+  if (!having_.empty()) {
+    std::vector<std::string> having_items;
+    having_items.reserve(having_.size());
+    for (const HavingCondition& h : having_) {
+      having_items.push_back(h.ToString());
+    }
+    sql += StrCat("\nHAVING ", Join(having_items, " AND "));
+  }
+  return sql;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,196 @@
+// GPSJ view definitions (paper Sec. 2.1).
+//
+// A GPSJ view is  V = Π_A σ_S (R₁ ⋈_{C₁} R₂ ⋈_{C₂} … ⋈_{Cₙ₋₁} Rₙ)
+// where Π_A is a generalized projection (group-by attributes plus
+// aggregates), S is a conjunction of local selection conditions, and
+// every join condition Cᵢ is Rᵢ.b = Rⱼ.a with `a` the key of Rⱼ.
+
+#ifndef MINDETAIL_GPSJ_VIEW_DEF_H_
+#define MINDETAIL_GPSJ_VIEW_DEF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpsj/aggregate.h"
+#include "relational/catalog.h"
+#include "relational/predicate.h"
+
+namespace mindetail {
+
+// A join condition Rᵢ.b = Rⱼ.a where a is the key of Rⱼ; in the extended
+// join graph this is the directed edge e(Rᵢ, Rⱼ).
+struct JoinEdge {
+  std::string from_table;  // Rᵢ
+  std::string from_attr;   // b
+  std::string to_table;    // Rⱼ (always joined on its primary key)
+
+  // e.g. "sale.timeid = time.id" (key name filled by the caller).
+  std::string ToString() const {
+    return from_table + "." + from_attr + " = " + to_table + ".<key>";
+  }
+
+  friend bool operator==(const JoinEdge& a, const JoinEdge& b) {
+    return a.from_table == b.from_table && a.from_attr == b.from_attr &&
+           a.to_table == b.to_table;
+  }
+};
+
+// One column of V's output: a group-by attribute or an aggregate.
+struct OutputItem {
+  enum class Kind { kGroupBy, kAggregate };
+
+  Kind kind = Kind::kGroupBy;
+  AttributeRef attr;  // Valid when kind == kGroupBy.
+  AggregateSpec agg;  // Valid when kind == kAggregate.
+  std::string output_name;
+
+  static OutputItem GroupBy(AttributeRef ref, std::string output_name);
+  static OutputItem Aggregate(AggregateSpec spec);
+
+  std::string ToString() const;
+};
+
+// A derived attribute (the paper's Sec. 4 "general expressions in the
+// select clause", in the arithmetic-over-one-table form): a per-row
+// expression `lhs op rhs` where both operands are numeric attributes of
+// the same table, or the right side is a numeric constant. A derived
+// attribute behaves like a real attribute of its table everywhere
+// downstream — it can feed aggregates or group-bys, is carried through
+// local reduction, and compresses like any other column. It cannot be
+// used in selection or join conditions.
+struct DerivedAttr {
+  enum class Op { kAdd, kSub, kMul };
+
+  std::string name;
+  std::string lhs;       // A base attribute of the table.
+  Op op = Op::kMul;
+  std::string rhs_attr;  // Base attribute; empty when rhs_constant set.
+  Value rhs_constant;    // Numeric constant; used iff rhs_attr is empty.
+
+  // e.g. "revenue = price * qty".
+  std::string ToString() const;
+
+  // Evaluates over resolved operand values. NULL operands propagate.
+  Value Eval(const Value& lhs_value, const Value& rhs_value) const;
+
+  friend bool operator==(const DerivedAttr& a, const DerivedAttr& b) {
+    return a.name == b.name && a.lhs == b.lhs && a.op == b.op &&
+           a.rhs_attr == b.rhs_attr &&
+           a.rhs_constant.Compare(b.rhs_constant) == 0;
+  }
+};
+
+// A restriction on groups (HAVING clause — the paper's Sec. 4 noted
+// extension): `output_name op constant` over one of the view's output
+// columns. Groups failing the conjunction are withheld from the view's
+// contents, but their state is still maintained — a group may
+// re-qualify after later changes.
+struct HavingCondition {
+  std::string output_name;
+  CompareOp op = CompareOp::kGt;
+  Value constant;
+
+  std::string ToString() const;
+};
+
+// An immutable, validated GPSJ view definition. Construct through
+// GpsjViewBuilder (builder.h), which performs all validation.
+class GpsjViewDef {
+ public:
+  GpsjViewDef() = default;
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& tables() const { return tables_; }
+  const std::vector<OutputItem>& outputs() const { return outputs_; }
+  const std::vector<JoinEdge>& joins() const { return joins_; }
+  const std::vector<HavingCondition>& having() const { return having_; }
+
+  // True iff `row` (shaped as this view's outputs) passes every HAVING
+  // condition.
+  bool PassesHaving(const Tuple& row) const;
+
+  // Derived attributes declared for `table` (empty if none).
+  const std::vector<DerivedAttr>& DerivedAttrsOf(
+      const std::string& table) const;
+  // The derived attribute `attr` of `table`, or nullptr.
+  const DerivedAttr* FindDerived(const std::string& table,
+                                 const std::string& attr) const;
+
+  // The value type of `ref` under this view: a derived attribute's
+  // computed type (INT64 if both operands are INT64, else DOUBLE) or
+  // the base-table column type.
+  Result<ValueType> AttrType(const Catalog& catalog,
+                             const AttributeRef& ref) const;
+
+  // Appends the derived columns of `table` to `input`, which must have
+  // the base-table schema (post-selection). Returns `input` unchanged
+  // when the table has no derived attributes.
+  Result<Table> AppendDerivedColumns(const std::string& table,
+                                     Table input) const;
+
+  // The local selection conjunction for `table` (empty/TRUE if none).
+  const Conjunction& LocalConditions(const std::string& table) const;
+
+  bool ReferencesTable(const std::string& table) const;
+
+  // Group-by attributes, in output order.
+  std::vector<AttributeRef> GroupByAttrs() const;
+  // Aggregates, in output order.
+  std::vector<AggregateSpec> Aggregates() const;
+
+  // Attributes of `table` that are *preserved* in V — appearing in A as
+  // group-by attributes or inside aggregates (paper Sec. 2.1).
+  std::vector<std::string> PreservedAttrs(const std::string& table) const;
+
+  // Attributes of `table` involved in join conditions: its `from_attr`s
+  // plus its key when some other table joins to it.
+  std::vector<std::string> JoinAttrs(const std::string& table,
+                                     const Catalog& catalog) const;
+
+  // True iff some attribute of `table` is used in a non-CSMAS aggregate
+  // (MIN/MAX or any DISTINCT aggregate) — blocks auxiliary-view
+  // elimination (paper Sec. 3.3) and duplicate compression of that
+  // attribute (Algorithm 3.1).
+  bool TableHasNonCsmasAttr(const std::string& table) const;
+
+  // True iff `table` contributes a group-by attribute ("g" annotation,
+  // Definition 2).
+  bool TableHasGroupByAttr(const std::string& table) const;
+
+  // True iff the key of `table` is among the group-by attributes
+  // ("k" annotation, Definition 2).
+  bool TableKeyInGroupBy(const std::string& table,
+                         const Catalog& catalog) const;
+
+  // A readable CREATE VIEW rendering in the paper's SQL style.
+  std::string ToSqlString() const;
+
+  // True iff every referenced base table is flagged append-only in the
+  // catalog — the "old detail data" setting of paper Sec. 4, in which
+  // the relaxed (insert-only) CSMA classification applies.
+  bool IsInsertOnly(const Catalog& catalog) const;
+
+  // As TableHasNonCsmasAttr, but under the classification effective for
+  // this view: the relaxed insert-only classification when
+  // IsInsertOnly(catalog), the standard one otherwise.
+  bool TableHasEffectiveNonCsmasAttr(const std::string& table,
+                                     const Catalog& catalog) const;
+
+ private:
+  friend class GpsjViewBuilder;
+
+  std::string name_;
+  std::vector<std::string> tables_;
+  std::vector<OutputItem> outputs_;
+  std::map<std::string, Conjunction> local_conditions_;
+  std::vector<JoinEdge> joins_;
+  std::vector<HavingCondition> having_;
+  // Cached output positions for PassesHaving (parallel to having_).
+  std::vector<size_t> having_positions_;
+  std::map<std::string, std::vector<DerivedAttr>> derived_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_GPSJ_VIEW_DEF_H_

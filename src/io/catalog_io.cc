@@ -1,0 +1,177 @@
+#include "io/catalog_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+#include "io/csv.h"
+
+namespace mindetail {
+namespace {
+
+Result<ValueType> ParseValueType(const std::string& name, size_t line) {
+  if (name == "INT64") return ValueType::kInt64;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  return InvalidArgumentError(
+      StrCat("manifest line ", line, ": unknown type '", name, "'"));
+}
+
+}  // namespace
+
+Status WriteManifest(const Catalog& catalog, std::ostream& out) {
+  out << "# mindetail catalog manifest\n";
+  for (const std::string& table : catalog.TableNames()) {
+    Result<const Table*> t = catalog.GetTable(table);
+    MD_RETURN_IF_ERROR(t.status());
+    Result<std::string> key = catalog.KeyAttr(table);
+    MD_RETURN_IF_ERROR(key.status());
+    out << "TABLE " << table << " KEY " << *key << "\n";
+    for (const Attribute& attr : (*t)->schema().attributes()) {
+      out << "COL " << table << " " << attr.name << " "
+          << ValueTypeName(attr.type) << "\n";
+    }
+  }
+  for (const ForeignKey& fk : catalog.foreign_keys()) {
+    out << "FK " << fk.from_table << " " << fk.from_attr << " "
+        << fk.to_table << "\n";
+  }
+  for (const std::string& table : catalog.TableNames()) {
+    if (catalog.HasExposedUpdates(table)) out << "EXPOSED " << table << "\n";
+    if (catalog.IsAppendOnly(table)) out << "APPEND_ONLY " << table << "\n";
+  }
+  if (!out.good()) return InternalError("manifest write failed");
+  return Status::Ok();
+}
+
+Result<Catalog> ReadManifest(std::istream& in) {
+  // Collected first; tables are created once all their COLs are seen.
+  struct PendingTable {
+    std::string key;
+    std::vector<Attribute> columns;
+  };
+  std::map<std::string, PendingTable> pending;
+  std::vector<std::string> order;
+  std::vector<ForeignKey> fks;
+  std::vector<std::string> exposed;
+  std::vector<std::string> append_only;
+
+  std::string line_text;
+  size_t line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    if (line_text.empty() || line_text[0] == '#') continue;
+    std::istringstream fields(line_text);
+    std::string directive;
+    fields >> directive;
+    if (directive == "TABLE") {
+      std::string table, kw, key;
+      fields >> table >> kw >> key;
+      if (table.empty() || kw != "KEY" || key.empty()) {
+        return InvalidArgumentError(
+            StrCat("manifest line ", line, ": malformed TABLE directive"));
+      }
+      if (pending.count(table) > 0) {
+        return InvalidArgumentError(
+            StrCat("manifest line ", line, ": duplicate table '", table,
+                   "'"));
+      }
+      pending[table].key = key;
+      order.push_back(table);
+    } else if (directive == "COL") {
+      std::string table, attr, type_name;
+      fields >> table >> attr >> type_name;
+      auto it = pending.find(table);
+      if (it == pending.end()) {
+        return InvalidArgumentError(
+            StrCat("manifest line ", line, ": COL before TABLE for '",
+                   table, "'"));
+      }
+      MD_ASSIGN_OR_RETURN(ValueType type, ParseValueType(type_name, line));
+      it->second.columns.push_back(Attribute{attr, type});
+    } else if (directive == "FK") {
+      ForeignKey fk;
+      fields >> fk.from_table >> fk.from_attr >> fk.to_table;
+      if (fk.to_table.empty()) {
+        return InvalidArgumentError(
+            StrCat("manifest line ", line, ": malformed FK directive"));
+      }
+      fks.push_back(std::move(fk));
+    } else if (directive == "EXPOSED") {
+      std::string table;
+      fields >> table;
+      exposed.push_back(table);
+    } else if (directive == "APPEND_ONLY") {
+      std::string table;
+      fields >> table;
+      append_only.push_back(table);
+    } else {
+      return InvalidArgumentError(StrCat("manifest line ", line,
+                                         ": unknown directive '",
+                                         directive, "'"));
+    }
+  }
+
+  Catalog catalog;
+  for (const std::string& table : order) {
+    const PendingTable& spec = pending.at(table);
+    if (spec.columns.empty()) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' has no columns in the manifest"));
+    }
+    MD_RETURN_IF_ERROR(
+        catalog.CreateTable(table, Schema(spec.columns), spec.key));
+  }
+  for (const ForeignKey& fk : fks) {
+    MD_RETURN_IF_ERROR(
+        catalog.AddForeignKey(fk.from_table, fk.from_attr, fk.to_table));
+  }
+  for (const std::string& table : exposed) {
+    MD_RETURN_IF_ERROR(catalog.SetExposedUpdates(table, true));
+  }
+  for (const std::string& table : append_only) {
+    MD_RETURN_IF_ERROR(catalog.SetAppendOnly(table, true));
+  }
+  return catalog;
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
+  {
+    std::ofstream out(StrCat(dir, "/", kCatalogManifest),
+                      std::ios::binary);
+    if (!out.is_open()) {
+      return NotFoundError(
+          StrCat("cannot write manifest in '", dir, "'"));
+    }
+    MD_RETURN_IF_ERROR(WriteManifest(catalog, out));
+  }
+  for (const std::string& table : catalog.TableNames()) {
+    MD_ASSIGN_OR_RETURN(const Table* t, catalog.GetTable(table));
+    MD_RETURN_IF_ERROR(
+        WriteTableCsvFile(*t, StrCat(dir, "/", table, ".csv")));
+  }
+  return Status::Ok();
+}
+
+Result<Catalog> LoadCatalog(const std::string& dir) {
+  Catalog catalog;
+  {
+    std::ifstream in(StrCat(dir, "/", kCatalogManifest), std::ios::binary);
+    if (!in.is_open()) {
+      return NotFoundError(StrCat("no catalog manifest in '", dir, "'"));
+    }
+    MD_ASSIGN_OR_RETURN(catalog, ReadManifest(in));
+  }
+  for (const std::string& table : catalog.TableNames()) {
+    MD_ASSIGN_OR_RETURN(Table* t, catalog.MutableTable(table));
+    MD_ASSIGN_OR_RETURN(
+        Table loaded,
+        ReadTableCsvFile(StrCat(dir, "/", table, ".csv"), table,
+                         t->schema(), t->key_attr()));
+    *t = std::move(loaded);
+  }
+  return catalog;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,43 @@
+// Catalog persistence: a text manifest (schemas, keys, integrity
+// metadata) plus one CSV file per table.
+//
+// Manifest format (one directive per line, '#' comments):
+//
+//   TABLE sale KEY id
+//   COL sale id INT64
+//   COL sale price DOUBLE
+//   FK sale timeid time
+//   EXPOSED time
+//   APPEND_ONLY archive
+//
+// Directives may appear in any order except that COL/FK/EXPOSED/
+// APPEND_ONLY must follow the TABLE lines they reference.
+
+#ifndef MINDETAIL_IO_CATALOG_IO_H_
+#define MINDETAIL_IO_CATALOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+// File name of the manifest inside a catalog directory.
+inline constexpr char kCatalogManifest[] = "catalog.manifest";
+
+// Writes `<dir>/catalog.manifest` and `<dir>/<table>.csv` for every
+// table. The directory must exist.
+Status SaveCatalog(const Catalog& catalog, const std::string& dir);
+
+// Rebuilds a catalog from a directory written by SaveCatalog.
+Result<Catalog> LoadCatalog(const std::string& dir);
+
+// Manifest-only variants (streams), exposed for testing.
+Status WriteManifest(const Catalog& catalog, std::ostream& out);
+Result<Catalog> ReadManifest(std::istream& in);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_IO_CATALOG_IO_H_

@@ -1,0 +1,229 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace mindetail {
+namespace {
+
+void AppendField(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      break;  // Empty field.
+    case ValueType::kInt64:
+      out->append(std::to_string(value.AsInt64()));
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g",
+                    std::numeric_limits<double>::max_digits10,
+                    value.AsDouble());
+      out->append(buf);
+      break;
+    }
+    case ValueType::kString: {
+      out->push_back('"');
+      for (char c : value.AsString()) {
+        if (c == '"') out->push_back('"');
+        out->push_back(c);
+      }
+      out->push_back('"');
+      break;
+    }
+  }
+}
+
+// Splits one logical CSV record into fields. Returns false on a quoting
+// error. Quoted fields may contain commas, quotes (doubled) and
+// newlines — the caller hands in a complete record.
+bool SplitRecord(const std::string& record,
+                 std::vector<std::pair<std::string, bool>>* fields) {
+  fields->clear();
+  std::string current;
+  bool quoted_field = false;
+  size_t i = 0;
+  bool in_quotes = false;
+  while (i <= record.size()) {
+    if (i == record.size()) {
+      if (in_quotes) return false;
+      fields->emplace_back(std::move(current), quoted_field);
+      break;
+    }
+    const char c = record[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty() && !quoted_field) {
+      in_quotes = true;
+      quoted_field = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->emplace_back(std::move(current), quoted_field);
+      current.clear();
+      quoted_field = false;
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  return true;
+}
+
+// Reads one logical record (handling newlines inside quotes). Returns
+// false at end of input.
+bool ReadRecord(std::istream& in, std::string* record) {
+  record->clear();
+  std::string line;
+  bool got_any = false;
+  while (std::getline(in, line)) {
+    got_any = true;
+    if (!record->empty()) record->push_back('\n');
+    record->append(line);
+    // Balanced quotes → the record is complete.
+    size_t quotes = 0;
+    for (char c : *record) {
+      if (c == '"') ++quotes;
+    }
+    if (quotes % 2 == 0) return true;
+  }
+  return got_any;
+}
+
+Result<Value> ParseField(const std::string& text, bool quoted,
+                         ValueType type, size_t line) {
+  if (quoted) {
+    if (type != ValueType::kString) {
+      return InvalidArgumentError(StrCat(
+          "line ", line, ": quoted value where ", ValueTypeName(type),
+          " expected"));
+    }
+    return Value(text);
+  }
+  if (text.empty()) return Value();  // NULL.
+  switch (type) {
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return InvalidArgumentError(
+            StrCat("line ", line, ": '", text, "' is not an integer"));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return InvalidArgumentError(
+            StrCat("line ", line, ": '", text, "' is not a number"));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return InvalidArgumentError(
+          StrCat("line ", line, ": unquoted value '", text,
+                 "' where a string was expected"));
+    case ValueType::kNull:
+      break;
+  }
+  return InvalidArgumentError(StrCat("line ", line, ": bad field"));
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, std::ostream& out) {
+  std::string buffer;
+  for (const Tuple& row : table.rows()) {
+    buffer.clear();
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) buffer.push_back(',');
+      AppendField(row[i], &buffer);
+    }
+    buffer.push_back('\n');
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  }
+  if (!out.good()) return InternalError("CSV write failed");
+  return Status::Ok();
+}
+
+Status WriteTableCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return NotFoundError(StrCat("cannot open '", path, "' for writing"));
+  }
+  return WriteTableCsv(table, out);
+}
+
+Result<Table> ReadTableCsv(std::istream& in, const std::string& name,
+                           const Schema& schema,
+                           const std::optional<std::string>& key_attr,
+                           bool allow_null) {
+  Table table(name, schema);
+  if (key_attr.has_value()) {
+    MD_ASSIGN_OR_RETURN(table, Table::WithKey(name, schema, *key_attr));
+  }
+  table.set_allow_null(allow_null);
+
+  std::string record;
+  std::vector<std::pair<std::string, bool>> fields;
+  size_t line = 0;
+  while (ReadRecord(in, &record)) {
+    ++line;
+    if (record.empty()) continue;
+    if (!SplitRecord(record, &fields)) {
+      return InvalidArgumentError(
+          StrCat("line ", line, ": unbalanced quotes"));
+    }
+    if (fields.size() != schema.size()) {
+      return InvalidArgumentError(
+          StrCat("line ", line, ": ", fields.size(), " fields, schema has ",
+                 schema.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      MD_ASSIGN_OR_RETURN(
+          Value value,
+          ParseField(fields[i].first, fields[i].second,
+                     schema.attribute(i).type, line));
+      row.push_back(std::move(value));
+    }
+    MD_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadTableCsvFile(const std::string& path,
+                               const std::string& name,
+                               const Schema& schema,
+                               const std::optional<std::string>& key_attr,
+                               bool allow_null) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  return ReadTableCsv(in, name, schema, key_attr, allow_null);
+}
+
+}  // namespace mindetail

@@ -1,0 +1,39 @@
+// CSV serialization for tables.
+//
+// Format: no header row (the schema travels in the catalog manifest or
+// is supplied by the caller). Strings are always double-quoted with ""
+// escaping; numbers are unquoted; NULL is the empty unquoted field.
+// Doubles round-trip via max_digits10 formatting.
+
+#ifndef MINDETAIL_IO_CSV_H_
+#define MINDETAIL_IO_CSV_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// Writes all rows of `table` as CSV.
+Status WriteTableCsv(const Table& table, std::ostream& out);
+Status WriteTableCsvFile(const Table& table, const std::string& path);
+
+// Reads CSV rows into a table named `name` with the given schema (and
+// optional single-attribute primary key). Fails with a line-numbered
+// error on arity or type mismatches.
+Result<Table> ReadTableCsv(std::istream& in, const std::string& name,
+                           const Schema& schema,
+                           const std::optional<std::string>& key_attr,
+                           bool allow_null = false);
+Result<Table> ReadTableCsvFile(const std::string& path,
+                               const std::string& name,
+                               const Schema& schema,
+                               const std::optional<std::string>& key_attr,
+                               bool allow_null = false);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_IO_CSV_H_

@@ -1,0 +1,173 @@
+#include "maintenance/aux_store.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial) {
+  if (initial.schema().size() != def.plan.columns.size()) {
+    return InvalidArgumentError(StrCat(
+        "auxiliary contents for '", def.name, "' have ",
+        initial.schema().size(), " columns; the plan expects ",
+        def.plan.columns.size()));
+  }
+  AuxStore store;
+  store.def_ = def;
+  store.table_ = std::move(initial);
+  for (size_t i = 0; i < def.plan.columns.size(); ++i) {
+    switch (def.plan.columns[i].kind) {
+      case AuxColumn::Kind::kPlain:
+        store.plain_idx_.push_back(i);
+        break;
+      case AuxColumn::Kind::kSum:
+      case AuxColumn::Kind::kMin:
+      case AuxColumn::Kind::kMax:
+        store.agg_cols_.push_back(AggCol{i, def.plan.columns[i].kind});
+        break;
+      case AuxColumn::Kind::kCountStar:
+        store.cnt_idx_ = static_cast<int>(i);
+        break;
+    }
+  }
+  store.index_.reserve(store.table_.NumRows());
+  for (size_t i = 0; i < store.table_.NumRows(); ++i) {
+    Tuple key;
+    key.reserve(store.plain_idx_.size());
+    for (size_t idx : store.plain_idx_) {
+      key.push_back(store.table_.row(i)[idx]);
+    }
+    auto [it, inserted] = store.index_.emplace(std::move(key), i);
+    if (!inserted) {
+      return InvalidArgumentError(
+          StrCat("auxiliary contents for '", def.name,
+                 "' contain duplicate group ", TupleToString(it->first)));
+    }
+  }
+  return store;
+}
+
+Status AuxStore::ApplyGroupDelta(const Tuple& group,
+                                 const std::vector<Value>& agg_values,
+                                 int64_t cnt) {
+  MD_CHECK(def_.plan.compressed);
+  MD_CHECK_EQ(agg_values.size(), agg_cols_.size());
+  MD_CHECK_GE(cnt_idx_, 0);
+  if (cnt == 0) return Status::Ok();
+
+  if (cnt < 0) {
+    // Deletions cannot be merged into MIN/MAX columns; those only exist
+    // under the insert-only relaxation, where deletions are illegal.
+    for (const AggCol& col : agg_cols_) {
+      if (col.kind != AuxColumn::Kind::kSum) {
+        return FailedPreconditionError(
+            StrCat("deletion delta against append-only auxiliary view '",
+                   def_.name, "'"));
+      }
+    }
+  }
+
+  auto it = index_.find(group);
+  if (it == index_.end()) {
+    if (cnt < 0) {
+      return FailedPreconditionError(
+          StrCat("deletion delta for '", def_.name, "' touches missing "
+                 "group ", TupleToString(group)));
+    }
+    Tuple row(def_.plan.columns.size());
+    for (size_t i = 0; i < plain_idx_.size(); ++i) {
+      row[plain_idx_[i]] = group[i];
+    }
+    for (size_t i = 0; i < agg_cols_.size(); ++i) {
+      row[agg_cols_[i].idx] = agg_values[i];
+    }
+    row[cnt_idx_] = Value(cnt);
+    const size_t new_idx = table_.NumRows();
+    MD_RETURN_IF_ERROR(table_.Insert(std::move(row)));
+    index_.emplace(group, new_idx);
+    return Status::Ok();
+  }
+
+  const size_t row_idx = it->second;
+  Tuple row = table_.row(row_idx);
+  const int64_t new_cnt = row[cnt_idx_].AsInt64() + cnt;
+  if (new_cnt < 0) {
+    return FailedPreconditionError(
+        StrCat("deletion delta for '", def_.name, "' drives group ",
+               TupleToString(group), " count negative"));
+  }
+  if (new_cnt == 0) {
+    // The group vanished. Swap-and-pop; re-point the moved row's index.
+    index_.erase(it);
+    const size_t last = table_.NumRows() - 1;
+    table_.DeleteRowAt(row_idx);
+    if (row_idx != last) {
+      Tuple moved_key;
+      moved_key.reserve(plain_idx_.size());
+      for (size_t idx : plain_idx_) {
+        moved_key.push_back(table_.row(row_idx)[idx]);
+      }
+      index_[moved_key] = row_idx;
+    }
+    return Status::Ok();
+  }
+  row[cnt_idx_] = Value(new_cnt);
+  for (size_t i = 0; i < agg_cols_.size(); ++i) {
+    Value& current = row[agg_cols_[i].idx];
+    const Value& incoming = agg_values[i];
+    switch (agg_cols_[i].kind) {
+      case AuxColumn::Kind::kSum:
+        current = AddValues(
+            current, cnt < 0 ? NegateValue(incoming) : incoming);
+        break;
+      case AuxColumn::Kind::kMin:
+        if (!incoming.is_null() &&
+            (current.is_null() || incoming.Compare(current) < 0)) {
+          current = incoming;
+        }
+        break;
+      case AuxColumn::Kind::kMax:
+        if (!incoming.is_null() &&
+            (current.is_null() || incoming.Compare(current) > 0)) {
+          current = incoming;
+        }
+        break;
+      default:
+        return InternalError("unexpected aggregate column kind");
+    }
+  }
+  return table_.ReplaceRow(row_idx, std::move(row));
+}
+
+Status AuxStore::InsertRow(Tuple row) {
+  MD_CHECK(!def_.plan.compressed);
+  auto it = index_.find(row);
+  if (it != index_.end()) {
+    return AlreadyExistsError(
+        StrCat("duplicate row ", TupleToString(row), " in '", def_.name,
+               "' (plain auxiliary views are duplicate-free)"));
+  }
+  const size_t new_idx = table_.NumRows();
+  Tuple key = row;
+  MD_RETURN_IF_ERROR(table_.Insert(std::move(row)));
+  index_.emplace(std::move(key), new_idx);
+  return Status::Ok();
+}
+
+Status AuxStore::DeleteRow(const Tuple& row) {
+  MD_CHECK(!def_.plan.compressed);
+  auto it = index_.find(row);
+  if (it == index_.end()) {
+    return NotFoundError(StrCat("row ", TupleToString(row),
+                                " not found in '", def_.name, "'"));
+  }
+  const size_t row_idx = it->second;
+  index_.erase(it);
+  const size_t last = table_.NumRows() - 1;
+  table_.DeleteRowAt(row_idx);
+  if (row_idx != last) {
+    index_[table_.row(row_idx)] = row_idx;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

@@ -1,0 +1,68 @@
+// A materialized auxiliary view with incremental update support.
+//
+// Compressed auxiliary views (the fact table's) are indexed by their
+// grouping columns so that a batch of compressed group deltas merges in
+// O(1) per group: SUM columns accumulate, the COUNT(*) column tracks
+// duplicates, and a group vanishes when its count reaches zero.
+// Plain (PSJ-degenerate / dimension) auxiliary views are maintained at
+// row granularity.
+
+#ifndef MINDETAIL_MAINTENANCE_AUX_STORE_H_
+#define MINDETAIL_MAINTENANCE_AUX_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/derive.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+class AuxStore {
+ public:
+  AuxStore() = default;
+
+  // Wraps the initially materialized contents of the auxiliary view
+  // `def` (from MaterializeAuxView). `initial`'s schema must match.
+  static Result<AuxStore> Create(const AuxViewDef& def, Table initial);
+
+  const AuxViewDef& def() const { return def_; }
+  const Table& contents() const { return table_; }
+  size_t NumRows() const { return table_.NumRows(); }
+
+  // Compressed plans only: merges one group delta. `group` holds the
+  // plain-column values, `agg_values` the delta group's raw aggregate
+  // values — one per non-COUNT aggregate column, in plan order — and
+  // `cnt` the COUNT(*) increment (negative for deletions). SUM columns
+  // accumulate with the sign; MIN/MAX columns merge monotonically and
+  // reject deletions (they only occur under the insert-only
+  // relaxation). Fails if a deletion would drive a group's count
+  // negative or touch a missing group (an inconsistent delta).
+  Status ApplyGroupDelta(const Tuple& group,
+                         const std::vector<Value>& agg_values, int64_t cnt);
+
+  // Plain plans only: row-level maintenance.
+  Status InsertRow(Tuple row);
+  Status DeleteRow(const Tuple& row);
+
+ private:
+  AuxViewDef def_;
+  Table table_;
+  // Maps the tuple of plain-column values to a row index. For plain
+  // plans this is the full row (which is duplicate-free: the base key
+  // is among the columns).
+  std::unordered_map<Tuple, size_t, TupleHash, TupleEqual> index_;
+  std::vector<size_t> plain_idx_;  // Column indexes of plain columns.
+  // Non-COUNT aggregate columns (SUM/MIN/MAX), in plan order.
+  struct AggCol {
+    size_t idx;
+    AuxColumn::Kind kind;
+  };
+  std::vector<AggCol> agg_cols_;
+  int cnt_idx_ = -1;  // Column index of COUNT(*), or -1.
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_AUX_STORE_H_

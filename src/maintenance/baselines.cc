@@ -1,0 +1,232 @@
+#include "maintenance/baselines.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "gpsj/builder.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+
+// ---------------------------------------------------------------------
+// FullReplicationMaintainer
+// ---------------------------------------------------------------------
+
+Result<FullReplicationMaintainer> FullReplicationMaintainer::Create(
+    const Catalog& source, const GpsjViewDef& def) {
+  FullReplicationMaintainer maintainer;
+  maintainer.def_ = def;
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* base, source.GetTable(table));
+    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    MD_RETURN_IF_ERROR(
+        maintainer.replica_.CreateTable(table, base->schema(), key));
+    MD_ASSIGN_OR_RETURN(Table* replica,
+                        maintainer.replica_.MutableTable(table));
+    for (const Tuple& row : base->rows()) {
+      MD_RETURN_IF_ERROR(replica->Insert(row));
+    }
+  }
+  return maintainer;
+}
+
+Status FullReplicationMaintainer::Apply(const std::string& table,
+                                        const Delta& delta) {
+  MD_ASSIGN_OR_RETURN(Table* replica, replica_.MutableTable(table));
+  return ApplyDelta(replica, delta);
+}
+
+Result<Table> FullReplicationMaintainer::View() const {
+  return EvaluateGpsj(replica_, def_);
+}
+
+uint64_t FullReplicationMaintainer::DetailPaperSizeBytes() const {
+  uint64_t total = 0;
+  for (const std::string& table : def_.tables()) {
+    total += (*replica_.GetTable(table))->PaperSizeBytes();
+  }
+  return total;
+}
+
+uint64_t FullReplicationMaintainer::DetailActualSizeBytes() const {
+  uint64_t total = 0;
+  for (const std::string& table : def_.tables()) {
+    total += (*replica_.GetTable(table))->ActualSizeBytes();
+  }
+  return total;
+}
+
+const Table& FullReplicationMaintainer::ReplicaContents(
+    const std::string& table) const {
+  Result<const Table*> result = replica_.GetTable(table);
+  MD_CHECK(result.ok());
+  return **result;
+}
+
+// ---------------------------------------------------------------------
+// PsjStyleMaintainer
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Rebuilds `def` without its local selection conditions (they are
+// pre-applied in the detail tables).
+Result<GpsjViewDef> StripLocalConditions(const GpsjViewDef& def,
+                                         const Catalog& catalog) {
+  GpsjViewBuilder builder(def.name());
+  for (const std::string& table : def.tables()) builder.From(table);
+  for (const JoinEdge& edge : def.joins()) {
+    builder.Join(edge.from_table, edge.from_attr, edge.to_table);
+  }
+  for (const std::string& table : def.tables()) {
+    for (const DerivedAttr& d : def.DerivedAttrsOf(table)) {
+      if (d.rhs_attr.empty()) {
+        builder.DeriveConst(table, d.name, d.lhs, d.op, d.rhs_constant);
+      } else {
+        builder.Derive(table, d.name, d.lhs, d.op, d.rhs_attr);
+      }
+    }
+  }
+  for (const OutputItem& item : def.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      builder.GroupBy(item.attr.table, item.attr.attr, item.output_name);
+    } else {
+      builder.Aggregate(item.agg);
+    }
+  }
+  return builder.Build(catalog);
+}
+
+}  // namespace
+
+Result<PsjStyleMaintainer> PsjStyleMaintainer::Create(
+    const Catalog& source, const GpsjViewDef& def) {
+  PsjStyleMaintainer maintainer;
+  maintainer.def_ = def;
+  MD_ASSIGN_OR_RETURN(maintainer.recompute_def_,
+                      StripLocalConditions(def, source));
+  MD_ASSIGN_OR_RETURN(maintainer.derivation_,
+                      Derivation::Derive(def, source));
+
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* base, source.GetTable(table));
+    maintainer.base_schemas_.emplace(table, base->schema());
+    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    const AuxViewDef& aux = maintainer.derivation_.aux_for(table);
+    std::vector<std::string> attrs = aux.reduction.attrs;
+    if (std::find(attrs.begin(), attrs.end(), key) == attrs.end()) {
+      attrs.push_back(key);  // PSJ detail tables must retain the key.
+    }
+    maintainer.stored_attrs_.emplace(table, std::move(attrs));
+  }
+
+  // Materialize detail tables leaves-first so semijoin reductions see
+  // their dependencies.
+  std::vector<std::string> order =
+      maintainer.derivation_.graph().TopologicalOrder();
+  std::reverse(order.begin(), order.end());
+  for (const std::string& table : order) {
+    const AuxViewDef& aux = maintainer.derivation_.aux_for(table);
+    MD_ASSIGN_OR_RETURN(const Table* base, source.GetTable(table));
+    MD_ASSIGN_OR_RETURN(Table current,
+                        Select(*base, aux.reduction.conditions));
+    MD_ASSIGN_OR_RETURN(current,
+                        def.AppendDerivedColumns(table, std::move(current)));
+    MD_ASSIGN_OR_RETURN(
+        current, Project(current, maintainer.stored_attrs_.at(table),
+                         /*distinct=*/false));
+    for (const AuxDependency& dep : aux.dependencies) {
+      MD_ASSIGN_OR_RETURN(
+          current, SemiJoin(current, maintainer.detail_.at(dep.to_table),
+                            dep.from_attr,
+                            maintainer.derivation_.aux_for(dep.to_table)
+                                .key_attr));
+    }
+    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    MD_ASSIGN_OR_RETURN(Table keyed,
+                        Table::WithKey(StrCat(table, "PSJ"),
+                                       current.schema(), key));
+    for (const Tuple& row : current.rows()) {
+      MD_RETURN_IF_ERROR(keyed.Insert(row));
+    }
+    maintainer.detail_.emplace(table, std::move(keyed));
+  }
+  return maintainer;
+}
+
+Status PsjStyleMaintainer::Apply(const std::string& table,
+                                 const Delta& delta) {
+  auto it = detail_.find(table);
+  if (it == detail_.end()) {
+    return NotFoundError(
+        StrCat("table '", table, "' not maintained by this view"));
+  }
+  Table& stored = it->second;
+  const AuxViewDef& aux = derivation_.aux_for(table);
+  const Schema& base_schema = base_schemas_.at(table);
+  const size_t key_idx = *base_schema.IndexOf(aux.key_attr);
+
+  const Delta normalized = NormalizeUpdates(delta);
+
+  // Deletions: drop by key; a tuple that never passed the local
+  // conditions is simply absent.
+  for (const Tuple& row : normalized.deletes) {
+    if (row.size() != base_schema.size()) {
+      return InvalidArgumentError(
+          StrCat("delete arity mismatch against '", table, "'"));
+    }
+    if (stored.ContainsKey(row[key_idx])) {
+      MD_RETURN_IF_ERROR(stored.DeleteByKey(row[key_idx]));
+    }
+  }
+
+  // Insertions: σ + π + semijoin reductions, then insert.
+  Table staged(StrCat("delta_", table), base_schema);
+  for (const Tuple& row : normalized.inserts) {
+    MD_RETURN_IF_ERROR(staged.Insert(row));
+  }
+  MD_ASSIGN_OR_RETURN(Table current,
+                      Select(staged, aux.reduction.conditions));
+  MD_ASSIGN_OR_RETURN(
+      current, def_.AppendDerivedColumns(table, std::move(current)));
+  MD_ASSIGN_OR_RETURN(current,
+                      Project(current, stored_attrs_.at(table), false));
+  for (const AuxDependency& dep : aux.dependencies) {
+    MD_ASSIGN_OR_RETURN(
+        current, SemiJoin(current, detail_.at(dep.to_table), dep.from_attr,
+                          derivation_.aux_for(dep.to_table).key_attr));
+  }
+  for (const Tuple& row : current.rows()) {
+    MD_RETURN_IF_ERROR(stored.Insert(row));
+  }
+  return Status::Ok();
+}
+
+Result<Table> PsjStyleMaintainer::View() const {
+  std::map<std::string, const Table*> tables;
+  for (const auto& [name, table] : detail_) {
+    tables.emplace(name, &table);
+  }
+  return EvaluateGpsjOver(tables, recompute_def_);
+}
+
+uint64_t PsjStyleMaintainer::DetailPaperSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : detail_) total += table.PaperSizeBytes();
+  return total;
+}
+
+uint64_t PsjStyleMaintainer::DetailActualSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, table] : detail_) total += table.ActualSizeBytes();
+  return total;
+}
+
+const Table& PsjStyleMaintainer::DetailContents(
+    const std::string& table) const {
+  auto it = detail_.find(table);
+  MD_CHECK(it != detail_.end());
+  return it->second;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,66 @@
+// Comparator maintainers.
+//
+// FullReplicationMaintainer is the naive warehouse of the paper's
+// Sec. 1.1: it replicates every base table completely and recomputes the
+// view. PsjStyleMaintainer is the prior state of the art the paper
+// extends (Quass et al. [14]): local and join reductions are applied,
+// but the base key is retained and *no* duplicate compression happens —
+// one detail row per surviving base tuple.
+
+#ifndef MINDETAIL_MAINTENANCE_BASELINES_H_
+#define MINDETAIL_MAINTENANCE_BASELINES_H_
+
+#include <map>
+#include <string>
+
+#include "core/derive.h"
+#include "gpsj/evaluator.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+// Stores complete copies of all referenced base tables; the view is
+// recomputed from the replicas on demand.
+class FullReplicationMaintainer {
+ public:
+  static Result<FullReplicationMaintainer> Create(const Catalog& source,
+                                                  const GpsjViewDef& def);
+
+  Status Apply(const std::string& table, const Delta& delta);
+  Result<Table> View() const;
+
+  uint64_t DetailPaperSizeBytes() const;
+  uint64_t DetailActualSizeBytes() const;
+  const Table& ReplicaContents(const std::string& table) const;
+
+ private:
+  GpsjViewDef def_;
+  Catalog replica_;
+};
+
+// Self-maintainable detail tables in the PSJ style: σ + π (preserved,
+// join, and key attributes) + semijoin reductions, no compression.
+class PsjStyleMaintainer {
+ public:
+  static Result<PsjStyleMaintainer> Create(const Catalog& source,
+                                           const GpsjViewDef& def);
+
+  Status Apply(const std::string& table, const Delta& delta);
+  Result<Table> View() const;
+
+  uint64_t DetailPaperSizeBytes() const;
+  uint64_t DetailActualSizeBytes() const;
+  const Table& DetailContents(const std::string& table) const;
+
+ private:
+  GpsjViewDef def_;
+  GpsjViewDef recompute_def_;  // def_ minus local conditions.
+  Derivation derivation_;     // For reductions / dependencies only.
+  std::map<std::string, std::vector<std::string>> stored_attrs_;
+  std::map<std::string, Table> detail_;  // Keyed by the base key.
+  std::map<std::string, Schema> base_schemas_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_BASELINES_H_

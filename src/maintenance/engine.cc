@@ -1,0 +1,965 @@
+#include "maintenance/engine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "gpsj/builder.h"
+#include "relational/ops.h"
+
+namespace mindetail {
+
+// ---------------------------------------------------------------------
+// SummaryStore
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr char kShadowColumn[] = "__shadow";
+
+std::string HiddenSumColumn(const std::string& output_name) {
+  return StrCat("__sum_", output_name);
+}
+
+}  // namespace
+
+Result<SummaryStore> SummaryStore::Create(const GpsjViewDef& def,
+                                          const Catalog& catalog) {
+  SummaryStore store;
+  store.def_ = def;
+  store.insert_only_ = def.IsInsertOnly(catalog);
+
+  // Build the augmented definition: original outputs + shadow count +
+  // hidden running sums for every SUM/AVG output.
+  GpsjViewBuilder builder(StrCat(def.name(), "__aug"));
+  for (const std::string& table : def.tables()) builder.From(table);
+  for (const std::string& table : def.tables()) {
+    for (const Condition& c : def.LocalConditions(table).conditions()) {
+      builder.Where(table, c.attr, c.op, c.constant);
+    }
+  }
+  for (const JoinEdge& edge : def.joins()) {
+    builder.Join(edge.from_table, edge.from_attr, edge.to_table);
+  }
+  for (const std::string& table : def.tables()) {
+    for (const DerivedAttr& d : def.DerivedAttrsOf(table)) {
+      if (d.rhs_attr.empty()) {
+        builder.DeriveConst(table, d.name, d.lhs, d.op, d.rhs_constant);
+      } else {
+        builder.Derive(table, d.name, d.lhs, d.op, d.rhs_attr);
+      }
+    }
+  }
+
+  std::vector<Attribute> render_attrs;
+  for (const OutputItem& item : def.outputs()) {
+    Slot slot;
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      builder.GroupBy(item.attr.table, item.attr.attr, item.output_name);
+      slot.kind = Slot::Kind::kGroupBy;
+      slot.index = static_cast<int>(store.group_refs_.size());
+      MD_ASSIGN_OR_RETURN(slot.type, def.AttrType(catalog, item.attr));
+      store.group_refs_.push_back(item.attr);
+    } else {
+      builder.Aggregate(item.agg);
+      const AggregateSpec& agg = item.agg;
+      if (IsCsmas(agg)) {
+        switch (agg.fn) {
+          case AggFn::kCountStar:
+          case AggFn::kCount:
+            slot.kind = Slot::Kind::kCount;
+            slot.type = ValueType::kInt64;
+            break;
+          case AggFn::kSum:
+          case AggFn::kAvg: {
+            slot.kind = agg.fn == AggFn::kSum ? Slot::Kind::kSum
+                                              : Slot::Kind::kAvg;
+            slot.index = static_cast<int>(store.sum_slot_outputs_.size());
+            store.sum_slot_outputs_.push_back(item.output_name);
+            if (agg.fn == AggFn::kAvg) {
+              slot.type = ValueType::kDouble;
+            } else {
+              MD_ASSIGN_OR_RETURN(slot.type,
+                                  def.AttrType(catalog, agg.input));
+            }
+            break;
+          }
+          default:
+            return InternalError("unexpected CSMAS aggregate");
+        }
+      } else if (store.insert_only_ && !agg.distinct &&
+                 (agg.fn == AggFn::kMin || agg.fn == AggFn::kMax)) {
+        // Insert-only relaxation: MIN/MAX merge monotonically.
+        slot.kind = agg.fn == AggFn::kMin ? Slot::Kind::kMinInc
+                                          : Slot::Kind::kMaxInc;
+        slot.index = static_cast<int>(store.minmax_slot_outputs_.size());
+        store.minmax_slot_outputs_.emplace_back(item.output_name, agg.fn);
+        MD_ASSIGN_OR_RETURN(slot.type, def.AttrType(catalog, agg.input));
+      } else {
+        slot.kind = Slot::Kind::kCached;
+        slot.index = static_cast<int>(store.num_cached_slots_++);
+        if (agg.fn == AggFn::kCount) {
+          slot.type = ValueType::kInt64;
+        } else if (agg.fn == AggFn::kAvg) {
+          slot.type = ValueType::kDouble;
+        } else {
+          MD_ASSIGN_OR_RETURN(slot.type, def.AttrType(catalog, agg.input));
+        }
+      }
+    }
+    render_attrs.push_back(Attribute{item.output_name, slot.type});
+    store.slots_.push_back(slot);
+  }
+  store.render_schema_ = Schema(std::move(render_attrs));
+
+  builder.CountStar(kShadowColumn);
+  for (const OutputItem& item : def.outputs()) {
+    if (item.kind != OutputItem::Kind::kAggregate) continue;
+    const AggregateSpec& agg = item.agg;
+    if (!IsCsmas(agg)) continue;
+    if (agg.fn != AggFn::kSum && agg.fn != AggFn::kAvg) continue;
+    AggregateSpec hidden;
+    hidden.fn = AggFn::kSum;
+    hidden.input = agg.input;
+    hidden.distinct = false;
+    hidden.output_name = HiddenSumColumn(item.output_name);
+    builder.Aggregate(std::move(hidden));
+  }
+  MD_ASSIGN_OR_RETURN(store.augmented_def_, builder.Build(catalog));
+  return store;
+}
+
+Status SummaryStore::LoadFrom(const Table& augmented_rows) {
+  groups_.clear();
+  const Schema& schema = augmented_rows.schema();
+  std::optional<size_t> shadow_idx = schema.IndexOf(kShadowColumn);
+  if (!shadow_idx.has_value()) {
+    return InvalidArgumentError("augmented load table lacks __shadow");
+  }
+  // Group key columns: the group-by outputs, by name and output order.
+  std::vector<size_t> key_idx;
+  std::vector<size_t> cached_src;
+  std::vector<int> cached_slot;
+  std::vector<size_t> minmax_src;
+  std::vector<int> minmax_slot;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const std::string& name = def_.outputs()[i].output_name;
+    std::optional<size_t> idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return InvalidArgumentError(
+          StrCat("augmented load table lacks output '", name, "'"));
+    }
+    if (slots_[i].kind == Slot::Kind::kGroupBy) {
+      key_idx.push_back(*idx);
+    } else if (slots_[i].kind == Slot::Kind::kCached) {
+      cached_src.push_back(*idx);
+      cached_slot.push_back(slots_[i].index);
+    } else if (slots_[i].kind == Slot::Kind::kMinInc ||
+               slots_[i].kind == Slot::Kind::kMaxInc) {
+      minmax_src.push_back(*idx);
+      minmax_slot.push_back(slots_[i].index);
+    }
+  }
+  std::vector<size_t> sum_idx;
+  for (const std::string& output : sum_slot_outputs_) {
+    std::optional<size_t> idx = schema.IndexOf(HiddenSumColumn(output));
+    if (!idx.has_value()) {
+      return InvalidArgumentError(
+          StrCat("augmented load table lacks hidden sum for '", output,
+                 "'"));
+    }
+    sum_idx.push_back(*idx);
+  }
+
+  for (const Tuple& row : augmented_rows.rows()) {
+    const int64_t shadow = row[*shadow_idx].is_null()
+                               ? 0
+                               : row[*shadow_idx].AsInt64();
+    if (shadow == 0) continue;  // Scalar phantom row over empty input.
+    Tuple key;
+    key.reserve(key_idx.size());
+    for (size_t idx : key_idx) key.push_back(row[idx]);
+    GroupState state;
+    state.shadow = shadow;
+    state.sums.reserve(sum_idx.size());
+    for (size_t idx : sum_idx) state.sums.push_back(row[idx]);
+    state.cached.resize(num_cached_slots_);
+    for (size_t c = 0; c < cached_src.size(); ++c) {
+      state.cached[cached_slot[c]] = row[cached_src[c]];
+    }
+    state.minmax.resize(minmax_slot_outputs_.size());
+    for (size_t m = 0; m < minmax_src.size(); ++m) {
+      state.minmax[minmax_slot[m]] = row[minmax_src[m]];
+    }
+    auto [it, inserted] = groups_.emplace(std::move(key), std::move(state));
+    if (!inserted) {
+      return InternalError(StrCat("duplicate group ",
+                                  TupleToString(it->first),
+                                  " in augmented load"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SummaryStore::ApplyContributions(const Table& contributions, int sign,
+                                        GroupKeySet* affected) {
+  MD_CHECK(sign == 1 || sign == -1);
+  const Schema& schema = contributions.schema();
+  std::vector<size_t> key_idx;
+  for (const AttributeRef& ref : group_refs_) {
+    std::optional<size_t> idx = schema.IndexOf(ref.ToString());
+    if (!idx.has_value()) {
+      return InternalError(StrCat("contributions lack group column '",
+                                  ref.ToString(), "'"));
+    }
+    key_idx.push_back(*idx);
+  }
+  std::optional<size_t> cnt_idx = schema.IndexOf(kContribCountColumn);
+  if (!cnt_idx.has_value()) {
+    return InternalError("contributions lack the __cnt column");
+  }
+  std::vector<size_t> sum_idx;
+  for (const std::string& output : sum_slot_outputs_) {
+    std::optional<size_t> idx = schema.IndexOf(ContribSumColumn(output));
+    if (!idx.has_value()) {
+      return InternalError(
+          StrCat("contributions lack the sum column for '", output, "'"));
+    }
+    sum_idx.push_back(*idx);
+  }
+  std::vector<size_t> minmax_idx;
+  for (const auto& [output, fn] : minmax_slot_outputs_) {
+    (void)fn;
+    std::optional<size_t> idx =
+        schema.IndexOf(ContribMinMaxColumn(output));
+    if (!idx.has_value()) {
+      return InternalError(StrCat(
+          "contributions lack the min/max column for '", output, "'"));
+    }
+    minmax_idx.push_back(*idx);
+  }
+  if (sign < 0 && !minmax_slot_outputs_.empty()) {
+    return FailedPreconditionError(
+        "deletion delta against an insert-only (append-only) view");
+  }
+
+  for (const Tuple& row : contributions.rows()) {
+    Tuple key;
+    key.reserve(key_idx.size());
+    for (size_t idx : key_idx) key.push_back(row[idx]);
+    const Value& cnt_value = row[*cnt_idx];
+    const int64_t cnt = cnt_value.is_null() ? 0 : cnt_value.AsInt64();
+    if (cnt == 0) continue;
+    if (affected != nullptr) affected->insert(key);
+
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      if (sign < 0) {
+        return FailedPreconditionError(
+            StrCat("deletion delta touches missing view group ",
+                   TupleToString(key)));
+      }
+      GroupState fresh;
+      fresh.sums.assign(sum_slot_outputs_.size(), Value());
+      fresh.minmax.assign(minmax_slot_outputs_.size(), Value());
+      fresh.cached.assign(num_cached_slots_, Value());
+      it = groups_.emplace(std::move(key), std::move(fresh)).first;
+    }
+    GroupState& state = it->second;
+    state.shadow += sign * cnt;
+    if (state.shadow < 0) {
+      return FailedPreconditionError(
+          StrCat("deletion delta drives view group ",
+                 TupleToString(it->first), " count negative"));
+    }
+    for (size_t s = 0; s < sum_idx.size(); ++s) {
+      const Value& v = row[sum_idx[s]];
+      if (v.is_null()) continue;
+      state.sums[s] =
+          AddValues(state.sums[s], sign < 0 ? NegateValue(v) : v);
+    }
+    for (size_t m = 0; m < minmax_idx.size(); ++m) {
+      const Value& v = row[minmax_idx[m]];
+      if (v.is_null()) continue;
+      Value& current = state.minmax[m];
+      const bool is_min = minmax_slot_outputs_[m].second == AggFn::kMin;
+      if (current.is_null() || (is_min ? v.Compare(current) < 0
+                                       : v.Compare(current) > 0)) {
+        current = v;
+      }
+    }
+    if (state.shadow == 0) groups_.erase(it);
+  }
+  return Status::Ok();
+}
+
+Status SummaryStore::UpdateCachedFrom(const Table& recomputed,
+                                      const GroupKeySet& groups) {
+  // Index recomputed rows by group key (group-by outputs, render order).
+  std::vector<size_t> key_idx;
+  std::vector<size_t> cached_src;
+  std::vector<int> cached_slot;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].kind == Slot::Kind::kGroupBy) {
+      key_idx.push_back(i);
+    } else if (slots_[i].kind == Slot::Kind::kCached) {
+      cached_src.push_back(i);
+      cached_slot.push_back(slots_[i].index);
+    }
+  }
+  std::unordered_map<Tuple, const Tuple*, TupleHash, TupleEqual> by_key;
+  by_key.reserve(recomputed.NumRows());
+  for (const Tuple& row : recomputed.rows()) {
+    Tuple key;
+    key.reserve(key_idx.size());
+    for (size_t idx : key_idx) key.push_back(row[idx]);
+    by_key.emplace(std::move(key), &row);
+  }
+
+  for (const Tuple& key : groups) {
+    auto group_it = groups_.find(key);
+    if (group_it == groups_.end()) continue;  // Died during the batch.
+    auto row_it = by_key.find(key);
+    if (row_it == by_key.end()) {
+      return InternalError(
+          StrCat("alive group ", TupleToString(key),
+                 " missing from recomputation"));
+    }
+    for (size_t c = 0; c < cached_src.size(); ++c) {
+      group_it->second.cached[cached_slot[c]] =
+          (*row_it->second)[cached_src[c]];
+    }
+  }
+  return Status::Ok();
+}
+
+Status SummaryStore::RewriteGroupsByKey(
+    size_t key_pos, const Value& key,
+    const std::map<size_t, Value>& group_rewrites,
+    const std::map<size_t, Value>& sum_adjust) {
+  MD_CHECK_LT(key_pos, group_refs_.size());
+  // Collect matching groups first; keys cannot be mutated in place.
+  std::vector<Tuple> matching;
+  for (const auto& [group_key, state] : groups_) {
+    (void)state;
+    if (group_key[key_pos].Compare(key) == 0) matching.push_back(group_key);
+  }
+  for (const Tuple& old_key : matching) {
+    auto it = groups_.find(old_key);
+    MD_CHECK(it != groups_.end());
+    GroupState state = std::move(it->second);
+    groups_.erase(it);
+    Tuple new_key = old_key;
+    for (const auto& [pos, value] : group_rewrites) {
+      MD_CHECK_LT(pos, new_key.size());
+      new_key[pos] = value;
+    }
+    for (const auto& [slot, delta] : sum_adjust) {
+      MD_CHECK_LT(slot, state.sums.size());
+      state.sums[slot] =
+          AddValues(state.sums[slot], ScaleValue(delta, state.shadow));
+    }
+    auto [new_it, inserted] =
+        groups_.emplace(std::move(new_key), std::move(state));
+    if (!inserted) {
+      return InternalError(
+          StrCat("group rewrite collides at ", TupleToString(new_it->first),
+                 "; key-grouped dimensions cannot merge groups"));
+    }
+  }
+  return Status::Ok();
+}
+
+int SummaryStore::GroupPositionOf(const AttributeRef& ref) const {
+  for (size_t i = 0; i < group_refs_.size(); ++i) {
+    if (group_refs_[i] == ref) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SummaryStore::SumSlotOf(const std::string& output_name) const {
+  for (size_t i = 0; i < sum_slot_outputs_.size(); ++i) {
+    if (sum_slot_outputs_[i] == output_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Table> SummaryStore::Render() const {
+  Table out(def_.name(), render_schema_);
+  out.set_allow_null(true);
+
+  auto render_group = [&](const Tuple& key,
+                          const GroupState& state) -> Tuple {
+    Tuple row;
+    row.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+      switch (slot.kind) {
+        case Slot::Kind::kGroupBy:
+          row.push_back(key[slot.index]);
+          break;
+        case Slot::Kind::kCount:
+          row.push_back(Value(state.shadow));
+          break;
+        case Slot::Kind::kSum:
+          row.push_back(state.shadow > 0 ? state.sums[slot.index]
+                                         : Value());
+          break;
+        case Slot::Kind::kAvg:
+          if (state.shadow > 0 && !state.sums[slot.index].is_null()) {
+            row.push_back(Value(state.sums[slot.index].NumericAsDouble() /
+                                static_cast<double>(state.shadow)));
+          } else {
+            row.push_back(Value());
+          }
+          break;
+        case Slot::Kind::kMinInc:
+        case Slot::Kind::kMaxInc:
+          row.push_back(state.shadow > 0 ? state.minmax[slot.index]
+                                         : Value());
+          break;
+        case Slot::Kind::kCached:
+          row.push_back(state.cached[slot.index]);
+          break;
+      }
+    }
+    return row;
+  };
+
+  for (const auto& [key, state] : groups_) {
+    Tuple row = render_group(key, state);
+    // HAVING filters the rendered contents only; the group state stays
+    // maintained so groups can re-qualify after later changes.
+    if (!def_.having().empty() && !def_.PassesHaving(row)) continue;
+    MD_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  if (group_refs_.empty() && groups_.empty()) {
+    // Scalar view over empty data: SQL yields one row of empty-input
+    // aggregates (COUNT = 0, everything else NULL) — still subject to
+    // HAVING.
+    GroupState empty;
+    empty.sums.assign(sum_slot_outputs_.size(), Value());
+    empty.minmax.assign(minmax_slot_outputs_.size(), Value());
+    empty.cached.assign(num_cached_slots_, Value());
+    Tuple row = render_group(Tuple{}, empty);
+    if (def_.having().empty() || def_.PassesHaving(row)) {
+      MD_RETURN_IF_ERROR(out.Insert(std::move(row)));
+    }
+  }
+  SortRows(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// SelfMaintenanceEngine
+// ---------------------------------------------------------------------
+
+Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
+    const Catalog& source, const GpsjViewDef& def, EngineOptions options) {
+  SelfMaintenanceEngine engine;
+  engine.options_ = options;
+  MD_ASSIGN_OR_RETURN(engine.derivation_,
+                      Derivation::Derive(def, source, options.derive));
+  const Derivation& derivation = engine.derivation_;
+
+  Result<std::map<std::string, Table>> materialized_result =
+      MaterializeAuxViews(source, derivation);
+  if (!materialized_result.ok()) return materialized_result.status();
+  std::map<std::string, Table>& materialized = *materialized_result;
+  for (auto& [table, contents] : materialized) {
+    MD_ASSIGN_OR_RETURN(
+        AuxStore store,
+        AuxStore::Create(derivation.aux_for(table), std::move(contents)));
+    engine.aux_.emplace(table, std::move(store));
+  }
+
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* base, source.GetTable(table));
+    engine.base_schemas_.emplace(table, base->schema());
+    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    engine.base_keys_.emplace(table, std::move(key));
+  }
+
+  // Shielding: every edge on the path root → table is a dependence.
+  const ExtendedJoinGraph& graph = derivation.graph();
+  for (const std::string& table : graph.TopologicalOrder()) {
+    if (table == graph.root()) {
+      engine.shielded_.emplace(table, false);
+      continue;
+    }
+    const JoinGraphVertex& v = graph.vertex(table);
+    const bool parent_ok = *v.parent == graph.root()
+                               ? true
+                               : engine.shielded_.at(*v.parent);
+    engine.shielded_.emplace(
+        table, parent_ok && graph.DependsOn(*v.parent, table, source));
+  }
+
+  // Exposed attributes: local condition attributes plus this table's
+  // child-join attributes (updates to them change selection/join
+  // condition outcomes and require the exposed-updates flag).
+  for (const std::string& table : def.tables()) {
+    std::set<std::string> exposed;
+    for (const Condition& c : def.LocalConditions(table).conditions()) {
+      exposed.insert(c.attr);
+    }
+    for (const JoinEdge& edge : def.joins()) {
+      if (edge.from_table == table) exposed.insert(edge.from_attr);
+    }
+    engine.exposed_attrs_.emplace(table, std::move(exposed));
+    if (source.HasExposedUpdates(table)) {
+      engine.exposed_flagged_.insert(table);
+    }
+    if (source.IsAppendOnly(table)) {
+      engine.append_only_.insert(table);
+    }
+  }
+
+  MD_ASSIGN_OR_RETURN(engine.summary_, SummaryStore::Create(def, source));
+  MD_ASSIGN_OR_RETURN(Table augmented,
+                      EvaluateGpsj(source, engine.summary_.augmented_def()));
+  MD_RETURN_IF_ERROR(engine.summary_.LoadFrom(augmented));
+  return engine;
+}
+
+const Table& SelfMaintenanceEngine::AuxContents(
+    const std::string& table) const {
+  auto it = aux_.find(table);
+  MD_CHECK(it != aux_.end());
+  return it->second.contents();
+}
+
+uint64_t SelfMaintenanceEngine::AuxPaperSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [table, store] : aux_) {
+    total += store.contents().PaperSizeBytes();
+  }
+  return total;
+}
+
+uint64_t SelfMaintenanceEngine::AuxActualSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [table, store] : aux_) {
+    total += store.contents().ActualSizeBytes();
+  }
+  return total;
+}
+
+std::map<std::string, const Table*> SelfMaintenanceEngine::AuxTableMap()
+    const {
+  std::map<std::string, const Table*> out;
+  for (const auto& [table, store] : aux_) {
+    out.emplace(table, &store.contents());
+  }
+  return out;
+}
+
+Result<Table> SelfMaintenanceEngine::PrepareFragment(
+    const std::string& table, const std::vector<Tuple>& rows) const {
+  const AuxViewDef& aux = derivation_.aux_for(table);
+  Table staged(StrCat("delta_", table), base_schemas_.at(table));
+  for (const Tuple& row : rows) {
+    MD_RETURN_IF_ERROR(staged.Insert(row));
+  }
+  MD_ASSIGN_OR_RETURN(Table current,
+                      Select(staged, aux.reduction.conditions));
+  MD_ASSIGN_OR_RETURN(current, derivation_.view().AppendDerivedColumns(
+                                   table, std::move(current)));
+  MD_ASSIGN_OR_RETURN(current,
+                      Project(current, aux.reduction.attrs, false));
+  for (const AuxDependency& dep : aux.dependencies) {
+    auto it = aux_.find(dep.to_table);
+    MD_CHECK(it != aux_.end());
+    MD_ASSIGN_OR_RETURN(
+        current,
+        SemiJoin(current, it->second.contents(), dep.from_attr,
+                 derivation_.aux_for(dep.to_table).key_attr));
+  }
+  if (aux.plan.compressed) {
+    MD_ASSIGN_OR_RETURN(current,
+                        GroupAggregate(current, aux.plan.PlainAttrs(),
+                                       aux.plan.Aggregates(),
+                                       StrCat("delta_", table)));
+    const int cnt_idx = aux.plan.CountColumnIndex();
+    Table filtered(current.name(), current.schema());
+    filtered.set_allow_null(true);
+    for (const Tuple& row : current.rows()) {
+      if (!row[cnt_idx].is_null() && row[cnt_idx].AsInt64() > 0) {
+        MD_RETURN_IF_ERROR(filtered.Insert(row));
+      }
+    }
+    return filtered;
+  }
+  Table named(StrCat("delta_", table), current.schema());
+  named.set_allow_null(true);
+  for (const Tuple& row : current.rows()) {
+    MD_RETURN_IF_ERROR(named.Insert(row));
+  }
+  return named;
+}
+
+Status SelfMaintenanceEngine::ApplyFragmentToSummary(
+    const std::string& table, const Table& fragment, int sign,
+    GroupKeySet* affected) {
+  if (fragment.Empty()) return Status::Ok();
+  std::map<std::string, const Table*> tables = AuxTableMap();
+  tables[table] = &fragment;
+  std::set<std::string> required =
+      options_.prune_delta_joins
+          ? OutputSupplierTables(derivation_, /*csmas_only=*/true)
+          : std::set<std::string>(derivation_.view().tables().begin(),
+                                  derivation_.view().tables().end());
+  required.insert(table);
+  MD_ASSIGN_OR_RETURN(
+      Table contributions,
+      ComputeContributions(derivation_, tables, required));
+  ++stats_.delta_joins;
+  return summary_.ApplyContributions(contributions, sign, affected);
+}
+
+Status SelfMaintenanceEngine::RecomputeAffected(
+    const GroupKeySet& affected) {
+  GroupKeySet alive;
+  for (const Tuple& key : affected) {
+    if (summary_.GroupAlive(key)) alive.insert(key);
+  }
+  if (alive.empty()) return Status::Ok();
+  MD_ASSIGN_OR_RETURN(
+      Table recomputed,
+      ReconstructGroups(derivation_, AuxTableMap(), alive));
+  stats_.group_recomputes += alive.size();
+  return summary_.UpdateCachedFrom(recomputed, alive);
+}
+
+Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
+  const std::string& root = derivation_.root();
+  const Delta normalized = NormalizeUpdates(delta);
+  MD_ASSIGN_OR_RETURN(Table del_frag,
+                      PrepareFragment(root, normalized.deletes));
+  MD_ASSIGN_OR_RETURN(Table ins_frag,
+                      PrepareFragment(root, normalized.inserts));
+
+  // Merge into the root auxiliary view (unless eliminated).
+  auto aux_it = aux_.find(root);
+  if (aux_it != aux_.end()) {
+    AuxStore& store = aux_it->second;
+    const CompressionPlan& plan = store.def().plan;
+    if (plan.compressed) {
+      std::vector<size_t> plain_idx, agg_idx;
+      int cnt_idx = -1;
+      for (size_t i = 0; i < plan.columns.size(); ++i) {
+        switch (plan.columns[i].kind) {
+          case AuxColumn::Kind::kPlain:
+            plain_idx.push_back(i);
+            break;
+          case AuxColumn::Kind::kSum:
+          case AuxColumn::Kind::kMin:
+          case AuxColumn::Kind::kMax:
+            agg_idx.push_back(i);
+            break;
+          case AuxColumn::Kind::kCountStar:
+            cnt_idx = static_cast<int>(i);
+            break;
+        }
+      }
+      auto merge = [&](const Table& fragment, int sign) -> Status {
+        for (const Tuple& row : fragment.rows()) {
+          Tuple group;
+          group.reserve(plain_idx.size());
+          for (size_t idx : plain_idx) group.push_back(row[idx]);
+          std::vector<Value> agg_values;
+          agg_values.reserve(agg_idx.size());
+          for (size_t idx : agg_idx) agg_values.push_back(row[idx]);
+          MD_RETURN_IF_ERROR(store.ApplyGroupDelta(
+              group, agg_values, sign * row[cnt_idx].AsInt64()));
+        }
+        return Status::Ok();
+      };
+      MD_RETURN_IF_ERROR(merge(del_frag, -1));
+      MD_RETURN_IF_ERROR(merge(ins_frag, +1));
+    } else {
+      for (const Tuple& row : del_frag.rows()) {
+        MD_RETURN_IF_ERROR(store.DeleteRow(row));
+      }
+      for (const Tuple& row : ins_frag.rows()) {
+        MD_RETURN_IF_ERROR(store.InsertRow(row));
+      }
+    }
+  }
+
+  GroupKeySet affected;
+  MD_RETURN_IF_ERROR(
+      ApplyFragmentToSummary(root, del_frag, -1, &affected));
+  MD_RETURN_IF_ERROR(
+      ApplyFragmentToSummary(root, ins_frag, +1, &affected));
+  if (summary_.has_non_csmas()) {
+    MD_RETURN_IF_ERROR(RecomputeAffected(affected));
+  }
+  return Status::Ok();
+}
+
+Status SelfMaintenanceEngine::ApplyEliminatedDimUpdates(
+    const std::string& table, const std::vector<Update>& updates) {
+  // With an eliminated root every dimension is key-grouped (annotated
+  // k), so the view groups affected by an update are exactly those whose
+  // key column matches — rewritable in place (paper Definition 3: the
+  // Need set of a k-annotated vertex is empty).
+  const Schema& schema = base_schemas_.at(table);
+  const std::string& key_attr = base_keys_.at(table);
+  const size_t key_idx = *schema.IndexOf(key_attr);
+  const int key_pos =
+      summary_.GroupPositionOf(AttributeRef{table, key_attr});
+  if (key_pos < 0) {
+    return InternalError(StrCat(
+        "eliminated-root update path: key of '", table,
+        "' is not a group-by output, which contradicts elimination"));
+  }
+
+  for (const Update& update : updates) {
+    std::map<size_t, Value> group_rewrites;
+    std::map<size_t, Value> sum_adjust;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (update.before[i].Compare(update.after[i]) == 0) continue;
+      const AttributeRef ref{table, schema.attribute(i).name};
+      const int pos = summary_.GroupPositionOf(ref);
+      if (pos >= 0) {
+        group_rewrites.emplace(static_cast<size_t>(pos), update.after[i]);
+        continue;
+      }
+      // The attribute feeds CSMAS SUM/AVG outputs: adjust each by
+      // (new − old) per duplicate.
+      for (const OutputItem& item : derivation_.view().outputs()) {
+        if (item.kind != OutputItem::Kind::kAggregate) continue;
+        if (!(item.agg.input == ref)) continue;
+        const int slot = summary_.SumSlotOf(item.output_name);
+        if (slot < 0) continue;  // COUNT outputs are value-independent.
+        sum_adjust.emplace(
+            static_cast<size_t>(slot),
+            AddValues(update.after[i], NegateValue(update.before[i])));
+      }
+    }
+    // Derived attributes of this table whose operands changed: their
+    // SUM/AVG slots (and group positions) move by (new − old) as well.
+    for (const DerivedAttr& derived :
+         derivation_.view().DerivedAttrsOf(table)) {
+      const size_t lhs_idx = *schema.IndexOf(derived.lhs);
+      std::optional<size_t> rhs_idx =
+          derived.rhs_attr.empty() ? std::nullopt
+                                   : schema.IndexOf(derived.rhs_attr);
+      const bool touched =
+          update.before[lhs_idx].Compare(update.after[lhs_idx]) != 0 ||
+          (rhs_idx.has_value() &&
+           update.before[*rhs_idx].Compare(update.after[*rhs_idx]) != 0);
+      if (!touched) continue;
+      const Value& rhs_before =
+          rhs_idx.has_value() ? update.before[*rhs_idx]
+                              : derived.rhs_constant;
+      const Value& rhs_after = rhs_idx.has_value() ? update.after[*rhs_idx]
+                                                   : derived.rhs_constant;
+      const Value old_value =
+          derived.Eval(update.before[lhs_idx], rhs_before);
+      const Value new_value = derived.Eval(update.after[lhs_idx], rhs_after);
+      const AttributeRef ref{table, derived.name};
+      const int pos = summary_.GroupPositionOf(ref);
+      if (pos >= 0) {
+        group_rewrites.emplace(static_cast<size_t>(pos), new_value);
+        continue;
+      }
+      for (const OutputItem& item : derivation_.view().outputs()) {
+        if (item.kind != OutputItem::Kind::kAggregate) continue;
+        if (!(item.agg.input == ref)) continue;
+        const int slot = summary_.SumSlotOf(item.output_name);
+        if (slot < 0) continue;
+        sum_adjust.emplace(static_cast<size_t>(slot),
+                           AddValues(new_value, NegateValue(old_value)));
+      }
+    }
+    if (group_rewrites.empty() && sum_adjust.empty()) continue;
+    MD_RETURN_IF_ERROR(summary_.RewriteGroupsByKey(
+        static_cast<size_t>(key_pos), update.before[key_idx],
+        group_rewrites, sum_adjust));
+  }
+  return Status::Ok();
+}
+
+Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
+                                            const Delta& delta) {
+  const Schema& schema = base_schemas_.at(table);
+  const std::string& key_attr = base_keys_.at(table);
+  const size_t key_idx = *schema.IndexOf(key_attr);
+  const AuxViewDef& aux_def = derivation_.aux_for(table);
+  const std::set<std::string>& exposed = exposed_attrs_.at(table);
+  const bool exposed_allowed = exposed_flagged_.count(table) > 0;
+
+  std::set<std::string> stored(aux_def.reduction.attrs.begin(),
+                               aux_def.reduction.attrs.end());
+  // A stored derived attribute makes its base operands relevant: an
+  // update to `price` changes a stored `revenue = price * qty`.
+  for (const std::string& attr : aux_def.reduction.attrs) {
+    const DerivedAttr* derived =
+        derivation_.view().FindDerived(table, attr);
+    if (derived != nullptr) {
+      stored.insert(derived->lhs);
+      if (!derived->rhs_attr.empty()) stored.insert(derived->rhs_attr);
+    }
+  }
+
+  // Classify updates: reject key changes, police the exposed-updates
+  // flag, split relevant updates into delete+insert pairs, drop the
+  // rest (they touch nothing the warehouse stores or conditions on).
+  std::vector<Tuple> dels = delta.deletes;
+  std::vector<Tuple> inss = delta.inserts;
+  std::vector<Update> relevant_updates;
+  for (const Update& update : delta.updates) {
+    if (update.before.size() != schema.size() ||
+        update.after.size() != schema.size()) {
+      return InvalidArgumentError(
+          StrCat("update arity mismatch against '", table, "'"));
+    }
+    if (update.before[key_idx].Compare(update.after[key_idx]) != 0) {
+      return InvalidArgumentError(
+          StrCat("update changes the key of '", table,
+                 "'; model it as a deletion plus an insertion"));
+    }
+    bool touches_relevant = false;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (update.before[i].Compare(update.after[i]) == 0) continue;
+      const std::string& attr = schema.attribute(i).name;
+      if (exposed.count(attr) > 0 && !exposed_allowed) {
+        return FailedPreconditionError(StrCat(
+            "update changes condition/join attribute '", attr, "' of '",
+            table, "', which was not declared to have exposed updates; "
+            "the derived auxiliary views assumed otherwise"));
+      }
+      if (stored.count(attr) > 0 || exposed.count(attr) > 0) {
+        touches_relevant = true;
+      }
+    }
+    if (touches_relevant) relevant_updates.push_back(update);
+  }
+
+  const bool root_eliminated = derivation_.IsEliminated(derivation_.root());
+  if (!root_eliminated) {
+    for (const Update& update : relevant_updates) {
+      dels.push_back(update.before);
+      inss.push_back(update.after);
+    }
+  }
+
+  MD_ASSIGN_OR_RETURN(Table del_frag, PrepareFragment(table, dels));
+  MD_ASSIGN_OR_RETURN(Table ins_frag, PrepareFragment(table, inss));
+  if (root_eliminated) {
+    // Updates still flow into the dimension auxiliary view.
+    std::vector<Tuple> upd_dels, upd_inss;
+    for (const Update& update : relevant_updates) {
+      upd_dels.push_back(update.before);
+      upd_inss.push_back(update.after);
+    }
+    MD_ASSIGN_OR_RETURN(Table upd_del_frag,
+                        PrepareFragment(table, upd_dels));
+    MD_ASSIGN_OR_RETURN(Table upd_ins_frag,
+                        PrepareFragment(table, upd_inss));
+    AuxStore& store = aux_.at(table);
+    for (const Tuple& row : upd_del_frag.rows()) {
+      MD_RETURN_IF_ERROR(store.DeleteRow(row));
+    }
+    for (const Tuple& row : upd_ins_frag.rows()) {
+      MD_RETURN_IF_ERROR(store.InsertRow(row));
+    }
+  }
+
+  // Maintain the dimension's auxiliary view.
+  {
+    AuxStore& store = aux_.at(table);
+    for (const Tuple& row : del_frag.rows()) {
+      MD_RETURN_IF_ERROR(store.DeleteRow(row));
+    }
+    for (const Tuple& row : ins_frag.rows()) {
+      MD_RETURN_IF_ERROR(store.InsertRow(row));
+    }
+  }
+
+  // Propagate to the summary.
+  if (root_eliminated) {
+    // Pure insertions/deletions of a dependable dimension cannot affect
+    // the view (elimination implies full dependence); updates rewrite
+    // the (key-grouped) summary in place.
+    ++stats_.shielded_skips;
+    return ApplyEliminatedDimUpdates(table, relevant_updates);
+  }
+
+  const bool can_skip = options_.trust_referential_integrity &&
+                        shielded_.at(table) && relevant_updates.empty();
+  if (can_skip) {
+    ++stats_.shielded_skips;
+    return Status::Ok();
+  }
+
+  GroupKeySet affected;
+  // The delta join must see the *other* auxiliary views as they are,
+  // and the changed table replaced by the delta fragment; the
+  // dimension's own store state does not participate.
+  MD_RETURN_IF_ERROR(
+      ApplyFragmentToSummary(table, del_frag, -1, &affected));
+  MD_RETURN_IF_ERROR(
+      ApplyFragmentToSummary(table, ins_frag, +1, &affected));
+  if (summary_.has_non_csmas()) {
+    MD_RETURN_IF_ERROR(RecomputeAffected(affected));
+  }
+  return Status::Ok();
+}
+
+Status SelfMaintenanceEngine::Apply(const std::string& table,
+                                    const Delta& delta) {
+  if (!derivation_.view().ReferencesTable(table)) {
+    return NotFoundError(StrCat("table '", table,
+                                "' is not referenced by view '",
+                                derivation_.view().name(), "'"));
+  }
+  ++stats_.batches_applied;
+  stats_.rows_processed += delta.Size();
+  if (delta.Empty()) return Status::Ok();
+  if (append_only_.count(table) > 0 &&
+      (!delta.deletes.empty() || !delta.updates.empty())) {
+    return FailedPreconditionError(
+        StrCat("table '", table, "' is append-only; deletions and "
+               "updates are not allowed"));
+  }
+  if (table == derivation_.root()) return ApplyRootDelta(delta);
+  return ApplyDimDelta(table, delta);
+}
+
+Status SelfMaintenanceEngine::ApplyTransaction(
+    const std::map<std::string, Delta>& changes) {
+  for (const auto& [table, delta] : changes) {
+    (void)delta;
+    if (!derivation_.view().ReferencesTable(table)) {
+      return NotFoundError(StrCat("table '", table,
+                                  "' is not referenced by view '",
+                                  derivation_.view().name(), "'"));
+    }
+  }
+  const std::vector<std::string>& order =
+      derivation_.graph().TopologicalOrder();
+  // Phase 1: deletions, root-first (a fact disappears before the
+  // dimension rows it referenced).
+  for (const std::string& table : order) {
+    auto it = changes.find(table);
+    if (it == changes.end() || it->second.deletes.empty()) continue;
+    Delta deletions;
+    deletions.deletes = it->second.deletes;
+    MD_RETURN_IF_ERROR(Apply(table, deletions));
+  }
+  // Phase 2: insertions and updates, leaves-first (a dimension row
+  // exists before any fact referencing it).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    auto change = changes.find(*it);
+    if (change == changes.end()) continue;
+    Delta rest;
+    rest.inserts = change->second.inserts;
+    rest.updates = change->second.updates;
+    if (rest.Empty()) continue;
+    MD_RETURN_IF_ERROR(Apply(*it, rest));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

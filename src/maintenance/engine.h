@@ -1,0 +1,246 @@
+// Self-maintenance of a GPSJ view from its minimal auxiliary views.
+//
+// After Create() reads the source once to materialize the auxiliary
+// views and the summary table, the engine never touches base tables
+// again: every change batch (Delta) is propagated using only the delta
+// itself, the auxiliary views, and the materialized summary — the
+// self-maintainability property of paper Theorem 1, made operational.
+//
+// Maintenance paths:
+//  * Root (fact) deltas are locally reduced, semijoin-reduced against
+//    the dimension auxiliary views, compressed, merged into the root
+//    auxiliary view, and joined with the dimension auxiliary views to
+//    produce CSMAS contribution deltas for the summary (paper Sec. 3.2).
+//  * Dimension deltas update the dimension's auxiliary view; their
+//    effect on the summary is computed by joining the delta fragment
+//    with the root auxiliary view (the *delta join*). Changes to fully
+//    dependable dimensions (key join + referential integrity + no
+//    exposed updates along the whole path) provably cannot change the
+//    summary and are skipped.
+//  * Non-CSMAS outputs (MIN/MAX/DISTINCT) of affected groups are
+//    recomputed from the auxiliary views (paper Sec. 3.2).
+//  * With an eliminated root auxiliary view (Sec. 3.3), root deltas are
+//    applied directly to the summary, and updates to the (necessarily
+//    key-grouped) dimensions rewrite the summary in place.
+
+#ifndef MINDETAIL_MAINTENANCE_ENGINE_H_
+#define MINDETAIL_MAINTENANCE_ENGINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/derive.h"
+#include "core/reconstruct.h"
+#include "gpsj/evaluator.h"
+#include "maintenance/aux_store.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+// The incrementally maintained summary table: exact CSMAS accumulators
+// (a shadow COUNT(*) plus one running SUM per SUM/AVG output) and cached
+// values for non-CSMAS outputs.
+class SummaryStore {
+ public:
+  SummaryStore() = default;
+
+  static Result<SummaryStore> Create(const GpsjViewDef& def,
+                                     const Catalog& catalog);
+
+  // Also used for testability: true when the view was classified as
+  // insert-only at creation time.
+  bool insert_only() const { return insert_only_; }
+
+  // The view to evaluate for the initial load: the original outputs
+  // followed by the hidden shadow count and running sums.
+  const GpsjViewDef& augmented_def() const { return augmented_def_; }
+
+  // Loads state from an evaluation of augmented_def().
+  Status LoadFrom(const Table& augmented_rows);
+
+  // Merges a contribution table (ComputeContributions output) with the
+  // given sign (+1 insertions, -1 deletions). Appends every touched
+  // group key to `affected` when non-null.
+  Status ApplyContributions(const Table& contributions, int sign,
+                            GroupKeySet* affected);
+
+  // Overwrites the non-CSMAS cached outputs of `groups` from
+  // `recomputed` (a final-view-shaped table covering exactly the groups
+  // of `groups` that are still alive).
+  Status UpdateCachedFrom(const Table& recomputed,
+                          const GroupKeySet& groups);
+
+  // Direct summary rewrite for updates to a key-grouped dimension when
+  // the root auxiliary view is eliminated: for every group whose
+  // `key_pos`-th group column equals `key`, overwrite the group columns
+  // listed in `group_rewrites` (position → new value) and adjust the
+  // SUM slots listed in `sum_adjust` (slot → per-duplicate delta, which
+  // is scaled by the group's shadow count).
+  Status RewriteGroupsByKey(
+      size_t key_pos, const Value& key,
+      const std::map<size_t, Value>& group_rewrites,
+      const std::map<size_t, Value>& sum_adjust);
+
+  bool has_non_csmas() const { return num_cached_slots_ > 0; }
+  bool GroupAlive(const Tuple& key) const { return groups_.count(key) > 0; }
+  size_t NumGroups() const { return groups_.size(); }
+
+  // Position of a group-by output that references `ref` within the
+  // group key, or -1.
+  int GroupPositionOf(const AttributeRef& ref) const;
+  // SUM-slot index maintained for aggregate output `output_name`, or -1.
+  int SumSlotOf(const std::string& output_name) const;
+
+  // Renders the current view contents (view-output columns, sorted).
+  Result<Table> Render() const;
+
+ private:
+  // How one view output is rendered. kMinInc/kMaxInc only arise for
+  // insert-only derivations (paper Sec. 4), where MIN/MAX merge
+  // monotonically instead of requiring recomputation.
+  struct Slot {
+    enum class Kind {
+      kGroupBy,
+      kCount,
+      kSum,
+      kAvg,
+      kMinInc,
+      kMaxInc,
+      kCached,
+    };
+    Kind kind = Kind::kGroupBy;
+    int index = 0;  // Group position, sum/minmax slot, or cached slot.
+    ValueType type = ValueType::kInt64;
+  };
+
+  struct GroupState {
+    int64_t shadow = 0;
+    std::vector<Value> sums;
+    std::vector<Value> minmax;
+    std::vector<Value> cached;
+  };
+
+  GpsjViewDef def_;
+  GpsjViewDef augmented_def_;
+  std::vector<Slot> slots_;  // One per view output.
+  std::vector<AttributeRef> group_refs_;
+  std::vector<std::string> sum_slot_outputs_;  // Output name per sum slot.
+  // Output name and direction per incremental MIN/MAX slot.
+  std::vector<std::pair<std::string, AggFn>> minmax_slot_outputs_;
+  size_t num_cached_slots_ = 0;
+  bool insert_only_ = false;
+  Schema render_schema_;
+  std::unordered_map<Tuple, GroupState, TupleHash, TupleEqual> groups_;
+};
+
+struct EngineOptions {
+  // When true (default), deltas against fully dependable dimensions —
+  // key join + declared referential integrity + no exposed updates on
+  // every edge from the root — skip the delta join entirely: the paper's
+  // constraints guarantee they cannot change the view. Disable to force
+  // the general path (ablation benches do).
+  bool trust_referential_integrity = true;
+  // When true (default), delta joins touch only the tables that supply
+  // view outputs (plus connecting path) — the maintenance use of the
+  // Need machinery the paper points at ("this can be exploited in view
+  // maintenance", Sec. 3.3). Disable to join every auxiliary view
+  // (ablation).
+  bool prune_delta_joins = true;
+  // Forwarded to Algorithm 3.2 (ablation: disable Sec. 3.3 elimination).
+  DeriveOptions derive;
+};
+
+// Maintenance statistics (exposed for benches and tests).
+struct EngineStats {
+  uint64_t batches_applied = 0;
+  uint64_t rows_processed = 0;
+  uint64_t delta_joins = 0;
+  uint64_t group_recomputes = 0;
+  uint64_t shielded_skips = 0;
+};
+
+class SelfMaintenanceEngine {
+ public:
+  // Runs Algorithm 3.2, materializes the auxiliary views and the
+  // summary from `source`. This is the only time base tables are read.
+  static Result<SelfMaintenanceEngine> Create(
+      const Catalog& source, const GpsjViewDef& def,
+      EngineOptions options = EngineOptions{});
+
+  // Propagates a change batch against base table `table`. Tuples carry
+  // full before-/after-images; the engine never consults base tables.
+  // Batches must be applied in a referential-integrity-consistent order
+  // (delete facts before their dimensions; insert dimensions before
+  // facts that reference them).
+  Status Apply(const std::string& table, const Delta& delta);
+
+  // Applies a multi-table change set as one unit, ordering the pieces
+  // for referential-integrity consistency automatically: deletions run
+  // root-first down the join tree, then insertions and updates run
+  // leaves-first — so facts never dangle.
+  Status ApplyTransaction(const std::map<std::string, Delta>& changes);
+
+  // The current view contents (view-output columns, sorted rows).
+  Result<Table> View() const { return summary_.Render(); }
+
+  const Derivation& derivation() const { return derivation_; }
+  const EngineStats& stats() const { return stats_; }
+
+  bool HasAux(const std::string& table) const {
+    return aux_.count(table) > 0;
+  }
+  const Table& AuxContents(const std::string& table) const;
+
+  // Total current detail footprint under the paper's 4-bytes-per-field
+  // model / honest in-memory accounting.
+  uint64_t AuxPaperSizeBytes() const;
+  uint64_t AuxActualSizeBytes() const;
+
+ private:
+  SelfMaintenanceEngine() = default;
+
+  // σ local → π reduced attrs → ⋉ dependency aux views → compression.
+  // The result stands in for the table's auxiliary view in delta joins.
+  Result<Table> PrepareFragment(const std::string& table,
+                                const std::vector<Tuple>& rows) const;
+
+  std::map<std::string, const Table*> AuxTableMap() const;
+
+  Status ApplyRootDelta(const Delta& delta);
+  Status ApplyDimDelta(const std::string& table, const Delta& delta);
+  Status ApplyEliminatedDimUpdates(const std::string& table,
+                                   const std::vector<Update>& updates);
+
+  // Joins `fragment` (standing in for `table`) with the other auxiliary
+  // views and merges the resulting CSMAS contributions with `sign`.
+  Status ApplyFragmentToSummary(const std::string& table,
+                                const Table& fragment, int sign,
+                                GroupKeySet* affected);
+
+  // Recomputes non-CSMAS outputs of the still-alive affected groups.
+  Status RecomputeAffected(const GroupKeySet& affected);
+
+  Derivation derivation_;
+  EngineOptions options_;
+  EngineStats stats_;
+  std::map<std::string, Schema> base_schemas_;
+  std::map<std::string, std::string> base_keys_;
+  // True when every edge on the path root → table is a dependence.
+  std::map<std::string, bool> shielded_;
+  // Attributes of each table whose update would be "exposed" (local
+  // condition attributes plus child-join attributes).
+  std::map<std::string, std::set<std::string>> exposed_attrs_;
+  // Tables declared (in the source catalog) to have exposed updates.
+  std::set<std::string> exposed_flagged_;
+  // Tables declared append-only: deletions and updates are rejected.
+  std::set<std::string> append_only_;
+  std::map<std::string, AuxStore> aux_;
+  SummaryStore summary_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_ENGINE_H_

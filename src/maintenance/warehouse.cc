@@ -1,0 +1,130 @@
+#include "maintenance/warehouse.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
+                          EngineOptions options) {
+  if (engines_.count(def.name()) > 0) {
+    return AlreadyExistsError(
+        StrCat("view '", def.name(), "' is already registered"));
+  }
+  MD_ASSIGN_OR_RETURN(SelfMaintenanceEngine engine,
+                      SelfMaintenanceEngine::Create(source, def, options));
+  engines_.emplace(def.name(), std::make_unique<SelfMaintenanceEngine>(
+                                   std::move(engine)));
+  registration_order_.push_back(def.name());
+  return Status::Ok();
+}
+
+Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql,
+                             EngineOptions options) {
+  MD_ASSIGN_OR_RETURN(GpsjViewDef def, ParseGpsjView(sql, source));
+  return AddView(source, def, options);
+}
+
+Status Warehouse::RemoveView(const std::string& view_name) {
+  auto it = engines_.find(view_name);
+  if (it == engines_.end()) {
+    return NotFoundError(
+        StrCat("view '", view_name, "' is not registered"));
+  }
+  engines_.erase(it);
+  registration_order_.erase(
+      std::remove(registration_order_.begin(), registration_order_.end(),
+                  view_name),
+      registration_order_.end());
+  return Status::Ok();
+}
+
+bool Warehouse::HasView(const std::string& view_name) const {
+  return engines_.count(view_name) > 0;
+}
+
+std::vector<std::string> Warehouse::ViewNames() const {
+  return registration_order_;
+}
+
+Status Warehouse::Apply(const std::string& table, const Delta& delta) {
+  for (const std::string& name : registration_order_) {
+    SelfMaintenanceEngine& engine = *engines_.at(name);
+    if (!engine.derivation().view().ReferencesTable(table)) continue;
+    MD_RETURN_IF_ERROR(engine.Apply(table, delta));
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::ApplyTransaction(
+    const std::map<std::string, Delta>& changes) {
+  for (const std::string& name : registration_order_) {
+    SelfMaintenanceEngine& engine = *engines_.at(name);
+    std::map<std::string, Delta> relevant;
+    for (const auto& [table, delta] : changes) {
+      if (engine.derivation().view().ReferencesTable(table)) {
+        relevant.emplace(table, delta);
+      }
+    }
+    if (relevant.empty()) continue;
+    MD_RETURN_IF_ERROR(engine.ApplyTransaction(relevant));
+  }
+  return Status::Ok();
+}
+
+Result<Table> Warehouse::View(const std::string& view_name) const {
+  auto it = engines_.find(view_name);
+  if (it == engines_.end()) {
+    return NotFoundError(
+        StrCat("view '", view_name, "' is not registered"));
+  }
+  return it->second->View();
+}
+
+const SelfMaintenanceEngine& Warehouse::engine(
+    const std::string& view_name) const {
+  auto it = engines_.find(view_name);
+  MD_CHECK(it != engines_.end());
+  return *it->second;
+}
+
+uint64_t Warehouse::TotalDetailPaperSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, engine] : engines_) {
+    total += engine->AuxPaperSizeBytes();
+  }
+  return total;
+}
+
+uint64_t Warehouse::TotalDetailActualSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, engine] : engines_) {
+    total += engine->AuxActualSizeBytes();
+  }
+  return total;
+}
+
+std::string Warehouse::Report() const {
+  std::string out = StrCat("Warehouse: ", engines_.size(),
+                           " summary view(s)\n");
+  for (const std::string& name : registration_order_) {
+    const SelfMaintenanceEngine& engine = *engines_.at(name);
+    out += StrCat("\n== ", name, " ==\n");
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) {
+        out += StrCat("  ", aux.name, ": eliminated\n");
+      } else {
+        const Table& contents = engine.AuxContents(aux.base_table);
+        out += StrCat("  ", aux.name, ": ", contents.NumRows(), " rows, ",
+                      FormatBytes(contents.PaperSizeBytes()), "\n");
+      }
+    }
+  }
+  out += StrCat("\nTotal current detail: ",
+                FormatBytes(TotalDetailPaperSizeBytes()), "\n");
+  return out;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,86 @@
+// A multi-view warehouse: many summary tables maintained over the same
+// data sources (the setting of the paper's introduction, and of Mumick
+// et al. [13] which it cites). The warehouse derives the minimal
+// auxiliary views for every registered summary, routes each incoming
+// change batch to the engines whose views reference the changed table,
+// and reports the combined current-detail footprint.
+//
+// Views can be registered from SQL text (ParseGpsjView) or from
+// prebuilt definitions.
+
+#ifndef MINDETAIL_MAINTENANCE_WAREHOUSE_H_
+#define MINDETAIL_MAINTENANCE_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpsj/parser.h"
+#include "maintenance/engine.h"
+
+namespace mindetail {
+
+class Warehouse {
+ public:
+  // `source` is read at registration time only (initial loads); the
+  // warehouse holds no reference to it afterwards.
+  Warehouse() = default;
+
+  Warehouse(const Warehouse&) = delete;
+  Warehouse& operator=(const Warehouse&) = delete;
+  Warehouse(Warehouse&&) = default;
+  Warehouse& operator=(Warehouse&&) = default;
+
+  // Registers a summary view: runs Algorithm 3.2 against `source` and
+  // materializes its auxiliary views and summary.
+  Status AddView(const Catalog& source, const GpsjViewDef& def,
+                 EngineOptions options = EngineOptions{});
+
+  // Convenience: parse a CREATE VIEW statement and register it.
+  Status AddViewSql(const Catalog& source, std::string_view sql,
+                    EngineOptions options = EngineOptions{});
+
+  Status RemoveView(const std::string& view_name);
+
+  bool HasView(const std::string& view_name) const;
+  std::vector<std::string> ViewNames() const;
+
+  // Propagates a change batch against base table `table` to every
+  // registered view that references it. Views that do not reference the
+  // table ignore the batch. Stops at the first failing engine (earlier
+  // engines in registration order have already applied the batch; a
+  // failure indicates an inconsistent delta, after which the warehouse
+  // should be rebuilt from the source).
+  Status Apply(const std::string& table, const Delta& delta);
+
+  // Applies a multi-table change set to every view referencing any of
+  // the changed tables; each engine orders the pieces RI-consistently
+  // (see SelfMaintenanceEngine::ApplyTransaction). Tables unknown to a
+  // given view are skipped for that view.
+  Status ApplyTransaction(const std::map<std::string, Delta>& changes);
+
+  // Current contents of a registered view.
+  Result<Table> View(const std::string& view_name) const;
+
+  const SelfMaintenanceEngine& engine(const std::string& view_name) const;
+
+  // Combined current-detail footprint across all views (paper model /
+  // honest accounting). Auxiliary views are per-summary (no sharing),
+  // matching the paper's framework.
+  uint64_t TotalDetailPaperSizeBytes() const;
+  uint64_t TotalDetailActualSizeBytes() const;
+
+  // Human-readable inventory: per view, its auxiliary views (or their
+  // elimination) and sizes.
+  std::string Report() const;
+
+ private:
+  // Keyed by view name; unique_ptr keeps engine addresses stable.
+  std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
+  std::vector<std::string> registration_order_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_WAREHOUSE_H_

@@ -1,0 +1,148 @@
+#include "relational/catalog.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+Status Catalog::CreateTable(const std::string& name, Schema schema,
+                            const std::string& key_attr) {
+  if (tables_.count(name) > 0) {
+    return AlreadyExistsError(StrCat("table '", name, "' already exists"));
+  }
+  MD_ASSIGN_OR_RETURN(Table table,
+                      Table::WithKey(name, std::move(schema), key_attr));
+  tables_.emplace(name, std::move(table));
+  return Status::Ok();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError(StrCat("table '", name, "' not in catalog"));
+  }
+  return &it->second;
+}
+
+Result<Table*> Catalog::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFoundError(StrCat("table '", name, "' not in catalog"));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<std::string> Catalog::KeyAttr(const std::string& table) const {
+  MD_ASSIGN_OR_RETURN(const Table* t, GetTable(table));
+  std::optional<std::string> key = t->key_attr();
+  if (!key.has_value()) {
+    return FailedPreconditionError(StrCat("table '", table, "' has no key"));
+  }
+  return *key;
+}
+
+Status Catalog::AddForeignKey(const std::string& from_table,
+                              const std::string& from_attr,
+                              const std::string& to_table) {
+  MD_ASSIGN_OR_RETURN(const Table* from, GetTable(from_table));
+  MD_ASSIGN_OR_RETURN(const Table* to, GetTable(to_table));
+  std::optional<size_t> from_idx = from->schema().IndexOf(from_attr);
+  if (!from_idx.has_value()) {
+    return NotFoundError(StrCat("attribute '", from_attr,
+                                "' not in table '", from_table, "'"));
+  }
+  std::optional<size_t> to_key = to->key_index();
+  if (!to_key.has_value()) {
+    return FailedPreconditionError(
+        StrCat("foreign-key target '", to_table, "' has no primary key"));
+  }
+  const ValueType from_type = from->schema().attribute(*from_idx).type;
+  const ValueType to_type = to->schema().attribute(*to_key).type;
+  if (from_type != to_type) {
+    return InvalidArgumentError(StrCat(
+        "foreign key type mismatch: ", from_table, ".", from_attr, " is ",
+        ValueTypeName(from_type), " but key of ", to_table, " is ",
+        ValueTypeName(to_type)));
+  }
+  foreign_keys_.insert(ForeignKey{from_table, from_attr, to_table});
+  return Status::Ok();
+}
+
+bool Catalog::HasForeignKey(const std::string& from_table,
+                            const std::string& from_attr,
+                            const std::string& to_table) const {
+  return foreign_keys_.count(ForeignKey{from_table, from_attr, to_table}) >
+         0;
+}
+
+Status Catalog::SetExposedUpdates(const std::string& table, bool exposed) {
+  if (!HasTable(table)) {
+    return NotFoundError(StrCat("table '", table, "' not in catalog"));
+  }
+  if (exposed && append_only_.count(table) > 0) {
+    return FailedPreconditionError(
+        StrCat("table '", table, "' is append-only; it cannot have "
+               "exposed updates"));
+  }
+  if (exposed) {
+    exposed_updates_.insert(table);
+  } else {
+    exposed_updates_.erase(table);
+  }
+  return Status::Ok();
+}
+
+Status Catalog::SetAppendOnly(const std::string& table, bool append_only) {
+  if (!HasTable(table)) {
+    return NotFoundError(StrCat("table '", table, "' not in catalog"));
+  }
+  if (append_only && exposed_updates_.count(table) > 0) {
+    return FailedPreconditionError(
+        StrCat("table '", table, "' has exposed updates; it cannot be "
+               "append-only"));
+  }
+  if (append_only) {
+    append_only_.insert(table);
+  } else {
+    append_only_.erase(table);
+  }
+  return Status::Ok();
+}
+
+bool Catalog::IsAppendOnly(const std::string& table) const {
+  return append_only_.count(table) > 0;
+}
+
+bool Catalog::HasExposedUpdates(const std::string& table) const {
+  return exposed_updates_.count(table) > 0;
+}
+
+Status Catalog::CheckReferentialIntegrity() const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    MD_ASSIGN_OR_RETURN(const Table* from, GetTable(fk.from_table));
+    MD_ASSIGN_OR_RETURN(const Table* to, GetTable(fk.to_table));
+    const size_t from_idx = *from->schema().IndexOf(fk.from_attr);
+    for (const Tuple& row : from->rows()) {
+      if (!to->ContainsKey(row[from_idx])) {
+        return FailedPreconditionError(StrCat(
+            "referential integrity violated: ", fk.ToString(), " — value ",
+            row[from_idx].ToString(), " has no referent"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

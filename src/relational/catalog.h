@@ -1,0 +1,106 @@
+// The warehouse catalog: base tables plus the integrity metadata the
+// derivation algorithm consumes — single-attribute primary keys,
+// referential-integrity (foreign-key) constraints, and per-table
+// exposed-update flags (paper Sec. 2.1-2.2).
+
+#ifndef MINDETAIL_RELATIONAL_CATALOG_H_
+#define MINDETAIL_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// A referential-integrity constraint: every `from_table.from_attr`
+// value appears as the primary key of some `to_table` row.
+struct ForeignKey {
+  std::string from_table;
+  std::string from_attr;
+  std::string to_table;
+
+  std::string ToString() const {
+    return from_table + "." + from_attr + " -> " + to_table;
+  }
+
+  friend bool operator==(const ForeignKey& a, const ForeignKey& b) {
+    return a.from_table == b.from_table && a.from_attr == b.from_attr &&
+           a.to_table == b.to_table;
+  }
+  friend bool operator<(const ForeignKey& a, const ForeignKey& b) {
+    if (a.from_table != b.from_table) return a.from_table < b.from_table;
+    if (a.from_attr != b.from_attr) return a.from_attr < b.from_attr;
+    return a.to_table < b.to_table;
+  }
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalogs own their tables; copying one copies all data (used by the
+  // property tests to snapshot source state).
+  Catalog(const Catalog&) = default;
+  Catalog& operator=(const Catalog&) = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  // Creates a table with a single-attribute primary key.
+  Status CreateTable(const std::string& name, Schema schema,
+                     const std::string& key_attr);
+
+  bool HasTable(const std::string& name) const;
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> MutableTable(const std::string& name);
+
+  // Names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  // Primary-key attribute of `table`.
+  Result<std::string> KeyAttr(const std::string& table) const;
+
+  // Declares referential integrity from `from_table.from_attr` to the
+  // primary key of `to_table`. Both tables must exist and the column
+  // types must match.
+  Status AddForeignKey(const std::string& from_table,
+                       const std::string& from_attr,
+                       const std::string& to_table);
+
+  bool HasForeignKey(const std::string& from_table,
+                     const std::string& from_attr,
+                     const std::string& to_table) const;
+
+  const std::set<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  // Marks `table` as having exposed updates: updates may change values
+  // of attributes involved in selection or join conditions. Such tables
+  // are excluded from join reductions and dependence (paper Sec. 2.2).
+  Status SetExposedUpdates(const std::string& table, bool exposed);
+  bool HasExposedUpdates(const std::string& table) const;
+
+  // Marks `table` as append-only: it only ever receives insertions
+  // (the paper's "old detail data", Sec. 4). Views over exclusively
+  // append-only tables get the relaxed CSMA treatment: MIN/MAX become
+  // compressible and maintainable without recomputation. Mutually
+  // exclusive with the exposed-updates flag.
+  Status SetAppendOnly(const std::string& table, bool append_only);
+  bool IsAppendOnly(const std::string& table) const;
+
+  // Verifies every declared foreign key holds on the current data.
+  Status CheckReferentialIntegrity() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::set<ForeignKey> foreign_keys_;
+  std::set<std::string> exposed_updates_;
+  std::set<std::string> append_only_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_CATALOG_H_

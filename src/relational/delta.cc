@@ -1,0 +1,66 @@
+#include "relational/delta.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+Status ApplyDelta(Table* table, const Delta& delta) {
+  MD_CHECK(table != nullptr);
+  for (const Tuple& row : delta.deletes) {
+    MD_RETURN_IF_ERROR(table->DeleteTuple(row));
+  }
+  for (const Update& u : delta.updates) {
+    MD_RETURN_IF_ERROR(table->DeleteTuple(u.before));
+    MD_RETURN_IF_ERROR(table->Insert(u.after));
+  }
+  for (const Tuple& row : delta.inserts) {
+    MD_RETURN_IF_ERROR(table->Insert(row));
+  }
+  return Status::Ok();
+}
+
+Delta NormalizeUpdates(const Delta& delta) {
+  Delta out;
+  out.inserts = delta.inserts;
+  out.deletes = delta.deletes;
+  for (const Update& u : delta.updates) {
+    out.deletes.push_back(u.before);
+    out.inserts.push_back(u.after);
+  }
+  return out;
+}
+
+Delta NormalizeExposedUpdates(
+    const Delta& delta, const Schema& schema,
+    const std::vector<std::string>& protected_attrs) {
+  std::vector<size_t> protected_idx;
+  protected_idx.reserve(protected_attrs.size());
+  for (const std::string& name : protected_attrs) {
+    std::optional<size_t> idx = schema.IndexOf(name);
+    MD_CHECK(idx.has_value());
+    protected_idx.push_back(*idx);
+  }
+
+  Delta out;
+  out.inserts = delta.inserts;
+  out.deletes = delta.deletes;
+  for (const Update& u : delta.updates) {
+    bool exposed = false;
+    for (size_t idx : protected_idx) {
+      if (u.before[idx].Compare(u.after[idx]) != 0) {
+        exposed = true;
+        break;
+      }
+    }
+    if (exposed) {
+      out.deletes.push_back(u.before);
+      out.inserts.push_back(u.after);
+    } else {
+      out.updates.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,58 @@
+// Change batches (deltas) against a base table.
+//
+// The paper assumes insertions, deletions, and updates of base tables
+// (Sec. 2.1). Updates carry the before- and after-image; *exposed*
+// updates — those changing attributes involved in selection or join
+// conditions — are propagated as a deletion followed by an insertion.
+
+#ifndef MINDETAIL_RELATIONAL_DELTA_H_
+#define MINDETAIL_RELATIONAL_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// An in-place modification of one row, identified by its before-image.
+struct Update {
+  Tuple before;
+  Tuple after;
+};
+
+// A batch of changes against one base table.
+struct Delta {
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+  std::vector<Update> updates;
+
+  bool Empty() const {
+    return inserts.empty() && deletes.empty() && updates.empty();
+  }
+  size_t Size() const {
+    return inserts.size() + deletes.size() + updates.size();
+  }
+};
+
+// Applies `delta` to `table`: deletions first (by full before-image),
+// then updates (before-image replaced by after-image), then insertions.
+// Fails without partial application checks if any before-image is
+// missing or an insertion violates the key.
+Status ApplyDelta(Table* table, const Delta& delta);
+
+// Rewrites every update as a delete of the before-image plus an insert
+// of the after-image (the paper's treatment of exposed updates).
+Delta NormalizeUpdates(const Delta& delta);
+
+// Splits `delta` by whether each update touches any attribute in
+// `protected_attrs` (attributes involved in selection or join
+// conditions). Touching updates become delete+insert pairs; others stay
+// as updates. This implements the exposed-update propagation rule.
+Delta NormalizeExposedUpdates(const Delta& delta, const Schema& schema,
+                              const std::vector<std::string>& protected_attrs);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_DELTA_H_

@@ -1,0 +1,410 @@
+#include "relational/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar:
+      return "COUNT(*)";
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kAvg:
+      return "AVG";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string PhysicalAggregate::ToString() const {
+  std::string expr;
+  if (fn == AggFn::kCountStar) {
+    expr = "COUNT(*)";
+  } else {
+    expr = StrCat(AggFnName(fn), "(", distinct ? "DISTINCT " : "",
+                  input_attr, ")");
+  }
+  return StrCat(expr, " AS ", output_name);
+}
+
+Result<Table> Select(const Table& input, const Conjunction& predicate,
+                     std::string result_name) {
+  MD_ASSIGN_OR_RETURN(BoundPredicate bound,
+                      BoundPredicate::Bind(predicate, input.schema()));
+  Table out(result_name.empty() ? StrCat("select(", input.name(), ")")
+                                : std::move(result_name),
+            input.schema());
+  out.set_allow_null(true);
+  for (const Tuple& row : input.rows()) {
+    if (bound.Eval(row)) MD_RETURN_IF_ERROR(out.Insert(row));
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& attrs, bool distinct,
+                      std::string result_name) {
+  std::vector<size_t> indexes;
+  std::vector<Attribute> out_attrs;
+  indexes.reserve(attrs.size());
+  out_attrs.reserve(attrs.size());
+  for (const std::string& name : attrs) {
+    std::optional<size_t> idx = input.schema().IndexOf(name);
+    if (!idx.has_value()) {
+      return NotFoundError(StrCat("projection attribute '", name,
+                                  "' not in '", input.name(), "'"));
+    }
+    indexes.push_back(*idx);
+    out_attrs.push_back(input.schema().attribute(*idx));
+  }
+  Table out(result_name.empty() ? StrCat("project(", input.name(), ")")
+                                : std::move(result_name),
+            Schema(std::move(out_attrs)));
+  out.set_allow_null(true);
+  std::unordered_set<Tuple, TupleHash, TupleEqual> seen;
+  for (const Tuple& row : input.rows()) {
+    Tuple projected;
+    projected.reserve(indexes.size());
+    for (size_t idx : indexes) projected.push_back(row[idx]);
+    if (distinct) {
+      if (!seen.insert(projected).second) continue;
+    }
+    MD_RETURN_IF_ERROR(out.Insert(std::move(projected)));
+  }
+  return out;
+}
+
+namespace {
+
+Result<Schema> ConcatSchemas(const Schema& left, const Schema& right) {
+  std::vector<Attribute> attrs = left.attributes();
+  for (const Attribute& a : right.attributes()) {
+    if (left.Contains(a.name)) {
+      return InvalidArgumentError(
+          StrCat("join would duplicate attribute name '", a.name,
+                 "'; qualify columns first"));
+    }
+    attrs.push_back(a);
+  }
+  return Schema(std::move(attrs));
+}
+
+using RowIndexMap =
+    std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEqual>;
+
+Result<RowIndexMap> BuildHashIndex(const Table& table,
+                                   const std::string& attr) {
+  std::optional<size_t> idx = table.schema().IndexOf(attr);
+  if (!idx.has_value()) {
+    return NotFoundError(
+        StrCat("join attribute '", attr, "' not in '", table.name(), "'"));
+  }
+  RowIndexMap map;
+  map.reserve(table.NumRows());
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    map[table.row(i)[*idx]].push_back(i);
+  }
+  return map;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_attr,
+                       const std::string& right_attr,
+                       std::string result_name) {
+  std::optional<size_t> left_idx = left.schema().IndexOf(left_attr);
+  if (!left_idx.has_value()) {
+    return NotFoundError(StrCat("join attribute '", left_attr,
+                                "' not in '", left.name(), "'"));
+  }
+  MD_ASSIGN_OR_RETURN(RowIndexMap index, BuildHashIndex(right, right_attr));
+  MD_ASSIGN_OR_RETURN(Schema out_schema,
+                      ConcatSchemas(left.schema(), right.schema()));
+  Table out(result_name.empty()
+                ? StrCat("join(", left.name(), ",", right.name(), ")")
+                : std::move(result_name),
+            std::move(out_schema));
+  out.set_allow_null(true);
+  for (const Tuple& lrow : left.rows()) {
+    auto it = index.find(lrow[*left_idx]);
+    if (it == index.end()) continue;
+    for (size_t ri : it->second) {
+      Tuple combined = lrow;
+      const Tuple& rrow = right.row(ri);
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      MD_RETURN_IF_ERROR(out.Insert(std::move(combined)));
+    }
+  }
+  return out;
+}
+
+Result<Table> SemiJoin(const Table& left, const Table& right,
+                       const std::string& left_attr,
+                       const std::string& right_attr,
+                       std::string result_name) {
+  std::optional<size_t> left_idx = left.schema().IndexOf(left_attr);
+  if (!left_idx.has_value()) {
+    return NotFoundError(StrCat("semijoin attribute '", left_attr,
+                                "' not in '", left.name(), "'"));
+  }
+  std::optional<size_t> right_idx = right.schema().IndexOf(right_attr);
+  if (!right_idx.has_value()) {
+    return NotFoundError(StrCat("semijoin attribute '", right_attr,
+                                "' not in '", right.name(), "'"));
+  }
+  std::unordered_set<Value, ValueHash, ValueEqual> keys;
+  keys.reserve(right.NumRows());
+  for (const Tuple& rrow : right.rows()) keys.insert(rrow[*right_idx]);
+
+  Table out(result_name.empty()
+                ? StrCat("semijoin(", left.name(), ",", right.name(), ")")
+                : std::move(result_name),
+            left.schema());
+  out.set_allow_null(true);
+  for (const Tuple& lrow : left.rows()) {
+    if (keys.count(lrow[*left_idx]) > 0) {
+      MD_RETURN_IF_ERROR(out.Insert(lrow));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Running state for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  Value sum;  // NULL until first value.
+  Value min;
+  Value max;
+  std::unordered_set<Value, ValueHash, ValueEqual> distinct_values;
+};
+
+Result<ValueType> AggOutputType(const PhysicalAggregate& agg,
+                                const Schema& input) {
+  switch (agg.fn) {
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return ValueType::kInt64;
+    case AggFn::kAvg:
+      return ValueType::kDouble;
+    case AggFn::kSum:
+    case AggFn::kMin:
+    case AggFn::kMax: {
+      std::optional<size_t> idx = input.IndexOf(agg.input_attr);
+      if (!idx.has_value()) {
+        return NotFoundError(StrCat("aggregate input '", agg.input_attr,
+                                    "' not in schema"));
+      }
+      const ValueType t = input.attribute(*idx).type;
+      if (agg.fn == AggFn::kSum && t == ValueType::kString) {
+        return InvalidArgumentError(
+            StrCat("SUM over string attribute '", agg.input_attr, "'"));
+      }
+      return t;
+    }
+  }
+  return InternalError("unknown aggregate function");
+}
+
+Value FinalizeAggregate(const PhysicalAggregate& agg, const AggState& s) {
+  switch (agg.fn) {
+    case AggFn::kCountStar:
+      return Value(s.count);
+    case AggFn::kCount:
+      return agg.distinct
+                 ? Value(static_cast<int64_t>(s.distinct_values.size()))
+                 : Value(s.count);
+    case AggFn::kSum:
+      if (agg.distinct) {
+        Value total;
+        for (const Value& v : s.distinct_values) total = AddValues(total, v);
+        return total;
+      }
+      return s.sum;
+    case AggFn::kAvg: {
+      int64_t n = s.count;
+      Value total = s.sum;
+      if (agg.distinct) {
+        n = static_cast<int64_t>(s.distinct_values.size());
+        total = Value();
+        for (const Value& v : s.distinct_values) total = AddValues(total, v);
+      }
+      if (n == 0 || total.is_null()) return Value();
+      return Value(total.NumericAsDouble() / static_cast<double>(n));
+    }
+    case AggFn::kMin:
+      return s.min;
+    case AggFn::kMax:
+      return s.max;
+  }
+  return Value();
+}
+
+}  // namespace
+
+Result<Table> GroupAggregate(const Table& input,
+                             const std::vector<std::string>& group_attrs,
+                             const std::vector<PhysicalAggregate>& aggregates,
+                             std::string result_name) {
+  // Resolve group columns.
+  std::vector<size_t> group_idx;
+  std::vector<Attribute> out_attrs;
+  group_idx.reserve(group_attrs.size());
+  for (const std::string& name : group_attrs) {
+    std::optional<size_t> idx = input.schema().IndexOf(name);
+    if (!idx.has_value()) {
+      return NotFoundError(
+          StrCat("group-by attribute '", name, "' not in schema"));
+    }
+    group_idx.push_back(*idx);
+    out_attrs.push_back(input.schema().attribute(*idx));
+  }
+  // Resolve aggregate inputs and output types.
+  std::vector<std::optional<size_t>> agg_input_idx;
+  agg_input_idx.reserve(aggregates.size());
+  for (const PhysicalAggregate& agg : aggregates) {
+    MD_ASSIGN_OR_RETURN(ValueType out_type, AggOutputType(agg, input.schema()));
+    if (agg.output_name.empty()) {
+      return InvalidArgumentError(
+          StrCat("aggregate ", AggFnName(agg.fn), " lacks an output name"));
+    }
+    out_attrs.push_back(Attribute{agg.output_name, out_type});
+    if (agg.fn == AggFn::kCountStar) {
+      agg_input_idx.push_back(std::nullopt);
+    } else {
+      agg_input_idx.push_back(input.schema().IndexOf(agg.input_attr));
+    }
+  }
+
+  std::unordered_map<Tuple, std::vector<AggState>, TupleHash, TupleEqual>
+      groups;
+  for (const Tuple& row : input.rows()) {
+    Tuple key;
+    key.reserve(group_idx.size());
+    for (size_t gi : group_idx) key.push_back(row[gi]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(aggregates.size());
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      AggState& state = it->second[a];
+      state.count += 1;
+      if (!agg_input_idx[a].has_value()) continue;
+      const Value& v = row[*agg_input_idx[a]];
+      const PhysicalAggregate& agg = aggregates[a];
+      switch (agg.fn) {
+        case AggFn::kCountStar:
+          break;
+        case AggFn::kCount:
+          if (agg.distinct) state.distinct_values.insert(v);
+          break;
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          if (agg.distinct) {
+            state.distinct_values.insert(v);
+          } else {
+            state.sum = AddValues(state.sum, v);
+          }
+          break;
+        case AggFn::kMin:
+          if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
+          break;
+        case AggFn::kMax:
+          if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
+          break;
+      }
+    }
+  }
+
+  Table out(result_name.empty() ? StrCat("gamma(", input.name(), ")")
+                                : std::move(result_name),
+            Schema(std::move(out_attrs)));
+  out.set_allow_null(true);
+
+  if (group_attrs.empty() && groups.empty()) {
+    // SQL scalar-aggregate semantics: one row over the empty input.
+    Tuple row;
+    AggState empty;
+    for (const PhysicalAggregate& agg : aggregates) {
+      row.push_back(FinalizeAggregate(agg, empty));
+    }
+    MD_RETURN_IF_ERROR(out.Insert(std::move(row)));
+    return out;
+  }
+
+  for (const auto& [key, states] : groups) {
+    Tuple row = key;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      row.push_back(FinalizeAggregate(aggregates[a], states[a]));
+    }
+    MD_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  SortRows(&out);
+  return out;
+}
+
+Table QualifyColumns(const Table& input, const std::string& prefix) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(input.schema().size());
+  for (const Attribute& a : input.schema().attributes()) {
+    attrs.push_back(Attribute{StrCat(prefix, ".", a.name), a.type});
+  }
+  Table out(input.name(), Schema(std::move(attrs)));
+  out.set_allow_null(true);
+  for (const Tuple& row : input.rows()) {
+    MD_CHECK(out.Insert(row).ok());
+  }
+  return out;
+}
+
+namespace {
+
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+void SortRows(Table* table) {
+  MD_CHECK(table != nullptr);
+  // Sorting invalidates the key map, so only key-less tables may be
+  // sorted; operator outputs never carry keys.
+  MD_CHECK(!table->key_index().has_value());
+  Table sorted(table->name(), table->schema());
+  sorted.set_allow_null(true);
+  std::vector<Tuple> rows = table->rows();
+  std::sort(rows.begin(), rows.end(), TupleLess);
+  for (Tuple& row : rows) MD_CHECK(sorted.Insert(std::move(row)).ok());
+  *table = std::move(sorted);
+}
+
+bool TablesEqualAsBags(const Table& a, const Table& b) {
+  if (a.schema().size() != b.schema().size()) return false;
+  if (a.NumRows() != b.NumRows()) return false;
+  std::unordered_map<Tuple, int64_t, TupleHash, TupleEqual> counts;
+  for (const Tuple& row : a.rows()) counts[row] += 1;
+  for (const Tuple& row : b.rows()) {
+    auto it = counts.find(row);
+    if (it == counts.end() || it->second == 0) return false;
+    it->second -= 1;
+  }
+  return true;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,88 @@
+// Physical relational operators: selection, projection, hash join,
+// semijoin, and grouped aggregation. These are the building blocks the
+// GPSJ evaluator and the maintenance engine compose.
+
+#ifndef MINDETAIL_RELATIONAL_OPS_H_
+#define MINDETAIL_RELATIONAL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// The physical aggregate functions. `kCountStar` is COUNT(*); the others
+// take an input attribute. Distinctness is orthogonal (except COUNT(*),
+// which never is).
+enum class AggFn {
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+const char* AggFnName(AggFn fn);
+
+// A single aggregate column computed by GroupAggregate.
+struct PhysicalAggregate {
+  AggFn fn = AggFn::kCountStar;
+  std::string input_attr;  // Empty for kCountStar.
+  bool distinct = false;
+  std::string output_name;
+
+  // e.g. "SUM(price) AS total" or "COUNT(DISTINCT brand) AS brands".
+  std::string ToString() const;
+};
+
+// σ: rows of `input` satisfying `predicate`.
+Result<Table> Select(const Table& input, const Conjunction& predicate,
+                     std::string result_name = "");
+
+// π: the named columns, optionally duplicate-eliminating.
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& attrs, bool distinct,
+                      std::string result_name = "");
+
+// ⋈: equi-join on left.left_attr = right.right_attr. Output schema is
+// the concatenation of both inputs' schemas; colliding attribute names
+// are an error (pre-qualify with QualifyColumns).
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::string& left_attr,
+                       const std::string& right_attr,
+                       std::string result_name = "");
+
+// ⋉: rows of `left` that join with at least one row of `right`.
+Result<Table> SemiJoin(const Table& left, const Table& right,
+                       const std::string& left_attr,
+                       const std::string& right_attr,
+                       std::string result_name = "");
+
+// Generalized projection Π: group by `group_attrs` and compute
+// `aggregates` per group. With empty `group_attrs`, SQL scalar-aggregate
+// semantics apply (exactly one output row, even for empty input).
+// Output rows are sorted lexicographically for determinism.
+Result<Table> GroupAggregate(const Table& input,
+                             const std::vector<std::string>& group_attrs,
+                             const std::vector<PhysicalAggregate>& aggregates,
+                             std::string result_name = "");
+
+// Returns a copy of `input` whose attribute names are prefixed with
+// "<prefix>." — used before joins to keep names unambiguous.
+Table QualifyColumns(const Table& input, const std::string& prefix);
+
+// Sorts rows lexicographically in place (deterministic table rendering
+// and comparison).
+void SortRows(Table* table);
+
+// True iff the two tables hold the same bag of tuples (schema arity must
+// match; attribute names are ignored).
+bool TablesEqualAsBags(const Table& a, const Table& b);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_OPS_H_

@@ -1,0 +1,109 @@
+#include "relational/predicate.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs) {
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::string Condition::ToString() const {
+  return StrCat(attr, " ", CompareOpName(op), " ", constant.ToString());
+}
+
+namespace {
+
+bool TypesComparable(ValueType a, ValueType b) {
+  const bool a_num = a == ValueType::kInt64 || a == ValueType::kDouble;
+  const bool b_num = b == ValueType::kInt64 || b == ValueType::kDouble;
+  if (a_num && b_num) return true;
+  return a == b;
+}
+
+}  // namespace
+
+Status Conjunction::Validate(const Schema& schema) const {
+  for (const Condition& c : conditions_) {
+    std::optional<size_t> idx = schema.IndexOf(c.attr);
+    if (!idx.has_value()) {
+      return NotFoundError(
+          StrCat("condition attribute '", c.attr, "' not in schema"));
+    }
+    if (c.constant.is_null()) {
+      return InvalidArgumentError(
+          StrCat("condition '", c.ToString(), "' compares against NULL"));
+    }
+    if (!TypesComparable(schema.attribute(*idx).type, c.constant.type())) {
+      return InvalidArgumentError(StrCat(
+          "condition '", c.ToString(), "' compares ",
+          ValueTypeName(schema.attribute(*idx).type), " with ",
+          ValueTypeName(c.constant.type())));
+    }
+  }
+  return Status::Ok();
+}
+
+bool Conjunction::Eval(const Schema& schema, const Tuple& row) const {
+  for (const Condition& c : conditions_) {
+    std::optional<size_t> idx = schema.IndexOf(c.attr);
+    MD_CHECK(idx.has_value());
+    if (!EvalCompare(c.op, row[*idx], c.constant)) return false;
+  }
+  return true;
+}
+
+std::string Conjunction::ToString() const {
+  if (conditions_.empty()) return "TRUE";
+  std::vector<std::string> parts;
+  parts.reserve(conditions_.size());
+  for (const Condition& c : conditions_) parts.push_back(c.ToString());
+  return Join(parts, " AND ");
+}
+
+Result<BoundPredicate> BoundPredicate::Bind(const Conjunction& conjunction,
+                                            const Schema& schema) {
+  MD_RETURN_IF_ERROR(conjunction.Validate(schema));
+  BoundPredicate bound;
+  bound.bound_.reserve(conjunction.conditions().size());
+  for (const Condition& c : conjunction.conditions()) {
+    bound.bound_.push_back(
+        BoundCondition{*schema.IndexOf(c.attr), c.op, c.constant});
+  }
+  return bound;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,98 @@
+// Conjunctive selection predicates over single tables.
+//
+// GPSJ views restrict selections to conjunctions of simple comparisons
+// (paper Sec. 2.1); conditions referencing a single table are *local
+// conditions* and get pushed into auxiliary views by local reduction.
+
+#ifndef MINDETAIL_RELATIONAL_PREDICATE_H_
+#define MINDETAIL_RELATIONAL_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace mindetail {
+
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+// Returns the SQL spelling, e.g. "=", "<>".
+const char* CompareOpName(CompareOp op);
+
+// Applies `op` to the three-way comparison of `lhs` and `rhs`.
+bool EvalCompare(CompareOp op, const Value& lhs, const Value& rhs);
+
+// `attr op constant`, e.g. year = 1997.
+struct Condition {
+  std::string attr;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+
+  std::string ToString() const;
+};
+
+// A conjunction of simple conditions over one schema. An empty
+// conjunction is TRUE.
+class Conjunction {
+ public:
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Condition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  void Add(Condition condition) {
+    conditions_.push_back(std::move(condition));
+  }
+
+  bool empty() const { return conditions_.empty(); }
+  const std::vector<Condition>& conditions() const { return conditions_; }
+
+  // Checks every referenced attribute exists in `schema` and its type is
+  // comparable with the constant.
+  Status Validate(const Schema& schema) const;
+
+  // Evaluates against a row of `schema`. The row must satisfy the schema.
+  bool Eval(const Schema& schema, const Tuple& row) const;
+
+  // e.g. "year = 1997 AND month <= 6"; "TRUE" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<Condition> conditions_;
+};
+
+// A pre-bound conjunction: attribute names resolved to column indexes
+// once, for tight evaluation loops.
+class BoundPredicate {
+ public:
+  static Result<BoundPredicate> Bind(const Conjunction& conjunction,
+                                     const Schema& schema);
+
+  bool Eval(const Tuple& row) const {
+    for (const auto& [idx, op, constant] : bound_) {
+      if (!EvalCompare(op, row[idx], constant)) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct BoundCondition {
+    size_t idx;
+    CompareOp op;
+    Value constant;
+  };
+  std::vector<BoundCondition> bound_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_PREDICATE_H_

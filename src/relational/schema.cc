@@ -1,0 +1,76 @@
+#include "relational/schema.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    for (size_t j = i + 1; j < attributes_.size(); ++j) {
+      MD_CHECK(attributes_[i].name != attributes_[j].name);
+    }
+  }
+}
+
+const Attribute& Schema::attribute(size_t i) const {
+  MD_CHECK_LT(i, attributes_.size());
+  return attributes_[i];
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::Append(Attribute attribute) {
+  if (Contains(attribute.name)) {
+    return AlreadyExistsError(
+        StrCat("attribute '", attribute.name, "' already in schema"));
+  }
+  attributes_.push_back(std::move(attribute));
+  return Status::Ok();
+}
+
+Status Schema::ValidateTuple(const Tuple& tuple, bool allow_null) const {
+  if (tuple.size() != attributes_.size()) {
+    return InvalidArgumentError(
+        StrCat("tuple arity ", tuple.size(), " does not match schema arity ",
+               attributes_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) {
+      if (allow_null) continue;
+      return InvalidArgumentError(
+          StrCat("NULL in attribute '", attributes_[i].name,
+                 "'; base tables are NULL-free"));
+    }
+    if (tuple[i].type() != attributes_[i].type) {
+      // Permit int64 literals where a double column is declared; they
+      // compare equal anyway and this keeps test fixtures readable.
+      if (attributes_[i].type == ValueType::kDouble &&
+          tuple[i].type() == ValueType::kInt64) {
+        continue;
+      }
+      return InvalidArgumentError(StrCat(
+          "attribute '", attributes_[i].name, "' expects ",
+          ValueTypeName(attributes_[i].type), " but tuple holds ",
+          ValueTypeName(tuple[i].type())));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    parts.push_back(StrCat(a.name, " ", ValueTypeName(a.type)));
+  }
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace mindetail

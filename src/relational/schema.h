@@ -1,0 +1,79 @@
+// Schemas and attribute references.
+
+#ifndef MINDETAIL_RELATIONAL_SCHEMA_H_
+#define MINDETAIL_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace mindetail {
+
+// A named, typed column.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+// Fully-qualified reference to a base-table attribute, e.g. sale.price.
+struct AttributeRef {
+  std::string table;
+  std::string attr;
+
+  std::string ToString() const { return table + "." + attr; }
+
+  friend bool operator==(const AttributeRef& a, const AttributeRef& b) {
+    return a.table == b.table && a.attr == b.attr;
+  }
+  friend bool operator<(const AttributeRef& a, const AttributeRef& b) {
+    return a.table != b.table ? a.table < b.table : a.attr < b.attr;
+  }
+};
+
+// An ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& attribute(size_t i) const;
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  // Appends an attribute; fails if the name is already taken.
+  Status Append(Attribute attribute);
+
+  // Validates that `tuple` matches this schema (arity and per-column
+  // type; NULLs are rejected — base tables are NULL-free per the paper).
+  Status ValidateTuple(const Tuple& tuple, bool allow_null = false) const;
+
+  // e.g. "(id INT64, price DOUBLE)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,197 @@
+#include "relational/table.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Result<Table> Table::WithKey(std::string name, Schema schema,
+                             const std::string& key_attr) {
+  std::optional<size_t> idx = schema.IndexOf(key_attr);
+  if (!idx.has_value()) {
+    return NotFoundError(StrCat("key attribute '", key_attr,
+                                "' not in schema of table '", name, "'"));
+  }
+  Table table(std::move(name), std::move(schema));
+  table.key_index_ = *idx;
+  return table;
+}
+
+std::optional<std::string> Table::key_attr() const {
+  if (!key_index_.has_value()) return std::nullopt;
+  return schema_.attribute(*key_index_).name;
+}
+
+const Tuple& Table::row(size_t i) const {
+  MD_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+Status Table::Insert(Tuple tuple) {
+  MD_RETURN_IF_ERROR(schema_.ValidateTuple(tuple, allow_null_));
+  if (key_index_.has_value()) {
+    const Value& key = tuple[*key_index_];
+    if (key_map_.count(key) > 0) {
+      return AlreadyExistsError(StrCat("duplicate key ", key.ToString(),
+                                       " in table '", name_, "'"));
+    }
+    key_map_.emplace(key, rows_.size());
+  }
+  rows_.push_back(std::move(tuple));
+  return Status::Ok();
+}
+
+bool Table::ContainsKey(const Value& key) const {
+  MD_CHECK(key_index_.has_value());
+  return key_map_.count(key) > 0;
+}
+
+const Tuple* Table::FindByKey(const Value& key) const {
+  MD_CHECK(key_index_.has_value());
+  auto it = key_map_.find(key);
+  if (it == key_map_.end()) return nullptr;
+  return &rows_[it->second];
+}
+
+void Table::ReindexRow(size_t row_idx) {
+  if (!key_index_.has_value()) return;
+  key_map_[rows_[row_idx][*key_index_]] = row_idx;
+}
+
+Status Table::DeleteByKey(const Value& key) {
+  MD_CHECK(key_index_.has_value());
+  auto it = key_map_.find(key);
+  if (it == key_map_.end()) {
+    return NotFoundError(StrCat("key ", key.ToString(),
+                                " not found in table '", name_, "'"));
+  }
+  const size_t idx = it->second;
+  key_map_.erase(it);
+  if (idx != rows_.size() - 1) {
+    rows_[idx] = std::move(rows_.back());
+    rows_.pop_back();
+    ReindexRow(idx);
+  } else {
+    rows_.pop_back();
+  }
+  return Status::Ok();
+}
+
+Status Table::DeleteTuple(const Tuple& tuple) {
+  if (key_index_.has_value()) {
+    if (tuple.size() != schema_.size()) {
+      return InvalidArgumentError("tuple arity mismatch in DeleteTuple");
+    }
+    const Value& key = tuple[*key_index_];
+    const Tuple* existing = FindByKey(key);
+    if (existing == nullptr || !TupleEqual()(*existing, tuple)) {
+      return NotFoundError(StrCat("tuple ", TupleToString(tuple),
+                                  " not found in table '", name_, "'"));
+    }
+    return DeleteByKey(key);
+  }
+  TupleEqual eq;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (eq(rows_[i], tuple)) {
+      if (i != rows_.size() - 1) rows_[i] = std::move(rows_.back());
+      rows_.pop_back();
+      return Status::Ok();
+    }
+  }
+  return NotFoundError(StrCat("tuple ", TupleToString(tuple),
+                              " not found in table '", name_, "'"));
+}
+
+Status Table::ReplaceRow(size_t i, Tuple row) {
+  MD_CHECK_LT(i, rows_.size());
+  MD_RETURN_IF_ERROR(schema_.ValidateTuple(row, allow_null_));
+  if (key_index_.has_value()) {
+    const Value& old_key = rows_[i][*key_index_];
+    const Value& new_key = row[*key_index_];
+    if (old_key.Compare(new_key) != 0) {
+      if (key_map_.count(new_key) > 0) {
+        return AlreadyExistsError(StrCat("duplicate key ",
+                                         new_key.ToString(), " in table '",
+                                         name_, "'"));
+      }
+      key_map_.erase(old_key);
+      key_map_.emplace(new_key, i);
+    }
+  }
+  rows_[i] = std::move(row);
+  return Status::Ok();
+}
+
+void Table::DeleteRowAt(size_t i) {
+  MD_CHECK_LT(i, rows_.size());
+  if (key_index_.has_value()) {
+    key_map_.erase(rows_[i][*key_index_]);
+  }
+  if (i != rows_.size() - 1) {
+    rows_[i] = std::move(rows_.back());
+    rows_.pop_back();
+    ReindexRow(i);
+  } else {
+    rows_.pop_back();
+  }
+}
+
+void Table::Clear() {
+  rows_.clear();
+  key_map_.clear();
+}
+
+uint64_t Table::ActualSizeBytes() const {
+  uint64_t bytes = 0;
+  for (const Tuple& row : rows_) {
+    for (const Value& v : row) {
+      bytes += v.type() == ValueType::kString ? v.AsString().size() : 8;
+    }
+  }
+  return bytes;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::string> header;
+  header.reserve(schema_.size());
+  for (const Attribute& a : schema_.attributes()) header.push_back(a.name);
+
+  std::vector<std::vector<std::string>> cells;
+  const size_t shown = std::min(max_rows, rows_.size());
+  cells.reserve(shown);
+  for (size_t i = 0; i < shown; ++i) {
+    std::vector<std::string> rendered;
+    rendered.reserve(rows_[i].size());
+    for (const Value& v : rows_[i]) rendered.push_back(v.ToString());
+    cells.push_back(std::move(rendered));
+  }
+
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+    for (const auto& row : cells) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::string out = StrCat(name_, " [", rows_.size(), " rows]\n");
+  for (size_t c = 0; c < header.size(); ++c) {
+    out += PadRight(header[c], widths[c] + 2);
+  }
+  out += "\n";
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += PadRight(row[c], widths[c] + 2);
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrCat("... (", rows_.size() - shown, " more rows)\n");
+  }
+  return out;
+}
+
+}  // namespace mindetail

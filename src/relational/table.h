@@ -1,0 +1,103 @@
+// An in-memory row-store table with an optional single-attribute
+// primary key (the paper assumes each base table has one, Sec. 2.1).
+
+#ifndef MINDETAIL_RELATIONAL_TABLE_H_
+#define MINDETAIL_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace mindetail {
+
+class Table {
+ public:
+  Table() = default;
+  // A key-less table (used for operator outputs and auxiliary views).
+  Table(std::string name, Schema schema);
+
+  // A table whose `key_attr` column is a primary key; fails if the
+  // attribute is missing from the schema.
+  static Result<Table> WithKey(std::string name, Schema schema,
+                               const std::string& key_attr);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // Column index of the primary key, if any.
+  std::optional<size_t> key_index() const { return key_index_; }
+  // Name of the primary key attribute, if any.
+  std::optional<std::string> key_attr() const;
+
+  size_t NumRows() const { return rows_.size(); }
+  bool Empty() const { return rows_.empty(); }
+  const Tuple& row(size_t i) const;
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  // Whether inserted tuples may contain NULLs (true for operator
+  // outputs carrying aggregate results, false for base tables).
+  void set_allow_null(bool allow_null) { allow_null_ = allow_null; }
+
+  // Validates and appends `tuple`; enforces key uniqueness.
+  Status Insert(Tuple tuple);
+
+  // Key lookups (table must have a key).
+  bool ContainsKey(const Value& key) const;
+  // Pointer valid until the next mutation.
+  const Tuple* FindByKey(const Value& key) const;
+  Status DeleteByKey(const Value& key);
+
+  // Deletes one row equal to `tuple`; NotFound if absent.
+  Status DeleteTuple(const Tuple& tuple);
+
+  // Replaces row `i` in place (schema-validated; key map maintained).
+  Status ReplaceRow(size_t i, Tuple row);
+
+  // Deletes row `i` by swapping the last row into its place (the caller
+  // must fix any external index accordingly).
+  void DeleteRowAt(size_t i);
+
+  void Clear();
+
+  // Storage size under the paper's accounting model: every field is
+  // 4 bytes (Sec. 1.1: "5 fields × 4 bytes").
+  uint64_t PaperSizeBytes() const {
+    return static_cast<uint64_t>(rows_.size()) * schema_.size() * 4;
+  }
+
+  // Honest in-memory size: 8 bytes per numeric field, string payload
+  // bytes for strings.
+  uint64_t ActualSizeBytes() const;
+
+  // Multi-line rendering (header + rows), for examples and benches.
+  // Rows are printed in insertion order; at most `max_rows` rows.
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  void ReindexRow(size_t row_idx);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::optional<size_t> key_index_;
+  bool allow_null_ = false;
+  // Maps key value -> index into rows_. Maintained with swap-and-pop
+  // deletion, so row order is not stable across deletes.
+  std::unordered_map<Value, size_t, ValueHash, ValueEqual> key_map_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_TABLE_H_

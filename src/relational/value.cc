@@ -1,0 +1,154 @@
+#include "relational/value.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Value::AsInt64() const {
+  MD_CHECK(type() == ValueType::kInt64);
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  MD_CHECK(type() == ValueType::kDouble);
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  MD_CHECK(type() == ValueType::kString);
+  return std::get<std::string>(data_);
+}
+
+double Value::NumericAsDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case ValueType::kDouble:
+      return std::get<double>(data_);
+    default:
+      MD_CHECK(false);  // Non-numeric value used in numeric context.
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return 0;
+    return a_null ? -1 : 1;  // NULL sorts first.
+  }
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+      const int64_t a = std::get<int64_t>(data_);
+      const int64_t b = std::get<int64_t>(other.data_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = NumericAsDouble();
+    const double b = other.NumericAsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  // Only string-vs-string remains valid.
+  MD_CHECK(type() == ValueType::kString &&
+           other.type() == ValueType::kString);
+  const std::string& a = std::get<std::string>(data_);
+  const std::string& b = std::get<std::string>(other.data_);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kInt64: {
+      const int64_t v = std::get<int64_t>(data_);
+      return HashCombine(0x11, static_cast<uint64_t>(v));
+    }
+    case ValueType::kDouble: {
+      // Hash doubles holding integral values identically to the int64,
+      // since Compare treats them as equal.
+      const double d = std::get<double>(data_);
+      if (std::nearbyint(d) == d && std::abs(d) < 9.2e18) {
+        return HashCombine(0x11, static_cast<uint64_t>(
+                                     static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(0x22, bits);
+    }
+    case ValueType::kString:
+      return Fnv1a(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
+        return FormatDouble(d, 1);
+      }
+      return FormatDouble(d, 4);
+    }
+    case ValueType::kString:
+      return StrCat("'", std::get<std::string>(data_), "'");
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+Value AddValues(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64) {
+    return Value(a.AsInt64() + b.AsInt64());
+  }
+  return Value(a.NumericAsDouble() + b.NumericAsDouble());
+}
+
+Value NegateValue(const Value& v) {
+  if (v.is_null()) return v;
+  if (v.type() == ValueType::kInt64) return Value(-v.AsInt64());
+  return Value(-v.NumericAsDouble());
+}
+
+Value ScaleValue(const Value& v, int64_t count) {
+  if (v.is_null()) return v;
+  if (v.type() == ValueType::kInt64) return Value(v.AsInt64() * count);
+  return Value(v.NumericAsDouble() * static_cast<double>(count));
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::vector<std::string> parts;
+  parts.reserve(tuple.size());
+  for (const Value& v : tuple) parts.push_back(v.ToString());
+  return StrCat("(", Join(parts, ", "), ")");
+}
+
+}  // namespace mindetail

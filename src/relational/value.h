@@ -1,0 +1,142 @@
+// Typed values, tuples, and their comparison/hash support.
+//
+// The engine supports the three scalar types the paper's examples need
+// (64-bit integers, doubles, strings) plus NULL, which only arises in
+// aggregate outputs — base tables are assumed NULL-free (paper Sec. 2.1).
+
+#ifndef MINDETAIL_RELATIONAL_VALUE_H_
+#define MINDETAIL_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace mindetail {
+
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+// Returns e.g. "INT64".
+const char* ValueTypeName(ValueType type);
+
+// A dynamically-typed scalar. Cheap to copy for numerics; strings are
+// copied by value (the engine is a reference row store, not a performance
+// play on string interning).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(int64_t v) : data_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(int v) : data_(static_cast<int64_t>(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(double v) : data_(v) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  // Accessors abort on type mismatch (programmer error; predicates and
+  // view definitions are type-checked when built).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // Numeric value as double regardless of int/double representation.
+  // Aborts for strings and NULL.
+  double NumericAsDouble() const;
+  bool IsNumeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  // Three-way comparison: -1, 0, or +1. Numeric types compare by value
+  // across int64/double. NULL compares equal to NULL and less than
+  // everything else. Comparing a string with a numeric aborts.
+  int Compare(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  // Renders the value for display ("NULL", 42, 9.95, 'Alpha').
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+// Numeric addition for SUM maintenance: int64+int64 stays int64,
+// anything involving a double becomes double. NULL propagates.
+Value AddValues(const Value& a, const Value& b);
+// Numeric negation (for SUM under deletion).
+Value NegateValue(const Value& v);
+// Multiplies a numeric value by an integer count — the `f(a · cnt0)`
+// duplicate-accounting rule of paper Sec. 3.2.
+Value ScaleValue(const Value& v, int64_t count);
+
+// A row: one Value per schema attribute.
+using Tuple = std::vector<Value>;
+
+std::string TupleToString(const Tuple& tuple);
+
+struct TupleHash {
+  uint64_t operator()(const Tuple& t) const {
+    uint64_t h = 0x51ab2ef1d4c8aa37ULL;
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+struct TupleEqual {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct ValueHash {
+  uint64_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct ValueEqual {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) == 0;
+  }
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_RELATIONAL_VALUE_H_

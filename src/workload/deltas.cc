@@ -1,0 +1,133 @@
+#include "workload/deltas.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+int64_t MaxInt64In(const Table& table, const std::string& column) {
+  std::optional<size_t> idx = table.schema().IndexOf(column);
+  MD_CHECK(idx.has_value());
+  int64_t max_value = 0;
+  for (const Tuple& row : table.rows()) {
+    max_value = std::max(max_value, row[*idx].AsInt64());
+  }
+  return max_value;
+}
+
+std::vector<Tuple> RetailDeltaGenerator::PickRows(const Table& table,
+                                                  size_t n) {
+  std::vector<Tuple> out;
+  if (table.NumRows() == 0) return out;
+  n = std::min(n, table.NumRows());
+  std::set<size_t> chosen;
+  while (chosen.size() < n) {
+    chosen.insert(static_cast<size_t>(rng_.NextBelow(table.NumRows())));
+  }
+  out.reserve(chosen.size());
+  for (size_t idx : chosen) out.push_back(table.row(idx));
+  return out;
+}
+
+Result<Delta> RetailDeltaGenerator::SaleInsertions(const Catalog& source,
+                                                   size_t n) {
+  MD_ASSIGN_OR_RETURN(const Table* sale, source.GetTable("sale"));
+  MD_ASSIGN_OR_RETURN(const Table* time, source.GetTable("time"));
+  MD_ASSIGN_OR_RETURN(const Table* product, source.GetTable("product"));
+  MD_ASSIGN_OR_RETURN(const Table* store, source.GetTable("store"));
+  if (time->Empty() || product->Empty() || store->Empty()) {
+    return FailedPreconditionError("dimensions are empty");
+  }
+  Delta delta;
+  int64_t next_id = MaxInt64In(*sale, "id") + 1;
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = time->row(rng_.NextBelow(time->NumRows()));
+    const Tuple& p = product->row(rng_.NextBelow(product->NumRows()));
+    const Tuple& s = store->row(rng_.NextBelow(store->NumRows()));
+    const double price = static_cast<double>(rng_.NextInt(2, 400)) / 2.0;
+    delta.inserts.push_back(
+        {Value(next_id++), t[0], p[0], s[0], Value(price)});
+  }
+  return delta;
+}
+
+Result<Delta> RetailDeltaGenerator::SaleDeletions(const Catalog& source,
+                                                  size_t n) {
+  MD_ASSIGN_OR_RETURN(const Table* sale, source.GetTable("sale"));
+  Delta delta;
+  delta.deletes = PickRows(*sale, n);
+  return delta;
+}
+
+Result<Delta> RetailDeltaGenerator::SalePriceUpdates(const Catalog& source,
+                                                     size_t n) {
+  MD_ASSIGN_OR_RETURN(const Table* sale, source.GetTable("sale"));
+  const size_t price_idx = *sale->schema().IndexOf("price");
+  Delta delta;
+  for (Tuple& before : PickRows(*sale, n)) {
+    Tuple after = before;
+    after[price_idx] =
+        Value(static_cast<double>(rng_.NextInt(2, 400)) / 2.0);
+    delta.updates.push_back(Update{std::move(before), std::move(after)});
+  }
+  return delta;
+}
+
+Result<Delta> RetailDeltaGenerator::MixedSaleBatch(const Catalog& source,
+                                                   size_t inserts,
+                                                   size_t deletes,
+                                                   size_t updates) {
+  Delta out;
+  MD_ASSIGN_OR_RETURN(Delta del, SaleDeletions(source, deletes));
+  // Updates must not collide with deleted rows; pick them against the
+  // rows that survive. Simplest deterministic approach: pick updates
+  // first from rows not already chosen for deletion.
+  std::set<int64_t> deleted_ids;
+  for (const Tuple& row : del.deletes) deleted_ids.insert(row[0].AsInt64());
+  MD_ASSIGN_OR_RETURN(const Table* sale, source.GetTable("sale"));
+  const size_t price_idx = *sale->schema().IndexOf("price");
+  size_t produced = 0;
+  for (const Tuple& row : PickRows(*sale, updates + deletes)) {
+    if (produced >= updates) break;
+    if (deleted_ids.count(row[0].AsInt64()) > 0) continue;
+    Tuple after = row;
+    after[price_idx] =
+        Value(static_cast<double>(rng_.NextInt(2, 400)) / 2.0);
+    out.updates.push_back(Update{row, std::move(after)});
+    ++produced;
+  }
+  out.deletes = std::move(del.deletes);
+  MD_ASSIGN_OR_RETURN(Delta ins, SaleInsertions(source, inserts));
+  out.inserts = std::move(ins.inserts);
+  return out;
+}
+
+Result<Delta> RetailDeltaGenerator::ProductInsertions(const Catalog& source,
+                                                      size_t n) {
+  MD_ASSIGN_OR_RETURN(const Table* product, source.GetTable("product"));
+  Delta delta;
+  int64_t next_id = MaxInt64In(*product, "id") + 1;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t id = next_id++;
+    delta.inserts.push_back({Value(id),
+                             Value(StrCat("brand", rng_.NextInt(0, 19))),
+                             Value(StrCat("cat", rng_.NextInt(0, 7)))});
+  }
+  return delta;
+}
+
+Result<Delta> RetailDeltaGenerator::ProductBrandUpdates(
+    const Catalog& source, size_t n) {
+  MD_ASSIGN_OR_RETURN(const Table* product, source.GetTable("product"));
+  const size_t brand_idx = *product->schema().IndexOf("brand");
+  Delta delta;
+  for (Tuple& before : PickRows(*product, n)) {
+    Tuple after = before;
+    after[brand_idx] = Value(StrCat("brand", rng_.NextInt(0, 19)));
+    delta.updates.push_back(Update{std::move(before), std::move(after)});
+  }
+  return delta;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,59 @@
+// Referential-integrity-consistent delta streams against the retail
+// star schema (and generic helpers for arbitrary keyed tables). The
+// generator reads the *current* source catalog to pick valid foreign
+// keys and existing rows, so the produced deltas can be applied both to
+// the source (ground truth) and to any maintainer under test.
+
+#ifndef MINDETAIL_WORKLOAD_DELTAS_H_
+#define MINDETAIL_WORKLOAD_DELTAS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "relational/catalog.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+// Deterministic generator of retail change batches. Sales inserted by
+// this generator get fresh ids above any existing id.
+class RetailDeltaGenerator {
+ public:
+  explicit RetailDeltaGenerator(uint64_t seed) : rng_(seed) {}
+
+  // `n` new sales referencing randomly chosen existing dimension rows.
+  Result<Delta> SaleInsertions(const Catalog& source, size_t n);
+
+  // `n` randomly chosen existing sales, as full before-images.
+  Result<Delta> SaleDeletions(const Catalog& source, size_t n);
+
+  // `n` price changes on randomly chosen existing sales.
+  Result<Delta> SalePriceUpdates(const Catalog& source, size_t n);
+
+  // A mixed fact batch.
+  Result<Delta> MixedSaleBatch(const Catalog& source, size_t inserts,
+                               size_t deletes, size_t updates);
+
+  // `n` brand-new products (no sales reference them yet).
+  Result<Delta> ProductInsertions(const Catalog& source, size_t n);
+
+  // `n` brand changes on randomly chosen existing products (a protected
+  // update: brand is preserved in views but never a condition).
+  Result<Delta> ProductBrandUpdates(const Catalog& source, size_t n);
+
+ private:
+  // Picks `n` distinct random rows of `table` (fewer if the table is
+  // smaller).
+  std::vector<Tuple> PickRows(const Table& table, size_t n);
+
+  Rng rng_;
+};
+
+// The largest int64 value in `column` of `table`, or 0 if empty.
+int64_t MaxInt64In(const Table& table, const std::string& column);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_WORKLOAD_DELTAS_H_

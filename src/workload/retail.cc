@@ -1,0 +1,167 @@
+#include "workload/retail.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+Result<RetailWarehouse> GenerateRetail(const RetailParams& params) {
+  if (params.days <= 0 || params.stores <= 0 || params.products <= 0 ||
+      params.products_sold_per_store_day <= 0 ||
+      params.transactions_per_product <= 0) {
+    return InvalidArgumentError("retail parameters must be positive");
+  }
+  RetailWarehouse warehouse;
+  warehouse.params = params;
+  Catalog& catalog = warehouse.catalog;
+  Rng rng(params.seed);
+
+  MD_RETURN_IF_ERROR(catalog.CreateTable(
+      "time",
+      Schema({{"id", ValueType::kInt64},
+              {"day", ValueType::kInt64},
+              {"month", ValueType::kInt64},
+              {"year", ValueType::kInt64}}),
+      "id"));
+  MD_RETURN_IF_ERROR(catalog.CreateTable(
+      "product",
+      Schema({{"id", ValueType::kInt64},
+              {"brand", ValueType::kString},
+              {"category", ValueType::kString}}),
+      "id"));
+  MD_RETURN_IF_ERROR(catalog.CreateTable(
+      "store",
+      Schema({{"id", ValueType::kInt64},
+              {"street_address", ValueType::kString},
+              {"city", ValueType::kString},
+              {"country", ValueType::kString},
+              {"manager", ValueType::kString}}),
+      "id"));
+  MD_RETURN_IF_ERROR(catalog.CreateTable(
+      "sale",
+      Schema({{"id", ValueType::kInt64},
+              {"timeid", ValueType::kInt64},
+              {"productid", ValueType::kInt64},
+              {"storeid", ValueType::kInt64},
+              {"price", ValueType::kDouble}}),
+      "id"));
+  MD_RETURN_IF_ERROR(catalog.AddForeignKey("sale", "timeid", "time"));
+  MD_RETURN_IF_ERROR(catalog.AddForeignKey("sale", "productid", "product"));
+  MD_RETURN_IF_ERROR(catalog.AddForeignKey("sale", "storeid", "store"));
+
+  // Time: days split evenly across 1996 and 1997.
+  {
+    MD_ASSIGN_OR_RETURN(Table* time, catalog.MutableTable("time"));
+    for (int64_t i = 1; i <= params.days; ++i) {
+      const int64_t year = (i - 1) < params.days / 2 ? 1996 : 1997;
+      const int64_t month = ((i - 1) / 30) % 12 + 1;
+      MD_RETURN_IF_ERROR(
+          time->Insert({Value(i), Value(i), Value(month), Value(year)}));
+    }
+  }
+  // Products: brands and categories are coarser groupings of the id.
+  {
+    MD_ASSIGN_OR_RETURN(Table* product, catalog.MutableTable("product"));
+    const int64_t brands = std::max<int64_t>(1, params.products / 10);
+    const int64_t categories = std::max<int64_t>(1, params.products / 25);
+    for (int64_t i = 1; i <= params.products; ++i) {
+      MD_RETURN_IF_ERROR(product->Insert(
+          {Value(i), Value(StrCat("brand", i % brands)),
+           Value(StrCat("cat", i % categories))}));
+    }
+  }
+  {
+    MD_ASSIGN_OR_RETURN(Table* store, catalog.MutableTable("store"));
+    for (int64_t i = 1; i <= params.stores; ++i) {
+      MD_RETURN_IF_ERROR(store->Insert(
+          {Value(i), Value(StrCat(i, " Main Street")),
+           Value(StrCat("city", i % 13)), Value("DK"),
+           Value(StrCat("manager", i % 7))}));
+    }
+  }
+
+  // Sales: per day, a rotating pool of distinct products sells
+  // chain-wide; each store sells `products_sold_per_store_day` of them
+  // in `transactions_per_product` transactions. Prices are multiples of
+  // 0.5, keeping double sums exact.
+  {
+    MD_ASSIGN_OR_RETURN(Table* sale, catalog.MutableTable("sale"));
+    const int64_t pool_size = std::clamp<int64_t>(
+        static_cast<int64_t>(params.daily_distinct_fraction *
+                             static_cast<double>(params.products)),
+        1, params.products);
+    int64_t sale_id = 1;
+    for (int64_t d = 1; d <= params.days; ++d) {
+      const int64_t pool_base = (d * 131) % params.products;
+      for (int64_t s = 1; s <= params.stores; ++s) {
+        for (int64_t k = 0; k < params.products_sold_per_store_day; ++k) {
+          const int64_t pool_slot = (s * 7 + k) % pool_size;
+          const int64_t product =
+              (pool_base + pool_slot) % params.products + 1;
+          for (int64_t t = 0; t < params.transactions_per_product; ++t) {
+            const double price =
+                static_cast<double>(rng.NextInt(2, 400)) / 2.0;
+            MD_RETURN_IF_ERROR(sale->Insert({Value(sale_id++), Value(d),
+                                             Value(product), Value(s),
+                                             Value(price)}));
+          }
+        }
+      }
+    }
+  }
+  return warehouse;
+}
+
+Result<GpsjViewDef> ProductSalesView(const Catalog& catalog) {
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount")
+      .CountDistinct("product", "brand", "DifferentBrands");
+  return builder.Build(catalog);
+}
+
+Result<GpsjViewDef> ProductSalesCsmasView(const Catalog& catalog) {
+  GpsjViewBuilder builder("product_sales_csmas");
+  builder.From("sale")
+      .From("time")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount")
+      .Avg("sale", "price", "AvgPrice");
+  return builder.Build(catalog);
+}
+
+Result<GpsjViewDef> ProductSalesMaxView(const Catalog& catalog) {
+  GpsjViewBuilder builder("product_sales_max");
+  builder.From("sale")
+      .GroupBy("sale", "productid")
+      .Max("sale", "price", "MaxPrice")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount");
+  return builder.Build(catalog);
+}
+
+Result<GpsjViewDef> SalesByProductKeyView(const Catalog& catalog) {
+  GpsjViewBuilder builder("sales_by_product");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("product", "id", "ProductId")
+      .GroupBy("product", "brand", "Brand")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount");
+  return builder.Build(catalog);
+}
+
+}  // namespace mindetail

@@ -1,0 +1,79 @@
+// The Kimball-style grocery-chain retail star schema of paper Sec. 1.1:
+//
+//   sale(id, timeid, productid, storeid, price)     — fact
+//   time(id, day, month, year)                      — dimension
+//   product(id, brand, category)                    — dimension
+//   store(id, street_address, city, country, manager) — dimension
+//
+// with referential integrity from sale.{timeid,productid,storeid} to the
+// dimension keys. The generator follows the paper's cardinality model
+// (days × stores × products-sold-per-store-day × transactions-per-
+// product) at a configurable scale, and controls the number of distinct
+// products selling per day — the knob that drives smart duplicate
+// compression between its worst and best cases.
+
+#ifndef MINDETAIL_WORKLOAD_RETAIL_H_
+#define MINDETAIL_WORKLOAD_RETAIL_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "gpsj/builder.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+struct RetailParams {
+  // Dimension cardinalities. Days are split evenly across two years
+  // (1996 and 1997) as in the paper.
+  int64_t days = 30;
+  int64_t stores = 4;
+  int64_t products = 200;
+
+  // Fact cardinality model (paper Sec. 1.1): per store and day,
+  // `products_sold_per_store_day` distinct products sell, each in
+  // `transactions_per_product` transactions.
+  int64_t products_sold_per_store_day = 20;
+  int64_t transactions_per_product = 3;
+
+  // How many distinct products sell chain-wide on any given day, as a
+  // fraction of the catalog. 1.0 is the paper's compression worst case.
+  double daily_distinct_fraction = 0.5;
+
+  uint64_t seed = 42;
+
+  int64_t FactRows() const {
+    return days * stores * products_sold_per_store_day *
+           transactions_per_product;
+  }
+};
+
+struct RetailWarehouse {
+  Catalog catalog;
+  RetailParams params;
+};
+
+// Generates the populated star schema. Prices are multiples of 0.5 so
+// that floating-point sums stay exact.
+Result<RetailWarehouse> GenerateRetail(const RetailParams& params);
+
+// The paper's `product_sales` view (Sec. 1.1): per month of 1997, total
+// price, transaction count, and number of distinct brands sold.
+Result<GpsjViewDef> ProductSalesView(const Catalog& catalog);
+
+// The same view without the DISTINCT aggregate — all CSMAS, used by
+// throughput benches that isolate the incremental path.
+Result<GpsjViewDef> ProductSalesCsmasView(const Catalog& catalog);
+
+// The paper's `product_sales_max` view (Sec. 3.2): per product, MAX and
+// SUM of price plus a count — exercises plain-column compression and
+// the f(a · cnt0) rule.
+Result<GpsjViewDef> ProductSalesMaxView(const Catalog& catalog);
+
+// A view grouped on the product key — its extended join graph carries a
+// `k` annotation and the fact auxiliary view is eliminable (Sec. 3.3).
+Result<GpsjViewDef> SalesByProductKeyView(const Catalog& catalog);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_WORKLOAD_RETAIL_H_

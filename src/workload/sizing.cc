@@ -1,0 +1,40 @@
+#include "workload/sizing.h"
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+std::string StorageModel::Report() const {
+  const double year_fraction = 0.5;
+  const int64_t worst_case_distinct = products;  // All products sell daily.
+  std::string out;
+  out += "Section 1.1 storage analysis (paper parameters)\n";
+  out += StrCat("  time dimension:      ", days, " days (2 years)\n");
+  out += StrCat("  store dimension:     ", stores, " stores\n");
+  out += StrCat("  product dimension:   ", FormatWithCommas(products),
+                " products, ",
+                FormatWithCommas(products_sold_per_store_day),
+                " sell per store-day\n");
+  out += StrCat("  transactions/product: ", transactions_per_product, "\n");
+  out += StrCat("  fact tuples:         ", FormatWithCommas(FactTuples()),
+                "\n");
+  out += StrCat("  fact size:           ", FormatBytes(FactBytes()), " (",
+                fact_fields, " fields x ", bytes_per_field, " bytes)\n");
+  out += StrCat("  aux tuples (worst):  ",
+                FormatWithCommas(AuxTuples(year_fraction,
+                                           worst_case_distinct)),
+                "\n");
+  out += StrCat("  aux size (worst):    ",
+                FormatBytes(AuxBytes(year_fraction, worst_case_distinct)),
+                " (", aux_fields, " fields x ", bytes_per_field,
+                " bytes)\n");
+  out += StrCat("  reduction factor:    ",
+                FormatDouble(CompressionFactor(year_fraction,
+                                               worst_case_distinct),
+                             1),
+                "x\n");
+  return out;
+}
+
+}  // namespace mindetail

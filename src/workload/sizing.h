@@ -1,0 +1,89 @@
+// The analytic storage model of paper Sec. 1.1.
+//
+// The paper sizes the grocery chain's fact table and the derived
+// auxiliary view with Kimball's real-life case-study parameters:
+//
+//   fact tuples = days × stores × products-sold-per-store-day ×
+//                 transactions-per-product
+//               = 730 × 300 × 3000 × 20 = 13,140,000,000
+//   fact bytes  = tuples × 5 fields × 4 bytes ≈ 245 GB
+//
+//   aux tuples  = (days × year-fraction) × distinct-products-per-day
+//               = 365 × 30,000 = 10,950,000
+//   aux bytes   = tuples × 4 fields × 4 bytes ≈ 167 MB
+//
+// This module reproduces that arithmetic exactly and generalizes it to
+// the compression sweep of experiment E6.
+
+#ifndef MINDETAIL_WORKLOAD_SIZING_H_
+#define MINDETAIL_WORKLOAD_SIZING_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mindetail {
+
+struct StorageModel {
+  // The paper's parameters (Kimball case studies, [12] pp. 46-47, 62).
+  int64_t days = 730;
+  int64_t stores = 300;
+  int64_t products = 30000;
+  int64_t products_sold_per_store_day = 3000;
+  int64_t transactions_per_product = 20;
+
+  int64_t fact_fields = 5;  // sale(id, timeid, productid, storeid, price).
+  int64_t aux_fields = 4;   // saleDTL(timeid, productid, sum, cnt).
+  int64_t bytes_per_field = 4;
+
+  // Fact-table size (the full current detail a naive warehouse stores).
+  int64_t FactTuples() const {
+    return days * stores * products_sold_per_store_day *
+           transactions_per_product;
+  }
+  uint64_t FactBytes() const {
+    return static_cast<uint64_t>(FactTuples()) * fact_fields *
+           bytes_per_field;
+  }
+
+  // Auxiliary-view size after local reduction (year filter keeps
+  // `year_fraction` of the days) and smart duplicate compression
+  // (`distinct_products_per_day` groups per retained day).
+  int64_t AuxTuples(double year_fraction,
+                    int64_t distinct_products_per_day) const {
+    return static_cast<int64_t>(static_cast<double>(days) * year_fraction) *
+           distinct_products_per_day;
+  }
+  uint64_t AuxBytes(double year_fraction,
+                    int64_t distinct_products_per_day) const {
+    return static_cast<uint64_t>(
+               AuxTuples(year_fraction, distinct_products_per_day)) *
+           aux_fields * bytes_per_field;
+  }
+
+  // PSJ-style detail size: local reduction only (year filter), one row
+  // per fact tuple, key retained → 4 stored fields
+  // (id, timeid, productid, price).
+  int64_t PsjTuples(double year_fraction) const {
+    return static_cast<int64_t>(static_cast<double>(FactTuples()) *
+                                year_fraction);
+  }
+  uint64_t PsjBytes(double year_fraction, int64_t psj_fields = 4) const {
+    return static_cast<uint64_t>(PsjTuples(year_fraction)) * psj_fields *
+           bytes_per_field;
+  }
+
+  // fact bytes / aux bytes.
+  double CompressionFactor(double year_fraction,
+                           int64_t distinct_products_per_day) const {
+    return static_cast<double>(FactBytes()) /
+           static_cast<double>(AuxBytes(year_fraction,
+                                        distinct_products_per_day));
+  }
+
+  // A formatted report of the Sec. 1.1 numbers (used by bench E5).
+  std::string Report() const;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_WORKLOAD_SIZING_H_

@@ -1,0 +1,113 @@
+#include "workload/snowflake.h"
+
+#include <deque>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace {
+
+struct PendingTable {
+  std::string name;
+  int level;  // 0 = fact.
+};
+
+}  // namespace
+
+Result<SnowflakeWarehouse> GenerateSnowflake(const SnowflakeParams& params) {
+  if (params.depth < 0 || params.fanout < 0 || params.fact_rows <= 0 ||
+      params.dim_rows <= 0) {
+    return InvalidArgumentError("snowflake parameters out of range");
+  }
+  SnowflakeWarehouse warehouse;
+  Catalog& catalog = warehouse.catalog;
+  Rng rng(params.seed);
+
+  // Lay out the tree breadth-first, assigning each table its children.
+  std::map<std::string, std::vector<std::string>> children;
+  std::deque<PendingTable> frontier = {{warehouse.fact, 0}};
+  int dim_counter = 0;
+  while (!frontier.empty()) {
+    PendingTable current = frontier.front();
+    frontier.pop_front();
+    if (current.level >= params.depth) continue;
+    for (int c = 0; c < params.fanout; ++c) {
+      const std::string child = StrCat("dim", dim_counter++);
+      children[current.name].push_back(child);
+      warehouse.dims.push_back(child);
+      warehouse.parent.emplace(child, current.name);
+      warehouse.link_attr.emplace(child, StrCat("fk_", child));
+      frontier.push_back({child, current.level + 1});
+    }
+  }
+
+  // Create dimension tables bottom-up is unnecessary for schema
+  // creation; create all tables first, then add foreign keys.
+  auto make_schema = [&](const std::string& table,
+                         bool is_fact) -> Schema {
+    std::vector<Attribute> attrs = {{"id", ValueType::kInt64}};
+    auto it = children.find(table);
+    if (it != children.end()) {
+      for (const std::string& child : it->second) {
+        attrs.push_back({StrCat("fk_", child), ValueType::kInt64});
+      }
+    }
+    if (is_fact) {
+      attrs.push_back({"m1", ValueType::kInt64});
+      attrs.push_back({"m2", ValueType::kDouble});
+    } else {
+      attrs.push_back({"a", ValueType::kInt64});
+      attrs.push_back({"b", ValueType::kDouble});
+      attrs.push_back({"s", ValueType::kString});
+    }
+    return Schema(std::move(attrs));
+  };
+
+  MD_RETURN_IF_ERROR(catalog.CreateTable(
+      warehouse.fact, make_schema(warehouse.fact, true), "id"));
+  for (const std::string& dim : warehouse.dims) {
+    MD_RETURN_IF_ERROR(
+        catalog.CreateTable(dim, make_schema(dim, false), "id"));
+  }
+  for (const std::string& dim : warehouse.dims) {
+    MD_RETURN_IF_ERROR(catalog.AddForeignKey(
+        warehouse.parent.at(dim), warehouse.link_attr.at(dim), dim));
+  }
+
+  // Populate dimensions, then the fact table (respecting referential
+  // integrity — every foreign key points at an existing row).
+  auto fill_rows = [&](const std::string& table, int64_t rows,
+                       bool is_fact) -> Status {
+    MD_ASSIGN_OR_RETURN(Table* t, catalog.MutableTable(table));
+    const std::vector<std::string>& kids =
+        children.count(table) > 0 ? children.at(table)
+                                  : std::vector<std::string>{};
+    for (int64_t i = 1; i <= rows; ++i) {
+      Tuple row = {Value(i)};
+      for (const std::string& kid : kids) {
+        (void)kid;
+        row.push_back(Value(rng.NextInt(1, params.dim_rows)));
+      }
+      if (is_fact) {
+        row.push_back(Value(rng.NextInt(0, 9)));
+        row.push_back(Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0));
+      } else {
+        row.push_back(Value(rng.NextInt(0, 4)));
+        row.push_back(Value(static_cast<double>(rng.NextInt(2, 40)) / 2.0));
+        row.push_back(Value(StrCat("v", rng.NextInt(0, 6))));
+      }
+      MD_RETURN_IF_ERROR(t->Insert(std::move(row)));
+    }
+    return Status::Ok();
+  };
+
+  for (const std::string& dim : warehouse.dims) {
+    MD_RETURN_IF_ERROR(fill_rows(dim, params.dim_rows, false));
+  }
+  MD_RETURN_IF_ERROR(fill_rows(warehouse.fact, params.fact_rows, true));
+  return warehouse;
+}
+
+}  // namespace mindetail

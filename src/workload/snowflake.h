@@ -1,0 +1,48 @@
+// Parameterized snowflake-schema generator: a fact table whose
+// dimension tree has configurable depth and fan-out. Used by the
+// property tests (random GPSJ views over random snowflakes) and by the
+// derivation-scaling bench (E9).
+
+#ifndef MINDETAIL_WORKLOAD_SNOWFLAKE_H_
+#define MINDETAIL_WORKLOAD_SNOWFLAKE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+struct SnowflakeParams {
+  int depth = 2;    // Levels of dimension tables below the fact table.
+  int fanout = 2;   // Children per table at every level.
+  int64_t fact_rows = 500;
+  int64_t dim_rows = 40;  // Rows per dimension table.
+  uint64_t seed = 7;
+};
+
+struct SnowflakeWarehouse {
+  Catalog catalog;
+  std::string fact = "fact";
+  // All dimension table names, breadth-first from the fact table.
+  std::vector<std::string> dims;
+  // Dimension → its parent table in the tree (fact or another dim).
+  std::map<std::string, std::string> parent;
+  // Dimension → the attribute of its parent that references it.
+  std::map<std::string, std::string> link_attr;
+};
+
+// Table schemas:
+//   fact(id, <link attrs…>, m1 INT64, m2 DOUBLE)
+//   dim_*(id, <link attrs…>, a INT64, b DOUBLE, s STRING)
+// `a` is a small categorical (good group-by target), `b` a measure,
+// `s` a low-cardinality string. All link attributes carry declared
+// referential integrity.
+Result<SnowflakeWarehouse> GenerateSnowflake(const SnowflakeParams& params);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_WORKLOAD_SNOWFLAKE_H_

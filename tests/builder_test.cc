@@ -1,0 +1,169 @@
+#include "gpsj/builder.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+
+TEST(BuilderTest, ValidViewBuilds) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .From("time")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  EXPECT_EQ(def.name(), "v");
+  EXPECT_EQ(def.tables().size(), 2u);
+  EXPECT_EQ(def.GroupByAttrs().size(), 1u);
+  EXPECT_EQ(def.Aggregates().size(), 2u);
+  EXPECT_FALSE(def.LocalConditions("time").empty());
+  EXPECT_TRUE(def.LocalConditions("sale").empty());
+}
+
+TEST(BuilderTest, UnknownTableRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("nope").CountStar("Cnt");
+  EXPECT_EQ(builder.Build(catalog).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BuilderTest, SelfJoinRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale").From("sale").CountStar("Cnt");
+  EXPECT_EQ(builder.Build(catalog).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, UnknownAttributeRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale").GroupBy("sale", "ghost").CountStar("Cnt");
+  EXPECT_EQ(builder.Build(catalog).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BuilderTest, ConditionOnForeignTableRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .CountStar("Cnt");
+  EXPECT_FALSE(builder.Build(catalog).ok());
+}
+
+TEST(BuilderTest, JoinOutsideViewRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale").Join("sale", "timeid", "time").CountStar("Cnt");
+  EXPECT_EQ(builder.Build(catalog).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, SumOverStringRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("product").GroupBy("product", "id").Sum("product", "brand",
+                                                       "Oops");
+  EXPECT_EQ(builder.Build(catalog).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, DuplicateOutputNameRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale").GroupBy("sale", "timeid", "X").CountStar("X");
+  EXPECT_EQ(builder.Build(catalog).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(BuilderTest, SuperfluousAggregateRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  // MIN over a group-by attribute is superfluous (paper Sec. 2.1).
+  builder.From("sale").GroupBy("sale", "price").Min("sale", "price", "M");
+  EXPECT_EQ(builder.Build(catalog).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, EmptyViewsRejected) {
+  Catalog catalog = PaperTable3Fixture();
+  {
+    GpsjViewBuilder builder("v");
+    EXPECT_FALSE(builder.Build(catalog).ok());  // No tables.
+  }
+  {
+    GpsjViewBuilder builder("v");
+    builder.From("sale");
+    EXPECT_FALSE(builder.Build(catalog).ok());  // No outputs.
+  }
+}
+
+TEST(ViewDefTest, PreservedAndJoinAttrs) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "Total")
+      .CountDistinct("product", "brand", "Brands");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+
+  EXPECT_EQ(def.PreservedAttrs("sale"),
+            (std::vector<std::string>{"price"}));
+  EXPECT_EQ(def.PreservedAttrs("time"),
+            (std::vector<std::string>{"month"}));
+  EXPECT_EQ(def.PreservedAttrs("product"),
+            (std::vector<std::string>{"brand"}));
+  EXPECT_EQ(def.JoinAttrs("sale", catalog),
+            (std::vector<std::string>{"timeid", "productid"}));
+  EXPECT_EQ(def.JoinAttrs("time", catalog),
+            (std::vector<std::string>{"id"}));
+
+  EXPECT_TRUE(def.TableHasNonCsmasAttr("product"));   // DISTINCT count.
+  EXPECT_FALSE(def.TableHasNonCsmasAttr("sale"));
+  EXPECT_TRUE(def.TableHasGroupByAttr("time"));
+  EXPECT_FALSE(def.TableHasGroupByAttr("sale"));
+  EXPECT_FALSE(def.TableKeyInGroupBy("time", catalog));
+}
+
+TEST(ViewDefTest, KeyInGroupByDetected) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("product", "id")
+      .Sum("sale", "price", "Total");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  EXPECT_TRUE(def.TableKeyInGroupBy("product", catalog));
+}
+
+TEST(ViewDefTest, SqlRenderingMentionsAllClauses) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  const std::string sql = def.ToSqlString();
+  EXPECT_NE(sql.find("CREATE VIEW product_sales"), std::string::npos);
+  EXPECT_NE(sql.find("GROUP BY time.month"), std::string::npos);
+  EXPECT_NE(sql.find("year = 1997"), std::string::npos);
+  EXPECT_NE(sql.find("SUM(sale.price) AS TotalPrice"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mindetail

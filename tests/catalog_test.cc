@@ -1,0 +1,103 @@
+#include "relational/catalog.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+Catalog TwoTables() {
+  Catalog catalog;
+  MD_CHECK(catalog
+               .CreateTable("dim",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"g", ValueType::kString}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog
+               .CreateTable("fact",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"dimid", ValueType::kInt64},
+                                    {"v", ValueType::kDouble}}),
+                            "id")
+               .ok());
+  return catalog;
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog = TwoTables();
+  EXPECT_TRUE(catalog.HasTable("fact"));
+  EXPECT_FALSE(catalog.HasTable("nope"));
+  MD_ASSERT_OK_AND_ASSIGN(const Table* fact, catalog.GetTable("fact"));
+  EXPECT_EQ(fact->schema().size(), 3u);
+  EXPECT_EQ(catalog.TableNames(),
+            (std::vector<std::string>{"dim", "fact"}));
+  MD_ASSERT_OK_AND_ASSIGN(std::string key, catalog.KeyAttr("dim"));
+  EXPECT_EQ(key, "id");
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog = TwoTables();
+  Status status = catalog.CreateTable(
+      "dim", Schema({{"id", ValueType::kInt64}}), "id");
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, MissingTableErrors) {
+  Catalog catalog = TwoTables();
+  EXPECT_EQ(catalog.GetTable("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.MutableTable("x").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.SetExposedUpdates("x", true).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog = TwoTables();
+  MD_ASSERT_OK(catalog.AddForeignKey("fact", "dimid", "dim"));
+  EXPECT_TRUE(catalog.HasForeignKey("fact", "dimid", "dim"));
+  EXPECT_FALSE(catalog.HasForeignKey("fact", "v", "dim"));
+  // Unknown attribute.
+  EXPECT_EQ(catalog.AddForeignKey("fact", "nope", "dim").code(),
+            StatusCode::kNotFound);
+  // Type mismatch: v is DOUBLE, dim key is INT64.
+  EXPECT_EQ(catalog.AddForeignKey("fact", "v", "dim").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, ExposedUpdatesFlag) {
+  Catalog catalog = TwoTables();
+  EXPECT_FALSE(catalog.HasExposedUpdates("dim"));
+  MD_ASSERT_OK(catalog.SetExposedUpdates("dim", true));
+  EXPECT_TRUE(catalog.HasExposedUpdates("dim"));
+  MD_ASSERT_OK(catalog.SetExposedUpdates("dim", false));
+  EXPECT_FALSE(catalog.HasExposedUpdates("dim"));
+}
+
+TEST(CatalogTest, ReferentialIntegrityCheck) {
+  Catalog catalog = TwoTables();
+  MD_ASSERT_OK(catalog.AddForeignKey("fact", "dimid", "dim"));
+  Table* dim = *catalog.MutableTable("dim");
+  MD_ASSERT_OK(dim->Insert({Value(1), Value("a")}));
+  Table* fact = *catalog.MutableTable("fact");
+  MD_ASSERT_OK(fact->Insert({Value(10), Value(1), Value(0.5)}));
+  MD_EXPECT_OK(catalog.CheckReferentialIntegrity());
+
+  MD_ASSERT_OK(fact->Insert({Value(11), Value(2), Value(0.5)}));
+  Status status = catalog.CheckReferentialIntegrity();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogTest, CopyIsDeep) {
+  Catalog catalog = TwoTables();
+  Table* dim = *catalog.MutableTable("dim");
+  MD_ASSERT_OK(dim->Insert({Value(1), Value("a")}));
+  Catalog copy = catalog;
+  Table* copy_dim = *copy.MutableTable("dim");
+  MD_ASSERT_OK(copy_dim->Insert({Value(2), Value("b")}));
+  EXPECT_EQ((*catalog.GetTable("dim"))->NumRows(), 1u);
+  EXPECT_EQ((*copy.GetTable("dim"))->NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace mindetail

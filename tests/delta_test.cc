@@ -1,0 +1,82 @@
+#include "relational/delta.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+Table Fixture() {
+  Result<Table> table = Table::WithKey(
+      "t",
+      Schema({{"id", ValueType::kInt64}, {"v", ValueType::kInt64}}), "id");
+  MD_CHECK(table.ok());
+  MD_CHECK(table->Insert({Value(1), Value(10)}).ok());
+  MD_CHECK(table->Insert({Value(2), Value(20)}).ok());
+  return std::move(table).value();
+}
+
+TEST(DeltaTest, EmptyAndSize) {
+  Delta delta;
+  EXPECT_TRUE(delta.Empty());
+  delta.inserts.push_back({Value(3), Value(30)});
+  delta.deletes.push_back({Value(1), Value(10)});
+  delta.updates.push_back(Update{{Value(2), Value(20)},
+                                 {Value(2), Value(25)}});
+  EXPECT_FALSE(delta.Empty());
+  EXPECT_EQ(delta.Size(), 3u);
+}
+
+TEST(DeltaTest, ApplyDeletesUpdatesInserts) {
+  Table table = Fixture();
+  Delta delta;
+  delta.deletes.push_back({Value(1), Value(10)});
+  delta.updates.push_back(Update{{Value(2), Value(20)},
+                                 {Value(2), Value(25)}});
+  delta.inserts.push_back({Value(3), Value(30)});
+  MD_ASSERT_OK(ApplyDelta(&table, delta));
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_FALSE(table.ContainsKey(Value(1)));
+  EXPECT_EQ((*table.FindByKey(Value(2)))[1], Value(25));
+  EXPECT_EQ((*table.FindByKey(Value(3)))[1], Value(30));
+}
+
+TEST(DeltaTest, ApplyFailsOnMissingBeforeImage) {
+  Table table = Fixture();
+  Delta delta;
+  delta.deletes.push_back({Value(9), Value(90)});
+  EXPECT_EQ(ApplyDelta(&table, delta).code(), StatusCode::kNotFound);
+}
+
+TEST(DeltaTest, NormalizeUpdatesSplitsPairs) {
+  Delta delta;
+  delta.inserts.push_back({Value(3), Value(30)});
+  delta.updates.push_back(Update{{Value(2), Value(20)},
+                                 {Value(2), Value(25)}});
+  Delta normalized = NormalizeUpdates(delta);
+  EXPECT_TRUE(normalized.updates.empty());
+  ASSERT_EQ(normalized.deletes.size(), 1u);
+  ASSERT_EQ(normalized.inserts.size(), 2u);
+  EXPECT_EQ(normalized.deletes[0][1], Value(20));
+}
+
+TEST(DeltaTest, NormalizeExposedSplitsOnlyTouchingUpdates) {
+  Schema schema({{"id", ValueType::kInt64},
+                 {"cond", ValueType::kInt64},
+                 {"other", ValueType::kInt64}});
+  Delta delta;
+  // Touches the protected attribute.
+  delta.updates.push_back(Update{{Value(1), Value(5), Value(0)},
+                                 {Value(1), Value(6), Value(0)}});
+  // Touches only an unprotected attribute.
+  delta.updates.push_back(Update{{Value(2), Value(5), Value(0)},
+                                 {Value(2), Value(5), Value(9)}});
+  Delta normalized = NormalizeExposedUpdates(delta, schema, {"cond"});
+  EXPECT_EQ(normalized.deletes.size(), 1u);
+  EXPECT_EQ(normalized.inserts.size(), 1u);
+  ASSERT_EQ(normalized.updates.size(), 1u);
+  EXPECT_EQ(normalized.updates[0].after[2], Value(9));
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,228 @@
+#include "core/derive.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+
+// Algorithm 3.2 on the paper's running example must yield the three
+// auxiliary views of Sec. 1.1: timeDTL(id, month), productDTL(id,
+// brand), and the compressed saleDTL(timeid, productid, sum_price,
+// cnt0).
+TEST(DeriveTest, ProductSalesYieldsPaperAuxViews) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+
+  EXPECT_EQ(derivation.root(), "sale");
+  ASSERT_EQ(derivation.aux_views().size(), 3u);
+
+  const AuxViewDef& sale = derivation.aux_for("sale");
+  EXPECT_FALSE(sale.eliminated);
+  EXPECT_TRUE(sale.plan.compressed);
+  std::vector<std::string> sale_cols;
+  for (const AuxColumn& col : sale.plan.columns) {
+    sale_cols.push_back(col.output_name);
+  }
+  EXPECT_EQ(sale_cols, (std::vector<std::string>{
+                           "timeid", "productid", "sum_price", "cnt0"}));
+  ASSERT_EQ(sale.dependencies.size(), 2u);
+
+  const AuxViewDef& time = derivation.aux_for("time");
+  EXPECT_FALSE(time.eliminated);
+  EXPECT_FALSE(time.plan.compressed);
+  std::vector<std::string> time_cols;
+  for (const AuxColumn& col : time.plan.columns) {
+    time_cols.push_back(col.output_name);
+  }
+  EXPECT_EQ(time_cols, (std::vector<std::string>{"month", "id"}));
+  EXPECT_FALSE(time.reduction.conditions.empty());  // year = 1997.
+
+  const AuxViewDef& product = derivation.aux_for("product");
+  EXPECT_FALSE(product.eliminated);
+  EXPECT_FALSE(product.plan.compressed);
+  std::vector<std::string> product_cols;
+  for (const AuxColumn& col : product.plan.columns) {
+    product_cols.push_back(col.output_name);
+  }
+  EXPECT_EQ(product_cols, (std::vector<std::string>{"brand", "id"}));
+}
+
+// The paper's product_sales_max view (Sec. 3.2): price is used in both a
+// CSMAS (SUM) and a non-CSMAS (MAX), so it stays plain and the auxiliary
+// view is sale(productid, price, cnt0).
+TEST(DeriveTest, MixedCsmasKeepsAttributePlain) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+
+  const AuxViewDef& sale = derivation.aux_for("sale");
+  EXPECT_FALSE(sale.eliminated);  // MAX blocks elimination.
+  EXPECT_TRUE(sale.plan.compressed);
+  std::vector<std::string> cols;
+  for (const AuxColumn& col : sale.plan.columns) {
+    cols.push_back(col.output_name);
+  }
+  EXPECT_EQ(cols,
+            (std::vector<std::string>{"productid", "price", "cnt0"}));
+}
+
+// Grouping on the product key annotates product with `k`; the fact
+// table's auxiliary view is eliminable (Sec. 3.3).
+TEST(DeriveTest, KeyGroupingEliminatesFactAuxView) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          SalesByProductKeyView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+
+  EXPECT_TRUE(derivation.aux_for("sale").eliminated);
+  EXPECT_FALSE(derivation.aux_for("product").eliminated);
+}
+
+// A single-table all-CSMAS view: the (root) auxiliary view is
+// eliminable and the view maintains itself.
+TEST(DeriveTest, SingleTableCsmasViewEliminatesItsOnlyAuxView) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("per_product_totals");
+  builder.From("sale")
+      .GroupBy("sale", "productid")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  EXPECT_TRUE(derivation.aux_for("sale").eliminated);
+}
+
+// Without referential integrity there is no dependence: no semijoin
+// reductions and no elimination.
+TEST(DeriveTest, MissingForeignKeyDisablesJoinReduction) {
+  Catalog catalog;
+  MD_ASSERT_OK(catalog.CreateTable(
+      "f", Schema({{"id", ValueType::kInt64}, {"d", ValueType::kInt64},
+                   {"v", ValueType::kInt64}}),
+      "id"));
+  MD_ASSERT_OK(catalog.CreateTable(
+      "dim", Schema({{"id", ValueType::kInt64}, {"g", ValueType::kInt64}}),
+      "id"));
+  // No foreign key declared.
+  GpsjViewBuilder builder("v");
+  builder.From("f").From("dim").Join("f", "d", "dim").GroupBy("dim", "g")
+      .Sum("f", "v", "Total").CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  EXPECT_TRUE(derivation.aux_for("f").dependencies.empty());
+  EXPECT_FALSE(derivation.aux_for("f").eliminated);
+}
+
+// Exposed updates on a dimension also break the dependence.
+TEST(DeriveTest, ExposedUpdatesDisableJoinReduction) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK(warehouse.catalog.SetExposedUpdates("time", true));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  const AuxViewDef& sale = derivation.aux_for("sale");
+  ASSERT_EQ(sale.dependencies.size(), 1u);  // Only product remains.
+  EXPECT_EQ(sale.dependencies[0].to_table, "product");
+}
+
+// Materialization reproduces the paper's Sec. 1.1 reconstruction
+// inputs: the auxiliary views on the fixture instance.
+TEST(DeriveTest, MaterializeProducesPaperTable4Instance) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount")
+      .CountDistinct("product", "brand", "DifferentBrands");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  // Paper Table 4 (with our fixture's prices): groups
+  //   (1,1): sum 20 cnt 2 | (1,2): sum 30 cnt 1 |
+  //   (2,1): sum 10 cnt 1 | (2,2): sum 55 cnt 2.
+  const Table& sale = materialized->at("sale");
+  ASSERT_EQ(sale.NumRows(), 4u);
+  Table expected("expected", sale.schema());
+  expected.set_allow_null(true);
+  MD_ASSERT_OK(expected.Insert({Value(1), Value(1), Value(20), Value(2)}));
+  MD_ASSERT_OK(expected.Insert({Value(1), Value(2), Value(30), Value(1)}));
+  MD_ASSERT_OK(expected.Insert({Value(2), Value(1), Value(10), Value(1)}));
+  MD_ASSERT_OK(expected.Insert({Value(2), Value(2), Value(55), Value(2)}));
+  EXPECT_TRUE(TablesEqualAsBags(sale, expected));
+
+  EXPECT_EQ(materialized->at("time").NumRows(), 2u);
+  EXPECT_EQ(materialized->at("product").NumRows(), 2u);
+}
+
+// The semijoin reduction removes fact rows referencing dimension rows
+// that fail the local condition.
+TEST(DeriveTest, JoinReductionFiltersByDependencyContents) {
+  Catalog catalog = test::PaperTable3Fixture();
+  // Flip time id 2 to 1996 so its sales drop out of the auxiliary view.
+  Table* time = *catalog.MutableTable("time");
+  MD_ASSERT_OK(time->DeleteByKey(Value(2)));
+  MD_ASSERT_OK(time->Insert({Value(2), Value(1), Value(1996)}));
+
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  // Only the three sales with timeid = 1 survive, in two groups... the
+  // sale aux groups by timeid only: one group (1) with cnt 3.
+  const Table& sale = materialized->at("sale");
+  ASSERT_EQ(sale.NumRows(), 1u);
+  const int cnt_idx =
+      derivation.aux_for("sale").plan.CountColumnIndex();
+  EXPECT_EQ(sale.row(0)[cnt_idx], Value(3));
+}
+
+TEST(DeriveTest, ReportMentionsEverything) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  const std::string report = derivation.ToString();
+  EXPECT_NE(report.find("saleDTL"), std::string::npos);
+  EXPECT_NE(report.find("timeDTL"), std::string::npos);
+  EXPECT_NE(report.find("productDTL"), std::string::npos);
+  EXPECT_NE(report.find("Need("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,335 @@
+// Derived attributes — "general expressions in the select clause"
+// (paper Sec. 4 future work): per-row arithmetic over one table's
+// attributes, usable in aggregates and group-bys and carried through
+// reduction, compression, and maintenance.
+
+#include "gpsj/parser.h"
+#include "gtest/gtest.h"
+#include "maintenance/baselines.h"
+#include "maintenance/engine.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+// A fixture with a quantity column so products of attributes are
+// meaningful.
+Catalog OrdersFixture() {
+  Catalog catalog;
+  MD_CHECK(catalog
+               .CreateTable("orders",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"custid", ValueType::kInt64},
+                                    {"price", ValueType::kInt64},
+                                    {"qty", ValueType::kInt64}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog
+               .CreateTable("customer",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"region", ValueType::kString}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog.AddForeignKey("orders", "custid", "customer").ok());
+  Table* customer = *catalog.MutableTable("customer");
+  MD_CHECK(customer->Insert({Value(1), Value("EU")}).ok());
+  MD_CHECK(customer->Insert({Value(2), Value("US")}).ok());
+  Table* orders = *catalog.MutableTable("orders");
+  MD_CHECK(orders->Insert({Value(1), Value(1), Value(10), Value(3)}).ok());
+  MD_CHECK(orders->Insert({Value(2), Value(1), Value(5), Value(2)}).ok());
+  MD_CHECK(orders->Insert({Value(3), Value(2), Value(7), Value(4)}).ok());
+  MD_CHECK(orders->Insert({Value(4), Value(2), Value(7), Value(4)}).ok());
+  return catalog;
+}
+
+GpsjViewDef RevenueView(const Catalog& catalog) {
+  GpsjViewBuilder builder("revenue_by_region");
+  builder.From("orders")
+      .From("customer")
+      .Join("orders", "custid", "customer")
+      .Derive("orders", "revenue", "price", DerivedAttr::Op::kMul, "qty")
+      .GroupBy("customer", "region", "Region")
+      .Sum("orders", "revenue", "Revenue")
+      .CountStar("Orders");
+  Result<GpsjViewDef> def = builder.Build(catalog);
+  MD_CHECK(def.ok());
+  return std::move(def).value();
+}
+
+TEST(DerivedTest, EvaluatorComputesExpressions) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewDef def = RevenueView(catalog);
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  ASSERT_EQ(view.NumRows(), 2u);
+  // EU: 10*3 + 5*2 = 40; US: 7*4 + 7*4 = 56.
+  EXPECT_EQ(view.row(0)[0], Value("EU"));
+  EXPECT_EQ(view.row(0)[1], Value(40));
+  EXPECT_EQ(view.row(1)[1], Value(56));
+}
+
+TEST(DerivedTest, CompressionTreatsDerivedLikeBaseAttrs) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewDef def = RevenueView(catalog);
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  const CompressionPlan& plan = derivation.aux_for("orders").plan;
+  EXPECT_TRUE(plan.compressed);
+  // revenue is used only in a CSMAS SUM → compressed into sum_revenue.
+  EXPECT_GE(plan.SumColumnIndex("revenue"), 0);
+  EXPECT_EQ(plan.PlainColumnIndex("revenue"), -1);
+  // price/qty themselves are not stored at all.
+  EXPECT_EQ(plan.PlainColumnIndex("price"), -1);
+  EXPECT_EQ(plan.PlainColumnIndex("qty"), -1);
+}
+
+TEST(DerivedTest, EngineMaintainsThroughRootChanges) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewDef def = RevenueView(catalog);
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(catalog, def));
+  // Insert, update (price change reshapes revenue), delete.
+  Delta delta;
+  delta.inserts.push_back({Value(9), Value(1), Value(8), Value(5)});
+  delta.updates.push_back(Update{{Value(3), Value(2), Value(7), Value(4)},
+                                 {Value(3), Value(2), Value(9), Value(4)}});
+  delta.deletes.push_back({Value(2), Value(1), Value(5), Value(2)});
+  MD_ASSERT_OK(engine.Apply("orders", delta));
+  MD_ASSERT_OK(ApplyDelta(*catalog.MutableTable("orders"), delta));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(catalog, def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+  // EU: 40 - 10 + 40 = 70; US: 56 - 28 + 36 = 64.
+  EXPECT_EQ(view.row(0)[1], Value(70));
+  EXPECT_EQ(view.row(1)[1], Value(64));
+}
+
+TEST(DerivedTest, ConstantExpression) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewBuilder builder("with_tax");
+  builder.From("orders")
+      .DeriveConst("orders", "taxed", "price", DerivedAttr::Op::kMul,
+                   Value(2.0))
+      .GroupBy("orders", "custid", "Cust")
+      .Sum("orders", "taxed", "Taxed")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  // Cust 1: (10+5)*2 = 30; cust 2: (7+7)*2 = 28.
+  EXPECT_DOUBLE_EQ(view.row(0)[1].NumericAsDouble(), 30.0);
+  EXPECT_DOUBLE_EQ(view.row(1)[1].NumericAsDouble(), 28.0);
+}
+
+TEST(DerivedTest, AddAndSubOperators) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewBuilder builder("spread");
+  builder.From("orders")
+      .Derive("orders", "total_plus", "price", DerivedAttr::Op::kAdd, "qty")
+      .Derive("orders", "margin", "price", DerivedAttr::Op::kSub, "qty")
+      .GroupBy("orders", "custid", "Cust")
+      .Sum("orders", "total_plus", "Plus")
+      .Sum("orders", "margin", "Minus");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  // Cust 1: plus (13 + 7) = 20, minus (7 + 3) = 10.
+  EXPECT_EQ(view.row(0)[1], Value(20));
+  EXPECT_EQ(view.row(0)[2], Value(10));
+}
+
+TEST(DerivedTest, BuilderValidation) {
+  Catalog catalog = OrdersFixture();
+  {
+    // Name collision with a base attribute.
+    GpsjViewBuilder builder("v");
+    builder.From("orders")
+        .Derive("orders", "price", "price", DerivedAttr::Op::kMul, "qty")
+        .GroupBy("orders", "custid")
+        .CountStar("Cnt");
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kAlreadyExists);
+  }
+  {
+    // Missing operand.
+    GpsjViewBuilder builder("v");
+    builder.From("orders")
+        .Derive("orders", "x", "ghost", DerivedAttr::Op::kMul, "qty")
+        .GroupBy("orders", "custid")
+        .CountStar("Cnt");
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kNotFound);
+  }
+  {
+    // Non-numeric operand.
+    GpsjViewBuilder builder("v");
+    builder.From("customer")
+        .Derive("customer", "x", "region", DerivedAttr::Op::kMul, "id")
+        .GroupBy("customer", "id")
+        .CountStar("Cnt");
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Derived attribute in a condition.
+    GpsjViewBuilder builder("v");
+    builder.From("orders")
+        .Derive("orders", "rev", "price", DerivedAttr::Op::kMul, "qty")
+        .Where("orders", "rev", CompareOp::kGt, Value(int64_t{10}))
+        .GroupBy("orders", "custid")
+        .CountStar("Cnt");
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Derivation on a table outside the FROM list.
+    GpsjViewBuilder builder("v");
+    builder.From("orders")
+        .Derive("customer", "x", "id", DerivedAttr::Op::kMul, "id")
+        .GroupBy("orders", "custid")
+        .CountStar("Cnt");
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DerivedTest, ParserExpressionsEndToEnd) {
+  Catalog catalog = OrdersFixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW rev AS
+        SELECT customer.region, SUM(orders.price * orders.qty) AS Revenue,
+               COUNT(*) AS Cnt
+        FROM orders, customer
+        WHERE orders.custid = customer.id
+        GROUP BY customer.region
+        HAVING SUM(orders.price * orders.qty) > 45
+      )sql",
+                    catalog));
+  EXPECT_EQ(def.DerivedAttrsOf("orders").size(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  ASSERT_EQ(view.NumRows(), 1u);  // Only US (56) passes HAVING > 45.
+  EXPECT_EQ(view.row(0)[0], Value("US"));
+  EXPECT_EQ(view.row(0)[1], Value(56));
+}
+
+TEST(DerivedTest, ParserConstantAndNegativeLiterals) {
+  Catalog catalog = OrdersFixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW v AS
+        SELECT orders.custid, SUM(orders.price - 1) AS Discounted
+        FROM orders
+        WHERE orders.price > -100
+        GROUP BY orders.custid
+      )sql",
+                    catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  // Cust 1: (10-1)+(5-1) = 13.
+  EXPECT_EQ(view.row(0)[1], Value(13));
+}
+
+TEST(DerivedTest, DimensionDerivedUpdateFlowsThroughDeltaJoin) {
+  // Put the expression on the dimension side: customers carry a numeric
+  // weight; the view sums weight*2 across orders.
+  Catalog catalog;
+  MD_CHECK(catalog
+               .CreateTable("orders",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"custid", ValueType::kInt64}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog
+               .CreateTable("customer",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"tier", ValueType::kInt64},
+                                    {"region", ValueType::kString}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog.AddForeignKey("orders", "custid", "customer").ok());
+  Table* customer = *catalog.MutableTable("customer");
+  MD_CHECK(customer->Insert({Value(1), Value(2), Value("EU")}).ok());
+  MD_CHECK(customer->Insert({Value(2), Value(5), Value("US")}).ok());
+  Table* orders = *catalog.MutableTable("orders");
+  for (int i = 1; i <= 6; ++i) {
+    MD_CHECK(orders->Insert({Value(i), Value(i % 2 + 1)}).ok());
+  }
+
+  GpsjViewBuilder builder("weighted");
+  builder.From("orders")
+      .From("customer")
+      .Join("orders", "custid", "customer")
+      .DeriveConst("customer", "tier2", "tier", DerivedAttr::Op::kMul,
+                   Value(int64_t{2}))
+      .GroupBy("customer", "region", "Region")
+      .Sum("customer", "tier2", "TierMass")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(catalog, def));
+
+  // Update the base operand `tier` of customer 1: the stored derived
+  // `tier2` must follow through the delta join.
+  Delta delta;
+  delta.updates.push_back(Update{{Value(1), Value(2), Value("EU")},
+                                 {Value(1), Value(7), Value("EU")}});
+  MD_ASSERT_OK(engine.Apply("customer", delta));
+  MD_ASSERT_OK(ApplyDelta(*catalog.MutableTable("customer"), delta));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(catalog, def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+}
+
+TEST(DerivedTest, BaselinesAgreeOnDerivedViews) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewDef def = RevenueView(catalog);
+  Catalog source = catalog;
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+  MD_ASSERT_OK_AND_ASSIGN(PsjStyleMaintainer psj,
+                          PsjStyleMaintainer::Create(source, def));
+  MD_ASSERT_OK_AND_ASSIGN(FullReplicationMaintainer replication,
+                          FullReplicationMaintainer::Create(source, def));
+
+  Delta delta;
+  delta.inserts.push_back({Value(10), Value(2), Value(3), Value(9)});
+  delta.deletes.push_back({Value(1), Value(1), Value(10), Value(3)});
+  MD_ASSERT_OK(engine.Apply("orders", delta));
+  MD_ASSERT_OK(psj.Apply("orders", delta));
+  MD_ASSERT_OK(replication.Apply("orders", delta));
+  MD_ASSERT_OK(ApplyDelta(*source.MutableTable("orders"), delta));
+
+  MD_ASSERT_OK_AND_ASSIGN(Table a, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table b, psj.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table c, replication.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+  EXPECT_TRUE(TablesApproxEqual(a, oracle));
+  EXPECT_TRUE(TablesApproxEqual(b, oracle));
+  EXPECT_TRUE(TablesApproxEqual(c, oracle));
+}
+
+TEST(DerivedTest, GroupByOnDerivedAttribute) {
+  Catalog catalog = OrdersFixture();
+  GpsjViewBuilder builder("by_bucket");
+  builder.From("orders")
+      .DeriveConst("orders", "bucket", "price", DerivedAttr::Op::kSub,
+                   Value(int64_t{5}))
+      .GroupBy("orders", "bucket", "Bucket")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(catalog, def));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(catalog, def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+  // Buckets: 10-5=5 (1), 5-5=0 (1), 7-5=2 (2).
+  EXPECT_EQ(view.NumRows(), 3u);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,358 @@
+#include "maintenance/engine.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+// Applies the same deltas to the engine (which never sees base tables)
+// and to the source catalog (ground truth), then compares the engine's
+// view and auxiliary views against fresh evaluation.
+class EngineHarness {
+ public:
+  EngineHarness(RetailWarehouse warehouse, GpsjViewDef def,
+                EngineOptions options = EngineOptions{})
+      : source_(std::move(warehouse.catalog)), def_(std::move(def)) {
+    Result<SelfMaintenanceEngine> engine =
+        SelfMaintenanceEngine::Create(source_, def_, options);
+    MD_CHECK(engine.ok());
+    engine_.emplace(std::move(engine).value());
+  }
+
+  Status Apply(const std::string& table, const Delta& delta) {
+    MD_RETURN_IF_ERROR(engine_->Apply(table, delta));
+    Result<Table*> base = source_.MutableTable(table);
+    MD_RETURN_IF_ERROR(base.status());
+    return ApplyDelta(*base, delta);
+  }
+
+  ::testing::AssertionResult ViewMatchesOracle() {
+    Result<Table> view = engine_->View();
+    if (!view.ok()) {
+      return ::testing::AssertionFailure() << view.status();
+    }
+    Result<Table> oracle = EvaluateGpsj(source_, def_);
+    if (!oracle.ok()) {
+      return ::testing::AssertionFailure() << oracle.status();
+    }
+    return TablesApproxEqual(*view, *oracle);
+  }
+
+  ::testing::AssertionResult AuxMatchesFreshMaterialization() {
+    Result<std::map<std::string, Table>> fresh =
+        MaterializeAuxViews(source_, engine_->derivation());
+    if (!fresh.ok()) {
+      return ::testing::AssertionFailure() << fresh.status();
+    }
+    for (const auto& [table, expected] : *fresh) {
+      if (!engine_->HasAux(table)) {
+        return ::testing::AssertionFailure()
+               << "engine lacks auxiliary view for " << table;
+      }
+      ::testing::AssertionResult result =
+          TablesApproxEqual(engine_->AuxContents(table), expected);
+      if (!result) {
+        return ::testing::AssertionFailure()
+               << "auxiliary view of " << table << ": "
+               << result.message();
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  Catalog& source() { return source_; }
+  SelfMaintenanceEngine& engine() { return *engine_; }
+
+ private:
+  Catalog source_;
+  GpsjViewDef def_;
+  std::optional<SelfMaintenanceEngine> engine_;
+};
+
+GpsjViewDef MustProductSales(const Catalog& catalog) {
+  Result<GpsjViewDef> def = ProductSalesView(catalog);
+  MD_CHECK(def.ok());
+  return std::move(def).value();
+}
+
+TEST(EngineTest, InitialViewMatchesOracle) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  EXPECT_TRUE(harness.ViewMatchesOracle());
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+}
+
+TEST(EngineTest, FactInsertions) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(7);
+  for (int round = 0; round < 5; ++round) {
+    Result<Delta> delta = gen.SaleInsertions(harness.source(), 30);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+}
+
+TEST(EngineTest, FactDeletions) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(8);
+  for (int round = 0; round < 5; ++round) {
+    Result<Delta> delta = gen.SaleDeletions(harness.source(), 25);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+}
+
+TEST(EngineTest, FactUpdates) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(9);
+  for (int round = 0; round < 5; ++round) {
+    Result<Delta> delta = gen.SalePriceUpdates(harness.source(), 20);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+}
+
+TEST(EngineTest, MixedFactBatches) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(10);
+  for (int round = 0; round < 8; ++round) {
+    Result<Delta> delta =
+        gen.MixedSaleBatch(harness.source(), 15, 10, 8);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+}
+
+TEST(EngineTest, DimensionInsertionsAreShielded) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(11);
+  Result<Delta> delta = gen.ProductInsertions(harness.source(), 5);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  const uint64_t joins_before = harness.engine().stats().delta_joins;
+  MD_ASSERT_OK(harness.Apply("product", *delta));
+  EXPECT_TRUE(harness.ViewMatchesOracle());
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+  EXPECT_EQ(harness.engine().stats().delta_joins, joins_before);
+  EXPECT_GE(harness.engine().stats().shielded_skips, 1u);
+}
+
+TEST(EngineTest, ProductBrandUpdatesFlowThroughDeltaJoin) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  RetailDeltaGenerator gen(12);
+  for (int round = 0; round < 4; ++round) {
+    Result<Delta> delta = gen.ProductBrandUpdates(harness.source(), 6);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("product", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+  EXPECT_GT(harness.engine().stats().delta_joins, 0u);
+}
+
+TEST(EngineTest, ExposedUpdateWithoutFlagRejected) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  Catalog& source = warehouse.catalog;
+  const Table* time = *source.GetTable("time");
+  const Tuple before = time->row(0);
+  Tuple after = before;
+  after[3] = Value(after[3].AsInt64() == 1997 ? int64_t{1996}
+                                              : int64_t{1997});
+  EngineHarness harness(std::move(warehouse), def);
+  Delta delta;
+  delta.updates.push_back(Update{before, after});
+  Status status = harness.engine().Apply("time", delta);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, ExposedUpdatesWithFlagMaintainView) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK(warehouse.catalog.SetExposedUpdates("time", true));
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+
+  // Flip a 1997 day to 1996 (its sales leave the view) and a 1996 day
+  // to 1997 (its sales enter).
+  const Table* time = *harness.source().GetTable("time");
+  std::vector<Update> flips;
+  for (const Tuple& row : time->rows()) {
+    if (flips.size() >= 2) break;
+    Tuple after = row;
+    after[3] = Value(row[3].AsInt64() == 1997 ? int64_t{1996}
+                                              : int64_t{1997});
+    flips.push_back(Update{row, after});
+  }
+  ASSERT_EQ(flips.size(), 2u);
+  for (const Update& flip : flips) {
+    Delta delta;
+    delta.updates.push_back(flip);
+    MD_ASSERT_OK(harness.Apply("time", delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle());
+  }
+  EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
+}
+
+TEST(EngineTest, KeyChangeRejected) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  const Table* product = *warehouse.catalog.GetTable("product");
+  const Tuple before = product->row(0);
+  Tuple after = before;
+  after[0] = Value(int64_t{99999});
+  EngineHarness harness(std::move(warehouse), def);
+  Delta delta;
+  delta.updates.push_back(Update{before, after});
+  Status status = harness.engine().Apply("product", delta);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, DeletingFromMissingGroupFails) {
+  // A deletion whose compressed group never existed is detectable and
+  // must be rejected. (A bogus deletion landing in an *existing* group
+  // is inherently undetectable after compression — the engine trusts
+  // the source's delta stream; see the docs.) Add a product that never
+  // sold, then delete a fabricated sale of it.
+  RetailWarehouse warehouse = SmallRetail();
+  Table* product = *warehouse.catalog.MutableTable("product");
+  MD_ASSERT_OK(product->Insert(
+      {Value(int64_t{777}), Value("ghost"), Value("cat0")}));
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  Delta delta;
+  // timeid 10 is a 1997 day in SmallRetail (days 7..12), product 777
+  // exists in productDTL, but the group (10, 777) has no sales.
+  delta.deletes.push_back({Value(int64_t{123456}), Value(int64_t{10}),
+                           Value(int64_t{777}), Value(int64_t{1}),
+                           Value(9.5)});
+  Status status = harness.engine().Apply("sale", delta);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// MIN/MAX maintenance: inserts, then deletes that force affected-group
+// recomputation from the auxiliary views.
+TEST(EngineTest, MinMaxRecomputedOnDeletes) {
+  RetailWarehouse warehouse = SmallRetail();
+  Result<GpsjViewDef> def = ProductSalesMaxView(warehouse.catalog);
+  ASSERT_TRUE(def.ok()) << def.status();
+  EngineHarness harness(std::move(warehouse), *def);
+  RetailDeltaGenerator gen(13);
+  for (int round = 0; round < 6; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(harness.source(), 10, 12, 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  EXPECT_GT(harness.engine().stats().group_recomputes, 0u);
+}
+
+// The eliminated-root configuration: no fact auxiliary view at all, yet
+// the view self-maintains under fact changes and dimension updates.
+TEST(EngineTest, EliminatedRootMaintainsThroughFactChanges) {
+  RetailWarehouse warehouse = SmallRetail();
+  Result<GpsjViewDef> def = SalesByProductKeyView(warehouse.catalog);
+  ASSERT_TRUE(def.ok()) << def.status();
+  EngineHarness harness(std::move(warehouse), *def);
+  EXPECT_FALSE(harness.engine().HasAux("sale"));
+  EXPECT_TRUE(harness.ViewMatchesOracle());
+
+  RetailDeltaGenerator gen(14);
+  for (int round = 0; round < 6; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(harness.source(), 12, 8, 6);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+}
+
+TEST(EngineTest, EliminatedRootHandlesKeyGroupedDimensionUpdates) {
+  RetailWarehouse warehouse = SmallRetail();
+  Result<GpsjViewDef> def = SalesByProductKeyView(warehouse.catalog);
+  ASSERT_TRUE(def.ok()) << def.status();
+  EngineHarness harness(std::move(warehouse), *def);
+  RetailDeltaGenerator gen(15);
+  for (int round = 0; round < 4; ++round) {
+    Result<Delta> delta = gen.ProductBrandUpdates(harness.source(), 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("product", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+}
+
+TEST(EngineTest, StorageAccountingIsPositiveAndCompressed) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog source_copy = warehouse.catalog;
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineHarness harness(std::move(warehouse), def);
+  const uint64_t aux_bytes = harness.engine().AuxPaperSizeBytes();
+  EXPECT_GT(aux_bytes, 0u);
+  // The compressed auxiliary views must be smaller than the raw fact
+  // table under the same accounting.
+  const Table* sale = *source_copy.GetTable("sale");
+  EXPECT_LT(aux_bytes, sale->PaperSizeBytes());
+}
+
+TEST(EngineTest, UnprunedDeltaJoinsStillCorrect) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineOptions options;
+  options.prune_delta_joins = false;
+  EngineHarness harness(std::move(warehouse), def, options);
+  RetailDeltaGenerator gen(18);
+  for (int round = 0; round < 4; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(harness.source(), 15, 10, 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(harness.Apply("sale", *delta));
+    ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
+  }
+  Result<Delta> brands = gen.ProductBrandUpdates(harness.source(), 5);
+  ASSERT_TRUE(brands.ok()) << brands.status();
+  MD_ASSERT_OK(harness.Apply("product", *brands));
+  EXPECT_TRUE(harness.ViewMatchesOracle());
+}
+
+TEST(EngineTest, UntrustedRiStillCorrect) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewDef def = MustProductSales(warehouse.catalog);
+  EngineOptions options;
+  options.trust_referential_integrity = false;
+  EngineHarness harness(std::move(warehouse), def, options);
+  RetailDeltaGenerator gen(16);
+  Result<Delta> products = gen.ProductInsertions(harness.source(), 4);
+  ASSERT_TRUE(products.ok()) << products.status();
+  MD_ASSERT_OK(harness.Apply("product", *products));
+  EXPECT_TRUE(harness.ViewMatchesOracle());
+  // The general path ran (no shielded skip).
+  EXPECT_EQ(harness.engine().stats().shielded_skips, 0u);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,131 @@
+#include "core/estimate.h"
+
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+
+TEST(TableStatsTest, ExactDistinctCounts) {
+  Catalog catalog = PaperTable3Fixture();
+  TableStats stats = ComputeTableStats(**catalog.GetTable("sale"));
+  EXPECT_EQ(stats.rows, 6u);
+  EXPECT_EQ(stats.distinct.at("id"), 6u);
+  EXPECT_EQ(stats.distinct.at("timeid"), 2u);
+  EXPECT_EQ(stats.distinct.at("productid"), 2u);
+  EXPECT_EQ(stats.distinct.at("price"), 3u);  // {10, 25, 30}.
+}
+
+TEST(EstimateTest, FixtureEstimateMatchesActualExactly) {
+  // On the six-tuple fixture everything is exact: no local conditions
+  // on sale, and the group cap 2×2 = 4 is the true group count.
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  MD_ASSERT_OK_AND_ASSIGN(auto stats,
+                          ComputeAllStats(catalog, derivation));
+  MD_ASSERT_OK_AND_ASSIGN(AuxSizeEstimate estimate,
+                          EstimateAuxSize(derivation, "sale", stats));
+  EXPECT_DOUBLE_EQ(estimate.rows, 4.0);
+  EXPECT_EQ(estimate.paper_bytes, 4u * 4 * 4);
+}
+
+TEST(EstimateTest, LocalConditionScalesDimension) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .From("time")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .GroupBy("time", "month")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  MD_ASSERT_OK_AND_ASSIGN(auto stats,
+                          ComputeAllStats(catalog, derivation));
+  // time has one distinct year (1997) → equality selectivity 1.0: both
+  // rows retained.
+  MD_ASSERT_OK_AND_ASSIGN(AuxSizeEstimate time_estimate,
+                          EstimateAuxSize(derivation, "time", stats));
+  EXPECT_DOUBLE_EQ(time_estimate.rows, 2.0);
+}
+
+TEST(EstimateTest, TracksActualOnGeneratedRetail) {
+  RetailParams params;
+  params.days = 30;
+  params.stores = 3;
+  params.products = 100;
+  params.products_sold_per_store_day = 100;  // Worst case: all sell.
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 1.0;
+  MD_ASSERT_OK_AND_ASSIGN(RetailWarehouse warehouse,
+                          GenerateRetail(params));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(auto stats,
+                          ComputeAllStats(warehouse.catalog, derivation));
+  MD_ASSERT_OK_AND_ASSIGN(AuxSizeEstimate estimate,
+                          EstimateAuxSize(derivation, "sale", stats));
+
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(warehouse.catalog,
+                                                        def));
+  const double actual =
+      static_cast<double>(engine.AuxContents("sale").NumRows());
+  // The independence-assumption estimate should land within 2x.
+  EXPECT_GT(estimate.rows, actual / 2.0);
+  EXPECT_LT(estimate.rows, actual * 2.0);
+
+  MD_ASSERT_OK_AND_ASSIGN(uint64_t total,
+                          EstimateTotalDetailBytes(derivation, stats));
+  const uint64_t actual_total = engine.AuxPaperSizeBytes();
+  EXPECT_GT(total, actual_total / 2);
+  EXPECT_LT(total, actual_total * 2);
+}
+
+TEST(EstimateTest, EliminatedViewsCostNothing) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          SalesByProductKeyView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(auto stats,
+                          ComputeAllStats(warehouse.catalog, derivation));
+  MD_ASSERT_OK_AND_ASSIGN(AuxSizeEstimate estimate,
+                          EstimateAuxSize(derivation, "sale", stats));
+  EXPECT_TRUE(estimate.eliminated);
+  EXPECT_EQ(estimate.paper_bytes, 0u);
+}
+
+TEST(EstimateTest, MissingStatsSurfaceErrors) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  std::map<std::string, TableStats> empty;
+  EXPECT_EQ(EstimateAuxSize(derivation, "sale", empty).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,236 @@
+// HAVING support (the paper's Sec. 4 noted generalization): group
+// restrictions filter the view's contents while the maintenance state
+// keeps every group, so groups cross the threshold in both directions
+// under change streams.
+
+#include "gpsj/parser.h"
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+TEST(HavingTest, BuilderValidation) {
+  Catalog catalog = PaperTable3Fixture();
+  {
+    GpsjViewBuilder builder("v");
+    builder.From("sale")
+        .GroupBy("sale", "timeid")
+        .CountStar("Cnt")
+        .Having("Cnt", CompareOp::kGe, Value(int64_t{2}));
+    MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+    EXPECT_EQ(def.having().size(), 1u);
+    EXPECT_NE(def.ToSqlString().find("HAVING Cnt >= 2"),
+              std::string::npos);
+  }
+  {
+    GpsjViewBuilder builder("v");
+    builder.From("sale").GroupBy("sale", "timeid").CountStar("Cnt").Having(
+        "Ghost", CompareOp::kGe, Value(int64_t{2}));
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kNotFound);
+  }
+  {
+    // Numeric output vs string literal.
+    GpsjViewBuilder builder("v");
+    builder.From("sale").GroupBy("sale", "timeid").CountStar("Cnt").Having(
+        "Cnt", CompareOp::kEq, Value("two"));
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    GpsjViewBuilder builder("v");
+    builder.From("sale").GroupBy("sale", "timeid").CountStar("Cnt").Having(
+        "Cnt", CompareOp::kEq, Value());
+    EXPECT_EQ(builder.Build(catalog).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HavingTest, EvaluatorFiltersGroups) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("busy_products");
+  builder.From("sale")
+      .GroupBy("sale", "productid")
+      .CountStar("Cnt")
+      .Sum("sale", "price", "Total")
+      .Having("Total", CompareOp::kGt, Value(int64_t{40}));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, EvaluateGpsj(catalog, def));
+  // Product 1 totals 30, product 2 totals 85 — only product 2 passes.
+  ASSERT_EQ(view.NumRows(), 1u);
+  EXPECT_EQ(view.row(0)[0], Value(2));
+}
+
+TEST(HavingTest, GroupsCrossTheThresholdBothWays) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& source = warehouse.catalog;
+  GpsjViewBuilder builder("hot_products");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("product", "id", "ProductId")
+      .CountStar("Cnt")
+      .Sum("sale", "price", "Total")
+      .Having("Cnt", CompareOp::kGe, Value(int64_t{8}));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(source));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+
+  RetailDeltaGenerator gen(61);
+  size_t min_rows = SIZE_MAX;
+  size_t max_rows = 0;
+  for (int round = 0; round < 8; ++round) {
+    Result<Delta> delta = round % 2 == 0
+                              ? gen.SaleInsertions(source, 60)
+                              : gen.SaleDeletions(source, 80);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(engine.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    ASSERT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+    min_rows = std::min(min_rows, view.NumRows());
+    max_rows = std::max(max_rows, view.NumRows());
+  }
+  // The stream actually moved groups across the threshold.
+  EXPECT_LT(min_rows, max_rows);
+}
+
+TEST(HavingTest, MaintainedStateSurvivesDisqualification) {
+  // A group that falls below the HAVING bound and then re-qualifies
+  // must come back with exact aggregates — its state was never dropped.
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .GroupBy("sale", "productid")
+      .CountStar("Cnt")
+      .Sum("sale", "price", "Total")
+      .Having("Cnt", CompareOp::kGe, Value(int64_t{3}));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(catalog, def));
+  // Both products have 3 sales initially → both visible.
+  MD_ASSERT_OK_AND_ASSIGN(Table initial, engine.View());
+  EXPECT_EQ(initial.NumRows(), 2u);
+
+  // Delete one sale of product 1 → drops to 2 → hidden.
+  Delta drop;
+  drop.deletes.push_back({Value(1), Value(1), Value(1), Value(10)});
+  MD_ASSERT_OK(engine.Apply("sale", drop));
+  MD_ASSERT_OK_AND_ASSIGN(Table hidden, engine.View());
+  EXPECT_EQ(hidden.NumRows(), 1u);
+
+  // Re-insert a different sale of product 1 → back to 3 → visible
+  // again with the *correct* total (20 + 7 = 27).
+  Delta back;
+  back.inserts.push_back({Value(99), Value(1), Value(1), Value(7)});
+  MD_ASSERT_OK(engine.Apply("sale", back));
+  MD_ASSERT_OK_AND_ASSIGN(Table visible, engine.View());
+  ASSERT_EQ(visible.NumRows(), 2u);
+  // Rows sorted by productid.
+  EXPECT_EQ(visible.row(0)[0], Value(1));
+  EXPECT_EQ(visible.row(0)[1], Value(3));
+  EXPECT_EQ(visible.row(0)[2], Value(27));
+}
+
+TEST(HavingTest, WorksWithNonCsmasOutputs) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& source = warehouse.catalog;
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .GroupBy("sale", "productid")
+      .Max("sale", "price", "MaxPrice")
+      .CountStar("Cnt")
+      .Having("MaxPrice", CompareOp::kGe, Value(100.0));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(source));
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, def));
+  RetailDeltaGenerator gen(62);
+  for (int round = 0; round < 4; ++round) {
+    Result<Delta> delta = gen.MixedSaleBatch(source, 20, 15, 5);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    MD_ASSERT_OK(engine.Apply("sale", *delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), *delta));
+    MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, def));
+    ASSERT_TRUE(TablesApproxEqual(view, oracle)) << "round " << round;
+  }
+}
+
+TEST(HavingTest, ParserAcceptsAllReferenceForms) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW v AS
+        SELECT sale.timeid, COUNT(*) AS Cnt, SUM(sale.price)
+        FROM sale
+        GROUP BY sale.timeid
+        HAVING Cnt >= 2 AND SUM(sale.price) > 10
+           AND sale.timeid < 100
+      )sql",
+                    catalog));
+  ASSERT_EQ(def.having().size(), 3u);
+  EXPECT_EQ(def.having()[0].output_name, "Cnt");
+  EXPECT_EQ(def.having()[1].output_name, "sum_price");
+  EXPECT_EQ(def.having()[2].output_name, "timeid");
+}
+
+TEST(HavingTest, ParserRejectsUnknownReferences) {
+  Catalog catalog = PaperTable3Fixture();
+  {
+    Result<GpsjViewDef> def = ParseGpsjView(
+        "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) AS Cnt FROM sale "
+        "GROUP BY sale.timeid HAVING MAX(sale.price) > 5",
+        catalog);
+    ASSERT_FALSE(def.ok());
+    EXPECT_NE(def.status().message().find("must also appear in SELECT"),
+              std::string::npos);
+  }
+  {
+    Result<GpsjViewDef> def = ParseGpsjView(
+        "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) AS Cnt FROM sale "
+        "GROUP BY sale.timeid HAVING sale.price > 5",
+        catalog);
+    ASSERT_FALSE(def.ok());
+    EXPECT_NE(def.status().message().find("not a selected group-by"),
+              std::string::npos);
+  }
+}
+
+TEST(HavingTest, ReconstructionAppliesHaving) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("v");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("product", "brand", "Brand")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt")
+      .Having("Total", CompareOp::kGt, Value(int64_t{40}));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  std::map<std::string, const Table*> aux;
+  for (const auto& [name, table] : *materialized) {
+    aux.emplace(name, &table);
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Table reconstructed,
+                          ReconstructView(derivation, aux));
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(catalog, def));
+  EXPECT_TRUE(TablesApproxEqual(reconstructed, oracle));
+}
+
+}  // namespace
+}  // namespace mindetail

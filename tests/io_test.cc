@@ -1,0 +1,201 @@
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "io/catalog_io.h"
+#include "io/csv.h"
+#include "gpsj/evaluator.h"
+#include "relational/ops.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+
+Schema MixedSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"price", ValueType::kDouble},
+                 {"note", ValueType::kString}});
+}
+
+TEST(CsvTest, RoundTripBasicTypes) {
+  Table table("t", MixedSchema());
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("plain")}));
+  MD_ASSERT_OK(table.Insert({Value(-7), Value(0.1), Value("x")}));
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteTableCsv(table, out));
+
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(
+      Table loaded, ReadTableCsv(in, "t", MixedSchema(), std::nullopt));
+  EXPECT_TRUE(TablesEqualAsBags(table, loaded));
+}
+
+TEST(CsvTest, RoundTripEvilStrings) {
+  Table table("t", MixedSchema());
+  MD_ASSERT_OK(table.Insert({Value(1), Value(1.0),
+                             Value("comma, quote \" and \"\"double\"\"")}));
+  MD_ASSERT_OK(table.Insert({Value(2), Value(2.0),
+                             Value("line\nbreak and trailing space ")}));
+  MD_ASSERT_OK(table.Insert({Value(3), Value(3.0), Value("")}));
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteTableCsv(table, out));
+
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(
+      Table loaded, ReadTableCsv(in, "t", MixedSchema(), std::nullopt));
+  EXPECT_TRUE(TablesEqualAsBags(table, loaded));
+}
+
+TEST(CsvTest, RoundTripNulls) {
+  Table table("t", MixedSchema());
+  table.set_allow_null(true);
+  MD_ASSERT_OK(table.Insert({Value(1), Value(), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(), Value(4.5), Value("b")}));
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteTableCsv(table, out));
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(Table loaded,
+                          ReadTableCsv(in, "t", MixedSchema(),
+                                       std::nullopt, /*allow_null=*/true));
+  EXPECT_TRUE(TablesEqualAsBags(table, loaded));
+}
+
+TEST(CsvTest, RoundTripExtremeDoubles) {
+  Schema schema({{"d", ValueType::kDouble}});
+  Table table("t", schema);
+  MD_ASSERT_OK(table.Insert({Value(1.0 / 3.0)}));
+  MD_ASSERT_OK(table.Insert({Value(1e-300)}));
+  MD_ASSERT_OK(table.Insert({Value(12345678901234.5)}));
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteTableCsv(table, out));
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(Table loaded,
+                          ReadTableCsv(in, "t", schema, std::nullopt));
+  ASSERT_EQ(loaded.NumRows(), 3u);
+  // Exact round trip via max_digits10.
+  EXPECT_TRUE(TablesEqualAsBags(table, loaded));
+}
+
+TEST(CsvTest, TypeErrorsCarryLineNumbers) {
+  Schema schema({{"id", ValueType::kInt64}});
+  std::istringstream in("1\nnot_a_number\n");
+  Result<Table> loaded = ReadTableCsv(in, "t", schema, std::nullopt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kInt64}});
+  std::istringstream in("1,2\n3\n");
+  Result<Table> loaded = ReadTableCsv(in, "t", schema, std::nullopt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, QuotedNumberRejected) {
+  Schema schema({{"a", ValueType::kInt64}});
+  std::istringstream in("\"12\"\n");
+  EXPECT_FALSE(ReadTableCsv(in, "t", schema, std::nullopt).ok());
+}
+
+TEST(CsvTest, UnquotedStringRejected) {
+  Schema schema({{"s", ValueType::kString}});
+  std::istringstream in("hello\n");
+  EXPECT_FALSE(ReadTableCsv(in, "t", schema, std::nullopt).ok());
+}
+
+TEST(CsvTest, KeyedReadEnforcesUniqueness) {
+  Schema schema({{"id", ValueType::kInt64}});
+  std::istringstream in("1\n1\n");
+  Result<Table> loaded = ReadTableCsv(in, "t", schema, "id");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ManifestTest, RoundTripSchemaAndFlags) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK(warehouse.catalog.SetExposedUpdates("time", true));
+  MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("store", true));
+
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteManifest(warehouse.catalog, out));
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(Catalog loaded, ReadManifest(in));
+
+  EXPECT_EQ(loaded.TableNames(), warehouse.catalog.TableNames());
+  for (const std::string& table : loaded.TableNames()) {
+    EXPECT_EQ((*loaded.GetTable(table))->schema(),
+              (*warehouse.catalog.GetTable(table))->schema())
+        << table;
+    MD_ASSERT_OK_AND_ASSIGN(std::string key, loaded.KeyAttr(table));
+    MD_ASSERT_OK_AND_ASSIGN(std::string want,
+                            warehouse.catalog.KeyAttr(table));
+    EXPECT_EQ(key, want);
+  }
+  EXPECT_EQ(loaded.foreign_keys(), warehouse.catalog.foreign_keys());
+  EXPECT_TRUE(loaded.HasExposedUpdates("time"));
+  EXPECT_TRUE(loaded.IsAppendOnly("store"));
+  EXPECT_FALSE(loaded.IsAppendOnly("sale"));
+}
+
+TEST(ManifestTest, MalformedDirectivesRejected) {
+  {
+    std::istringstream in("NONSENSE foo\n");
+    EXPECT_FALSE(ReadManifest(in).ok());
+  }
+  {
+    std::istringstream in("COL ghost a INT64\n");
+    EXPECT_FALSE(ReadManifest(in).ok());
+  }
+  {
+    std::istringstream in("TABLE t KEY id\nCOL t id BLOB\n");
+    EXPECT_FALSE(ReadManifest(in).ok());
+  }
+  {
+    std::istringstream in("TABLE t KEY id\n");  // No columns.
+    EXPECT_FALSE(ReadManifest(in).ok());
+  }
+}
+
+TEST(CatalogIoTest, FullDirectoryRoundTrip) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("store", true));
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mindetail_io_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  MD_ASSERT_OK(SaveCatalog(warehouse.catalog, dir));
+  MD_ASSERT_OK_AND_ASSIGN(Catalog loaded, LoadCatalog(dir));
+
+  for (const std::string& table : warehouse.catalog.TableNames()) {
+    EXPECT_TRUE(TablesEqualAsBags(**warehouse.catalog.GetTable(table),
+                                  **loaded.GetTable(table)))
+        << table;
+  }
+  EXPECT_TRUE(loaded.IsAppendOnly("store"));
+  MD_EXPECT_OK(loaded.CheckReferentialIntegrity());
+
+  // A reloaded catalog supports the full pipeline.
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, ProductSalesView(loaded));
+  MD_ASSERT_OK_AND_ASSIGN(Table a, EvaluateGpsj(loaded, def));
+  MD_ASSERT_OK_AND_ASSIGN(Table b,
+                          EvaluateGpsj(warehouse.catalog, def));
+  EXPECT_TRUE(test::TablesApproxEqual(a, b));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CatalogIoTest, MissingDirectoryErrors) {
+  EXPECT_EQ(LoadCatalog("/nonexistent/mindetail").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,133 @@
+#include "core/join_graph.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+
+// Paper Figure 2: sale → time [g], sale → product.
+TEST(JoinGraphTest, ProductSalesMatchesFigure2) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+
+  EXPECT_EQ(graph.root(), "sale");
+  EXPECT_EQ(graph.NumVertices(), 3u);
+  EXPECT_EQ(graph.vertex("sale").annotation, VertexAnnotation::kNone);
+  EXPECT_EQ(graph.vertex("time").annotation, VertexAnnotation::kGroupBy);
+  EXPECT_EQ(graph.vertex("product").annotation, VertexAnnotation::kNone);
+  EXPECT_EQ(*graph.vertex("time").parent, "sale");
+  EXPECT_EQ(graph.vertex("time").parent_attr, "timeid");
+  EXPECT_EQ(graph.TopologicalOrder().front(), "sale");
+
+  const std::string rendering = graph.ToString();
+  EXPECT_NE(rendering.find("sale"), std::string::npos);
+  EXPECT_NE(rendering.find("time [g]"), std::string::npos);
+  EXPECT_NE(rendering.find("product"), std::string::npos);
+}
+
+TEST(JoinGraphTest, KeyAnnotationWins) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          SalesByProductKeyView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+  EXPECT_EQ(graph.vertex("product").annotation,
+            VertexAnnotation::kKeyGroupBy);
+}
+
+TEST(JoinGraphTest, TwoIncomingEdgesRejected) {
+  Catalog catalog = test::PaperTable3Fixture();
+  GpsjViewBuilder builder("bad");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Join("sale", "timeid", "time")
+      .Join("product", "id", "time")  // Second edge into time.
+      .GroupBy("time", "month")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  Result<ExtendedJoinGraph> graph = ExtendedJoinGraph::Build(def, catalog);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinGraphTest, MultipleRootsRejected) {
+  Catalog catalog = test::PaperTable3Fixture();
+  GpsjViewBuilder builder("cross");
+  builder.From("time").From("product").GroupBy("time", "month").CountStar(
+      "Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  Result<ExtendedJoinGraph> graph = ExtendedJoinGraph::Build(def, catalog);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JoinGraphTest, SubtreeAndTopologicalOrder) {
+  SnowflakeParams params;
+  params.depth = 2;
+  params.fanout = 2;
+  params.fact_rows = 10;
+  params.dim_rows = 5;
+  Result<SnowflakeWarehouse> warehouse = GenerateSnowflake(params);
+  ASSERT_TRUE(warehouse.ok()) << warehouse.status();
+
+  GpsjViewBuilder builder("v");
+  builder.From(warehouse->fact);
+  for (const std::string& dim : warehouse->dims) {
+    builder.From(dim);
+    builder.Join(warehouse->parent.at(dim), warehouse->link_attr.at(dim),
+                 dim);
+  }
+  builder.GroupBy("dim0", "a").CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          builder.Build(warehouse->catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse->catalog));
+
+  // depth 2, fanout 2 → 1 + 2 + 4 vertices.
+  EXPECT_EQ(graph.NumVertices(), 7u);
+  EXPECT_EQ(graph.Subtree("fact").size(), 7u);
+  EXPECT_EQ(graph.Subtree("dim0").size(), 3u);
+  // Parents precede children in topological order.
+  const std::vector<std::string>& order = graph.TopologicalOrder();
+  auto position = [&order](const std::string& name) {
+    return std::find(order.begin(), order.end(), name) - order.begin();
+  };
+  for (const std::string& dim : warehouse->dims) {
+    EXPECT_LT(position(warehouse->parent.at(dim)), position(dim));
+  }
+}
+
+TEST(JoinGraphTest, DependenceRequiresForeignKeyAndNoExposedUpdates) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+
+  EXPECT_TRUE(graph.DependsOn("sale", "time", warehouse.catalog));
+  EXPECT_TRUE(graph.DependsOn("sale", "product", warehouse.catalog));
+  EXPECT_FALSE(graph.DependsOn("time", "sale", warehouse.catalog));
+  EXPECT_TRUE(graph.TransitivelyDependsOnAll("sale", warehouse.catalog));
+  EXPECT_FALSE(graph.TransitivelyDependsOnAll("time", warehouse.catalog));
+
+  MD_ASSERT_OK(warehouse.catalog.SetExposedUpdates("time", true));
+  EXPECT_FALSE(graph.DependsOn("sale", "time", warehouse.catalog));
+  EXPECT_FALSE(graph.TransitivelyDependsOnAll("sale", warehouse.catalog));
+  EXPECT_EQ(graph.DirectDependencies("sale", warehouse.catalog).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mindetail

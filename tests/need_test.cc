@@ -1,0 +1,139 @@
+#include "core/need.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+
+// The paper's running example: time is annotated g, so Need(time) =
+// {sale} ∪ Need(sale), and Need(sale) = Need₀(sale) = {time} (only the
+// time subtree contains an annotated vertex).
+TEST(NeedTest, ProductSalesNeedSets) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+
+  EXPECT_EQ(Need(graph, "sale"), (std::set<std::string>{"time"}));
+  EXPECT_EQ(Need(graph, "time"),
+            (std::set<std::string>{"sale", "time"}));
+  EXPECT_EQ(Need(graph, "product"),
+            (std::set<std::string>{"sale", "time"}));
+
+  auto all = AllNeedSets(graph);
+  EXPECT_TRUE(IsInAnyOtherNeedSet(all, "sale"));   // In Need(time).
+  EXPECT_TRUE(IsInAnyOtherNeedSet(all, "time"));   // In Need(sale).
+  EXPECT_FALSE(IsInAnyOtherNeedSet(all, "product"));
+}
+
+// A k-annotated vertex has an empty Need set (its key identifies the
+// affected view tuples directly), and Need₀ stops below it.
+TEST(NeedTest, KeyAnnotationEmptiesNeedAndStopsNeed0) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          SalesByProductKeyView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+
+  EXPECT_TRUE(Need(graph, "product").empty());
+  EXPECT_EQ(Need(graph, "sale"), (std::set<std::string>{"product"}));
+  auto all = AllNeedSets(graph);
+  EXPECT_FALSE(IsInAnyOtherNeedSet(all, "sale"));
+}
+
+// With no annotated vertex at all (scalar view), Need₀ is empty, but
+// every non-k dimension still needs its ancestor chain.
+TEST(NeedTest, ScalarViewNeeds) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("scalar");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(ExtendedJoinGraph graph,
+                          ExtendedJoinGraph::Build(def, catalog));
+  EXPECT_TRUE(Need(graph, "sale").empty());
+  EXPECT_EQ(Need(graph, "product"), (std::set<std::string>{"sale"}));
+}
+
+// Group-by attributes on the fact table itself: no dimension carries an
+// annotation, so Need₀(root) is empty even though the view groups.
+TEST(NeedTest, RootGroupingNeedsNothing) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("by_root_attr");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("sale", "timeid")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(ExtendedJoinGraph graph,
+                          ExtendedJoinGraph::Build(def, catalog));
+  EXPECT_TRUE(Need(graph, "sale").empty());
+}
+
+// In a snowflake chain fact → d0 → d1 with a group-by on the leaf, the
+// Need set of the root contains the full path to the annotated vertex.
+TEST(NeedTest, ChainCollectsPathToAnnotatedLeaf) {
+  Catalog catalog;
+  MD_ASSERT_OK(catalog.CreateTable(
+      "f",
+      Schema({{"id", ValueType::kInt64}, {"d0id", ValueType::kInt64},
+              {"v", ValueType::kInt64}}),
+      "id"));
+  MD_ASSERT_OK(catalog.CreateTable(
+      "d0",
+      Schema({{"id", ValueType::kInt64}, {"d1id", ValueType::kInt64}}),
+      "id"));
+  MD_ASSERT_OK(catalog.CreateTable(
+      "d1", Schema({{"id", ValueType::kInt64}, {"g", ValueType::kInt64}}),
+      "id"));
+  MD_ASSERT_OK(catalog.AddForeignKey("f", "d0id", "d0"));
+  MD_ASSERT_OK(catalog.AddForeignKey("d0", "d1id", "d1"));
+
+  GpsjViewBuilder builder("chain");
+  builder.From("f")
+      .From("d0")
+      .From("d1")
+      .Join("f", "d0id", "d0")
+      .Join("d0", "d1id", "d1")
+      .GroupBy("d1", "g")
+      .Sum("f", "v", "Total")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(ExtendedJoinGraph graph,
+                          ExtendedJoinGraph::Build(def, catalog));
+
+  EXPECT_EQ(Need(graph, "f"), (std::set<std::string>{"d0", "d1"}));
+  EXPECT_EQ(Need(graph, "d0"), (std::set<std::string>{"f", "d0", "d1"}));
+  EXPECT_EQ(Need(graph, "d1"),
+            (std::set<std::string>{"f", "d0", "d1"}));
+}
+
+// Need(d0) under Definition 3 recurses through the parent chain; the
+// parent itself is always included for non-k vertices.
+TEST(NeedTest, NonKeyDimensionAlwaysNeedsAncestors) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      ExtendedJoinGraph graph,
+      ExtendedJoinGraph::Build(def, warehouse.catalog));
+  // product (unannotated) needs its parent sale and sale's needs.
+  std::set<std::string> need = Need(graph, "product");
+  EXPECT_TRUE(need.count("sale") > 0);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,216 @@
+#include "relational/ops.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+Table SalesFixture() {
+  Table table("sales", Schema({{"id", ValueType::kInt64},
+                               {"pid", ValueType::kInt64},
+                               {"price", ValueType::kInt64}}));
+  MD_CHECK(table.Insert({Value(1), Value(1), Value(10)}).ok());
+  MD_CHECK(table.Insert({Value(2), Value(1), Value(10)}).ok());
+  MD_CHECK(table.Insert({Value(3), Value(2), Value(30)}).ok());
+  MD_CHECK(table.Insert({Value(4), Value(2), Value(25)}).ok());
+  return table;
+}
+
+Table ProductsFixture() {
+  Table table("products", Schema({{"key", ValueType::kInt64},
+                                  {"brand", ValueType::kString}}));
+  MD_CHECK(table.Insert({Value(1), Value("Alpha")}).ok());
+  MD_CHECK(table.Insert({Value(2), Value("Beta")}).ok());
+  MD_CHECK(table.Insert({Value(3), Value("Gamma")}).ok());
+  return table;
+}
+
+TEST(OpsTest, SelectFiltersRows) {
+  Conjunction predicate;
+  predicate.Add({"price", CompareOp::kGe, Value(25)});
+  MD_ASSERT_OK_AND_ASSIGN(Table out, Select(SalesFixture(), predicate));
+  EXPECT_EQ(out.NumRows(), 2u);
+}
+
+TEST(OpsTest, SelectValidatesPredicate) {
+  Conjunction predicate;
+  predicate.Add({"missing", CompareOp::kEq, Value(1)});
+  EXPECT_FALSE(Select(SalesFixture(), predicate).ok());
+}
+
+TEST(OpsTest, ProjectBagKeepsDuplicates) {
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          Project(SalesFixture(), {"pid"}, false));
+  EXPECT_EQ(out.NumRows(), 4u);
+  EXPECT_EQ(out.schema().size(), 1u);
+}
+
+TEST(OpsTest, ProjectDistinctEliminates) {
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          Project(SalesFixture(), {"pid", "price"}, true));
+  EXPECT_EQ(out.NumRows(), 3u);  // (1,10) collapses.
+}
+
+TEST(OpsTest, ProjectUnknownAttributeFails) {
+  EXPECT_FALSE(Project(SalesFixture(), {"zzz"}, false).ok());
+}
+
+TEST(OpsTest, HashJoinMatchesOnEquality) {
+  MD_ASSERT_OK_AND_ASSIGN(
+      Table out,
+      HashJoin(SalesFixture(), ProductsFixture(), "pid", "key"));
+  EXPECT_EQ(out.NumRows(), 4u);
+  EXPECT_EQ(out.schema().size(), 5u);
+  // Every output row's pid equals its key.
+  const size_t pid = *out.schema().IndexOf("pid");
+  const size_t key = *out.schema().IndexOf("key");
+  for (const Tuple& row : out.rows()) {
+    EXPECT_EQ(row[pid], row[key]);
+  }
+}
+
+TEST(OpsTest, HashJoinDropsNonMatching) {
+  Table extra("extra", Schema({{"pid", ValueType::kInt64}}));
+  MD_CHECK(extra.Insert({Value(77)}).ok());
+  MD_ASSERT_OK_AND_ASSIGN(
+      Table out, HashJoin(extra, ProductsFixture(), "pid", "key"));
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(OpsTest, HashJoinRejectsNameCollision) {
+  Table left("l", Schema({{"id", ValueType::kInt64}}));
+  Table right("r", Schema({{"id", ValueType::kInt64}}));
+  EXPECT_FALSE(HashJoin(left, right, "id", "id").ok());
+}
+
+TEST(OpsTest, QualifyColumnsAvoidsCollision) {
+  Table left = QualifyColumns(SalesFixture(), "s");
+  Table right = QualifyColumns(ProductsFixture(), "p");
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          HashJoin(left, right, "s.pid", "p.key"));
+  EXPECT_EQ(out.NumRows(), 4u);
+  EXPECT_TRUE(out.schema().Contains("p.brand"));
+}
+
+TEST(OpsTest, SemiJoinKeepsMatchedLeftRows) {
+  Table small("small", Schema({{"key", ValueType::kInt64}}));
+  MD_CHECK(small.Insert({Value(2)}).ok());
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          SemiJoin(SalesFixture(), small, "pid", "key"));
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.schema().size(), 3u);  // Left schema unchanged.
+}
+
+TEST(OpsTest, GroupAggregateComputesAllFunctions) {
+  std::vector<PhysicalAggregate> aggs = {
+      {AggFn::kCountStar, "", false, "cnt"},
+      {AggFn::kSum, "price", false, "total"},
+      {AggFn::kAvg, "price", false, "avg"},
+      {AggFn::kMin, "price", false, "lo"},
+      {AggFn::kMax, "price", false, "hi"},
+  };
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          GroupAggregate(SalesFixture(), {"pid"}, aggs));
+  ASSERT_EQ(out.NumRows(), 2u);
+  // pid = 1: two rows of price 10.
+  EXPECT_EQ(out.row(0)[0], Value(1));
+  EXPECT_EQ(out.row(0)[1], Value(2));
+  EXPECT_EQ(out.row(0)[2], Value(20));
+  EXPECT_DOUBLE_EQ(out.row(0)[3].AsDouble(), 10.0);
+  EXPECT_EQ(out.row(0)[4], Value(10));
+  EXPECT_EQ(out.row(0)[5], Value(10));
+  // pid = 2: 30 and 25.
+  EXPECT_EQ(out.row(1)[1], Value(2));
+  EXPECT_EQ(out.row(1)[2], Value(55));
+  EXPECT_DOUBLE_EQ(out.row(1)[3].AsDouble(), 27.5);
+  EXPECT_EQ(out.row(1)[4], Value(25));
+  EXPECT_EQ(out.row(1)[5], Value(30));
+}
+
+TEST(OpsTest, GroupAggregateDistinct) {
+  std::vector<PhysicalAggregate> aggs = {
+      {AggFn::kCount, "price", true, "dcnt"},
+      {AggFn::kSum, "price", true, "dsum"},
+  };
+  MD_ASSERT_OK_AND_ASSIGN(Table out,
+                          GroupAggregate(SalesFixture(), {"pid"}, aggs));
+  ASSERT_EQ(out.NumRows(), 2u);
+  EXPECT_EQ(out.row(0)[1], Value(1));   // pid 1: one distinct price.
+  EXPECT_EQ(out.row(0)[2], Value(10));  // Distinct sum collapses dupes.
+  EXPECT_EQ(out.row(1)[1], Value(2));
+  EXPECT_EQ(out.row(1)[2], Value(55));
+}
+
+TEST(OpsTest, ScalarAggregateOverEmptyInput) {
+  Table empty("e", Schema({{"x", ValueType::kInt64}}));
+  std::vector<PhysicalAggregate> aggs = {
+      {AggFn::kCountStar, "", false, "cnt"},
+      {AggFn::kSum, "x", false, "total"},
+      {AggFn::kMin, "x", false, "lo"},
+      {AggFn::kAvg, "x", false, "avg"},
+  };
+  MD_ASSERT_OK_AND_ASSIGN(Table out, GroupAggregate(empty, {}, aggs));
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_EQ(out.row(0)[0], Value(0));
+  EXPECT_TRUE(out.row(0)[1].is_null());
+  EXPECT_TRUE(out.row(0)[2].is_null());
+  EXPECT_TRUE(out.row(0)[3].is_null());
+}
+
+TEST(OpsTest, GroupedAggregateOverEmptyInputHasNoRows) {
+  Table empty("e", Schema({{"g", ValueType::kInt64},
+                           {"x", ValueType::kInt64}}));
+  std::vector<PhysicalAggregate> aggs = {
+      {AggFn::kCountStar, "", false, "cnt"}};
+  MD_ASSERT_OK_AND_ASSIGN(Table out, GroupAggregate(empty, {"g"}, aggs));
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(OpsTest, GroupAggregateRejectsSumOverStrings) {
+  std::vector<PhysicalAggregate> aggs = {
+      {AggFn::kSum, "brand", false, "oops"}};
+  EXPECT_FALSE(GroupAggregate(ProductsFixture(), {}, aggs).ok());
+}
+
+TEST(OpsTest, GroupAggregateRequiresOutputNames) {
+  std::vector<PhysicalAggregate> aggs = {{AggFn::kCountStar, "", false, ""}};
+  EXPECT_FALSE(GroupAggregate(SalesFixture(), {"pid"}, aggs).ok());
+}
+
+TEST(OpsTest, SortRowsOrdersLexicographically) {
+  Table table("t", Schema({{"a", ValueType::kInt64},
+                           {"b", ValueType::kString}}));
+  MD_CHECK(table.Insert({Value(2), Value("x")}).ok());
+  MD_CHECK(table.Insert({Value(1), Value("z")}).ok());
+  MD_CHECK(table.Insert({Value(1), Value("a")}).ok());
+  SortRows(&table);
+  EXPECT_EQ(table.row(0)[0], Value(1));
+  EXPECT_EQ(table.row(0)[1], Value("a"));
+  EXPECT_EQ(table.row(1)[1], Value("z"));
+  EXPECT_EQ(table.row(2)[0], Value(2));
+}
+
+TEST(OpsTest, TablesEqualAsBagsIgnoresOrder) {
+  Table a = SalesFixture();
+  Table b("other", a.schema());
+  for (size_t i = a.NumRows(); i > 0; --i) {
+    MD_CHECK(b.Insert(a.row(i - 1)).ok());
+  }
+  EXPECT_TRUE(TablesEqualAsBags(a, b));
+  MD_CHECK(b.Insert(a.row(0)).ok());
+  EXPECT_FALSE(TablesEqualAsBags(a, b));
+}
+
+TEST(OpsTest, TablesEqualAsBagsRespectsMultiplicity) {
+  Table a("a", Schema({{"x", ValueType::kInt64}}));
+  Table b("b", Schema({{"x", ValueType::kInt64}}));
+  MD_CHECK(a.Insert({Value(1)}).ok());
+  MD_CHECK(a.Insert({Value(1)}).ok());
+  MD_CHECK(b.Insert({Value(1)}).ok());
+  MD_CHECK(b.Insert({Value(2)}).ok());
+  EXPECT_FALSE(TablesEqualAsBags(a, b));
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,259 @@
+#include "gpsj/parser.h"
+
+#include "common/rng.h"
+
+#include "gpsj/evaluator.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+constexpr char kPaperSql[] = R"sql(
+  CREATE VIEW product_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice,
+         COUNT(*) AS TotalCount,
+         COUNT(DISTINCT product.brand) AS DifferentBrands
+  FROM sale, time, product
+  WHERE time.year = 1997
+    AND sale.timeid = time.id
+    AND sale.productid = product.id
+  GROUP BY time.month
+)sql";
+
+TEST(ParserTest, ParsesThePaperViewVerbatim) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ParseGpsjView(kPaperSql, catalog));
+  EXPECT_EQ(def.name(), "product_sales");
+  EXPECT_EQ(def.tables(),
+            (std::vector<std::string>{"sale", "time", "product"}));
+  ASSERT_EQ(def.outputs().size(), 4u);
+  EXPECT_EQ(def.outputs()[0].output_name, "month");
+  EXPECT_EQ(def.outputs()[1].output_name, "TotalPrice");
+  EXPECT_EQ(def.outputs()[2].output_name, "TotalCount");
+  EXPECT_EQ(def.outputs()[3].output_name, "DifferentBrands");
+  EXPECT_EQ(def.joins().size(), 2u);
+  EXPECT_EQ(def.LocalConditions("time").ToString(), "year = 1997");
+}
+
+TEST(ParserTest, ParsedViewEvaluatesLikeBuilderView) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef parsed,
+                          ParseGpsjView(kPaperSql, warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef built,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Table a, EvaluateGpsj(warehouse.catalog, parsed));
+  MD_ASSERT_OK_AND_ASSIGN(Table b, EvaluateGpsj(warehouse.catalog, built));
+  EXPECT_TRUE(TablesApproxEqual(a, b));
+}
+
+TEST(ParserTest, JoinOrientationFollowsTheKey) {
+  Catalog catalog = PaperTable3Fixture();
+  // Written backwards: time.id = sale.timeid still orients sale → time.
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW v AS
+        SELECT time.month, COUNT(*) AS Cnt
+        FROM sale, time
+        WHERE time.id = sale.timeid
+        GROUP BY time.month
+      )sql",
+                    catalog));
+  ASSERT_EQ(def.joins().size(), 1u);
+  EXPECT_EQ(def.joins()[0].from_table, "sale");
+  EXPECT_EQ(def.joins()[0].from_attr, "timeid");
+  EXPECT_EQ(def.joins()[0].to_table, "time");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView("create view V as select sale.timeid, sum(sale.price) "
+                    "from sale group by sale.timeid",
+                    catalog));
+  EXPECT_EQ(def.name(), "V");
+  // Default aggregate name.
+  EXPECT_EQ(def.outputs()[1].output_name, "sum_price");
+}
+
+TEST(ParserTest, LiteralsAndOperators) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW v AS
+        SELECT sale.timeid, COUNT(*) AS Cnt
+        FROM sale, product
+        WHERE sale.price >= 10 AND sale.price <> 25
+          AND product.brand != 'Gamma'
+          AND sale.productid = product.id
+        GROUP BY sale.timeid;
+      )sql",
+                    catalog));
+  EXPECT_EQ(def.LocalConditions("sale").conditions().size(), 2u);
+  EXPECT_EQ(def.LocalConditions("product").conditions().size(), 1u);
+}
+
+TEST(ParserTest, CommentsAndSemicolonAccepted) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView("-- the paper's example, trimmed\n"
+                    "CREATE VIEW v AS\n"
+                    "SELECT sale.timeid, COUNT(*) AS Cnt -- trailing\n"
+                    "FROM sale\n"
+                    "GROUP BY sale.timeid;",
+                    catalog));
+  EXPECT_EQ(def.name(), "v");
+}
+
+TEST(ParserTest, MinMaxAvgAndFloatLiterals) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView(R"sql(
+        CREATE VIEW v AS
+        SELECT sale.timeid, MIN(sale.price), MAX(sale.price),
+               AVG(sale.price)
+        FROM sale
+        WHERE sale.price < 100.5
+        GROUP BY sale.timeid
+      )sql",
+                    catalog));
+  EXPECT_EQ(def.outputs()[1].output_name, "min_price");
+  EXPECT_EQ(def.outputs()[2].output_name, "max_price");
+  EXPECT_EQ(def.outputs()[3].output_name, "avg_price");
+}
+
+TEST(ParserTest, DuplicateDefaultNamesGetSuffixes) {
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      ParseGpsjView("CREATE VIEW v AS SELECT sale.timeid, "
+                    "SUM(sale.price), SUM(sale.price) "
+                    "FROM sale GROUP BY sale.timeid",
+                    catalog));
+  EXPECT_EQ(def.outputs()[1].output_name, "sum_price");
+  EXPECT_EQ(def.outputs()[2].output_name, "sum_price2");
+}
+
+// --- Error paths --------------------------------------------------------
+
+void ExpectParseError(const char* sql, const char* fragment) {
+  Catalog catalog = PaperTable3Fixture();
+  Result<GpsjViewDef> result = ParseGpsjView(sql, catalog);
+  ASSERT_FALSE(result.ok()) << "parsed unexpectedly: " << sql;
+  EXPECT_NE(result.status().message().find(fragment), std::string::npos)
+      << result.status();
+}
+
+TEST(ParserErrorTest, MissingCreateView) {
+  ExpectParseError("SELECT sale.price FROM sale", "expected CREATE");
+}
+
+TEST(ParserErrorTest, UnterminatedString) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) FROM sale "
+      "WHERE product.brand = 'oops GROUP BY sale.timeid",
+      "unterminated string");
+}
+
+TEST(ParserErrorTest, SelectedAttributeNotGrouped) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT sale.timeid, sale.price, COUNT(*) "
+      "FROM sale GROUP BY sale.timeid",
+      "not in GROUP BY");
+}
+
+TEST(ParserErrorTest, GroupByAttributeNotSelected) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT COUNT(*) AS Cnt "
+      "FROM sale GROUP BY sale.timeid",
+      "not selected");
+}
+
+TEST(ParserErrorTest, JoinWithoutKey) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) "
+      "FROM sale, product WHERE sale.price = product.brand "
+      "GROUP BY sale.timeid",
+      "matches no primary key");
+}
+
+TEST(ParserErrorTest, NonEqualityJoinRejected) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) "
+      "FROM sale, product WHERE sale.productid < product.id "
+      "GROUP BY sale.timeid",
+      "join conditions must use '='");
+}
+
+TEST(ParserErrorTest, TrailingGarbage) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT sale.timeid, COUNT(*) FROM sale "
+      "GROUP BY sale.timeid EXTRA",
+      "trailing input");
+}
+
+TEST(ParserErrorTest, UnqualifiedAttributeRejected) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT month, COUNT(*) FROM time GROUP BY month",
+      "expected '.'");
+}
+
+TEST(ParserErrorTest, UnknownTableSurfacesBuilderError) {
+  ExpectParseError(
+      "CREATE VIEW v AS SELECT ghost.a, COUNT(*) FROM ghost "
+      "GROUP BY ghost.a",
+      "not in catalog");
+}
+
+// Robustness: mutated inputs must produce a Status, never a crash.
+TEST(ParserErrorTest, MutationFuzzNeverCrashes) {
+  Catalog catalog = PaperTable3Fixture();
+  const std::string base(kPaperSql);
+  Rng rng(4096);
+  int parse_failures = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    const int op = static_cast<int>(rng.NextBelow(3));
+    const size_t pos = rng.NextBelow(mutated.size());
+    if (op == 0 && mutated.size() > 2) {
+      // Delete a random span.
+      const size_t len =
+          std::min<size_t>(1 + rng.NextBelow(10), mutated.size() - pos);
+      mutated.erase(pos, len);
+    } else if (op == 1) {
+      // Insert random punctuation.
+      const char* junk[] = {",", "(", ")", "'", "\"", ".", "*", "=", "<"};
+      mutated.insert(pos, junk[rng.NextBelow(9)]);
+    } else {
+      // Flip a character.
+      mutated[pos] = static_cast<char>('!' + rng.NextBelow(90));
+    }
+    Result<GpsjViewDef> result = ParseGpsjView(mutated, catalog);
+    if (!result.ok()) ++parse_failures;
+  }
+  // Most mutations break the statement; none may crash.
+  EXPECT_GT(parse_failures, 200);
+}
+
+TEST(ParserErrorTest, ErrorsCarryPositions) {
+  Catalog catalog = PaperTable3Fixture();
+  Result<GpsjViewDef> result =
+      ParseGpsjView("CREATE VIEW v AS\nSELECT ?", catalog);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("2:8"), std::string::npos)
+      << result.status();
+}
+
+}  // namespace
+}  // namespace mindetail

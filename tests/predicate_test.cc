@@ -1,0 +1,101 @@
+#include "relational/predicate.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"year", ValueType::kInt64},
+                 {"price", ValueType::kDouble},
+                 {"city", ValueType::kString}});
+}
+
+TEST(CompareOpTest, AllOperatorsEvaluate) {
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, Value(3), Value(3)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, Value(3), Value(4)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, Value(3), Value(4)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, Value(3), Value(3)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, Value(5), Value(4)));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, Value(5), Value(5)));
+  EXPECT_FALSE(EvalCompare(CompareOp::kEq, Value(3), Value(4)));
+}
+
+TEST(ConditionTest, RenderingUsesSqlSpelling) {
+  Condition c{"year", CompareOp::kNe, Value(1997)};
+  EXPECT_EQ(c.ToString(), "year <> 1997");
+  EXPECT_EQ(std::string(CompareOpName(CompareOp::kLe)), "<=");
+}
+
+TEST(ConjunctionTest, EmptyIsTrue) {
+  Conjunction conjunction;
+  EXPECT_TRUE(conjunction.empty());
+  EXPECT_EQ(conjunction.ToString(), "TRUE");
+  EXPECT_TRUE(conjunction.Eval(TestSchema(),
+                               {Value(1997), Value(1.0), Value("x")}));
+}
+
+TEST(ConjunctionTest, EvalIsConjunctive) {
+  Conjunction conjunction;
+  conjunction.Add({"year", CompareOp::kEq, Value(1997)});
+  conjunction.Add({"price", CompareOp::kGt, Value(10.0)});
+  EXPECT_TRUE(conjunction.Eval(TestSchema(),
+                               {Value(1997), Value(12.0), Value("x")}));
+  EXPECT_FALSE(conjunction.Eval(TestSchema(),
+                                {Value(1997), Value(9.0), Value("x")}));
+  EXPECT_FALSE(conjunction.Eval(TestSchema(),
+                                {Value(1996), Value(12.0), Value("x")}));
+  EXPECT_EQ(conjunction.ToString(), "year = 1997 AND price > 10.0");
+}
+
+TEST(ConjunctionTest, ValidateCatchesBadConditions) {
+  Schema schema = TestSchema();
+  {
+    Conjunction c;
+    c.Add({"missing", CompareOp::kEq, Value(1)});
+    EXPECT_EQ(c.Validate(schema).code(), StatusCode::kNotFound);
+  }
+  {
+    Conjunction c;
+    c.Add({"city", CompareOp::kEq, Value(5)});
+    EXPECT_EQ(c.Validate(schema).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Conjunction c;
+    c.Add({"year", CompareOp::kEq, Value()});
+    EXPECT_EQ(c.Validate(schema).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Numeric cross-type comparison is allowed.
+    Conjunction c;
+    c.Add({"price", CompareOp::kGe, Value(10)});
+    MD_EXPECT_OK(c.Validate(schema));
+  }
+}
+
+TEST(BoundPredicateTest, MatchesUnboundEvaluation) {
+  Conjunction conjunction;
+  conjunction.Add({"year", CompareOp::kGe, Value(1997)});
+  conjunction.Add({"city", CompareOp::kNe, Value("paris")});
+  MD_ASSERT_OK_AND_ASSIGN(
+      BoundPredicate bound,
+      BoundPredicate::Bind(conjunction, TestSchema()));
+  const std::vector<Tuple> rows = {
+      {Value(1997), Value(1.0), Value("rome")},
+      {Value(1996), Value(1.0), Value("rome")},
+      {Value(1998), Value(1.0), Value("paris")},
+  };
+  for (const Tuple& row : rows) {
+    EXPECT_EQ(bound.Eval(row), conjunction.Eval(TestSchema(), row));
+  }
+}
+
+TEST(BoundPredicateTest, BindValidates) {
+  Conjunction conjunction;
+  conjunction.Add({"missing", CompareOp::kEq, Value(1)});
+  EXPECT_FALSE(BoundPredicate::Bind(conjunction, TestSchema()).ok());
+}
+
+}  // namespace
+}  // namespace mindetail

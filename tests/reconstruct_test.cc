@@ -1,0 +1,152 @@
+#include "core/reconstruct.h"
+
+#include "gpsj/evaluator.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+// Reconstruction from auxiliary views must equal direct evaluation over
+// base tables — the paper's Sec. 1.1 claim ("the product_sales view can
+// now be reconstructed from these three auxiliary views without ever
+// accessing the original fact and dimension tables").
+void ExpectReconstructionMatchesOracle(const Catalog& catalog,
+                                       const GpsjViewDef& def) {
+  Result<Derivation> derivation = Derivation::Derive(def, catalog);
+  ASSERT_TRUE(derivation.ok()) << derivation.status();
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(catalog, *derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  std::map<std::string, const Table*> aux;
+  for (const auto& [name, table] : *materialized) {
+    aux.emplace(name, &table);
+  }
+  Result<Table> reconstructed = ReconstructView(*derivation, aux);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.status();
+  Result<Table> oracle = EvaluateGpsj(catalog, def);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_TRUE(TablesApproxEqual(*reconstructed, *oracle));
+}
+
+TEST(ReconstructTest, ProductSalesOnPaperFixture) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("product_sales");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(int64_t{1997}))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .GroupBy("time", "month")
+      .Sum("sale", "price", "TotalPrice")
+      .CountStar("TotalCount")
+      .CountDistinct("product", "brand", "DifferentBrands");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  ExpectReconstructionMatchesOracle(catalog, def);
+}
+
+TEST(ReconstructTest, ProductSalesOnGeneratedRetail) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  ExpectReconstructionMatchesOracle(warehouse.catalog, def);
+}
+
+// The f(a · cnt0) rule: SUM over an attribute that stayed plain because
+// MAX also uses it (the paper's product_sales_max walkthrough).
+TEST(ReconstructTest, ScaledSumForPlainAttribute) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(warehouse.catalog));
+  ExpectReconstructionMatchesOracle(warehouse.catalog, def);
+}
+
+// SUM over a dimension attribute: every joined row stands for cnt0
+// duplicates of the dimension value.
+TEST(ReconstructTest, ScaledSumForDimensionAttribute) {
+  Catalog catalog = PaperTable3Fixture();
+  // Give product a numeric attribute by reusing id as the measure: SUM
+  // over product.id weighted by duplicates.
+  GpsjViewBuilder builder("weighted");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("sale", "timeid")
+      .Sum("product", "id", "IdMass")
+      .CountStar("Cnt");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  ExpectReconstructionMatchesOracle(catalog, def);
+}
+
+TEST(ReconstructTest, AvgAndDistinctAggregates) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("mixed");
+  builder.From("sale")
+      .From("product")
+      .Join("sale", "productid", "product")
+      .GroupBy("sale", "timeid")
+      .Avg("sale", "price", "AvgPrice")
+      .SumDistinct("sale", "price", "DistinctPriceSum")
+      .CountDistinct("product", "brand", "Brands")
+      .Min("sale", "price", "MinPrice");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  ExpectReconstructionMatchesOracle(catalog, def);
+}
+
+TEST(ReconstructTest, EliminatedRootCannotReconstruct) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          SalesByProductKeyView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, warehouse.catalog));
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(warehouse.catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  std::map<std::string, const Table*> aux;
+  for (const auto& [name, table] : *materialized) {
+    aux.emplace(name, &table);
+  }
+  Result<Table> reconstructed = ReconstructView(derivation, aux);
+  ASSERT_FALSE(reconstructed.ok());
+  EXPECT_EQ(reconstructed.status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Group-restricted reconstruction returns exactly the requested groups.
+TEST(ReconstructTest, ReconstructGroupsFiltersToRequested) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("per_time");
+  builder.From("sale")
+      .GroupBy("sale", "timeid")
+      .Sum("sale", "price", "Total")
+      .CountStar("Cnt")
+      .Max("sale", "price", "MaxPrice");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(Derivation derivation,
+                          Derivation::Derive(def, catalog));
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(catalog, derivation);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  std::map<std::string, const Table*> aux;
+  for (const auto& [name, table] : *materialized) {
+    aux.emplace(name, &table);
+  }
+  GroupKeySet groups;
+  groups.insert(Tuple{Value(2)});
+  Result<Table> partial = ReconstructGroups(derivation, aux, groups);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  ASSERT_EQ(partial->NumRows(), 1u);
+  EXPECT_EQ(partial->row(0)[0], Value(2));
+  EXPECT_EQ(partial->row(0)[1], Value(65));
+  EXPECT_EQ(partial->row(0)[2], Value(3));
+  EXPECT_EQ(partial->row(0)[3], Value(30));
+}
+
+}  // namespace
+}  // namespace mindetail

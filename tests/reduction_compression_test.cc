@@ -1,0 +1,192 @@
+#include "core/compression.h"
+#include "core/reduction.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::SmallRetail;
+
+TEST(LocalReductionTest, KeepsPreservedAndJoinAttrsOnly) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction sale,
+      ComputeLocalReduction(def, warehouse.catalog, "sale"));
+  EXPECT_EQ(sale.attrs,
+            (std::vector<std::string>{"price", "timeid", "productid"}));
+  EXPECT_TRUE(sale.conditions.empty());
+
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction time,
+      ComputeLocalReduction(def, warehouse.catalog, "time"));
+  EXPECT_EQ(time.attrs, (std::vector<std::string>{"month", "id"}));
+  EXPECT_EQ(time.conditions.ToString(), "year = 1997");
+
+  // store is not referenced: reduction must fail loudly.
+  EXPECT_FALSE(
+      ComputeLocalReduction(def, warehouse.catalog, "store").ok());
+}
+
+TEST(LocalReductionTest, UnpreservedKeyIsDropped) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction sale,
+      ComputeLocalReduction(def, warehouse.catalog, "sale"));
+  // Unlike PSJ reductions, the sale key (id) is NOT retained.
+  EXPECT_EQ(std::find(sale.attrs.begin(), sale.attrs.end(), "id"),
+            sale.attrs.end());
+}
+
+// Algorithm 3.1 on the running example: price is only used in CSMAS
+// aggregates → replaced by SUM(price); timeid/productid are join
+// attributes → plain; COUNT(*) appended.
+TEST(CompressionTest, PaperSaleDtlPlan) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction reduction,
+      ComputeLocalReduction(def, warehouse.catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, warehouse.catalog, "sale", reduction));
+
+  EXPECT_TRUE(plan.compressed);
+  ASSERT_EQ(plan.columns.size(), 4u);
+  EXPECT_EQ(plan.columns[0].kind, AuxColumn::Kind::kPlain);
+  EXPECT_EQ(plan.columns[0].output_name, "timeid");
+  EXPECT_EQ(plan.columns[1].output_name, "productid");
+  EXPECT_EQ(plan.columns[2].kind, AuxColumn::Kind::kSum);
+  EXPECT_EQ(plan.columns[2].output_name, "sum_price");
+  EXPECT_EQ(plan.columns[3].kind, AuxColumn::Kind::kCountStar);
+  EXPECT_EQ(plan.columns[3].output_name, "cnt0");
+
+  EXPECT_EQ(plan.PlainAttrs(),
+            (std::vector<std::string>{"timeid", "productid"}));
+  EXPECT_EQ(plan.Aggregates().size(), 2u);
+  EXPECT_EQ(plan.CountColumnIndex(), 3);
+  EXPECT_EQ(plan.SumColumnIndex("price"), 2);
+  EXPECT_EQ(plan.PlainColumnIndex("timeid"), 0);
+  EXPECT_EQ(plan.SumColumnIndex("timeid"), -1);
+}
+
+// Step 1's superfluous case: the key survives local reduction (join
+// target), so COUNT(*) is superfluous and the view stays a plain PSJ
+// projection.
+TEST(CompressionTest, KeyRetentionDegeneratesToPsj) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction reduction,
+      ComputeLocalReduction(def, warehouse.catalog, "time"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, warehouse.catalog, "time", reduction));
+  EXPECT_FALSE(plan.compressed);
+  EXPECT_EQ(plan.CountColumnIndex(), -1);
+  ASSERT_EQ(plan.columns.size(), 2u);
+  EXPECT_EQ(plan.columns[0].kind, AuxColumn::Kind::kPlain);
+  EXPECT_EQ(plan.columns[1].kind, AuxColumn::Kind::kPlain);
+}
+
+// An attribute in both CSMAS and non-CSMAS aggregates stays plain (the
+// paper's product_sales_max): no sum column, price is a grouping column.
+TEST(CompressionTest, MixedUseAttributeStaysPlain) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesMaxView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction reduction,
+      ComputeLocalReduction(def, warehouse.catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, warehouse.catalog, "sale", reduction));
+  EXPECT_TRUE(plan.compressed);
+  EXPECT_EQ(plan.PlainAttrs(),
+            (std::vector<std::string>{"productid", "price"}));
+  EXPECT_EQ(plan.SumColumnIndex("price"), -1);
+  EXPECT_GE(plan.CountColumnIndex(), 0);
+}
+
+// COUNT(a) with no other use of a: the attribute disappears entirely —
+// its replacement is just the shared COUNT(*).
+TEST(CompressionTest, CountOnlyAttributeVanishes) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("count_only");
+  builder.From("sale").GroupBy("sale", "timeid").Count("sale", "price",
+                                                       "PriceCount");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(LocalReduction reduction,
+                          ComputeLocalReduction(def, catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, catalog, "sale", reduction));
+  EXPECT_TRUE(plan.compressed);
+  // Columns: timeid (plain group-by), cnt0. No price column at all.
+  ASSERT_EQ(plan.columns.size(), 2u);
+  EXPECT_EQ(plan.columns[0].output_name, "timeid");
+  EXPECT_EQ(plan.columns[1].output_name, "cnt0");
+}
+
+// A DISTINCT aggregate keeps its attribute plain.
+TEST(CompressionTest, DistinctAttributeStaysPlain) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("distinct_price");
+  builder.From("sale")
+      .GroupBy("sale", "timeid")
+      .SumDistinct("sale", "price", "DistinctSum");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(LocalReduction reduction,
+                          ComputeLocalReduction(def, catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, catalog, "sale", reduction));
+  EXPECT_TRUE(plan.compressed);
+  EXPECT_GE(plan.PlainColumnIndex("price"), 0);
+  EXPECT_EQ(plan.SumColumnIndex("price"), -1);
+}
+
+// AVG alone still produces a SUM column plus cnt0 (Table 2).
+TEST(CompressionTest, AvgProducesSumAndCount) {
+  Catalog catalog = PaperTable3Fixture();
+  GpsjViewBuilder builder("avg_only");
+  builder.From("sale").GroupBy("sale", "timeid").Avg("sale", "price",
+                                                     "AvgPrice");
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def, builder.Build(catalog));
+  MD_ASSERT_OK_AND_ASSIGN(LocalReduction reduction,
+                          ComputeLocalReduction(def, catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, catalog, "sale", reduction));
+  EXPECT_GE(plan.SumColumnIndex("price"), 0);
+  EXPECT_GE(plan.CountColumnIndex(), 0);
+}
+
+TEST(CompressionTest, PlanRenderingMentionsColumns) {
+  RetailWarehouse warehouse = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          ProductSalesView(warehouse.catalog));
+  MD_ASSERT_OK_AND_ASSIGN(
+      LocalReduction reduction,
+      ComputeLocalReduction(def, warehouse.catalog, "sale"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      CompressionPlan plan,
+      ComputeCompressionPlan(def, warehouse.catalog, "sale", reduction));
+  const std::string rendering = plan.ToString();
+  EXPECT_NE(rendering.find("compressed"), std::string::npos);
+  EXPECT_NE(rendering.find("SUM(price) AS sum_price"), std::string::npos);
+  EXPECT_NE(rendering.find("COUNT(*) AS cnt0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mindetail

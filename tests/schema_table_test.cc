@@ -1,0 +1,168 @@
+#include "relational/schema.h"
+#include "relational/table.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+Schema SaleSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"price", ValueType::kDouble},
+                 {"note", ValueType::kString}});
+}
+
+TEST(SchemaTest, LookupAndContains) {
+  Schema schema = SaleSchema();
+  EXPECT_EQ(schema.size(), 3u);
+  EXPECT_EQ(*schema.IndexOf("price"), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").has_value());
+  EXPECT_TRUE(schema.Contains("note"));
+}
+
+TEST(SchemaTest, AppendRejectsDuplicates) {
+  Schema schema = SaleSchema();
+  MD_ASSERT_OK(schema.Append({"extra", ValueType::kInt64}));
+  Status status = schema.Append({"price", ValueType::kInt64});
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ValidateTupleChecksArityTypesAndNulls) {
+  Schema schema = SaleSchema();
+  MD_EXPECT_OK(schema.ValidateTuple({Value(1), Value(2.5), Value("x")}));
+  // Arity.
+  EXPECT_FALSE(schema.ValidateTuple({Value(1)}).ok());
+  // Type.
+  EXPECT_FALSE(
+      schema.ValidateTuple({Value("s"), Value(2.5), Value("x")}).ok());
+  // NULL rejected by default, allowed on request.
+  Tuple with_null = {Value(1), Value(), Value("x")};
+  EXPECT_FALSE(schema.ValidateTuple(with_null).ok());
+  MD_EXPECT_OK(schema.ValidateTuple(with_null, /*allow_null=*/true));
+  // Int literal into a double column is fine.
+  MD_EXPECT_OK(schema.ValidateTuple({Value(1), Value(3), Value("x")}));
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  EXPECT_EQ(SaleSchema().ToString(),
+            "(id INT64, price DOUBLE, note STRING)");
+}
+
+TEST(TableTest, InsertAndKeyLookup) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(2), Value(3.5), Value("b")}));
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_TRUE(table.ContainsKey(Value(1)));
+  EXPECT_FALSE(table.ContainsKey(Value(3)));
+  const Tuple* row = table.FindByKey(Value(2));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[2], Value("b"));
+}
+
+TEST(TableTest, DuplicateKeyRejected) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  Status status = table.Insert({Value(1), Value(9.5), Value("z")});
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, WithKeyRequiresExistingAttribute) {
+  Result<Table> table = Table::WithKey("t", SaleSchema(), "nope");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, DeleteByKeyMaintainsIndex) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  for (int i = 1; i <= 5; ++i) {
+    MD_ASSERT_OK(table.Insert({Value(i), Value(i + 0.5), Value("r")}));
+  }
+  MD_ASSERT_OK(table.DeleteByKey(Value(2)));
+  EXPECT_EQ(table.NumRows(), 4u);
+  EXPECT_FALSE(table.ContainsKey(Value(2)));
+  // The swapped-in row (previously last) is still findable.
+  for (int i : {1, 3, 4, 5}) {
+    EXPECT_TRUE(table.ContainsKey(Value(i))) << i;
+    EXPECT_EQ((*table.FindByKey(Value(i)))[0], Value(i));
+  }
+  EXPECT_EQ(table.DeleteByKey(Value(2)).code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, DeleteTupleRequiresExactMatch) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  // Right key, wrong payload.
+  EXPECT_EQ(table.DeleteTuple({Value(1), Value(9.0), Value("a")}).code(),
+            StatusCode::kNotFound);
+  MD_ASSERT_OK(table.DeleteTuple({Value(1), Value(2.5), Value("a")}));
+  EXPECT_EQ(table.NumRows(), 0u);
+}
+
+TEST(TableTest, KeylessDeleteTupleScans) {
+  Table table("t", SaleSchema());
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  MD_ASSERT_OK(table.DeleteTuple({Value(1), Value(2.5), Value("a")}));
+  EXPECT_EQ(table.NumRows(), 1u);  // Bag semantics: one copy removed.
+}
+
+TEST(TableTest, ReplaceRowUpdatesKeyMap) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(2), Value(3.5), Value("b")}));
+  MD_ASSERT_OK(table.ReplaceRow(0, {Value(9), Value(1.5), Value("c")}));
+  EXPECT_FALSE(table.ContainsKey(Value(1)));
+  EXPECT_TRUE(table.ContainsKey(Value(9)));
+  // Collision with another key is rejected.
+  EXPECT_EQ(table.ReplaceRow(0, {Value(2), Value(0.5), Value("d")}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, DeleteRowAtSwapsLast) {
+  Table table("t", SaleSchema());
+  MD_ASSERT_OK(table.Insert({Value(1), Value(1.5), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(2), Value(2.5), Value("b")}));
+  MD_ASSERT_OK(table.Insert({Value(3), Value(3.5), Value("c")}));
+  table.DeleteRowAt(0);
+  EXPECT_EQ(table.NumRows(), 2u);
+  EXPECT_EQ(table.row(0)[0], Value(3));  // Last row swapped in.
+}
+
+TEST(TableTest, PaperSizeBytesUsesFourBytesPerField) {
+  Table table("t", SaleSchema());
+  MD_ASSERT_OK(table.Insert({Value(1), Value(1.5), Value("a")}));
+  MD_ASSERT_OK(table.Insert({Value(2), Value(2.5), Value("b")}));
+  EXPECT_EQ(table.PaperSizeBytes(), 2u * 3 * 4);
+  EXPECT_EQ(table.ActualSizeBytes(), 2u * (8 + 8 + 1));
+}
+
+TEST(TableTest, ToStringShowsHeaderAndTruncates) {
+  Table table("demo", SaleSchema());
+  for (int i = 0; i < 5; ++i) {
+    MD_ASSERT_OK(table.Insert({Value(i), Value(0.5), Value("x")}));
+  }
+  const std::string rendering = table.ToString(2);
+  EXPECT_NE(rendering.find("demo [5 rows]"), std::string::npos);
+  EXPECT_NE(rendering.find("price"), std::string::npos);
+  EXPECT_NE(rendering.find("3 more rows"), std::string::npos);
+}
+
+TEST(TableTest, ClearDropsRowsAndIndex) {
+  MD_ASSERT_OK_AND_ASSIGN(Table table,
+                          Table::WithKey("t", SaleSchema(), "id"));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+  table.Clear();
+  EXPECT_EQ(table.NumRows(), 0u);
+  EXPECT_FALSE(table.ContainsKey(Value(1)));
+  MD_ASSERT_OK(table.Insert({Value(1), Value(2.5), Value("a")}));
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,169 @@
+// Shared test fixtures and assertion helpers.
+
+#ifndef MINDETAIL_TESTS_TEST_UTIL_H_
+#define MINDETAIL_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relational/ops.h"
+#include "relational/table.h"
+#include "workload/retail.h"
+
+// Asserts that a Status-returning expression is OK.
+#define MD_ASSERT_OK(expr)                                        \
+  do {                                                            \
+    const ::mindetail::Status md_test_status__ = (expr);          \
+    ASSERT_TRUE(md_test_status__.ok()) << md_test_status__;       \
+  } while (0)
+
+#define MD_EXPECT_OK(expr)                                        \
+  do {                                                            \
+    const ::mindetail::Status md_test_status__ = (expr);          \
+    EXPECT_TRUE(md_test_status__.ok()) << md_test_status__;       \
+  } while (0)
+
+// Asserts a Result is OK and moves its value into `lhs`.
+#define MD_ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  MD_ASSERT_OK_AND_ASSIGN_IMPL_(                                  \
+      MD_TEST_CONCAT_(md_test_result__, __LINE__), lhs, expr)
+
+#define MD_ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, expr)             \
+  auto tmp = (expr);                                              \
+  ASSERT_TRUE(tmp.ok()) << tmp.status();                          \
+  lhs = std::move(tmp).value()
+
+#define MD_TEST_CONCAT_(a, b) MD_TEST_CONCAT_IMPL_(a, b)
+#define MD_TEST_CONCAT_IMPL_(a, b) a##b
+
+namespace mindetail {
+namespace test {
+
+// Approximate scalar equality: exact for non-numerics, relative-epsilon
+// for numerics (incremental double sums drift by rounding order).
+inline bool ValuesApproxEqual(const Value& a, const Value& b, double eps) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.IsNumeric() && b.IsNumeric()) {
+    const double x = a.NumericAsDouble();
+    const double y = b.NumericAsDouble();
+    return std::abs(x - y) <=
+           eps * std::max({1.0, std::abs(x), std::abs(y)});
+  }
+  return a.Compare(b) == 0;
+}
+
+// Compares two tables as bags of tuples with numeric tolerance. Rows
+// are sorted first; group keys are exact so the sort orders align.
+inline ::testing::AssertionResult TablesApproxEqual(const Table& a,
+                                                    const Table& b,
+                                                    double eps = 1e-9) {
+  if (a.schema().size() != b.schema().size()) {
+    return ::testing::AssertionFailure()
+           << "arity mismatch: " << a.schema().size() << " vs "
+           << b.schema().size();
+  }
+  if (a.NumRows() != b.NumRows()) {
+    return ::testing::AssertionFailure()
+           << "row count mismatch: " << a.NumRows() << " vs " << b.NumRows()
+           << "\nleft:\n" << a.ToString() << "\nright:\n" << b.ToString();
+  }
+  Table sa("a", a.schema());
+  sa.set_allow_null(true);
+  for (const Tuple& row : a.rows()) {
+    if (!sa.Insert(row).ok()) {
+      return ::testing::AssertionFailure() << "copy failed";
+    }
+  }
+  Table sb("b", b.schema());
+  sb.set_allow_null(true);
+  for (const Tuple& row : b.rows()) {
+    if (!sb.Insert(row).ok()) {
+      return ::testing::AssertionFailure() << "copy failed";
+    }
+  }
+  SortRows(&sa);
+  SortRows(&sb);
+  for (size_t i = 0; i < sa.NumRows(); ++i) {
+    const Tuple& ra = sa.row(i);
+    const Tuple& rb = sb.row(i);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!ValuesApproxEqual(ra[c], rb[c], eps)) {
+        return ::testing::AssertionFailure()
+               << "row " << i << " column " << c << ": "
+               << ra[c].ToString() << " vs " << rb[c].ToString()
+               << "\nleft:\n" << sa.ToString() << "\nright:\n"
+               << sb.ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// A small deterministic retail warehouse for unit tests.
+inline RetailWarehouse SmallRetail(uint64_t seed = 42) {
+  RetailParams params;
+  params.days = 12;
+  params.stores = 3;
+  params.products = 40;
+  params.products_sold_per_store_day = 6;
+  params.transactions_per_product = 2;
+  params.daily_distinct_fraction = 0.5;
+  params.seed = seed;
+  Result<RetailWarehouse> warehouse = GenerateRetail(params);
+  MD_CHECK(warehouse.ok());
+  return std::move(warehouse).value();
+}
+
+// The tiny hand-checkable fixture used by the paper's Tables 3 and 4:
+// six sales across two time ids and two product ids.
+inline Catalog PaperTable3Fixture() {
+  Catalog catalog;
+  MD_CHECK(catalog
+               .CreateTable("time",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"month", ValueType::kInt64},
+                                    {"year", ValueType::kInt64}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog
+               .CreateTable("product",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"brand", ValueType::kString}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog
+               .CreateTable("sale",
+                            Schema({{"id", ValueType::kInt64},
+                                    {"timeid", ValueType::kInt64},
+                                    {"productid", ValueType::kInt64},
+                                    {"price", ValueType::kInt64}}),
+                            "id")
+               .ok());
+  MD_CHECK(catalog.AddForeignKey("sale", "timeid", "time").ok());
+  MD_CHECK(catalog.AddForeignKey("sale", "productid", "product").ok());
+
+  Table* time = *catalog.MutableTable("time");
+  MD_CHECK(time->Insert({Value(1), Value(1), Value(1997)}).ok());
+  MD_CHECK(time->Insert({Value(2), Value(1), Value(1997)}).ok());
+  Table* product = *catalog.MutableTable("product");
+  MD_CHECK(product->Insert({Value(1), Value("Alpha")}).ok());
+  MD_CHECK(product->Insert({Value(2), Value("Beta")}).ok());
+  Table* sale = *catalog.MutableTable("sale");
+  // The instance of paper Table 3: (timeid, productid, price) with the
+  // duplicate (1,1,10) pair.
+  MD_CHECK(sale->Insert({Value(1), Value(1), Value(1), Value(10)}).ok());
+  MD_CHECK(sale->Insert({Value(2), Value(1), Value(1), Value(10)}).ok());
+  MD_CHECK(sale->Insert({Value(3), Value(1), Value(2), Value(30)}).ok());
+  MD_CHECK(sale->Insert({Value(4), Value(2), Value(1), Value(10)}).ok());
+  MD_CHECK(sale->Insert({Value(5), Value(2), Value(2), Value(25)}).ok());
+  MD_CHECK(sale->Insert({Value(6), Value(2), Value(2), Value(30)}).ok());
+  return catalog;
+}
+
+}  // namespace test
+}  // namespace mindetail
+
+#endif  // MINDETAIL_TESTS_TEST_UTIL_H_

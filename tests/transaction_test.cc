@@ -1,0 +1,178 @@
+// Multi-table transactions: ApplyTransaction orders the pieces so
+// referential integrity holds at every step (fact deletions before
+// dimension deletions; dimension insertions before fact insertions).
+
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "maintenance/warehouse.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+using test::TablesApproxEqual;
+
+// Applies the transaction to the source catalog in the same safe order.
+Status ApplyTransactionToSource(Catalog* source,
+                                const Derivation& derivation,
+                                const std::map<std::string, Delta>& tx) {
+  const std::vector<std::string>& order =
+      derivation.graph().TopologicalOrder();
+  for (const std::string& table : order) {
+    auto it = tx.find(table);
+    if (it == tx.end() || it->second.deletes.empty()) continue;
+    Delta deletions;
+    deletions.deletes = it->second.deletes;
+    MD_RETURN_IF_ERROR(
+        ApplyDelta(*source->MutableTable(table), deletions));
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    auto change = tx.find(*it);
+    if (change == tx.end()) continue;
+    Delta rest;
+    rest.inserts = change->second.inserts;
+    rest.updates = change->second.updates;
+    if (rest.Empty()) continue;
+    MD_RETURN_IF_ERROR(ApplyDelta(*source->MutableTable(*it), rest));
+  }
+  return Status::Ok();
+}
+
+TEST(TransactionTest, NewProductWithItsFirstSales) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& source = warehouse.catalog;
+  Result<GpsjViewDef> def = ProductSalesView(source);
+  ASSERT_TRUE(def.ok()) << def.status();
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, *def));
+
+  // One transaction: a brand-new product plus sales referencing it.
+  // Passing the pieces in any map order must work (the engine orders
+  // dimension insertions before fact insertions).
+  const int64_t product_id =
+      MaxInt64In(**source.GetTable("product"), "id") + 1;
+  const int64_t sale_id = MaxInt64In(**source.GetTable("sale"), "id") + 1;
+  std::map<std::string, Delta> tx;
+  tx["product"].inserts.push_back(
+      {Value(product_id), Value("fresh_brand"), Value("cat1")});
+  tx["sale"].inserts.push_back({Value(sale_id), Value(int64_t{10}),
+                                Value(product_id), Value(int64_t{1}),
+                                Value(9.5)});
+  tx["sale"].inserts.push_back({Value(sale_id + 1), Value(int64_t{11}),
+                                Value(product_id), Value(int64_t{2}),
+                                Value(12.0)});
+  MD_ASSERT_OK(engine.ApplyTransaction(tx));
+  MD_ASSERT_OK(
+      ApplyTransactionToSource(&source, engine.derivation(), tx));
+  MD_EXPECT_OK(source.CheckReferentialIntegrity());
+
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, *def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+}
+
+TEST(TransactionTest, RetireProductAndItsSales) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& source = warehouse.catalog;
+  Result<GpsjViewDef> def = ProductSalesView(source);
+  ASSERT_TRUE(def.ok()) << def.status();
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, *def));
+
+  // Pick a product and gather every sale referencing it.
+  const Table* product = *source.GetTable("product");
+  const Table* sale = *source.GetTable("sale");
+  const Tuple victim = product->row(0);
+  std::map<std::string, Delta> tx;
+  tx["product"].deletes.push_back(victim);
+  for (const Tuple& row : sale->rows()) {
+    if (row[2].Compare(victim[0]) == 0) {
+      tx["sale"].deletes.push_back(row);
+    }
+  }
+  ASSERT_FALSE(tx["sale"].deletes.empty());
+
+  MD_ASSERT_OK(engine.ApplyTransaction(tx));
+  MD_ASSERT_OK(
+      ApplyTransactionToSource(&source, engine.derivation(), tx));
+  MD_EXPECT_OK(source.CheckReferentialIntegrity());
+
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, *def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+}
+
+TEST(TransactionTest, MixedTransactionAcrossThreeTables) {
+  RetailWarehouse warehouse = SmallRetail();
+  Catalog& source = warehouse.catalog;
+  Result<GpsjViewDef> def = ProductSalesView(source);
+  ASSERT_TRUE(def.ok()) << def.status();
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine engine,
+                          SelfMaintenanceEngine::Create(source, *def));
+  RetailDeltaGenerator gen(71);
+
+  std::map<std::string, Delta> tx;
+  MD_ASSERT_OK_AND_ASSIGN(tx["sale"], gen.MixedSaleBatch(source, 10, 8, 4));
+  MD_ASSERT_OK_AND_ASSIGN(tx["product"], gen.ProductInsertions(source, 3));
+  MD_ASSERT_OK_AND_ASSIGN(Delta brand_updates,
+                          gen.ProductBrandUpdates(source, 4));
+  tx["product"].updates = brand_updates.updates;
+
+  MD_ASSERT_OK(engine.ApplyTransaction(tx));
+  MD_ASSERT_OK(
+      ApplyTransactionToSource(&source, engine.derivation(), tx));
+  MD_ASSERT_OK_AND_ASSIGN(Table view, engine.View());
+  MD_ASSERT_OK_AND_ASSIGN(Table oracle, EvaluateGpsj(source, *def));
+  EXPECT_TRUE(TablesApproxEqual(view, oracle));
+}
+
+TEST(TransactionTest, UnknownTableRejected) {
+  RetailWarehouse warehouse = SmallRetail();
+  Result<GpsjViewDef> def = ProductSalesView(warehouse.catalog);
+  ASSERT_TRUE(def.ok()) << def.status();
+  MD_ASSERT_OK_AND_ASSIGN(
+      SelfMaintenanceEngine engine,
+      SelfMaintenanceEngine::Create(warehouse.catalog, *def));
+  std::map<std::string, Delta> tx;
+  tx["store"].inserts.push_back({Value(999), Value("x"), Value("y"),
+                                 Value("z"), Value("m")});
+  EXPECT_EQ(engine.ApplyTransaction(tx).code(), StatusCode::kNotFound);
+}
+
+TEST(TransactionTest, WarehouseRoutesPerViewSubsets) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, R"sql(
+    CREATE VIEW monthly AS
+    SELECT time.month, COUNT(*) AS Cnt
+    FROM sale, time
+    WHERE time.year = 1997 AND sale.timeid = time.id
+    GROUP BY time.month
+  )sql"));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef by_product,
+                          SalesByProductKeyView(source));
+  MD_ASSERT_OK(warehouse.AddView(source, by_product));
+
+  RetailDeltaGenerator gen(72);
+  std::map<std::string, Delta> tx;
+  MD_ASSERT_OK_AND_ASSIGN(tx["sale"], gen.MixedSaleBatch(source, 12, 6, 0));
+  MD_ASSERT_OK_AND_ASSIGN(tx["product"], gen.ProductInsertions(source, 2));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(tx));
+  MD_ASSERT_OK(ApplyTransactionToSource(
+      &source, warehouse.engine("sales_by_product").derivation(), tx));
+  for (const std::string& name : warehouse.ViewNames()) {
+    MD_ASSERT_OK_AND_ASSIGN(Table view, warehouse.View(name));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Table oracle,
+        EvaluateGpsj(source,
+                     warehouse.engine(name).derivation().view()));
+    EXPECT_TRUE(TablesApproxEqual(view, oracle)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,92 @@
+#include "relational/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace mindetail {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(7).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(2).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(2).Compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).Compare(Value(3)), 0);
+  EXPECT_EQ(Value(int64_t{1} << 40), Value(static_cast<double>(1LL << 40)));
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_EQ(Value().Compare(Value()), 0);
+  EXPECT_LT(Value().Compare(Value(0)), 0);
+  EXPECT_GT(Value("").Compare(Value()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("alpha").Compare(Value("beta")), 0);
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // int64 and the equal double must hash identically because they
+  // compare equal.
+  EXPECT_EQ(Value(42).Hash(), Value(42.0).Hash());
+  EXPECT_EQ(Value("q").Hash(), Value("q").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5000");
+  EXPECT_EQ(Value(3.0).ToString(), "3.0");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTest, AddValuesPreservesInt) {
+  EXPECT_EQ(AddValues(Value(2), Value(3)).type(), ValueType::kInt64);
+  EXPECT_EQ(AddValues(Value(2), Value(3)).AsInt64(), 5);
+  EXPECT_EQ(AddValues(Value(2), Value(0.5)).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(AddValues(Value(2), Value(0.5)).AsDouble(), 2.5);
+}
+
+TEST(ValueTest, AddValuesTreatsNullAsIdentity) {
+  EXPECT_EQ(AddValues(Value(), Value(4)), Value(4));
+  EXPECT_EQ(AddValues(Value(4), Value()), Value(4));
+  EXPECT_TRUE(AddValues(Value(), Value()).is_null());
+}
+
+TEST(ValueTest, NegateAndScale) {
+  EXPECT_EQ(NegateValue(Value(5)), Value(-5));
+  EXPECT_DOUBLE_EQ(NegateValue(Value(2.5)).AsDouble(), -2.5);
+  EXPECT_TRUE(NegateValue(Value()).is_null());
+  EXPECT_EQ(ScaleValue(Value(3), 4), Value(12));
+  EXPECT_DOUBLE_EQ(ScaleValue(Value(1.5), 3).AsDouble(), 4.5);
+  EXPECT_TRUE(ScaleValue(Value(), 3).is_null());
+}
+
+TEST(TupleTest, HashAndEqualityForContainers) {
+  std::unordered_set<Tuple, TupleHash, TupleEqual> set;
+  set.insert({Value(1), Value("a")});
+  set.insert({Value(1), Value("a")});
+  set.insert({Value(1), Value("b")});
+  set.insert({Value(1.0), Value("a")});  // Equals the int64 variant.
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleTest, ToStringRendering) {
+  EXPECT_EQ(TupleToString({Value(1), Value("x"), Value()}),
+            "(1, 'x', NULL)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,193 @@
+#include "workload/deltas.h"
+#include "workload/retail.h"
+#include "workload/sizing.h"
+#include "workload/snowflake.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+TEST(RetailGeneratorTest, CardinalitiesMatchModel) {
+  RetailParams params;
+  params.days = 10;
+  params.stores = 2;
+  params.products = 50;
+  params.products_sold_per_store_day = 5;
+  params.transactions_per_product = 3;
+  MD_ASSERT_OK_AND_ASSIGN(RetailWarehouse warehouse,
+                          GenerateRetail(params));
+  EXPECT_EQ((*warehouse.catalog.GetTable("time"))->NumRows(), 10u);
+  EXPECT_EQ((*warehouse.catalog.GetTable("store"))->NumRows(), 2u);
+  EXPECT_EQ((*warehouse.catalog.GetTable("product"))->NumRows(), 50u);
+  EXPECT_EQ((*warehouse.catalog.GetTable("sale"))->NumRows(),
+            static_cast<size_t>(params.FactRows()));
+}
+
+TEST(RetailGeneratorTest, ReferentialIntegrityHolds) {
+  RetailWarehouse warehouse = test::SmallRetail();
+  MD_EXPECT_OK(warehouse.catalog.CheckReferentialIntegrity());
+}
+
+TEST(RetailGeneratorTest, DeterministicForSameSeed) {
+  RetailWarehouse a = test::SmallRetail(5);
+  RetailWarehouse b = test::SmallRetail(5);
+  EXPECT_TRUE(TablesEqualAsBags(**a.catalog.GetTable("sale"),
+                                **b.catalog.GetTable("sale")));
+}
+
+TEST(RetailGeneratorTest, DistinctFractionControlsCompressionGroups) {
+  RetailParams narrow;
+  narrow.days = 4;
+  narrow.stores = 4;
+  narrow.products = 100;
+  narrow.products_sold_per_store_day = 20;
+  narrow.transactions_per_product = 2;
+  narrow.daily_distinct_fraction = 0.1;  // 10 distinct products per day.
+  MD_ASSERT_OK_AND_ASSIGN(RetailWarehouse w_narrow,
+                          GenerateRetail(narrow));
+
+  RetailParams wide = narrow;
+  wide.daily_distinct_fraction = 1.0;
+  MD_ASSERT_OK_AND_ASSIGN(RetailWarehouse w_wide, GenerateRetail(wide));
+
+  // Count distinct (day, product) pairs — the compressed group count.
+  auto distinct_pairs = [](const Catalog& catalog) {
+    const Table* sale = *catalog.GetTable("sale");
+    std::unordered_set<Tuple, TupleHash, TupleEqual> pairs;
+    for (const Tuple& row : sale->rows()) {
+      pairs.insert({row[1], row[2]});
+    }
+    return pairs.size();
+  };
+  EXPECT_LT(distinct_pairs(w_narrow.catalog),
+            distinct_pairs(w_wide.catalog));
+}
+
+TEST(RetailGeneratorTest, RejectsNonPositiveParams) {
+  RetailParams params;
+  params.days = 0;
+  EXPECT_FALSE(GenerateRetail(params).ok());
+}
+
+TEST(SnowflakeGeneratorTest, ShapeMatchesDepthAndFanout) {
+  SnowflakeParams params;
+  params.depth = 3;
+  params.fanout = 2;
+  params.fact_rows = 20;
+  params.dim_rows = 6;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(params));
+  // 2 + 4 + 8 dimensions.
+  EXPECT_EQ(warehouse.dims.size(), 14u);
+  MD_EXPECT_OK(warehouse.catalog.CheckReferentialIntegrity());
+  for (const std::string& dim : warehouse.dims) {
+    EXPECT_EQ((*warehouse.catalog.GetTable(dim))->NumRows(), 6u);
+  }
+  EXPECT_EQ((*warehouse.catalog.GetTable("fact"))->NumRows(), 20u);
+}
+
+TEST(SnowflakeGeneratorTest, DepthZeroIsSingleTable) {
+  SnowflakeParams params;
+  params.depth = 0;
+  params.fact_rows = 10;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(params));
+  EXPECT_TRUE(warehouse.dims.empty());
+}
+
+TEST(DeltaGeneratorTest, InsertionsAreRiConsistentAndFresh) {
+  RetailWarehouse warehouse = test::SmallRetail();
+  RetailDeltaGenerator gen(31);
+  MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                          gen.SaleInsertions(warehouse.catalog, 20));
+  ASSERT_EQ(delta.inserts.size(), 20u);
+  MD_ASSERT_OK(
+      ApplyDelta(*warehouse.catalog.MutableTable("sale"), delta));
+  MD_EXPECT_OK(warehouse.catalog.CheckReferentialIntegrity());
+}
+
+TEST(DeltaGeneratorTest, DeletionsReferenceExistingRows) {
+  RetailWarehouse warehouse = test::SmallRetail();
+  RetailDeltaGenerator gen(32);
+  MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                          gen.SaleDeletions(warehouse.catalog, 15));
+  EXPECT_EQ(delta.deletes.size(), 15u);
+  MD_ASSERT_OK(
+      ApplyDelta(*warehouse.catalog.MutableTable("sale"), delta));
+}
+
+TEST(DeltaGeneratorTest, UpdatesKeepKeysAndChangeOnlyPrice) {
+  RetailWarehouse warehouse = test::SmallRetail();
+  RetailDeltaGenerator gen(33);
+  MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                          gen.SalePriceUpdates(warehouse.catalog, 10));
+  for (const Update& u : delta.updates) {
+    EXPECT_EQ(u.before[0], u.after[0]);
+    EXPECT_EQ(u.before[1], u.after[1]);
+    EXPECT_EQ(u.before[2], u.after[2]);
+    EXPECT_EQ(u.before[3], u.after[3]);
+  }
+}
+
+TEST(DeltaGeneratorTest, MixedBatchHasNoDeleteUpdateCollision) {
+  RetailWarehouse warehouse = test::SmallRetail();
+  RetailDeltaGenerator gen(34);
+  MD_ASSERT_OK_AND_ASSIGN(
+      Delta delta, gen.MixedSaleBatch(warehouse.catalog, 10, 10, 10));
+  std::set<int64_t> deleted;
+  for (const Tuple& row : delta.deletes) deleted.insert(row[0].AsInt64());
+  for (const Update& u : delta.updates) {
+    EXPECT_EQ(deleted.count(u.before[0].AsInt64()), 0u);
+  }
+  MD_ASSERT_OK(
+      ApplyDelta(*warehouse.catalog.MutableTable("sale"), delta));
+}
+
+// --- Sizing model: the paper's Sec. 1.1 arithmetic, exactly ------------
+
+TEST(SizingTest, PaperFactNumbers) {
+  StorageModel model;
+  EXPECT_EQ(model.FactTuples(), 13140000000LL);
+  EXPECT_EQ(model.FactBytes(), 13140000000ULL * 5 * 4);
+  EXPECT_EQ(FormatBytes(model.FactBytes()), "244.8 GB");  // "245 GBytes".
+}
+
+TEST(SizingTest, PaperAuxNumbers) {
+  StorageModel model;
+  EXPECT_EQ(model.AuxTuples(0.5, 30000), 10950000LL);
+  EXPECT_EQ(model.AuxBytes(0.5, 30000), 10950000ULL * 4 * 4);
+  EXPECT_EQ(FormatBytes(model.AuxBytes(0.5, 30000)), "167.1 MB");
+}
+
+TEST(SizingTest, CompressionFactorMatchesPaperRatio) {
+  StorageModel model;
+  // 245 GB / 167 MB ≈ 1500x.
+  const double factor = model.CompressionFactor(0.5, 30000);
+  EXPECT_NEAR(factor, 1500.0, 1.0);
+}
+
+TEST(SizingTest, PsjIntermediateSize) {
+  StorageModel model;
+  // PSJ keeps one row per 1997 fact tuple: half of 13.14e9 × 4 fields.
+  EXPECT_EQ(model.PsjTuples(0.5), 6570000000LL);
+  EXPECT_GT(model.PsjBytes(0.5), model.AuxBytes(0.5, 30000));
+  EXPECT_LT(model.PsjBytes(0.5), model.FactBytes());
+}
+
+TEST(SizingTest, ReportMentionsHeadlineNumbers) {
+  StorageModel model;
+  const std::string report = model.Report();
+  EXPECT_NE(report.find("13,140,000,000"), std::string::npos);
+  EXPECT_NE(report.find("10,950,000"), std::string::npos);
+  EXPECT_NE(report.find("244.8 GB"), std::string::npos);
+  EXPECT_NE(report.find("167.1 MB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,314 @@
+// mindetail_cli — an interactive (and scriptable: pipe commands on
+// stdin) shell over the library: load or generate a source catalog,
+// register summary views in SQL, stream changes, and inspect the
+// maintained views and their minimal detail data.
+//
+//   $ mindetail_cli
+//   mindetail> demo
+//   mindetail> sql CREATE VIEW monthly AS
+//         ...>   SELECT time.month, SUM(sale.price) AS Revenue,
+//         ...>          COUNT(*) AS Txns
+//         ...>   FROM sale, time
+//         ...>   WHERE time.year = 1997 AND sale.timeid = time.id
+//         ...>   GROUP BY time.month;
+//   mindetail> view monthly
+//   mindetail> insert sale 999999,10,5,1,12.5
+//   mindetail> view monthly
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+#include "core/estimate.h"
+#include "io/catalog_io.h"
+#include "maintenance/warehouse.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+class Cli {
+ public:
+  int Run() {
+    std::cout << "mindetail shell — 'help' lists commands\n";
+    std::string line;
+    while (Prompt("mindetail> "), std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt(const char* text) {
+    std::cout << text;
+    std::cout.flush();
+  }
+
+  static std::vector<std::string> Tokens(const std::string& line) {
+    std::istringstream in(line);
+    std::vector<std::string> out;
+    std::string token;
+    while (in >> token) out.push_back(token);
+    return out;
+  }
+
+  void Report(const Status& status) {
+    if (!status.ok()) std::cout << "error: " << status << "\n";
+  }
+
+  // Returns false to quit.
+  bool Dispatch(const std::string& line) {
+    const std::vector<std::string> args = Tokens(line);
+    if (args.empty()) return true;
+    const std::string& cmd = args[0];
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      Help();
+    } else if (cmd == "demo") {
+      Demo();
+    } else if (cmd == "load" && args.size() == 2) {
+      Load(args[1]);
+    } else if (cmd == "save" && args.size() == 2) {
+      Report(SaveCatalog(source_, args[1]));
+    } else if (cmd == "tables") {
+      Tables();
+    } else if (cmd == "show" && args.size() >= 2) {
+      Show(args[1], args.size() > 2 ? std::stoul(args[2]) : 10);
+    } else if (cmd == "sql") {
+      Sql(line.substr(line.find("sql") + 3));
+    } else if (cmd == "views") {
+      for (const std::string& name : warehouse_.ViewNames()) {
+        std::cout << "  " << name << "\n";
+      }
+    } else if (cmd == "view" && args.size() == 2) {
+      PrintView(args[1]);
+    } else if (cmd == "derivation" && args.size() == 2) {
+      Derivation(args[1]);
+    } else if (cmd == "report") {
+      std::cout << warehouse_.Report();
+    } else if (cmd == "estimate" && args.size() == 2) {
+      Estimate(args[1]);
+    } else if (cmd == "insert" && args.size() >= 3) {
+      Insert(args[1], line);
+    } else if (cmd == "erase" && args.size() == 3) {
+      Erase(args[1], args[2]);
+    } else {
+      std::cout << "unrecognized command; try 'help'\n";
+    }
+    return true;
+  }
+
+  void Help() {
+    std::cout <<
+        "  demo                 load a generated retail star schema\n"
+        "  load <dir>           load a catalog saved with 'save'\n"
+        "  save <dir>           persist the source catalog\n"
+        "  tables               list base tables\n"
+        "  show <table> [n]     print the first n rows of a table\n"
+        "  sql <CREATE VIEW …;> register a summary view (may span\n"
+        "                       lines; end with ';')\n"
+        "  views                list registered views\n"
+        "  view <name>          print a view's current contents\n"
+        "  derivation <name>    print the Algorithm 3.2 report\n"
+        "  report               warehouse detail inventory\n"
+        "  estimate <name>      predicted vs actual auxiliary sizes\n"
+        "  insert <table> v,..  insert one row (routed to all views)\n"
+        "  erase <table> <key>  delete one row by key\n"
+        "  quit\n";
+  }
+
+  void Demo() {
+    RetailParams params;
+    params.days = 30;
+    params.stores = 4;
+    params.products = 100;
+    params.products_sold_per_store_day = 12;
+    params.transactions_per_product = 3;
+    Result<RetailWarehouse> retail = GenerateRetail(params);
+    if (!retail.ok()) {
+      Report(retail.status());
+      return;
+    }
+    source_ = std::move(retail->catalog);
+    warehouse_ = Warehouse();
+    std::cout << "demo retail schema loaded ("
+              << (*source_.GetTable("sale"))->NumRows() << " sales)\n";
+  }
+
+  void Load(const std::string& dir) {
+    Result<Catalog> loaded = LoadCatalog(dir);
+    if (!loaded.ok()) {
+      Report(loaded.status());
+      return;
+    }
+    source_ = std::move(loaded).value();
+    warehouse_ = Warehouse();
+    std::cout << "catalog loaded from " << dir << "\n";
+  }
+
+  void Tables() {
+    for (const std::string& name : source_.TableNames()) {
+      const Table* table = *source_.GetTable(name);
+      std::cout << "  " << name << " " << table->schema().ToString()
+                << " — " << table->NumRows() << " rows\n";
+    }
+  }
+
+  void Show(const std::string& table, size_t n) {
+    Result<const Table*> t = source_.GetTable(table);
+    if (!t.ok()) {
+      Report(t.status());
+      return;
+    }
+    std::cout << (*t)->ToString(n);
+  }
+
+  void Sql(std::string statement) {
+    // Keep reading lines until a ';' arrives.
+    while (statement.find(';') == std::string::npos) {
+      Prompt("      ...> ");
+      std::string more;
+      if (!std::getline(std::cin, more)) break;
+      statement += "\n" + more;
+    }
+    Report(warehouse_.AddViewSql(source_, statement));
+  }
+
+  void PrintView(const std::string& name) {
+    Result<Table> view = warehouse_.View(name);
+    if (!view.ok()) {
+      Report(view.status());
+      return;
+    }
+    std::cout << view->ToString(30);
+  }
+
+  void Derivation(const std::string& name) {
+    if (!warehouse_.HasView(name)) {
+      std::cout << "no such view\n";
+      return;
+    }
+    std::cout << warehouse_.engine(name).derivation().ToString();
+  }
+
+  void Estimate(const std::string& name) {
+    if (!warehouse_.HasView(name)) {
+      std::cout << "no such view\n";
+      return;
+    }
+    const SelfMaintenanceEngine& engine = warehouse_.engine(name);
+    Result<std::map<std::string, TableStats>> stats =
+        ComputeAllStats(source_, engine.derivation());
+    if (!stats.ok()) {
+      Report(stats.status());
+      return;
+    }
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) {
+        std::cout << "  " << aux.name << ": eliminated (0 bytes)\n";
+        continue;
+      }
+      Result<AuxSizeEstimate> estimate =
+          EstimateAuxSize(engine.derivation(), aux.base_table, *stats);
+      if (!estimate.ok()) {
+        Report(estimate.status());
+        return;
+      }
+      std::cout << "  " << aux.name << ": predicted "
+                << static_cast<uint64_t>(estimate->rows) << " rows ("
+                << FormatBytes(estimate->paper_bytes) << "), actual "
+                << engine.AuxContents(aux.base_table).NumRows()
+                << " rows\n";
+    }
+  }
+
+  void Insert(const std::string& table, const std::string& line) {
+    Result<const Table*> t = source_.GetTable(table);
+    if (!t.ok()) {
+      Report(t.status());
+      return;
+    }
+    // Values follow the table name: everything after it, comma-split.
+    const size_t pos = line.find(table);
+    std::string values_text = line.substr(pos + table.size());
+    std::vector<std::string> pieces = Split(values_text, ',');
+    const Schema& schema = (*t)->schema();
+    if (pieces.size() != schema.size()) {
+      std::cout << "error: " << pieces.size() << " values for "
+                << schema.ToString() << "\n";
+      return;
+    }
+    Tuple row;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      std::string piece = pieces[i];
+      // Trim.
+      while (!piece.empty() && std::isspace(
+                                   static_cast<unsigned char>(piece.front()))) {
+        piece.erase(piece.begin());
+      }
+      while (!piece.empty() &&
+             std::isspace(static_cast<unsigned char>(piece.back()))) {
+        piece.pop_back();
+      }
+      switch (schema.attribute(i).type) {
+        case ValueType::kInt64:
+          row.push_back(Value(static_cast<int64_t>(std::stoll(piece))));
+          break;
+        case ValueType::kDouble:
+          row.push_back(Value(std::stod(piece)));
+          break;
+        default:
+          row.push_back(Value(piece));
+      }
+    }
+    Delta delta;
+    delta.inserts.push_back(row);
+    Status status = warehouse_.Apply(table, delta);
+    if (status.ok()) {
+      status = ApplyDelta(*source_.MutableTable(table), delta);
+    }
+    Report(status);
+    if (status.ok()) std::cout << "inserted " << TupleToString(row) << "\n";
+  }
+
+  void Erase(const std::string& table, const std::string& key_text) {
+    Result<const Table*> t = source_.GetTable(table);
+    if (!t.ok()) {
+      Report(t.status());
+      return;
+    }
+    std::optional<size_t> key_idx = (*t)->key_index();
+    if (!key_idx.has_value()) {
+      std::cout << "error: table has no key\n";
+      return;
+    }
+    const ValueType key_type = (*t)->schema().attribute(*key_idx).type;
+    Value key = key_type == ValueType::kInt64
+                    ? Value(static_cast<int64_t>(std::stoll(key_text)))
+                    : Value(key_text);
+    const Tuple* row = (*t)->FindByKey(key);
+    if (row == nullptr) {
+      std::cout << "error: no row with key " << key.ToString() << "\n";
+      return;
+    }
+    Delta delta;
+    delta.deletes.push_back(*row);
+    Status status = warehouse_.Apply(table, delta);
+    if (status.ok()) {
+      status = ApplyDelta(*source_.MutableTable(table), delta);
+    }
+    Report(status);
+    if (status.ok()) std::cout << "deleted key " << key.ToString() << "\n";
+  }
+
+  Catalog source_;
+  Warehouse warehouse_;
+};
+
+}  // namespace
+}  // namespace mindetail
+
+int main() { return mindetail::Cli().Run(); }
