@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendonly.dir/bench_appendonly.cc.o"
+  "CMakeFiles/bench_appendonly.dir/bench_appendonly.cc.o.d"
+  "bench_appendonly"
+  "bench_appendonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

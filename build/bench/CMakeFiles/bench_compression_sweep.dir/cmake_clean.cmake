@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compression_sweep.dir/bench_compression_sweep.cc.o"
+  "CMakeFiles/bench_compression_sweep.dir/bench_compression_sweep.cc.o.d"
+  "bench_compression_sweep"
+  "bench_compression_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compression_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elimination.dir/bench_elimination.cc.o"
+  "CMakeFiles/bench_elimination.dir/bench_elimination.cc.o.d"
+  "bench_elimination"
+  "bench_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_replacement.dir/bench_table2_replacement.cc.o"
+  "CMakeFiles/bench_table2_replacement.dir/bench_table2_replacement.cc.o.d"
+  "bench_table2_replacement"
+  "bench_table2_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_only_ledger.dir/append_only_ledger.cc.o"
+  "CMakeFiles/append_only_ledger.dir/append_only_ledger.cc.o.d"
+  "append_only_ledger"
+  "append_only_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_only_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

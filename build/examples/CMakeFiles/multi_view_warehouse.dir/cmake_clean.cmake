@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_view_warehouse.dir/multi_view_warehouse.cc.o"
+  "CMakeFiles/multi_view_warehouse.dir/multi_view_warehouse.cc.o.d"
+  "multi_view_warehouse"
+  "multi_view_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_view_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_warehouse.dir/retail_warehouse.cc.o"
+  "CMakeFiles/retail_warehouse.dir/retail_warehouse.cc.o.d"
+  "retail_warehouse"
+  "retail_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

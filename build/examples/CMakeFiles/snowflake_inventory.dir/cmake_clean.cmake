@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snowflake_inventory.dir/snowflake_inventory.cc.o"
+  "CMakeFiles/snowflake_inventory.dir/snowflake_inventory.cc.o.d"
+  "snowflake_inventory"
+  "snowflake_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snowflake_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_common.dir/common/bytes.cc.o"
+  "CMakeFiles/mindetail_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/mindetail_common.dir/common/rng.cc.o"
+  "CMakeFiles/mindetail_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mindetail_common.dir/common/status.cc.o"
+  "CMakeFiles/mindetail_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mindetail_common.dir/common/strings.cc.o"
+  "CMakeFiles/mindetail_common.dir/common/strings.cc.o.d"
+  "libmindetail_common.a"
+  "libmindetail_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

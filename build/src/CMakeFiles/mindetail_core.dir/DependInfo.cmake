@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression.cc" "src/CMakeFiles/mindetail_core.dir/core/compression.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/compression.cc.o.d"
+  "/root/repo/src/core/derive.cc" "src/CMakeFiles/mindetail_core.dir/core/derive.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/derive.cc.o.d"
+  "/root/repo/src/core/eliminate.cc" "src/CMakeFiles/mindetail_core.dir/core/eliminate.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/eliminate.cc.o.d"
+  "/root/repo/src/core/estimate.cc" "src/CMakeFiles/mindetail_core.dir/core/estimate.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/estimate.cc.o.d"
+  "/root/repo/src/core/join_graph.cc" "src/CMakeFiles/mindetail_core.dir/core/join_graph.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/join_graph.cc.o.d"
+  "/root/repo/src/core/need.cc" "src/CMakeFiles/mindetail_core.dir/core/need.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/need.cc.o.d"
+  "/root/repo/src/core/reconstruct.cc" "src/CMakeFiles/mindetail_core.dir/core/reconstruct.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/reconstruct.cc.o.d"
+  "/root/repo/src/core/reduction.cc" "src/CMakeFiles/mindetail_core.dir/core/reduction.cc.o" "gcc" "src/CMakeFiles/mindetail_core.dir/core/reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mindetail_gpsj.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_core.dir/core/compression.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/compression.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/derive.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/derive.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/eliminate.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/eliminate.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/estimate.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/estimate.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/join_graph.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/join_graph.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/need.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/need.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/reconstruct.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/reconstruct.cc.o.d"
+  "CMakeFiles/mindetail_core.dir/core/reduction.cc.o"
+  "CMakeFiles/mindetail_core.dir/core/reduction.cc.o.d"
+  "libmindetail_core.a"
+  "libmindetail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

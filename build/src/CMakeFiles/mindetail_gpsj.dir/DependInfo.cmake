@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpsj/aggregate.cc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/aggregate.cc.o" "gcc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/aggregate.cc.o.d"
+  "/root/repo/src/gpsj/builder.cc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/builder.cc.o" "gcc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/builder.cc.o.d"
+  "/root/repo/src/gpsj/evaluator.cc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/evaluator.cc.o" "gcc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/evaluator.cc.o.d"
+  "/root/repo/src/gpsj/parser.cc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/parser.cc.o" "gcc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/parser.cc.o.d"
+  "/root/repo/src/gpsj/view_def.cc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/view_def.cc.o" "gcc" "src/CMakeFiles/mindetail_gpsj.dir/gpsj/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mindetail_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

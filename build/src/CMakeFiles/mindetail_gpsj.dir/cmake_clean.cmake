@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/aggregate.cc.o"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/aggregate.cc.o.d"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/builder.cc.o"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/builder.cc.o.d"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/evaluator.cc.o"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/evaluator.cc.o.d"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/parser.cc.o"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/parser.cc.o.d"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/view_def.cc.o"
+  "CMakeFiles/mindetail_gpsj.dir/gpsj/view_def.cc.o.d"
+  "libmindetail_gpsj.a"
+  "libmindetail_gpsj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_gpsj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mindetail_gpsj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_io.dir/io/catalog_io.cc.o"
+  "CMakeFiles/mindetail_io.dir/io/catalog_io.cc.o.d"
+  "CMakeFiles/mindetail_io.dir/io/csv.cc.o"
+  "CMakeFiles/mindetail_io.dir/io/csv.cc.o.d"
+  "libmindetail_io.a"
+  "libmindetail_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

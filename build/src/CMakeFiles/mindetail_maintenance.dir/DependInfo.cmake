@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maintenance/aux_store.cc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/aux_store.cc.o" "gcc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/aux_store.cc.o.d"
+  "/root/repo/src/maintenance/baselines.cc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/baselines.cc.o" "gcc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/baselines.cc.o.d"
+  "/root/repo/src/maintenance/engine.cc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/engine.cc.o" "gcc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/engine.cc.o.d"
+  "/root/repo/src/maintenance/warehouse.cc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/warehouse.cc.o" "gcc" "src/CMakeFiles/mindetail_maintenance.dir/maintenance/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mindetail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_gpsj.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

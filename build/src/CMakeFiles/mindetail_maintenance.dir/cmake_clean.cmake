@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/aux_store.cc.o"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/aux_store.cc.o.d"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/baselines.cc.o"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/baselines.cc.o.d"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/engine.cc.o"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/engine.cc.o.d"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/warehouse.cc.o"
+  "CMakeFiles/mindetail_maintenance.dir/maintenance/warehouse.cc.o.d"
+  "libmindetail_maintenance.a"
+  "libmindetail_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

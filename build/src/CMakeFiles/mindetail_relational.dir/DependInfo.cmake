@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/mindetail_relational.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/delta.cc" "src/CMakeFiles/mindetail_relational.dir/relational/delta.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/delta.cc.o.d"
+  "/root/repo/src/relational/ops.cc" "src/CMakeFiles/mindetail_relational.dir/relational/ops.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/ops.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/CMakeFiles/mindetail_relational.dir/relational/predicate.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/predicate.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/mindetail_relational.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/mindetail_relational.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/mindetail_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/mindetail_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mindetail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

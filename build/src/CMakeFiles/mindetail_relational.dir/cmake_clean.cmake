@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_relational.dir/relational/catalog.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/catalog.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/delta.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/delta.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/ops.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/ops.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/predicate.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/predicate.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/schema.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/schema.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/table.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/table.cc.o.d"
+  "CMakeFiles/mindetail_relational.dir/relational/value.cc.o"
+  "CMakeFiles/mindetail_relational.dir/relational/value.cc.o.d"
+  "libmindetail_relational.a"
+  "libmindetail_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/deltas.cc" "src/CMakeFiles/mindetail_workload.dir/workload/deltas.cc.o" "gcc" "src/CMakeFiles/mindetail_workload.dir/workload/deltas.cc.o.d"
+  "/root/repo/src/workload/retail.cc" "src/CMakeFiles/mindetail_workload.dir/workload/retail.cc.o" "gcc" "src/CMakeFiles/mindetail_workload.dir/workload/retail.cc.o.d"
+  "/root/repo/src/workload/sizing.cc" "src/CMakeFiles/mindetail_workload.dir/workload/sizing.cc.o" "gcc" "src/CMakeFiles/mindetail_workload.dir/workload/sizing.cc.o.d"
+  "/root/repo/src/workload/snowflake.cc" "src/CMakeFiles/mindetail_workload.dir/workload/snowflake.cc.o" "gcc" "src/CMakeFiles/mindetail_workload.dir/workload/snowflake.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mindetail_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_gpsj.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mindetail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_workload.dir/workload/deltas.cc.o"
+  "CMakeFiles/mindetail_workload.dir/workload/deltas.cc.o.d"
+  "CMakeFiles/mindetail_workload.dir/workload/retail.cc.o"
+  "CMakeFiles/mindetail_workload.dir/workload/retail.cc.o.d"
+  "CMakeFiles/mindetail_workload.dir/workload/sizing.cc.o"
+  "CMakeFiles/mindetail_workload.dir/workload/sizing.cc.o.d"
+  "CMakeFiles/mindetail_workload.dir/workload/snowflake.cc.o"
+  "CMakeFiles/mindetail_workload.dir/workload/snowflake.cc.o.d"
+  "libmindetail_workload.a"
+  "libmindetail_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmindetail_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_only_test.dir/append_only_test.cc.o"
+  "CMakeFiles/append_only_test.dir/append_only_test.cc.o.d"
+  "append_only_test"
+  "append_only_test.pdb"
+  "append_only_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_only_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aux_store_test.dir/aux_store_test.cc.o"
+  "CMakeFiles/aux_store_test.dir/aux_store_test.cc.o.d"
+  "aux_store_test"
+  "aux_store_test.pdb"
+  "aux_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aux_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/need_test.dir/need_test.cc.o"
+  "CMakeFiles/need_test.dir/need_test.cc.o.d"
+  "need_test"
+  "need_test.pdb"
+  "need_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/need_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_compression_test.dir/reduction_compression_test.cc.o"
+  "CMakeFiles/reduction_compression_test.dir/reduction_compression_test.cc.o.d"
+  "reduction_compression_test"
+  "reduction_compression_test.pdb"
+  "reduction_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindetail_cli.dir/mindetail_cli.cc.o"
+  "CMakeFiles/mindetail_cli.dir/mindetail_cli.cc.o.d"
+  "mindetail_cli"
+  "mindetail_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindetail_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "sh" "-c" "printf 'demo\\nsql CREATE VIEW m AS SELECT time.month, COUNT(*) AS Cnt FROM sale, time WHERE sale.timeid = time.id GROUP BY time.month;\\nview m\\ninsert sale 900001,1,1,1,9.5\\nerase sale 900001\\nreport\\nquit\\n' | /root/repo/build/tools/mindetail_cli")
+set_tests_properties(cli_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "Total current detail" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
