@@ -1,0 +1,132 @@
+// Parallel sharded maintenance scaling: the same mixed fact (root)
+// batches against a snowflake view at 1/2/4/8 maintenance threads.
+// items/s is delta rows per second; compare the same batch size across
+// thread counts for the scaling curve. The engine guarantees results
+// identical to the serial path at every thread count, so this harness
+// measures latency only.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "gpsj/builder.h"
+#include "maintenance/engine.h"
+#include "relational/delta.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+SnowflakeWarehouse MakeWarehouse() {
+  SnowflakeParams params;
+  params.depth = 2;
+  params.fanout = 2;
+  params.fact_rows = 20000;
+  params.dim_rows = 60;
+  params.seed = 17;
+  return Unwrap(GenerateSnowflake(params));
+}
+
+// Group by the near and far dimensions, aggregate the fact measures —
+// the compressed root auxiliary view the sharded path partitions.
+GpsjViewDef MakeView(const SnowflakeWarehouse& warehouse) {
+  GpsjViewBuilder builder("parallel_bench_view");
+  builder.From(warehouse.fact);
+  for (const std::string& dim : warehouse.dims) {
+    builder.From(dim);
+    builder.Join(warehouse.parent.at(dim), warehouse.link_attr.at(dim),
+                 dim);
+  }
+  builder.GroupBy(warehouse.dims.front(), "a", "GroupA");
+  builder.GroupBy(warehouse.dims.back(), "a", "GroupB");
+  builder.CountStar("Cnt");
+  builder.Sum(warehouse.fact, "m1", "SumM1");
+  builder.Sum(warehouse.fact, "m2", "SumM2");
+  builder.Avg(warehouse.fact, "m2", "AvgM2");
+  return Unwrap(builder.Build(warehouse.catalog));
+}
+
+// One mixed root batch: half inserts (referencing existing dimension
+// rows), a quarter deletes, a quarter updates, drawn from the current
+// source state.
+Delta MakeRootBatch(const SnowflakeWarehouse& warehouse,
+                    const Catalog& source, Rng& rng, size_t batch) {
+  Delta delta;
+  const Table* fact = *source.GetTable(warehouse.fact);
+  int64_t next_id = 0;
+  for (const Tuple& row : fact->rows()) {
+    next_id = std::max(next_id, row[0].AsInt64());
+  }
+  ++next_id;
+  const size_t fk_count = fact->schema().size() - 3;  // id, …, m1, m2.
+  for (size_t i = 0; i < batch / 2; ++i) {
+    Tuple row = {Value(next_id++)};
+    for (size_t f = 0; f < fk_count; ++f) {
+      const std::string fk_attr = fact->schema().attribute(1 + f).name;
+      const std::string dim = fk_attr.substr(3);  // strip "fk_".
+      const Table* dim_table = *source.GetTable(dim);
+      row.push_back(
+          dim_table->row(rng.NextBelow(dim_table->NumRows()))[0]);
+    }
+    row.push_back(Value(rng.NextInt(0, 9)));
+    row.push_back(Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0));
+    delta.inserts.push_back(std::move(row));
+  }
+  std::set<int64_t> touched;
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    delta.deletes.push_back(row);
+  }
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    Tuple after = row;
+    after[after.size() - 2] = Value(rng.NextInt(0, 9));
+    after[after.size() - 1] =
+        Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0);
+    delta.updates.push_back(Update{row, std::move(after)});
+  }
+  return delta;
+}
+
+// state.range(0): maintenance threads; state.range(1): batch size.
+void BM_ParallelRootDelta(benchmark::State& state) {
+  SnowflakeWarehouse warehouse = MakeWarehouse();
+  Catalog& source = warehouse.catalog;
+  GpsjViewDef def = MakeView(warehouse);
+  EngineOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  SelfMaintenanceEngine engine =
+      Unwrap(SelfMaintenanceEngine::Create(source, def, options));
+  Rng rng(1234);
+  const size_t batch = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = MakeRootBatch(warehouse, source, rng, batch);
+    Check(ApplyDelta(Unwrap(source.MutableTable(warehouse.fact)), delta));
+    state.ResumeTiming();
+    Check(engine.Apply(warehouse.fact, delta));
+    benchmark::DoNotOptimize(Unwrap(engine.View()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_ParallelRootDelta)
+    ->ArgsProduct({{1, 2, 4, 8}, {1024, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

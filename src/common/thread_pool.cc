@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/check.h"
+
+namespace mindetail {
+
+namespace {
+
+// True while this thread is executing ParallelFor iterations. A nested
+// ParallelFor issued from inside fn runs inline on the issuing thread
+// instead of enqueueing (enqueue-and-wait from a worker could deadlock
+// once every worker is a waiter).
+thread_local bool tls_inside_parallel_for = false;
+
+}  // namespace
+
+// Shared control block of one ParallelFor: workers and the caller claim
+// indexes from `next` until exhausted; `active` counts claimants still
+// inside fn so the caller can wait for full completion.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<int> active{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+
+  void RunLoop() {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      (*fn)(i);
+    }
+  }
+
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--active == 0) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_inside_parallel_for) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  // One claim-loop task per worker that could usefully participate,
+  // plus the caller. Workers busy in an earlier (nested) ParallelFor
+  // simply never pick their task up; the caller's own loop guarantees
+  // progress regardless.
+  const size_t helpers =
+      workers_.size() < n - 1 ? workers_.size() : n - 1;
+  state->active = static_cast<int>(helpers) + 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MD_CHECK(!stopping_);
+    for (size_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] {
+        tls_inside_parallel_for = true;
+        state->RunLoop();
+        tls_inside_parallel_for = false;
+        state->Finish();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  tls_inside_parallel_for = true;
+  state->RunLoop();
+  tls_inside_parallel_for = false;
+  state->Finish();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&state] { return state->active == 0; });
+}
+
+}  // namespace mindetail

@@ -1,0 +1,63 @@
+// A small reusable worker pool for sharded maintenance work.
+//
+// ThreadPool(n) provides a total concurrency of n: n-1 background
+// workers plus the calling thread, which participates in every
+// ParallelFor. ThreadPool(1) therefore spawns no threads at all and
+// runs everything inline on the caller — byte-identical to not having
+// a pool.
+//
+// The pool deliberately exposes only fork-join parallelism
+// (ParallelFor); maintenance shards are independent by construction,
+// so no futures, task graphs, or work stealing are needed. Nested
+// ParallelFor calls are legal: the inner call runs inline on whichever
+// thread issued it (workers never re-enter the queue), which cannot
+// deadlock.
+
+#ifndef MINDETAIL_COMMON_THREAD_POOL_H_
+#define MINDETAIL_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mindetail {
+
+class ThreadPool {
+ public:
+  // Total concurrency (callers + workers) of `num_threads`, clamped to
+  // at least 1. Spawns num_threads - 1 background workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency: workers + the participating caller.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs fn(0) … fn(n-1), each exactly once, distributing indexes over
+  // the workers and the calling thread; returns when all have finished.
+  // fn must not throw. Iterations run in an unspecified order and
+  // concurrently — callers are responsible for making the work
+  // independent per index.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_THREAD_POOL_H_

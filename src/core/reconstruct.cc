@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "relational/ops.h"
 
 namespace mindetail {
@@ -129,10 +130,42 @@ std::set<std::string> OutputSupplierTables(const Derivation& derivation,
   return out;
 }
 
+namespace {
+
+// Joins `root_rows` (already qualified) down the tree in topological
+// order against the qualified non-root tables.
+Result<Table> JoinChainFromRoot(
+    const Derivation& derivation, Table root_rows,
+    const std::map<std::string, Table>& qualified,
+    const std::set<std::string>& closed) {
+  const ExtendedJoinGraph& graph = derivation.graph();
+  Table current = std::move(root_rows);
+  // Parents precede children in topological order, so one pass attaches
+  // every required child to the partial join.
+  for (const std::string& table : graph.TopologicalOrder()) {
+    if (table == graph.root() || closed.count(table) == 0) continue;
+    const JoinGraphVertex& v = graph.vertex(table);
+    const AuxViewDef& aux = derivation.aux_for(table);
+    MD_ASSIGN_OR_RETURN(
+        current, HashJoin(current, qualified.at(table),
+                          StrCat(*v.parent, ".", v.parent_attr),
+                          StrCat(table, ".", aux.key_attr)));
+  }
+  return current;
+}
+
+// Rows below which chunked parallelism is pure overhead: each chunk
+// re-builds the dimension hash indexes, so tiny deltas stay serial.
+// The threshold only affects scheduling, never results (the chunked
+// join is bit-identical to the serial one).
+constexpr size_t kMinRowsPerJoinChunk = 64;
+
+}  // namespace
+
 Result<Table> JoinAuxAlongGraph(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required) {
+    const std::set<std::string>& required, ThreadPool* pool) {
   const ExtendedJoinGraph& graph = derivation.graph();
   const std::set<std::string> closed = CloseUpward(graph, required);
 
@@ -147,19 +180,47 @@ Result<Table> JoinAuxAlongGraph(
     qualified.emplace(table, QualifyColumns(*it->second, table));
   }
 
-  Table current = std::move(qualified.at(graph.root()));
-  // Parents precede children in topological order, so one pass attaches
-  // every required child to the partial join.
-  for (const std::string& table : graph.TopologicalOrder()) {
-    if (table == graph.root() || closed.count(table) == 0) continue;
-    const JoinGraphVertex& v = graph.vertex(table);
-    const AuxViewDef& aux = derivation.aux_for(table);
-    MD_ASSIGN_OR_RETURN(
-        current, HashJoin(current, qualified.at(table),
-                          StrCat(*v.parent, ".", v.parent_attr),
-                          StrCat(table, ".", aux.key_attr)));
+  Table root_rows = std::move(qualified.at(graph.root()));
+  const size_t num_chunks =
+      pool == nullptr
+          ? 1
+          : std::min(static_cast<size_t>(pool->num_threads()),
+                     root_rows.NumRows() / kMinRowsPerJoinChunk);
+  if (num_chunks <= 1) {
+    return JoinChainFromRoot(derivation, std::move(root_rows), qualified,
+                             closed);
   }
-  return current;
+
+  // Contiguous root chunks, joined concurrently, re-concatenated in
+  // chunk order: identical rows in identical order to the serial chain,
+  // since HashJoin streams its left input in order.
+  const size_t total = root_rows.NumRows();
+  std::vector<Result<Table>> chunk_results(
+      num_chunks, Result<Table>(InternalError("join chunk not run")));
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = total * c / num_chunks;
+    const size_t end = total * (c + 1) / num_chunks;
+    Table chunk(root_rows.name(), root_rows.schema());
+    chunk.set_allow_null(true);
+    for (size_t i = begin; i < end; ++i) {
+      const Status status = chunk.Insert(root_rows.row(i));
+      if (!status.ok()) {
+        chunk_results[c] = status;
+        return;
+      }
+    }
+    chunk_results[c] =
+        JoinChainFromRoot(derivation, std::move(chunk), qualified, closed);
+  });
+
+  Result<Table>& first = chunk_results.front();
+  MD_RETURN_IF_ERROR(first.status());
+  Table joined = std::move(*first);
+  for (size_t c = 1; c < num_chunks; ++c) {
+    MD_RETURN_IF_ERROR(chunk_results[c].status());
+    MD_RETURN_IF_ERROR(joined.AppendRowsFrom(std::move(*chunk_results[c])));
+  }
+  return joined;
 }
 
 namespace {
@@ -442,9 +503,9 @@ Result<Table> ReconstructGroups(
 Result<Table> ComputeContributions(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required) {
+    const std::set<std::string>& required, ThreadPool* pool) {
   MD_ASSIGN_OR_RETURN(Table joined,
-                      JoinAuxAlongGraph(derivation, tables, required));
+                      JoinAuxAlongGraph(derivation, tables, required, pool));
 
   const std::string cnt_col = RootCountColumn(derivation);
   std::vector<std::string> group_columns;

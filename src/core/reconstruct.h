@@ -23,6 +23,8 @@
 
 namespace mindetail {
 
+class ThreadPool;
+
 // A set of view group-by keys.
 using GroupKeySet = std::unordered_set<Tuple, TupleHash, TupleEqual>;
 
@@ -32,10 +34,16 @@ using GroupKeySet = std::unordered_set<Tuple, TupleHash, TupleEqual>;
 // them). Only tables in `required` — closed upward to the root — are
 // joined. Rows that fail to join (e.g. unreduced root rows referencing
 // filtered-out dimensions) drop out, matching V's semantics.
+//
+// With a non-null `pool`, the root table's rows are split into
+// contiguous chunks that are joined concurrently and re-concatenated in
+// chunk order. Because HashJoin streams its left input in order, the
+// result is identical — same rows, same row order, bit for bit — to
+// the serial join; parallelism is purely a latency optimization.
 Result<Table> JoinAuxAlongGraph(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required);
+    const std::set<std::string>& required, ThreadPool* pool = nullptr);
 
 // Tables that supply view outputs: group-by attributes always, plus
 // aggregate inputs (all of them, or only non-CSMAS ones when
@@ -64,11 +72,15 @@ Result<Table> ReconstructGroups(
 // count, i.e. the group's COUNT(*) contribution), then one
 // "__sum_<output>" column per non-distinct SUM/AVG view output.
 // `tables` must cover `required` (closed upward); a delta table may
-// stand in for the changed table.
+// stand in for the changed table. A non-null `pool` parallelizes the
+// underlying delta join (see JoinAuxAlongGraph); the contribution
+// aggregation itself stays single-threaded in joined-row order so the
+// per-group floating-point accumulation order — and therefore the
+// result — is bit-identical to the serial computation.
 Result<Table> ComputeContributions(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required);
+    const std::set<std::string>& required, ThreadPool* pool = nullptr);
 
 // Column-name constants of the contribution table.
 inline constexpr char kContribCountColumn[] = "__cnt";

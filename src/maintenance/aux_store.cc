@@ -138,6 +138,23 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
   return table_.ReplaceRow(row_idx, std::move(row));
 }
 
+Status AuxStore::MergeCompressedFragment(const Table& fragment, int sign) {
+  MD_CHECK(def_.plan.compressed);
+  MD_CHECK(sign == 1 || sign == -1);
+  MD_CHECK_GE(cnt_idx_, 0);
+  for (const Tuple& row : fragment.rows()) {
+    Tuple group;
+    group.reserve(plain_idx_.size());
+    for (size_t idx : plain_idx_) group.push_back(row[idx]);
+    std::vector<Value> agg_values;
+    agg_values.reserve(agg_cols_.size());
+    for (const AggCol& col : agg_cols_) agg_values.push_back(row[col.idx]);
+    MD_RETURN_IF_ERROR(
+        ApplyGroupDelta(group, agg_values, sign * row[cnt_idx_].AsInt64()));
+  }
+  return Status::Ok();
+}
+
 Status AuxStore::InsertRow(Tuple row) {
   MD_CHECK(!def_.plan.compressed);
   auto it = index_.find(row);
@@ -166,6 +183,18 @@ Status AuxStore::DeleteRow(const Tuple& row) {
   table_.DeleteRowAt(row_idx);
   if (row_idx != last) {
     index_[table_.row(row_idx)] = row_idx;
+  }
+  return Status::Ok();
+}
+
+Status AuxStore::MergePlainFragment(const Table& fragment, int sign) {
+  MD_CHECK(sign == 1 || sign == -1);
+  for (const Tuple& row : fragment.rows()) {
+    if (sign < 0) {
+      MD_RETURN_IF_ERROR(DeleteRow(row));
+    } else {
+      MD_RETURN_IF_ERROR(InsertRow(row));
+    }
   }
   return Status::Ok();
 }

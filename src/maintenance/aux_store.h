@@ -42,9 +42,21 @@ class AuxStore {
   Status ApplyGroupDelta(const Tuple& group,
                          const std::vector<Value>& agg_values, int64_t cnt);
 
+  // Compressed plans only: merges a whole compressed delta fragment
+  // (column order = plan order, as produced by the engine's fragment
+  // pipeline) with the given sign (+1 insertions, -1 deletions). Rows
+  // merge in fragment order, so feeding the concatenated-and-sorted
+  // shard outputs of the parallel fragment path leaves the store in
+  // exactly the state the serial path produces.
+  Status MergeCompressedFragment(const Table& fragment, int sign);
+
   // Plain plans only: row-level maintenance.
   Status InsertRow(Tuple row);
   Status DeleteRow(const Tuple& row);
+
+  // Plain plans only: inserts (sign = +1) or deletes (sign = -1) every
+  // row of `fragment`, in row order.
+  Status MergePlainFragment(const Table& fragment, int sign);
 
  private:
   AuxViewDef def_;

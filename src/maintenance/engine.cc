@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "gpsj/builder.h"
 #include "relational/ops.h"
 
@@ -456,6 +457,9 @@ Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
     const Catalog& source, const GpsjViewDef& def, EngineOptions options) {
   SelfMaintenanceEngine engine;
   engine.options_ = options;
+  if (options.num_threads > 1) {
+    engine.pool_ = std::make_shared<ThreadPool>(options.num_threads);
+  }
   MD_ASSIGN_OR_RETURN(engine.derivation_,
                       Derivation::Derive(def, source, options.derive));
   const Derivation& derivation = engine.derivation_;
@@ -552,13 +556,28 @@ std::map<std::string, const Table*> SelfMaintenanceEngine::AuxTableMap()
   return out;
 }
 
-Result<Table> SelfMaintenanceEngine::PrepareFragment(
-    const std::string& table, const std::vector<Tuple>& rows) const {
+namespace {
+
+// Delta rows below which sharded fragment preparation is pure
+// overhead. Scheduling only — the sharded result is bit-identical to
+// the serial one either way.
+constexpr size_t kMinRowsPerFragmentShard = 64;
+
+// How one grouping (plain) column of a compressed plan is computed
+// from a raw base row, for hash-sharding before the pipeline runs:
+// either a base column, or a derived attribute over base operands.
+struct ShardKeySource {
+  int base_idx = -1;
+  const DerivedAttr* derived = nullptr;
+  int lhs_idx = -1;
+  int rhs_idx = -1;  // -1: constant right operand.
+};
+
+}  // namespace
+
+Result<Table> SelfMaintenanceEngine::RunFragmentPipeline(
+    const std::string& table, Table staged) const {
   const AuxViewDef& aux = derivation_.aux_for(table);
-  Table staged(StrCat("delta_", table), base_schemas_.at(table));
-  for (const Tuple& row : rows) {
-    MD_RETURN_IF_ERROR(staged.Insert(row));
-  }
   MD_ASSIGN_OR_RETURN(Table current,
                       Select(staged, aux.reduction.conditions));
   MD_ASSIGN_OR_RETURN(current, derivation_.view().AppendDerivedColumns(
@@ -596,6 +615,125 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
   return named;
 }
 
+Result<Table> SelfMaintenanceEngine::PrepareFragment(
+    const std::string& table, const std::vector<Tuple>& rows) const {
+  const AuxViewDef& aux = derivation_.aux_for(table);
+  const Schema& schema = base_schemas_.at(table);
+  const size_t num_shards =
+      pool_ == nullptr
+          ? 1
+          : std::min(static_cast<size_t>(pool_->num_threads()),
+                     rows.size() / kMinRowsPerFragmentShard);
+
+  // For compressed plans the shard key is the plan's grouping (plain)
+  // columns, computed straight from the raw base row so partitioning
+  // can happen before the pipeline runs. Every source must resolve to a
+  // base column or a derived attribute over base operands; otherwise
+  // (and for scalar compression, whose GroupAggregate emits a phantom
+  // row per empty shard) fall back to the serial path.
+  std::vector<ShardKeySource> key_sources;
+  bool shardable = num_shards > 1;
+  if (shardable && aux.plan.compressed) {
+    const std::vector<std::string> plain_attrs = aux.plan.PlainAttrs();
+    if (plain_attrs.empty()) shardable = false;
+    for (const std::string& attr : plain_attrs) {
+      if (!shardable) break;
+      ShardKeySource src;
+      if (std::optional<size_t> idx = schema.IndexOf(attr);
+          idx.has_value()) {
+        src.base_idx = static_cast<int>(*idx);
+      } else {
+        src.derived = derivation_.view().FindDerived(table, attr);
+        if (src.derived == nullptr) {
+          shardable = false;
+          break;
+        }
+        std::optional<size_t> lhs = schema.IndexOf(src.derived->lhs);
+        if (!lhs.has_value()) {
+          shardable = false;
+          break;
+        }
+        src.lhs_idx = static_cast<int>(*lhs);
+        if (!src.derived->rhs_attr.empty()) {
+          std::optional<size_t> rhs = schema.IndexOf(src.derived->rhs_attr);
+          if (!rhs.has_value()) {
+            shardable = false;
+            break;
+          }
+          src.rhs_idx = static_cast<int>(*rhs);
+        }
+      }
+      key_sources.push_back(src);
+    }
+  }
+
+  if (!shardable) {
+    Table staged(StrCat("delta_", table), schema);
+    for (const Tuple& row : rows) {
+      MD_RETURN_IF_ERROR(staged.Insert(row));
+    }
+    return RunFragmentPipeline(table, std::move(staged));
+  }
+
+  // Partition the delta rows across shards. Compressed plans hash the
+  // group key, so a group's rows land in one shard in delta order and
+  // the per-group (floating-point) accumulation order matches the
+  // serial pipeline; plain plans chunk contiguously, and every
+  // per-shard operator preserves row order.
+  std::vector<std::vector<Tuple>> shards(num_shards);
+  if (aux.plan.compressed) {
+    TupleHash hasher;
+    for (const Tuple& row : rows) {
+      Tuple key;
+      key.reserve(key_sources.size());
+      for (const ShardKeySource& src : key_sources) {
+        if (src.base_idx >= 0) {
+          key.push_back(row[src.base_idx]);
+        } else {
+          const Value& rhs = src.rhs_idx >= 0 ? row[src.rhs_idx]
+                                              : src.derived->rhs_constant;
+          key.push_back(src.derived->Eval(row[src.lhs_idx], rhs));
+        }
+      }
+      shards[hasher(key) % num_shards].push_back(row);
+    }
+  } else {
+    const size_t total = rows.size();
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = total * s / num_shards;
+      const size_t end = total * (s + 1) / num_shards;
+      shards[s].assign(rows.begin() + begin, rows.begin() + end);
+    }
+  }
+
+  std::vector<Result<Table>> shard_results(
+      num_shards, Result<Table>(InternalError("fragment shard not run")));
+  pool_->ParallelFor(num_shards, [&](size_t s) {
+    Table staged(StrCat("delta_", table), schema);
+    for (const Tuple& row : shards[s]) {
+      const Status status = staged.Insert(row);
+      if (!status.ok()) {
+        shard_results[s] = status;
+        return;
+      }
+    }
+    shard_results[s] = RunFragmentPipeline(table, std::move(staged));
+  });
+
+  MD_RETURN_IF_ERROR(shard_results.front().status());
+  Table merged = std::move(*shard_results.front());
+  for (size_t s = 1; s < num_shards; ++s) {
+    MD_RETURN_IF_ERROR(shard_results[s].status());
+    MD_RETURN_IF_ERROR(merged.AppendRowsFrom(std::move(*shard_results[s])));
+  }
+  // Plain shards concatenate back into exactly the serial row order;
+  // compressed shard outputs (each sorted by GroupAggregate, with
+  // disjoint group sets) re-sort into the serial pipeline's canonical
+  // sorted order.
+  if (aux.plan.compressed) SortRows(&merged);
+  return merged;
+}
+
 Status SelfMaintenanceEngine::ApplyFragmentToSummary(
     const std::string& table, const Table& fragment, int sign,
     GroupKeySet* affected) {
@@ -610,7 +748,7 @@ Status SelfMaintenanceEngine::ApplyFragmentToSummary(
   required.insert(table);
   MD_ASSIGN_OR_RETURN(
       Table contributions,
-      ComputeContributions(derivation_, tables, required));
+      ComputeContributions(derivation_, tables, required, pool_.get()));
   ++stats_.delta_joins;
   return summary_.ApplyContributions(contributions, sign, affected);
 }
@@ -637,51 +775,19 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
   MD_ASSIGN_OR_RETURN(Table ins_frag,
                       PrepareFragment(root, normalized.inserts));
 
-  // Merge into the root auxiliary view (unless eliminated).
+  // Merge into the root auxiliary view (unless eliminated). The merge
+  // itself stays single-threaded in fragment order: the auxiliary
+  // table's internal row order feeds future delta joins, so it must
+  // evolve exactly as under the serial engine.
   auto aux_it = aux_.find(root);
   if (aux_it != aux_.end()) {
     AuxStore& store = aux_it->second;
-    const CompressionPlan& plan = store.def().plan;
-    if (plan.compressed) {
-      std::vector<size_t> plain_idx, agg_idx;
-      int cnt_idx = -1;
-      for (size_t i = 0; i < plan.columns.size(); ++i) {
-        switch (plan.columns[i].kind) {
-          case AuxColumn::Kind::kPlain:
-            plain_idx.push_back(i);
-            break;
-          case AuxColumn::Kind::kSum:
-          case AuxColumn::Kind::kMin:
-          case AuxColumn::Kind::kMax:
-            agg_idx.push_back(i);
-            break;
-          case AuxColumn::Kind::kCountStar:
-            cnt_idx = static_cast<int>(i);
-            break;
-        }
-      }
-      auto merge = [&](const Table& fragment, int sign) -> Status {
-        for (const Tuple& row : fragment.rows()) {
-          Tuple group;
-          group.reserve(plain_idx.size());
-          for (size_t idx : plain_idx) group.push_back(row[idx]);
-          std::vector<Value> agg_values;
-          agg_values.reserve(agg_idx.size());
-          for (size_t idx : agg_idx) agg_values.push_back(row[idx]);
-          MD_RETURN_IF_ERROR(store.ApplyGroupDelta(
-              group, agg_values, sign * row[cnt_idx].AsInt64()));
-        }
-        return Status::Ok();
-      };
-      MD_RETURN_IF_ERROR(merge(del_frag, -1));
-      MD_RETURN_IF_ERROR(merge(ins_frag, +1));
+    if (store.def().plan.compressed) {
+      MD_RETURN_IF_ERROR(store.MergeCompressedFragment(del_frag, -1));
+      MD_RETURN_IF_ERROR(store.MergeCompressedFragment(ins_frag, +1));
     } else {
-      for (const Tuple& row : del_frag.rows()) {
-        MD_RETURN_IF_ERROR(store.DeleteRow(row));
-      }
-      for (const Tuple& row : ins_frag.rows()) {
-        MD_RETURN_IF_ERROR(store.InsertRow(row));
-      }
+      MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1));
+      MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
     }
   }
 
@@ -858,23 +964,15 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
     MD_ASSIGN_OR_RETURN(Table upd_ins_frag,
                         PrepareFragment(table, upd_inss));
     AuxStore& store = aux_.at(table);
-    for (const Tuple& row : upd_del_frag.rows()) {
-      MD_RETURN_IF_ERROR(store.DeleteRow(row));
-    }
-    for (const Tuple& row : upd_ins_frag.rows()) {
-      MD_RETURN_IF_ERROR(store.InsertRow(row));
-    }
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_del_frag, -1));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_ins_frag, +1));
   }
 
   // Maintain the dimension's auxiliary view.
   {
     AuxStore& store = aux_.at(table);
-    for (const Tuple& row : del_frag.rows()) {
-      MD_RETURN_IF_ERROR(store.DeleteRow(row));
-    }
-    for (const Tuple& row : ins_frag.rows()) {
-      MD_RETURN_IF_ERROR(store.InsertRow(row));
-    }
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
   }
 
   // Propagate to the summary.

@@ -27,6 +27,7 @@
 #define MINDETAIL_MAINTENANCE_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -151,6 +152,14 @@ struct EngineOptions {
   bool prune_delta_joins = true;
   // Forwarded to Algorithm 3.2 (ablation: disable Sec. 3.3 elimination).
   DeriveOptions derive;
+  // Worker threads for the sharded maintenance path. 1 (default) keeps
+  // everything on the calling thread with the exact serial code path.
+  // With N > 1, delta fragments are prepared over N shards (compressed
+  // plans hash-partition rows by group key; plain plans chunk
+  // contiguously) and delta joins run over contiguous root chunks, all
+  // re-merged deterministically — the maintained state and the view are
+  // bit-identical to the serial engine at every thread count.
+  int num_threads = 1;
 };
 
 // Maintenance statistics (exposed for benches and tests).
@@ -204,8 +213,15 @@ class SelfMaintenanceEngine {
 
   // σ local → π reduced attrs → ⋉ dependency aux views → compression.
   // The result stands in for the table's auxiliary view in delta joins.
+  // With a thread pool, `rows` are sharded, piped through
+  // RunFragmentPipeline concurrently, and re-merged into the exact
+  // serial result (see EngineOptions::num_threads).
   Result<Table> PrepareFragment(const std::string& table,
                                 const std::vector<Tuple>& rows) const;
+
+  // The serial fragment pipeline over one staged slice of a delta.
+  Result<Table> RunFragmentPipeline(const std::string& table,
+                                    Table staged) const;
 
   std::map<std::string, const Table*> AuxTableMap() const;
 
@@ -239,6 +255,9 @@ class SelfMaintenanceEngine {
   std::set<std::string> append_only_;
   std::map<std::string, AuxStore> aux_;
   SummaryStore summary_;
+  // Non-null iff options_.num_threads > 1 (shared_ptr so the engine
+  // stays movable with ThreadPool forward-declared).
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mindetail

@@ -21,10 +21,18 @@ Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
   return Status::Ok();
 }
 
+Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def) {
+  return AddView(source, def, default_options_);
+}
+
 Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql,
                              EngineOptions options) {
   MD_ASSIGN_OR_RETURN(GpsjViewDef def, ParseGpsjView(sql, source));
   return AddView(source, def, options);
+}
+
+Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql) {
+  return AddViewSql(source, sql, default_options_);
 }
 
 Status Warehouse::RemoveView(const std::string& view_name) {

@@ -32,14 +32,24 @@ class Warehouse {
   Warehouse(Warehouse&&) = default;
   Warehouse& operator=(Warehouse&&) = default;
 
+  // Engine options applied by the overloads below that take none;
+  // affects views registered afterwards (e.g. set num_threads before
+  // AddView to get parallel maintenance for every subsequent view).
+  void set_default_options(EngineOptions options) {
+    default_options_ = std::move(options);
+  }
+  const EngineOptions& default_options() const { return default_options_; }
+
   // Registers a summary view: runs Algorithm 3.2 against `source` and
   // materializes its auxiliary views and summary.
   Status AddView(const Catalog& source, const GpsjViewDef& def,
-                 EngineOptions options = EngineOptions{});
+                 EngineOptions options);
+  Status AddView(const Catalog& source, const GpsjViewDef& def);
 
   // Convenience: parse a CREATE VIEW statement and register it.
   Status AddViewSql(const Catalog& source, std::string_view sql,
-                    EngineOptions options = EngineOptions{});
+                    EngineOptions options);
+  Status AddViewSql(const Catalog& source, std::string_view sql);
 
   Status RemoveView(const std::string& view_name);
 
@@ -79,6 +89,7 @@ class Warehouse {
   // Keyed by view name; unique_ptr keeps engine addresses stable.
   std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
   std::vector<std::string> registration_order_;
+  EngineOptions default_options_;
 };
 
 }  // namespace mindetail

@@ -107,6 +107,22 @@ Status Table::DeleteTuple(const Tuple& tuple) {
                               " not found in table '", name_, "'"));
 }
 
+Status Table::AppendRowsFrom(Table&& other) {
+  if (key_index_.has_value() || other.key_index_.has_value()) {
+    return InvalidArgumentError(
+        "AppendRowsFrom is only supported for key-less tables");
+  }
+  if (schema_.size() != other.schema_.size()) {
+    return InvalidArgumentError(
+        StrCat("AppendRowsFrom arity mismatch: ", schema_.size(), " vs ",
+               other.schema_.size()));
+  }
+  rows_.reserve(rows_.size() + other.rows_.size());
+  for (Tuple& row : other.rows_) rows_.push_back(std::move(row));
+  other.rows_.clear();
+  return Status::Ok();
+}
+
 Status Table::ReplaceRow(size_t i, Tuple row) {
   MD_CHECK_LT(i, rows_.size());
   MD_RETURN_IF_ERROR(schema_.ValidateTuple(row, allow_null_));

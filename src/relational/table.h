@@ -62,6 +62,12 @@ class Table {
   // Deletes one row equal to `tuple`; NotFound if absent.
   Status DeleteTuple(const Tuple& tuple);
 
+  // Moves every row of `other` to the end of this table, preserving
+  // order. Both tables must be key-less with equal-arity schemas; rows
+  // are NOT re-validated (they were validated when inserted into
+  // `other`). Used to re-concatenate per-shard operator outputs.
+  Status AppendRowsFrom(Table&& other);
+
   // Replaces row `i` in place (schema-validated; key map maintained).
   Status ReplaceRow(size_t i, Tuple row);
 

@@ -1,0 +1,140 @@
+// Randomized differential stress harness: one long mixed
+// insert/delete/update stream against a depth-3 snowflake, applied in
+// lock-step to every maintainer in the repo —
+//
+//   * the serial self-maintenance engine,
+//   * the parallel sharded engine (4 threads), which must stay EXACTLY
+//     equal to the serial engine (same rows, same order, bit-for-bit
+//     aggregate values),
+//   * FullReplicationMaintainer (recompute-from-replicas oracle),
+//   * PsjStyleMaintainer (reduction without compression),
+//
+// with all four compared after every batch. The seed is printed on
+// failure; rerun a failing stream with
+//   MINDETAIL_STRESS_SEED=<seed> ./stress_test
+
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "maintenance/baselines.h"
+#include "maintenance/engine.h"
+#include "snowflake_stream.h"
+#include "test_util.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using test::GeneratedDelta;
+using test::TablesApproxEqual;
+using test::TablesExactlyEqual;
+
+uint64_t StressSeed(uint64_t fallback) {
+  const char* env = std::getenv("MINDETAIL_STRESS_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+struct StressVariant {
+  const char* name;
+  bool non_csmas;
+  bool fact_condition;
+  uint64_t fallback_seed;
+};
+
+class DifferentialStress
+    : public ::testing::TestWithParam<StressVariant> {};
+
+TEST_P(DifferentialStress, AllMaintainersAgreeOnLongMixedStream) {
+  const StressVariant& variant = GetParam();
+  const uint64_t seed = StressSeed(variant.fallback_seed);
+  SCOPED_TRACE(::testing::Message()
+               << "stress seed " << seed << " (rerun with "
+               << "MINDETAIL_STRESS_SEED=" << seed << ")");
+
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 250;
+  sp.dim_rows = 20;
+  sp.seed = seed;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(sp));
+  Catalog source = warehouse.catalog;
+
+  test::SnowflakeViewFlags flags;
+  flags.non_csmas = variant.non_csmas;
+  flags.fact_condition = variant.fact_condition;
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          test::BuildSnowflakeView(warehouse, flags));
+
+  MD_ASSERT_OK_AND_ASSIGN(SelfMaintenanceEngine serial,
+                          SelfMaintenanceEngine::Create(source, def));
+  EngineOptions parallel_options;
+  parallel_options.num_threads = 4;
+  MD_ASSERT_OK_AND_ASSIGN(
+      SelfMaintenanceEngine parallel,
+      SelfMaintenanceEngine::Create(source, def, parallel_options));
+  MD_ASSERT_OK_AND_ASSIGN(FullReplicationMaintainer full,
+                          FullReplicationMaintainer::Create(source, def));
+  MD_ASSERT_OK_AND_ASSIGN(PsjStyleMaintainer psj,
+                          PsjStyleMaintainer::Create(source, def));
+
+  constexpr int kBatches = 200;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  int applied = 0;
+  // Bounded retry loop so empty random batches don't count against the
+  // 200 applied-batch floor.
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        warehouse, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+
+    // SCOPED_TRACE above carries the seed; MD_ASSERT_OK takes no
+    // stream suffix.
+    SCOPED_TRACE(::testing::Message() << "batch " << applied
+                                      << ", delta on " << generated.table);
+    MD_ASSERT_OK(serial.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(parallel.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(full.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(psj.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+
+    MD_ASSERT_OK_AND_ASSIGN(Table serial_view, serial.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table parallel_view, parallel.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table full_view, full.View());
+    MD_ASSERT_OK_AND_ASSIGN(Table psj_view, psj.View());
+
+    // The parallel engine must match the serial one exactly; the
+    // recomputing baselines accumulate in a different order, so they
+    // get the usual numeric tolerance.
+    ASSERT_TRUE(TablesExactlyEqual(parallel_view, serial_view))
+        << "parallel/serial divergence, seed " << seed << ", batch "
+        << applied << ", delta on " << generated.table;
+    ASSERT_TRUE(TablesApproxEqual(serial_view, full_view))
+        << "engine/full-replication divergence, seed " << seed
+        << ", batch " << applied << ", delta on " << generated.table;
+    ASSERT_TRUE(TablesApproxEqual(serial_view, psj_view))
+        << "engine/psj divergence, seed " << seed << ", batch "
+        << applied << ", delta on " << generated.table;
+  }
+  ASSERT_GE(applied, kBatches) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, DifferentialStress,
+    ::testing::Values(
+        StressVariant{"csmas_only", false, false, 81498201ULL},
+        StressVariant{"non_csmas_with_condition", true, true,
+                      271828183ULL}),
+    [](const ::testing::TestParamInfo<StressVariant>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mindetail

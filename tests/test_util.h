@@ -102,6 +102,41 @@ inline ::testing::AssertionResult TablesApproxEqual(const Table& a,
   return ::testing::AssertionSuccess();
 }
 
+// Strict table equality: same arity, same rows in the same order, and
+// Value::Compare == 0 on every cell — no numeric tolerance. Used to
+// assert that the parallel maintenance path is indistinguishable from
+// the serial one.
+inline ::testing::AssertionResult TablesExactlyEqual(const Table& a,
+                                                     const Table& b) {
+  if (a.schema().size() != b.schema().size()) {
+    return ::testing::AssertionFailure()
+           << "arity mismatch: " << a.schema().size() << " vs "
+           << b.schema().size();
+  }
+  if (a.NumRows() != b.NumRows()) {
+    return ::testing::AssertionFailure()
+           << "row count mismatch: " << a.NumRows() << " vs " << b.NumRows()
+           << "\nleft:\n" << a.ToString() << "\nright:\n" << b.ToString();
+  }
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    const Tuple& ra = a.row(i);
+    const Tuple& rb = b.row(i);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      const bool equal = ra[c].is_null() || rb[c].is_null()
+                             ? ra[c].is_null() && rb[c].is_null()
+                             : ra[c].Compare(rb[c]) == 0;
+      if (!equal) {
+        return ::testing::AssertionFailure()
+               << "row " << i << " column " << c << ": "
+               << ra[c].ToString() << " vs " << rb[c].ToString()
+               << "\nleft:\n" << a.ToString() << "\nright:\n"
+               << b.ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
 // A small deterministic retail warehouse for unit tests.
 inline RetailWarehouse SmallRetail(uint64_t seed = 42) {
   RetailParams params;

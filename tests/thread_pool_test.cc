@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mindetail {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  int ran = 0;
+  negative.ParallelFor(3, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, FewerIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(2, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyParallelFors) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, [&](size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * (16 * 17 / 2));
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner, [&](size_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(100001, [&](size_t i) {
+    sum.fetch_add(static_cast<long>(i % 7));
+  });
+  long expected = 0;
+  for (size_t i = 0; i < 100001; ++i) expected += static_cast<long>(i % 7);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace mindetail

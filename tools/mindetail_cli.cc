@@ -91,6 +91,8 @@ class Cli {
       std::cout << warehouse_.Report();
     } else if (cmd == "estimate" && args.size() == 2) {
       Estimate(args[1]);
+    } else if (cmd == "threads" && args.size() <= 2) {
+      Threads(args.size() == 2 ? args[1] : "");
     } else if (cmd == "insert" && args.size() >= 3) {
       Insert(args[1], line);
     } else if (cmd == "erase" && args.size() == 3) {
@@ -115,6 +117,9 @@ class Cli {
         "  derivation <name>    print the Algorithm 3.2 report\n"
         "  report               warehouse detail inventory\n"
         "  estimate <name>      predicted vs actual auxiliary sizes\n"
+        "  threads [n]          maintenance threads for views registered\n"
+        "                       afterwards (default 1; results are\n"
+        "                       identical at any thread count)\n"
         "  insert <table> v,..  insert one row (routed to all views)\n"
         "  erase <table> <key>  delete one row by key\n"
         "  quit\n";
@@ -223,6 +228,29 @@ class Cli {
                 << engine.AuxContents(aux.base_table).NumRows()
                 << " rows\n";
     }
+  }
+
+  void Threads(const std::string& count_text) {
+    if (count_text.empty()) {
+      std::cout << "maintenance threads: "
+                << warehouse_.default_options().num_threads << "\n";
+      return;
+    }
+    int count = 0;
+    try {
+      count = std::stoi(count_text);
+    } catch (...) {
+      count = 0;
+    }
+    if (count < 1) {
+      std::cout << "error: thread count must be a positive integer\n";
+      return;
+    }
+    EngineOptions options = warehouse_.default_options();
+    options.num_threads = count;
+    warehouse_.set_default_options(options);
+    std::cout << "maintenance threads set to " << count
+              << " (applies to views registered from now on)\n";
   }
 
   void Insert(const std::string& table, const std::string& line) {
