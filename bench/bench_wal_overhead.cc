@@ -1,0 +1,142 @@
+// WAL overhead — what durability costs per applied batch: an in-memory
+// warehouse vs a durable one with the WAL fsync'd on every append vs a
+// durable one without fsync (write-only), across batch sizes. Also
+// times Checkpoint() alone, since checkpoint cost bounds how often the
+// WAL can be truncated. google-benchmark timing harness.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "maintenance/warehouse.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE time.year = 1997 AND sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 4;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+enum class Mode { kInMemory, kDurableSync, kDurableNoSync };
+
+Warehouse MakeWarehouse(Mode mode, const Catalog& source,
+                        const std::string& dir) {
+  Warehouse warehouse;
+  if (mode != Mode::kInMemory) {
+    WarehouseDurability durability;
+    durability.sync_wal = mode == Mode::kDurableSync;
+    warehouse =
+        Unwrap(Warehouse::Open(dir, EngineOptions{}, durability));
+  }
+  Check(warehouse.AddViewSql(source, kViewSql));
+  return warehouse;
+}
+
+// state.range(0): batch size. One iteration = one applied batch.
+void RunApply(benchmark::State& state, Mode mode) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  const std::string dir = FreshDir(
+      StrCat("mindetail_bench_wal_", static_cast<int>(mode), "_",
+             state.range(0)));
+  Warehouse warehouse = MakeWarehouse(mode, source, dir);
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(warehouse.Apply("sale", delta));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["wal_bytes_per_batch"] = benchmark::Counter(
+      mode == Mode::kInMemory || warehouse.last_sequence() == 0
+          ? 0.0
+          : static_cast<double>(
+                std::filesystem::exists(dir + "/wal.log")
+                    ? std::filesystem::file_size(dir + "/wal.log")
+                    : 0) /
+                static_cast<double>(warehouse.last_sequence()));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_ApplyInMemory(benchmark::State& state) {
+  RunApply(state, Mode::kInMemory);
+}
+void BM_ApplyDurableSync(benchmark::State& state) {
+  RunApply(state, Mode::kDurableSync);
+}
+void BM_ApplyDurableNoSync(benchmark::State& state) {
+  RunApply(state, Mode::kDurableNoSync);
+}
+
+// One iteration = one full checkpoint of a warmed warehouse.
+void BM_Checkpoint(benchmark::State& state) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  const std::string dir = FreshDir("mindetail_bench_wal_checkpoint");
+  Warehouse warehouse = MakeWarehouse(Mode::kDurableSync, source, dir);
+  RetailDeltaGenerator gen(11);
+  for (int i = 0; i < 8; ++i) {
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, 128, 64, 64));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    Check(warehouse.Apply("sale", delta));
+  }
+  for (auto _ : state) {
+    Check(warehouse.Checkpoint());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_ApplyInMemory)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyDurableSync)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyDurableNoSync)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Checkpoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

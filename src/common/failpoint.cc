@@ -1,0 +1,153 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace failpoint_internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace failpoint_internal
+
+namespace {
+
+// The full site registry. Keep in sync with the MD_FAILPOINT call
+// sites; Arm() rejects names not listed here, and the crash-recovery
+// harness iterates this list.
+constexpr const char* kKnownSites[] = {
+    "wal.append.before_write",
+    "wal.append.before_sync",
+    "wal.append.after_sync",
+    "warehouse.apply.after_log",
+    "warehouse.apply.before_ack",
+    "engine.apply.commit",
+    "engine.root.after_aux_merge",
+    "engine.dim.after_aux_merge",
+    "checkpoint.after_temp",
+    "checkpoint.after_rename",
+    "checkpoint.after_current",
+};
+
+struct ArmedSite {
+  Failpoints::Action action = Failpoints::Action::kError;
+  int trigger_on_hit = 1;
+  int hits_while_armed = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ArmedSite> armed;
+  std::map<std::string, uint64_t> hit_counts;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+bool IsKnownSite(const std::string& site) {
+  for (const char* known : kKnownSites) {
+    if (site == known) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> Failpoints::KnownSites() {
+  return std::vector<std::string>(std::begin(kKnownSites),
+                                  std::end(kKnownSites));
+}
+
+Status Failpoints::Arm(const std::string& site, Action action,
+                       int trigger_on_hit) {
+  if (!IsKnownSite(site)) {
+    return InvalidArgumentError(
+        StrCat("unknown failpoint site '", site, "'"));
+  }
+  if (trigger_on_hit < 1) {
+    return InvalidArgumentError(
+        StrCat("failpoint trigger_on_hit must be >= 1, got ",
+               trigger_on_hit));
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed[site] = ArmedSite{action, trigger_on_hit, 0};
+  failpoint_internal::g_enabled.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.erase(site);
+  if (registry.armed.empty()) {
+    failpoint_internal::g_enabled.store(false, std::memory_order_release);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.clear();
+  registry.hit_counts.clear();
+  failpoint_internal::g_enabled.store(false, std::memory_order_release);
+}
+
+Status Failpoints::ArmFromEnv() {
+  const char* env = std::getenv("MINDETAIL_FAILPOINT");
+  if (env == nullptr || *env == '\0') return Status::Ok();
+  const std::vector<std::string> parts = Split(env, ':');
+  if (parts.size() < 2 || parts.size() > 3) {
+    return InvalidArgumentError(StrCat(
+        "MINDETAIL_FAILPOINT must be 'site:crash|error[:trigger]', got '",
+        env, "'"));
+  }
+  Action action;
+  if (parts[1] == "crash") {
+    action = Action::kCrash;
+  } else if (parts[1] == "error") {
+    action = Action::kError;
+  } else {
+    return InvalidArgumentError(
+        StrCat("unknown failpoint action '", parts[1], "'"));
+  }
+  int trigger = 1;
+  if (parts.size() == 3) trigger = std::atoi(parts[2].c_str());
+  return Arm(parts[0], action, trigger);
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.hit_counts.find(site);
+  return it == registry.hit_counts.end() ? 0 : it->second;
+}
+
+Status Failpoints::Hit(const char* site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ++registry.hit_counts[site];
+  auto it = registry.armed.find(site);
+  if (it == registry.armed.end()) return Status::Ok();
+  ArmedSite& armed = it->second;
+  if (++armed.hits_while_armed < armed.trigger_on_hit) return Status::Ok();
+  const Action action = armed.action;
+  registry.armed.erase(it);  // One-shot: disarm on firing.
+  if (registry.armed.empty()) {
+    failpoint_internal::g_enabled.store(false, std::memory_order_release);
+  }
+  if (action == Action::kCrash) {
+    // Simulate a hard crash: no stream flushing, no destructors, no
+    // atexit handlers. stderr is unbuffered, so the marker still lands.
+    std::fprintf(stderr, "failpoint '%s' crashing process\n", site);
+    std::_Exit(kCrashExitCode);
+  }
+  return InternalError(StrCat("failpoint '", site, "' injected error"));
+}
+
+}  // namespace mindetail

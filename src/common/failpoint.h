@@ -1,0 +1,81 @@
+// Fault-injection points for crash and error testing.
+//
+// Production code marks interesting spots with MD_FAILPOINT("site").
+// When nothing is armed the macro costs one relaxed atomic load; tests
+// (or the environment, see ArmFromEnv) arm a site to either return an
+// injected error Status from that spot or terminate the process
+// immediately (simulating a crash, exit code Failpoints::kCrashExitCode
+// with no cleanup — buffers are not flushed, destructors do not run).
+//
+// Sites are declared in the static registry in failpoint.cc so harnesses
+// can enumerate every crash point (Failpoints::KnownSites) and drive a
+// kill-at-every-site loop.
+
+#ifndef MINDETAIL_COMMON_FAILPOINT_H_
+#define MINDETAIL_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mindetail {
+
+namespace failpoint_internal {
+// True iff at least one site is armed; gates all bookkeeping.
+extern std::atomic<bool> g_enabled;
+}  // namespace failpoint_internal
+
+class Failpoints {
+ public:
+  enum class Action {
+    kError,  // The site returns an injected InternalError.
+    kCrash,  // The process exits immediately (no cleanup).
+  };
+
+  // Exit code of a kCrash action, distinguishable from real aborts.
+  static constexpr int kCrashExitCode = 37;
+
+  // Every site compiled into the library, for kill-at-every-site loops.
+  static std::vector<std::string> KnownSites();
+
+  // Arms `site` to fire once, on its `trigger_on_hit`-th hit (1 = the
+  // next hit), then disarm itself. Unknown sites are rejected.
+  static Status Arm(const std::string& site, Action action,
+                    int trigger_on_hit = 1);
+  static void Disarm(const std::string& site);
+  static void DisarmAll();
+
+  // Arms from MINDETAIL_FAILPOINT="site:crash|error[:trigger_on_hit]".
+  // No-op (Ok) when the variable is unset or empty.
+  static Status ArmFromEnv();
+
+  // Total hits of `site` (counted only while any site is armed).
+  static uint64_t HitCount(const std::string& site);
+
+  // Called by MD_FAILPOINT / FailpointCheck; exposed for call sites that
+  // need the Status without an early return.
+  static Status Hit(const char* site);
+};
+
+// Status-returning check usable in expressions; Ok when disabled.
+inline Status FailpointCheck(const char* site) {
+  if (!failpoint_internal::g_enabled.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  return Failpoints::Hit(site);
+}
+
+// Early-returns the injected error when `site` fires in error mode;
+// never returns when it fires in crash mode.
+#define MD_FAILPOINT(site)                                        \
+  do {                                                            \
+    ::mindetail::Status md_failpoint_status__ =                   \
+        ::mindetail::FailpointCheck(site);                        \
+    if (!md_failpoint_status__.ok()) return md_failpoint_status__; \
+  } while (0)
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_FAILPOINT_H_

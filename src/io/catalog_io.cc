@@ -82,6 +82,12 @@ Result<Catalog> ReadManifest(std::istream& in) {
     } else if (directive == "COL") {
       std::string table, attr, type_name;
       fields >> table >> attr >> type_name;
+      if (table.empty() || attr.empty() || type_name.empty()) {
+        return InvalidArgumentError(StrCat(
+            "manifest line ", line,
+            ": truncated COL directive (expected COL <table> <attr> "
+            "<type>)"));
+      }
       auto it = pending.find(table);
       if (it == pending.end()) {
         return InvalidArgumentError(
@@ -93,18 +99,30 @@ Result<Catalog> ReadManifest(std::istream& in) {
     } else if (directive == "FK") {
       ForeignKey fk;
       fields >> fk.from_table >> fk.from_attr >> fk.to_table;
-      if (fk.to_table.empty()) {
-        return InvalidArgumentError(
-            StrCat("manifest line ", line, ": malformed FK directive"));
+      if (fk.from_table.empty() || fk.from_attr.empty() ||
+          fk.to_table.empty()) {
+        return InvalidArgumentError(StrCat(
+            "manifest line ", line,
+            ": truncated FK directive (expected FK <table> <attr> "
+            "<target>)"));
       }
       fks.push_back(std::move(fk));
     } else if (directive == "EXPOSED") {
       std::string table;
       fields >> table;
+      if (table.empty()) {
+        return InvalidArgumentError(StrCat(
+            "manifest line ", line, ": EXPOSED directive names no table"));
+      }
       exposed.push_back(table);
     } else if (directive == "APPEND_ONLY") {
       std::string table;
       fields >> table;
+      if (table.empty()) {
+        return InvalidArgumentError(
+            StrCat("manifest line ", line,
+                   ": APPEND_ONLY directive names no table"));
+      }
       append_only.push_back(table);
     } else {
       return InvalidArgumentError(StrCat("manifest line ", line,

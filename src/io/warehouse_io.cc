@@ -1,0 +1,660 @@
+#include "io/warehouse_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "gpsj/builder.h"
+#include "io/catalog_io.h"
+#include "io/csv.h"
+
+namespace mindetail {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------
+// Token maps
+// ---------------------------------------------------------------------
+
+const char* CompareOpToken(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "EQ";
+    case CompareOp::kNe: return "NE";
+    case CompareOp::kLt: return "LT";
+    case CompareOp::kLe: return "LE";
+    case CompareOp::kGt: return "GT";
+    case CompareOp::kGe: return "GE";
+  }
+  return "EQ";
+}
+
+Result<CompareOp> ParseCompareOpToken(const std::string& token) {
+  if (token == "EQ") return CompareOp::kEq;
+  if (token == "NE") return CompareOp::kNe;
+  if (token == "LT") return CompareOp::kLt;
+  if (token == "LE") return CompareOp::kLe;
+  if (token == "GT") return CompareOp::kGt;
+  if (token == "GE") return CompareOp::kGe;
+  return InvalidArgumentError(
+      StrCat("unknown comparison token '", token, "'"));
+}
+
+const char* DerivedOpToken(DerivedAttr::Op op) {
+  switch (op) {
+    case DerivedAttr::Op::kAdd: return "ADD";
+    case DerivedAttr::Op::kSub: return "SUB";
+    case DerivedAttr::Op::kMul: return "MUL";
+  }
+  return "MUL";
+}
+
+Result<DerivedAttr::Op> ParseDerivedOpToken(const std::string& token) {
+  if (token == "ADD") return DerivedAttr::Op::kAdd;
+  if (token == "SUB") return DerivedAttr::Op::kSub;
+  if (token == "MUL") return DerivedAttr::Op::kMul;
+  return InvalidArgumentError(
+      StrCat("unknown derived-attribute operator '", token, "'"));
+}
+
+const char* AggFnToken(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCountStar: return "COUNT_STAR";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kSum: return "SUM";
+    case AggFn::kAvg: return "AVG";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "COUNT_STAR";
+}
+
+Result<AggFn> ParseAggFnToken(const std::string& token) {
+  if (token == "COUNT_STAR") return AggFn::kCountStar;
+  if (token == "COUNT") return AggFn::kCount;
+  if (token == "SUM") return AggFn::kSum;
+  if (token == "AVG") return AggFn::kAvg;
+  if (token == "MIN") return AggFn::kMin;
+  if (token == "MAX") return AggFn::kMax;
+  return InvalidArgumentError(
+      StrCat("unknown aggregate token '", token, "'"));
+}
+
+// Typed value tokens, value last on the line: "I <int>", "D <double>",
+// "S <rest of line, verbatim>", "N" (null).
+std::string ValueTokens(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "N";
+    case ValueType::kInt64:
+      return StrCat("I ", v.AsInt64());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return StrCat("D ", buf);
+    }
+    case ValueType::kString:
+      return StrCat("S ", v.AsString());
+  }
+  return "N";
+}
+
+Result<Value> ParseValueTokens(std::istringstream& fields, size_t line) {
+  std::string tag;
+  fields >> tag;
+  if (tag == "N") return Value();
+  if (tag == "I") {
+    std::string token;
+    fields >> token;
+    if (token.empty()) {
+      return InvalidArgumentError(
+          StrCat("def line ", line, ": missing integer value"));
+    }
+    return Value(static_cast<int64_t>(
+        std::strtoll(token.c_str(), nullptr, 10)));
+  }
+  if (tag == "D") {
+    std::string token;
+    fields >> token;
+    if (token.empty()) {
+      return InvalidArgumentError(
+          StrCat("def line ", line, ": missing double value"));
+    }
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+  if (tag == "S") {
+    std::string rest;
+    std::getline(fields, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    return Value(std::move(rest));
+  }
+  return InvalidArgumentError(
+      StrCat("def line ", line, ": unknown value tag '", tag, "'"));
+}
+
+// ---------------------------------------------------------------------
+// Durable file helpers
+// ---------------------------------------------------------------------
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return InternalError(StrCat("cannot open '", path,
+                                "' for fsync: ", std::strerror(errno)));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return InternalError(
+        StrCat("fsync of '", path, "' failed: ", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status WriteFileDurably(const std::string& path,
+                        const std::string& contents) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return InternalError(StrCat("cannot write '", path, "'"));
+    }
+    out << contents;
+    if (!out.good()) {
+      return InternalError(StrCat("write to '", path, "' failed"));
+    }
+  }
+  return FsyncPath(path);
+}
+
+// Atomic pointer-file update: write `<path>.tmp`, fsync, rename over
+// `path`, fsync the containing directory.
+Status ReplaceFileDurably(const std::string& path,
+                          const std::string& contents,
+                          const std::string& dir) {
+  const std::string tmp = StrCat(path, ".tmp");
+  MD_RETURN_IF_ERROR(WriteFileDurably(tmp, contents));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return InternalError(StrCat("rename of '", tmp, "' failed: ",
+                                ec.message()));
+  }
+  return FsyncPath(dir);
+}
+
+}  // namespace
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return InternalError(
+        StrCat("cannot create directory '", path, "': ", ec.message()));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// View definition text round trip
+// ---------------------------------------------------------------------
+
+Status WriteViewDef(const GpsjViewDef& def, std::ostream& out) {
+  out << "VIEW " << def.name() << "\n";
+  for (const std::string& table : def.tables()) {
+    out << "FROM " << table << "\n";
+  }
+  for (const std::string& table : def.tables()) {
+    for (const Condition& c : def.LocalConditions(table).conditions()) {
+      out << "WHERE " << table << " " << c.attr << " "
+          << CompareOpToken(c.op) << " " << ValueTokens(c.constant)
+          << "\n";
+    }
+  }
+  for (const JoinEdge& edge : def.joins()) {
+    out << "JOIN " << edge.from_table << " " << edge.from_attr << " "
+        << edge.to_table << "\n";
+  }
+  for (const std::string& table : def.tables()) {
+    for (const DerivedAttr& d : def.DerivedAttrsOf(table)) {
+      out << "DERIVE " << table << " " << d.name << " " << d.lhs << " "
+          << DerivedOpToken(d.op) << " ";
+      if (d.rhs_attr.empty()) {
+        out << "C " << ValueTokens(d.rhs_constant) << "\n";
+      } else {
+        out << "A " << d.rhs_attr << "\n";
+      }
+    }
+  }
+  for (const OutputItem& item : def.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      out << "OUTPUT GROUPBY " << item.attr.table << " " << item.attr.attr
+          << " " << item.output_name << "\n";
+    } else {
+      const AggregateSpec& agg = item.agg;
+      out << "OUTPUT AGG " << AggFnToken(agg.fn) << " "
+          << (agg.distinct ? 1 : 0) << " "
+          << (agg.fn == AggFn::kCountStar ? "-" : agg.input.table.c_str())
+          << " "
+          << (agg.fn == AggFn::kCountStar ? "-" : agg.input.attr.c_str())
+          << " " << item.output_name << "\n";
+    }
+  }
+  for (const HavingCondition& h : def.having()) {
+    out << "HAVING " << h.output_name << " " << CompareOpToken(h.op) << " "
+        << ValueTokens(h.constant) << "\n";
+  }
+  out << "END\n";
+  if (!out.good()) return InternalError("view def write failed");
+  return Status::Ok();
+}
+
+Result<GpsjViewDef> ReadViewDef(std::istream& in, const Catalog& catalog) {
+  std::string line_text;
+  size_t line = 0;
+  std::unique_ptr<GpsjViewBuilder> builder;
+  bool ended = false;
+  while (std::getline(in, line_text)) {
+    ++line;
+    if (line_text.empty() || line_text[0] == '#') continue;
+    std::istringstream fields(line_text);
+    std::string directive;
+    fields >> directive;
+    if (directive == "VIEW") {
+      std::string name;
+      fields >> name;
+      if (name.empty() || builder != nullptr) {
+        return InvalidArgumentError(
+            StrCat("def line ", line, ": malformed VIEW directive"));
+      }
+      builder = std::make_unique<GpsjViewBuilder>(name);
+      continue;
+    }
+    if (builder == nullptr) {
+      return InvalidArgumentError(
+          StrCat("def line ", line, ": '", directive, "' before VIEW"));
+    }
+    if (directive == "FROM") {
+      std::string table;
+      fields >> table;
+      if (table.empty()) {
+        return InvalidArgumentError(
+            StrCat("def line ", line, ": FROM names no table"));
+      }
+      builder->From(table);
+    } else if (directive == "WHERE") {
+      std::string table, attr, op_token;
+      fields >> table >> attr >> op_token;
+      MD_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOpToken(op_token));
+      MD_ASSIGN_OR_RETURN(Value constant, ParseValueTokens(fields, line));
+      builder->Where(table, attr, op, std::move(constant));
+    } else if (directive == "JOIN") {
+      std::string from_table, from_attr, to_table;
+      fields >> from_table >> from_attr >> to_table;
+      if (to_table.empty()) {
+        return InvalidArgumentError(
+            StrCat("def line ", line, ": truncated JOIN directive"));
+      }
+      builder->Join(from_table, from_attr, to_table);
+    } else if (directive == "DERIVE") {
+      std::string table, name, lhs, op_token, rhs_kind;
+      fields >> table >> name >> lhs >> op_token >> rhs_kind;
+      MD_ASSIGN_OR_RETURN(DerivedAttr::Op op,
+                          ParseDerivedOpToken(op_token));
+      if (rhs_kind == "A") {
+        std::string rhs_attr;
+        fields >> rhs_attr;
+        builder->Derive(table, name, lhs, op, rhs_attr);
+      } else if (rhs_kind == "C") {
+        MD_ASSIGN_OR_RETURN(Value constant,
+                            ParseValueTokens(fields, line));
+        builder->DeriveConst(table, name, lhs, op, std::move(constant));
+      } else {
+        return InvalidArgumentError(StrCat(
+            "def line ", line, ": unknown DERIVE operand kind '",
+            rhs_kind, "'"));
+      }
+    } else if (directive == "OUTPUT") {
+      std::string kind;
+      fields >> kind;
+      if (kind == "GROUPBY") {
+        std::string table, attr, output_name;
+        fields >> table >> attr >> output_name;
+        if (output_name.empty()) {
+          return InvalidArgumentError(
+              StrCat("def line ", line, ": truncated GROUPBY output"));
+        }
+        builder->GroupBy(table, attr, output_name);
+      } else if (kind == "AGG") {
+        std::string fn_token, distinct_token, table, attr, output_name;
+        fields >> fn_token >> distinct_token >> table >> attr >>
+            output_name;
+        if (output_name.empty()) {
+          return InvalidArgumentError(
+              StrCat("def line ", line, ": truncated AGG output"));
+        }
+        AggregateSpec spec;
+        MD_ASSIGN_OR_RETURN(spec.fn, ParseAggFnToken(fn_token));
+        spec.distinct = distinct_token == "1";
+        if (spec.fn != AggFn::kCountStar) {
+          spec.input = AttributeRef{table, attr};
+        }
+        spec.output_name = output_name;
+        builder->Aggregate(std::move(spec));
+      } else {
+        return InvalidArgumentError(StrCat(
+            "def line ", line, ": unknown OUTPUT kind '", kind, "'"));
+      }
+    } else if (directive == "HAVING") {
+      std::string output_name, op_token;
+      fields >> output_name >> op_token;
+      MD_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOpToken(op_token));
+      MD_ASSIGN_OR_RETURN(Value constant, ParseValueTokens(fields, line));
+      builder->Having(output_name, op, std::move(constant));
+    } else if (directive == "END") {
+      ended = true;
+      break;
+    } else {
+      return InvalidArgumentError(StrCat(
+          "def line ", line, ": unknown directive '", directive, "'"));
+    }
+  }
+  if (builder == nullptr || !ended) {
+    return InvalidArgumentError("view def is truncated (no END)");
+  }
+  return builder->Build(catalog);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint save/load
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string TypeToken(ValueType type) { return ValueTypeName(type); }
+
+Result<ValueType> ParseTypeToken(const std::string& token, size_t line) {
+  if (token == "INT64") return ValueType::kInt64;
+  if (token == "DOUBLE") return ValueType::kDouble;
+  if (token == "STRING") return ValueType::kString;
+  return InvalidArgumentError(StrCat("checkpoint manifest line ", line,
+                                     ": unknown type '", token, "'"));
+}
+
+std::string SummaryCsvName(const std::string& view) {
+  return StrCat(view, ".summary.csv");
+}
+
+std::string AuxCsvName(const std::string& view, const std::string& table) {
+  return StrCat(view, ".aux.", table, ".csv");
+}
+
+// The checkpoint manifest: everything needed to reload the CSVs and
+// defs without consulting any other layer.
+Result<std::string> RenderCheckpointManifest(const WarehouseCheckpoint& cp) {
+  std::ostringstream out;
+  out << "# mindetail warehouse checkpoint\n";
+  out << "EPOCH " << cp.epoch << "\n";
+  out << "SEQ " << cp.sequence << "\n";
+  out << "BEGIN_CATALOG\n";
+  MD_RETURN_IF_ERROR(WriteManifest(cp.schema_catalog, out));
+  out << "END_CATALOG\n";
+  for (const ViewCheckpoint& view : cp.views) {
+    out << "VIEW " << view.name << "\n";
+    out << "OPTIONS " << view.options.num_threads << " "
+        << (view.options.trust_referential_integrity ? 1 : 0) << " "
+        << (view.options.prune_delta_joins ? 1 : 0) << " "
+        << (view.options.allow_elimination ? 1 : 0) << "\n";
+    for (const Attribute& attr : view.summary.schema().attributes()) {
+      out << "SUMMARY_COL " << attr.name << " " << TypeToken(attr.type)
+          << "\n";
+    }
+    for (const auto& [table, contents] : view.aux) {
+      out << "AUX " << table << "\n";
+      for (const Attribute& attr : contents.schema().attributes()) {
+        out << "AUX_COL " << table << " " << attr.name << " "
+            << TypeToken(attr.type) << "\n";
+      }
+    }
+    out << "END_VIEW\n";
+  }
+  return out.str();
+}
+
+// Parsed manifest shape before the CSVs/defs are read.
+struct ManifestView {
+  std::string name;
+  EngineOptionsData options;
+  std::vector<Attribute> summary_cols;
+  std::vector<std::string> aux_order;
+  std::map<std::string, std::vector<Attribute>> aux_cols;
+};
+
+struct ParsedManifest {
+  uint64_t epoch = 0;
+  uint64_t sequence = 0;
+  Catalog schema_catalog;
+  std::vector<ManifestView> views;
+};
+
+Result<ParsedManifest> ParseCheckpointManifest(std::istream& in) {
+  ParsedManifest parsed;
+  std::string line_text;
+  size_t line = 0;
+  ManifestView* view = nullptr;
+  bool saw_catalog = false;
+  while (std::getline(in, line_text)) {
+    ++line;
+    if (line_text.empty() || line_text[0] == '#') continue;
+    std::istringstream fields(line_text);
+    std::string directive;
+    fields >> directive;
+    if (directive == "EPOCH") {
+      fields >> parsed.epoch;
+    } else if (directive == "SEQ") {
+      fields >> parsed.sequence;
+    } else if (directive == "BEGIN_CATALOG") {
+      std::ostringstream catalog_text;
+      bool closed = false;
+      while (std::getline(in, line_text)) {
+        ++line;
+        if (line_text == "END_CATALOG") {
+          closed = true;
+          break;
+        }
+        catalog_text << line_text << "\n";
+      }
+      if (!closed) {
+        return InvalidArgumentError(
+            "checkpoint manifest: unterminated BEGIN_CATALOG block");
+      }
+      std::istringstream catalog_in(catalog_text.str());
+      MD_ASSIGN_OR_RETURN(parsed.schema_catalog,
+                          ReadManifest(catalog_in));
+      saw_catalog = true;
+    } else if (directive == "VIEW") {
+      parsed.views.emplace_back();
+      view = &parsed.views.back();
+      fields >> view->name;
+      if (view->name.empty()) {
+        return InvalidArgumentError(StrCat(
+            "checkpoint manifest line ", line, ": VIEW names no view"));
+      }
+    } else if (view == nullptr) {
+      return InvalidArgumentError(
+          StrCat("checkpoint manifest line ", line, ": '", directive,
+                 "' outside a VIEW block"));
+    } else if (directive == "OPTIONS") {
+      int trust = 1, prune = 1, elim = 1;
+      fields >> view->options.num_threads >> trust >> prune >> elim;
+      view->options.trust_referential_integrity = trust != 0;
+      view->options.prune_delta_joins = prune != 0;
+      view->options.allow_elimination = elim != 0;
+    } else if (directive == "SUMMARY_COL") {
+      std::string name, type_token;
+      fields >> name >> type_token;
+      MD_ASSIGN_OR_RETURN(ValueType type,
+                          ParseTypeToken(type_token, line));
+      view->summary_cols.push_back(Attribute{name, type});
+    } else if (directive == "AUX") {
+      std::string table;
+      fields >> table;
+      if (table.empty()) {
+        return InvalidArgumentError(StrCat(
+            "checkpoint manifest line ", line, ": AUX names no table"));
+      }
+      view->aux_order.push_back(table);
+      view->aux_cols[table];
+    } else if (directive == "AUX_COL") {
+      std::string table, name, type_token;
+      fields >> table >> name >> type_token;
+      MD_ASSIGN_OR_RETURN(ValueType type,
+                          ParseTypeToken(type_token, line));
+      view->aux_cols[table].push_back(Attribute{name, type});
+    } else if (directive == "END_VIEW") {
+      view = nullptr;
+    } else {
+      return InvalidArgumentError(
+          StrCat("checkpoint manifest line ", line,
+                 ": unknown directive '", directive, "'"));
+    }
+  }
+  if (!saw_catalog) {
+    return InvalidArgumentError(
+        "checkpoint manifest lacks a BEGIN_CATALOG block");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
+                                            const std::string& dir) {
+  const std::string name = StrCat("checkpoint-", cp.epoch);
+  const std::string tmp_path = StrCat(dir, "/", name, ".tmp");
+  const std::string final_path = StrCat(dir, "/", name);
+  std::error_code ec;
+  fs::remove_all(tmp_path, ec);
+  MD_RETURN_IF_ERROR(EnsureDirectory(tmp_path));
+
+  MD_ASSIGN_OR_RETURN(std::string manifest, RenderCheckpointManifest(cp));
+  MD_RETURN_IF_ERROR(WriteFileDurably(
+      StrCat(tmp_path, "/", kCheckpointManifest), manifest));
+  for (const ViewCheckpoint& view : cp.views) {
+    std::ostringstream def_text;
+    MD_RETURN_IF_ERROR(WriteViewDef(view.def, def_text));
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", view.name, ".def"), def_text.str()));
+    std::ostringstream summary_csv;
+    MD_RETURN_IF_ERROR(WriteTableCsv(view.summary, summary_csv));
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", SummaryCsvName(view.name)),
+        summary_csv.str()));
+    for (const auto& [table, contents] : view.aux) {
+      std::ostringstream aux_csv;
+      MD_RETURN_IF_ERROR(WriteTableCsv(contents, aux_csv));
+      MD_RETURN_IF_ERROR(WriteFileDurably(
+          StrCat(tmp_path, "/", AuxCsvName(view.name, table)),
+          aux_csv.str()));
+    }
+  }
+  MD_RETURN_IF_ERROR(FsyncPath(tmp_path));
+  MD_FAILPOINT("checkpoint.after_temp");
+
+  fs::remove_all(final_path, ec);
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return InternalError(StrCat("cannot rename checkpoint into place: ",
+                                ec.message()));
+  }
+  MD_RETURN_IF_ERROR(FsyncPath(dir));
+  MD_FAILPOINT("checkpoint.after_rename");
+
+  MD_RETURN_IF_ERROR(ReplaceFileDurably(StrCat(dir, "/", kCurrentFile),
+                                        StrCat(name, "\n"), dir));
+  MD_FAILPOINT("checkpoint.after_current");
+  return name;
+}
+
+Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
+    const std::string& dir) {
+  std::string current;
+  {
+    std::ifstream in(StrCat(dir, "/", kCurrentFile));
+    if (!in.is_open()) {
+      return NotFoundError(StrCat("no CURRENT file in '", dir, "'"));
+    }
+    std::getline(in, current);
+  }
+  if (current.empty()) {
+    return InvalidArgumentError(
+        StrCat("CURRENT file in '", dir, "' is empty"));
+  }
+  const std::string cp_dir = StrCat(dir, "/", current);
+
+  ParsedManifest parsed;
+  {
+    std::ifstream in(StrCat(cp_dir, "/", kCheckpointManifest));
+    if (!in.is_open()) {
+      return InvalidArgumentError(StrCat(
+          "checkpoint '", cp_dir, "' lacks ", kCheckpointManifest));
+    }
+    MD_ASSIGN_OR_RETURN(parsed, ParseCheckpointManifest(in));
+  }
+
+  WarehouseCheckpoint cp;
+  cp.epoch = parsed.epoch;
+  cp.sequence = parsed.sequence;
+  cp.schema_catalog = std::move(parsed.schema_catalog);
+  for (ManifestView& mview : parsed.views) {
+    ViewCheckpoint view;
+    view.name = mview.name;
+    view.options = mview.options;
+    {
+      std::ifstream in(StrCat(cp_dir, "/", mview.name, ".def"));
+      if (!in.is_open()) {
+        return InvalidArgumentError(
+            StrCat("checkpoint lacks def for view '", mview.name, "'"));
+      }
+      MD_ASSIGN_OR_RETURN(view.def,
+                          ReadViewDef(in, cp.schema_catalog));
+    }
+    MD_ASSIGN_OR_RETURN(
+        view.summary,
+        ReadTableCsvFile(StrCat(cp_dir, "/", SummaryCsvName(mview.name)),
+                         StrCat(mview.name, "__aug"),
+                         Schema(mview.summary_cols), std::nullopt,
+                         /*allow_null=*/true));
+    for (const std::string& table : mview.aux_order) {
+      MD_ASSIGN_OR_RETURN(
+          Table contents,
+          ReadTableCsvFile(
+              StrCat(cp_dir, "/", AuxCsvName(mview.name, table)), table,
+              Schema(mview.aux_cols.at(table)), std::nullopt,
+              /*allow_null=*/true));
+      view.aux.emplace(table, std::move(contents));
+    }
+    cp.views.push_back(std::move(view));
+  }
+  return cp;
+}
+
+void RemoveStaleCheckpoints(const std::string& dir,
+                            const std::string& keep) {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "checkpoint-") || name == keep) continue;
+    std::error_code remove_ec;
+    fs::remove_all(entry.path(), remove_ec);  // Best-effort.
+  }
+}
+
+}  // namespace mindetail

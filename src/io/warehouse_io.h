@@ -1,0 +1,88 @@
+// Warehouse checkpoint persistence.
+//
+// A warehouse directory holds
+//
+//   CURRENT              — name of the live checkpoint directory
+//   wal.log              — write-ahead log (maintenance/wal.h)
+//   checkpoint-<epoch>/  — one complete checkpoint:
+//     checkpoint.manifest  EPOCH/SEQ, the embedded schema catalog
+//                          (catalog_io manifest, rowless), and per view
+//                          its engine options and CSV schemas
+//     <view>.def           builder-replay view definition (text)
+//     <view>.summary.csv   augmented summary (SummaryStore state)
+//     <view>.aux.<t>.csv   each non-eliminated auxiliary view
+//
+// Checkpoints are written to a temp directory, fsync'd, renamed into
+// place, and only then referenced from CURRENT (itself updated by
+// write-temp + rename) — a crash at any point leaves either the old or
+// the new checkpoint fully intact.
+
+#ifndef MINDETAIL_IO_WAREHOUSE_IO_H_
+#define MINDETAIL_IO_WAREHOUSE_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+
+namespace mindetail {
+
+inline constexpr char kCurrentFile[] = "CURRENT";
+inline constexpr char kWalFile[] = "wal.log";
+inline constexpr char kCheckpointManifest[] = "checkpoint.manifest";
+
+// Engine options as persisted (mirrors maintenance/EngineOptions; io
+// cannot depend on the maintenance layer).
+struct EngineOptionsData {
+  int num_threads = 1;
+  bool trust_referential_integrity = true;
+  bool prune_delta_joins = true;
+  bool allow_elimination = true;
+};
+
+struct ViewCheckpoint {
+  std::string name;
+  GpsjViewDef def;
+  EngineOptionsData options;
+  std::map<std::string, Table> aux;  // Base table → auxiliary contents.
+  Table summary;                     // Augmented summary rows.
+};
+
+struct WarehouseCheckpoint {
+  uint64_t epoch = 0;     // Monotonic checkpoint counter.
+  uint64_t sequence = 0;  // Last WAL sequence folded in.
+  Catalog schema_catalog;  // Schemas/keys/metadata only; no rows.
+  std::vector<ViewCheckpoint> views;
+};
+
+// Writes a complete checkpoint under `dir` and atomically repoints
+// CURRENT at it. Returns the checkpoint directory name
+// ("checkpoint-<epoch>").
+Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
+                                            const std::string& dir);
+
+// Loads the checkpoint CURRENT points at. NotFound when the directory
+// has no CURRENT file (a fresh warehouse).
+Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(const std::string& dir);
+
+// Best-effort removal of checkpoint directories other than `keep`
+// (including abandoned temp directories).
+void RemoveStaleCheckpoints(const std::string& dir, const std::string& keep);
+
+Status EnsureDirectory(const std::string& path);
+
+// View-definition text round trip (exposed for tests). The format
+// replays the builder calls, so every GpsjViewDef feature — derived
+// attributes, HAVING, aggregates — survives, not just what ToSqlString
+// can express.
+Status WriteViewDef(const GpsjViewDef& def, std::ostream& out);
+Result<GpsjViewDef> ReadViewDef(std::istream& in, const Catalog& catalog);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_IO_WAREHOUSE_IO_H_

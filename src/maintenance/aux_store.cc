@@ -4,7 +4,16 @@
 
 namespace mindetail {
 
-Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial) {
+std::string AuxStore::Describe() const {
+  if (owner_view_.empty()) {
+    return StrCat("auxiliary view '", def_.name, "'");
+  }
+  return StrCat("auxiliary view '", def_.name, "' of view '", owner_view_,
+                "'");
+}
+
+Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial,
+                                  std::string owner_view) {
   if (initial.schema().size() != def.plan.columns.size()) {
     return InvalidArgumentError(StrCat(
         "auxiliary contents for '", def.name, "' have ",
@@ -13,6 +22,7 @@ Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial) {
   }
   AuxStore store;
   store.def_ = def;
+  store.owner_view_ = std::move(owner_view);
   store.table_ = std::move(initial);
   for (size_t i = 0; i < def.plan.columns.size(); ++i) {
     switch (def.plan.columns[i].kind) {
@@ -59,9 +69,11 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
     // under the insert-only relaxation, where deletions are illegal.
     for (const AggCol& col : agg_cols_) {
       if (col.kind != AuxColumn::Kind::kSum) {
-        return FailedPreconditionError(
-            StrCat("deletion delta against append-only auxiliary view '",
-                   def_.name, "'"));
+        return FailedPreconditionError(StrCat(
+            "deletion delta for group ", TupleToString(group),
+            " against append-only ", Describe(), ": MIN/MAX column '",
+            def_.plan.columns[col.idx].output_name,
+            "' cannot be decremented"));
       }
     }
   }
@@ -69,9 +81,10 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
   auto it = index_.find(group);
   if (it == index_.end()) {
     if (cnt < 0) {
-      return FailedPreconditionError(
-          StrCat("deletion delta for '", def_.name, "' touches missing "
-                 "group ", TupleToString(group)));
+      return FailedPreconditionError(StrCat(
+          "deletion delta for ", Describe(), " touches missing group ",
+          TupleToString(group), " (count column '",
+          def_.plan.columns[cnt_idx_].output_name, "' would go below 0)"));
     }
     Tuple row(def_.plan.columns.size());
     for (size_t i = 0; i < plain_idx_.size(); ++i) {
@@ -91,9 +104,11 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
   Tuple row = table_.row(row_idx);
   const int64_t new_cnt = row[cnt_idx_].AsInt64() + cnt;
   if (new_cnt < 0) {
-    return FailedPreconditionError(
-        StrCat("deletion delta for '", def_.name, "' drives group ",
-               TupleToString(group), " count negative"));
+    return FailedPreconditionError(StrCat(
+        "deletion delta for ", Describe(), " drives group ",
+        TupleToString(group), " count negative (count column '",
+        def_.plan.columns[cnt_idx_].output_name, "': ",
+        row[cnt_idx_].AsInt64(), " + ", cnt, " = ", new_cnt, ")"));
   }
   if (new_cnt == 0) {
     // The group vanished. Swap-and-pop; re-point the moved row's index.

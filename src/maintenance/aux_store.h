@@ -25,7 +25,10 @@ class AuxStore {
 
   // Wraps the initially materialized contents of the auxiliary view
   // `def` (from MaterializeAuxView). `initial`'s schema must match.
-  static Result<AuxStore> Create(const AuxViewDef& def, Table initial);
+  // `owner_view` (the summary view the store maintains detail for) is
+  // woven into inconsistent-delta error messages.
+  static Result<AuxStore> Create(const AuxViewDef& def, Table initial,
+                                 std::string owner_view = "");
 
   const AuxViewDef& def() const { return def_; }
   const Table& contents() const { return table_; }
@@ -59,7 +62,12 @@ class AuxStore {
   Status MergePlainFragment(const Table& fragment, int sign);
 
  private:
+  // "auxiliary view 'X' of view 'V'" (owner omitted when unset), for
+  // error messages.
+  std::string Describe() const;
+
   AuxViewDef def_;
+  std::string owner_view_;
   Table table_;
   // Maps the tuple of plain-column values to a row index. For plain
   // plans this is the full row (which is duplicate-free: the base key

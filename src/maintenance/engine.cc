@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "gpsj/builder.h"
@@ -76,12 +77,11 @@ Result<SummaryStore> SummaryStore::Create(const GpsjViewDef& def,
                                               : Slot::Kind::kAvg;
             slot.index = static_cast<int>(store.sum_slot_outputs_.size());
             store.sum_slot_outputs_.push_back(item.output_name);
-            if (agg.fn == AggFn::kAvg) {
-              slot.type = ValueType::kDouble;
-            } else {
-              MD_ASSIGN_OR_RETURN(slot.type,
-                                  def.AttrType(catalog, agg.input));
-            }
+            MD_ASSIGN_OR_RETURN(ValueType sum_type,
+                                def.AttrType(catalog, agg.input));
+            store.sum_slot_types_.push_back(sum_type);
+            slot.type =
+                agg.fn == AggFn::kAvg ? ValueType::kDouble : sum_type;
             break;
           }
           default:
@@ -449,36 +449,84 @@ Result<Table> SummaryStore::Render() const {
   return out;
 }
 
+Schema SummaryStore::AugmentedSchema() const {
+  std::vector<Attribute> attrs = render_schema_.attributes();
+  attrs.push_back(Attribute{kShadowColumn, ValueType::kInt64});
+  for (size_t s = 0; s < sum_slot_outputs_.size(); ++s) {
+    attrs.push_back(Attribute{HiddenSumColumn(sum_slot_outputs_[s]),
+                              sum_slot_types_[s]});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<Table> SummaryStore::RenderAugmented() const {
+  Table out(StrCat(def_.name(), "__aug"), AugmentedSchema());
+  out.set_allow_null(true);
+  for (const auto& [key, state] : groups_) {
+    Tuple row;
+    row.reserve(slots_.size() + 1 + state.sums.size());
+    for (const Slot& slot : slots_) {
+      switch (slot.kind) {
+        case Slot::Kind::kGroupBy:
+          row.push_back(key[slot.index]);
+          break;
+        case Slot::Kind::kCount:
+          row.push_back(Value(state.shadow));
+          break;
+        case Slot::Kind::kSum:
+          row.push_back(state.shadow > 0 ? state.sums[slot.index]
+                                         : Value());
+          break;
+        case Slot::Kind::kAvg:
+          if (state.shadow > 0 && !state.sums[slot.index].is_null()) {
+            row.push_back(Value(state.sums[slot.index].NumericAsDouble() /
+                                static_cast<double>(state.shadow)));
+          } else {
+            row.push_back(Value());
+          }
+          break;
+        case Slot::Kind::kMinInc:
+        case Slot::Kind::kMaxInc:
+          row.push_back(state.shadow > 0 ? state.minmax[slot.index]
+                                         : Value());
+          break;
+        case Slot::Kind::kCached:
+          row.push_back(state.cached[slot.index]);
+          break;
+      }
+    }
+    row.push_back(Value(state.shadow));
+    for (const Value& sum : state.sums) row.push_back(sum);
+    MD_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  // Group keys are unique, so sorting is total and the rendered bytes
+  // are deterministic across runs and thread counts.
+  SortRows(&out);
+  return out;
+}
+
 // ---------------------------------------------------------------------
 // SelfMaintenanceEngine
 // ---------------------------------------------------------------------
 
-Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
-    const Catalog& source, const GpsjViewDef& def, EngineOptions options) {
+Result<SelfMaintenanceEngine> SelfMaintenanceEngine::CreateSkeleton(
+    const Catalog& catalog, const GpsjViewDef& def, EngineOptions options) {
   SelfMaintenanceEngine engine;
   engine.options_ = options;
   if (options.num_threads > 1) {
     engine.pool_ = std::make_shared<ThreadPool>(options.num_threads);
   }
+  // Algorithm 3.2 is purely structural — it reads schemas, keys, and
+  // integrity metadata, never rows — so the skeleton also builds from a
+  // rowless catalog during recovery.
   MD_ASSIGN_OR_RETURN(engine.derivation_,
-                      Derivation::Derive(def, source, options.derive));
+                      Derivation::Derive(def, catalog, options.derive));
   const Derivation& derivation = engine.derivation_;
 
-  Result<std::map<std::string, Table>> materialized_result =
-      MaterializeAuxViews(source, derivation);
-  if (!materialized_result.ok()) return materialized_result.status();
-  std::map<std::string, Table>& materialized = *materialized_result;
-  for (auto& [table, contents] : materialized) {
-    MD_ASSIGN_OR_RETURN(
-        AuxStore store,
-        AuxStore::Create(derivation.aux_for(table), std::move(contents)));
-    engine.aux_.emplace(table, std::move(store));
-  }
-
   for (const std::string& table : def.tables()) {
-    MD_ASSIGN_OR_RETURN(const Table* base, source.GetTable(table));
+    MD_ASSIGN_OR_RETURN(const Table* base, catalog.GetTable(table));
     engine.base_schemas_.emplace(table, base->schema());
-    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    MD_ASSIGN_OR_RETURN(std::string key, catalog.KeyAttr(table));
     engine.base_keys_.emplace(table, std::move(key));
   }
 
@@ -494,7 +542,7 @@ Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
                                ? true
                                : engine.shielded_.at(*v.parent);
     engine.shielded_.emplace(
-        table, parent_ok && graph.DependsOn(*v.parent, table, source));
+        table, parent_ok && graph.DependsOn(*v.parent, table, catalog));
   }
 
   // Exposed attributes: local condition attributes plus this table's
@@ -509,18 +557,62 @@ Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
       if (edge.from_table == table) exposed.insert(edge.from_attr);
     }
     engine.exposed_attrs_.emplace(table, std::move(exposed));
-    if (source.HasExposedUpdates(table)) {
+    if (catalog.HasExposedUpdates(table)) {
       engine.exposed_flagged_.insert(table);
     }
-    if (source.IsAppendOnly(table)) {
+    if (catalog.IsAppendOnly(table)) {
       engine.append_only_.insert(table);
     }
   }
 
-  MD_ASSIGN_OR_RETURN(engine.summary_, SummaryStore::Create(def, source));
+  MD_ASSIGN_OR_RETURN(engine.summary_, SummaryStore::Create(def, catalog));
+  return engine;
+}
+
+Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Create(
+    const Catalog& source, const GpsjViewDef& def, EngineOptions options) {
+  MD_ASSIGN_OR_RETURN(SelfMaintenanceEngine engine,
+                      CreateSkeleton(source, def, options));
+  const Derivation& derivation = engine.derivation_;
+
+  Result<std::map<std::string, Table>> materialized_result =
+      MaterializeAuxViews(source, derivation);
+  if (!materialized_result.ok()) return materialized_result.status();
+  std::map<std::string, Table>& materialized = *materialized_result;
+  for (auto& [table, contents] : materialized) {
+    MD_ASSIGN_OR_RETURN(
+        AuxStore store,
+        AuxStore::Create(derivation.aux_for(table), std::move(contents),
+                         def.name()));
+    engine.aux_.emplace(table, std::move(store));
+  }
+
   MD_ASSIGN_OR_RETURN(Table augmented,
                       EvaluateGpsj(source, engine.summary_.augmented_def()));
   MD_RETURN_IF_ERROR(engine.summary_.LoadFrom(augmented));
+  return engine;
+}
+
+Result<SelfMaintenanceEngine> SelfMaintenanceEngine::Restore(
+    const Catalog& schema_source, const GpsjViewDef& def,
+    EngineOptions options, std::map<std::string, Table> aux_contents,
+    const Table& augmented_summary) {
+  MD_ASSIGN_OR_RETURN(SelfMaintenanceEngine engine,
+                      CreateSkeleton(schema_source, def, options));
+  for (const AuxViewDef& aux : engine.derivation_.aux_views()) {
+    if (aux.eliminated) continue;
+    auto it = aux_contents.find(aux.base_table);
+    if (it == aux_contents.end()) {
+      return InvalidArgumentError(
+          StrCat("restore of view '", def.name(),
+                 "' lacks auxiliary contents for '", aux.base_table, "'"));
+    }
+    MD_ASSIGN_OR_RETURN(
+        AuxStore store,
+        AuxStore::Create(aux, std::move(it->second), def.name()));
+    engine.aux_.emplace(aux.base_table, std::move(store));
+  }
+  MD_RETURN_IF_ERROR(engine.summary_.LoadFrom(augmented_summary));
   return engine;
 }
 
@@ -790,6 +882,9 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
       MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
     }
   }
+  // Crash/error here leaves the root auxiliary view ahead of the
+  // summary — exactly the partial state rollback and recovery must fix.
+  MD_FAILPOINT("engine.root.after_aux_merge");
 
   GroupKeySet affected;
   MD_RETURN_IF_ERROR(
@@ -974,6 +1069,7 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
     MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1));
     MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
   }
+  MD_FAILPOINT("engine.dim.after_aux_merge");
 
   // Propagate to the summary.
   if (root_eliminated) {
@@ -1021,8 +1117,16 @@ Status SelfMaintenanceEngine::Apply(const std::string& table,
         StrCat("table '", table, "' is append-only; deletions and "
                "updates are not allowed"));
   }
-  if (table == derivation_.root()) return ApplyRootDelta(delta);
-  return ApplyDimDelta(table, delta);
+  if (table == derivation_.root()) {
+    MD_RETURN_IF_ERROR(ApplyRootDelta(delta));
+  } else {
+    MD_RETURN_IF_ERROR(ApplyDimDelta(table, delta));
+  }
+  // Fires after the batch is fully merged: an error here makes a
+  // successful apply report failure (exercising caller rollback), a
+  // crash dies with the batch applied but unacknowledged.
+  MD_FAILPOINT("engine.apply.commit");
+  return Status::Ok();
 }
 
 Status SelfMaintenanceEngine::ApplyTransaction(

@@ -59,8 +59,18 @@ class SummaryStore {
   // followed by the hidden shadow count and running sums.
   const GpsjViewDef& augmented_def() const { return augmented_def_; }
 
-  // Loads state from an evaluation of augmented_def().
+  // Loads state from an evaluation of augmented_def() — or from a
+  // RenderAugmented() table written by a checkpoint.
   Status LoadFrom(const Table& augmented_rows);
+
+  // Schema of RenderAugmented(): the view outputs followed by the
+  // hidden shadow count and running-sum columns.
+  Schema AugmentedSchema() const;
+
+  // Renders every maintained group — HAVING ignored, hidden state
+  // columns included — sorted for deterministic bytes.
+  // LoadFrom(RenderAugmented()) restores bit-identical state.
+  Result<Table> RenderAugmented() const;
 
   // Merges a contribution table (ComputeContributions output) with the
   // given sign (+1 insertions, -1 deletions). Appends every touched
@@ -129,6 +139,10 @@ class SummaryStore {
   std::vector<Slot> slots_;  // One per view output.
   std::vector<AttributeRef> group_refs_;
   std::vector<std::string> sum_slot_outputs_;  // Output name per sum slot.
+  // Element type of each running sum (the aggregate input's type; for
+  // AVG this differs from the rendered double) — drives the hidden
+  // columns of AugmentedSchema().
+  std::vector<ValueType> sum_slot_types_;
   // Output name and direction per incremental MIN/MAX slot.
   std::vector<std::pair<std::string, AggFn>> minmax_slot_outputs_;
   size_t num_cached_slots_ = 0;
@@ -179,6 +193,36 @@ class SelfMaintenanceEngine {
       const Catalog& source, const GpsjViewDef& def,
       EngineOptions options = EngineOptions{});
 
+  // Reconstructs an engine from checkpointed state without reading any
+  // base-table rows: `schema_source` supplies table schemas, keys, and
+  // integrity metadata only (Algorithm 3.2's derivation is purely
+  // structural); `aux_contents` holds each non-eliminated auxiliary
+  // view's table and `augmented_summary` a RenderAugmented() table.
+  static Result<SelfMaintenanceEngine> Restore(
+      const Catalog& schema_source, const GpsjViewDef& def,
+      EngineOptions options, std::map<std::string, Table> aux_contents,
+      const Table& augmented_summary);
+
+  // Opaque copy of the whole mutable maintenance state (auxiliary
+  // stores, summary, statistics). Cheap relative to a batch apply only
+  // in the sense that it allocates no derived structures; it is a deep
+  // copy, used by Warehouse to make multi-engine application atomic.
+  struct StateSnapshot {
+    std::map<std::string, AuxStore> aux;
+    SummaryStore summary;
+    EngineStats stats;
+  };
+  StateSnapshot SnapshotState() const {
+    return StateSnapshot{aux_, summary_, stats_};
+  }
+  // Reverts to a snapshot taken on this engine (any failed or partial
+  // applies since are rolled back completely).
+  void RestoreState(StateSnapshot snapshot) {
+    aux_ = std::move(snapshot.aux);
+    summary_ = std::move(snapshot.summary);
+    stats_ = snapshot.stats;
+  }
+
   // Propagates a change batch against base table `table`. Tuples carry
   // full before-/after-images; the engine never consults base tables.
   // Batches must be applied in a referential-integrity-consistent order
@@ -197,6 +241,16 @@ class SelfMaintenanceEngine {
 
   const Derivation& derivation() const { return derivation_; }
   const EngineStats& stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+  // The summary with hidden state columns, for checkpointing (see
+  // SummaryStore::RenderAugmented).
+  Result<Table> RenderAugmentedSummary() const {
+    return summary_.RenderAugmented();
+  }
+  Schema AugmentedSummarySchema() const {
+    return summary_.AugmentedSchema();
+  }
 
   bool HasAux(const std::string& table) const {
     return aux_.count(table) > 0;
@@ -210,6 +264,13 @@ class SelfMaintenanceEngine {
 
  private:
   SelfMaintenanceEngine() = default;
+
+  // The shared structural part of Create/Restore: derivation, schema
+  // and integrity metadata, summary-store shape — everything except
+  // auxiliary/summary *contents*.
+  static Result<SelfMaintenanceEngine> CreateSkeleton(
+      const Catalog& catalog, const GpsjViewDef& def,
+      EngineOptions options);
 
   // σ local → π reduced attrs → ⋉ dependency aux views → compression.
   // The result stands in for the table's auxiliary view in delta joins.

@@ -1,0 +1,90 @@
+// Write-ahead log of warehouse change batches.
+//
+// Record framing (little-endian):
+//
+//   u32 magic 'MDWL'  | u32 payload length | u32 CRC32(payload) | payload
+//
+// Payload: u64 sequence, u8 kind (1 = single-table Apply, 2 =
+// multi-table ApplyTransaction), u32 table count, then per table a
+// length-prefixed name and the serialized Delta (tuples as u32 arity +
+// tagged values: 0 NULL, 1 int64, 2 double, 3 length-prefixed string).
+//
+// Append() writes one framed record with a single write() and — in sync
+// mode — fsyncs before returning, so an acknowledged batch survives a
+// crash. Open() scans the existing log, truncating a torn final record
+// (partial frame or CRC mismatch) so a crashed writer never poisons
+// later appends.
+
+#ifndef MINDETAIL_MAINTENANCE_WAL_H_
+#define MINDETAIL_MAINTENANCE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+class WriteAheadLog {
+ public:
+  struct Options {
+    bool sync = true;  // fsync after every append.
+  };
+
+  static constexpr uint8_t kKindApply = 1;
+  static constexpr uint8_t kKindTransaction = 2;
+
+  // One decoded log record.
+  struct Record {
+    uint64_t sequence = 0;
+    uint8_t kind = kKindApply;
+    // Singleton for kKindApply; the full change set for transactions.
+    std::map<std::string, Delta> changes;
+  };
+
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+
+  // Opens `path` for appending, creating it if absent. Scans existing
+  // records and truncates a torn tail.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    Options options);
+  static Result<WriteAheadLog> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  // Decodes every complete record of `path` (ignoring a torn tail).
+  // Missing file decodes as an empty log.
+  static Result<std::vector<Record>> ReadAll(const std::string& path);
+
+  // Durably appends one change batch. `sequence` must increase.
+  Status Append(uint64_t sequence, uint8_t kind,
+                const std::map<std::string, Delta>& changes);
+
+  // Truncates the log to empty (after a successful checkpoint).
+  Status Reset();
+
+  uint64_t last_sequence() const { return last_sequence_; }
+  uint64_t num_records() const { return num_records_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  Options options_;
+  uint64_t last_sequence_ = 0;
+  uint64_t num_records_ = 0;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_WAL_H_

@@ -1,11 +1,122 @@
 #include "maintenance/warehouse.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
+#include "io/warehouse_io.h"
 
 namespace mindetail {
+namespace {
+
+EngineOptionsData ToOptionsData(const EngineOptions& options) {
+  EngineOptionsData data;
+  data.num_threads = options.num_threads;
+  data.trust_referential_integrity = options.trust_referential_integrity;
+  data.prune_delta_joins = options.prune_delta_joins;
+  data.allow_elimination = options.derive.allow_elimination;
+  return data;
+}
+
+EngineOptions FromOptionsData(const EngineOptionsData& data) {
+  EngineOptions options;
+  options.num_threads = data.num_threads;
+  options.trust_referential_integrity = data.trust_referential_integrity;
+  options.prune_delta_joins = data.prune_delta_joins;
+  options.derive.allow_elimination = data.allow_elimination;
+  return options;
+}
+
+}  // namespace
+
+Result<Warehouse> Warehouse::Open(const std::string& dir,
+                                  EngineOptions default_options,
+                                  WarehouseDurability durability) {
+  MD_RETURN_IF_ERROR(EnsureDirectory(dir));
+  Warehouse wh;
+  wh.dir_ = dir;
+  wh.durability_ = durability;
+  wh.default_options_ = std::move(default_options);
+
+  Result<WarehouseCheckpoint> loaded = LoadWarehouseCheckpoint(dir);
+  if (loaded.ok()) {
+    WarehouseCheckpoint cp = std::move(loaded).value();
+    wh.checkpoint_epoch_ = cp.epoch;
+    wh.sequence_ = cp.sequence;
+    wh.recovery_.checkpoint_sequence = cp.sequence;
+    wh.schema_catalog_ = std::move(cp.schema_catalog);
+    for (ViewCheckpoint& vc : cp.views) {
+      MD_ASSIGN_OR_RETURN(
+          SelfMaintenanceEngine engine,
+          SelfMaintenanceEngine::Restore(
+              wh.schema_catalog_, vc.def, FromOptionsData(vc.options),
+              std::move(vc.aux), vc.summary));
+      wh.engines_.emplace(vc.name, std::make_unique<SelfMaintenanceEngine>(
+                                       std::move(engine)));
+      wh.registration_order_.push_back(vc.name);
+    }
+  } else if (loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();
+  }
+
+  const std::string wal_path = StrCat(dir, "/", kWalFile);
+  MD_ASSIGN_OR_RETURN(std::vector<WriteAheadLog::Record> records,
+                      WriteAheadLog::ReadAll(wal_path));
+  WriteAheadLog::Options wal_options;
+  wal_options.sync = durability.sync_wal;
+  MD_ASSIGN_OR_RETURN(WriteAheadLog wal,
+                      WriteAheadLog::Open(wal_path, wal_options));
+  wh.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
+
+  for (const WriteAheadLog::Record& record : records) {
+    // Records at or below the checkpoint sequence are already folded in.
+    if (record.sequence <= wh.sequence_) continue;
+    const Status status = wh.ApplyToEngines(
+        record.changes, record.kind == WriteAheadLog::kKindTransaction);
+    wh.sequence_ = record.sequence;
+    if (status.ok()) {
+      ++wh.recovery_.replayed_batches;
+    } else {
+      // The batch was rejected when first applied too (atomically — no
+      // engine kept any of it); preserve that outcome and move on.
+      ++wh.recovery_.rejected_batches;
+    }
+  }
+  return wh;
+}
+
+Status Warehouse::MergeSchemas(const Catalog& source,
+                               const GpsjViewDef& def) {
+  for (const std::string& table : def.tables()) {
+    MD_ASSIGN_OR_RETURN(const Table* contents, source.GetTable(table));
+    MD_ASSIGN_OR_RETURN(std::string key, source.KeyAttr(table));
+    if (!schema_catalog_.HasTable(table)) {
+      MD_RETURN_IF_ERROR(
+          schema_catalog_.CreateTable(table, contents->schema(), key));
+    }
+    if (source.HasExposedUpdates(table)) {
+      MD_RETURN_IF_ERROR(schema_catalog_.SetExposedUpdates(table, true));
+    }
+    if (source.IsAppendOnly(table)) {
+      MD_RETURN_IF_ERROR(schema_catalog_.SetAppendOnly(table, true));
+    }
+  }
+  for (const ForeignKey& fk : source.foreign_keys()) {
+    if (!def.ReferencesTable(fk.from_table) ||
+        !def.ReferencesTable(fk.to_table)) {
+      continue;
+    }
+    if (schema_catalog_.HasForeignKey(fk.from_table, fk.from_attr,
+                                      fk.to_table)) {
+      continue;
+    }
+    MD_RETURN_IF_ERROR(schema_catalog_.AddForeignKey(
+        fk.from_table, fk.from_attr, fk.to_table));
+  }
+  return Status::Ok();
+}
 
 Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
                           EngineOptions options) {
@@ -15,9 +126,12 @@ Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
   }
   MD_ASSIGN_OR_RETURN(SelfMaintenanceEngine engine,
                       SelfMaintenanceEngine::Create(source, def, options));
+  MD_RETURN_IF_ERROR(MergeSchemas(source, def));
   engines_.emplace(def.name(), std::make_unique<SelfMaintenanceEngine>(
                                    std::move(engine)));
   registration_order_.push_back(def.name());
+  // Registrations are not WAL events — persist them right away.
+  if (durable()) return Checkpoint();
   return Status::Ok();
 }
 
@@ -46,6 +160,7 @@ Status Warehouse::RemoveView(const std::string& view_name) {
       std::remove(registration_order_.begin(), registration_order_.end(),
                   view_name),
       registration_order_.end());
+  if (durable()) return Checkpoint();
   return Status::Ok();
 }
 
@@ -57,17 +172,28 @@ std::vector<std::string> Warehouse::ViewNames() const {
   return registration_order_;
 }
 
-Status Warehouse::Apply(const std::string& table, const Delta& delta) {
-  for (const std::string& name : registration_order_) {
-    SelfMaintenanceEngine& engine = *engines_.at(name);
-    if (!engine.derivation().view().ReferencesTable(table)) continue;
-    MD_RETURN_IF_ERROR(engine.Apply(table, delta));
+Status Warehouse::ApplyLogged(uint8_t kind,
+                              const std::map<std::string, Delta>& changes) {
+  if (wal_ != nullptr) {
+    MD_RETURN_IF_ERROR(wal_->Append(sequence_ + 1, kind, changes));
+    ++sequence_;
+    MD_FAILPOINT("warehouse.apply.after_log");
+  } else {
+    ++sequence_;
   }
-  return Status::Ok();
+  return ApplyToEngines(changes,
+                        kind == WriteAheadLog::kKindTransaction);
 }
 
-Status Warehouse::ApplyTransaction(
-    const std::map<std::string, Delta>& changes) {
+Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
+                                 bool transaction) {
+  // Snapshots of every engine that has been handed the batch, in apply
+  // order. Taken immediately before each engine's apply, so a failing
+  // engine (possibly left partially applied) is restored too.
+  std::vector<std::pair<SelfMaintenanceEngine*,
+                        SelfMaintenanceEngine::StateSnapshot>>
+      applied;
+  Status failure = Status::Ok();
   for (const std::string& name : registration_order_) {
     SelfMaintenanceEngine& engine = *engines_.at(name);
     std::map<std::string, Delta> relevant;
@@ -77,9 +203,83 @@ Status Warehouse::ApplyTransaction(
       }
     }
     if (relevant.empty()) continue;
-    MD_RETURN_IF_ERROR(engine.ApplyTransaction(relevant));
+    applied.emplace_back(&engine, engine.SnapshotState());
+    failure = transaction
+                  ? engine.ApplyTransaction(relevant)
+                  : engine.Apply(relevant.begin()->first,
+                                 relevant.begin()->second);
+    if (!failure.ok()) break;
+  }
+  // Fires after every engine applied but before the batch would be
+  // acknowledged: error mode exercises the full rollback, crash mode
+  // dies with the batch logged but unacknowledged.
+  if (failure.ok()) failure = FailpointCheck("warehouse.apply.before_ack");
+  if (!failure.ok()) {
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      it->first->RestoreState(std::move(it->second));
+    }
+    return failure;
   }
   return Status::Ok();
+}
+
+Status Warehouse::Apply(const std::string& table, const Delta& delta) {
+  std::map<std::string, Delta> changes;
+  changes.emplace(table, delta);
+  return ApplyLogged(WriteAheadLog::kKindApply, changes);
+}
+
+Status Warehouse::ApplyTransaction(
+    const std::map<std::string, Delta>& changes) {
+  return ApplyLogged(WriteAheadLog::kKindTransaction, changes);
+}
+
+Status Warehouse::Checkpoint() {
+  if (!durable()) {
+    return FailedPreconditionError(
+        "warehouse is in-memory (not constructed by Open); nothing to "
+        "checkpoint");
+  }
+  WarehouseCheckpoint cp;
+  cp.epoch = checkpoint_epoch_ + 1;
+  cp.sequence = sequence_;
+  cp.schema_catalog = schema_catalog_;
+  for (const std::string& name : registration_order_) {
+    const SelfMaintenanceEngine& engine = *engines_.at(name);
+    ViewCheckpoint vc;
+    vc.name = name;
+    vc.def = engine.derivation().view();
+    vc.options = ToOptionsData(engine.options());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      vc.aux.emplace(aux.base_table, engine.AuxContents(aux.base_table));
+    }
+    MD_ASSIGN_OR_RETURN(vc.summary, engine.RenderAugmentedSummary());
+    cp.views.push_back(std::move(vc));
+  }
+  MD_ASSIGN_OR_RETURN(std::string kept, SaveWarehouseCheckpoint(cp, dir_));
+  checkpoint_epoch_ = cp.epoch;
+  // The WAL is now redundant up to cp.sequence — and nothing beyond it
+  // exists, since checkpoints run between batches.
+  MD_RETURN_IF_ERROR(wal_->Reset());
+  RemoveStaleCheckpoints(dir_, kept);
+  return Status::Ok();
+}
+
+std::string Warehouse::DurabilityReport() const {
+  if (!durable()) return "in-memory warehouse (no directory)\n";
+  std::string out = StrCat("directory: ", dir_, "\n");
+  out += StrCat("last sequence: ", sequence_, "\n");
+  out += StrCat("checkpoint epoch: ", checkpoint_epoch_, "\n");
+  out += StrCat("recovered: checkpoint seq ",
+                recovery_.checkpoint_sequence, ", ",
+                recovery_.replayed_batches, " replayed, ",
+                recovery_.rejected_batches, " rejected\n");
+  out += StrCat("wal: ", wal_->num_records(), " record(s), ",
+                FormatBytes(wal_->size_bytes()),
+                durability_.sync_wal ? " (fsync on)" : " (fsync OFF)",
+                "\n");
+  return out;
 }
 
 Result<Table> Warehouse::View(const std::string& view_name) const {

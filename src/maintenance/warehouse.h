@@ -7,10 +7,25 @@
 //
 // Views can be registered from SQL text (ParseGpsjView) or from
 // prebuilt definitions.
+//
+// Change batches apply atomically across every affected view: either
+// all engines fold the batch in, or — on any engine failure — every
+// already-applied engine is rolled back and the warehouse is left
+// bit-identical to its pre-batch state. A rejected batch is therefore
+// recoverable in place; no rebuild from the source is ever needed.
+//
+// A warehouse constructed with Open(dir) is additionally durable: each
+// batch is appended to a write-ahead log before it touches any engine,
+// Checkpoint() persists the complete maintenance state (auxiliary
+// views, augmented summaries, view definitions, schema catalog), and a
+// later Open(dir) recovers from the last checkpoint plus WAL replay —
+// tolerating a crash at any point, including mid-append (a torn final
+// WAL record is discarded).
 
 #ifndef MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 #define MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,14 +33,37 @@
 
 #include "gpsj/parser.h"
 #include "maintenance/engine.h"
+#include "maintenance/wal.h"
 
 namespace mindetail {
 
+// Durability knobs for Open().
+struct WarehouseDurability {
+  // fsync the WAL on every Append. Disable only for benchmarks that
+  // measure the cost of durability itself.
+  bool sync_wal = true;
+};
+
+// What recovery found, for tests and the CLI.
+struct RecoveryStats {
+  uint64_t checkpoint_sequence = 0;  // Folded into the loaded checkpoint.
+  uint64_t replayed_batches = 0;     // WAL records applied on Open.
+  uint64_t rejected_batches = 0;     // WAL records engines rejected.
+};
+
 class Warehouse {
  public:
-  // `source` is read at registration time only (initial loads); the
-  // warehouse holds no reference to it afterwards.
+  // An in-memory (non-durable) warehouse.
   Warehouse() = default;
+
+  // Opens a durable warehouse rooted at `dir` (created if absent):
+  // loads the CURRENT checkpoint if any, replays the WAL tail, and
+  // arranges for every subsequent batch to be logged before it is
+  // applied. Views registered afterwards use `default_options` unless
+  // overridden per AddView call.
+  static Result<Warehouse> Open(
+      const std::string& dir, EngineOptions default_options = EngineOptions{},
+      WarehouseDurability durability = WarehouseDurability{});
 
   Warehouse(const Warehouse&) = delete;
   Warehouse& operator=(const Warehouse&) = delete;
@@ -41,7 +79,9 @@ class Warehouse {
   const EngineOptions& default_options() const { return default_options_; }
 
   // Registers a summary view: runs Algorithm 3.2 against `source` and
-  // materializes its auxiliary views and summary.
+  // materializes its auxiliary views and summary. On a durable
+  // warehouse this also writes a fresh checkpoint — view registrations
+  // are not WAL events, so they must be durable immediately.
   Status AddView(const Catalog& source, const GpsjViewDef& def,
                  EngineOptions options);
   Status AddView(const Catalog& source, const GpsjViewDef& def);
@@ -57,18 +97,42 @@ class Warehouse {
   std::vector<std::string> ViewNames() const;
 
   // Propagates a change batch against base table `table` to every
-  // registered view that references it. Views that do not reference the
-  // table ignore the batch. Stops at the first failing engine (earlier
-  // engines in registration order have already applied the batch; a
-  // failure indicates an inconsistent delta, after which the warehouse
-  // should be rebuilt from the source).
+  // registered view that references it; views that do not reference the
+  // table ignore the batch. The batch applies atomically: if any engine
+  // rejects it (e.g. an inconsistent delta), every engine that already
+  // applied it is rolled back and the whole warehouse is left
+  // bit-identical to its pre-batch state. On a durable warehouse the
+  // batch is WAL-logged (and fsync'd) before any engine sees it.
   Status Apply(const std::string& table, const Delta& delta);
 
   // Applies a multi-table change set to every view referencing any of
   // the changed tables; each engine orders the pieces RI-consistently
   // (see SelfMaintenanceEngine::ApplyTransaction). Tables unknown to a
-  // given view are skipped for that view.
+  // given view are skipped for that view. Atomic across engines, like
+  // Apply.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes);
+
+  // Persists the complete maintenance state under the warehouse
+  // directory (atomic rename; the previous checkpoint stays valid until
+  // the new one is complete) and truncates the WAL. Fails on an
+  // in-memory warehouse.
+  Status Checkpoint();
+
+  // True when this warehouse was constructed by Open() and logs/
+  // checkpoints under a directory.
+  bool durable() const { return !dir_.empty(); }
+  const std::string& directory() const { return dir_; }
+
+  // Sequence number of the last batch accepted into the WAL (or simply
+  // counted, when in-memory). Rejected batches consume a sequence
+  // number too: their WAL record exists and is skipped on replay.
+  uint64_t last_sequence() const { return sequence_; }
+
+  // What Open() found (zeroes for an in-memory warehouse).
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  // Human-readable durability state: directory, sequences, WAL size.
+  std::string DurabilityReport() const;
 
   // Current contents of a registered view.
   Result<Table> View(const std::string& view_name) const;
@@ -86,10 +150,36 @@ class Warehouse {
   std::string Report() const;
 
  private:
+  // Logs the batch (when durable), then applies it atomically.
+  Status ApplyLogged(uint8_t kind,
+                     const std::map<std::string, Delta>& changes);
+
+  // The atomic all-or-nothing application: snapshots each affected
+  // engine immediately before its apply; on any failure restores every
+  // snapshotted engine and returns the error.
+  Status ApplyToEngines(const std::map<std::string, Delta>& changes,
+                        bool transaction);
+
+  // Folds the schemas, keys, and integrity metadata of the tables `def`
+  // references into schema_catalog_ (rowless — recovery re-derives the
+  // purely structural Algorithm 3.2 output from it).
+  Status MergeSchemas(const Catalog& source, const GpsjViewDef& def);
+
   // Keyed by view name; unique_ptr keeps engine addresses stable.
   std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
   std::vector<std::string> registration_order_;
   EngineOptions default_options_;
+
+  // Durability state; dir_ empty ⇔ in-memory warehouse (wal_ null).
+  std::string dir_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  WarehouseDurability durability_;
+  uint64_t sequence_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
+  RecoveryStats recovery_;
+  // Schemas/keys/metadata of every table any registered view references
+  // (no rows); persisted in checkpoints and used to re-derive engines.
+  Catalog schema_catalog_;
 };
 
 }  // namespace mindetail

@@ -1,5 +1,6 @@
 #include "maintenance/aux_store.h"
 
+#include "common/strings.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "workload/retail.h"
@@ -125,6 +126,47 @@ TEST(AuxStoreTest, SwapDeleteKeepsIndexConsistent) {
         group, sums, -row[plan.CountColumnIndex()].AsInt64()));
   }
   EXPECT_EQ(fixture.sale_store.NumRows(), 0u);
+}
+
+TEST(AuxStoreTest, MissingGroupErrorNamesViewGroupAndColumn) {
+  StoreFixture fixture = MakeFixture();
+  // Recreate the sale store with an owning view, as the engine does.
+  RetailWarehouse warehouse = SmallRetail();
+  Result<std::map<std::string, Table>> materialized =
+      MaterializeAuxViews(warehouse.catalog, fixture.derivation);
+  MD_CHECK(materialized.ok());
+  MD_ASSERT_OK_AND_ASSIGN(
+      AuxStore owned,
+      AuxStore::Create(fixture.derivation.aux_for("sale"),
+                       std::move(materialized->at("sale")),
+                       "product_sales"));
+  const Status status = owned.ApplyGroupDelta(
+      {Value(int64_t{12345}), Value(int64_t{6789})}, {Value(1.0)}, -1);
+  ASSERT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  const std::string& message = status.message();
+  // The error must pinpoint the view, the group key, and the column.
+  EXPECT_NE(message.find("of view 'product_sales'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("12345"), std::string::npos) << message;
+  EXPECT_NE(message.find("6789"), std::string::npos) << message;
+  const CompressionPlan& plan = fixture.derivation.aux_for("sale").plan;
+  const std::string& cnt_col =
+      plan.columns[plan.CountColumnIndex()].output_name;
+  EXPECT_NE(message.find(StrCat("'", cnt_col, "'")), std::string::npos)
+      << message;
+}
+
+TEST(AuxStoreTest, NegativeCountErrorShowsArithmetic) {
+  StoreFixture fixture = MakeFixture();
+  const Tuple group = {Value(int64_t{999}), Value(int64_t{888})};
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(group, {Value(10.0)}, 1));
+  const Status status =
+      fixture.sale_store.ApplyGroupDelta(group, {Value(20.0)}, -2);
+  ASSERT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  const std::string& message = status.message();
+  EXPECT_NE(message.find("count negative"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 + -2 = -1"), std::string::npos) << message;
+  EXPECT_NE(message.find("999"), std::string::npos) << message;
 }
 
 TEST(AuxStoreTest, CreateRejectsSchemaMismatch) {

@@ -1,10 +1,13 @@
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "gtest/gtest.h"
+#include "gpsj/builder.h"
 #include "io/catalog_io.h"
 #include "io/csv.h"
+#include "io/warehouse_io.h"
 #include "gpsj/evaluator.h"
 #include "relational/ops.h"
 #include "test_util.h"
@@ -161,6 +164,47 @@ TEST(ManifestTest, MalformedDirectivesRejected) {
   }
 }
 
+TEST(ManifestTest, TruncatedDirectivesErrorWithLineNumbers) {
+  {
+    std::istringstream in("TABLE t KEY id\nCOL t id\n");
+    const Status status = ReadManifest(in).status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("line 2"), std::string::npos)
+        << status;
+    EXPECT_NE(status.message().find("truncated COL"), std::string::npos)
+        << status;
+  }
+  {
+    std::istringstream in(
+        "TABLE t KEY id\nCOL t id INT64\nFK t id\n");
+    const Status status = ReadManifest(in).status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("line 3"), std::string::npos)
+        << status;
+    EXPECT_NE(status.message().find("truncated FK"), std::string::npos)
+        << status;
+  }
+  {
+    std::istringstream in("TABLE t KEY id\nCOL t id INT64\nEXPOSED\n");
+    const Status status = ReadManifest(in).status();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("names no table"), std::string::npos)
+        << status;
+  }
+  {
+    std::istringstream in(
+        "TABLE t KEY id\nCOL t id INT64\nAPPEND_ONLY\n");
+    EXPECT_FALSE(ReadManifest(in).ok());
+  }
+}
+
+TEST(ManifestTest, ColumnBeforeTableRejected) {
+  std::istringstream in("COL t id INT64\nTABLE t KEY id\n");
+  const Status status = ReadManifest(in).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 1"), std::string::npos) << status;
+}
+
 TEST(CatalogIoTest, FullDirectoryRoundTrip) {
   RetailWarehouse warehouse = SmallRetail();
   MD_ASSERT_OK(warehouse.catalog.SetAppendOnly("store", true));
@@ -192,9 +236,88 @@ TEST(CatalogIoTest, FullDirectoryRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CatalogIoTest, RoundTripIgnoresStrayFiles) {
+  RetailWarehouse warehouse = SmallRetail();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mindetail_io_stray")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  MD_ASSERT_OK(SaveCatalog(warehouse.catalog, dir));
+
+  // Files the manifest does not mention must not confuse loading.
+  { std::ofstream((dir + "/NOTES.txt").c_str()) << "scratch\n"; }
+  { std::ofstream((dir + "/stray.csv").c_str()) << "1,2,3\n"; }
+
+  MD_ASSERT_OK_AND_ASSIGN(Catalog loaded, LoadCatalog(dir));
+  EXPECT_EQ(loaded.TableNames(), warehouse.catalog.TableNames());
+  for (const std::string& table : warehouse.catalog.TableNames()) {
+    EXPECT_TRUE(TablesEqualAsBags(**warehouse.catalog.GetTable(table),
+                                  **loaded.GetTable(table)))
+        << table;
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CatalogIoTest, MissingDirectoryErrors) {
   EXPECT_EQ(LoadCatalog("/nonexistent/mindetail").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(ViewDefIoTest, RoundTripEveryFeature) {
+  RetailWarehouse warehouse = SmallRetail();
+  GpsjViewBuilder builder("kitchen_sink");
+  builder.From("sale")
+      .From("time")
+      .From("product")
+      .Where("time", "year", CompareOp::kEq, Value(1997))
+      .Where("product", "brand", CompareOp::kNe,
+             Value("Brand With Spaces"))
+      .Join("sale", "timeid", "time")
+      .Join("sale", "productid", "product")
+      .DeriveConst("sale", "scaled", "price", DerivedAttr::Op::kMul,
+                   Value(1.1))
+      .GroupBy("time", "month", "Month")
+      .CountStar("Cnt")
+      .Sum("sale", "scaled", "TotalScaled")
+      .Avg("sale", "price", "AvgPrice")
+      .Min("sale", "price", "MinPrice")
+      .CountDistinct("product", "brand", "Brands")
+      .Having("Cnt", CompareOp::kGt, Value(int64_t{0}));
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef def,
+                          builder.Build(warehouse.catalog));
+
+  std::ostringstream out;
+  MD_ASSERT_OK(WriteViewDef(def, out));
+  std::istringstream in(out.str());
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef loaded,
+                          ReadViewDef(in, warehouse.catalog));
+
+  EXPECT_EQ(loaded.name(), def.name());
+  EXPECT_EQ(loaded.tables(), def.tables());
+  EXPECT_EQ(loaded.joins(), def.joins());
+  EXPECT_EQ(loaded.having().size(), def.having().size());
+  EXPECT_EQ(loaded.DerivedAttrsOf("sale"), def.DerivedAttrsOf("sale"));
+  // ToSqlString renders every feature; textual equality is a deep
+  // structural check.
+  EXPECT_EQ(loaded.ToSqlString(), def.ToSqlString());
+}
+
+TEST(ViewDefIoTest, TruncatedDefRejected) {
+  RetailWarehouse warehouse = SmallRetail();
+  std::istringstream in("VIEW v\nFROM sale\n");  // No END.
+  const Status status = ReadViewDef(in, warehouse.catalog).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("truncated"), std::string::npos)
+      << status;
+}
+
+TEST(ViewDefIoTest, UnknownDirectiveRejected) {
+  RetailWarehouse warehouse = SmallRetail();
+  std::istringstream in("VIEW v\nFROM sale\nWIBBLE x\nEND\n");
+  const Status status = ReadViewDef(in, warehouse.catalog).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("WIBBLE"), std::string::npos) << status;
 }
 
 }  // namespace

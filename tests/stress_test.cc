@@ -14,12 +14,15 @@
 //   MINDETAIL_STRESS_SEED=<seed> ./stress_test
 
 #include <cstdlib>
+#include <map>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "maintenance/baselines.h"
 #include "maintenance/engine.h"
+#include "maintenance/warehouse.h"
 #include "snowflake_stream.h"
 #include "test_util.h"
 #include "workload/snowflake.h"
@@ -124,6 +127,119 @@ TEST_P(DifferentialStress, AllMaintainersAgreeOnLongMixedStream) {
         << applied << ", delta on " << generated.table;
   }
   ASSERT_GE(applied, kBatches) << "seed " << seed;
+}
+
+// Everything observable about a warehouse's maintenance state, for
+// bit-identical before/after comparison around an injected failure.
+std::map<std::string, Table> CaptureState(const Warehouse& warehouse) {
+  std::map<std::string, Table> state;
+  for (const std::string& name : warehouse.ViewNames()) {
+    const SelfMaintenanceEngine& engine = warehouse.engine(name);
+    Result<Table> view = warehouse.View(name);
+    MD_CHECK(view.ok());
+    state.emplace(name + "/view", std::move(view).value());
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    MD_CHECK(augmented.ok());
+    state.emplace(name + "/summary", std::move(augmented).value());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      state.emplace(name + "/aux/" + aux.base_table,
+                    engine.AuxContents(aux.base_table));
+    }
+  }
+  return state;
+}
+
+void ExpectStatesIdentical(const std::map<std::string, Table>& before,
+                           const std::map<std::string, Table>& after) {
+  ASSERT_EQ(before.size(), after.size());
+  for (const auto& [key, table] : before) {
+    auto it = after.find(key);
+    ASSERT_NE(it, after.end()) << key;
+    EXPECT_TRUE(TablesExactlyEqual(table, it->second)) << key;
+  }
+}
+
+// Transient-failure mode of the stress harness: a warehouse running the
+// sharded (num_threads = 4) engine takes the same mixed stream as a
+// clean twin, but every few batches an error failpoint fires mid-apply.
+// Each failed batch must leave the victim bit-identical to its pre-batch
+// state, and retrying the identical batch must succeed — after which the
+// victim and the never-failing twin must agree exactly. Run under the
+// TSan preset via `ctest -L concurrency`.
+TEST(TransientFailureStress, RollbackThenRetryMatchesCleanTwin) {
+  const uint64_t seed = StressSeed(5511782027ULL);
+  SCOPED_TRACE(::testing::Message()
+               << "stress seed " << seed << " (rerun with "
+               << "MINDETAIL_STRESS_SEED=" << seed << ")");
+
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 200;
+  sp.dim_rows = 16;
+  sp.seed = seed;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(sp));
+  Catalog source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      test::BuildSnowflakeView(warehouse, test::SnowflakeViewFlags{}));
+
+  EngineOptions options;
+  options.num_threads = 4;
+  Warehouse victim;
+  Warehouse twin;
+  MD_ASSERT_OK(victim.AddView(source, def, options));
+  MD_ASSERT_OK(twin.AddView(source, def, options));
+  const std::string& view = def.name();
+
+  constexpr int kBatches = 80;
+  constexpr int kInjectEvery = 5;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  int applied = 0;
+  int injected = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        warehouse, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+    SCOPED_TRACE(::testing::Message() << "batch " << applied
+                                      << ", delta on " << generated.table);
+
+    if (applied % kInjectEvery == 0) {
+      // Alternate between an engine-internal failure and one after all
+      // engines applied but before the warehouse acknowledged.
+      const char* site = (injected % 2 == 0) ? "engine.apply.commit"
+                                             : "warehouse.apply.before_ack";
+      ++injected;
+      const std::map<std::string, Table> before = CaptureState(victim);
+      MD_ASSERT_OK(
+          Failpoints::Arm(site, Failpoints::Action::kError, 1));
+      const Status failure =
+          victim.Apply(generated.table, generated.delta);
+      Failpoints::DisarmAll();
+      ASSERT_FALSE(failure.ok()) << site;
+      EXPECT_NE(failure.message().find("failpoint"), std::string::npos)
+          << failure.message();
+      ExpectStatesIdentical(before, CaptureState(victim));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    MD_ASSERT_OK(victim.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(twin.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+
+    MD_ASSERT_OK_AND_ASSIGN(Table victim_view, victim.View(view));
+    MD_ASSERT_OK_AND_ASSIGN(Table twin_view, twin.View(view));
+    ASSERT_TRUE(TablesExactlyEqual(victim_view, twin_view))
+        << "victim/twin divergence, seed " << seed << ", batch "
+        << applied;
+  }
+  ASSERT_GE(applied, kBatches) << "seed " << seed;
+  ASSERT_GE(injected, kBatches / kInjectEvery) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,5 +1,9 @@
 #include "maintenance/warehouse.h"
 
+#include <filesystem>
+#include <map>
+
+#include "common/failpoint.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "workload/deltas.h"
@@ -10,6 +14,7 @@ namespace {
 
 using test::SmallRetail;
 using test::TablesApproxEqual;
+using test::TablesExactlyEqual;
 
 constexpr char kMonthlySql[] = R"sql(
   CREATE VIEW monthly_sales AS
@@ -135,6 +140,190 @@ TEST(WarehouseTest, CombinedDetailStillBeatsReplication) {
   // Even with three views each holding private auxiliary data, the
   // total stays below replicating the base tables once.
   EXPECT_LT(warehouse.TotalDetailPaperSizeBytes(), replication);
+}
+
+// Captures per-view state deep enough to prove bit-identity: rendered
+// view, augmented summary (hidden accumulators included), and every
+// materialized auxiliary view.
+std::map<std::string, Table> CaptureState(const Warehouse& warehouse) {
+  std::map<std::string, Table> state;
+  for (const std::string& name : warehouse.ViewNames()) {
+    const SelfMaintenanceEngine& engine = warehouse.engine(name);
+    Result<Table> view = warehouse.View(name);
+    MD_CHECK(view.ok());
+    state.emplace(name + "/view", std::move(view).value());
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    MD_CHECK(augmented.ok());
+    state.emplace(name + "/summary", std::move(augmented).value());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      state.emplace(name + "/aux/" + aux.base_table,
+                    engine.AuxContents(aux.base_table));
+    }
+  }
+  return state;
+}
+
+void ExpectStatesIdentical(const std::map<std::string, Table>& a,
+                           const std::map<std::string, Table>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, table] : a) {
+    auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << key;
+    EXPECT_TRUE(TablesExactlyEqual(table, it->second)) << key;
+  }
+}
+
+// Satellite of the crash-safety work: a batch one engine rejects must
+// leave every view — including engines that already applied it —
+// bit-identical to the pre-batch state.
+TEST(WarehouseAtomicityTest, MidBatchEngineFailureRollsBackEveryView) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kMonthlySql));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kPerStoreSql));
+
+  RetailDeltaGenerator gen(61);
+  MD_ASSERT_OK_AND_ASSIGN(Delta warmup,
+                          gen.MixedSaleBatch(source, 15, 5, 5));
+  MD_ASSERT_OK(warehouse.Apply("sale", warmup));
+  MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), warmup));
+
+  const std::map<std::string, Table> before = CaptureState(warehouse);
+  const uint64_t monthly_batches =
+      warehouse.engine("monthly_sales").stats().batches_applied;
+
+  // Both views reference sale; monthly_sales (first in registration
+  // order) applies the batch fully, then per_store fails at commit.
+  MD_ASSERT_OK(Failpoints::Arm("engine.apply.commit",
+                               Failpoints::Action::kError,
+                               /*trigger_on_hit=*/2));
+  MD_ASSERT_OK_AND_ASSIGN(Delta batch,
+                          gen.MixedSaleBatch(source, 15, 5, 5));
+  const Status failed = warehouse.Apply("sale", batch);
+  Failpoints::DisarmAll();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("failpoint"), std::string::npos)
+      << failed;
+
+  ExpectStatesIdentical(before, CaptureState(warehouse));
+  EXPECT_EQ(warehouse.engine("monthly_sales").stats().batches_applied,
+            monthly_batches);
+
+  // A transient fault: the identical batch succeeds on retry, and the
+  // warehouse converges to the oracle.
+  MD_ASSERT_OK(warehouse.Apply("sale", batch));
+  MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), batch));
+  for (const std::string& name : warehouse.ViewNames()) {
+    MD_ASSERT_OK_AND_ASSIGN(Table view, warehouse.View(name));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Table oracle,
+        EvaluateGpsj(source, warehouse.engine(name).derivation().view()));
+    EXPECT_TRUE(TablesApproxEqual(view, oracle)) << name;
+  }
+}
+
+TEST(WarehouseAtomicityTest, FailureBeforeAckRollsBackAllEngines) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kMonthlySql));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kPerStoreSql));
+  const std::map<std::string, Table> before = CaptureState(warehouse);
+
+  // Fires after every engine applied the batch: the rollback must undo
+  // all of them, not just a failing suffix.
+  MD_ASSERT_OK(Failpoints::Arm("warehouse.apply.before_ack",
+                               Failpoints::Action::kError));
+  RetailDeltaGenerator gen(62);
+  MD_ASSERT_OK_AND_ASSIGN(Delta batch,
+                          gen.MixedSaleBatch(source, 10, 5, 3));
+  const Status failed = warehouse.Apply("sale", batch);
+  Failpoints::DisarmAll();
+  ASSERT_FALSE(failed.ok());
+  ExpectStatesIdentical(before, CaptureState(warehouse));
+}
+
+std::string FreshTempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(WarehouseDurabilityTest, CheckpointRecoverAndReplayBitIdentical) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  const std::string dir = FreshTempDir("mindetail_wh_recover");
+
+  // An in-memory oracle applies the identical stream.
+  Warehouse oracle;
+  MD_ASSERT_OK(oracle.AddViewSql(source, kMonthlySql));
+  MD_ASSERT_OK(oracle.AddViewSql(source, kPerStoreSql));
+
+  RetailDeltaGenerator gen(73);
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse durable, Warehouse::Open(dir));
+    EXPECT_TRUE(durable.durable());
+    MD_ASSERT_OK(durable.AddViewSql(source, kMonthlySql));
+    MD_ASSERT_OK(durable.AddViewSql(source, kPerStoreSql));
+    for (int round = 0; round < 6; ++round) {
+      MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                              gen.MixedSaleBatch(source, 12, 6, 3));
+      MD_ASSERT_OK(durable.Apply("sale", delta));
+      MD_ASSERT_OK(oracle.Apply("sale", delta));
+      MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+      if (round == 2) MD_ASSERT_OK(durable.Checkpoint());
+    }
+    EXPECT_EQ(durable.last_sequence(), 6u);
+    ExpectStatesIdentical(CaptureState(oracle), CaptureState(durable));
+  }  // Dropped without a final checkpoint: the WAL carries rounds 3-5.
+
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+  EXPECT_EQ(recovered.last_sequence(), 6u);
+  EXPECT_EQ(recovered.recovery_stats().checkpoint_sequence, 3u);
+  EXPECT_EQ(recovered.recovery_stats().replayed_batches, 3u);
+  EXPECT_EQ(recovered.recovery_stats().rejected_batches, 0u);
+  ExpectStatesIdentical(CaptureState(oracle), CaptureState(recovered));
+
+  // Recovery is not a dead end: further batches apply normally.
+  MD_ASSERT_OK_AND_ASSIGN(Delta more, gen.MixedSaleBatch(source, 8, 4, 2));
+  MD_ASSERT_OK(recovered.Apply("sale", more));
+  MD_ASSERT_OK(oracle.Apply("sale", more));
+  ExpectStatesIdentical(CaptureState(oracle), CaptureState(recovered));
+  EXPECT_EQ(recovered.last_sequence(), 7u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseDurabilityTest, CheckpointOnlyRecoveryHasEmptyWal) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  const std::string dir = FreshTempDir("mindetail_wh_cp_only");
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse durable, Warehouse::Open(dir));
+    MD_ASSERT_OK(durable.AddViewSql(source, kMonthlySql));
+    RetailDeltaGenerator gen(81);
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 10, 5, 2));
+    MD_ASSERT_OK(durable.Apply("sale", delta));
+    MD_ASSERT_OK(durable.Checkpoint());
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+  EXPECT_EQ(recovered.recovery_stats().checkpoint_sequence, 1u);
+  EXPECT_EQ(recovered.recovery_stats().replayed_batches, 0u);
+  EXPECT_EQ(recovered.last_sequence(), 1u);
+  const std::string report = recovered.DurabilityReport();
+  EXPECT_NE(report.find(dir), std::string::npos) << report;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseDurabilityTest, InMemoryWarehouseCannotCheckpoint) {
+  Warehouse warehouse;
+  EXPECT_FALSE(warehouse.durable());
+  EXPECT_EQ(warehouse.Checkpoint().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -73,6 +73,12 @@ class Cli {
       Load(args[1]);
     } else if (cmd == "save" && args.size() == 2) {
       Report(SaveCatalog(source_, args[1]));
+    } else if (cmd == "open" && args.size() == 2) {
+      OpenDurable(args[1]);
+    } else if (cmd == "checkpoint") {
+      Checkpoint();
+    } else if (cmd == "wal") {
+      std::cout << warehouse_.DurabilityReport();
     } else if (cmd == "tables") {
       Tables();
     } else if (cmd == "show" && args.size() >= 2) {
@@ -108,6 +114,13 @@ class Cli {
         "  demo                 load a generated retail star schema\n"
         "  load <dir>           load a catalog saved with 'save'\n"
         "  save <dir>           persist the source catalog\n"
+        "  open <dir>           open a durable warehouse there: recover\n"
+        "                       views from checkpoint + WAL, then log\n"
+        "                       every batch before applying it (the\n"
+        "                       source catalog is separate — 'load' or\n"
+        "                       'demo' it as usual)\n"
+        "  checkpoint           persist warehouse state, truncate WAL\n"
+        "  wal                  durability report (sequences, WAL size)\n"
         "  tables               list base tables\n"
         "  show <table> [n]     print the first n rows of a table\n"
         "  sql <CREATE VIEW …;> register a summary view (may span\n"
@@ -152,6 +165,33 @@ class Cli {
     source_ = std::move(loaded).value();
     warehouse_ = Warehouse();
     std::cout << "catalog loaded from " << dir << "\n";
+  }
+
+  void OpenDurable(const std::string& dir) {
+    Result<Warehouse> opened =
+        Warehouse::Open(dir, warehouse_.default_options());
+    if (!opened.ok()) {
+      Report(opened.status());
+      return;
+    }
+    warehouse_ = std::move(opened).value();
+    const RecoveryStats& recovery = warehouse_.recovery_stats();
+    std::cout << "durable warehouse at " << dir << ": checkpoint seq "
+              << recovery.checkpoint_sequence << ", replayed "
+              << recovery.replayed_batches << " WAL batch(es), last seq "
+              << warehouse_.last_sequence() << "\n";
+    for (const std::string& name : warehouse_.ViewNames()) {
+      std::cout << "  recovered view " << name << "\n";
+    }
+  }
+
+  void Checkpoint() {
+    const Status status = warehouse_.Checkpoint();
+    Report(status);
+    if (status.ok()) {
+      std::cout << "checkpoint written at seq "
+                << warehouse_.last_sequence() << "\n";
+    }
   }
 
   void Tables() {
