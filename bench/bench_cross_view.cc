@@ -1,0 +1,138 @@
+// Cross-view parallel maintenance scaling: one mixed fact batch fanned
+// out across four independent summary views of the same snowflake, at
+// 1/2/4 warehouse view threads (engines stay single-threaded so the
+// curve isolates the cross-view level). The warehouse guarantees
+// results bit-identical to the serial apply at every parallelism, so
+// this harness measures latency only. items/s is delta rows per
+// second; compare the same batch size across view-thread counts for
+// the scaling curve.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gpsj/builder.h"
+#include "maintenance/warehouse.h"
+#include "relational/delta.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+SnowflakeWarehouse MakeSource() {
+  SnowflakeParams params;
+  params.depth = 2;
+  params.fanout = 2;
+  params.fact_rows = 20000;
+  params.dim_rows = 60;
+  params.seed = 23;
+  return Unwrap(GenerateSnowflake(params));
+}
+
+// Four views over the full snowflake join, each grouping by a
+// different dimension attribute so every engine maintains its own
+// compressed auxiliary views and summary.
+GpsjViewDef MakeView(const SnowflakeWarehouse& warehouse, size_t index) {
+  GpsjViewBuilder builder(StrCat("cross_view_", index));
+  builder.From(warehouse.fact);
+  for (const std::string& dim : warehouse.dims) {
+    builder.From(dim);
+    builder.Join(warehouse.parent.at(dim), warehouse.link_attr.at(dim),
+                 dim);
+  }
+  const std::string& group_dim =
+      warehouse.dims[index % warehouse.dims.size()];
+  builder.GroupBy(group_dim, "a", "GroupA");
+  builder.GroupBy(group_dim, "b", "GroupB");
+  builder.CountStar("Cnt");
+  builder.Sum(warehouse.fact, "m1", "SumM1");
+  builder.Sum(warehouse.fact, "m2", "SumM2");
+  builder.Avg(warehouse.fact, "m2", "AvgM2");
+  return Unwrap(builder.Build(warehouse.catalog));
+}
+
+// One mixed root batch: half inserts (referencing existing dimension
+// rows), a quarter deletes, a quarter updates.
+Delta MakeRootBatch(const SnowflakeWarehouse& warehouse,
+                    const Catalog& source, Rng& rng, size_t batch) {
+  Delta delta;
+  const Table* fact = *source.GetTable(warehouse.fact);
+  int64_t next_id = 0;
+  for (const Tuple& row : fact->rows()) {
+    next_id = std::max(next_id, row[0].AsInt64());
+  }
+  ++next_id;
+  const size_t fk_count = fact->schema().size() - 3;  // id, …, m1, m2.
+  for (size_t i = 0; i < batch / 2; ++i) {
+    Tuple row = {Value(next_id++)};
+    for (size_t f = 0; f < fk_count; ++f) {
+      const std::string fk_attr = fact->schema().attribute(1 + f).name;
+      const std::string dim = fk_attr.substr(3);  // strip "fk_".
+      const Table* dim_table = *source.GetTable(dim);
+      row.push_back(
+          dim_table->row(rng.NextBelow(dim_table->NumRows()))[0]);
+    }
+    row.push_back(Value(rng.NextInt(0, 9)));
+    row.push_back(Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0));
+    delta.inserts.push_back(std::move(row));
+  }
+  std::set<int64_t> touched;
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    delta.deletes.push_back(row);
+  }
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    Tuple after = row;
+    after[after.size() - 2] = Value(rng.NextInt(0, 9));
+    after[after.size() - 1] =
+        Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0);
+    delta.updates.push_back(Update{row, std::move(after)});
+  }
+  return delta;
+}
+
+// state.range(0): warehouse view threads; state.range(1): batch size.
+void BM_CrossViewRootDelta(benchmark::State& state) {
+  SnowflakeWarehouse snowflake = MakeSource();
+  Catalog& source = snowflake.catalog;
+  Warehouse warehouse(WarehouseOptions{}.WithParallelism(
+      static_cast<int>(state.range(0))));
+  constexpr size_t kViews = 4;
+  for (size_t i = 0; i < kViews; ++i) {
+    Check(warehouse.AddView(source, MakeView(snowflake, i)));
+  }
+  Rng rng(4321);
+  const size_t batch = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = MakeRootBatch(snowflake, source, rng, batch);
+    Check(ApplyDelta(Unwrap(source.MutableTable(snowflake.fact)), delta));
+    state.ResumeTiming();
+    Check(warehouse.Apply(snowflake.fact, delta));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+  state.counters["view_threads"] = static_cast<double>(state.range(0));
+  state.counters["views"] = static_cast<double>(kViews);
+}
+
+BENCHMARK(BM_CrossViewRootDelta)
+    ->ArgsProduct({{1, 2, 4}, {1024, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -53,10 +53,9 @@ Warehouse MakeWarehouse(Mode mode, const Catalog& source,
                         const std::string& dir) {
   Warehouse warehouse;
   if (mode != Mode::kInMemory) {
-    WarehouseDurability durability;
-    durability.sync_wal = mode == Mode::kDurableSync;
-    warehouse =
-        Unwrap(Warehouse::Open(dir, EngineOptions{}, durability));
+    warehouse = Unwrap(Warehouse::Open(
+        dir,
+        WarehouseOptions{}.WithSyncWal(mode == Mode::kDurableSync)));
   }
   Check(warehouse.AddViewSql(source, kViewSql));
   return warehouse;

@@ -57,7 +57,9 @@ int main() {
   //    views straight from SQL.
   Catalog source = Unwrap(LoadCatalog(dir));
 
-  Warehouse warehouse;
+  // Maintain the three views concurrently: one batch fans out across
+  // every affected engine (results are identical at any parallelism).
+  Warehouse warehouse(WarehouseOptions{}.WithParallelism(3));
   Check(warehouse.AddViewSql(source, R"sql(
     CREATE VIEW monthly_revenue AS
     SELECT time.month, SUM(sale.price) AS Revenue, COUNT(*) AS Txns

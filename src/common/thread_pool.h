@@ -11,7 +11,9 @@
 // so no futures, task graphs, or work stealing are needed. Nested
 // ParallelFor calls are legal: the inner call runs inline on whichever
 // thread issued it (workers never re-enter the queue), which cannot
-// deadlock.
+// deadlock. That property is what lets maintenance nest two levels of
+// pools — the warehouse's view pool fans a change batch out across
+// engines, and each engine's own pool shards work within a view.
 
 #ifndef MINDETAIL_COMMON_THREAD_POOL_H_
 #define MINDETAIL_COMMON_THREAD_POOL_H_

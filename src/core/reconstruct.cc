@@ -133,11 +133,14 @@ std::set<std::string> OutputSupplierTables(const Derivation& derivation,
 namespace {
 
 // Joins `root_rows` (already qualified) down the tree in topological
-// order against the qualified non-root tables.
+// order against the qualified non-root tables, probing the prebuilt
+// `indexes` (one per required non-root table, positions valid for the
+// qualified copies).
 Result<Table> JoinChainFromRoot(
     const Derivation& derivation, Table root_rows,
     const std::map<std::string, Table>& qualified,
-    const std::set<std::string>& closed) {
+    const std::set<std::string>& closed,
+    const std::map<std::string, const TableIndex*>& indexes) {
   const ExtendedJoinGraph& graph = derivation.graph();
   Table current = std::move(root_rows);
   // Parents precede children in topological order, so one pass attaches
@@ -145,27 +148,53 @@ Result<Table> JoinChainFromRoot(
   for (const std::string& table : graph.TopologicalOrder()) {
     if (table == graph.root() || closed.count(table) == 0) continue;
     const JoinGraphVertex& v = graph.vertex(table);
-    const AuxViewDef& aux = derivation.aux_for(table);
     MD_ASSIGN_OR_RETURN(
-        current, HashJoin(current, qualified.at(table),
-                          StrCat(*v.parent, ".", v.parent_attr),
-                          StrCat(table, ".", aux.key_attr)));
+        current, HashJoinIndexed(current, qualified.at(table),
+                                 StrCat(*v.parent, ".", v.parent_attr),
+                                 *indexes.at(table)));
   }
   return current;
 }
 
-// Rows below which chunked parallelism is pure overhead: each chunk
-// re-builds the dimension hash indexes, so tiny deltas stay serial.
-// The threshold only affects scheduling, never results (the chunked
-// join is bit-identical to the serial one).
+// Rows below which chunked parallelism is pure overhead (the hash
+// indexes are shared, but chunk setup and re-concatenation are not
+// free). The threshold only affects scheduling, never results (the
+// chunked join is bit-identical to the serial one).
 constexpr size_t kMinRowsPerJoinChunk = 64;
 
 }  // namespace
 
+Result<DimensionIndex> DimensionIndex::Build(
+    const Derivation& derivation,
+    const std::map<std::string, const Table*>& tables,
+    const std::set<std::string>& exclude) {
+  DimensionIndex dims;
+  const ExtendedJoinGraph& graph = derivation.graph();
+  for (const std::string& table : graph.TopologicalOrder()) {
+    if (table == graph.root() || exclude.count(table) > 0 ||
+        derivation.IsEliminated(table)) {
+      continue;
+    }
+    auto it = tables.find(table);
+    if (it == tables.end() || it->second == nullptr) continue;
+    MD_ASSIGN_OR_RETURN(
+        TableIndex index,
+        TableIndex::Build(*it->second, derivation.aux_for(table).key_attr));
+    dims.indexes_.emplace(table, std::move(index));
+  }
+  return dims;
+}
+
+const TableIndex* DimensionIndex::Find(const std::string& table) const {
+  auto it = indexes_.find(table);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
 Result<Table> JoinAuxAlongGraph(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required, ThreadPool* pool) {
+    const std::set<std::string>& required, ThreadPool* pool,
+    const DimensionIndex* dims) {
   const ExtendedJoinGraph& graph = derivation.graph();
   const std::set<std::string> closed = CloseUpward(graph, required);
 
@@ -180,6 +209,25 @@ Result<Table> JoinAuxAlongGraph(
     qualified.emplace(table, QualifyColumns(*it->second, table));
   }
 
+  // One hash index per non-root table: prebuilt when `dims` covers it,
+  // otherwise built here, once — shared by every chunk either way.
+  // Indexes are built over the unqualified contents; qualification
+  // preserves row order, so the positions probe the qualified copies.
+  std::map<std::string, TableIndex> local;
+  std::map<std::string, const TableIndex*> indexes;
+  for (const std::string& table : closed) {
+    if (table == graph.root()) continue;
+    const TableIndex* index = dims == nullptr ? nullptr : dims->Find(table);
+    if (index == nullptr) {
+      MD_ASSIGN_OR_RETURN(
+          TableIndex built,
+          TableIndex::Build(*tables.at(table),
+                            derivation.aux_for(table).key_attr));
+      index = &local.emplace(table, std::move(built)).first->second;
+    }
+    indexes.emplace(table, index);
+  }
+
   Table root_rows = std::move(qualified.at(graph.root()));
   const size_t num_chunks =
       pool == nullptr
@@ -188,12 +236,12 @@ Result<Table> JoinAuxAlongGraph(
                      root_rows.NumRows() / kMinRowsPerJoinChunk);
   if (num_chunks <= 1) {
     return JoinChainFromRoot(derivation, std::move(root_rows), qualified,
-                             closed);
+                             closed, indexes);
   }
 
   // Contiguous root chunks, joined concurrently, re-concatenated in
   // chunk order: identical rows in identical order to the serial chain,
-  // since HashJoin streams its left input in order.
+  // since the join streams its left input in order.
   const size_t total = root_rows.NumRows();
   std::vector<Result<Table>> chunk_results(
       num_chunks, Result<Table>(InternalError("join chunk not run")));
@@ -209,8 +257,8 @@ Result<Table> JoinAuxAlongGraph(
         return;
       }
     }
-    chunk_results[c] =
-        JoinChainFromRoot(derivation, std::move(chunk), qualified, closed);
+    chunk_results[c] = JoinChainFromRoot(derivation, std::move(chunk),
+                                         qualified, closed, indexes);
   });
 
   Result<Table>& first = chunk_results.front();
@@ -467,7 +515,8 @@ Result<Table> ReconstructView(
 Result<Table> ReconstructGroups(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& aux_tables,
-    const GroupKeySet& groups) {
+    const GroupKeySet& groups, ThreadPool* pool,
+    const DimensionIndex* dims) {
   if (derivation.IsEliminated(derivation.root())) {
     return FailedPreconditionError(
         "cannot recompute groups: the root auxiliary view was eliminated");
@@ -475,9 +524,9 @@ Result<Table> ReconstructGroups(
   MD_ASSIGN_OR_RETURN(
       Table joined,
       JoinAuxAlongGraph(derivation, aux_tables,
-                        OutputSupplierTables(derivation, false)));
+                        OutputSupplierTables(derivation, false), pool,
+                        dims));
 
-  // Keep only rows belonging to an affected group.
   std::vector<size_t> group_idx;
   for (const AttributeRef& ref : derivation.view().GroupByAttrs()) {
     std::optional<size_t> idx = joined.schema().IndexOf(ref.ToString());
@@ -487,25 +536,73 @@ Result<Table> ReconstructGroups(
     }
     group_idx.push_back(*idx);
   }
-  Table filtered(joined.name(), joined.schema());
-  filtered.set_allow_null(true);
-  for (const Tuple& row : joined.rows()) {
-    Tuple key;
-    key.reserve(group_idx.size());
-    for (size_t idx : group_idx) key.push_back(row[idx]);
-    if (groups.count(key) > 0) {
-      MD_RETURN_IF_ERROR(filtered.Insert(row));
+
+  // Scalar views (no group-by) have a single global "group" that cannot
+  // be partitioned; small inputs are not worth the shard setup.
+  const size_t num_shards =
+      pool == nullptr || group_idx.empty()
+          ? 1
+          : std::min(static_cast<size_t>(pool->num_threads()),
+                     joined.NumRows() / kMinRowsPerJoinChunk);
+  if (num_shards <= 1) {
+    // Keep only rows belonging to an affected group.
+    Table filtered(joined.name(), joined.schema());
+    filtered.set_allow_null(true);
+    for (const Tuple& row : joined.rows()) {
+      Tuple key;
+      key.reserve(group_idx.size());
+      for (size_t idx : group_idx) key.push_back(row[idx]);
+      if (groups.count(key) > 0) {
+        MD_RETURN_IF_ERROR(filtered.Insert(row));
+      }
     }
+    return AggregateJoined(derivation, std::move(filtered));
   }
-  return AggregateJoined(derivation, std::move(filtered));
+
+  // Shard the affected-group recomputation by group key: each group's
+  // joined rows land in exactly one shard, in joined-row order, so the
+  // per-group filter + aggregation matches the serial pass exactly.
+  // Shard outputs hold disjoint groups, so concatenating them and
+  // re-sorting reconstructs the serial output (AggregateJoined sorts).
+  TupleHash hasher;
+  std::vector<Result<Table>> shard_results(
+      num_shards, Result<Table>(InternalError("recompute shard not run")));
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    Table filtered(joined.name(), joined.schema());
+    filtered.set_allow_null(true);
+    for (const Tuple& row : joined.rows()) {
+      Tuple key;
+      key.reserve(group_idx.size());
+      for (size_t idx : group_idx) key.push_back(row[idx]);
+      if (hasher(key) % num_shards != s || groups.count(key) == 0) continue;
+      const Status status = filtered.Insert(row);
+      if (!status.ok()) {
+        shard_results[s] = status;
+        return;
+      }
+    }
+    shard_results[s] = AggregateJoined(derivation, std::move(filtered));
+  });
+
+  Result<Table>& first = shard_results.front();
+  MD_RETURN_IF_ERROR(first.status());
+  Table result = std::move(*first);
+  for (size_t s = 1; s < num_shards; ++s) {
+    MD_RETURN_IF_ERROR(shard_results[s].status());
+    MD_RETURN_IF_ERROR(result.AppendRowsFrom(std::move(*shard_results[s])));
+  }
+  SortRows(&result);
+  return result;
 }
 
 Result<Table> ComputeContributions(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required, ThreadPool* pool) {
-  MD_ASSIGN_OR_RETURN(Table joined,
-                      JoinAuxAlongGraph(derivation, tables, required, pool));
+    const std::set<std::string>& required, ThreadPool* pool,
+    const DimensionIndex* dims) {
+  MD_ASSIGN_OR_RETURN(
+      Table joined,
+      JoinAuxAlongGraph(derivation, tables, required, pool, dims));
 
   const std::string cnt_col = RootCountColumn(derivation);
   std::vector<std::string> group_columns;

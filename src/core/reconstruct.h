@@ -20,6 +20,7 @@
 #include <unordered_set>
 
 #include "core/derive.h"
+#include "relational/ops.h"
 
 namespace mindetail {
 
@@ -27,6 +28,35 @@ class ThreadPool;
 
 // A set of view group-by keys.
 using GroupKeySet = std::unordered_set<Tuple, TupleHash, TupleEqual>;
+
+// Read-only prebuilt hash indexes over the dimension auxiliary views,
+// each keyed by its aux key attribute. The engine builds one per change
+// batch and shares it across every root-delta chunk and the delta join,
+// instead of rebuilding the join's hash build side per use. Index
+// positions stay valid for QualifyColumns copies of the same contents
+// (qualification preserves row order), which is how the join below uses
+// them.
+class DimensionIndex {
+ public:
+  DimensionIndex() = default;
+
+  // Indexes every non-root, non-eliminated auxiliary view of
+  // `derivation` that is present in `tables`, except those named in
+  // `exclude` (the table whose own delta is being applied: its contents
+  // change mid-batch, so a prebuilt index would go stale).
+  static Result<DimensionIndex> Build(
+      const Derivation& derivation,
+      const std::map<std::string, const Table*>& tables,
+      const std::set<std::string>& exclude = {});
+
+  // The prebuilt index for `table`, or nullptr when the table was not
+  // indexed. The index is only valid against the exact contents it was
+  // built over (or an order-preserving qualified copy of them).
+  const TableIndex* Find(const std::string& table) const;
+
+ private:
+  std::map<std::string, TableIndex> indexes_;
+};
 
 // Joins auxiliary views along the join graph with qualified column
 // names ("sale.cnt0", "time.month"). `tables` maps base-table name →
@@ -37,13 +67,19 @@ using GroupKeySet = std::unordered_set<Tuple, TupleHash, TupleEqual>;
 //
 // With a non-null `pool`, the root table's rows are split into
 // contiguous chunks that are joined concurrently and re-concatenated in
-// chunk order. Because HashJoin streams its left input in order, the
+// chunk order. Because the join streams its left input in order, the
 // result is identical — same rows, same row order, bit for bit — to
 // the serial join; parallelism is purely a latency optimization.
+//
+// `dims` optionally supplies prebuilt hash indexes for the non-root
+// tables (they must have been built over the same contents `tables`
+// maps to); any table it does not cover gets a local index, built once
+// per call and shared by all chunks.
 Result<Table> JoinAuxAlongGraph(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required, ThreadPool* pool = nullptr);
+    const std::set<std::string>& required, ThreadPool* pool = nullptr,
+    const DimensionIndex* dims = nullptr);
 
 // Tables that supply view outputs: group-by attributes always, plus
 // aggregate inputs (all of them, or only non-CSMAS ones when
@@ -62,10 +98,19 @@ Result<Table> ReconstructView(
 
 // As ReconstructView, but only for the groups whose group-by key tuple
 // is in `groups` (affected-group recomputation for non-CSMAS outputs).
+//
+// With a non-null `pool`, the underlying join is chunked (see
+// JoinAuxAlongGraph) and the affected groups are re-aggregated in
+// shards, hash-partitioned by group key: a group's joined rows land in
+// one shard in joined-row order, so per-group accumulation order — and
+// with it the result — is bit-identical to the serial recomputation at
+// every thread count. Scalar views always recompute serially. `dims`
+// is forwarded to the join.
 Result<Table> ReconstructGroups(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& aux_tables,
-    const GroupKeySet& groups);
+    const GroupKeySet& groups, ThreadPool* pool = nullptr,
+    const DimensionIndex* dims = nullptr);
 
 // Internal contribution table for incremental CSMAS maintenance.
 // Columns: the view's group-by outputs, then "__cnt" (total duplicate
@@ -76,11 +121,13 @@ Result<Table> ReconstructGroups(
 // underlying delta join (see JoinAuxAlongGraph); the contribution
 // aggregation itself stays single-threaded in joined-row order so the
 // per-group floating-point accumulation order — and therefore the
-// result — is bit-identical to the serial computation.
+// result — is bit-identical to the serial computation. `dims` is
+// forwarded to the join.
 Result<Table> ComputeContributions(
     const Derivation& derivation,
     const std::map<std::string, const Table*>& tables,
-    const std::set<std::string>& required, ThreadPool* pool = nullptr);
+    const std::set<std::string>& required, ThreadPool* pool = nullptr,
+    const DimensionIndex* dims = nullptr);
 
 // Column-name constants of the contribution table.
 inline constexpr char kContribCountColumn[] = "__cnt";

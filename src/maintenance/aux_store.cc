@@ -1,8 +1,22 @@
 #include "maintenance/aux_store.h"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace mindetail {
+
+namespace {
+
+// Fragment rows below which the sharded merge is pure overhead.
+// Scheduling only — the sharded merge is bit-identical to the serial
+// one either way.
+constexpr size_t kMinRowsPerMergeShard = 256;
+
+}  // namespace
 
 std::string AuxStore::Describe() const {
   if (owner_view_.empty()) {
@@ -10,6 +24,40 @@ std::string AuxStore::Describe() const {
   }
   return StrCat("auxiliary view '", def_.name, "' of view '", owner_view_,
                 "'");
+}
+
+Tuple AuxStore::KeyOf(const Tuple& row) const {
+  Tuple key;
+  key.reserve(plain_idx_.size());
+  for (size_t idx : plain_idx_) key.push_back(row[idx]);
+  return key;
+}
+
+bool AuxStore::KeyLess(const Tuple& a, const Tuple& b) const {
+  for (size_t idx : plain_idx_) {
+    const int c = a[idx].Compare(b[idx]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+void AuxStore::Canonicalize() {
+  if (!order_dirty_) return;
+  table_.SortRowsBy(
+      [this](const Tuple& a, const Tuple& b) { return KeyLess(a, b); });
+  index_.clear();
+  index_.reserve(table_.NumRows());
+  for (size_t i = 0; i < table_.NumRows(); ++i) {
+    index_.emplace(KeyOf(table_.row(i)), i);
+  }
+  order_dirty_ = false;
+}
+
+bool AuxStore::InCanonicalOrder() const {
+  for (size_t i = 1; i < table_.NumRows(); ++i) {
+    if (!KeyLess(table_.row(i - 1), table_.row(i))) return false;
+  }
+  return true;
 }
 
 Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial,
@@ -41,18 +89,18 @@ Result<AuxStore> AuxStore::Create(const AuxViewDef& def, Table initial,
   }
   store.index_.reserve(store.table_.NumRows());
   for (size_t i = 0; i < store.table_.NumRows(); ++i) {
-    Tuple key;
-    key.reserve(store.plain_idx_.size());
-    for (size_t idx : store.plain_idx_) {
-      key.push_back(store.table_.row(i)[idx]);
-    }
-    auto [it, inserted] = store.index_.emplace(std::move(key), i);
+    auto [it, inserted] =
+        store.index_.emplace(store.KeyOf(store.table_.row(i)), i);
     if (!inserted) {
       return InvalidArgumentError(
           StrCat("auxiliary contents for '", def.name,
                  "' contain duplicate group ", TupleToString(it->first)));
     }
   }
+  // Initial contents arrive in materialization (or checkpoint) order;
+  // establish the canonical order unconditionally.
+  store.order_dirty_ = true;
+  store.Canonicalize();
   return store;
 }
 
@@ -97,6 +145,7 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
     const size_t new_idx = table_.NumRows();
     MD_RETURN_IF_ERROR(table_.Insert(std::move(row)));
     index_.emplace(group, new_idx);
+    order_dirty_ = true;
     return Status::Ok();
   }
 
@@ -116,13 +165,9 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
     const size_t last = table_.NumRows() - 1;
     table_.DeleteRowAt(row_idx);
     if (row_idx != last) {
-      Tuple moved_key;
-      moved_key.reserve(plain_idx_.size());
-      for (size_t idx : plain_idx_) {
-        moved_key.push_back(table_.row(row_idx)[idx]);
-      }
-      index_[moved_key] = row_idx;
+      index_[KeyOf(table_.row(row_idx))] = row_idx;
     }
+    order_dirty_ = true;
     return Status::Ok();
   }
   row[cnt_idx_] = Value(new_cnt);
@@ -153,19 +198,207 @@ Status AuxStore::ApplyGroupDelta(const Tuple& group,
   return table_.ReplaceRow(row_idx, std::move(row));
 }
 
-Status AuxStore::MergeCompressedFragment(const Table& fragment, int sign) {
+Status AuxStore::MergeCompressedFragment(const Table& fragment, int sign,
+                                         ThreadPool* pool) {
   MD_CHECK(def_.plan.compressed);
   MD_CHECK(sign == 1 || sign == -1);
   MD_CHECK_GE(cnt_idx_, 0);
-  for (const Tuple& row : fragment.rows()) {
-    Tuple group;
-    group.reserve(plain_idx_.size());
-    for (size_t idx : plain_idx_) group.push_back(row[idx]);
-    std::vector<Value> agg_values;
-    agg_values.reserve(agg_cols_.size());
-    for (const AggCol& col : agg_cols_) agg_values.push_back(row[col.idx]);
+  const size_t num_shards =
+      pool == nullptr
+          ? 1
+          : std::min(static_cast<size_t>(pool->num_threads()),
+                     fragment.NumRows() / kMinRowsPerMergeShard);
+  if (num_shards <= 1) {
+    for (const Tuple& row : fragment.rows()) {
+      Tuple group;
+      group.reserve(plain_idx_.size());
+      for (size_t idx : plain_idx_) group.push_back(row[idx]);
+      std::vector<Value> agg_values;
+      agg_values.reserve(agg_cols_.size());
+      for (const AggCol& col : agg_cols_) agg_values.push_back(row[col.idx]);
+      MD_RETURN_IF_ERROR(ApplyGroupDelta(group, agg_values,
+                                         sign * row[cnt_idx_].AsInt64()));
+    }
+  } else {
     MD_RETURN_IF_ERROR(
-        ApplyGroupDelta(group, agg_values, sign * row[cnt_idx_].AsInt64()));
+        MergeCompressedSharded(fragment, sign, pool, num_shards));
+  }
+  Canonicalize();
+  return Status::Ok();
+}
+
+Status AuxStore::MergeCompressedSharded(const Table& fragment, int sign,
+                                        ThreadPool* pool,
+                                        size_t num_shards) {
+  // Working state of one group touched by this merge. The shard applies
+  // its fragment rows (in fragment order) against a private copy of the
+  // stored row, replicating ApplyGroupDelta arithmetic exactly; nothing
+  // is committed until every shard finished without error, and groups
+  // hash-partition so shards touch disjoint rows.
+  struct PendingGroup {
+    bool existed = false;  // Present in the store before this merge.
+    size_t row_idx = 0;    // Valid iff existed.
+    bool alive = false;
+    Tuple values;  // Full row in plan column order, valid iff alive.
+  };
+  struct Shard {
+    std::vector<size_t> rows;  // Fragment row indexes, ascending.
+    std::unordered_map<Tuple, PendingGroup, TupleHash, TupleEqual> groups;
+    size_t error_row = SIZE_MAX;
+    Status error = Status::Ok();
+  };
+
+  std::vector<Shard> shards(num_shards);
+  TupleHash hasher;
+  for (size_t i = 0; i < fragment.NumRows(); ++i) {
+    shards[hasher(KeyOf(fragment.row(i))) % num_shards].rows.push_back(i);
+  }
+
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    Shard& shard = shards[s];
+    for (size_t i : shard.rows) {
+      const Tuple& frow = fragment.row(i);
+      const int64_t cnt = sign * frow[cnt_idx_].AsInt64();
+      if (cnt == 0) continue;
+      const Tuple group = KeyOf(frow);
+
+      Status status = Status::Ok();
+      if (cnt < 0) {
+        for (const AggCol& col : agg_cols_) {
+          if (col.kind != AuxColumn::Kind::kSum) {
+            status = FailedPreconditionError(StrCat(
+                "deletion delta for group ", TupleToString(group),
+                " against append-only ", Describe(), ": MIN/MAX column '",
+                def_.plan.columns[col.idx].output_name,
+                "' cannot be decremented"));
+            break;
+          }
+        }
+      }
+
+      PendingGroup* pending = nullptr;
+      if (status.ok()) {
+        auto [it, inserted] = shard.groups.try_emplace(group);
+        pending = &it->second;
+        if (inserted) {
+          auto stored = index_.find(group);
+          if (stored != index_.end()) {
+            pending->existed = true;
+            pending->row_idx = stored->second;
+            pending->alive = true;
+            pending->values = table_.row(stored->second);
+          }
+        }
+      }
+
+      if (status.ok() && !pending->alive) {
+        if (cnt < 0) {
+          status = FailedPreconditionError(StrCat(
+              "deletion delta for ", Describe(), " touches missing group ",
+              TupleToString(group), " (count column '",
+              def_.plan.columns[cnt_idx_].output_name,
+              "' would go below 0)"));
+        } else {
+          Tuple row(def_.plan.columns.size());
+          for (size_t p = 0; p < plain_idx_.size(); ++p) {
+            row[plain_idx_[p]] = group[p];
+          }
+          for (const AggCol& col : agg_cols_) row[col.idx] = frow[col.idx];
+          row[cnt_idx_] = Value(cnt);
+          pending->values = std::move(row);
+          pending->alive = true;
+        }
+      } else if (status.ok()) {
+        Tuple& row = pending->values;
+        const int64_t new_cnt = row[cnt_idx_].AsInt64() + cnt;
+        if (new_cnt < 0) {
+          status = FailedPreconditionError(StrCat(
+              "deletion delta for ", Describe(), " drives group ",
+              TupleToString(group), " count negative (count column '",
+              def_.plan.columns[cnt_idx_].output_name, "': ",
+              row[cnt_idx_].AsInt64(), " + ", cnt, " = ", new_cnt, ")"));
+        } else if (new_cnt == 0) {
+          pending->alive = false;
+          row.clear();
+        } else {
+          row[cnt_idx_] = Value(new_cnt);
+          for (const AggCol& col : agg_cols_) {
+            Value& current = row[col.idx];
+            const Value& incoming = frow[col.idx];
+            switch (col.kind) {
+              case AuxColumn::Kind::kSum:
+                current = AddValues(
+                    current, cnt < 0 ? NegateValue(incoming) : incoming);
+                break;
+              case AuxColumn::Kind::kMin:
+                if (!incoming.is_null() &&
+                    (current.is_null() || incoming.Compare(current) < 0)) {
+                  current = incoming;
+                }
+                break;
+              case AuxColumn::Kind::kMax:
+                if (!incoming.is_null() &&
+                    (current.is_null() || incoming.Compare(current) > 0)) {
+                  current = incoming;
+                }
+                break;
+              default:
+                status = InternalError("unexpected aggregate column kind");
+                break;
+            }
+            if (!status.ok()) break;
+          }
+        }
+      }
+
+      if (!status.ok()) {
+        shard.error = std::move(status);
+        shard.error_row = i;
+        return;
+      }
+    }
+  });
+
+  // Deterministic error selection: the failure the serial merge would
+  // have hit first (lowest fragment row index). Nothing was committed.
+  const Shard* failed = nullptr;
+  for (const Shard& shard : shards) {
+    if (shard.error.ok()) continue;
+    if (failed == nullptr || shard.error_row < failed->error_row) {
+      failed = &shard;
+    }
+  }
+  if (failed != nullptr) return failed->error;
+
+  // Commit. In-place updates first (row indexes still valid), then
+  // order-preserving deletions, then appends; Canonicalize() (run by
+  // the caller — membership changes mark the order dirty) re-sorts and
+  // rebuilds the index.
+  std::vector<size_t> deleted;
+  for (Shard& shard : shards) {
+    for (auto& [group, pending] : shard.groups) {
+      (void)group;
+      if (pending.existed && pending.alive) {
+        MD_RETURN_IF_ERROR(
+            table_.ReplaceRow(pending.row_idx, std::move(pending.values)));
+      } else if (pending.existed) {
+        deleted.push_back(pending.row_idx);
+      }
+    }
+  }
+  std::sort(deleted.begin(), deleted.end());
+  if (!deleted.empty()) {
+    table_.EraseRowsInOrder(deleted);
+    order_dirty_ = true;
+  }
+  for (Shard& shard : shards) {
+    for (auto& [group, pending] : shard.groups) {
+      (void)group;
+      if (!pending.existed && pending.alive) {
+        MD_RETURN_IF_ERROR(table_.Insert(std::move(pending.values)));
+        order_dirty_ = true;
+      }
+    }
   }
   return Status::Ok();
 }
@@ -182,6 +415,7 @@ Status AuxStore::InsertRow(Tuple row) {
   Tuple key = row;
   MD_RETURN_IF_ERROR(table_.Insert(std::move(row)));
   index_.emplace(std::move(key), new_idx);
+  order_dirty_ = true;
   return Status::Ok();
 }
 
@@ -199,16 +433,106 @@ Status AuxStore::DeleteRow(const Tuple& row) {
   if (row_idx != last) {
     index_[table_.row(row_idx)] = row_idx;
   }
+  order_dirty_ = true;
   return Status::Ok();
 }
 
-Status AuxStore::MergePlainFragment(const Table& fragment, int sign) {
+Status AuxStore::MergePlainFragment(const Table& fragment, int sign,
+                                    ThreadPool* pool) {
   MD_CHECK(sign == 1 || sign == -1);
-  for (const Tuple& row : fragment.rows()) {
-    if (sign < 0) {
-      MD_RETURN_IF_ERROR(DeleteRow(row));
-    } else {
-      MD_RETURN_IF_ERROR(InsertRow(row));
+  const size_t num_shards =
+      pool == nullptr
+          ? 1
+          : std::min(static_cast<size_t>(pool->num_threads()),
+                     fragment.NumRows() / kMinRowsPerMergeShard);
+  if (num_shards <= 1) {
+    for (const Tuple& row : fragment.rows()) {
+      if (sign < 0) {
+        MD_RETURN_IF_ERROR(DeleteRow(row));
+      } else {
+        MD_RETURN_IF_ERROR(InsertRow(row));
+      }
+    }
+  } else {
+    MD_RETURN_IF_ERROR(MergePlainSharded(fragment, sign, pool, num_shards));
+  }
+  Canonicalize();
+  return Status::Ok();
+}
+
+Status AuxStore::MergePlainSharded(const Table& fragment, int sign,
+                                   ThreadPool* pool, size_t num_shards) {
+  // Plain rows are duplicate-free and a full row is its own key, so
+  // hash-partitioning by row puts every occurrence of a row (and any
+  // in-fragment duplicate, which must fail exactly as it does serially)
+  // in one shard. Validation runs concurrently; commits run after every
+  // shard succeeded.
+  struct Shard {
+    std::vector<size_t> rows;  // Fragment row indexes, ascending.
+    std::vector<size_t> victims;  // Store row indexes to delete.
+    std::unordered_set<Tuple, TupleHash, TupleEqual> seen;
+    size_t error_row = SIZE_MAX;
+    Status error = Status::Ok();
+  };
+
+  std::vector<Shard> shards(num_shards);
+  TupleHash hasher;
+  for (size_t i = 0; i < fragment.NumRows(); ++i) {
+    shards[hasher(fragment.row(i)) % num_shards].rows.push_back(i);
+  }
+
+  pool->ParallelFor(num_shards, [&](size_t s) {
+    Shard& shard = shards[s];
+    for (size_t i : shard.rows) {
+      const Tuple& row = fragment.row(i);
+      if (sign < 0) {
+        auto it = index_.find(row);
+        if (it == index_.end() || shard.seen.count(row) > 0) {
+          shard.error = NotFoundError(StrCat("row ", TupleToString(row),
+                                             " not found in '", def_.name,
+                                             "'"));
+          shard.error_row = i;
+          return;
+        }
+        shard.seen.insert(row);
+        shard.victims.push_back(it->second);
+      } else {
+        if (index_.count(row) > 0 || shard.seen.count(row) > 0) {
+          shard.error = AlreadyExistsError(StrCat(
+              "duplicate row ", TupleToString(row), " in '", def_.name,
+              "' (plain auxiliary views are duplicate-free)"));
+          shard.error_row = i;
+          return;
+        }
+        shard.seen.insert(row);
+      }
+    }
+  });
+
+  const Shard* failed = nullptr;
+  for (const Shard& shard : shards) {
+    if (shard.error.ok()) continue;
+    if (failed == nullptr || shard.error_row < failed->error_row) {
+      failed = &shard;
+    }
+  }
+  if (failed != nullptr) return failed->error;
+
+  if (sign < 0) {
+    std::vector<size_t> deleted;
+    for (const Shard& shard : shards) {
+      deleted.insert(deleted.end(), shard.victims.begin(),
+                     shard.victims.end());
+    }
+    std::sort(deleted.begin(), deleted.end());
+    if (!deleted.empty()) {
+      table_.EraseRowsInOrder(deleted);
+      order_dirty_ = true;
+    }
+  } else {
+    for (const Tuple& row : fragment.rows()) {
+      MD_RETURN_IF_ERROR(table_.Insert(row));
+      order_dirty_ = true;
     }
   }
   return Status::Ok();

@@ -6,6 +6,13 @@
 // duplicates, and a group vanishes when its count reaches zero.
 // Plain (PSJ-degenerate / dimension) auxiliary views are maintained at
 // row granularity.
+//
+// Row order is canonical: the Merge* entry points (and Create) always
+// leave the table sorted by the plain-column key tuple, which is unique
+// per row. Canonical order makes checkpoints order-stable, lets delta
+// joins see the same auxiliary row order at every thread count, and
+// lets the sharded merge path commit shard results in any order — the
+// final sort reconstructs the one true order.
 
 #ifndef MINDETAIL_MAINTENANCE_AUX_STORE_H_
 #define MINDETAIL_MAINTENANCE_AUX_STORE_H_
@@ -19,14 +26,17 @@
 
 namespace mindetail {
 
+class ThreadPool;
+
 class AuxStore {
  public:
   AuxStore() = default;
 
   // Wraps the initially materialized contents of the auxiliary view
-  // `def` (from MaterializeAuxView). `initial`'s schema must match.
-  // `owner_view` (the summary view the store maintains detail for) is
-  // woven into inconsistent-delta error messages.
+  // `def` (from MaterializeAuxView) and sorts them into canonical
+  // order. `initial`'s schema must match. `owner_view` (the summary
+  // view the store maintains detail for) is woven into
+  // inconsistent-delta error messages.
   static Result<AuxStore> Create(const AuxViewDef& def, Table initial,
                                  std::string owner_view = "");
 
@@ -42,29 +52,62 @@ class AuxStore {
   // reject deletions (they only occur under the insert-only
   // relaxation). Fails if a deletion would drive a group's count
   // negative or touch a missing group (an inconsistent delta).
+  //
+  // Group membership changes leave the table out of canonical order
+  // until the next Canonicalize() — the Merge* entry points restore it
+  // automatically; direct callers (tests) call Canonicalize themselves.
   Status ApplyGroupDelta(const Tuple& group,
                          const std::vector<Value>& agg_values, int64_t cnt);
 
   // Compressed plans only: merges a whole compressed delta fragment
   // (column order = plan order, as produced by the engine's fragment
-  // pipeline) with the given sign (+1 insertions, -1 deletions). Rows
-  // merge in fragment order, so feeding the concatenated-and-sorted
-  // shard outputs of the parallel fragment path leaves the store in
-  // exactly the state the serial path produces.
-  Status MergeCompressedFragment(const Table& fragment, int sign);
+  // pipeline) with the given sign (+1 insertions, -1 deletions) and
+  // restores canonical row order. Rows merge in fragment order. With a
+  // non-null `pool`, fragment rows are hash-partitioned by group key
+  // and merged concurrently — per-group accumulation order still
+  // matches the serial merge (a group's delta rows stay in one shard,
+  // in fragment order), so the resulting store is bit-identical to the
+  // serial merge at every thread count.
+  Status MergeCompressedFragment(const Table& fragment, int sign,
+                                 ThreadPool* pool = nullptr);
 
-  // Plain plans only: row-level maintenance.
+  // Plain plans only: row-level maintenance. Like ApplyGroupDelta,
+  // these leave the table out of canonical order until Canonicalize().
   Status InsertRow(Tuple row);
   Status DeleteRow(const Tuple& row);
 
   // Plain plans only: inserts (sign = +1) or deletes (sign = -1) every
-  // row of `fragment`, in row order.
-  Status MergePlainFragment(const Table& fragment, int sign);
+  // row of `fragment` and restores canonical row order. With a
+  // non-null `pool`, fragment rows are hash-partitioned (plain rows are
+  // duplicate-free, so shards touch disjoint rows) and validated
+  // concurrently; the result is bit-identical to the serial merge.
+  Status MergePlainFragment(const Table& fragment, int sign,
+                            ThreadPool* pool = nullptr);
+
+  // Restores canonical row order (sort by the unique plain-column key
+  // tuple; in-place aggregate updates never disturb it) and rebuilds
+  // the group index. No-op when the order is already canonical.
+  void Canonicalize();
+
+  // True iff rows are sorted by the plain-column key tuple. Exposed so
+  // tests can assert the canonical-order invariant.
+  bool InCanonicalOrder() const;
 
  private:
   // "auxiliary view 'X' of view 'V'" (owner omitted when unset), for
   // error messages.
   std::string Describe() const;
+
+  // The plain-column key tuple of a row (unique per row).
+  Tuple KeyOf(const Tuple& row) const;
+  // Lexicographic comparison of two rows by their key tuples.
+  bool KeyLess(const Tuple& a, const Tuple& b) const;
+
+  // The sharded halves of the Merge* entry points; `num_shards` >= 2.
+  Status MergeCompressedSharded(const Table& fragment, int sign,
+                                ThreadPool* pool, size_t num_shards);
+  Status MergePlainSharded(const Table& fragment, int sign,
+                           ThreadPool* pool, size_t num_shards);
 
   AuxViewDef def_;
   std::string owner_view_;
@@ -81,6 +124,10 @@ class AuxStore {
   };
   std::vector<AggCol> agg_cols_;
   int cnt_idx_ = -1;  // Column index of COUNT(*), or -1.
+  // True when a membership change (insert/delete) may have left the
+  // rows out of canonical order. In-place aggregate updates never set
+  // it: they keep each row at its position.
+  bool order_dirty_ = false;
 };
 
 }  // namespace mindetail

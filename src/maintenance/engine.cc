@@ -668,7 +668,8 @@ struct ShardKeySource {
 }  // namespace
 
 Result<Table> SelfMaintenanceEngine::RunFragmentPipeline(
-    const std::string& table, Table staged) const {
+    const std::string& table, Table staged,
+    const DimensionIndex* dims) const {
   const AuxViewDef& aux = derivation_.aux_for(table);
   MD_ASSIGN_OR_RETURN(Table current,
                       Select(staged, aux.reduction.conditions));
@@ -677,6 +678,15 @@ Result<Table> SelfMaintenanceEngine::RunFragmentPipeline(
   MD_ASSIGN_OR_RETURN(current,
                       Project(current, aux.reduction.attrs, false));
   for (const AuxDependency& dep : aux.dependencies) {
+    // The batch's prebuilt index keys the dependency's auxiliary view by
+    // exactly the attribute this semijoin probes; every shard shares it.
+    const TableIndex* index =
+        dims == nullptr ? nullptr : dims->Find(dep.to_table);
+    if (index != nullptr) {
+      MD_ASSIGN_OR_RETURN(current,
+                          SemiJoinIndexed(current, dep.from_attr, *index));
+      continue;
+    }
     auto it = aux_.find(dep.to_table);
     MD_CHECK(it != aux_.end());
     MD_ASSIGN_OR_RETURN(
@@ -708,7 +718,8 @@ Result<Table> SelfMaintenanceEngine::RunFragmentPipeline(
 }
 
 Result<Table> SelfMaintenanceEngine::PrepareFragment(
-    const std::string& table, const std::vector<Tuple>& rows) const {
+    const std::string& table, const std::vector<Tuple>& rows,
+    const DimensionIndex* dims) const {
   const AuxViewDef& aux = derivation_.aux_for(table);
   const Schema& schema = base_schemas_.at(table);
   const size_t num_shards =
@@ -764,7 +775,7 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
     for (const Tuple& row : rows) {
       MD_RETURN_IF_ERROR(staged.Insert(row));
     }
-    return RunFragmentPipeline(table, std::move(staged));
+    return RunFragmentPipeline(table, std::move(staged), dims);
   }
 
   // Partition the delta rows across shards. Compressed plans hash the
@@ -809,7 +820,7 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
         return;
       }
     }
-    shard_results[s] = RunFragmentPipeline(table, std::move(staged));
+    shard_results[s] = RunFragmentPipeline(table, std::move(staged), dims);
   });
 
   MD_RETURN_IF_ERROR(shard_results.front().status());
@@ -828,7 +839,7 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
 
 Status SelfMaintenanceEngine::ApplyFragmentToSummary(
     const std::string& table, const Table& fragment, int sign,
-    GroupKeySet* affected) {
+    GroupKeySet* affected, const DimensionIndex* dims) {
   if (fragment.Empty()) return Status::Ok();
   std::map<std::string, const Table*> tables = AuxTableMap();
   tables[table] = &fragment;
@@ -840,13 +851,14 @@ Status SelfMaintenanceEngine::ApplyFragmentToSummary(
   required.insert(table);
   MD_ASSIGN_OR_RETURN(
       Table contributions,
-      ComputeContributions(derivation_, tables, required, pool_.get()));
+      ComputeContributions(derivation_, tables, required, pool_.get(),
+                           dims));
   ++stats_.delta_joins;
   return summary_.ApplyContributions(contributions, sign, affected);
 }
 
-Status SelfMaintenanceEngine::RecomputeAffected(
-    const GroupKeySet& affected) {
+Status SelfMaintenanceEngine::RecomputeAffected(const GroupKeySet& affected,
+                                                const DimensionIndex* dims) {
   GroupKeySet alive;
   for (const Tuple& key : affected) {
     if (summary_.GroupAlive(key)) alive.insert(key);
@@ -854,7 +866,8 @@ Status SelfMaintenanceEngine::RecomputeAffected(
   if (alive.empty()) return Status::Ok();
   MD_ASSIGN_OR_RETURN(
       Table recomputed,
-      ReconstructGroups(derivation_, AuxTableMap(), alive));
+      ReconstructGroups(derivation_, AuxTableMap(), alive, pool_.get(),
+                        dims));
   stats_.group_recomputes += alive.size();
   return summary_.UpdateCachedFrom(recomputed, alive);
 }
@@ -862,24 +875,31 @@ Status SelfMaintenanceEngine::RecomputeAffected(
 Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
   const std::string& root = derivation_.root();
   const Delta normalized = NormalizeUpdates(delta);
+  // One read-only index per dimension auxiliary view, built once and
+  // shared by the semijoin reductions, every delta-join chunk, and the
+  // affected-group recomputation. A root batch never changes dimension
+  // auxiliary views, so the indexes stay valid for the whole batch.
+  MD_ASSIGN_OR_RETURN(DimensionIndex dims,
+                      DimensionIndex::Build(derivation_, AuxTableMap()));
   MD_ASSIGN_OR_RETURN(Table del_frag,
-                      PrepareFragment(root, normalized.deletes));
+                      PrepareFragment(root, normalized.deletes, &dims));
   MD_ASSIGN_OR_RETURN(Table ins_frag,
-                      PrepareFragment(root, normalized.inserts));
+                      PrepareFragment(root, normalized.inserts, &dims));
 
-  // Merge into the root auxiliary view (unless eliminated). The merge
-  // itself stays single-threaded in fragment order: the auxiliary
-  // table's internal row order feeds future delta joins, so it must
-  // evolve exactly as under the serial engine.
+  // Merge into the root auxiliary view (unless eliminated). Canonical
+  // row order makes the merge shardable: however shard commits
+  // interleave, the store sorts back into the one true order.
   auto aux_it = aux_.find(root);
   if (aux_it != aux_.end()) {
     AuxStore& store = aux_it->second;
     if (store.def().plan.compressed) {
-      MD_RETURN_IF_ERROR(store.MergeCompressedFragment(del_frag, -1));
-      MD_RETURN_IF_ERROR(store.MergeCompressedFragment(ins_frag, +1));
+      MD_RETURN_IF_ERROR(
+          store.MergeCompressedFragment(del_frag, -1, pool_.get()));
+      MD_RETURN_IF_ERROR(
+          store.MergeCompressedFragment(ins_frag, +1, pool_.get()));
     } else {
-      MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1));
-      MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
+      MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1, pool_.get()));
+      MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1, pool_.get()));
     }
   }
   // Crash/error here leaves the root auxiliary view ahead of the
@@ -888,11 +908,11 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
 
   GroupKeySet affected;
   MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(root, del_frag, -1, &affected));
+      ApplyFragmentToSummary(root, del_frag, -1, &affected, &dims));
   MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(root, ins_frag, +1, &affected));
+      ApplyFragmentToSummary(root, ins_frag, +1, &affected, &dims));
   if (summary_.has_non_csmas()) {
-    MD_RETURN_IF_ERROR(RecomputeAffected(affected));
+    MD_RETURN_IF_ERROR(RecomputeAffected(affected, &dims));
   }
   return Status::Ok();
 }
@@ -1045,8 +1065,15 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
     }
   }
 
-  MD_ASSIGN_OR_RETURN(Table del_frag, PrepareFragment(table, dels));
-  MD_ASSIGN_OR_RETURN(Table ins_frag, PrepareFragment(table, inss));
+  // Prebuilt indexes for every *other* dimension auxiliary view: this
+  // table's own contents change mid-batch, so it is excluded and any
+  // join against it (affected-group recomputation) indexes it locally.
+  MD_ASSIGN_OR_RETURN(DimensionIndex dims,
+                      DimensionIndex::Build(derivation_, AuxTableMap(),
+                                            /*exclude=*/{table}));
+
+  MD_ASSIGN_OR_RETURN(Table del_frag, PrepareFragment(table, dels, &dims));
+  MD_ASSIGN_OR_RETURN(Table ins_frag, PrepareFragment(table, inss, &dims));
   if (root_eliminated) {
     // Updates still flow into the dimension auxiliary view.
     std::vector<Tuple> upd_dels, upd_inss;
@@ -1055,19 +1082,21 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
       upd_inss.push_back(update.after);
     }
     MD_ASSIGN_OR_RETURN(Table upd_del_frag,
-                        PrepareFragment(table, upd_dels));
+                        PrepareFragment(table, upd_dels, &dims));
     MD_ASSIGN_OR_RETURN(Table upd_ins_frag,
-                        PrepareFragment(table, upd_inss));
+                        PrepareFragment(table, upd_inss, &dims));
     AuxStore& store = aux_.at(table);
-    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_del_frag, -1));
-    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_ins_frag, +1));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_del_frag, -1,
+                                                pool_.get()));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(upd_ins_frag, +1,
+                                                pool_.get()));
   }
 
   // Maintain the dimension's auxiliary view.
   {
     AuxStore& store = aux_.at(table);
-    MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1));
-    MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1, pool_.get()));
+    MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1, pool_.get()));
   }
   MD_FAILPOINT("engine.dim.after_aux_merge");
 
@@ -1092,11 +1121,11 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
   // and the changed table replaced by the delta fragment; the
   // dimension's own store state does not participate.
   MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(table, del_frag, -1, &affected));
+      ApplyFragmentToSummary(table, del_frag, -1, &affected, &dims));
   MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(table, ins_frag, +1, &affected));
+      ApplyFragmentToSummary(table, ins_frag, +1, &affected, &dims));
   if (summary_.has_non_csmas()) {
-    MD_RETURN_IF_ERROR(RecomputeAffected(affected));
+    MD_RETURN_IF_ERROR(RecomputeAffected(affected, &dims));
   }
   return Status::Ok();
 }

@@ -170,9 +170,11 @@ struct EngineOptions {
   // everything on the calling thread with the exact serial code path.
   // With N > 1, delta fragments are prepared over N shards (compressed
   // plans hash-partition rows by group key; plain plans chunk
-  // contiguously) and delta joins run over contiguous root chunks, all
-  // re-merged deterministically — the maintained state and the view are
-  // bit-identical to the serial engine at every thread count.
+  // contiguously), delta joins run over contiguous root chunks,
+  // auxiliary-store merges and affected-group recomputation shard by
+  // group key, all re-merged deterministically — the maintained state
+  // and the view are bit-identical to the serial engine at every thread
+  // count.
   int num_threads = 1;
 };
 
@@ -276,13 +278,15 @@ class SelfMaintenanceEngine {
   // The result stands in for the table's auxiliary view in delta joins.
   // With a thread pool, `rows` are sharded, piped through
   // RunFragmentPipeline concurrently, and re-merged into the exact
-  // serial result (see EngineOptions::num_threads).
+  // serial result (see EngineOptions::num_threads). `dims` holds the
+  // batch's prebuilt dimension indexes (semijoin probe sides).
   Result<Table> PrepareFragment(const std::string& table,
-                                const std::vector<Tuple>& rows) const;
+                                const std::vector<Tuple>& rows,
+                                const DimensionIndex* dims) const;
 
   // The serial fragment pipeline over one staged slice of a delta.
-  Result<Table> RunFragmentPipeline(const std::string& table,
-                                    Table staged) const;
+  Result<Table> RunFragmentPipeline(const std::string& table, Table staged,
+                                    const DimensionIndex* dims) const;
 
   std::map<std::string, const Table*> AuxTableMap() const;
 
@@ -295,10 +299,13 @@ class SelfMaintenanceEngine {
   // views and merges the resulting CSMAS contributions with `sign`.
   Status ApplyFragmentToSummary(const std::string& table,
                                 const Table& fragment, int sign,
-                                GroupKeySet* affected);
+                                GroupKeySet* affected,
+                                const DimensionIndex* dims);
 
   // Recomputes non-CSMAS outputs of the still-alive affected groups.
-  Status RecomputeAffected(const GroupKeySet& affected);
+  // `dims` must not cover any auxiliary view changed since it was built.
+  Status RecomputeAffected(const GroupKeySet& affected,
+                           const DimensionIndex* dims);
 
   Derivation derivation_;
   EngineOptions options_;

@@ -1,11 +1,13 @@
 #include "maintenance/warehouse.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/bytes.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "io/warehouse_io.h"
 
 namespace mindetail {
@@ -31,14 +33,25 @@ EngineOptions FromOptionsData(const EngineOptionsData& data) {
 
 }  // namespace
 
+Warehouse::Warehouse(WarehouseOptions options)
+    : options_(std::move(options)) {
+  if (options_.parallelism > 1) {
+    view_pool_ = std::make_shared<ThreadPool>(options_.parallelism);
+  }
+}
+
+void Warehouse::set_options(WarehouseOptions options) {
+  options_ = std::move(options);
+  view_pool_ = options_.parallelism > 1
+                   ? std::make_shared<ThreadPool>(options_.parallelism)
+                   : nullptr;
+}
+
 Result<Warehouse> Warehouse::Open(const std::string& dir,
-                                  EngineOptions default_options,
-                                  WarehouseDurability durability) {
+                                  WarehouseOptions options) {
   MD_RETURN_IF_ERROR(EnsureDirectory(dir));
-  Warehouse wh;
+  Warehouse wh(std::move(options));
   wh.dir_ = dir;
-  wh.durability_ = durability;
-  wh.default_options_ = std::move(default_options);
 
   Result<WarehouseCheckpoint> loaded = LoadWarehouseCheckpoint(dir);
   if (loaded.ok()) {
@@ -65,7 +78,7 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
   MD_ASSIGN_OR_RETURN(std::vector<WriteAheadLog::Record> records,
                       WriteAheadLog::ReadAll(wal_path));
   WriteAheadLog::Options wal_options;
-  wal_options.sync = durability.sync_wal;
+  wal_options.sync = wh.options_.sync_wal;
   MD_ASSIGN_OR_RETURN(WriteAheadLog wal,
                       WriteAheadLog::Open(wal_path, wal_options));
   wh.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
@@ -73,6 +86,9 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
   for (const WriteAheadLog::Record& record : records) {
     // Records at or below the checkpoint sequence are already folded in.
     if (record.sequence <= wh.sequence_) continue;
+    // New records are all transactions; kKindApply only appears in WALs
+    // written before Apply became a wrapper over ApplyTransaction, and
+    // replays with its original single-call semantics.
     const Status status = wh.ApplyToEngines(
         record.changes, record.kind == WriteAheadLog::kKindTransaction);
     wh.sequence_ = record.sequence;
@@ -119,13 +135,15 @@ Status Warehouse::MergeSchemas(const Catalog& source,
 }
 
 Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
-                          EngineOptions options) {
+                          std::optional<EngineOptions> options) {
   if (engines_.count(def.name()) > 0) {
     return AlreadyExistsError(
         StrCat("view '", def.name(), "' is already registered"));
   }
-  MD_ASSIGN_OR_RETURN(SelfMaintenanceEngine engine,
-                      SelfMaintenanceEngine::Create(source, def, options));
+  MD_ASSIGN_OR_RETURN(
+      SelfMaintenanceEngine engine,
+      SelfMaintenanceEngine::Create(
+          source, def, options.has_value() ? *options : options_.engine));
   MD_RETURN_IF_ERROR(MergeSchemas(source, def));
   engines_.emplace(def.name(), std::make_unique<SelfMaintenanceEngine>(
                                    std::move(engine)));
@@ -135,18 +153,10 @@ Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
   return Status::Ok();
 }
 
-Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def) {
-  return AddView(source, def, default_options_);
-}
-
 Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql,
-                             EngineOptions options) {
+                             std::optional<EngineOptions> options) {
   MD_ASSIGN_OR_RETURN(GpsjViewDef def, ParseGpsjView(sql, source));
-  return AddView(source, def, options);
-}
-
-Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql) {
-  return AddViewSql(source, sql, default_options_);
+  return AddView(source, def, std::move(options));
 }
 
 Status Warehouse::RemoveView(const std::string& view_name) {
@@ -172,51 +182,113 @@ std::vector<std::string> Warehouse::ViewNames() const {
   return registration_order_;
 }
 
-Status Warehouse::ApplyLogged(uint8_t kind,
-                              const std::map<std::string, Delta>& changes) {
+Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes) {
   if (wal_ != nullptr) {
-    MD_RETURN_IF_ERROR(wal_->Append(sequence_ + 1, kind, changes));
+    MD_RETURN_IF_ERROR(wal_->Append(sequence_ + 1,
+                                    WriteAheadLog::kKindTransaction,
+                                    changes));
     ++sequence_;
     MD_FAILPOINT("warehouse.apply.after_log");
   } else {
     ++sequence_;
   }
-  return ApplyToEngines(changes,
-                        kind == WriteAheadLog::kKindTransaction);
+  return ApplyToEngines(changes, /*transaction=*/true);
 }
 
 Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
                                  bool transaction) {
-  // Snapshots of every engine that has been handed the batch, in apply
-  // order. Taken immediately before each engine's apply, so a failing
-  // engine (possibly left partially applied) is restored too.
-  std::vector<std::pair<SelfMaintenanceEngine*,
-                        SelfMaintenanceEngine::StateSnapshot>>
-      applied;
-  Status failure = Status::Ok();
+  // The affected engines and their slices of the batch, in registration
+  // order — which is also the serial apply order, so "first failure in
+  // registration order" below reports exactly the error the serial
+  // warehouse would.
+  struct EngineTask {
+    SelfMaintenanceEngine* engine = nullptr;
+    std::map<std::string, Delta> relevant;
+  };
+  std::vector<EngineTask> tasks;
   for (const std::string& name : registration_order_) {
     SelfMaintenanceEngine& engine = *engines_.at(name);
-    std::map<std::string, Delta> relevant;
+    EngineTask task;
     for (const auto& [table, delta] : changes) {
       if (engine.derivation().view().ReferencesTable(table)) {
-        relevant.emplace(table, delta);
+        task.relevant.emplace(table, delta);
       }
     }
-    if (relevant.empty()) continue;
-    applied.emplace_back(&engine, engine.SnapshotState());
-    failure = transaction
-                  ? engine.ApplyTransaction(relevant)
-                  : engine.Apply(relevant.begin()->first,
-                                 relevant.begin()->second);
-    if (!failure.ok()) break;
+    if (task.relevant.empty()) continue;
+    task.engine = &engine;
+    tasks.push_back(std::move(task));
   }
-  // Fires after every engine applied but before the batch would be
-  // acknowledged: error mode exercises the full rollback, crash mode
-  // dies with the batch logged but unacknowledged.
+
+  auto run = [transaction](EngineTask& task) {
+    return transaction
+               ? task.engine->ApplyTransaction(task.relevant)
+               : task.engine->Apply(task.relevant.begin()->first,
+                                    task.relevant.begin()->second);
+  };
+
+  if (view_pool_ == nullptr || tasks.size() < 2) {
+    // Serial: snapshot each engine immediately before its apply, so a
+    // failing engine (possibly left partially applied) is restored too.
+    std::vector<std::pair<SelfMaintenanceEngine*,
+                          SelfMaintenanceEngine::StateSnapshot>>
+        applied;
+    Status failure = Status::Ok();
+    for (EngineTask& task : tasks) {
+      applied.emplace_back(task.engine, task.engine->SnapshotState());
+      failure = run(task);
+      if (!failure.ok()) break;
+    }
+    // Fires after every engine applied but before the batch would be
+    // acknowledged: error mode exercises the full rollback, crash mode
+    // dies with the batch logged but unacknowledged.
+    if (failure.ok()) failure = FailpointCheck("warehouse.apply.before_ack");
+    if (!failure.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        it->first->RestoreState(std::move(it->second));
+      }
+      return failure;
+    }
+    return Status::Ok();
+  }
+
+  // Parallel: snapshot everything up front (no engine has been touched
+  // yet, so these equal the serial snapshots), then fan the engines out
+  // over the shared view pool. Engines maintain disjoint state; the
+  // per-task slots below are disjoint too, so tasks never race.
+  std::vector<SelfMaintenanceEngine::StateSnapshot> snapshots;
+  snapshots.reserve(tasks.size());
+  for (EngineTask& task : tasks) {
+    snapshots.push_back(task.engine->SnapshotState());
+  }
+  std::vector<Status> statuses(tasks.size(), Status::Ok());
+  std::vector<char> attempted(tasks.size(), 0);
+  std::atomic<bool> cancelled{false};
+  view_pool_->ParallelFor(tasks.size(), [&](size_t i) {
+    // Best-effort cancellation: an engine that has not started when a
+    // failure lands skips its (doomed) work entirely. Engines already
+    // running finish and are rolled back below.
+    if (cancelled.load(std::memory_order_acquire)) return;
+    attempted[i] = 1;
+    statuses[i] = run(tasks[i]);
+    if (!statuses[i].ok()) {
+      cancelled.store(true, std::memory_order_release);
+    }
+  });
+
+  // Deterministic error selection: the first failure in registration
+  // order, exactly as the serial loop would have reported it.
+  Status failure = Status::Ok();
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      failure = status;
+      break;
+    }
+  }
   if (failure.ok()) failure = FailpointCheck("warehouse.apply.before_ack");
   if (!failure.ok()) {
-    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-      it->first->RestoreState(std::move(it->second));
+    for (size_t i = tasks.size(); i-- > 0;) {
+      if (attempted[i] == 0) continue;  // Never touched its engine.
+      tasks[i].engine->RestoreState(std::move(snapshots[i]));
     }
     return failure;
   }
@@ -226,12 +298,12 @@ Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
 Status Warehouse::Apply(const std::string& table, const Delta& delta) {
   std::map<std::string, Delta> changes;
   changes.emplace(table, delta);
-  return ApplyLogged(WriteAheadLog::kKindApply, changes);
+  return ApplyTransaction(changes);
 }
 
 Status Warehouse::ApplyTransaction(
     const std::map<std::string, Delta>& changes) {
-  return ApplyLogged(WriteAheadLog::kKindTransaction, changes);
+  return ApplyLogged(changes);
 }
 
 Status Warehouse::Checkpoint() {
@@ -277,7 +349,7 @@ std::string Warehouse::DurabilityReport() const {
                 recovery_.rejected_batches, " rejected\n");
   out += StrCat("wal: ", wal_->num_records(), " record(s), ",
                 FormatBytes(wal_->size_bytes()),
-                durability_.sync_wal ? " (fsync on)" : " (fsync OFF)",
+                options_.sync_wal ? " (fsync on)" : " (fsync OFF)",
                 "\n");
   return out;
 }

@@ -14,6 +14,14 @@
 // bit-identical to its pre-batch state. A rejected batch is therefore
 // recoverable in place; no rebuild from the source is ever needed.
 //
+// Maintenance parallelism has two independent levels, both configured
+// through WarehouseOptions: `parallelism` fans one change batch out
+// across the affected views (engines maintain disjoint state, so they
+// apply concurrently), and `engine.num_threads` shards the work within
+// each view. Every combination is bit-identical to the serial
+// warehouse — including rollback on a concurrent engine failure, where
+// the first failure in view-registration order is reported.
+//
 // A warehouse constructed with Open(dir) is additionally durable: each
 // batch is appended to a write-ahead log before it touches any engine,
 // Checkpoint() persists the complete maintenance state (auxiliary
@@ -28,7 +36,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpsj/parser.h"
@@ -37,11 +47,41 @@
 
 namespace mindetail {
 
-// Durability knobs for Open().
-struct WarehouseDurability {
-  // fsync the WAL on every Append. Disable only for benchmarks that
-  // measure the cost of durability itself.
+// Every warehouse-level knob in one place: per-view engine defaults,
+// cross-view parallelism, and durability. The With* setters form a
+// fluent builder:
+//
+//   Warehouse wh(WarehouseOptions{}.WithParallelism(4).WithEngineThreads(2));
+struct WarehouseOptions {
+  // Defaults for engines registered by AddView/AddViewSql calls that
+  // pass no per-view EngineOptions.
+  EngineOptions engine;
+  // Number of views maintained concurrently per change batch. 1
+  // (default) applies engines one after another on the calling thread;
+  // N > 1 submits the affected engines to a shared pool of N threads.
+  // Either way the outcome — including rollback on failure — is
+  // bit-identical to the serial warehouse.
+  int parallelism = 1;
+  // fsync the WAL on every Append (durable warehouses only). Disable
+  // only for benchmarks that measure the cost of durability itself.
   bool sync_wal = true;
+
+  WarehouseOptions& WithEngineDefaults(EngineOptions options) {
+    engine = std::move(options);
+    return *this;
+  }
+  WarehouseOptions& WithEngineThreads(int num_threads) {
+    engine.num_threads = num_threads;
+    return *this;
+  }
+  WarehouseOptions& WithParallelism(int num_views) {
+    parallelism = num_views;
+    return *this;
+  }
+  WarehouseOptions& WithSyncWal(bool sync) {
+    sync_wal = sync;
+    return *this;
+  }
 };
 
 // What recovery found, for tests and the CLI.
@@ -54,42 +94,38 @@ struct RecoveryStats {
 class Warehouse {
  public:
   // An in-memory (non-durable) warehouse.
-  Warehouse() = default;
+  explicit Warehouse(WarehouseOptions options = WarehouseOptions{});
 
   // Opens a durable warehouse rooted at `dir` (created if absent):
   // loads the CURRENT checkpoint if any, replays the WAL tail, and
   // arranges for every subsequent batch to be logged before it is
-  // applied. Views registered afterwards use `default_options` unless
-  // overridden per AddView call.
+  // applied.
   static Result<Warehouse> Open(
-      const std::string& dir, EngineOptions default_options = EngineOptions{},
-      WarehouseDurability durability = WarehouseDurability{});
+      const std::string& dir, WarehouseOptions options = WarehouseOptions{});
 
   Warehouse(const Warehouse&) = delete;
   Warehouse& operator=(const Warehouse&) = delete;
   Warehouse(Warehouse&&) = default;
   Warehouse& operator=(Warehouse&&) = default;
 
-  // Engine options applied by the overloads below that take none;
-  // affects views registered afterwards (e.g. set num_threads before
-  // AddView to get parallel maintenance for every subsequent view).
-  void set_default_options(EngineOptions options) {
-    default_options_ = std::move(options);
-  }
-  const EngineOptions& default_options() const { return default_options_; }
+  const WarehouseOptions& options() const { return options_; }
+  // Replaces the options wholesale; `engine` affects views registered
+  // afterwards, `parallelism` re-sizes the shared view pool, `sync_wal`
+  // applies from the next Open (the running WAL keeps its mode).
+  void set_options(WarehouseOptions options);
 
   // Registers a summary view: runs Algorithm 3.2 against `source` and
-  // materializes its auxiliary views and summary. On a durable
-  // warehouse this also writes a fresh checkpoint — view registrations
-  // are not WAL events, so they must be durable immediately.
+  // materializes its auxiliary views and summary. The engine uses
+  // `options` when given, otherwise this warehouse's engine defaults.
+  // On a durable warehouse this also writes a fresh checkpoint — view
+  // registrations are not WAL events, so they must be durable
+  // immediately.
   Status AddView(const Catalog& source, const GpsjViewDef& def,
-                 EngineOptions options);
-  Status AddView(const Catalog& source, const GpsjViewDef& def);
+                 std::optional<EngineOptions> options = std::nullopt);
 
   // Convenience: parse a CREATE VIEW statement and register it.
   Status AddViewSql(const Catalog& source, std::string_view sql,
-                    EngineOptions options);
-  Status AddViewSql(const Catalog& source, std::string_view sql);
+                    std::optional<EngineOptions> options = std::nullopt);
 
   Status RemoveView(const std::string& view_name);
 
@@ -97,19 +133,22 @@ class Warehouse {
   std::vector<std::string> ViewNames() const;
 
   // Propagates a change batch against base table `table` to every
-  // registered view that references it; views that do not reference the
-  // table ignore the batch. The batch applies atomically: if any engine
-  // rejects it (e.g. an inconsistent delta), every engine that already
-  // applied it is rolled back and the whole warehouse is left
-  // bit-identical to its pre-batch state. On a durable warehouse the
-  // batch is WAL-logged (and fsync'd) before any engine sees it.
+  // registered view that references it. A thin wrapper over
+  // ApplyTransaction({{table, delta}}) — one table is simply the
+  // single-entry transaction, with the same logging, atomicity, and
+  // rollback behavior.
   Status Apply(const std::string& table, const Delta& delta);
 
   // Applies a multi-table change set to every view referencing any of
   // the changed tables; each engine orders the pieces RI-consistently
   // (see SelfMaintenanceEngine::ApplyTransaction). Tables unknown to a
-  // given view are skipped for that view. Atomic across engines, like
-  // Apply.
+  // given view are skipped for that view. The batch applies atomically:
+  // if any engine rejects it (e.g. an inconsistent delta), every engine
+  // that already applied it is rolled back and the whole warehouse is
+  // left bit-identical to its pre-batch state. On a durable warehouse
+  // the batch is WAL-logged (and fsync'd) before any engine sees it.
+  // With options().parallelism > 1 the affected engines apply
+  // concurrently; the outcome is identical.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes);
 
   // Persists the complete maintenance state under the warehouse
@@ -151,12 +190,16 @@ class Warehouse {
 
  private:
   // Logs the batch (when durable), then applies it atomically.
-  Status ApplyLogged(uint8_t kind,
-                     const std::map<std::string, Delta>& changes);
+  Status ApplyLogged(const std::map<std::string, Delta>& changes);
 
-  // The atomic all-or-nothing application: snapshots each affected
-  // engine immediately before its apply; on any failure restores every
-  // snapshotted engine and returns the error.
+  // The atomic all-or-nothing application. Serial mode snapshots each
+  // affected engine immediately before its apply; parallel mode
+  // snapshots every affected engine up front (engines are untouched
+  // between batch start and their own apply, so the snapshots are the
+  // same), then applies them concurrently — the first failure in
+  // registration order cancels engines that have not started and rolls
+  // back the ones that have. Both modes restore every touched engine on
+  // failure and return the same error the serial warehouse would.
   Status ApplyToEngines(const std::map<std::string, Delta>& changes,
                         bool transaction);
 
@@ -168,12 +211,14 @@ class Warehouse {
   // Keyed by view name; unique_ptr keeps engine addresses stable.
   std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
   std::vector<std::string> registration_order_;
-  EngineOptions default_options_;
+  WarehouseOptions options_;
+  // Non-null iff options_.parallelism > 1 (shared_ptr so the warehouse
+  // stays movable with ThreadPool forward-declared).
+  std::shared_ptr<ThreadPool> view_pool_;
 
   // Durability state; dir_ empty ⇔ in-memory warehouse (wal_ null).
   std::string dir_;
   std::unique_ptr<WriteAheadLog> wal_;
-  WarehouseDurability durability_;
   uint64_t sequence_ = 0;
   uint64_t checkpoint_epoch_ = 0;
   RecoveryStats recovery_;

@@ -100,36 +100,41 @@ Result<Schema> ConcatSchemas(const Schema& left, const Schema& right) {
   return Schema(std::move(attrs));
 }
 
-using RowIndexMap =
-    std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEqual>;
+}  // namespace
 
-Result<RowIndexMap> BuildHashIndex(const Table& table,
-                                   const std::string& attr) {
+Result<TableIndex> TableIndex::Build(const Table& table,
+                                     const std::string& attr) {
   std::optional<size_t> idx = table.schema().IndexOf(attr);
   if (!idx.has_value()) {
     return NotFoundError(
         StrCat("join attribute '", attr, "' not in '", table.name(), "'"));
   }
-  RowIndexMap map;
-  map.reserve(table.NumRows());
+  TableIndex index;
+  index.map_.reserve(table.NumRows());
   for (size_t i = 0; i < table.NumRows(); ++i) {
-    map[table.row(i)[*idx]].push_back(i);
+    index.map_[table.row(i)[*idx]].push_back(i);
   }
-  return map;
+  return index;
 }
-
-}  // namespace
 
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& left_attr,
                        const std::string& right_attr,
                        std::string result_name) {
+  MD_ASSIGN_OR_RETURN(TableIndex index, TableIndex::Build(right, right_attr));
+  return HashJoinIndexed(left, right, left_attr, index,
+                         std::move(result_name));
+}
+
+Result<Table> HashJoinIndexed(const Table& left, const Table& right,
+                              const std::string& left_attr,
+                              const TableIndex& right_index,
+                              std::string result_name) {
   std::optional<size_t> left_idx = left.schema().IndexOf(left_attr);
   if (!left_idx.has_value()) {
     return NotFoundError(StrCat("join attribute '", left_attr,
                                 "' not in '", left.name(), "'"));
   }
-  MD_ASSIGN_OR_RETURN(RowIndexMap index, BuildHashIndex(right, right_attr));
   MD_ASSIGN_OR_RETURN(Schema out_schema,
                       ConcatSchemas(left.schema(), right.schema()));
   Table out(result_name.empty()
@@ -138,9 +143,9 @@ Result<Table> HashJoin(const Table& left, const Table& right,
             std::move(out_schema));
   out.set_allow_null(true);
   for (const Tuple& lrow : left.rows()) {
-    auto it = index.find(lrow[*left_idx]);
-    if (it == index.end()) continue;
-    for (size_t ri : it->second) {
+    const std::vector<size_t>* matches = right_index.Lookup(lrow[*left_idx]);
+    if (matches == nullptr) continue;
+    for (size_t ri : *matches) {
       Tuple combined = lrow;
       const Tuple& rrow = right.row(ri);
       combined.insert(combined.end(), rrow.begin(), rrow.end());
@@ -154,27 +159,28 @@ Result<Table> SemiJoin(const Table& left, const Table& right,
                        const std::string& left_attr,
                        const std::string& right_attr,
                        std::string result_name) {
+  MD_ASSIGN_OR_RETURN(TableIndex index, TableIndex::Build(right, right_attr));
+  if (result_name.empty()) {
+    result_name = StrCat("semijoin(", left.name(), ",", right.name(), ")");
+  }
+  return SemiJoinIndexed(left, left_attr, index, std::move(result_name));
+}
+
+Result<Table> SemiJoinIndexed(const Table& left,
+                              const std::string& left_attr,
+                              const TableIndex& right_index,
+                              std::string result_name) {
   std::optional<size_t> left_idx = left.schema().IndexOf(left_attr);
   if (!left_idx.has_value()) {
     return NotFoundError(StrCat("semijoin attribute '", left_attr,
                                 "' not in '", left.name(), "'"));
   }
-  std::optional<size_t> right_idx = right.schema().IndexOf(right_attr);
-  if (!right_idx.has_value()) {
-    return NotFoundError(StrCat("semijoin attribute '", right_attr,
-                                "' not in '", right.name(), "'"));
-  }
-  std::unordered_set<Value, ValueHash, ValueEqual> keys;
-  keys.reserve(right.NumRows());
-  for (const Tuple& rrow : right.rows()) keys.insert(rrow[*right_idx]);
-
-  Table out(result_name.empty()
-                ? StrCat("semijoin(", left.name(), ",", right.name(), ")")
-                : std::move(result_name),
+  Table out(result_name.empty() ? StrCat("semijoin(", left.name(), ")")
+                                : std::move(result_name),
             left.schema());
   out.set_allow_null(true);
   for (const Tuple& lrow : left.rows()) {
-    if (keys.count(lrow[*left_idx]) > 0) {
+    if (right_index.Contains(lrow[*left_idx])) {
       MD_RETURN_IF_ERROR(out.Insert(lrow));
     }
   }

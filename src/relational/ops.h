@@ -6,6 +6,7 @@
 #define MINDETAIL_RELATIONAL_OPS_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,33 @@ Result<Table> Project(const Table& input,
                       const std::vector<std::string>& attrs, bool distinct,
                       std::string result_name = "");
 
+// A prebuilt read-only hash index over one column of a table: join-key
+// value → indexes of the rows carrying it. Build it once and share it
+// across any number of HashJoinIndexed / SemiJoinIndexed calls (and
+// across threads — lookups are const). The row indexes remain valid for
+// any table with the same rows in the same order, in particular for
+// QualifyColumns copies of the indexed table.
+class TableIndex {
+ public:
+  TableIndex() = default;
+
+  // Indexes `table` on column `attr` (resolved by name at build time).
+  static Result<TableIndex> Build(const Table& table,
+                                  const std::string& attr);
+
+  // Row indexes carrying `value`, or nullptr when no row does.
+  const std::vector<size_t>* Lookup(const Value& value) const {
+    auto it = map_.find(value);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  bool Contains(const Value& value) const { return map_.count(value) > 0; }
+  size_t num_keys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEqual>
+      map_;
+};
+
 // ⋈: equi-join on left.left_attr = right.right_attr. Output schema is
 // the concatenation of both inputs' schemas; colliding attribute names
 // are an error (pre-qualify with QualifyColumns).
@@ -56,11 +84,28 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::string& right_attr,
                        std::string result_name = "");
 
+// As HashJoin, but probes a prebuilt index of `right` instead of
+// building one per call. `right` must have the same rows in the same
+// order as the table the index was built from (a QualifyColumns copy
+// qualifies). Bit-identical output to HashJoin: the left input streams
+// in row order either way.
+Result<Table> HashJoinIndexed(const Table& left, const Table& right,
+                              const std::string& left_attr,
+                              const TableIndex& right_index,
+                              std::string result_name = "");
+
 // ⋉: rows of `left` that join with at least one row of `right`.
 Result<Table> SemiJoin(const Table& left, const Table& right,
                        const std::string& left_attr,
                        const std::string& right_attr,
                        std::string result_name = "");
+
+// As SemiJoin, but tests membership against a prebuilt index of the
+// right side. Bit-identical output to SemiJoin.
+Result<Table> SemiJoinIndexed(const Table& left,
+                              const std::string& left_attr,
+                              const TableIndex& right_index,
+                              std::string result_name = "");
 
 // Generalized projection Π: group by `group_attrs` and compute
 // `aggregates` per group. With empty `group_attrs`, SQL scalar-aggregate

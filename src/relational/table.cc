@@ -1,5 +1,6 @@
 #include "relational/table.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -155,6 +156,29 @@ void Table::DeleteRowAt(size_t i) {
   } else {
     rows_.pop_back();
   }
+}
+
+void Table::EraseRowsInOrder(const std::vector<size_t>& sorted_indexes) {
+  MD_CHECK(!key_index_.has_value());
+  if (sorted_indexes.empty()) return;
+  size_t write = sorted_indexes.front();
+  size_t next_victim = 0;
+  for (size_t read = write; read < rows_.size(); ++read) {
+    if (next_victim < sorted_indexes.size() &&
+        sorted_indexes[next_victim] == read) {
+      ++next_victim;
+      continue;
+    }
+    rows_[write++] = std::move(rows_[read]);
+  }
+  MD_CHECK_EQ(next_victim, sorted_indexes.size());
+  rows_.resize(write);
+}
+
+void Table::SortRowsBy(
+    const std::function<bool(const Tuple&, const Tuple&)>& less) {
+  MD_CHECK(!key_index_.has_value());
+  std::sort(rows_.begin(), rows_.end(), less);
 }
 
 void Table::Clear() {

@@ -5,6 +5,7 @@
 #define MINDETAIL_RELATIONAL_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -74,6 +75,15 @@ class Table {
   // Deletes row `i` by swapping the last row into its place (the caller
   // must fix any external index accordingly).
   void DeleteRowAt(size_t i);
+
+  // Key-less tables only: removes the rows at `sorted_indexes` (strictly
+  // ascending), preserving the order of the remaining rows. The caller
+  // fixes any external index.
+  void EraseRowsInOrder(const std::vector<size_t>& sorted_indexes);
+
+  // Key-less tables only: sorts rows in place by `less` (canonical row
+  // orders for auxiliary stores). The caller fixes any external index.
+  void SortRowsBy(const std::function<bool(const Tuple&, const Tuple&)>& less);
 
   void Clear();
 

@@ -1,6 +1,9 @@
 #include "maintenance/aux_store.h"
 
+#include <cstdint>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
 #include "workload/retail.h"
@@ -9,6 +12,7 @@ namespace mindetail {
 namespace {
 
 using test::SmallRetail;
+using test::TablesExactlyEqual;
 
 struct StoreFixture {
   Derivation derivation;
@@ -167,6 +171,158 @@ TEST(AuxStoreTest, NegativeCountErrorShowsArithmetic) {
   EXPECT_NE(message.find("count negative"), std::string::npos) << message;
   EXPECT_NE(message.find("1 + -2 = -1"), std::string::npos) << message;
   EXPECT_NE(message.find("999"), std::string::npos) << message;
+}
+
+// -------------------------------------------------------------------
+// Canonical row order and the sharded merge path.
+// -------------------------------------------------------------------
+
+// A synthetic delta fragment in plan column order: `n` distinct groups
+// keyed off `first_key`, each with count `cnt`. Column values follow
+// the plan column kinds so the fragment is valid for any compressed
+// aux schema.
+Table MakeCompressedFragment(const AuxStore& store, int64_t first_key,
+                             size_t n, int64_t cnt) {
+  const CompressionPlan& plan = store.def().plan;
+  Table fragment("fragment", store.contents().schema());
+  for (size_t i = 0; i < n; ++i) {
+    Tuple row;
+    for (size_t c = 0; c < plan.columns.size(); ++c) {
+      switch (plan.columns[c].kind) {
+        case AuxColumn::Kind::kCountStar:
+          row.push_back(Value(cnt));
+          break;
+        case AuxColumn::Kind::kSum:
+          row.push_back(Value(1.5 * static_cast<double>(i + 1)));
+          break;
+        default:
+          row.push_back(Value(first_key + static_cast<int64_t>(i)));
+      }
+    }
+    MD_CHECK(fragment.Insert(std::move(row)).ok());
+  }
+  return fragment;
+}
+
+// Distinct plain rows (every column keyed off `first_key + i`), typed
+// to match the store's schema.
+Table MakePlainFragment(const AuxStore& store, int64_t first_key,
+                        size_t n) {
+  const Schema& schema = store.contents().schema();
+  Table fragment("fragment", schema);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t seed = first_key + static_cast<int64_t>(i);
+    Tuple row;
+    for (size_t c = 0; c < schema.size(); ++c) {
+      switch (schema.attribute(c).type) {
+        case ValueType::kDouble:
+          row.push_back(Value(0.5 * static_cast<double>(seed)));
+          break;
+        case ValueType::kString:
+          row.push_back(Value(StrCat("r", seed)));
+          break;
+        default:
+          row.push_back(Value(seed));
+      }
+    }
+    MD_CHECK(fragment.Insert(std::move(row)).ok());
+  }
+  return fragment;
+}
+
+TEST(AuxStoreTest, CreateLeavesCanonicalOrder) {
+  StoreFixture fixture = MakeFixture();
+  EXPECT_TRUE(fixture.sale_store.InCanonicalOrder());
+  EXPECT_TRUE(fixture.time_store.InCanonicalOrder());
+}
+
+TEST(AuxStoreTest, MergesRestoreCanonicalOrder) {
+  StoreFixture fixture = MakeFixture();
+  const Table compressed =
+      MakeCompressedFragment(fixture.sale_store, 500000, 10, 2);
+  MD_ASSERT_OK(fixture.sale_store.MergeCompressedFragment(compressed, 1));
+  EXPECT_TRUE(fixture.sale_store.InCanonicalOrder());
+  MD_ASSERT_OK(fixture.sale_store.MergeCompressedFragment(compressed, -1));
+  EXPECT_TRUE(fixture.sale_store.InCanonicalOrder());
+
+  const Table plain = MakePlainFragment(fixture.time_store, 600000, 10);
+  MD_ASSERT_OK(fixture.time_store.MergePlainFragment(plain, 1));
+  EXPECT_TRUE(fixture.time_store.InCanonicalOrder());
+  MD_ASSERT_OK(fixture.time_store.MergePlainFragment(plain, -1));
+  EXPECT_TRUE(fixture.time_store.InCanonicalOrder());
+}
+
+TEST(AuxStoreTest, DirectGroupDeltasCanonicalizeOnDemand) {
+  StoreFixture fixture = MakeFixture();
+  MD_ASSERT_OK(fixture.sale_store.ApplyGroupDelta(
+      {Value(int64_t{999}), Value(int64_t{888})}, {Value(10.0)}, 2));
+  fixture.sale_store.Canonicalize();
+  EXPECT_TRUE(fixture.sale_store.InCanonicalOrder());
+}
+
+// The sharded merge must be bit-identical to the serial one: same
+// contents, same (canonical) row order. 1024 fresh groups inserted and
+// then removed again — large enough to clear the sharding threshold.
+TEST(AuxStoreTest, ShardedCompressedMergeMatchesSerial) {
+  StoreFixture serial = MakeFixture();
+  StoreFixture sharded = MakeFixture();
+  ThreadPool pool(4);
+  const Table fragment =
+      MakeCompressedFragment(serial.sale_store, 700000, 1024, 3);
+
+  MD_ASSERT_OK(serial.sale_store.MergeCompressedFragment(fragment, 1));
+  MD_ASSERT_OK(
+      sharded.sale_store.MergeCompressedFragment(fragment, 1, &pool));
+  EXPECT_TRUE(sharded.sale_store.InCanonicalOrder());
+  EXPECT_TRUE(TablesExactlyEqual(serial.sale_store.contents(),
+                                 sharded.sale_store.contents()));
+
+  MD_ASSERT_OK(serial.sale_store.MergeCompressedFragment(fragment, -1));
+  MD_ASSERT_OK(
+      sharded.sale_store.MergeCompressedFragment(fragment, -1, &pool));
+  EXPECT_TRUE(TablesExactlyEqual(serial.sale_store.contents(),
+                                 sharded.sale_store.contents()));
+}
+
+TEST(AuxStoreTest, ShardedPlainMergeMatchesSerial) {
+  StoreFixture serial = MakeFixture();
+  StoreFixture sharded = MakeFixture();
+  ThreadPool pool(4);
+  const Table fragment =
+      MakePlainFragment(serial.time_store, 800000, 1024);
+
+  MD_ASSERT_OK(serial.time_store.MergePlainFragment(fragment, 1));
+  MD_ASSERT_OK(sharded.time_store.MergePlainFragment(fragment, 1, &pool));
+  EXPECT_TRUE(sharded.time_store.InCanonicalOrder());
+  EXPECT_TRUE(TablesExactlyEqual(serial.time_store.contents(),
+                                 sharded.time_store.contents()));
+
+  MD_ASSERT_OK(serial.time_store.MergePlainFragment(fragment, -1));
+  MD_ASSERT_OK(sharded.time_store.MergePlainFragment(fragment, -1, &pool));
+  EXPECT_TRUE(TablesExactlyEqual(serial.time_store.contents(),
+                                 sharded.time_store.contents()));
+}
+
+// An inconsistent fragment must fail with the same (deterministic)
+// error at any thread count: the lowest fragment row in error wins.
+TEST(AuxStoreTest, ShardedMergeErrorIsDeterministic) {
+  StoreFixture serial = MakeFixture();
+  StoreFixture sharded = MakeFixture();
+  ThreadPool pool(4);
+  // 1024 deletions of groups that do not exist: every row is in error;
+  // the reported one must be fragment row 0 in both modes.
+  const Table fragment =
+      MakeCompressedFragment(serial.sale_store, 900000, 1024, 1);
+
+  const Status serial_status =
+      serial.sale_store.MergeCompressedFragment(fragment, -1);
+  const Status sharded_status =
+      sharded.sale_store.MergeCompressedFragment(fragment, -1, &pool);
+  ASSERT_FALSE(serial_status.ok());
+  ASSERT_FALSE(sharded_status.ok());
+  EXPECT_EQ(serial_status.message(), sharded_status.message());
+  EXPECT_NE(serial_status.message().find("900000"), std::string::npos)
+      << serial_status;
 }
 
 TEST(AuxStoreTest, CreateRejectsSchemaMismatch) {

@@ -59,10 +59,10 @@ constexpr char kPerStoreSql[] = R"sql(
 constexpr uint64_t kCrashSeed = 4242;
 constexpr int kBatches = 10;
 
-EngineOptions CrashOptions() {
-  EngineOptions options;
-  options.num_threads = 2;  // Exercise the sharded path under TSan too.
-  return options;
+WarehouseOptions CrashOptions() {
+  // Exercise both parallel levels (cross-view + intra-view sharding)
+  // under TSan too.
+  return WarehouseOptions{}.WithEngineThreads(2).WithParallelism(2);
 }
 
 Result<Delta> NextBatch(RetailDeltaGenerator& gen, Catalog& source) {
@@ -168,8 +168,7 @@ void VerifyRecovery(const std::string& dir) {
   // stream up to the recovered sequence.
   RetailWarehouse retail = SmallRetail();
   Catalog& source = retail.catalog;
-  Warehouse oracle;
-  oracle.set_default_options(CrashOptions());
+  Warehouse oracle(CrashOptions());
   const std::vector<std::string> views = recovered.ViewNames();
   // A crash during registration legitimately recovers fewer views;
   // mirror whatever registrations became durable.

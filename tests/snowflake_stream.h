@@ -27,10 +27,12 @@ struct SnowflakeViewFlags {
 };
 
 // Builds a view over the whole snowflake: group by a couple of
-// dimension attributes, aggregate the fact measures.
+// dimension attributes, aggregate the fact measures. `name` lets one
+// warehouse register several variants side by side.
 inline Result<GpsjViewDef> BuildSnowflakeView(
-    const SnowflakeWarehouse& warehouse, const SnowflakeViewFlags& flags) {
-  GpsjViewBuilder builder("property_view");
+    const SnowflakeWarehouse& warehouse, const SnowflakeViewFlags& flags,
+    const std::string& name = "property_view") {
+  GpsjViewBuilder builder(name);
   builder.From(warehouse.fact);
   for (const std::string& dim : warehouse.dims) {
     builder.From(dim);

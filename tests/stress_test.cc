@@ -14,11 +14,15 @@
 //   MINDETAIL_STRESS_SEED=<seed> ./stress_test
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "gtest/gtest.h"
 #include "maintenance/baselines.h"
 #include "maintenance/engine.h"
@@ -240,6 +244,212 @@ TEST(TransientFailureStress, RollbackThenRetryMatchesCleanTwin) {
   }
   ASSERT_GE(applied, kBatches) << "seed " << seed;
   ASSERT_GE(injected, kBatches / kInjectEvery) << "seed " << seed;
+}
+
+// -------------------------------------------------------------------
+// Warehouse grid stress: cross-view parallelism × engine sharding.
+// -------------------------------------------------------------------
+
+std::string FreshGridDir(const std::string& tag) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           StrCat("mindetail_grid_", tag))
+                              .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A 200-batch mixed stream over three views, applied in lock-step to a
+// serial warehouse and to every point of the {2,4} view-thread ×
+// {1,4} engine-thread grid (all durable). Every grid point must stay
+// bit-identical to the serial warehouse — through occasional
+// multi-table transactions, transient injected failures (whose
+// rollback must restore the victim exactly), mid-stream checkpoints,
+// and a final checkpoint + reopen with default options. Runs under the
+// TSan preset via `ctest -L concurrency`.
+TEST(WarehouseGridStress, ParallelGridBitIdenticalToSerialWarehouse) {
+  const uint64_t seed = StressSeed(97311443ULL);
+  SCOPED_TRACE(::testing::Message()
+               << "stress seed " << seed << " (rerun with "
+               << "MINDETAIL_STRESS_SEED=" << seed << ")");
+
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 150;
+  sp.dim_rows = 16;
+  sp.seed = seed;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(sp));
+  Catalog source = warehouse.catalog;
+
+  std::vector<GpsjViewDef> defs;
+  {
+    test::SnowflakeViewFlags plain;
+    MD_ASSERT_OK_AND_ASSIGN(
+        GpsjViewDef def, test::BuildSnowflakeView(warehouse, plain,
+                                                  "grid_plain"));
+    defs.push_back(std::move(def));
+    test::SnowflakeViewFlags non_csmas;
+    non_csmas.non_csmas = true;
+    MD_ASSERT_OK_AND_ASSIGN(
+        def, test::BuildSnowflakeView(warehouse, non_csmas,
+                                      "grid_non_csmas"));
+    defs.push_back(std::move(def));
+    test::SnowflakeViewFlags condition;
+    condition.fact_condition = true;
+    MD_ASSERT_OK_AND_ASSIGN(
+        def, test::BuildSnowflakeView(warehouse, condition,
+                                      "grid_condition"));
+    defs.push_back(std::move(def));
+  }
+
+  struct GridPoint {
+    int view_threads;
+    int engine_threads;
+  };
+  const std::vector<GridPoint> grid = {{2, 1}, {2, 4}, {4, 1}, {4, 4}};
+
+  const std::string serial_dir = FreshGridDir("serial");
+  std::unique_ptr<Warehouse> serial;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(
+        Warehouse opened,
+        Warehouse::Open(serial_dir, WarehouseOptions{}.WithSyncWal(false)));
+    serial = std::make_unique<Warehouse>(std::move(opened));
+  }
+  for (const GpsjViewDef& def : defs) {
+    MD_ASSERT_OK(serial->AddView(source, def));
+  }
+
+  std::vector<std::unique_ptr<Warehouse>> players;
+  std::vector<std::string> player_dirs;
+  for (const GridPoint& point : grid) {
+    const std::string dir = FreshGridDir(
+        StrCat("v", point.view_threads, "e", point.engine_threads));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Warehouse opened,
+        Warehouse::Open(dir, WarehouseOptions{}
+                                 .WithParallelism(point.view_threads)
+                                 .WithEngineThreads(point.engine_threads)
+                                 .WithSyncWal(false)));
+    players.push_back(std::make_unique<Warehouse>(std::move(opened)));
+    player_dirs.push_back(dir);
+    for (const GpsjViewDef& def : defs) {
+      MD_ASSERT_OK(players.back()->AddView(source, def));
+    }
+  }
+
+  constexpr int kBatches = 200;
+  constexpr int kTransactionEvery = 10;
+  constexpr int kInjectEvery = 7;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 13);
+  int applied = 0;
+  int injected = 0;
+  int transactions = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta first = test::MakeSnowflakeDelta(
+        warehouse, source, rng, /*append_only=*/false);
+    if (first.delta.Empty()) continue;
+    ++applied;
+    std::map<std::string, Delta> changes;
+    changes.emplace(first.table, std::move(first.delta));
+    if (applied % kTransactionEvery == 0) {
+      // Promote to a multi-table transaction: add a batch against a
+      // second table (the combined change set stays RI-consistent —
+      // dimension batches never delete rows).
+      for (int tries = 0; tries < 8; ++tries) {
+        GeneratedDelta second = test::MakeSnowflakeDelta(
+            warehouse, source, rng, /*append_only=*/false);
+        if (second.delta.Empty() || changes.count(second.table) > 0) {
+          continue;
+        }
+        changes.emplace(second.table, std::move(second.delta));
+        ++transactions;
+        break;
+      }
+    }
+    SCOPED_TRACE(::testing::Message()
+                 << "batch " << applied << ", " << changes.size()
+                 << " table(s), first on " << changes.begin()->first);
+
+    if (applied % kInjectEvery == 0) {
+      // A transient failure on a rotating grid victim: mid-engine or
+      // after all engines applied. Rollback must be exact; the retry
+      // below must succeed.
+      Warehouse& victim = *players[injected % players.size()];
+      const char* site = (injected % 2 == 0)
+                             ? "engine.apply.commit"
+                             : "warehouse.apply.before_ack";
+      ++injected;
+      const std::map<std::string, Table> before = CaptureState(victim);
+      MD_ASSERT_OK(Failpoints::Arm(site, Failpoints::Action::kError, 1));
+      const Status failure = victim.ApplyTransaction(changes);
+      Failpoints::DisarmAll();
+      ASSERT_FALSE(failure.ok()) << site;
+      EXPECT_NE(failure.message().find("failpoint"), std::string::npos)
+          << failure.message();
+      ExpectStatesIdentical(before, CaptureState(victim));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+
+    MD_ASSERT_OK(serial->ApplyTransaction(changes));
+    for (std::unique_ptr<Warehouse>& player : players) {
+      MD_ASSERT_OK(player->ApplyTransaction(changes));
+    }
+    for (const auto& [table, delta] : changes) {
+      MD_ASSERT_OK(ApplyDelta(*source.MutableTable(table), delta));
+    }
+
+    for (const GpsjViewDef& def : defs) {
+      MD_ASSERT_OK_AND_ASSIGN(Table serial_view,
+                              serial->View(def.name()));
+      for (size_t p = 0; p < players.size(); ++p) {
+        MD_ASSERT_OK_AND_ASSIGN(Table player_view,
+                                players[p]->View(def.name()));
+        ASSERT_TRUE(TablesExactlyEqual(serial_view, player_view))
+            << "grid point " << grid[p].view_threads << "x"
+            << grid[p].engine_threads << " diverged on " << def.name()
+            << ", seed " << seed << ", batch " << applied;
+      }
+    }
+    if (applied % 50 == 0) {
+      MD_ASSERT_OK(serial->Checkpoint());
+      for (std::unique_ptr<Warehouse>& player : players) {
+        MD_ASSERT_OK(player->Checkpoint());
+      }
+    }
+  }
+  ASSERT_GE(applied, kBatches) << "seed " << seed;
+  ASSERT_GE(injected, kBatches / kInjectEvery) << "seed " << seed;
+  ASSERT_GE(transactions, kBatches / kTransactionEvery - 2)
+      << "seed " << seed;
+
+  // Full state (summaries, hidden accumulators, aux stores) must agree
+  // bit-for-bit at the end of the stream.
+  const std::map<std::string, Table> serial_state = CaptureState(*serial);
+  for (std::unique_ptr<Warehouse>& player : players) {
+    ExpectStatesIdentical(serial_state, CaptureState(*player));
+  }
+
+  // Checkpoints written from any grid point must recover — with plain
+  // default options — into the identical warehouse.
+  MD_ASSERT_OK(serial->Checkpoint());
+  for (std::unique_ptr<Warehouse>& player : players) {
+    MD_ASSERT_OK(player->Checkpoint());
+  }
+  serial.reset();
+  players.clear();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse serial_recovered,
+                          Warehouse::Open(serial_dir));
+  const std::map<std::string, Table> recovered_state =
+      CaptureState(serial_recovered);
+  for (const std::string& dir : player_dirs) {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+    ExpectStatesIdentical(recovered_state, CaptureState(recovered));
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(serial_dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -245,6 +245,141 @@ TEST(WarehouseAtomicityTest, FailureBeforeAckRollsBackAllEngines) {
   ExpectStatesIdentical(before, CaptureState(warehouse));
 }
 
+// -------------------------------------------------------------------
+// WarehouseOptions: the one options struct, its builder, and the
+// optional per-view override (the migrated AddView overloads).
+// -------------------------------------------------------------------
+
+TEST(WarehouseOptionsTest, BuilderRoundTrips) {
+  EngineOptions engine;
+  engine.num_threads = 3;
+  engine.prune_delta_joins = false;
+  const WarehouseOptions options = WarehouseOptions{}
+                                       .WithEngineDefaults(engine)
+                                       .WithParallelism(4)
+                                       .WithSyncWal(false);
+  EXPECT_EQ(options.engine.num_threads, 3);
+  EXPECT_FALSE(options.engine.prune_delta_joins);
+  EXPECT_EQ(options.parallelism, 4);
+  EXPECT_FALSE(options.sync_wal);
+  // WithEngineThreads edits the engine defaults in place.
+  EXPECT_EQ(WarehouseOptions{}.WithEngineThreads(8).engine.num_threads, 8);
+
+  Warehouse warehouse(options);
+  EXPECT_EQ(warehouse.options().parallelism, 4);
+  EXPECT_EQ(warehouse.options().engine.num_threads, 3);
+
+  WarehouseOptions changed = warehouse.options();
+  changed.WithParallelism(1).WithEngineThreads(2);
+  warehouse.set_options(changed);
+  EXPECT_EQ(warehouse.options().parallelism, 1);
+  EXPECT_EQ(warehouse.options().engine.num_threads, 2);
+}
+
+TEST(WarehouseOptionsTest, AddViewUsesDefaultsUnlessOverridden) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse(WarehouseOptions{}.WithEngineThreads(2));
+  // No per-view options: the warehouse's engine defaults apply.
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kMonthlySql));
+  EXPECT_EQ(warehouse.engine("monthly_sales").options().num_threads, 2);
+  // A per-view override replaces the defaults wholesale.
+  EngineOptions custom;
+  custom.num_threads = 4;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kPerStoreSql, custom));
+  EXPECT_EQ(warehouse.engine("per_store").options().num_threads, 4);
+  // The plain-def overload takes the same optional.
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef by_product,
+                          SalesByProductKeyView(source));
+  MD_ASSERT_OK(warehouse.AddView(source, by_product, EngineOptions{}));
+  EXPECT_EQ(warehouse.engine("sales_by_product").options().num_threads, 1);
+}
+
+// Apply(table, delta) is documented as a thin wrapper over the
+// single-entry ApplyTransaction: both must produce bit-identical state.
+TEST(WarehouseTest, ApplyEqualsSingletonApplyTransaction) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse via_apply = MakeWarehouse(source);
+  Warehouse via_transaction = MakeWarehouse(source);
+
+  RetailDeltaGenerator gen(91);
+  for (int round = 0; round < 4; ++round) {
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 16, 8, 4));
+    MD_ASSERT_OK(via_apply.Apply("sale", delta));
+    MD_ASSERT_OK(via_transaction.ApplyTransaction({{"sale", delta}}));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+  }
+  ExpectStatesIdentical(CaptureState(via_apply),
+                        CaptureState(via_transaction));
+}
+
+// -------------------------------------------------------------------
+// Cross-view parallel maintenance (options().parallelism > 1).
+// -------------------------------------------------------------------
+
+TEST(WarehouseParallelTest, ParallelApplyBitIdenticalToSerial) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse serial = MakeWarehouse(source);
+  Warehouse parallel(WarehouseOptions{}.WithParallelism(4));
+  MD_CHECK(parallel.AddViewSql(source, kMonthlySql).ok());
+  MD_CHECK(parallel.AddViewSql(source, kPerStoreSql).ok());
+  MD_ASSERT_OK_AND_ASSIGN(GpsjViewDef by_product,
+                          SalesByProductKeyView(source));
+  MD_CHECK(parallel.AddView(source, by_product).ok());
+
+  RetailDeltaGenerator gen(92);
+  for (int round = 0; round < 5; ++round) {
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 20, 10, 5));
+    MD_ASSERT_OK(serial.Apply("sale", delta));
+    MD_ASSERT_OK(parallel.Apply("sale", delta));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+  }
+  ExpectStatesIdentical(CaptureState(serial), CaptureState(parallel));
+}
+
+TEST(WarehouseParallelTest, ConcurrentEngineFailureRollsBackEveryView) {
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse(WarehouseOptions{}.WithParallelism(2));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kMonthlySql));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kPerStoreSql));
+
+  RetailDeltaGenerator gen(93);
+  MD_ASSERT_OK_AND_ASSIGN(Delta warmup,
+                          gen.MixedSaleBatch(source, 15, 5, 5));
+  MD_ASSERT_OK(warehouse.Apply("sale", warmup));
+  MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), warmup));
+  const std::map<std::string, Table> before = CaptureState(warehouse);
+
+  // One of the two concurrently-applying engines fails at commit; every
+  // engine — including any that already applied — must roll back.
+  MD_ASSERT_OK(Failpoints::Arm("engine.apply.commit",
+                               Failpoints::Action::kError));
+  MD_ASSERT_OK_AND_ASSIGN(Delta batch,
+                          gen.MixedSaleBatch(source, 15, 5, 5));
+  const Status failed = warehouse.Apply("sale", batch);
+  Failpoints::DisarmAll();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("failpoint"), std::string::npos)
+      << failed;
+  ExpectStatesIdentical(before, CaptureState(warehouse));
+
+  // Transient: the identical batch succeeds on retry.
+  MD_ASSERT_OK(warehouse.Apply("sale", batch));
+  MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), batch));
+  for (const std::string& name : warehouse.ViewNames()) {
+    MD_ASSERT_OK_AND_ASSIGN(Table view, warehouse.View(name));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Table oracle,
+        EvaluateGpsj(source, warehouse.engine(name).derivation().view()));
+    EXPECT_TRUE(TablesApproxEqual(view, oracle)) << name;
+  }
+}
+
 std::string FreshTempDir(const std::string& name) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / name).string();

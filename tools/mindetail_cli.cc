@@ -97,8 +97,8 @@ class Cli {
       std::cout << warehouse_.Report();
     } else if (cmd == "estimate" && args.size() == 2) {
       Estimate(args[1]);
-    } else if (cmd == "threads" && args.size() <= 2) {
-      Threads(args.size() == 2 ? args[1] : "");
+    } else if (cmd == "threads") {
+      Threads(args);
     } else if (cmd == "insert" && args.size() >= 3) {
       Insert(args[1], line);
     } else if (cmd == "erase" && args.size() == 3) {
@@ -130,9 +130,12 @@ class Cli {
         "  derivation <name>    print the Algorithm 3.2 report\n"
         "  report               warehouse detail inventory\n"
         "  estimate <name>      predicted vs actual auxiliary sizes\n"
-        "  threads [n]          maintenance threads for views registered\n"
-        "                       afterwards (default 1; results are\n"
-        "                       identical at any thread count)\n"
+        "  threads [n] [--views m]\n"
+        "                       n: per-view maintenance threads for views\n"
+        "                       registered afterwards; --views m: views\n"
+        "                       maintained concurrently per batch (both\n"
+        "                       default 1; results are identical at any\n"
+        "                       thread count)\n"
         "  insert <table> v,..  insert one row (routed to all views)\n"
         "  erase <table> <key>  delete one row by key\n"
         "  quit\n";
@@ -168,8 +171,7 @@ class Cli {
   }
 
   void OpenDurable(const std::string& dir) {
-    Result<Warehouse> opened =
-        Warehouse::Open(dir, warehouse_.default_options());
+    Result<Warehouse> opened = Warehouse::Open(dir, warehouse_.options());
     if (!opened.ok()) {
       Report(opened.status());
       return;
@@ -270,27 +272,56 @@ class Cli {
     }
   }
 
-  void Threads(const std::string& count_text) {
-    if (count_text.empty()) {
-      std::cout << "maintenance threads: "
-                << warehouse_.default_options().num_threads << "\n";
-      return;
-    }
-    int count = 0;
+  static int ParseCount(const std::string& text) {
     try {
-      count = std::stoi(count_text);
+      return std::stoi(text);
     } catch (...) {
-      count = 0;
+      return 0;
     }
-    if (count < 1) {
-      std::cout << "error: thread count must be a positive integer\n";
+  }
+
+  // threads [n] [--views m] — n sets per-view engine threads for views
+  // registered afterwards; --views m re-sizes the warehouse's shared
+  // cross-view pool (takes effect on the next batch).
+  void Threads(const std::vector<std::string>& args) {
+    WarehouseOptions options = warehouse_.options();
+    if (args.size() == 1) {
+      std::cout << "maintenance threads: " << options.engine.num_threads
+                << " per view, " << options.parallelism
+                << " view(s) in parallel\n";
       return;
     }
-    EngineOptions options = warehouse_.default_options();
-    options.num_threads = count;
-    warehouse_.set_default_options(options);
-    std::cout << "maintenance threads set to " << count
-              << " (applies to views registered from now on)\n";
+    bool changed_engine = false;
+    bool changed_views = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--views") {
+        const int count = i + 1 < args.size() ? ParseCount(args[++i]) : 0;
+        if (count < 1) {
+          std::cout << "error: --views needs a positive integer\n";
+          return;
+        }
+        options.WithParallelism(count);
+        changed_views = true;
+      } else {
+        const int count = ParseCount(args[i]);
+        if (count < 1) {
+          std::cout << "error: thread count must be a positive integer\n";
+          return;
+        }
+        options.WithEngineThreads(count);
+        changed_engine = true;
+      }
+    }
+    warehouse_.set_options(options);
+    if (changed_engine) {
+      std::cout << "maintenance threads set to "
+                << options.engine.num_threads
+                << " per view (applies to views registered from now on)\n";
+    }
+    if (changed_views) {
+      std::cout << "cross-view parallelism set to " << options.parallelism
+                << " (applies from the next batch)\n";
+    }
   }
 
   void Insert(const std::string& table, const std::string& line) {
