@@ -1,0 +1,145 @@
+// Ingestion-hardening overhead — what admission control and exactly-
+// once bookkeeping cost per applied batch. All warehouses are
+// in-memory so the numbers isolate the pipeline itself (validation,
+// content hashing, key-window upkeep) from WAL and checkpoint I/O,
+// which bench_wal_overhead covers. Four configurations bracket the
+// space:
+//
+//   bare      validation off, hash idempotency off — the pre-hardening
+//             apply path, the baseline every other row is compared to
+//   validate  admission control only
+//   hash      content-hash idempotency keys only
+//   full      both on (the production default)
+//
+// plus BM_DuplicateDetection, the cost of acknowledging a resent batch
+// as a no-op (the exactly-once fast path). google-benchmark harness.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "maintenance/warehouse.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE time.year = 1997 AND sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 4;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+enum class Mode { kBare, kValidate, kHash, kFull };
+
+WarehouseOptions ModeOptions(Mode mode) {
+  const bool validate = mode == Mode::kValidate || mode == Mode::kFull;
+  const bool hash = mode == Mode::kHash || mode == Mode::kFull;
+  return WarehouseOptions{}.WithValidation(validate).WithHashIdempotency(
+      hash);
+}
+
+// state.range(0): batch size. One iteration = one ingested batch.
+void RunIngest(benchmark::State& state, Mode mode) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse(ModeOptions(mode));
+  Check(warehouse.AddViewSql(source, kViewSql));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", std::move(delta));
+    state.ResumeTiming();
+    Check(warehouse.ApplyTransaction(changes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.counters["accepted"] = benchmark::Counter(
+      static_cast<double>(warehouse.ingest_stats().accepted));
+}
+
+void BM_IngestBare(benchmark::State& state) {
+  RunIngest(state, Mode::kBare);
+}
+void BM_IngestValidate(benchmark::State& state) {
+  RunIngest(state, Mode::kValidate);
+}
+void BM_IngestHash(benchmark::State& state) {
+  RunIngest(state, Mode::kHash);
+}
+void BM_IngestFull(benchmark::State& state) {
+  RunIngest(state, Mode::kFull);
+}
+
+// One iteration = one resent batch acknowledged as a duplicate no-op:
+// the content hash plus the key-window lookup, never the engines.
+void BM_DuplicateDetection(benchmark::State& state) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse;
+  Check(warehouse.AddViewSql(source, kViewSql));
+  RetailDeltaGenerator gen(13);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  Check(warehouse.ApplyTransaction(changes));
+  for (auto _ : state) {
+    Check(warehouse.ApplyTransaction(changes));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["duplicates"] = benchmark::Counter(
+      static_cast<double>(warehouse.ingest_stats().duplicates));
+}
+
+BENCHMARK(BM_IngestBare)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestValidate)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestHash)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestFull)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DuplicateDetection)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

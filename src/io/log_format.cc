@@ -1,0 +1,266 @@
+#include "io/log_format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace mindetail {
+namespace logfmt {
+
+uint32_t Crc32(const char* data, size_t size) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      PutU8(out, 0);
+      break;
+    case ValueType::kInt64: {
+      PutU8(out, 1);
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      break;
+    }
+    case ValueType::kDouble: {
+      PutU8(out, 2);
+      uint64_t bits;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutU8(out, 3);
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+void PutTuple(std::string* out, const Tuple& tuple) {
+  PutU32(out, static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple) PutValue(out, v);
+}
+
+void PutDelta(std::string* out, const Delta& delta) {
+  PutU32(out, static_cast<uint32_t>(delta.inserts.size()));
+  PutU32(out, static_cast<uint32_t>(delta.deletes.size()));
+  PutU32(out, static_cast<uint32_t>(delta.updates.size()));
+  for (const Tuple& t : delta.inserts) PutTuple(out, t);
+  for (const Tuple& t : delta.deletes) PutTuple(out, t);
+  for (const Update& u : delta.updates) {
+    PutTuple(out, u.before);
+    PutTuple(out, u.after);
+  }
+}
+
+void PutChanges(std::string* out,
+                const std::map<std::string, Delta>& changes) {
+  PutU32(out, static_cast<uint32_t>(changes.size()));
+  for (const auto& [table, delta] : changes) {
+    PutString(out, table);
+    PutDelta(out, delta);
+  }
+}
+
+bool PayloadReader::ReadU8(uint8_t* v) {
+  if (pos_ + 1 > size_) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool PayloadReader::ReadU32(uint32_t* v) {
+  if (pos_ + 4 > size_) return false;
+  std::memcpy(v, data_ + pos_, 4);
+  pos_ += 4;
+  return true;
+}
+
+bool PayloadReader::ReadU64(uint64_t* v) {
+  if (pos_ + 8 > size_) return false;
+  std::memcpy(v, data_ + pos_, 8);
+  pos_ += 8;
+  return true;
+}
+
+bool PayloadReader::ReadString(std::string* s) {
+  uint32_t len;
+  if (!ReadU32(&len) || pos_ + len > size_) return false;
+  s->assign(data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool PayloadReader::ReadValue(Value* v) {
+  uint8_t tag;
+  if (!ReadU8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *v = Value();
+      return true;
+    case 1: {
+      uint64_t raw;
+      if (!ReadU64(&raw)) return false;
+      *v = Value(static_cast<int64_t>(raw));
+      return true;
+    }
+    case 2: {
+      uint64_t bits;
+      if (!ReadU64(&bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *v = Value(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!ReadString(&s)) return false;
+      *v = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool PayloadReader::ReadTuple(Tuple* tuple) {
+  uint32_t arity;
+  if (!ReadU32(&arity) || arity > size_ - pos_) return false;
+  tuple->clear();
+  tuple->reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!ReadValue(&v)) return false;
+    tuple->push_back(std::move(v));
+  }
+  return true;
+}
+
+bool PayloadReader::ReadDelta(Delta* delta) {
+  uint32_t ins, del, upd;
+  if (!ReadU32(&ins) || !ReadU32(&del) || !ReadU32(&upd)) return false;
+  for (uint32_t i = 0; i < ins; ++i) {
+    Tuple t;
+    if (!ReadTuple(&t)) return false;
+    delta->inserts.push_back(std::move(t));
+  }
+  for (uint32_t i = 0; i < del; ++i) {
+    Tuple t;
+    if (!ReadTuple(&t)) return false;
+    delta->deletes.push_back(std::move(t));
+  }
+  for (uint32_t i = 0; i < upd; ++i) {
+    Update u;
+    if (!ReadTuple(&u.before) || !ReadTuple(&u.after)) return false;
+    delta->updates.push_back(std::move(u));
+  }
+  return true;
+}
+
+bool PayloadReader::ReadChanges(std::map<std::string, Delta>* changes) {
+  uint32_t num_tables;
+  if (!ReadU32(&num_tables)) return false;
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    std::string table;
+    Delta delta;
+    if (!ReadString(&table) || !ReadDelta(&delta)) return false;
+    if (!changes->emplace(std::move(table), std::move(delta)).second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FrameRecord(uint32_t magic, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, magic);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+size_t ScanFrames(const std::string& contents, uint32_t magic,
+                  const std::function<bool(const std::string&)>& on_payload) {
+  size_t good_end = 0;
+  size_t pos = 0;
+  while (pos + kFrameHeaderSize <= contents.size()) {
+    uint32_t frame_magic, length, crc;
+    std::memcpy(&frame_magic, contents.data() + pos, 4);
+    std::memcpy(&length, contents.data() + pos + 4, 4);
+    std::memcpy(&crc, contents.data() + pos + 8, 4);
+    if (frame_magic != magic || length > kMaxFramePayload ||
+        pos + kFrameHeaderSize + length > contents.size()) {
+      break;
+    }
+    const std::string payload =
+        contents.substr(pos + kFrameHeaderSize, length);
+    if (Crc32(payload.data(), payload.size()) != crc) break;
+    if (!on_payload(payload)) break;
+    pos += kFrameHeaderSize + length;
+    good_end = pos;
+  }
+  return good_end;
+}
+
+Result<std::string> ReadFileContents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError(StrCat("cannot open '", path, "'"));
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+std::string ContentHashKey(const std::map<std::string, Delta>& changes) {
+  std::string encoded;
+  PutChanges(&encoded, changes);
+  const uint64_t hash = Fnv1a(encoded.data(), encoded.size());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "fnv1a-%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace logfmt
+}  // namespace mindetail

@@ -1,0 +1,99 @@
+// Shared binary log framing and payload codec.
+//
+// Both durable logs of the warehouse — the write-ahead log (wal.log)
+// and the quarantine dead-letter log (quarantine.log) — use the same
+// frame layout (little-endian):
+//
+//   u32 magic | u32 payload length | u32 CRC32(payload) | payload
+//
+// and the same tagged-value payload encoding for relational data
+// (values: 0 NULL, 1 int64, 2 double, 3 length-prefixed string; tuples
+// as u32 arity + values; deltas as insert/delete/update counts + the
+// tuples). This header holds the framing, the bounds-checked reader,
+// and the Delta/change-set codec, so a new log kind never reinvents —
+// or subtly diverges from — the WAL's wire format.
+//
+// The codec also supplies the canonical content hash of a change set,
+// used as the idempotency-key fallback for exactly-once ingestion.
+
+#ifndef MINDETAIL_IO_LOG_FORMAT_H_
+#define MINDETAIL_IO_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+namespace logfmt {
+
+// Frame header: magic + payload length + CRC32.
+inline constexpr size_t kFrameHeaderSize = 12;
+// Frames larger than this are treated as corruption, not allocation
+// requests.
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+uint32_t Crc32(const char* data, size_t size);
+
+// Little-endian primitive writers.
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, const std::string& s);
+void PutValue(std::string* out, const Value& v);
+void PutTuple(std::string* out, const Tuple& tuple);
+void PutDelta(std::string* out, const Delta& delta);
+// A change set: u32 table count, then per table a length-prefixed name
+// and the serialized Delta. std::map iteration makes the bytes
+// canonical for a given change set.
+void PutChanges(std::string* out, const std::map<std::string, Delta>& changes);
+
+// Bounds-checked little-endian reader over one payload.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadString(std::string* s);
+  bool ReadValue(Value* v);
+  bool ReadTuple(Tuple* tuple);
+  bool ReadDelta(Delta* delta);
+  bool ReadChanges(std::map<std::string, Delta>* changes);
+  bool AtEnd() const { return pos_ == size_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Wraps `payload` in a frame under `magic`.
+std::string FrameRecord(uint32_t magic, const std::string& payload);
+
+// Scans `contents` for consecutive frames under `magic`, invoking
+// `on_payload` for each complete CRC-valid payload. Scanning stops at
+// the first torn or corrupt frame, or when `on_payload` returns false
+// (that payload is then not counted). Returns the byte offset just past
+// the last accepted frame — the truncation point for torn tails.
+size_t ScanFrames(const std::string& contents, uint32_t magic,
+                  const std::function<bool(const std::string&)>& on_payload);
+
+// Whole-file read; NotFound when the file cannot be opened.
+Result<std::string> ReadFileContents(const std::string& path);
+
+// Canonical 64-bit FNV-1a content hash of a change set, rendered as a
+// fixed-width hex key ("sha-less" but collision-safe at warehouse batch
+// counts). Used as the idempotency key when the source supplies none.
+std::string ContentHashKey(const std::map<std::string, Delta>& changes);
+
+}  // namespace logfmt
+}  // namespace mindetail
+
+#endif  // MINDETAIL_IO_LOG_FORMAT_H_

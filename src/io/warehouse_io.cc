@@ -11,10 +11,12 @@
 #include <sstream>
 
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "gpsj/builder.h"
 #include "io/catalog_io.h"
 #include "io/csv.h"
+#include "io/log_format.h"
 
 namespace mindetail {
 namespace {
@@ -396,9 +398,33 @@ std::string AuxCsvName(const std::string& view, const std::string& table) {
   return StrCat(view, ".aux.", table, ".csv");
 }
 
+// Fixed-width hex FNV-1a of a serialized table file, recorded in the
+// manifest and re-verified on load.
+std::string ContentHashHex(const std::string& contents) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    Fnv1a(contents.data(), contents.size())));
+  return buf;
+}
+
+// Framing magic of the ingest-state sidecar file.
+constexpr uint32_t kIngestMagic = 0x4E49444D;  // "MDIN"
+
+// The serialized per-view files of a checkpoint, rendered up front so
+// the manifest can embed their content hashes.
+struct RenderedView {
+  std::string def_text;
+  std::string summary_csv;
+  std::map<std::string, std::string> aux_csv;  // Base table → CSV bytes.
+};
+
 // The checkpoint manifest: everything needed to reload the CSVs and
-// defs without consulting any other layer.
-Result<std::string> RenderCheckpointManifest(const WarehouseCheckpoint& cp) {
+// defs without consulting any other layer, including the content hash
+// of every view-state file.
+Result<std::string> RenderCheckpointManifest(
+    const WarehouseCheckpoint& cp,
+    const std::vector<RenderedView>& rendered) {
   std::ostringstream out;
   out << "# mindetail warehouse checkpoint\n";
   out << "EPOCH " << cp.epoch << "\n";
@@ -406,7 +432,9 @@ Result<std::string> RenderCheckpointManifest(const WarehouseCheckpoint& cp) {
   out << "BEGIN_CATALOG\n";
   MD_RETURN_IF_ERROR(WriteManifest(cp.schema_catalog, out));
   out << "END_CATALOG\n";
-  for (const ViewCheckpoint& view : cp.views) {
+  for (size_t i = 0; i < cp.views.size(); ++i) {
+    const ViewCheckpoint& view = cp.views[i];
+    const RenderedView& files = rendered[i];
     out << "VIEW " << view.name << "\n";
     out << "OPTIONS " << view.options.num_threads << " "
         << (view.options.trust_referential_integrity ? 1 : 0) << " "
@@ -416,12 +444,15 @@ Result<std::string> RenderCheckpointManifest(const WarehouseCheckpoint& cp) {
       out << "SUMMARY_COL " << attr.name << " " << TypeToken(attr.type)
           << "\n";
     }
+    out << "SUMMARY_HASH " << ContentHashHex(files.summary_csv) << "\n";
     for (const auto& [table, contents] : view.aux) {
       out << "AUX " << table << "\n";
       for (const Attribute& attr : contents.schema().attributes()) {
         out << "AUX_COL " << table << " " << attr.name << " "
             << TypeToken(attr.type) << "\n";
       }
+      out << "AUX_HASH " << table << " "
+          << ContentHashHex(files.aux_csv.at(table)) << "\n";
     }
     out << "END_VIEW\n";
   }
@@ -435,6 +466,10 @@ struct ManifestView {
   std::vector<Attribute> summary_cols;
   std::vector<std::string> aux_order;
   std::map<std::string, std::vector<Attribute>> aux_cols;
+  // Expected file content hashes; empty when the manifest predates
+  // checkpoint checksums (then no verification happens).
+  std::string summary_hash;
+  std::map<std::string, std::string> aux_hashes;
 };
 
 struct ParsedManifest {
@@ -503,6 +538,12 @@ Result<ParsedManifest> ParseCheckpointManifest(std::istream& in) {
       MD_ASSIGN_OR_RETURN(ValueType type,
                           ParseTypeToken(type_token, line));
       view->summary_cols.push_back(Attribute{name, type});
+    } else if (directive == "SUMMARY_HASH") {
+      fields >> view->summary_hash;
+    } else if (directive == "AUX_HASH") {
+      std::string table, hash;
+      fields >> table >> hash;
+      view->aux_hashes[table] = hash;
     } else if (directive == "AUX") {
       std::string table;
       fields >> table;
@@ -544,26 +585,47 @@ Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
   fs::remove_all(tmp_path, ec);
   MD_RETURN_IF_ERROR(EnsureDirectory(tmp_path));
 
-  MD_ASSIGN_OR_RETURN(std::string manifest, RenderCheckpointManifest(cp));
-  MD_RETURN_IF_ERROR(WriteFileDurably(
-      StrCat(tmp_path, "/", kCheckpointManifest), manifest));
+  // Render every view-state file first so the manifest can carry their
+  // content hashes.
+  std::vector<RenderedView> rendered;
+  rendered.reserve(cp.views.size());
   for (const ViewCheckpoint& view : cp.views) {
+    RenderedView files;
     std::ostringstream def_text;
     MD_RETURN_IF_ERROR(WriteViewDef(view.def, def_text));
-    MD_RETURN_IF_ERROR(WriteFileDurably(
-        StrCat(tmp_path, "/", view.name, ".def"), def_text.str()));
+    files.def_text = def_text.str();
     std::ostringstream summary_csv;
     MD_RETURN_IF_ERROR(WriteTableCsv(view.summary, summary_csv));
-    MD_RETURN_IF_ERROR(WriteFileDurably(
-        StrCat(tmp_path, "/", SummaryCsvName(view.name)),
-        summary_csv.str()));
+    files.summary_csv = summary_csv.str();
     for (const auto& [table, contents] : view.aux) {
       std::ostringstream aux_csv;
       MD_RETURN_IF_ERROR(WriteTableCsv(contents, aux_csv));
-      MD_RETURN_IF_ERROR(WriteFileDurably(
-          StrCat(tmp_path, "/", AuxCsvName(view.name, table)),
-          aux_csv.str()));
+      files.aux_csv.emplace(table, aux_csv.str());
     }
+    rendered.push_back(std::move(files));
+  }
+
+  MD_ASSIGN_OR_RETURN(std::string manifest,
+                      RenderCheckpointManifest(cp, rendered));
+  MD_RETURN_IF_ERROR(WriteFileDurably(
+      StrCat(tmp_path, "/", kCheckpointManifest), manifest));
+  for (size_t i = 0; i < cp.views.size(); ++i) {
+    const ViewCheckpoint& view = cp.views[i];
+    const RenderedView& files = rendered[i];
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", view.name, ".def"), files.def_text));
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", SummaryCsvName(view.name)),
+        files.summary_csv));
+    for (const auto& [table, csv] : files.aux_csv) {
+      MD_RETURN_IF_ERROR(WriteFileDurably(
+          StrCat(tmp_path, "/", AuxCsvName(view.name, table)), csv));
+    }
+  }
+  if (!cp.ingest_state.empty()) {
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", kIngestStateFile),
+        logfmt::FrameRecord(kIngestMagic, cp.ingest_state)));
   }
   MD_RETURN_IF_ERROR(FsyncPath(tmp_path));
   MD_FAILPOINT("checkpoint.after_temp");
@@ -626,22 +688,78 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
       MD_ASSIGN_OR_RETURN(view.def,
                           ReadViewDef(in, cp.schema_catalog));
     }
+    // Re-verify the manifest's content hash before trusting any row:
+    // view state is the warehouse's only memory, so silent at-rest
+    // corruption here would poison every batch that follows.
+    auto read_verified = [&](const std::string& path,
+                             const std::string& expected_hash,
+                             const std::string& what) -> Result<std::string> {
+      Result<std::string> contents = logfmt::ReadFileContents(path);
+      if (!contents.ok()) {
+        return InvalidArgumentError(
+            StrCat("checkpoint lacks ", what, " ('", path, "')"));
+      }
+      if (!expected_hash.empty() &&
+          ContentHashHex(*contents) != expected_hash) {
+        return InternalError(StrCat(
+            "checkpoint integrity failure: ", what, " ('", path,
+            "') does not match its manifest checksum ", expected_hash));
+      }
+      return contents;
+    };
+
     MD_ASSIGN_OR_RETURN(
-        view.summary,
-        ReadTableCsvFile(StrCat(cp_dir, "/", SummaryCsvName(mview.name)),
-                         StrCat(mview.name, "__aug"),
-                         Schema(mview.summary_cols), std::nullopt,
-                         /*allow_null=*/true));
+        std::string summary_bytes,
+        read_verified(StrCat(cp_dir, "/", SummaryCsvName(mview.name)),
+                      mview.summary_hash,
+                      StrCat("summary of view '", mview.name, "'")));
+    {
+      std::istringstream in(summary_bytes);
+      MD_ASSIGN_OR_RETURN(
+          view.summary,
+          ReadTableCsv(in, StrCat(mview.name, "__aug"),
+                       Schema(mview.summary_cols), std::nullopt,
+                       /*allow_null=*/true));
+    }
     for (const std::string& table : mview.aux_order) {
+      std::string expected;
+      if (auto it = mview.aux_hashes.find(table);
+          it != mview.aux_hashes.end()) {
+        expected = it->second;
+      }
+      MD_ASSIGN_OR_RETURN(
+          std::string aux_bytes,
+          read_verified(StrCat(cp_dir, "/", AuxCsvName(mview.name, table)),
+                        expected,
+                        StrCat("auxiliary view of '", table, "' in '",
+                               mview.name, "'")));
+      std::istringstream in(aux_bytes);
       MD_ASSIGN_OR_RETURN(
           Table contents,
-          ReadTableCsvFile(
-              StrCat(cp_dir, "/", AuxCsvName(mview.name, table)), table,
-              Schema(mview.aux_cols.at(table)), std::nullopt,
-              /*allow_null=*/true));
+          ReadTableCsv(in, table, Schema(mview.aux_cols.at(table)),
+                       std::nullopt, /*allow_null=*/true));
       view.aux.emplace(table, std::move(contents));
     }
     cp.views.push_back(std::move(view));
+  }
+
+  // Optional ingest-state sidecar (absent in checkpoints written before
+  // ingestion hardening).
+  if (Result<std::string> framed = logfmt::ReadFileContents(
+          StrCat(cp_dir, "/", kIngestStateFile));
+      framed.ok()) {
+    std::string payload;
+    const size_t good_end = logfmt::ScanFrames(
+        *framed, kIngestMagic, [&](const std::string& p) {
+          payload = p;
+          return true;
+        });
+    if (good_end != framed->size() || payload.empty()) {
+      return InternalError(StrCat("checkpoint integrity failure: '",
+                                  cp_dir, "/", kIngestStateFile,
+                                  "' is torn or corrupt"));
+    }
+    cp.ingest_state = std::move(payload);
   }
   return cp;
 }

@@ -35,6 +35,7 @@ namespace mindetail {
 inline constexpr char kCurrentFile[] = "CURRENT";
 inline constexpr char kWalFile[] = "wal.log";
 inline constexpr char kCheckpointManifest[] = "checkpoint.manifest";
+inline constexpr char kIngestStateFile[] = "ingest.bin";
 
 // Engine options as persisted (mirrors maintenance/EngineOptions; io
 // cannot depend on the maintenance layer).
@@ -58,11 +59,19 @@ struct WarehouseCheckpoint {
   uint64_t sequence = 0;  // Last WAL sequence folded in.
   Catalog schema_catalog;  // Schemas/keys/metadata only; no rows.
   std::vector<ViewCheckpoint> views;
+  // Opaque ingestion state (key ledger + idempotency window; the
+  // maintenance layer owns the encoding). Persisted as a CRC-framed
+  // sidecar file (kIngestStateFile); empty means absent — checkpoints
+  // written before ingestion hardening load with an empty state.
+  std::string ingest_state;
 };
 
 // Writes a complete checkpoint under `dir` and atomically repoints
-// CURRENT at it. Returns the checkpoint directory name
-// ("checkpoint-<epoch>").
+// CURRENT at it. Every summary and auxiliary CSV's content hash is
+// recorded in the manifest and re-verified by LoadWarehouseCheckpoint,
+// so at-rest corruption of view state is detected at recovery instead
+// of silently skewing every later batch. Returns the checkpoint
+// directory name ("checkpoint-<epoch>").
 Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
                                             const std::string& dir);
 

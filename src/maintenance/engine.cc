@@ -639,6 +639,10 @@ uint64_t SelfMaintenanceEngine::AuxActualSizeBytes() const {
   return total;
 }
 
+Result<Table> SelfMaintenanceEngine::ReconstructFromAux() const {
+  return ReconstructView(derivation_, AuxTableMap());
+}
+
 std::map<std::string, const Table*> SelfMaintenanceEngine::AuxTableMap()
     const {
   std::map<std::string, const Table*> out;

@@ -241,6 +241,13 @@ class SelfMaintenanceEngine {
   // The current view contents (view-output columns, sorted rows).
   Result<Table> View() const { return summary_.Render(); }
 
+  // Recomputes the full view contents from the auxiliary views alone
+  // (fails when the root auxiliary view was eliminated — V itself is
+  // then the only copy of its data). Used by the integrity scrubber to
+  // cross-check the incrementally maintained summary against the
+  // auxiliary state it is supposed to be derivable from.
+  Result<Table> ReconstructFromAux() const;
+
   const Derivation& derivation() const { return derivation_; }
   const EngineStats& stats() const { return stats_; }
   const EngineOptions& options() const { return options_; }

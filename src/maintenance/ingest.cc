@@ -1,0 +1,276 @@
+#include "maintenance/ingest.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "io/log_format.h"
+
+namespace mindetail {
+
+void KeyLedger::Track(const std::string& table, size_t key_index,
+                      const Table& rows) {
+  if (tables_.count(table) > 0) return;
+  Tracked& tracked = tables_[table];
+  tracked.key_index = key_index;
+  for (const Tuple& row : rows.rows()) {
+    tracked.live.insert(KeyToken(row[key_index]));
+  }
+}
+
+bool KeyLedger::Tracks(const std::string& table) const {
+  return tables_.count(table) > 0;
+}
+
+bool KeyLedger::Contains(const std::string& table, const Value& key) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  return it->second.live.count(KeyToken(key)) > 0;
+}
+
+size_t KeyLedger::NumKeys(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.live.size();
+}
+
+void KeyLedger::Fold(const std::map<std::string, Delta>& changes) {
+  for (const auto& [table, delta] : changes) {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) continue;
+    Tracked& tracked = it->second;
+    // Mirror ApplyDelta: deletes, then updates, then inserts.
+    for (const Tuple& t : delta.deletes) {
+      tracked.live.erase(KeyToken(t[tracked.key_index]));
+    }
+    for (const Update& u : delta.updates) {
+      const std::string before = KeyToken(u.before[tracked.key_index]);
+      const std::string after = KeyToken(u.after[tracked.key_index]);
+      if (before != after) {
+        tracked.live.erase(before);
+        tracked.live.insert(after);
+      }
+    }
+    for (const Tuple& t : delta.inserts) {
+      tracked.live.insert(KeyToken(t[tracked.key_index]));
+    }
+  }
+}
+
+std::string KeyLedger::KeyToken(const Value& v) {
+  std::string token;
+  logfmt::PutValue(&token, v);
+  return token;
+}
+
+void KeyLedger::SerializeInto(std::string* out) const {
+  logfmt::PutU32(out, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [table, tracked] : tables_) {
+    logfmt::PutString(out, table);
+    logfmt::PutU32(out, static_cast<uint32_t>(tracked.key_index));
+    logfmt::PutU32(out, static_cast<uint32_t>(tracked.live.size()));
+    for (const std::string& token : tracked.live) {
+      logfmt::PutString(out, token);
+    }
+  }
+}
+
+Result<KeyLedger> KeyLedger::Deserialize(const std::string& payload,
+                                         size_t* consumed) {
+  KeyLedger ledger;
+  logfmt::PayloadReader reader(payload.data(), payload.size());
+  uint32_t num_tables = 0;
+  if (!reader.ReadU32(&num_tables)) {
+    return InvalidArgumentError("key ledger payload is truncated");
+  }
+  size_t read_bytes = 4;
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    std::string table;
+    uint32_t key_index = 0, num_keys = 0;
+    if (!reader.ReadString(&table) || !reader.ReadU32(&key_index) ||
+        !reader.ReadU32(&num_keys)) {
+      return InvalidArgumentError("key ledger payload is truncated");
+    }
+    read_bytes += 4 + table.size() + 8;
+    Tracked& tracked = ledger.tables_[table];
+    tracked.key_index = key_index;
+    for (uint32_t k = 0; k < num_keys; ++k) {
+      std::string token;
+      if (!reader.ReadString(&token)) {
+        return InvalidArgumentError("key ledger payload is truncated");
+      }
+      read_bytes += 4 + token.size();
+      tracked.live.insert(std::move(token));
+    }
+  }
+  if (consumed != nullptr) *consumed = read_bytes;
+  return ledger;
+}
+
+namespace {
+
+// Per-table key-set delta this batch would apply, layered over the
+// ledger so validation never copies a live set.
+struct KeySim {
+  bool tracked = false;
+  std::set<std::string> added;
+  std::set<std::string> removed;
+};
+
+// Liveness of `token` under the simulated post-state: 1 live, 0 dead,
+// -1 unknown (table untracked and the batch has not touched the key).
+int SimLiveness(const KeySim& sim, const KeyLedger& ledger,
+                const std::string& table, const std::string& token,
+                const Value& value) {
+  if (sim.removed.count(token) > 0) return 0;
+  if (sim.added.count(token) > 0) return 1;
+  if (!sim.tracked) return -1;
+  return ledger.Contains(table, value) ? 1 : 0;
+}
+
+}  // namespace
+
+Status ValidateBatch(const Catalog& catalog, const KeyLedger& ledger,
+                     const std::map<std::string, Delta>& changes) {
+  std::map<std::string, KeySim> sims;
+
+  for (const auto& [table, delta] : changes) {
+    if (!catalog.HasTable(table)) {
+      return InvalidArgumentError(
+          StrCat("batch references unknown table '", table, "'"));
+    }
+    MD_ASSIGN_OR_RETURN(const Table* base, catalog.GetTable(table));
+    const Schema& schema = base->schema();
+
+    auto check_tuple = [&](const Tuple& t, const char* role) {
+      Status s = schema.ValidateTuple(t, /*allow_null=*/false);
+      if (!s.ok()) {
+        return InvalidArgumentError(
+            StrCat("table '", table, "' ", role, ": ", s.message()));
+      }
+      return Status::Ok();
+    };
+    for (const Tuple& t : delta.deletes) {
+      MD_RETURN_IF_ERROR(check_tuple(t, "delete"));
+    }
+    for (const Update& u : delta.updates) {
+      MD_RETURN_IF_ERROR(check_tuple(u.before, "update before-image"));
+      MD_RETURN_IF_ERROR(check_tuple(u.after, "update after-image"));
+    }
+    for (const Tuple& t : delta.inserts) {
+      MD_RETURN_IF_ERROR(check_tuple(t, "insert"));
+    }
+
+    const std::optional<size_t> key_index = base->key_index();
+    if (!key_index.has_value()) continue;  // Key-less: types were it.
+    const size_t ki = *key_index;
+
+    KeySim& sim = sims[table];
+    sim.tracked = ledger.Tracks(table);
+
+    // Simulate in ApplyDelta order: deletes, then updates, then
+    // inserts. Every violation below would otherwise fail mid-apply
+    // inside an engine (forcing a rollback) or, worse, silently skew a
+    // view that never sees base rows again.
+    for (const Tuple& t : delta.deletes) {
+      const Value& key = t[ki];
+      const std::string token = KeyLedger::KeyToken(key);
+      if (SimLiveness(sim, ledger, table, token, key) == 0) {
+        return InvalidArgumentError(
+            StrCat("table '", table, "' delete targets key ",
+                   key.ToString(), " which does not exist (or was already"
+                   " deleted by this batch)"));
+      }
+      sim.removed.insert(token);
+      sim.added.erase(token);
+    }
+    for (const Update& u : delta.updates) {
+      const Value& before_key = u.before[ki];
+      const Value& after_key = u.after[ki];
+      const std::string before_token = KeyLedger::KeyToken(before_key);
+      if (SimLiveness(sim, ledger, table, before_token, before_key) == 0) {
+        return InvalidArgumentError(
+            StrCat("table '", table, "' update targets key ",
+                   before_key.ToString(), " which does not exist (or was"
+                   " deleted by this batch)"));
+      }
+      const std::string after_token = KeyLedger::KeyToken(after_key);
+      if (after_token != before_token) {
+        if (SimLiveness(sim, ledger, table, after_token, after_key) == 1) {
+          return InvalidArgumentError(
+              StrCat("table '", table, "' update moves key ",
+                     before_key.ToString(), " onto existing key ",
+                     after_key.ToString()));
+        }
+        sim.removed.insert(before_token);
+        sim.added.erase(before_token);
+        sim.added.insert(after_token);
+        sim.removed.erase(after_token);
+      }
+    }
+    for (const Tuple& t : delta.inserts) {
+      const Value& key = t[ki];
+      const std::string token = KeyLedger::KeyToken(key);
+      if (SimLiveness(sim, ledger, table, token, key) == 1) {
+        return InvalidArgumentError(
+            StrCat("table '", table, "' insert duplicates key ",
+                   key.ToString()));
+      }
+      sim.added.insert(token);
+      sim.removed.erase(token);
+    }
+  }
+
+  // Referential integrity of the transaction as a whole: every inserted
+  // (or updated-to) child row must reference a parent key that is live
+  // once the entire batch has applied — a parent inserted by this batch
+  // satisfies the constraint, a parent deleted by it does not. (The
+  // engines order the pieces RI-consistently; this checks that a
+  // consistent order exists at all.)
+  for (const ForeignKey& fk : catalog.foreign_keys()) {
+    auto child_it = changes.find(fk.from_table);
+    if (child_it == changes.end()) continue;
+    const Delta& delta = child_it->second;
+    if (delta.inserts.empty() && delta.updates.empty()) continue;
+    MD_ASSIGN_OR_RETURN(const Table* child, catalog.GetTable(fk.from_table));
+    const std::optional<size_t> ref_index =
+        child->schema().IndexOf(fk.from_attr);
+    if (!ref_index.has_value()) continue;
+
+    auto parent_sim = sims.find(fk.to_table);
+    const KeySim* psim =
+        parent_sim != sims.end() ? &parent_sim->second : nullptr;
+    const bool parent_tracked = ledger.Tracks(fk.to_table);
+
+    auto check_reference = [&](const Tuple& t, const char* role) {
+      const Value& ref = t[*ref_index];
+      const std::string token = KeyLedger::KeyToken(ref);
+      int live = -1;
+      if (psim != nullptr) {
+        if (psim->removed.count(token) > 0) {
+          live = 0;
+        } else if (psim->added.count(token) > 0) {
+          live = 1;
+        }
+      }
+      if (live == -1 && parent_tracked) {
+        live = ledger.Contains(fk.to_table, ref) ? 1 : 0;
+      }
+      if (live == 0) {
+        return InvalidArgumentError(StrCat(
+            "table '", fk.from_table, "' ", role, " references ",
+            fk.to_table, " key ", ref.ToString(),
+            " which is missing or deleted by this batch"));
+      }
+      return Status::Ok();
+    };
+    for (const Tuple& t : delta.inserts) {
+      MD_RETURN_IF_ERROR(check_reference(t, "insert"));
+    }
+    for (const Update& u : delta.updates) {
+      MD_RETURN_IF_ERROR(check_reference(u.after, "update"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

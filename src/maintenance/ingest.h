@@ -1,0 +1,99 @@
+// Ingestion admission control: the trust boundary of the warehouse.
+//
+// Per the paper the warehouse is self-maintainable from change batches
+// alone — there is no base-table access to fall back on, so a
+// malformed, duplicated, or replayed delta silently corrupts every
+// auxiliary view downstream. This header holds the two pieces that
+// make the ingest path defensive:
+//
+//  * KeyLedger — the live primary-key set of every base table any view
+//    references, seeded from the source at registration time and folded
+//    forward on every committed batch. It is the warehouse's only
+//    memory of base-table contents, and what lets the validator reject
+//    a deletion of a nonexistent row or a duplicate insertion *before*
+//    the batch consumes WAL space or a sequence number.
+//
+//  * ValidateBatch — checks an incoming change set against the schema
+//    catalog (arity, exact column types, no NULLs), the ledger (key
+//    liveness in ApplyDelta order: deletes, then updates, then
+//    inserts), within-batch key consistency, and declared referential
+//    integrity (inserted rows must reference a parent key that is live
+//    after the whole transaction — a parent inserted by the same batch
+//    counts, a parent deleted by it does not).
+//
+// Both are deliberately independent of the engines so they run (and are
+// testable) without touching any view state.
+
+#ifndef MINDETAIL_MAINTENANCE_INGEST_H_
+#define MINDETAIL_MAINTENANCE_INGEST_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+// Ingestion counters, exposed via Warehouse::ingest_stats().
+struct IngestStats {
+  uint64_t accepted = 0;       // Batches applied and acknowledged.
+  uint64_t duplicates = 0;     // Resends acknowledged as no-ops.
+  uint64_t rejected = 0;       // Batches that failed admission control.
+  uint64_t failed = 0;         // Valid batches that failed to apply.
+  uint64_t retries = 0;        // Transient-failure retry attempts.
+  uint64_t quarantined = 0;    // Entries written to the quarantine log.
+};
+
+// Live primary keys per tracked base table. Key values are stored as
+// canonical binary tokens (the log-format value encoding), so int64,
+// double, and string keys share one representation.
+class KeyLedger {
+ public:
+  // Starts tracking a table whose key is column `key_index`, seeding
+  // the live set from `rows` (the source contents at view-registration
+  // time). Tracking an already-tracked table is a no-op: the ledger
+  // has been folding that table forward since it was first seen.
+  void Track(const std::string& table, size_t key_index, const Table& rows);
+
+  bool Tracks(const std::string& table) const;
+  bool Contains(const std::string& table, const Value& key) const;
+  size_t NumKeys(const std::string& table) const;
+
+  // Folds a committed change set forward (deletes, then update key
+  // moves, then inserts — mirroring ApplyDelta). Untracked tables are
+  // skipped. Call only after the batch is durably applied.
+  void Fold(const std::map<std::string, Delta>& changes);
+
+  // Canonical binary token of a key value.
+  static std::string KeyToken(const Value& v);
+
+  // Checkpoint round trip (appended to / read from a payload using the
+  // log-format primitives).
+  void SerializeInto(std::string* out) const;
+  static Result<KeyLedger> Deserialize(const std::string& payload,
+                                       size_t* consumed);
+
+ private:
+  struct Tracked {
+    size_t key_index = 0;
+    std::set<std::string> live;  // Key tokens.
+  };
+  std::map<std::string, Tracked> tables_;
+};
+
+// Admission control: checks `changes` against the schema catalog and
+// the ledger before any WAL or engine work. Returns InvalidArgument
+// with a precise reason on the first problem found. Tables the ledger
+// does not track skip the key-liveness checks (their within-batch
+// consistency is still enforced); referential integrity is checked only
+// against tracked parent tables.
+Status ValidateBatch(const Catalog& catalog, const KeyLedger& ledger,
+                     const std::map<std::string, Delta>& changes);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_INGEST_H_

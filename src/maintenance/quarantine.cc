@@ -1,0 +1,244 @@
+#include "maintenance/quarantine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "io/log_format.h"
+
+namespace mindetail {
+namespace {
+
+constexpr uint32_t kMagic = 0x4C51444D;  // "MDQL"
+
+std::string EncodeEntry(const QuarantineLog::Entry& entry) {
+  std::string payload;
+  logfmt::PutU64(&payload, entry.id);
+  logfmt::PutU8(&payload, static_cast<uint8_t>(entry.code));
+  logfmt::PutString(&payload, entry.message);
+  logfmt::PutString(&payload, entry.key);
+  logfmt::PutChanges(&payload, entry.changes);
+  return payload;
+}
+
+bool DecodeEntry(const std::string& payload, QuarantineLog::Entry* entry) {
+  logfmt::PayloadReader reader(payload.data(), payload.size());
+  uint8_t code = 0;
+  if (!reader.ReadU64(&entry->id) || !reader.ReadU8(&code) ||
+      !reader.ReadString(&entry->message) || !reader.ReadString(&entry->key) ||
+      !reader.ReadChanges(&entry->changes)) {
+    return false;
+  }
+  entry->code = static_cast<StatusCode>(code);
+  return reader.AtEnd();
+}
+
+// Scans `contents`, filling `entries` when non-null; returns the byte
+// offset just past the last complete entry.
+size_t ScanEntries(const std::string& contents,
+                   std::vector<QuarantineLog::Entry>* entries,
+                   uint64_t* max_id, uint64_t* num_entries) {
+  return logfmt::ScanFrames(
+      contents, kMagic, [&](const std::string& payload) {
+        QuarantineLog::Entry entry;
+        if (!DecodeEntry(payload, &entry)) return false;
+        if (max_id != nullptr && entry.id > *max_id) *max_id = entry.id;
+        if (num_entries != nullptr) ++*num_entries;
+        if (entries != nullptr) entries->push_back(std::move(entry));
+        return true;
+      });
+}
+
+Status WriteFrame(int fd, const std::string& path,
+                  const std::string& frame) {
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(StrCat("quarantine write to '", path,
+                                  "' failed: ", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return InternalError(StrCat("quarantine fsync of '", path,
+                                "' failed: ", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+QuarantineLog::~QuarantineLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+QuarantineLog::QuarantineLog(QuarantineLog&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      next_id_(other.next_id_),
+      num_entries_(other.num_entries_),
+      size_bytes_(other.size_bytes_) {
+  other.fd_ = -1;
+}
+
+QuarantineLog& QuarantineLog::operator=(QuarantineLog&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    num_entries_ = other.num_entries_;
+    size_bytes_ = other.size_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<QuarantineLog> QuarantineLog::Open(const std::string& path) {
+  QuarantineLog log;
+  log.path_ = path;
+
+  std::string contents;
+  if (Result<std::string> existing = logfmt::ReadFileContents(path);
+      existing.ok()) {
+    contents = std::move(*existing);
+  }
+  uint64_t max_id = 0;
+  const size_t good_end =
+      ScanEntries(contents, nullptr, &max_id, &log.num_entries_);
+  log.next_id_ = max_id + 1;
+
+  log.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (log.fd_ < 0) {
+    return InternalError(StrCat("cannot open quarantine log '", path,
+                                "': ", std::strerror(errno)));
+  }
+  if (good_end < contents.size()) {
+    if (::ftruncate(log.fd_, static_cast<off_t>(good_end)) != 0) {
+      return InternalError(
+          StrCat("cannot truncate torn quarantine tail of '", path,
+                 "': ", std::strerror(errno)));
+    }
+  }
+  if (::lseek(log.fd_, 0, SEEK_END) < 0) {
+    return InternalError(StrCat("cannot seek quarantine log '", path,
+                                "': ", std::strerror(errno)));
+  }
+  log.size_bytes_ = good_end;
+  return log;
+}
+
+Result<uint64_t> QuarantineLog::Append(
+    StatusCode code, const std::string& message, const std::string& key,
+    const std::map<std::string, Delta>& changes) {
+  MD_CHECK_GE(fd_, 0);
+  if (!key.empty()) {
+    MD_ASSIGN_OR_RETURN(std::vector<Entry> existing, Entries());
+    for (const Entry& entry : existing) {
+      if (entry.key == key) return entry.id;
+    }
+  }
+  Entry entry;
+  entry.id = next_id_;
+  entry.code = code;
+  entry.message = message;
+  entry.key = key;
+  entry.changes = changes;
+  const std::string frame = logfmt::FrameRecord(kMagic, EncodeEntry(entry));
+  Status written = WriteFrame(fd_, path_, frame);
+  if (!written.ok()) {
+    // Rewind a partial frame so the log stays scannable.
+    ::ftruncate(fd_, static_cast<off_t>(size_bytes_));
+    ::lseek(fd_, static_cast<off_t>(size_bytes_), SEEK_SET);
+    return written;
+  }
+  ++next_id_;
+  ++num_entries_;
+  size_bytes_ += frame.size();
+  return entry.id;
+}
+
+Result<std::vector<QuarantineLog::Entry>> QuarantineLog::Entries() const {
+  std::vector<Entry> entries;
+  Result<std::string> contents = logfmt::ReadFileContents(path_);
+  if (!contents.ok()) return entries;  // Missing log = no entries.
+  ScanEntries(*contents, &entries, nullptr, nullptr);
+  return entries;
+}
+
+Status QuarantineLog::Remove(uint64_t id) {
+  MD_CHECK_GE(fd_, 0);
+  MD_ASSIGN_OR_RETURN(std::vector<Entry> entries, Entries());
+  std::string rewritten;
+  bool found = false;
+  uint64_t kept = 0;
+  for (const Entry& entry : entries) {
+    if (entry.id == id) {
+      found = true;
+      continue;
+    }
+    rewritten += logfmt::FrameRecord(kMagic, EncodeEntry(entry));
+    ++kept;
+  }
+  if (!found) {
+    return NotFoundError(
+        StrCat("quarantine has no entry with id ", id));
+  }
+
+  // Atomic rewrite: temp file + fsync + rename, then swap the fd.
+  const std::string tmp = StrCat(path_, ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return InternalError(StrCat("cannot write '", tmp, "'"));
+    }
+    out << rewritten;
+    if (!out.good()) {
+      return InternalError(StrCat("write to '", tmp, "' failed"));
+    }
+  }
+  const int tmp_fd = ::open(tmp.c_str(), O_WRONLY);
+  if (tmp_fd < 0) {
+    return InternalError(StrCat("cannot reopen '", tmp,
+                                "': ", std::strerror(errno)));
+  }
+  if (::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    return InternalError(StrCat("fsync of '", tmp,
+                                "' failed: ", std::strerror(errno)));
+  }
+  ::close(tmp_fd);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    return InternalError(
+        StrCat("rename of '", tmp, "' failed: ", ec.message()));
+  }
+  const int fd = ::open(path_.c_str(), O_WRONLY, 0644);
+  if (fd < 0) {
+    return InternalError(StrCat("cannot reopen quarantine log '", path_,
+                                "': ", std::strerror(errno)));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return InternalError(StrCat("cannot seek quarantine log '", path_,
+                                "': ", std::strerror(errno)));
+  }
+  ::close(fd_);
+  fd_ = fd;
+  num_entries_ = kept;
+  size_bytes_ = rewritten.size();
+  return Status::Ok();
+}
+
+}  // namespace mindetail

@@ -1,0 +1,81 @@
+// Dead-letter log for batches the warehouse refused.
+//
+// A batch that fails admission control, or a valid batch that exhausts
+// its retry budget, is serialized here (quarantine.log in the warehouse
+// directory, same CRC framing as the WAL — io/log_format.h) together
+// with the rejecting Status and the batch's idempotency key. The
+// warehouse keeps serving; an operator inspects the entries via the
+// CLI (`quarantine list`), fixes the source, and either re-submits
+// (`quarantine retry <id>`) or discards (`quarantine drop <id>`).
+//
+// Entries carry everything needed to replay the batch exactly: a
+// retried entry goes back through the full ingestion pipeline, so a
+// batch that was in fact applied before a crash is acknowledged as an
+// idempotent no-op rather than double-applied.
+
+#ifndef MINDETAIL_MAINTENANCE_QUARANTINE_H_
+#define MINDETAIL_MAINTENANCE_QUARANTINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/delta.h"
+
+namespace mindetail {
+
+inline constexpr char kQuarantineFile[] = "quarantine.log";
+
+class QuarantineLog {
+ public:
+  struct Entry {
+    uint64_t id = 0;  // Stable handle; assigned at append, never reused.
+    StatusCode code = StatusCode::kInvalidArgument;
+    std::string message;  // Why the batch was refused.
+    std::string key;      // Idempotency key (may be empty).
+    std::map<std::string, Delta> changes;
+  };
+
+  QuarantineLog() = default;
+  ~QuarantineLog();
+  QuarantineLog(const QuarantineLog&) = delete;
+  QuarantineLog& operator=(const QuarantineLog&) = delete;
+  QuarantineLog(QuarantineLog&& other) noexcept;
+  QuarantineLog& operator=(QuarantineLog&& other) noexcept;
+
+  // Opens `path` for appending, creating it if absent; scans existing
+  // entries (truncating a torn tail) to restore the id counter.
+  static Result<QuarantineLog> Open(const std::string& path);
+
+  // Durably appends one refused batch; returns its assigned id. A
+  // non-empty `key` already present in the log is not duplicated — the
+  // existing entry's id is returned (a source that keeps resending a
+  // bad batch quarantines it once).
+  Result<uint64_t> Append(StatusCode code, const std::string& message,
+                          const std::string& key,
+                          const std::map<std::string, Delta>& changes);
+
+  // All current entries, oldest first.
+  Result<std::vector<Entry>> Entries() const;
+
+  // Removes the entry with `id` (after a successful retry or an
+  // explicit drop) by atomically rewriting the log. NotFound when no
+  // such entry exists.
+  Status Remove(uint64_t id);
+
+  uint64_t num_entries() const { return num_entries_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  uint64_t num_entries_ = 0;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_QUARANTINE_H_

@@ -5,240 +5,47 @@
 
 #include <cerrno>
 #include <cstring>
-#include <fstream>
+#include <utility>
 
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "io/log_format.h"
 
 namespace mindetail {
 namespace {
 
 constexpr uint32_t kMagic = 0x4C57444D;  // "MDWL"
-constexpr size_t kHeaderSize = 12;       // magic + length + crc.
-// Frames larger than this are treated as corruption, not allocation
-// requests.
-constexpr uint32_t kMaxPayload = 1u << 30;
-
-// Standard CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
-uint32_t Crc32(const char* data, size_t size) {
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(data[i])) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
-
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  out->append(buf, 4);
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-void PutValue(std::string* out, const Value& v) {
-  switch (v.type()) {
-    case ValueType::kNull:
-      PutU8(out, 0);
-      break;
-    case ValueType::kInt64: {
-      PutU8(out, 1);
-      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
-      break;
-    }
-    case ValueType::kDouble: {
-      PutU8(out, 2);
-      uint64_t bits;
-      const double d = v.AsDouble();
-      std::memcpy(&bits, &d, 8);
-      PutU64(out, bits);
-      break;
-    }
-    case ValueType::kString:
-      PutU8(out, 3);
-      PutString(out, v.AsString());
-      break;
-  }
-}
-
-void PutTuple(std::string* out, const Tuple& tuple) {
-  PutU32(out, static_cast<uint32_t>(tuple.size()));
-  for (const Value& v : tuple) PutValue(out, v);
-}
-
-void PutDelta(std::string* out, const Delta& delta) {
-  PutU32(out, static_cast<uint32_t>(delta.inserts.size()));
-  PutU32(out, static_cast<uint32_t>(delta.deletes.size()));
-  PutU32(out, static_cast<uint32_t>(delta.updates.size()));
-  for (const Tuple& t : delta.inserts) PutTuple(out, t);
-  for (const Tuple& t : delta.deletes) PutTuple(out, t);
-  for (const Update& u : delta.updates) {
-    PutTuple(out, u.before);
-    PutTuple(out, u.after);
-  }
-}
-
-// Bounds-checked little-endian reader over one payload.
-class PayloadReader {
- public:
-  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  bool ReadU8(uint8_t* v) {
-    if (pos_ + 1 > size_) return false;
-    *v = static_cast<uint8_t>(data_[pos_++]);
-    return true;
-  }
-  bool ReadU32(uint32_t* v) {
-    if (pos_ + 4 > size_) return false;
-    std::memcpy(v, data_ + pos_, 4);
-    pos_ += 4;
-    return true;
-  }
-  bool ReadU64(uint64_t* v) {
-    if (pos_ + 8 > size_) return false;
-    std::memcpy(v, data_ + pos_, 8);
-    pos_ += 8;
-    return true;
-  }
-  bool ReadString(std::string* s) {
-    uint32_t len;
-    if (!ReadU32(&len) || pos_ + len > size_) return false;
-    s->assign(data_ + pos_, len);
-    pos_ += len;
-    return true;
-  }
-  bool ReadValue(Value* v) {
-    uint8_t tag;
-    if (!ReadU8(&tag)) return false;
-    switch (tag) {
-      case 0:
-        *v = Value();
-        return true;
-      case 1: {
-        uint64_t raw;
-        if (!ReadU64(&raw)) return false;
-        *v = Value(static_cast<int64_t>(raw));
-        return true;
-      }
-      case 2: {
-        uint64_t bits;
-        if (!ReadU64(&bits)) return false;
-        double d;
-        std::memcpy(&d, &bits, 8);
-        *v = Value(d);
-        return true;
-      }
-      case 3: {
-        std::string s;
-        if (!ReadString(&s)) return false;
-        *v = Value(std::move(s));
-        return true;
-      }
-      default:
-        return false;
-    }
-  }
-  bool ReadTuple(Tuple* tuple) {
-    uint32_t arity;
-    if (!ReadU32(&arity) || arity > size_ - pos_) return false;
-    tuple->clear();
-    tuple->reserve(arity);
-    for (uint32_t i = 0; i < arity; ++i) {
-      Value v;
-      if (!ReadValue(&v)) return false;
-      tuple->push_back(std::move(v));
-    }
-    return true;
-  }
-  bool ReadDelta(Delta* delta) {
-    uint32_t ins, del, upd;
-    if (!ReadU32(&ins) || !ReadU32(&del) || !ReadU32(&upd)) return false;
-    for (uint32_t i = 0; i < ins; ++i) {
-      Tuple t;
-      if (!ReadTuple(&t)) return false;
-      delta->inserts.push_back(std::move(t));
-    }
-    for (uint32_t i = 0; i < del; ++i) {
-      Tuple t;
-      if (!ReadTuple(&t)) return false;
-      delta->deletes.push_back(std::move(t));
-    }
-    for (uint32_t i = 0; i < upd; ++i) {
-      Update u;
-      if (!ReadTuple(&u.before) || !ReadTuple(&u.after)) return false;
-      delta->updates.push_back(std::move(u));
-    }
-    return true;
-  }
-  bool AtEnd() const { return pos_ == size_; }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 bool DecodeRecord(const std::string& payload,
                   WriteAheadLog::Record* record) {
-  PayloadReader reader(payload.data(), payload.size());
-  uint32_t num_tables;
-  if (!reader.ReadU64(&record->sequence) || !reader.ReadU8(&record->kind) ||
-      !reader.ReadU32(&num_tables)) {
+  logfmt::PayloadReader reader(payload.data(), payload.size());
+  if (!reader.ReadU64(&record->sequence) || !reader.ReadU8(&record->kind)) {
     return false;
   }
   if (record->kind != WriteAheadLog::kKindApply &&
-      record->kind != WriteAheadLog::kKindTransaction) {
+      record->kind != WriteAheadLog::kKindTransaction &&
+      record->kind != WriteAheadLog::kKindKeyedTransaction) {
     return false;
   }
-  for (uint32_t i = 0; i < num_tables; ++i) {
-    std::string table;
-    Delta delta;
-    if (!reader.ReadString(&table) || !reader.ReadDelta(&delta)) {
-      return false;
-    }
-    if (!record->changes.emplace(std::move(table), std::move(delta))
-             .second) {
-      return false;
-    }
+  if (record->kind == WriteAheadLog::kKindKeyedTransaction &&
+      !reader.ReadString(&record->key)) {
+    return false;
   }
+  if (!reader.ReadChanges(&record->changes)) return false;
   return reader.AtEnd();
 }
 
 std::string EncodePayload(uint64_t sequence, uint8_t kind,
-                          const std::map<std::string, Delta>& changes) {
+                          const std::map<std::string, Delta>& changes,
+                          const std::string& key) {
   std::string payload;
-  PutU64(&payload, sequence);
-  PutU8(&payload, kind);
-  PutU32(&payload, static_cast<uint32_t>(changes.size()));
-  for (const auto& [table, delta] : changes) {
-    PutString(&payload, table);
-    PutDelta(&payload, delta);
+  logfmt::PutU64(&payload, sequence);
+  logfmt::PutU8(&payload, kind);
+  if (kind == WriteAheadLog::kKindKeyedTransaction) {
+    logfmt::PutString(&payload, key);
   }
+  logfmt::PutChanges(&payload, changes);
   return payload;
 }
 
@@ -248,39 +55,15 @@ std::string EncodePayload(uint64_t sequence, uint8_t kind,
 size_t ScanRecords(const std::string& contents,
                    std::vector<WriteAheadLog::Record>* records,
                    uint64_t* last_sequence, uint64_t* num_records) {
-  size_t good_end = 0;
-  size_t pos = 0;
-  while (pos + kHeaderSize <= contents.size()) {
-    uint32_t magic, length, crc;
-    std::memcpy(&magic, contents.data() + pos, 4);
-    std::memcpy(&length, contents.data() + pos + 4, 4);
-    std::memcpy(&crc, contents.data() + pos + 8, 4);
-    if (magic != kMagic || length > kMaxPayload ||
-        pos + kHeaderSize + length > contents.size()) {
-      break;
-    }
-    const std::string payload =
-        contents.substr(pos + kHeaderSize, length);
-    if (Crc32(payload.data(), payload.size()) != crc) break;
-    WriteAheadLog::Record record;
-    if (!DecodeRecord(payload, &record)) break;
-    if (last_sequence != nullptr) *last_sequence = record.sequence;
-    if (num_records != nullptr) ++*num_records;
-    if (records != nullptr) records->push_back(std::move(record));
-    pos += kHeaderSize + length;
-    good_end = pos;
-  }
-  return good_end;
-}
-
-Result<std::string> ReadFileContents(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return NotFoundError(StrCat("cannot open '", path, "'"));
-  }
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  return contents;
+  return logfmt::ScanFrames(
+      contents, kMagic, [&](const std::string& payload) {
+        WriteAheadLog::Record record;
+        if (!DecodeRecord(payload, &record)) return false;
+        if (last_sequence != nullptr) *last_sequence = record.sequence;
+        if (num_records != nullptr) ++*num_records;
+        if (records != nullptr) records->push_back(std::move(record));
+        return true;
+      });
 }
 
 }  // namespace
@@ -320,7 +103,8 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
   wal.options_ = options;
 
   std::string contents;
-  if (Result<std::string> existing = ReadFileContents(path); existing.ok()) {
+  if (Result<std::string> existing = logfmt::ReadFileContents(path);
+      existing.ok()) {
     contents = std::move(*existing);
   }
   const size_t good_end = ScanRecords(contents, nullptr,
@@ -351,27 +135,38 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
 Result<std::vector<WriteAheadLog::Record>> WriteAheadLog::ReadAll(
     const std::string& path) {
   std::vector<Record> records;
-  Result<std::string> contents = ReadFileContents(path);
+  Result<std::string> contents = logfmt::ReadFileContents(path);
   if (!contents.ok()) return records;  // Missing log = empty log.
   ScanRecords(*contents, &records, nullptr, nullptr);
   return records;
 }
 
 Status WriteAheadLog::Append(uint64_t sequence, uint8_t kind,
-                             const std::map<std::string, Delta>& changes) {
+                             const std::map<std::string, Delta>& changes,
+                             const std::string& key) {
   MD_CHECK_GE(fd_, 0);
-  if (sequence <= last_sequence_ && num_records_ > 0) {
+  // Strictly increasing, including across Reset(): the warehouse keys
+  // recovery off "record.sequence > checkpoint sequence", so a reused
+  // sequence number would make a replay skip or double-apply a batch.
+  if (sequence <= last_sequence_) {
     return InvalidArgumentError(
         StrCat("WAL sequence ", sequence, " does not advance past ",
                last_sequence_));
   }
-  const std::string payload = EncodePayload(sequence, kind, changes);
-  std::string frame;
-  frame.reserve(kHeaderSize + payload.size());
-  PutU32(&frame, kMagic);
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame, Crc32(payload.data(), payload.size()));
-  frame.append(payload);
+  if (!key.empty()) kind = kKindKeyedTransaction;
+  const std::string frame =
+      logfmt::FrameRecord(kMagic, EncodePayload(sequence, kind, changes, key));
+
+  // Once any byte of the frame is on disk, a failure must rewind the
+  // log to the last acknowledged record: otherwise a complete-but-
+  // unacknowledged frame survives, and a later crash recovery would
+  // replay a batch the caller was told failed (and a retried append of
+  // the same sequence would be shadowed by the dead frame).
+  auto abandon = [&](Status status) {
+    ::ftruncate(fd_, static_cast<off_t>(size_bytes_));
+    ::lseek(fd_, static_cast<off_t>(size_bytes_), SEEK_SET);
+    return status;
+  };
 
   MD_FAILPOINT("wal.append.before_write");
   size_t written = 0;
@@ -380,17 +175,21 @@ Status WriteAheadLog::Append(uint64_t sequence, uint8_t kind,
         ::write(fd_, frame.data() + written, frame.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return InternalError(StrCat("WAL write to '", path_,
-                                  "' failed: ", std::strerror(errno)));
+      return abandon(InternalError(StrCat(
+          "WAL write to '", path_, "' failed: ", std::strerror(errno))));
     }
     written += static_cast<size_t>(n);
   }
-  MD_FAILPOINT("wal.append.before_sync");
-  if (options_.sync && ::fsync(fd_) != 0) {
-    return InternalError(StrCat("WAL fsync of '", path_,
-                                "' failed: ", std::strerror(errno)));
+  if (Status s = FailpointCheck("wal.append.before_sync"); !s.ok()) {
+    return abandon(std::move(s));
   }
-  MD_FAILPOINT("wal.append.after_sync");
+  if (options_.sync && ::fsync(fd_) != 0) {
+    return abandon(InternalError(StrCat(
+        "WAL fsync of '", path_, "' failed: ", std::strerror(errno))));
+  }
+  if (Status s = FailpointCheck("wal.append.after_sync"); !s.ok()) {
+    return abandon(std::move(s));
+  }
   last_sequence_ = sequence;
   ++num_records_;
   size_bytes_ += frame.size();
@@ -411,6 +210,7 @@ Status WriteAheadLog::Reset() {
     return InternalError(StrCat("WAL fsync of '", path_,
                                 "' failed: ", std::strerror(errno)));
   }
+  // last_sequence_ is intentionally preserved: see Append().
   num_records_ = 0;
   size_bytes_ = 0;
   return Status::Ok();

@@ -1,19 +1,27 @@
 // Write-ahead log of warehouse change batches.
 //
-// Record framing (little-endian):
+// Record framing (little-endian, shared with the quarantine log — see
+// io/log_format.h):
 //
 //   u32 magic 'MDWL'  | u32 payload length | u32 CRC32(payload) | payload
 //
 // Payload: u64 sequence, u8 kind (1 = single-table Apply, 2 =
-// multi-table ApplyTransaction), u32 table count, then per table a
-// length-prefixed name and the serialized Delta (tuples as u32 arity +
-// tagged values: 0 NULL, 1 int64, 2 double, 3 length-prefixed string).
+// multi-table ApplyTransaction, 3 = transaction carrying an
+// idempotency key), for kind 3 a length-prefixed idempotency key, then
+// u32 table count and per table a length-prefixed name and the
+// serialized Delta (tuples as u32 arity + tagged values: 0 NULL,
+// 1 int64, 2 double, 3 length-prefixed string).
 //
 // Append() writes one framed record with a single write() and — in sync
 // mode — fsyncs before returning, so an acknowledged batch survives a
-// crash. Open() scans the existing log, truncating a torn final record
-// (partial frame or CRC mismatch) so a crashed writer never poisons
-// later appends.
+// crash. Sequences must be strictly increasing (also across Reset());
+// a non-increasing sequence is rejected with InvalidArgument before
+// anything is written. If an append fails after the write began (I/O
+// error, failed fsync, injected fault), the log is truncated back to
+// the last acknowledged record, so an unacknowledged frame can never
+// replay as if it had succeeded. Open() scans the existing log,
+// truncating a torn final record (partial frame or CRC mismatch) so a
+// crashed writer never poisons later appends.
 
 #ifndef MINDETAIL_MAINTENANCE_WAL_H_
 #define MINDETAIL_MAINTENANCE_WAL_H_
@@ -36,11 +44,14 @@ class WriteAheadLog {
 
   static constexpr uint8_t kKindApply = 1;
   static constexpr uint8_t kKindTransaction = 2;
+  static constexpr uint8_t kKindKeyedTransaction = 3;
 
   // One decoded log record.
   struct Record {
     uint64_t sequence = 0;
     uint8_t kind = kKindApply;
+    // Idempotency key (kKindKeyedTransaction only; empty otherwise).
+    std::string key;
     // Singleton for kKindApply; the full change set for transactions.
     std::map<std::string, Delta> changes;
   };
@@ -64,11 +75,18 @@ class WriteAheadLog {
   // Missing file decodes as an empty log.
   static Result<std::vector<Record>> ReadAll(const std::string& path);
 
-  // Durably appends one change batch. `sequence` must increase.
+  // Durably appends one change batch. `sequence` must strictly increase
+  // over every earlier append — including appends before a Reset() —
+  // or the append is rejected with InvalidArgument. `key` is the
+  // batch's idempotency key; non-empty keys are recorded in the frame
+  // (kind is then forced to kKindKeyedTransaction).
   Status Append(uint64_t sequence, uint8_t kind,
-                const std::map<std::string, Delta>& changes);
+                const std::map<std::string, Delta>& changes,
+                const std::string& key = std::string());
 
-  // Truncates the log to empty (after a successful checkpoint).
+  // Truncates the log to empty (after a successful checkpoint). The
+  // sequence high-water mark survives: later appends must still advance
+  // past every sequence ever acknowledged by this log object.
   Status Reset();
 
   uint64_t last_sequence() const { return last_sequence_; }

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/bytes.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "io/log_format.h"
 #include "io/warehouse_io.h"
 
 namespace mindetail {
@@ -31,10 +35,87 @@ EngineOptions FromOptionsData(const EngineOptionsData& data) {
   return options;
 }
 
+// WarehouseCheckpoint::ingest_state encoding: u32 version, the key
+// ledger, then the idempotency window (u32 count + keys, oldest
+// first).
+constexpr uint32_t kIngestStateVersion = 1;
+
+std::string ComposeIngestState(const KeyLedger& ledger,
+                               const std::deque<std::string>& recent_keys) {
+  std::string out;
+  logfmt::PutU32(&out, kIngestStateVersion);
+  ledger.SerializeInto(&out);
+  logfmt::PutU32(&out, static_cast<uint32_t>(recent_keys.size()));
+  for (const std::string& key : recent_keys) {
+    logfmt::PutString(&out, key);
+  }
+  return out;
+}
+
+Status ParseIngestState(const std::string& payload, KeyLedger* ledger,
+                        std::deque<std::string>* recent_keys) {
+  logfmt::PayloadReader reader(payload.data(), payload.size());
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version) || version != kIngestStateVersion) {
+    return InternalError("checkpoint ingest state has unknown version");
+  }
+  const size_t ledger_at = reader.pos();
+  size_t consumed = 0;
+  MD_ASSIGN_OR_RETURN(
+      *ledger, KeyLedger::Deserialize(payload.substr(ledger_at), &consumed));
+  logfmt::PayloadReader tail(payload.data() + ledger_at + consumed,
+                             payload.size() - ledger_at - consumed);
+  uint32_t num_keys = 0;
+  if (!tail.ReadU32(&num_keys)) {
+    return InternalError("checkpoint ingest state is truncated");
+  }
+  recent_keys->clear();
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    std::string key;
+    if (!tail.ReadString(&key)) {
+      return InternalError("checkpoint ingest state is truncated");
+    }
+    recent_keys->push_back(std::move(key));
+  }
+  if (!tail.AtEnd()) {
+    return InternalError("checkpoint ingest state has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// Approximate table equality for the scrubber's reconstruction check:
+// exact for ints/strings/NULLs, relative-tolerance for doubles (the
+// incremental accumulators and a fresh recomputation may round
+// differently).
+bool ValuesClose(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  if (a.type() == ValueType::kDouble) {
+    const double x = a.AsDouble();
+    const double y = b.AsDouble();
+    const double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= 1e-9 * scale;
+  }
+  return a.Compare(b) == 0;
+}
+
+bool TablesClose(const Table& a, const Table& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  for (size_t r = 0; r < a.rows().size(); ++r) {
+    const Tuple& ra = a.rows()[r];
+    const Tuple& rb = b.rows()[r];
+    if (ra.size() != rb.size()) return false;
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!ValuesClose(ra[c], rb[c])) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Warehouse::Warehouse(WarehouseOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      retry_rng_(options_.retry.jitter_seed) {
   if (options_.parallelism > 1) {
     view_pool_ = std::make_shared<ThreadPool>(options_.parallelism);
   }
@@ -45,6 +126,7 @@ void Warehouse::set_options(WarehouseOptions options) {
   view_pool_ = options_.parallelism > 1
                    ? std::make_shared<ThreadPool>(options_.parallelism)
                    : nullptr;
+  retry_rng_ = Rng(options_.retry.jitter_seed);
 }
 
 Result<Warehouse> Warehouse::Open(const std::string& dir,
@@ -70,6 +152,13 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
                                        std::move(engine)));
       wh.registration_order_.push_back(vc.name);
     }
+    if (!cp.ingest_state.empty()) {
+      MD_RETURN_IF_ERROR(ParseIngestState(cp.ingest_state, &wh.ledger_,
+                                          &wh.recent_keys_));
+      for (const std::string& key : wh.recent_keys_) {
+        wh.recent_key_set_.insert(key);
+      }
+    }
   } else if (loaded.status().code() != StatusCode::kNotFound) {
     return loaded.status();
   }
@@ -83,6 +172,12 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
                       WriteAheadLog::Open(wal_path, wal_options));
   wh.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
 
+  MD_ASSIGN_OR_RETURN(
+      QuarantineLog quarantine,
+      QuarantineLog::Open(StrCat(dir, "/", kQuarantineFile)));
+  wh.quarantine_ =
+      std::make_unique<QuarantineLog>(std::move(quarantine));
+
   for (const WriteAheadLog::Record& record : records) {
     // Records at or below the checkpoint sequence are already folded in.
     if (record.sequence <= wh.sequence_) continue;
@@ -90,10 +185,16 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
     // written before Apply became a wrapper over ApplyTransaction, and
     // replays with its original single-call semantics.
     const Status status = wh.ApplyToEngines(
-        record.changes, record.kind == WriteAheadLog::kKindTransaction);
+        record.changes, record.kind != WriteAheadLog::kKindApply);
     wh.sequence_ = record.sequence;
     if (status.ok()) {
       ++wh.recovery_.replayed_batches;
+      // A replayed batch is an accepted batch: fold its keys forward
+      // and remember its idempotency key, so a source that resends the
+      // in-flight batch after our crash gets a duplicate ack instead of
+      // a double apply.
+      wh.ledger_.Fold(record.changes);
+      wh.RecordKey(record.key);
     } else {
       // The batch was rejected when first applied too (atomically — no
       // engine kept any of it); preserve that outcome and move on.
@@ -117,6 +218,13 @@ Status Warehouse::MergeSchemas(const Catalog& source,
     }
     if (source.IsAppendOnly(table)) {
       MD_RETURN_IF_ERROR(schema_catalog_.SetAppendOnly(table, true));
+    }
+    // Seed admission control with the table's live keys as of
+    // registration; from here on the ledger folds forward with every
+    // accepted batch. Already-tracked tables keep their folded state.
+    if (std::optional<size_t> key_index = contents->key_index();
+        key_index.has_value()) {
+      ledger_.Track(table, *key_index, *contents);
     }
   }
   for (const ForeignKey& fk : source.foreign_keys()) {
@@ -170,6 +278,7 @@ Status Warehouse::RemoveView(const std::string& view_name) {
       std::remove(registration_order_.begin(), registration_order_.end(),
                   view_name),
       registration_order_.end());
+  degraded_.erase(view_name);
   if (durable()) return Checkpoint();
   return Status::Ok();
 }
@@ -182,17 +291,108 @@ std::vector<std::string> Warehouse::ViewNames() const {
   return registration_order_;
 }
 
-Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes) {
+void Warehouse::RecordKey(const std::string& key) {
+  if (key.empty() || options_.idempotency_window == 0) return;
+  if (!recent_key_set_.insert(key).second) return;
+  recent_keys_.push_back(key);
+  while (recent_keys_.size() > options_.idempotency_window) {
+    recent_key_set_.erase(recent_keys_.front());
+    recent_keys_.pop_front();
+  }
+}
+
+void Warehouse::BackoffSleep(int attempt) {
+  const RetryOptions& retry = options_.retry;
+  double delay = static_cast<double>(retry.base_delay_ms) *
+                 std::pow(2.0, attempt - 1);
+  delay = std::min(delay, static_cast<double>(retry.max_delay_ms));
+  delay *= 0.5 + 0.5 * retry_rng_.NextDouble();
+  const int ms = std::max(0, static_cast<int>(delay));
+  if (retry.sleeper) {
+    retry.sleeper(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void Warehouse::QuarantineBatch(const Status& cause, const std::string& key,
+                                const std::map<std::string, Delta>& changes) {
+  if (quarantine_ == nullptr) return;
+  const uint64_t before = quarantine_->num_entries();
+  Result<uint64_t> id =
+      quarantine_->Append(cause.code(), cause.message(), key, changes);
+  if (id.ok() && quarantine_->num_entries() > before) {
+    ++ingest_stats_.quarantined;
+  }
+}
+
+Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
+                              const std::string& client_key) {
+  std::string key = client_key;
+  if (key.empty() && options_.hash_idempotency) {
+    key = logfmt::ContentHashKey(changes);
+  }
+  if (IsDuplicate(key)) {
+    ++ingest_stats_.duplicates;
+    return Status::Ok();
+  }
+  if (options_.validate_batches) {
+    Status admitted = ValidateBatch(schema_catalog_, ledger_, changes);
+    if (!admitted.ok()) {
+      ++ingest_stats_.rejected;
+      QuarantineBatch(admitted, key, changes);
+      return admitted;
+    }
+  }
+  Status applied = ApplyLogged(changes, key);
+  if (!applied.ok()) {
+    ++ingest_stats_.failed;
+    QuarantineBatch(applied, key, changes);
+    return applied;
+  }
+  ++ingest_stats_.accepted;
+  RecordKey(key);
+  ledger_.Fold(changes);
+  return Status::Ok();
+}
+
+Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes,
+                              const std::string& key) {
+  const int budget = std::max(0, options_.retry.max_retries);
   if (wal_ != nullptr) {
-    MD_RETURN_IF_ERROR(wal_->Append(sequence_ + 1,
-                                    WriteAheadLog::kKindTransaction,
-                                    changes));
+    // Phase one: get the batch durably logged. A failed append
+    // truncates back to the last acknowledged record (see
+    // WriteAheadLog::Append), so retrying the same sequence is safe.
+    Status logged = Status::Ok();
+    for (int attempt = 0;; ++attempt) {
+      logged = wal_->Append(sequence_ + 1, WriteAheadLog::kKindTransaction,
+                            changes, key);
+      if (logged.ok() || attempt >= budget ||
+          logged.code() != StatusCode::kInternal) {
+        break;
+      }
+      ++ingest_stats_.retries;
+      BackoffSleep(attempt + 1);
+    }
+    MD_RETURN_IF_ERROR(logged);
     ++sequence_;
     MD_FAILPOINT("warehouse.apply.after_log");
   } else {
     ++sequence_;
   }
-  return ApplyToEngines(changes, /*transaction=*/true);
+  // Phase two: fold the batch into the engines. A failed apply rolls
+  // every engine back to the pre-batch state, so a retry starts clean.
+  Status applied = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    applied = ApplyToEngines(changes, /*transaction=*/true);
+    if (applied.ok() || attempt >= budget ||
+        applied.code() != StatusCode::kInternal) {
+      break;
+    }
+    ++ingest_stats_.retries;
+    BackoffSleep(attempt + 1);
+  }
+  return applied;
 }
 
 Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
@@ -303,7 +503,13 @@ Status Warehouse::Apply(const std::string& table, const Delta& delta) {
 
 Status Warehouse::ApplyTransaction(
     const std::map<std::string, Delta>& changes) {
-  return ApplyLogged(changes);
+  return IngestBatch(changes, std::string());
+}
+
+Status Warehouse::ApplyTransaction(
+    const std::map<std::string, Delta>& changes,
+    const std::string& idempotency_key) {
+  return IngestBatch(changes, idempotency_key);
 }
 
 Status Warehouse::Checkpoint() {
@@ -329,12 +535,206 @@ Status Warehouse::Checkpoint() {
     MD_ASSIGN_OR_RETURN(vc.summary, engine.RenderAugmentedSummary());
     cp.views.push_back(std::move(vc));
   }
+  cp.ingest_state = ComposeIngestState(ledger_, recent_keys_);
   MD_ASSIGN_OR_RETURN(std::string kept, SaveWarehouseCheckpoint(cp, dir_));
   checkpoint_epoch_ = cp.epoch;
   // The WAL is now redundant up to cp.sequence — and nothing beyond it
   // exists, since checkpoints run between batches.
   MD_RETURN_IF_ERROR(wal_->Reset());
   RemoveStaleCheckpoints(dir_, kept);
+  return Status::Ok();
+}
+
+Result<std::vector<QuarantineLog::Entry>> Warehouse::QuarantineEntries()
+    const {
+  if (quarantine_ == nullptr) {
+    return FailedPreconditionError(
+        "warehouse is in-memory; no quarantine log");
+  }
+  return quarantine_->Entries();
+}
+
+Status Warehouse::QuarantineRetry(uint64_t id) {
+  if (quarantine_ == nullptr) {
+    return FailedPreconditionError(
+        "warehouse is in-memory; no quarantine log");
+  }
+  MD_ASSIGN_OR_RETURN(std::vector<QuarantineLog::Entry> entries,
+                      quarantine_->Entries());
+  const QuarantineLog::Entry* entry = nullptr;
+  for (const QuarantineLog::Entry& candidate : entries) {
+    if (candidate.id == id) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return NotFoundError(StrCat("quarantine has no entry with id ", id));
+  }
+  // Re-run the full pipeline. A batch that actually landed before a
+  // crash comes back as a duplicate ack — still a success. A batch
+  // that fails again stays quarantined (the re-append dedupes on its
+  // key), and the entry is kept.
+  MD_RETURN_IF_ERROR(IngestBatch(entry->changes, entry->key));
+  return quarantine_->Remove(id);
+}
+
+Status Warehouse::QuarantineDrop(uint64_t id) {
+  if (quarantine_ == nullptr) {
+    return FailedPreconditionError(
+        "warehouse is in-memory; no quarantine log");
+  }
+  return quarantine_->Remove(id);
+}
+
+std::vector<std::string> Warehouse::CheckEngineInvariants(
+    const SelfMaintenanceEngine& engine) const {
+  std::vector<std::string> problems;
+  // Every group of a compressed auxiliary view represents at least one
+  // base row: its COUNT column must be ≥ 1.
+  for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+    if (aux.eliminated || !aux.plan.compressed) continue;
+    const int cnt = aux.plan.CountColumnIndex();
+    if (cnt < 0) continue;
+    const Table& contents = engine.AuxContents(aux.base_table);
+    for (const Tuple& row : contents.rows()) {
+      const Value& count = row[static_cast<size_t>(cnt)];
+      if (count.type() != ValueType::kInt64 || count.AsInt64() < 1) {
+        problems.push_back(
+            StrCat("auxiliary view ", aux.name, " has a group with COUNT ",
+                   count.ToString(), " (must be >= 1)"));
+        break;
+      }
+    }
+  }
+  // Every maintained summary group exists because at least one joined
+  // row contributed to it — its shadow count must be positive. The
+  // exception is a scalar (no group-by) view, whose single group
+  // legitimately reaches shadow 0 when everything is deleted.
+  bool scalar = true;
+  for (const OutputItem& item :
+       engine.derivation().view().outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      scalar = false;
+      break;
+    }
+  }
+  Result<Table> augmented = engine.RenderAugmentedSummary();
+  if (!augmented.ok()) {
+    problems.push_back(StrCat("summary cannot be rendered: ",
+                              augmented.status().message()));
+    return problems;
+  }
+  std::optional<size_t> shadow_idx =
+      augmented->schema().IndexOf("__shadow");
+  if (!shadow_idx.has_value()) {
+    problems.push_back("augmented summary lacks the __shadow column");
+    return problems;
+  }
+  if (!scalar) {
+    for (const Tuple& row : augmented->rows()) {
+      const Value& shadow = row[*shadow_idx];
+      if (shadow.type() != ValueType::kInt64 || shadow.AsInt64() < 1) {
+        problems.push_back(
+            StrCat("summary group has shadow count ", shadow.ToString(),
+                   " (must be >= 1 for grouped views)"));
+        break;
+      }
+    }
+  }
+  // When the root auxiliary view exists, the summary is redundant with
+  // the auxiliary state: a full reconstruction must agree with the
+  // incrementally maintained view.
+  Result<Table> reconstructed = engine.ReconstructFromAux();
+  if (reconstructed.ok()) {
+    Result<Table> rendered = engine.View();
+    if (!rendered.ok()) {
+      problems.push_back(StrCat("view cannot be rendered: ",
+                                rendered.status().message()));
+    } else if (!TablesClose(*reconstructed, *rendered)) {
+      problems.push_back(
+          "summary disagrees with a full reconstruction from the "
+          "auxiliary views");
+    }
+  }
+  return problems;
+}
+
+Result<IntegrityReport> Warehouse::VerifyIntegrity() {
+  IntegrityReport report;
+  for (const std::string& name : registration_order_) {
+    ++report.views_checked;
+    std::vector<std::string> problems =
+        CheckEngineInvariants(*engines_.at(name));
+    if (problems.empty()) {
+      degraded_.erase(name);
+      continue;
+    }
+    degraded_.insert(name);
+    for (std::string& problem : problems) {
+      report.issues.push_back(IntegrityIssue{name, std::move(problem)});
+    }
+  }
+  return report;
+}
+
+Status Warehouse::RepairView(const std::string& view_name) {
+  if (!durable()) {
+    return FailedPreconditionError(
+        "warehouse is in-memory; repair needs a checkpoint to rebuild "
+        "from");
+  }
+  auto it = engines_.find(view_name);
+  if (it == engines_.end()) {
+    return NotFoundError(
+        StrCat("view '", view_name, "' is not registered"));
+  }
+  MD_ASSIGN_OR_RETURN(WarehouseCheckpoint cp, LoadWarehouseCheckpoint(dir_));
+  ViewCheckpoint* vc = nullptr;
+  for (ViewCheckpoint& candidate : cp.views) {
+    if (candidate.name == view_name) {
+      vc = &candidate;
+      break;
+    }
+  }
+  if (vc == nullptr) {
+    // AddView checkpoints immediately, so every registered view is in
+    // the latest checkpoint; missing state means the directory was
+    // tampered with.
+    return InternalError(StrCat("checkpoint has no state for view '",
+                                view_name, "'"));
+  }
+  MD_ASSIGN_OR_RETURN(
+      SelfMaintenanceEngine rebuilt,
+      SelfMaintenanceEngine::Restore(schema_catalog_, vc->def,
+                                     FromOptionsData(vc->options),
+                                     std::move(vc->aux), vc->summary));
+  // Roll the rebuilt engine forward through the WAL tail, mirroring
+  // recovery: apply each record's slice for this view, preserving the
+  // original accept/reject outcome per record.
+  MD_ASSIGN_OR_RETURN(std::vector<WriteAheadLog::Record> records,
+                      WriteAheadLog::ReadAll(StrCat(dir_, "/", kWalFile)));
+  for (const WriteAheadLog::Record& record : records) {
+    if (record.sequence <= cp.sequence) continue;
+    std::map<std::string, Delta> relevant;
+    for (const auto& [table, delta] : record.changes) {
+      if (rebuilt.derivation().view().ReferencesTable(table)) {
+        relevant.emplace(table, delta);
+      }
+    }
+    if (relevant.empty()) continue;
+    Status applied =
+        record.kind == WriteAheadLog::kKindApply
+            ? rebuilt.Apply(relevant.begin()->first,
+                            relevant.begin()->second)
+            : rebuilt.ApplyTransaction(relevant);
+    // A record the engine rejected at ingest time is rejected again
+    // here — ApplyTransaction rolled it back atomically then, so
+    // skipping it reproduces the live engine's state.
+    (void)applied;
+  }
+  *it->second = std::move(rebuilt);
+  degraded_.erase(view_name);
   return Status::Ok();
 }
 
@@ -351,6 +751,18 @@ std::string Warehouse::DurabilityReport() const {
                 FormatBytes(wal_->size_bytes()),
                 options_.sync_wal ? " (fsync on)" : " (fsync OFF)",
                 "\n");
+  out += StrCat("ingest: ", ingest_stats_.accepted, " accepted, ",
+                ingest_stats_.duplicates, " duplicate(s), ",
+                ingest_stats_.rejected, " rejected, ",
+                ingest_stats_.failed, " failed, ",
+                ingest_stats_.retries, " retrie(s), ",
+                quarantine_ != nullptr ? quarantine_->num_entries() : 0,
+                " quarantined\n");
+  if (!degraded_.empty()) {
+    out += "degraded views:";
+    for (const std::string& name : degraded_) out += StrCat(" ", name);
+    out += "\n";
+  }
   return out;
 }
 
@@ -365,6 +777,13 @@ Result<Table> Warehouse::View(const std::string& view_name) const {
 
 const SelfMaintenanceEngine& Warehouse::engine(
     const std::string& view_name) const {
+  auto it = engines_.find(view_name);
+  MD_CHECK(it != engines_.end());
+  return *it->second;
+}
+
+SelfMaintenanceEngine& Warehouse::mutable_engine(
+    const std::string& view_name) {
   auto it = engines_.find(view_name);
   MD_CHECK(it != engines_.end());
   return *it->second;

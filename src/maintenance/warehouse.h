@@ -29,29 +29,72 @@
 // later Open(dir) recovers from the last checkpoint plus WAL replay —
 // tolerating a crash at any point, including mid-append (a torn final
 // WAL record is discarded).
+//
+// Ingestion hardening (all knobs in WarehouseOptions):
+//  * Admission control — every batch is validated against the schema
+//    catalog and a key ledger (arity/types, key uniqueness, deletions
+//    of nonexistent rows, referential-integrity ordering) before it
+//    consumes a WAL record or a sequence number.
+//  * Exactly-once — a client idempotency key (or a content-hash
+//    fallback) rides in the WAL frame and checkpoint state; a resent
+//    or replayed batch is acknowledged as a no-op, including a source
+//    retry racing crash recovery.
+//  * Bounded retry — transient (kInternal) failures are retried with
+//    exponential backoff and jitter, deterministic under test via an
+//    injected sleeper and seeded RNG.
+//  * Quarantine — batches failing validation or exhausting retries are
+//    serialized durably (quarantine.log) with the rejecting Status and
+//    can be listed, retried, or dropped.
+//  * Integrity scrubbing — VerifyIntegrity() cross-checks every view's
+//    GPSJ invariants against its auxiliary views; failing views are
+//    marked degraded and RepairView() rebuilds them from the last
+//    checkpoint plus WAL replay.
 
 #ifndef MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 #define MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "gpsj/parser.h"
 #include "maintenance/engine.h"
+#include "maintenance/ingest.h"
+#include "maintenance/quarantine.h"
 #include "maintenance/wal.h"
 
 namespace mindetail {
 
+// Bounded retry of transiently failing batch applies. Only kInternal
+// failures are retried (I/O errors, injected faults); validation
+// errors and other deterministic rejections fail immediately. Attempt
+// n (1-based) sleeps min(max_delay_ms, base_delay_ms·2^(n-1)) scaled
+// by a jitter factor uniform in [0.5, 1.0) drawn from a Rng seeded
+// with `jitter_seed` — fully deterministic given the seed.
+struct RetryOptions {
+  int max_retries = 0;     // Extra attempts after the first (0 = off).
+  int base_delay_ms = 1;
+  int max_delay_ms = 64;
+  uint64_t jitter_seed = 0x6D696E64;  // "mind"
+  // Called instead of actually sleeping when set — tests inject a
+  // recorder to assert the deterministic backoff schedule.
+  std::function<void(int /*delay_ms*/)> sleeper;
+};
+
 // Every warehouse-level knob in one place: per-view engine defaults,
-// cross-view parallelism, and durability. The With* setters form a
-// fluent builder:
+// cross-view parallelism, durability, and ingestion hardening. The
+// With* setters form a fluent builder:
 //
-//   Warehouse wh(WarehouseOptions{}.WithParallelism(4).WithEngineThreads(2));
+//   Warehouse wh(WarehouseOptions{}.WithParallelism(4).WithRetries(3));
 struct WarehouseOptions {
   // Defaults for engines registered by AddView/AddViewSql calls that
   // pass no per-view EngineOptions.
@@ -65,6 +108,19 @@ struct WarehouseOptions {
   // fsync the WAL on every Append (durable warehouses only). Disable
   // only for benchmarks that measure the cost of durability itself.
   bool sync_wal = true;
+  // Admission control: validate every batch against the schema catalog
+  // and key ledger before logging it. Disable only for benchmarks that
+  // measure the validation cost itself.
+  bool validate_batches = true;
+  // When a batch arrives without a client idempotency key, derive one
+  // from a content hash of the batch — so an identical resend is still
+  // detected. Disable to restore apply-what-you're-sent semantics for
+  // keyless batches.
+  bool hash_idempotency = true;
+  // How many recently accepted idempotency keys are remembered (FIFO).
+  // 0 disables duplicate detection entirely.
+  size_t idempotency_window = 4096;
+  RetryOptions retry;
 
   WarehouseOptions& WithEngineDefaults(EngineOptions options) {
     engine = std::move(options);
@@ -82,6 +138,35 @@ struct WarehouseOptions {
     sync_wal = sync;
     return *this;
   }
+  WarehouseOptions& WithValidation(bool validate) {
+    validate_batches = validate;
+    return *this;
+  }
+  WarehouseOptions& WithHashIdempotency(bool hash) {
+    hash_idempotency = hash;
+    return *this;
+  }
+  WarehouseOptions& WithIdempotencyWindow(size_t window) {
+    idempotency_window = window;
+    return *this;
+  }
+  WarehouseOptions& WithRetries(int max_retries) {
+    retry.max_retries = max_retries;
+    return *this;
+  }
+  WarehouseOptions& WithRetryBackoff(int base_delay_ms, int max_delay_ms) {
+    retry.base_delay_ms = base_delay_ms;
+    retry.max_delay_ms = max_delay_ms;
+    return *this;
+  }
+  WarehouseOptions& WithRetryJitterSeed(uint64_t seed) {
+    retry.jitter_seed = seed;
+    return *this;
+  }
+  WarehouseOptions& WithRetrySleeper(std::function<void(int)> fn) {
+    retry.sleeper = std::move(fn);
+    return *this;
+  }
 };
 
 // What recovery found, for tests and the CLI.
@@ -91,15 +176,28 @@ struct RecoveryStats {
   uint64_t rejected_batches = 0;     // WAL records engines rejected.
 };
 
+// One integrity problem found by VerifyIntegrity().
+struct IntegrityIssue {
+  std::string view;
+  std::string problem;
+};
+
+struct IntegrityReport {
+  uint64_t views_checked = 0;
+  std::vector<IntegrityIssue> issues;
+  bool clean() const { return issues.empty(); }
+};
+
 class Warehouse {
  public:
   // An in-memory (non-durable) warehouse.
   explicit Warehouse(WarehouseOptions options = WarehouseOptions{});
 
   // Opens a durable warehouse rooted at `dir` (created if absent):
-  // loads the CURRENT checkpoint if any, replays the WAL tail, and
-  // arranges for every subsequent batch to be logged before it is
-  // applied.
+  // loads the CURRENT checkpoint if any (verifying every view file
+  // against its manifest checksum), replays the WAL tail, restores the
+  // idempotency window and key ledger, and arranges for every
+  // subsequent batch to be logged before it is applied.
   static Result<Warehouse> Open(
       const std::string& dir, WarehouseOptions options = WarehouseOptions{});
 
@@ -111,12 +209,14 @@ class Warehouse {
   const WarehouseOptions& options() const { return options_; }
   // Replaces the options wholesale; `engine` affects views registered
   // afterwards, `parallelism` re-sizes the shared view pool, `sync_wal`
-  // applies from the next Open (the running WAL keeps its mode).
+  // applies from the next Open (the running WAL keeps its mode), and
+  // `retry.jitter_seed` re-seeds the backoff RNG.
   void set_options(WarehouseOptions options);
 
   // Registers a summary view: runs Algorithm 3.2 against `source` and
   // materializes its auxiliary views and summary. The engine uses
   // `options` when given, otherwise this warehouse's engine defaults.
+  // The source's current rows seed the admission-control key ledger.
   // On a durable warehouse this also writes a fresh checkpoint — view
   // registrations are not WAL events, so they must be durable
   // immediately.
@@ -149,12 +249,27 @@ class Warehouse {
   // the batch is WAL-logged (and fsync'd) before any engine sees it.
   // With options().parallelism > 1 the affected engines apply
   // concurrently; the outcome is identical.
+  //
+  // The full ingestion pipeline runs first: duplicate detection (via
+  // the content-hash key unless hash_idempotency is off), admission
+  // control (validate_batches), bounded retry of transient failures
+  // (retry.max_retries), and quarantine of refused batches. A detected
+  // duplicate returns Ok without re-applying anything.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes);
+
+  // As above with an explicit idempotency key: if `idempotency_key` is
+  // non-empty and matches a recently accepted batch, the resend is
+  // acknowledged as a no-op (ingest_stats().duplicates counts it). The
+  // key is logged in the batch's WAL record and persisted across
+  // checkpoints, so the guarantee holds across crash recovery too.
+  Status ApplyTransaction(const std::map<std::string, Delta>& changes,
+                          const std::string& idempotency_key);
 
   // Persists the complete maintenance state under the warehouse
   // directory (atomic rename; the previous checkpoint stays valid until
-  // the new one is complete) and truncates the WAL. Fails on an
-  // in-memory warehouse.
+  // the new one is complete) and truncates the WAL. Every view file's
+  // content hash is recorded in the manifest and re-verified on load.
+  // Fails on an in-memory warehouse.
   Status Checkpoint();
 
   // True when this warehouse was constructed by Open() and logs/
@@ -163,12 +278,45 @@ class Warehouse {
   const std::string& directory() const { return dir_; }
 
   // Sequence number of the last batch accepted into the WAL (or simply
-  // counted, when in-memory). Rejected batches consume a sequence
-  // number too: their WAL record exists and is skipped on replay.
+  // counted, when in-memory). Batches refused by admission control (or
+  // acknowledged as duplicates) consume no sequence number and leave no
+  // WAL record; batches an engine rejects *after* logging do — their
+  // record exists and is skipped on replay.
   uint64_t last_sequence() const { return sequence_; }
 
   // What Open() found (zeroes for an in-memory warehouse).
   const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  // Ingestion pipeline counters (accepted/duplicates/rejected/failed/
+  // retries/quarantined) since construction.
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
+
+  // Quarantine access (durable warehouses only — an in-memory
+  // warehouse has nowhere to keep a dead-letter log and returns
+  // FailedPrecondition). Retry re-runs the full ingestion pipeline on
+  // the stored batch and removes the entry on success — including the
+  // case where the batch had in fact landed before a crash and the
+  // retry is acknowledged as a duplicate. Drop discards the entry.
+  Result<std::vector<QuarantineLog::Entry>> QuarantineEntries() const;
+  Status QuarantineRetry(uint64_t id);
+  Status QuarantineDrop(uint64_t id);
+
+  // Integrity scrubber: checks every registered view's maintained state
+  // against its GPSJ invariants — every compressed auxiliary-view group
+  // carries COUNT ≥ 1, every summary group's shadow count is positive
+  // (scalar views excepted: their single group legitimately reaches 0),
+  // and, when the root auxiliary view exists, the summary matches a
+  // full reconstruction from the auxiliary views. Views with issues are
+  // marked degraded (and un-marked once they verify clean again).
+  Result<IntegrityReport> VerifyIntegrity();
+
+  // Views VerifyIntegrity() most recently found damaged.
+  const std::set<std::string>& degraded_views() const { return degraded_; }
+
+  // Rebuilds one view's engine from the last checkpoint plus WAL
+  // replay, discarding its in-memory state, and clears its degraded
+  // mark. Durable warehouses only.
+  Status RepairView(const std::string& view_name);
 
   // Human-readable durability state: directory, sequences, WAL size.
   std::string DurabilityReport() const;
@@ -177,6 +325,9 @@ class Warehouse {
   Result<Table> View(const std::string& view_name) const;
 
   const SelfMaintenanceEngine& engine(const std::string& view_name) const;
+  // Mutable engine access, for tests that tamper with maintained state
+  // to exercise the scrubber. Aborts when the view is not registered.
+  SelfMaintenanceEngine& mutable_engine(const std::string& view_name);
 
   // Combined current-detail footprint across all views (paper model /
   // honest accounting). Auxiliary views are per-summary (no sharing),
@@ -189,8 +340,17 @@ class Warehouse {
   std::string Report() const;
 
  private:
-  // Logs the batch (when durable), then applies it atomically.
-  Status ApplyLogged(const std::map<std::string, Delta>& changes);
+  // The full ingestion pipeline: resolve the idempotency key, detect
+  // duplicates, validate, apply with retries, record the key or
+  // quarantine the batch.
+  Status IngestBatch(const std::map<std::string, Delta>& changes,
+                     const std::string& client_key);
+
+  // Logs the batch (when durable), then applies it atomically; both
+  // the WAL append and the engine apply retry transient failures up to
+  // the retry budget.
+  Status ApplyLogged(const std::map<std::string, Delta>& changes,
+                     const std::string& key);
 
   // The atomic all-or-nothing application. Serial mode snapshots each
   // affected engine immediately before its apply; parallel mode
@@ -205,8 +365,25 @@ class Warehouse {
 
   // Folds the schemas, keys, and integrity metadata of the tables `def`
   // references into schema_catalog_ (rowless — recovery re-derives the
-  // purely structural Algorithm 3.2 output from it).
+  // purely structural Algorithm 3.2 output from it), and seeds the key
+  // ledger from the source's current rows.
   Status MergeSchemas(const Catalog& source, const GpsjViewDef& def);
+
+  // Remembers an accepted idempotency key in the FIFO window.
+  void RecordKey(const std::string& key);
+  // True when `key` matches a remembered accepted batch.
+  bool IsDuplicate(const std::string& key) const {
+    return !key.empty() && recent_key_set_.count(key) > 0;
+  }
+  // Sleeps the backoff delay before retry attempt `attempt` (1-based).
+  void BackoffSleep(int attempt);
+  // Appends a refused batch to the quarantine log (durable only;
+  // best-effort — quarantine I/O failures never mask the refusal).
+  void QuarantineBatch(const Status& cause, const std::string& key,
+                       const std::map<std::string, Delta>& changes);
+  // All integrity problems of one engine (empty = clean).
+  std::vector<std::string> CheckEngineInvariants(
+      const SelfMaintenanceEngine& engine) const;
 
   // Keyed by view name; unique_ptr keeps engine addresses stable.
   std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
@@ -225,6 +402,19 @@ class Warehouse {
   // Schemas/keys/metadata of every table any registered view references
   // (no rows); persisted in checkpoints and used to re-derive engines.
   Catalog schema_catalog_;
+
+  // Ingestion-hardening state. The ledger mirrors each tracked table's
+  // live key set (seeded at registration, folded on every accepted
+  // batch); the FIFO window remembers accepted idempotency keys. Both
+  // persist through checkpoints (WarehouseCheckpoint::ingest_state) and
+  // are rebuilt by WAL replay for the tail.
+  KeyLedger ledger_;
+  std::deque<std::string> recent_keys_;
+  std::unordered_set<std::string> recent_key_set_;
+  IngestStats ingest_stats_;
+  std::unique_ptr<QuarantineLog> quarantine_;
+  std::set<std::string> degraded_;
+  Rng retry_rng_{0};  // Re-seeded from options in the constructor.
 };
 
 }  // namespace mindetail

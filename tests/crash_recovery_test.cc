@@ -61,9 +61,17 @@ constexpr int kBatches = 10;
 
 WarehouseOptions CrashOptions() {
   // Exercise both parallel levels (cross-view + intra-view sharding)
-  // under TSan too.
-  return WarehouseOptions{}.WithEngineThreads(2).WithParallelism(2);
+  // under TSan too, with the retry loop engaged — a crash failpoint
+  // still kills the process on its first hit, so retries change
+  // nothing for injected crashes, but the recovery path then runs with
+  // the production retry configuration.
+  return WarehouseOptions{}
+      .WithEngineThreads(2)
+      .WithParallelism(2)
+      .WithRetries(2);
 }
+
+std::string BatchKey(uint64_t i) { return StrCat("batch-", i); }
 
 Result<Delta> NextBatch(RetailDeltaGenerator& gen, Catalog& source) {
   return gen.MixedSaleBatch(source, 12, 6, 3);
@@ -141,7 +149,11 @@ TEST(CrashChildProcess, Run) {
   RetailDeltaGenerator gen(kCrashSeed);
   for (int i = 1; i <= kBatches; ++i) {
     MD_ASSERT_OK_AND_ASSIGN(Delta delta, NextBatch(gen, source));
-    MD_ASSERT_OK(warehouse.Apply("sale", delta));
+    // An explicit idempotency key per batch — the parent resends the
+    // in-flight batch after recovery to prove exactly-once ingestion.
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(warehouse.ApplyTransaction(changes, BatchKey(i)));
     AppendAck(AckPath(dir), warehouse.last_sequence());
     MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
     if (i == kBatches / 2) MD_ASSERT_OK(warehouse.Checkpoint());
@@ -181,18 +193,53 @@ void VerifyRecovery(const std::string& dir) {
   ASSERT_EQ(oracle.ViewNames(), views);
 
   RetailDeltaGenerator gen(kCrashSeed);
+  std::map<std::string, Delta> last_applied;
   for (uint64_t i = 1; i <= n; ++i) {
     MD_ASSERT_OK_AND_ASSIGN(Delta delta, NextBatch(gen, source));
-    MD_ASSERT_OK(oracle.Apply("sale", delta));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(oracle.ApplyTransaction(changes, BatchKey(i)));
     MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+    last_applied = std::move(changes);
   }
   ExpectStatesIdentical(CaptureState(oracle), CaptureState(recovered));
+
+  // Exactly-once across the crash: the source cannot distinguish "my
+  // batch crashed before it landed" from "it landed but the ack was
+  // lost", so it resends the last batch. Whether the batch was
+  // recovered from a checkpoint or replayed from the WAL tail, its
+  // idempotency key must survive and the resend must be a no-op.
+  if (n >= 1) {
+    const uint64_t duplicates_before =
+        recovered.ingest_stats().duplicates;
+    MD_ASSERT_OK(recovered.ApplyTransaction(last_applied, BatchKey(n)));
+    EXPECT_EQ(recovered.ingest_stats().duplicates, duplicates_before + 1);
+    EXPECT_EQ(recovered.last_sequence(), n);
+    ExpectStatesIdentical(CaptureState(oracle), CaptureState(recovered));
+  }
+
+  // A crash during view registration leaves the setup incomplete; the
+  // restarting operator finishes it. Register the missing views on both
+  // warehouses (the source is at the same stream position for each) so
+  // the stream below always has somewhere to land — an empty recovered
+  // warehouse would otherwise reject 'sale' batches as referencing an
+  // unknown table, by design.
+  if (std::count(views.begin(), views.end(), "monthly_sales") == 0) {
+    MD_ASSERT_OK(recovered.AddViewSql(source, kMonthlySql));
+    MD_ASSERT_OK(oracle.AddViewSql(source, kMonthlySql));
+  }
+  if (std::count(views.begin(), views.end(), "per_store") == 0) {
+    MD_ASSERT_OK(recovered.AddViewSql(source, kPerStoreSql));
+    MD_ASSERT_OK(oracle.AddViewSql(source, kPerStoreSql));
+  }
 
   // Recovery is not a dead end: drive the stream to its end on both.
   for (uint64_t i = n + 1; i <= kBatches; ++i) {
     MD_ASSERT_OK_AND_ASSIGN(Delta delta, NextBatch(gen, source));
-    MD_ASSERT_OK(recovered.Apply("sale", delta));
-    MD_ASSERT_OK(oracle.Apply("sale", delta));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(recovered.ApplyTransaction(changes, BatchKey(i)));
+    MD_ASSERT_OK(oracle.ApplyTransaction(changes, BatchKey(i)));
     MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
   }
   ExpectStatesIdentical(CaptureState(oracle), CaptureState(recovered));
@@ -298,21 +345,60 @@ TEST(WalTest, AppendReadRoundTrip) {
     MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindApply, changes));
     MD_ASSERT_OK(
         wal.Append(2, WriteAheadLog::kKindTransaction, changes));
-    EXPECT_EQ(wal.num_records(), 2u);
-    EXPECT_EQ(wal.last_sequence(), 2u);
-    // Sequences must strictly increase.
-    EXPECT_FALSE(
-        wal.Append(2, WriteAheadLog::kKindApply, changes).ok());
+    // A non-empty key forces the keyed-transaction kind on disk.
+    MD_ASSERT_OK(wal.Append(3, WriteAheadLog::kKindTransaction, changes,
+                            "batch-3"));
+    EXPECT_EQ(wal.num_records(), 3u);
+    EXPECT_EQ(wal.last_sequence(), 3u);
+    // Sequences must strictly increase: an equal or lower sequence is
+    // an InvalidArgument, not a silent overwrite.
+    EXPECT_EQ(wal.Append(3, WriteAheadLog::kKindApply, changes).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(wal.Append(1, WriteAheadLog::kKindApply, changes).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(wal.num_records(), 3u);
   }
   MD_ASSERT_OK_AND_ASSIGN(std::vector<WriteAheadLog::Record> records,
                           WriteAheadLog::ReadAll(path));
-  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0].sequence, 1u);
   EXPECT_EQ(records[0].kind, WriteAheadLog::kKindApply);
   EXPECT_EQ(records[1].kind, WriteAheadLog::kKindTransaction);
   ASSERT_EQ(records[1].changes.size(), 2u);
   EXPECT_TRUE(DeltasEqual(records[1].changes.at("sale"), TinyDelta(100)));
   EXPECT_TRUE(DeltasEqual(records[1].changes.at("time"), TinyDelta(200)));
+  EXPECT_EQ(records[2].kind, WriteAheadLog::kKindKeyedTransaction);
+  EXPECT_EQ(records[2].key, "batch-3");
+  EXPECT_TRUE(DeltasEqual(records[2].changes.at("sale"), TinyDelta(100)));
+  std::filesystem::remove(path);
+}
+
+TEST(WalTest, FailedAppendLeavesNoRecordAndSequenceIsReusable) {
+  const std::string path = FreshWalPath("mindetail_wal_failed_append");
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", TinyDelta(11));
+  MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+  MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindApply, changes));
+
+  // Fail the append after its bytes hit the file but before the sync:
+  // the frame must be rewound, or a crash recovery would replay a batch
+  // the caller was told failed.
+  MD_ASSERT_OK(Failpoints::Arm("wal.append.before_sync",
+                               Failpoints::Action::kError));
+  EXPECT_EQ(wal.Append(2, WriteAheadLog::kKindApply, changes).code(),
+            StatusCode::kInternal);
+  Failpoints::DisarmAll();
+  EXPECT_EQ(wal.num_records(), 1u);
+  EXPECT_EQ(wal.last_sequence(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<WriteAheadLog::Record> records,
+                          WriteAheadLog::ReadAll(path));
+  ASSERT_EQ(records.size(), 1u);
+
+  // The failed sequence was not burned: the retry lands cleanly.
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindApply, changes));
+  MD_ASSERT_OK_AND_ASSIGN(records, WriteAheadLog::ReadAll(path));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].sequence, 2u);
   std::filesystem::remove(path);
 }
 
@@ -375,7 +461,7 @@ TEST(WalTest, CorruptedPayloadStopsScan) {
   std::filesystem::remove(path);
 }
 
-TEST(WalTest, ResetEmptiesLogAndAcceptsAnySequence) {
+TEST(WalTest, ResetEmptiesLogButKeepsSequenceHighWaterMark) {
   const std::string path = FreshWalPath("mindetail_wal_reset");
   std::map<std::string, Delta> changes;
   changes.emplace("sale", TinyDelta(3));
@@ -384,8 +470,13 @@ TEST(WalTest, ResetEmptiesLogAndAcceptsAnySequence) {
   MD_ASSERT_OK(wal.Reset());
   EXPECT_EQ(wal.num_records(), 0u);
   EXPECT_EQ(std::filesystem::file_size(path), 0u);
-  // An empty log accepts any starting sequence — after a checkpoint the
-  // warehouse's own counter has moved past the truncated records.
+  // The sequence high-water mark survives the truncation: recovery
+  // keys replay off "record.sequence > checkpoint sequence", so a
+  // reused sequence would make a replay skip or double-apply a batch.
+  EXPECT_EQ(wal.Append(5, WriteAheadLog::kKindApply, changes).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(wal.Append(4, WriteAheadLog::kKindApply, changes).code(),
+            StatusCode::kInvalidArgument);
   MD_ASSERT_OK(wal.Append(6, WriteAheadLog::kKindApply, changes));
   EXPECT_EQ(wal.num_records(), 1u);
   EXPECT_EQ(wal.last_sequence(), 6u);

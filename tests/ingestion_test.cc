@@ -1,0 +1,789 @@
+// Hardened-ingestion coverage: admission control (BatchValidator /
+// KeyLedger), exactly-once idempotency across resends and crash
+// recovery, bounded retry with deterministic backoff, the quarantine
+// dead-letter log, and the integrity scrubber.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+#include "io/log_format.h"
+#include "io/warehouse_io.h"
+#include "maintenance/ingest.h"
+#include "maintenance/quarantine.h"
+#include "maintenance/warehouse.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using test::SmallRetail;
+using test::TablesExactlyEqual;
+
+constexpr char kMonthlySql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE time.year = 1997 AND sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+constexpr char kPerStoreSql[] = R"sql(
+  CREATE VIEW per_store AS
+  SELECT store.city, COUNT(*) AS Cnt, AVG(sale.price) AS AvgPrice
+  FROM sale, store
+  WHERE sale.storeid = store.id
+  GROUP BY store.city
+)sql";
+
+// A valid fresh sale row: (id, timeid, productid, storeid, price).
+Tuple FreshSale(int64_t id, int64_t timeid = 1) {
+  return {Value(id), Value(timeid), Value(int64_t{1}), Value(int64_t{1}),
+          Value(9.5)};
+}
+
+std::map<std::string, Delta> SaleInserts(std::vector<Tuple> rows) {
+  Delta delta;
+  delta.inserts = std::move(rows);
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  return changes;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// -------------------------------------------------------------------
+// KeyLedger units.
+// -------------------------------------------------------------------
+
+TEST(KeyLedgerTest, TracksFoldsAndRoundTrips) {
+  RetailWarehouse retail = SmallRetail();
+  const Table* sale = retail.catalog.GetTable("sale").value();
+  KeyLedger ledger;
+  EXPECT_FALSE(ledger.Tracks("sale"));
+  ledger.Track("sale", 0, *sale);
+  EXPECT_TRUE(ledger.Tracks("sale"));
+  EXPECT_EQ(ledger.NumKeys("sale"), sale->NumRows());
+  EXPECT_TRUE(ledger.Contains("sale", sale->row(0)[0]));
+  EXPECT_FALSE(ledger.Contains("sale", Value(int64_t{900001})));
+
+  // Fold: delete one existing row, insert one fresh, move one key.
+  Delta delta;
+  delta.deletes.push_back(sale->row(0));
+  delta.inserts.push_back(FreshSale(900001));
+  Update move;
+  move.before = sale->row(1);
+  move.after = sale->row(1);
+  move.after[0] = Value(int64_t{900002});
+  delta.updates.push_back(move);
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  ledger.Fold(changes);
+  EXPECT_FALSE(ledger.Contains("sale", sale->row(0)[0]));
+  EXPECT_FALSE(ledger.Contains("sale", sale->row(1)[0]));
+  EXPECT_TRUE(ledger.Contains("sale", Value(int64_t{900001})));
+  EXPECT_TRUE(ledger.Contains("sale", Value(int64_t{900002})));
+  // One delete (-1), one insert (+1), one key move (net 0).
+  EXPECT_EQ(ledger.NumKeys("sale"), sale->NumRows());
+
+  // Serialization round trip preserves every key.
+  std::string blob;
+  ledger.SerializeInto(&blob);
+  size_t consumed = 0;
+  MD_ASSERT_OK_AND_ASSIGN(KeyLedger restored,
+                          KeyLedger::Deserialize(blob, &consumed));
+  EXPECT_EQ(consumed, blob.size());
+  EXPECT_EQ(restored.NumKeys("sale"), ledger.NumKeys("sale"));
+  EXPECT_TRUE(restored.Contains("sale", Value(int64_t{900002})));
+}
+
+// -------------------------------------------------------------------
+// Admission control.
+// -------------------------------------------------------------------
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    retail_ = SmallRetail();
+    MD_ASSERT_OK(warehouse_.AddViewSql(retail_.catalog, kMonthlySql));
+  }
+
+  RetailWarehouse retail_;
+  Warehouse warehouse_;
+};
+
+TEST_F(AdmissionTest, AcceptsValidBatchWithoutConsumingExtraSequence) {
+  MD_ASSERT_OK(warehouse_.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  EXPECT_EQ(warehouse_.last_sequence(), 1u);
+  EXPECT_EQ(warehouse_.ingest_stats().accepted, 1u);
+}
+
+TEST_F(AdmissionTest, RejectsUnknownTable) {
+  Delta delta;
+  delta.inserts.push_back({Value(int64_t{1}), Value("x")});
+  std::map<std::string, Delta> changes;
+  changes.emplace("no_such_table", std::move(delta));
+  const Status status = warehouse_.ApplyTransaction(changes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown table"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, RejectsWrongArityAndWrongType) {
+  // Four values instead of five.
+  Status status = warehouse_.ApplyTransaction(SaleInserts(
+      {{Value(int64_t{900001}), Value(int64_t{1}), Value(int64_t{1}),
+        Value(9.5)}}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // String where the double price belongs.
+  status = warehouse_.ApplyTransaction(SaleInserts(
+      {{Value(int64_t{900001}), Value(int64_t{1}), Value(int64_t{1}),
+        Value(int64_t{1}), Value("cheap")}}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // Neither invalid batch consumed a sequence number or reached a view.
+  EXPECT_EQ(warehouse_.last_sequence(), 0u);
+  EXPECT_EQ(warehouse_.ingest_stats().rejected, 2u);
+  EXPECT_EQ(warehouse_.ingest_stats().accepted, 0u);
+}
+
+TEST_F(AdmissionTest, RejectsDeleteOfNonexistentRow) {
+  Delta delta;
+  delta.deletes.push_back(FreshSale(900001));
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  const Status status = warehouse_.ApplyTransaction(changes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("does not exist"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, RejectsDuplicateInsertAgainstLedgerAndWithinBatch) {
+  // Against the ledger: key 900001 goes live with the first batch.
+  MD_ASSERT_OK(warehouse_.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  Status status =
+      warehouse_.ApplyTransaction(SaleInserts({FreshSale(900001, 2)}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicates key"), std::string::npos);
+
+  // Within one batch.
+  status = warehouse_.ApplyTransaction(
+      SaleInserts({FreshSale(900002), FreshSale(900002, 2)}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AdmissionTest, RejectsDanglingForeignKey) {
+  const Status status = warehouse_.ApplyTransaction(
+      SaleInserts({FreshSale(900001, /*timeid=*/9999)}));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("missing or deleted"), std::string::npos);
+}
+
+TEST_F(AdmissionTest, AcceptsChildOfParentInsertedInSameBatch) {
+  std::map<std::string, Delta> changes;
+  Delta time_delta;
+  time_delta.inserts.push_back(
+      {Value(int64_t{500}), Value(int64_t{1}), Value(int64_t{1}),
+       Value(int64_t{1997})});
+  changes.emplace("time", std::move(time_delta));
+  Delta sale_delta;
+  sale_delta.inserts.push_back(FreshSale(900001, /*timeid=*/500));
+  changes.emplace("sale", std::move(sale_delta));
+  MD_ASSERT_OK(warehouse_.ApplyTransaction(changes));
+}
+
+TEST_F(AdmissionTest, RejectsChildOfParentDeletedInSameBatch) {
+  const Table* time = retail_.catalog.GetTable("time").value();
+  std::map<std::string, Delta> changes;
+  Delta time_delta;
+  time_delta.deletes.push_back(time->row(0));
+  changes.emplace("time", std::move(time_delta));
+  Delta sale_delta;
+  sale_delta.inserts.push_back(
+      FreshSale(900001, /*timeid=*/time->row(0)[0].AsInt64()));
+  changes.emplace("sale", std::move(sale_delta));
+  const Status status = warehouse_.ApplyTransaction(changes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AdmissionTest, ValidationCanBeDisabled) {
+  // With admission control on, re-inserting an existing sale key is
+  // rejected. With it off, the same batch sails through: the engines
+  // maintain aggregates, not key constraints, so nothing else catches
+  // it — which is exactly why admission control exists.
+  const Table* sale = retail_.catalog.GetTable("sale").value();
+  Tuple dup = sale->row(0);
+  const std::map<std::string, Delta> batch = SaleInserts({dup});
+  EXPECT_EQ(warehouse_.ApplyTransaction(batch).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(warehouse_.ingest_stats().rejected, 1u);
+
+  warehouse_.set_options(WarehouseOptions{}.WithValidation(false));
+  MD_ASSERT_OK(warehouse_.ApplyTransaction(batch));
+  EXPECT_EQ(warehouse_.ingest_stats().accepted, 1u);
+}
+
+// -------------------------------------------------------------------
+// Exactly-once idempotency.
+// -------------------------------------------------------------------
+
+TEST(IdempotencyTest, ExplicitKeyDetectsResend) {
+  RetailWarehouse retail = SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)}),
+                                          "batch-1"));
+  MD_ASSERT_OK_AND_ASSIGN(Table before, warehouse.View("monthly_sales"));
+
+  // The resend — even with different (here: invalid) content — is
+  // acknowledged as a no-op on the key alone.
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)}),
+                                          "batch-1"));
+  MD_ASSERT_OK_AND_ASSIGN(Table after, warehouse.View("monthly_sales"));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  EXPECT_EQ(warehouse.ingest_stats().accepted, 1u);
+  EXPECT_EQ(warehouse.ingest_stats().duplicates, 1u);
+  EXPECT_EQ(warehouse.last_sequence(), 1u);
+}
+
+TEST(IdempotencyTest, ContentHashFallbackDetectsIdenticalResend) {
+  RetailWarehouse retail = SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  const std::map<std::string, Delta> batch =
+      SaleInserts({FreshSale(900001)});
+  MD_ASSERT_OK(warehouse.ApplyTransaction(batch));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(batch));  // Resent verbatim.
+  EXPECT_EQ(warehouse.ingest_stats().accepted, 1u);
+  EXPECT_EQ(warehouse.ingest_stats().duplicates, 1u);
+}
+
+TEST(IdempotencyTest, WindowEvictsOldestKeys) {
+  RetailWarehouse retail = SmallRetail();
+  Warehouse warehouse(WarehouseOptions{}.WithIdempotencyWindow(2));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)}),
+                                          "k1"));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900002)}),
+                                          "k2"));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900003)}),
+                                          "k3"));
+  // k1 was evicted (window 2), so its resend is no longer recognized —
+  // it re-enters the pipeline and is rejected as a duplicate insert by
+  // admission control, proving it was not deduplicated.
+  const Status status = warehouse.ApplyTransaction(
+      SaleInserts({FreshSale(900001)}), "k1");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(warehouse.ingest_stats().duplicates, 0u);
+}
+
+TEST(IdempotencyTest, KeySurvivesCheckpointAndReopen) {
+  const std::string dir = FreshDir("mindetail_idem_checkpoint");
+  RetailWarehouse retail = SmallRetail();
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        SaleInserts({FreshSale(900001)}), "batch-1"));
+    MD_ASSERT_OK(warehouse.Checkpoint());
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened, Warehouse::Open(dir));
+  MD_ASSERT_OK_AND_ASSIGN(Table before, reopened.View("monthly_sales"));
+  MD_ASSERT_OK(reopened.ApplyTransaction(SaleInserts({FreshSale(900001)}),
+                                         "batch-1"));
+  MD_ASSERT_OK_AND_ASSIGN(Table after, reopened.View("monthly_sales"));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  EXPECT_EQ(reopened.ingest_stats().duplicates, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IdempotencyTest, KeySurvivesWalReplayRecovery) {
+  const std::string dir = FreshDir("mindetail_idem_replay");
+  RetailWarehouse retail = SmallRetail();
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    // No checkpoint after this batch: recovery must replay it from the
+    // WAL and re-learn its idempotency key from the keyed record.
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        SaleInserts({FreshSale(900001)}), "batch-1"));
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened, Warehouse::Open(dir));
+  EXPECT_EQ(reopened.recovery_stats().replayed_batches, 1u);
+  MD_ASSERT_OK_AND_ASSIGN(Table before, reopened.View("monthly_sales"));
+  MD_ASSERT_OK(reopened.ApplyTransaction(SaleInserts({FreshSale(900001)}),
+                                         "batch-1"));
+  MD_ASSERT_OK_AND_ASSIGN(Table after, reopened.View("monthly_sales"));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  EXPECT_EQ(reopened.ingest_stats().duplicates, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Bounded retry with deterministic backoff.
+// -------------------------------------------------------------------
+
+TEST(RetryTest, TransientEngineFailureRetriesAndSucceeds) {
+  RetailWarehouse retail = SmallRetail();
+  std::vector<int> sleeps;
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithRetries(2)
+                          .WithRetryBackoff(8, 64)
+                          .WithRetryJitterSeed(123)
+                          .WithRetrySleeper(
+                              [&sleeps](int ms) { sleeps.push_back(ms); }));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(
+      Failpoints::Arm("engine.apply.commit", Failpoints::Action::kError));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  EXPECT_EQ(warehouse.ingest_stats().retries, 1u);
+  EXPECT_EQ(warehouse.ingest_stats().accepted, 1u);
+  ASSERT_EQ(sleeps.size(), 1u);
+  // First retry backs off at most base_delay_ms, at least half of it.
+  EXPECT_GE(sleeps[0], 4);
+  EXPECT_LE(sleeps[0], 8);
+  Failpoints::DisarmAll();
+}
+
+TEST(RetryTest, BackoffScheduleIsDeterministicForAGivenSeed) {
+  auto record_schedule = [](std::vector<int>* sleeps) {
+    RetailWarehouse retail = SmallRetail();
+    Warehouse warehouse(
+        WarehouseOptions{}
+            .WithRetries(3)
+            .WithRetryBackoff(16, 1000)
+            .WithRetryJitterSeed(777)
+            .WithRetrySleeper([sleeps](int ms) { sleeps->push_back(ms); }));
+    MD_CHECK(warehouse.AddViewSql(retail.catalog, kMonthlySql).ok());
+    // Each armed site fires once then disarms, so two sites fail the
+    // first two attempts; the third succeeds within the budget of 3.
+    MD_CHECK(Failpoints::Arm("engine.apply.commit",
+                             Failpoints::Action::kError)
+                 .ok());
+    MD_CHECK(Failpoints::Arm("warehouse.apply.before_ack",
+                             Failpoints::Action::kError)
+                 .ok());
+    Status s =
+        warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)}));
+    MD_CHECK(s.ok());
+  };
+  std::vector<int> first, second;
+  record_schedule(&first);
+  Failpoints::DisarmAll();
+  record_schedule(&second);
+  Failpoints::DisarmAll();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RetryTest, WalAppendFailureRetriesWithoutDuplicateRecords) {
+  const std::string dir = FreshDir("mindetail_retry_wal");
+  RetailWarehouse retail = SmallRetail();
+  std::vector<int> sleeps;
+  MD_ASSERT_OK_AND_ASSIGN(
+      Warehouse warehouse,
+      Warehouse::Open(dir, WarehouseOptions{}.WithRetries(2).WithRetrySleeper(
+                               [&sleeps](int ms) { sleeps.push_back(ms); })));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(Failpoints::Arm("wal.append.before_sync",
+                               Failpoints::Action::kError));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  EXPECT_EQ(warehouse.ingest_stats().retries, 1u);
+  EXPECT_EQ(warehouse.last_sequence(), 1u);
+  // The failed first attempt was truncated away: exactly one record.
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::vector<WriteAheadLog::Record> records,
+      WriteAheadLog::ReadAll(dir + "/" + kWalFile));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, 1u);
+  Failpoints::DisarmAll();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RetryTest, ExhaustedBudgetFailsAndQuarantines) {
+  const std::string dir = FreshDir("mindetail_retry_exhausted");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(
+      Warehouse warehouse,
+      Warehouse::Open(dir, WarehouseOptions{}.WithRetries(1).WithRetrySleeper(
+                               [](int) {})));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  // Two different sites so both the first attempt and its single retry
+  // fail (each armed site fires once, then disarms).
+  MD_ASSERT_OK(
+      Failpoints::Arm("engine.apply.commit", Failpoints::Action::kError));
+  MD_ASSERT_OK(Failpoints::Arm("warehouse.apply.before_ack",
+                               Failpoints::Action::kError));
+  const std::map<std::string, Delta> batch =
+      SaleInserts({FreshSale(900001)});
+  const Status status = warehouse.ApplyTransaction(batch, "batch-x");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(warehouse.ingest_stats().retries, 1u);
+  EXPECT_EQ(warehouse.ingest_stats().failed, 1u);
+  EXPECT_EQ(warehouse.ingest_stats().quarantined, 1u);
+
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          warehouse.QuarantineEntries());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].code, StatusCode::kInternal);
+  EXPECT_EQ(entries[0].key, "batch-x");
+
+  // Both sites disarmed themselves; the operator retry now lands.
+  MD_ASSERT_OK(warehouse.QuarantineRetry(entries[0].id));
+  MD_ASSERT_OK_AND_ASSIGN(entries, warehouse.QuarantineEntries());
+  EXPECT_TRUE(entries.empty());
+  EXPECT_EQ(warehouse.ingest_stats().accepted, 1u);
+  Failpoints::DisarmAll();
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Quarantine.
+// -------------------------------------------------------------------
+
+TEST(QuarantineTest, RejectedBatchIsQuarantinedOnceAndDroppable) {
+  const std::string dir = FreshDir("mindetail_quarantine_basic");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+
+  const std::map<std::string, Delta> bad =
+      SaleInserts({FreshSale(900001, /*timeid=*/9999)});
+  EXPECT_FALSE(warehouse.ApplyTransaction(bad).ok());
+  // The identical resend is rejected again but quarantined only once
+  // (the content-hash key dedupes the entry).
+  EXPECT_FALSE(warehouse.ApplyTransaction(bad).ok());
+  EXPECT_EQ(warehouse.ingest_stats().rejected, 2u);
+  EXPECT_EQ(warehouse.ingest_stats().quarantined, 1u);
+
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          warehouse.QuarantineEntries());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].code, StatusCode::kInvalidArgument);
+  ASSERT_EQ(entries[0].changes.count("sale"), 1u);
+  EXPECT_EQ(entries[0].changes.at("sale").inserts.size(), 1u);
+
+  MD_ASSERT_OK(warehouse.QuarantineDrop(entries[0].id));
+  MD_ASSERT_OK_AND_ASSIGN(entries, warehouse.QuarantineEntries());
+  EXPECT_TRUE(entries.empty());
+  EXPECT_EQ(warehouse.QuarantineDrop(12345).code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QuarantineTest, EntriesSurviveReopen) {
+  const std::string dir = FreshDir("mindetail_quarantine_reopen");
+  RetailWarehouse retail = SmallRetail();
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    EXPECT_FALSE(warehouse
+                     .ApplyTransaction(
+                         SaleInserts({FreshSale(900001, /*timeid=*/9999)}))
+                     .ok());
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened, Warehouse::Open(dir));
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          reopened.QuarantineEntries());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].code, StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(QuarantineTest, InMemoryWarehouseHasNoQuarantine) {
+  Warehouse warehouse;
+  EXPECT_EQ(warehouse.QuarantineEntries().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(warehouse.QuarantineRetry(1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(warehouse.QuarantineDrop(1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// -------------------------------------------------------------------
+// Integrity scrubber.
+// -------------------------------------------------------------------
+
+// Rebuilds `view`'s engine from its own rendered state with `mutate`
+// applied — simulating at-rest corruption of maintained state.
+void TamperView(Warehouse& warehouse, const Catalog& schema_source,
+                const std::string& view,
+                const std::function<void(Table&)>& mutate_summary) {
+  SelfMaintenanceEngine& engine = warehouse.mutable_engine(view);
+  std::map<std::string, Table> aux;
+  for (const AuxViewDef& def : engine.derivation().aux_views()) {
+    if (def.eliminated) continue;
+    aux.emplace(def.base_table, engine.AuxContents(def.base_table));
+  }
+  Result<Table> augmented = engine.RenderAugmentedSummary();
+  MD_CHECK(augmented.ok());
+  Table summary = std::move(augmented).value();
+  mutate_summary(summary);
+  Result<SelfMaintenanceEngine> tampered = SelfMaintenanceEngine::Restore(
+      schema_source, engine.derivation().view(), engine.options(),
+      std::move(aux), summary);
+  MD_CHECK(tampered.ok());
+  engine = std::move(tampered).value();
+}
+
+TEST(ScrubberTest, CleanWarehouseVerifiesClean) {
+  RetailWarehouse retail = SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kPerStoreSql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  MD_ASSERT_OK_AND_ASSIGN(IntegrityReport report,
+                          warehouse.VerifyIntegrity());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.views_checked, 2u);
+  EXPECT_TRUE(warehouse.degraded_views().empty());
+}
+
+TEST(ScrubberTest, DetectsTamperedSummaryAndRepairRestores) {
+  const std::string dir = FreshDir("mindetail_scrub_repair");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(SaleInserts({FreshSale(900001)})));
+  MD_ASSERT_OK_AND_ASSIGN(Table healthy, warehouse.View("monthly_sales"));
+
+  // Corrupt the hidden running sum of the first group: the rendered
+  // view diverges from what the auxiliary views reconstruct.
+  TamperView(warehouse, retail.catalog, "monthly_sales", [](Table& summary) {
+    const std::optional<size_t> idx =
+        summary.schema().IndexOf("__sum_TotalPrice");
+    MD_CHECK(idx.has_value());
+    Table doctored(summary.name(), summary.schema());
+    doctored.set_allow_null(true);
+    for (size_t i = 0; i < summary.NumRows(); ++i) {
+      Tuple row = summary.row(i);
+      if (i == 0) row[*idx] = Value(row[*idx].NumericAsDouble() + 1000.0);
+      MD_CHECK(doctored.Insert(std::move(row)).ok());
+    }
+    summary = std::move(doctored);
+  });
+
+  MD_ASSERT_OK_AND_ASSIGN(IntegrityReport report,
+                          warehouse.VerifyIntegrity());
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.issues[0].view, "monthly_sales");
+  EXPECT_NE(report.issues[0].problem.find("disagrees"), std::string::npos);
+  EXPECT_EQ(warehouse.degraded_views().count("monthly_sales"), 1u);
+
+  // Repair rebuilds from checkpoint + WAL replay and clears the mark.
+  MD_ASSERT_OK(warehouse.RepairView("monthly_sales"));
+  EXPECT_TRUE(warehouse.degraded_views().empty());
+  MD_ASSERT_OK_AND_ASSIGN(IntegrityReport after,
+                          warehouse.VerifyIntegrity());
+  EXPECT_TRUE(after.clean());
+  MD_ASSERT_OK_AND_ASSIGN(Table repaired, warehouse.View("monthly_sales"));
+  EXPECT_TRUE(TablesExactlyEqual(healthy, repaired));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScrubberTest, CheckpointChecksumMismatchFailsOpen) {
+  const std::string dir = FreshDir("mindetail_scrub_checksum");
+  RetailWarehouse retail = SmallRetail();
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        SaleInserts({FreshSale(900001)})));
+    MD_ASSERT_OK(warehouse.Checkpoint());
+  }
+  // Flip one byte of the checkpointed summary: the manifest checksum no
+  // longer matches, so recovery refuses to trust the state.
+  std::string current;
+  {
+    std::ifstream in(dir + "/" + kCurrentFile);
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, current)));
+  }
+  const std::string summary_csv =
+      dir + "/" + current + "/monthly_sales.summary.csv";
+  {
+    std::fstream f(summary_csv,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekg(static_cast<std::streamoff>(size) - 2);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = (byte == '7') ? '8' : '7';
+    f.seekp(static_cast<std::streamoff>(size) - 2);
+    f.write(&byte, 1);
+  }
+  Result<Warehouse> reopened = Warehouse::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInternal);
+  EXPECT_NE(reopened.status().message().find("integrity"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Double-Open idempotence: recovering the same crash state twice gives
+// bit-identical warehouses (WAL replay is repeatable).
+// -------------------------------------------------------------------
+
+std::map<std::string, Table> CaptureState(const Warehouse& warehouse) {
+  std::map<std::string, Table> state;
+  for (const std::string& name : warehouse.ViewNames()) {
+    const SelfMaintenanceEngine& engine = warehouse.engine(name);
+    Result<Table> view = warehouse.View(name);
+    MD_CHECK(view.ok());
+    state.emplace(name + "/view", std::move(view).value());
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    MD_CHECK(augmented.ok());
+    state.emplace(name + "/summary", std::move(augmented).value());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      state.emplace(name + "/aux/" + aux.base_table,
+                    engine.AuxContents(aux.base_table));
+    }
+  }
+  return state;
+}
+
+TEST(RecoveryIdempotenceTest, DoubleOpenYieldsBitIdenticalState) {
+  const std::string dir = FreshDir("mindetail_double_open");
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(source, kMonthlySql));
+    MD_ASSERT_OK(warehouse.AddViewSql(source, kPerStoreSql));
+    RetailDeltaGenerator gen(99);
+    for (int i = 0; i < 5; ++i) {
+      MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                              gen.MixedSaleBatch(source, 10, 4, 2));
+      MD_ASSERT_OK(warehouse.Apply("sale", delta));
+      MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+    }
+    // No checkpoint: the whole tail recovers from the WAL, twice.
+  }
+  std::map<std::string, Table> first, second;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+    EXPECT_EQ(recovered.recovery_stats().replayed_batches, 5u);
+    first = CaptureState(recovered);
+  }
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+    EXPECT_EQ(recovered.recovery_stats().replayed_batches, 5u);
+    second = CaptureState(recovered);
+  }
+  ASSERT_EQ(first.size(), second.size());
+  for (const auto& [key, table] : first) {
+    auto it = second.find(key);
+    ASSERT_NE(it, second.end()) << key;
+    EXPECT_TRUE(TablesExactlyEqual(table, it->second)) << key;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Acceptance stress: a dirty stream (malformed, duplicated, replayed
+// batches) must leave the warehouse bit-identical to a clean twin fed
+// only the valid batches, with every bad batch accounted for.
+// -------------------------------------------------------------------
+
+TEST(IngestionStressTest, DirtyStreamMatchesCleanTwinExactly) {
+  const std::string dir = FreshDir("mindetail_ingest_stress");
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  // The clean twin sees only the valid batches, over its own source.
+  RetailWarehouse twin_retail = SmallRetail();
+
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse dirty, Warehouse::Open(dir));
+  MD_ASSERT_OK(dirty.AddViewSql(source, kMonthlySql));
+  MD_ASSERT_OK(dirty.AddViewSql(source, kPerStoreSql));
+  Warehouse clean;
+  MD_ASSERT_OK(clean.AddViewSql(twin_retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(clean.AddViewSql(twin_retail.catalog, kPerStoreSql));
+
+  RetailDeltaGenerator gen(2026);
+  std::map<std::string, Delta> last_valid;
+  uint64_t valid = 0, malformed = 0, resent = 0;
+  int64_t bad_id = 800000;
+
+  constexpr int kBatches = 200;
+  for (int i = 1; i <= kBatches; ++i) {
+    if (i % 10 == 3 && !last_valid.empty()) {
+      // Replay: resend the previous valid batch verbatim (10%).
+      MD_ASSERT_OK(dirty.ApplyTransaction(last_valid));
+      ++resent;
+      continue;
+    }
+    if (i % 10 == 7) {
+      // Malformed (10%), rotating through failure modes.
+      std::map<std::string, Delta> bad;
+      Delta delta;
+      switch ((i / 10) % 3) {
+        case 0:  // Dangling foreign key.
+          delta.inserts.push_back(FreshSale(++bad_id, /*timeid=*/9999));
+          break;
+        case 1:  // Delete of a row that does not exist.
+          delta.deletes.push_back(FreshSale(++bad_id));
+          break;
+        default:  // Wrong arity.
+          delta.inserts.push_back({Value(++bad_id), Value(9.5)});
+          break;
+      }
+      bad.emplace("sale", std::move(delta));
+      EXPECT_FALSE(dirty.ApplyTransaction(bad).ok());
+      ++malformed;
+      continue;
+    }
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 8, 3, 2));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(dirty.ApplyTransaction(changes));
+    MD_ASSERT_OK(clean.ApplyTransaction(changes));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable("sale"), delta));
+    MD_ASSERT_OK(
+        ApplyDelta(*twin_retail.catalog.MutableTable("sale"), delta));
+    last_valid = std::move(changes);
+    ++valid;
+
+    if (i == kBatches / 2) MD_ASSERT_OK(dirty.Checkpoint());
+  }
+
+  // Every batch is accounted for.
+  EXPECT_EQ(dirty.ingest_stats().accepted, valid);
+  EXPECT_EQ(dirty.ingest_stats().duplicates, resent);
+  EXPECT_EQ(dirty.ingest_stats().rejected, malformed);
+  EXPECT_EQ(dirty.last_sequence(), valid);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          dirty.QuarantineEntries());
+  EXPECT_EQ(entries.size(), malformed);
+
+  // The dirty warehouse is bit-identical to the clean twin.
+  std::map<std::string, Table> dirty_state = CaptureState(dirty);
+  std::map<std::string, Table> clean_state = CaptureState(clean);
+  ASSERT_EQ(dirty_state.size(), clean_state.size());
+  for (const auto& [key, table] : clean_state) {
+    auto it = dirty_state.find(key);
+    ASSERT_NE(it, dirty_state.end()) << key;
+    EXPECT_TRUE(TablesExactlyEqual(table, it->second)) << key;
+  }
+  // And the scrubber agrees it is healthy.
+  MD_ASSERT_OK_AND_ASSIGN(IntegrityReport report, dirty.VerifyIntegrity());
+  EXPECT_TRUE(report.clean());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mindetail

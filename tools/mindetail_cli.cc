@@ -103,6 +103,10 @@ class Cli {
       Insert(args[1], line);
     } else if (cmd == "erase" && args.size() == 3) {
       Erase(args[1], args[2]);
+    } else if (cmd == "verify") {
+      Verify();
+    } else if (cmd == "quarantine") {
+      Quarantine(args);
     } else {
       std::cout << "unrecognized command; try 'help'\n";
     }
@@ -138,6 +142,12 @@ class Cli {
         "                       thread count)\n"
         "  insert <table> v,..  insert one row (routed to all views)\n"
         "  erase <table> <key>  delete one row by key\n"
+        "  verify               integrity scrub: cross-check every view\n"
+        "                       against its auxiliary views, flag\n"
+        "                       degraded ones\n"
+        "  quarantine [list]    list quarantined batches\n"
+        "  quarantine retry <n> re-ingest quarantined batch n\n"
+        "  quarantine drop <n>  discard quarantined batch n\n"
         "  quit\n";
   }
 
@@ -401,6 +411,70 @@ class Cli {
     }
     Report(status);
     if (status.ok()) std::cout << "deleted key " << key.ToString() << "\n";
+  }
+
+  void Verify() {
+    Result<IntegrityReport> report = warehouse_.VerifyIntegrity();
+    if (!report.ok()) {
+      Report(report.status());
+      return;
+    }
+    std::cout << "checked " << report->views_checked << " view(s)\n";
+    if (report->clean()) {
+      std::cout << "all views verify clean\n";
+      return;
+    }
+    for (const IntegrityIssue& issue : report->issues) {
+      std::cout << "  " << issue.view << ": " << issue.problem << "\n";
+    }
+    std::cout << report->issues.size()
+              << " issue(s); affected views marked degraded\n";
+  }
+
+  static uint64_t ParseId(const std::string& text) {
+    try {
+      return std::stoull(text);
+    } catch (...) {
+      return 0;
+    }
+  }
+
+  void Quarantine(const std::vector<std::string>& args) {
+    const std::string sub = args.size() > 1 ? args[1] : "list";
+    if (sub == "list") {
+      Result<std::vector<QuarantineLog::Entry>> entries =
+          warehouse_.QuarantineEntries();
+      if (!entries.ok()) {
+        Report(entries.status());
+        return;
+      }
+      if (entries->empty()) {
+        std::cout << "quarantine is empty\n";
+        return;
+      }
+      for (const QuarantineLog::Entry& entry : *entries) {
+        size_t rows = 0;
+        for (const auto& [table, delta] : entry.changes) {
+          rows += delta.inserts.size() + delta.deletes.size() +
+                  delta.updates.size();
+        }
+        std::cout << "  #" << entry.id << " [" << StatusCodeName(entry.code)
+                  << "] " << entry.changes.size() << " table(s), " << rows
+                  << " change(s)";
+        if (!entry.key.empty()) std::cout << " key=" << entry.key;
+        std::cout << "\n      " << entry.message << "\n";
+      }
+    } else if (sub == "retry" && args.size() == 3) {
+      const Status status = warehouse_.QuarantineRetry(ParseId(args[2]));
+      Report(status);
+      if (status.ok()) std::cout << "batch re-ingested\n";
+    } else if (sub == "drop" && args.size() == 3) {
+      const Status status = warehouse_.QuarantineDrop(ParseId(args[2]));
+      Report(status);
+      if (status.ok()) std::cout << "batch dropped\n";
+    } else {
+      std::cout << "usage: quarantine [list|retry <n>|drop <n>]\n";
+    }
   }
 
   Catalog source_;
