@@ -1,0 +1,150 @@
+// Serving-layer costs — what the snapshot read path, the roll-up
+// planner, and the result cache buy and cost. Four comparisons:
+//
+//   BM_View            snapshot-backed View(): a shared_ptr pin plus
+//                      one Table copy, independent of view size churn
+//   BM_ViewLegacy      serving disabled: View() renders the summary
+//                      from scratch on every call (the old behaviour)
+//   BM_QueryCached     repeated ad-hoc roll-up with the result cache
+//                      on — steady state is a cache hit
+//   BM_QueryUncached   cache capacity 0: every call plans and executes
+//                      the roll-up against the summary snapshot
+//   BM_QueryDirect     the same query evaluated from base tables with
+//                      EvaluateGpsj — what answering without any
+//                      materialized view would cost
+//   BM_ApplyServing    ingesting a batch with snapshot publication on
+//   BM_ApplyNoServing  the same stream with serving disabled — the
+//                      difference is the per-batch publication cost
+//
+// google-benchmark harness; wired into the CI bench-smoke job.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "gpsj/evaluator.h"
+#include "maintenance/warehouse.h"
+#include "serve/planner.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW city_month AS
+  SELECT time.month, store.city, SUM(sale.price) AS TotalPrice,
+         COUNT(*) AS Cnt
+  FROM sale, time, store
+  WHERE sale.timeid = time.id AND sale.storeid = store.id
+  GROUP BY time.month, store.city
+)sql";
+
+// A coarser grouping than the view retains: answered by summary
+// roll-up.
+constexpr char kRollupSql[] =
+    "SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt "
+    "FROM sale, time, store "
+    "WHERE sale.timeid = time.id AND sale.storeid = store.id "
+    "GROUP BY time.month";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 6;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+void RunView(benchmark::State& state, bool serving) {
+  RetailWarehouse retail = MakeSource();
+  Warehouse warehouse(WarehouseOptions{}.WithServing(serving));
+  Check(warehouse.AddViewSql(retail.catalog, kViewSql));
+  size_t rows = 0;
+  for (auto _ : state) {
+    Table view = Unwrap(warehouse.View("city_month"));
+    rows += view.NumRows();
+    benchmark::DoNotOptimize(view);
+  }
+  state.counters["view_rows"] =
+      benchmark::Counter(static_cast<double>(rows) /
+                         static_cast<double>(state.iterations()));
+}
+
+void BM_View(benchmark::State& state) { RunView(state, true); }
+void BM_ViewLegacy(benchmark::State& state) { RunView(state, false); }
+
+void RunQuery(benchmark::State& state, size_t cache_entries) {
+  RetailWarehouse retail = MakeSource();
+  Warehouse warehouse(
+      WarehouseOptions{}.WithResultCache(cache_entries));
+  Check(warehouse.AddViewSql(retail.catalog, kViewSql));
+  for (auto _ : state) {
+    Table result = Unwrap(warehouse.Query(kRollupSql));
+    benchmark::DoNotOptimize(result);
+  }
+  const ResultCache::Stats stats = warehouse.QueryCacheStats();
+  state.counters["hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["misses"] =
+      benchmark::Counter(static_cast<double>(stats.misses));
+}
+
+void BM_QueryCached(benchmark::State& state) { RunQuery(state, 64); }
+void BM_QueryUncached(benchmark::State& state) { RunQuery(state, 0); }
+
+void BM_QueryDirect(benchmark::State& state) {
+  RetailWarehouse retail = MakeSource();
+  const GpsjViewDef def =
+      Unwrap(ParseServeQuery(retail.catalog, kRollupSql));
+  for (auto _ : state) {
+    Table result = Unwrap(EvaluateGpsj(retail.catalog, def));
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// state.range(0): batch size. One iteration = one ingested batch.
+void RunApply(benchmark::State& state, bool serving) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  Warehouse warehouse(WarehouseOptions{}.WithServing(serving));
+  Check(warehouse.AddViewSql(source, kViewSql));
+  RetailDeltaGenerator gen(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, n / 2, n / 4, n / 4));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", std::move(delta));
+    state.ResumeTiming();
+    Check(warehouse.ApplyTransaction(changes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_ApplyServing(benchmark::State& state) { RunApply(state, true); }
+void BM_ApplyNoServing(benchmark::State& state) {
+  RunApply(state, false);
+}
+
+BENCHMARK(BM_View);
+BENCHMARK(BM_ViewLegacy);
+BENCHMARK(BM_QueryCached);
+BENCHMARK(BM_QueryUncached);
+BENCHMARK(BM_QueryDirect);
+BENCHMARK(BM_ApplyServing)->Arg(64)->Arg(256);
+BENCHMARK(BM_ApplyNoServing)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

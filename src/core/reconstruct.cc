@@ -16,8 +16,6 @@ std::string ContribMinMaxColumn(const std::string& output_name) {
   return StrCat("__mm_", output_name);
 }
 
-namespace {
-
 // Closes `required` upward: every required table's ancestors up to the
 // root are required too (the join tree must stay connected).
 std::set<std::string> CloseUpward(const ExtendedJoinGraph& graph,
@@ -34,6 +32,8 @@ std::set<std::string> CloseUpward(const ExtendedJoinGraph& graph,
   }
   return required;
 }
+
+namespace {
 
 // Appends a computed column `name` = row[src] * row[cnt] to `input`.
 Result<Table> AppendScaledColumn(const Table& input, const std::string& src,
@@ -57,13 +57,11 @@ Result<Table> AppendScaledColumn(const Table& input, const std::string& src,
   return out;
 }
 
-// How SUM-like mass for attribute `T.a` is obtained from the joined
-// auxiliary table.
-struct SumSource {
-  std::string column;  // Column of the joined table to SUM.
-  bool needs_scaling = false;  // Multiply by the root's cnt0 first.
-};
+}  // namespace
 
+// How SUM-like mass for attribute `T.a` is obtained from the joined
+// auxiliary table (SumSource declared in the header — the serving
+// roll-up path shares the resolution rules).
 SumSource ResolveSumSource(const Derivation& derivation,
                            const AttributeRef& input) {
   const AuxViewDef& root_aux = derivation.aux_for(derivation.root());
@@ -107,8 +105,6 @@ std::string ResolveMinMaxSource(const Derivation& derivation,
   }
   return input.ToString();
 }
-
-}  // namespace
 
 std::set<std::string> OutputSupplierTables(const Derivation& derivation,
                                            bool csmas_only) {

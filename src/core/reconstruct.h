@@ -88,6 +88,41 @@ Result<Table> JoinAuxAlongGraph(
 std::set<std::string> OutputSupplierTables(const Derivation& derivation,
                                            bool csmas_only);
 
+// Duplicate-accounting resolution over a JoinAuxAlongGraph output,
+// shared by view reconstruction and the serving layer's roll-up
+// answering (which evaluates ad-hoc aggregates over the same joined
+// auxiliary table).
+//
+// How SUM-like mass for attribute `T.a` is obtained from the joined
+// auxiliary table: either a compressed per-group SUM column (already
+// duplicate-weighted) or a plain column that must be scaled by the
+// root's cnt0 — the paper's f(a · cnt0) rule, Sec. 3.2.
+struct SumSource {
+  std::string column;          // Column of the joined table to SUM.
+  bool needs_scaling = false;  // Multiply by the root's cnt0 first.
+};
+SumSource ResolveSumSource(const Derivation& derivation,
+                           const AttributeRef& input);
+
+// The qualified name of the root's cnt0 column ("<root>.cnt0"), or
+// empty when the root auxiliary view is uncompressed (every joined row
+// then stands for exactly one base tuple).
+std::string RootCountColumn(const Derivation& derivation);
+
+// Source column for a MIN/MAX aggregate over `input`: the compressed
+// per-group MIN/MAX column when the insert-only relaxation produced
+// one, otherwise the plain (qualified) attribute. MIN and MAX are
+// idempotent over duplicates, so no cnt0 scaling applies either way.
+std::string ResolveMinMaxSource(const Derivation& derivation,
+                                const AttributeRef& input, AggFn fn);
+
+// Closes `required` upward along the join tree: every required table's
+// ancestors up to the root are required too (the join must stay
+// connected). Exposed so the serving planner can pre-check that no
+// table on a query's join path has an eliminated auxiliary view.
+std::set<std::string> CloseUpward(const ExtendedJoinGraph& graph,
+                                  std::set<std::string> required);
+
 // Computes the complete view contents from the auxiliary views, no base
 // access. Fails if the root's auxiliary view was eliminated (V itself
 // is then the only copy of its data). Output matches EvaluateGpsj:

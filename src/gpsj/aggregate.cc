@@ -79,6 +79,10 @@ std::string SumColumnName(const std::string& attr_name) {
   return StrCat("sum_", attr_name);
 }
 
+std::string ShadowSumColumn(const std::string& output_name) {
+  return StrCat("__sum_", output_name);
+}
+
 std::vector<PhysicalAggregate> ReplacementSet(const AggregateSpec& spec,
                                               const std::string& attr_name) {
   std::vector<PhysicalAggregate> out;

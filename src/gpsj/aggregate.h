@@ -86,6 +86,15 @@ std::string SumColumnName(const std::string& attr_name);
 // ("cnt0" when on the root table, paper Sec. 3.2).
 inline constexpr char kCountStarColumn[] = "cnt0";
 
+// Hidden columns of an *augmented summary* rendering — the contract
+// between the maintenance engine (SummaryStore::RenderAugmented) and
+// every consumer of the augmented table (checkpoints, the serving
+// layer's roll-up rewriter): the view's output columns are followed by
+// a shadow COUNT(*) and one running-sum column per non-DISTINCT
+// SUM/AVG output, named after the output they back.
+inline constexpr char kShadowColumn[] = "__shadow";
+std::string ShadowSumColumn(const std::string& output_name);
+
 // Renders the classification row of paper Table 1 for `fn`
 // (benchmark/report support).
 std::string Table1Row(AggFn fn);

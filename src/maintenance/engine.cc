@@ -14,15 +14,10 @@ namespace mindetail {
 // SummaryStore
 // ---------------------------------------------------------------------
 
-namespace {
-
-constexpr char kShadowColumn[] = "__shadow";
-
-std::string HiddenSumColumn(const std::string& output_name) {
-  return StrCat("__sum_", output_name);
-}
-
-}  // namespace
+// The hidden-column names (kShadowColumn, ShadowSumColumn) are the
+// shared augmented-summary contract declared in gpsj/aggregate.h —
+// checkpoints and the serving layer's roll-up rewriter read the same
+// columns this store renders.
 
 Result<SummaryStore> SummaryStore::Create(const GpsjViewDef& def,
                                           const Catalog& catalog) {
@@ -122,7 +117,7 @@ Result<SummaryStore> SummaryStore::Create(const GpsjViewDef& def,
     hidden.fn = AggFn::kSum;
     hidden.input = agg.input;
     hidden.distinct = false;
-    hidden.output_name = HiddenSumColumn(item.output_name);
+    hidden.output_name = ShadowSumColumn(item.output_name);
     builder.Aggregate(std::move(hidden));
   }
   MD_ASSIGN_OR_RETURN(store.augmented_def_, builder.Build(catalog));
@@ -162,7 +157,7 @@ Status SummaryStore::LoadFrom(const Table& augmented_rows) {
   }
   std::vector<size_t> sum_idx;
   for (const std::string& output : sum_slot_outputs_) {
-    std::optional<size_t> idx = schema.IndexOf(HiddenSumColumn(output));
+    std::optional<size_t> idx = schema.IndexOf(ShadowSumColumn(output));
     if (!idx.has_value()) {
       return InvalidArgumentError(
           StrCat("augmented load table lacks hidden sum for '", output,
@@ -453,7 +448,7 @@ Schema SummaryStore::AugmentedSchema() const {
   std::vector<Attribute> attrs = render_schema_.attributes();
   attrs.push_back(Attribute{kShadowColumn, ValueType::kInt64});
   for (size_t s = 0; s < sum_slot_outputs_.size(); ++s) {
-    attrs.push_back(Attribute{HiddenSumColumn(sum_slot_outputs_[s]),
+    attrs.push_back(Attribute{ShadowSumColumn(sum_slot_outputs_[s]),
                               sum_slot_types_[s]});
   }
   return Schema(std::move(attrs));

@@ -3,7 +3,10 @@
 #include <optional>
 #include <utility>
 
+#include <vector>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "io/log_format.h"
 
 namespace mindetail {
@@ -127,97 +130,137 @@ int SimLiveness(const KeySim& sim, const KeyLedger& ledger,
   return ledger.Contains(table, value) ? 1 : 0;
 }
 
+// One table's admission checks: tuple shape against the schema, then
+// the key simulation in ApplyDelta order. Writes the post-state
+// simulation into `sim` for the cross-table RI pass. Reads only shared
+// immutable state (catalog, ledger), so any number of tables validate
+// concurrently.
+Status ValidateTableDelta(const Catalog& catalog, const KeyLedger& ledger,
+                          const std::string& table, const Delta& delta,
+                          KeySim* sim_out) {
+  if (!catalog.HasTable(table)) {
+    return InvalidArgumentError(
+        StrCat("batch references unknown table '", table, "'"));
+  }
+  MD_ASSIGN_OR_RETURN(const Table* base, catalog.GetTable(table));
+  const Schema& schema = base->schema();
+
+  auto check_tuple = [&](const Tuple& t, const char* role) {
+    Status s = schema.ValidateTuple(t, /*allow_null=*/false);
+    if (!s.ok()) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' ", role, ": ", s.message()));
+    }
+    return Status::Ok();
+  };
+  for (const Tuple& t : delta.deletes) {
+    MD_RETURN_IF_ERROR(check_tuple(t, "delete"));
+  }
+  for (const Update& u : delta.updates) {
+    MD_RETURN_IF_ERROR(check_tuple(u.before, "update before-image"));
+    MD_RETURN_IF_ERROR(check_tuple(u.after, "update after-image"));
+  }
+  for (const Tuple& t : delta.inserts) {
+    MD_RETURN_IF_ERROR(check_tuple(t, "insert"));
+  }
+
+  const std::optional<size_t> key_index = base->key_index();
+  if (!key_index.has_value()) return Status::Ok();  // Key-less: done.
+  const size_t ki = *key_index;
+
+  KeySim& sim = *sim_out;
+  sim.tracked = ledger.Tracks(table);
+
+  // Simulate in ApplyDelta order: deletes, then updates, then
+  // inserts. Every violation below would otherwise fail mid-apply
+  // inside an engine (forcing a rollback) or, worse, silently skew a
+  // view that never sees base rows again.
+  for (const Tuple& t : delta.deletes) {
+    const Value& key = t[ki];
+    const std::string token = KeyLedger::KeyToken(key);
+    if (SimLiveness(sim, ledger, table, token, key) == 0) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' delete targets key ",
+                 key.ToString(), " which does not exist (or was already"
+                 " deleted by this batch)"));
+    }
+    sim.removed.insert(token);
+    sim.added.erase(token);
+  }
+  for (const Update& u : delta.updates) {
+    const Value& before_key = u.before[ki];
+    const Value& after_key = u.after[ki];
+    const std::string before_token = KeyLedger::KeyToken(before_key);
+    if (SimLiveness(sim, ledger, table, before_token, before_key) == 0) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' update targets key ",
+                 before_key.ToString(), " which does not exist (or was"
+                 " deleted by this batch)"));
+    }
+    const std::string after_token = KeyLedger::KeyToken(after_key);
+    if (after_token != before_token) {
+      if (SimLiveness(sim, ledger, table, after_token, after_key) == 1) {
+        return InvalidArgumentError(
+            StrCat("table '", table, "' update moves key ",
+                   before_key.ToString(), " onto existing key ",
+                   after_key.ToString()));
+      }
+      sim.removed.insert(before_token);
+      sim.added.erase(before_token);
+      sim.added.insert(after_token);
+      sim.removed.erase(after_token);
+    }
+  }
+  for (const Tuple& t : delta.inserts) {
+    const Value& key = t[ki];
+    const std::string token = KeyLedger::KeyToken(key);
+    if (SimLiveness(sim, ledger, table, token, key) == 1) {
+      return InvalidArgumentError(
+          StrCat("table '", table, "' insert duplicates key ",
+                 key.ToString()));
+    }
+    sim.added.insert(token);
+    sim.removed.erase(token);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status ValidateBatch(const Catalog& catalog, const KeyLedger& ledger,
-                     const std::map<std::string, Delta>& changes) {
-  std::map<std::string, KeySim> sims;
-
+                     const std::map<std::string, Delta>& changes,
+                     ThreadPool* pool) {
+  // Tables validate independently (each touches only its own KeySim);
+  // shard them over the pool when one is available. Results land in
+  // batch (map) order, so the error reported below is exactly the one
+  // the serial walk would hit first.
+  struct TableItem {
+    const std::string* table = nullptr;
+    const Delta* delta = nullptr;
+    KeySim sim;
+    Status status;
+  };
+  std::vector<TableItem> items;
+  items.reserve(changes.size());
   for (const auto& [table, delta] : changes) {
-    if (!catalog.HasTable(table)) {
-      return InvalidArgumentError(
-          StrCat("batch references unknown table '", table, "'"));
-    }
-    MD_ASSIGN_OR_RETURN(const Table* base, catalog.GetTable(table));
-    const Schema& schema = base->schema();
-
-    auto check_tuple = [&](const Tuple& t, const char* role) {
-      Status s = schema.ValidateTuple(t, /*allow_null=*/false);
-      if (!s.ok()) {
-        return InvalidArgumentError(
-            StrCat("table '", table, "' ", role, ": ", s.message()));
-      }
-      return Status::Ok();
-    };
-    for (const Tuple& t : delta.deletes) {
-      MD_RETURN_IF_ERROR(check_tuple(t, "delete"));
-    }
-    for (const Update& u : delta.updates) {
-      MD_RETURN_IF_ERROR(check_tuple(u.before, "update before-image"));
-      MD_RETURN_IF_ERROR(check_tuple(u.after, "update after-image"));
-    }
-    for (const Tuple& t : delta.inserts) {
-      MD_RETURN_IF_ERROR(check_tuple(t, "insert"));
-    }
-
-    const std::optional<size_t> key_index = base->key_index();
-    if (!key_index.has_value()) continue;  // Key-less: types were it.
-    const size_t ki = *key_index;
-
-    KeySim& sim = sims[table];
-    sim.tracked = ledger.Tracks(table);
-
-    // Simulate in ApplyDelta order: deletes, then updates, then
-    // inserts. Every violation below would otherwise fail mid-apply
-    // inside an engine (forcing a rollback) or, worse, silently skew a
-    // view that never sees base rows again.
-    for (const Tuple& t : delta.deletes) {
-      const Value& key = t[ki];
-      const std::string token = KeyLedger::KeyToken(key);
-      if (SimLiveness(sim, ledger, table, token, key) == 0) {
-        return InvalidArgumentError(
-            StrCat("table '", table, "' delete targets key ",
-                   key.ToString(), " which does not exist (or was already"
-                   " deleted by this batch)"));
-      }
-      sim.removed.insert(token);
-      sim.added.erase(token);
-    }
-    for (const Update& u : delta.updates) {
-      const Value& before_key = u.before[ki];
-      const Value& after_key = u.after[ki];
-      const std::string before_token = KeyLedger::KeyToken(before_key);
-      if (SimLiveness(sim, ledger, table, before_token, before_key) == 0) {
-        return InvalidArgumentError(
-            StrCat("table '", table, "' update targets key ",
-                   before_key.ToString(), " which does not exist (or was"
-                   " deleted by this batch)"));
-      }
-      const std::string after_token = KeyLedger::KeyToken(after_key);
-      if (after_token != before_token) {
-        if (SimLiveness(sim, ledger, table, after_token, after_key) == 1) {
-          return InvalidArgumentError(
-              StrCat("table '", table, "' update moves key ",
-                     before_key.ToString(), " onto existing key ",
-                     after_key.ToString()));
-        }
-        sim.removed.insert(before_token);
-        sim.added.erase(before_token);
-        sim.added.insert(after_token);
-        sim.removed.erase(after_token);
-      }
-    }
-    for (const Tuple& t : delta.inserts) {
-      const Value& key = t[ki];
-      const std::string token = KeyLedger::KeyToken(key);
-      if (SimLiveness(sim, ledger, table, token, key) == 1) {
-        return InvalidArgumentError(
-            StrCat("table '", table, "' insert duplicates key ",
-                   key.ToString()));
-      }
-      sim.added.insert(token);
-      sim.removed.erase(token);
-    }
+    TableItem item;
+    item.table = &table;
+    item.delta = &delta;
+    items.push_back(std::move(item));
+  }
+  auto validate_one = [&](size_t i) {
+    items[i].status = ValidateTableDelta(catalog, ledger, *items[i].table,
+                                         *items[i].delta, &items[i].sim);
+  };
+  if (pool != nullptr && items.size() >= 2) {
+    pool->ParallelFor(items.size(), validate_one);
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) validate_one(i);
+  }
+  std::map<std::string, KeySim> sims;
+  for (TableItem& item : items) {
+    MD_RETURN_IF_ERROR(item.status);
+    sims.emplace(*item.table, std::move(item.sim));
   }
 
   // Referential integrity of the transaction as a whole: every inserted

@@ -38,6 +38,8 @@
 
 namespace mindetail {
 
+class ThreadPool;
+
 // Ingestion counters, exposed via Warehouse::ingest_stats().
 struct IngestStats {
   uint64_t accepted = 0;       // Batches applied and acknowledged.
@@ -91,8 +93,16 @@ class KeyLedger {
 // does not track skip the key-liveness checks (their within-batch
 // consistency is still enforced); referential integrity is checked only
 // against tracked parent tables.
+//
+// With a non-null `pool`, the per-table checks (tuple shape, key
+// simulation) run concurrently — tables are independent until the
+// final cross-table referential-integrity pass, which stays serial
+// over the collected per-table simulations. Errors are reported
+// identically to the serial validator: the first failing table in
+// batch (map) order wins, with the same message.
 Status ValidateBatch(const Catalog& catalog, const KeyLedger& ledger,
-                     const std::map<std::string, Delta>& changes);
+                     const std::map<std::string, Delta>& changes,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace mindetail
 

@@ -119,6 +119,11 @@ Warehouse::Warehouse(WarehouseOptions options)
   if (options_.parallelism > 1) {
     view_pool_ = std::make_shared<ThreadPool>(options_.parallelism);
   }
+  if (options_.serve_snapshots) {
+    snapshots_ = std::make_shared<SnapshotManager>();
+    result_cache_ =
+        std::make_shared<ResultCache>(options_.result_cache_entries);
+  }
 }
 
 void Warehouse::set_options(WarehouseOptions options) {
@@ -127,6 +132,19 @@ void Warehouse::set_options(WarehouseOptions options) {
                    ? std::make_shared<ThreadPool>(options_.parallelism)
                    : nullptr;
   retry_rng_ = Rng(options_.retry.jitter_seed);
+  if (options_.serve_snapshots) {
+    snapshots_ = std::make_shared<SnapshotManager>();
+    result_cache_ =
+        std::make_shared<ResultCache>(options_.result_cache_entries);
+    // Re-render everything into the fresh manager.
+    PublishSnapshot(
+        std::set<std::string>(registration_order_.begin(),
+                              registration_order_.end()),
+        /*schema_changed=*/true);
+  } else {
+    snapshots_ = nullptr;
+    result_cache_ = nullptr;
+  }
 }
 
 Result<Warehouse> Warehouse::Open(const std::string& dir,
@@ -201,6 +219,11 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
       ++wh.recovery_.rejected_batches;
     }
   }
+  // Recovery is one big (re)build: publish everything at once.
+  wh.PublishSnapshot(
+      std::set<std::string>(wh.registration_order_.begin(),
+                            wh.registration_order_.end()),
+      /*schema_changed=*/true);
   return wh;
 }
 
@@ -256,6 +279,7 @@ Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
   engines_.emplace(def.name(), std::make_unique<SelfMaintenanceEngine>(
                                    std::move(engine)));
   registration_order_.push_back(def.name());
+  PublishSnapshot({def.name()}, /*schema_changed=*/true);
   // Registrations are not WAL events — persist them right away.
   if (durable()) return Checkpoint();
   return Status::Ok();
@@ -279,6 +303,9 @@ Status Warehouse::RemoveView(const std::string& view_name) {
                   view_name),
       registration_order_.end());
   degraded_.erase(view_name);
+  // The publish loop walks registration_order_, so the removed view
+  // simply drops out; InvalidateViews flushes its cached answers.
+  PublishSnapshot({view_name}, /*schema_changed=*/true);
   if (durable()) return Checkpoint();
   return Status::Ok();
 }
@@ -337,7 +364,8 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
     return Status::Ok();
   }
   if (options_.validate_batches) {
-    Status admitted = ValidateBatch(schema_catalog_, ledger_, changes);
+    Status admitted =
+        ValidateBatch(schema_catalog_, ledger_, changes, view_pool_.get());
     if (!admitted.ok()) {
       ++ingest_stats_.rejected;
       QuarantineBatch(admitted, key, changes);
@@ -353,6 +381,21 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
   ++ingest_stats_.accepted;
   RecordKey(key);
   ledger_.Fold(changes);
+  if (snapshots_ != nullptr) {
+    // Copy-on-write publish: only views referencing a changed table are
+    // re-rendered; everything else is shared with the prior snapshot.
+    std::set<std::string> touched;
+    for (const std::string& name : registration_order_) {
+      const GpsjViewDef& def = engines_.at(name)->derivation().view();
+      for (const auto& [table, delta] : changes) {
+        if (def.ReferencesTable(table)) {
+          touched.insert(name);
+          break;
+        }
+      }
+    }
+    PublishSnapshot(touched, /*schema_changed=*/false);
+  }
   return Status::Ok();
 }
 
@@ -735,6 +778,7 @@ Status Warehouse::RepairView(const std::string& view_name) {
   }
   *it->second = std::move(rebuilt);
   degraded_.erase(view_name);
+  PublishSnapshot({view_name}, /*schema_changed=*/false);
   return Status::Ok();
 }
 
@@ -767,12 +811,127 @@ std::string Warehouse::DurabilityReport() const {
 }
 
 Result<Table> Warehouse::View(const std::string& view_name) const {
+  if (snapshots_ != nullptr) {
+    // Serve the already-rendered snapshot table: no aggregation-state
+    // walk, no HAVING re-evaluation, no sort — just one table copy.
+    MD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> contents,
+                        snapshots_->Current()->View(view_name));
+    return *contents;
+  }
   auto it = engines_.find(view_name);
   if (it == engines_.end()) {
     return NotFoundError(
         StrCat("view '", view_name, "' is not registered"));
   }
   return it->second->View();
+}
+
+Result<Table> Warehouse::Query(std::string_view sql) const {
+  if (snapshots_ == nullptr) {
+    return FailedPreconditionError(
+        "serving is disabled (WarehouseOptions::serve_snapshots)");
+  }
+  // One snapshot for the whole query: parse, plan, and execute all see
+  // the same batch boundary no matter what maintenance does meanwhile.
+  const std::shared_ptr<const WarehouseSnapshot> snapshot =
+      snapshots_->Current();
+  const Catalog empty_catalog;
+  const Catalog& catalog = snapshot->schema_catalog != nullptr
+                               ? *snapshot->schema_catalog
+                               : empty_catalog;
+  MD_ASSIGN_OR_RETURN(GpsjViewDef query, ParseServeQuery(catalog, sql));
+  const std::string key = query.ToSqlString();
+  if (result_cache_ != nullptr) {
+    if (std::shared_ptr<const Table> hit =
+            result_cache_->Lookup(key, *snapshot)) {
+      return *hit;
+    }
+  }
+  QueryPlanner planner(snapshot.get());
+  MD_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
+  MD_ASSIGN_OR_RETURN(Table result, planner.Execute(plan, query));
+  if (result_cache_ != nullptr) {
+    const ServedView* served = snapshot->Find(plan.view);
+    if (served != nullptr) {
+      result_cache_->Insert(key, plan.view, served->version,
+                            std::make_shared<const Table>(result));
+    }
+  }
+  return result;
+}
+
+Result<std::string> Warehouse::ExplainQuery(std::string_view sql) const {
+  if (snapshots_ == nullptr) {
+    return FailedPreconditionError(
+        "serving is disabled (WarehouseOptions::serve_snapshots)");
+  }
+  const std::shared_ptr<const WarehouseSnapshot> snapshot =
+      snapshots_->Current();
+  const Catalog empty_catalog;
+  const Catalog& catalog = snapshot->schema_catalog != nullptr
+                               ? *snapshot->schema_catalog
+                               : empty_catalog;
+  MD_ASSIGN_OR_RETURN(GpsjViewDef query, ParseServeQuery(catalog, sql));
+  QueryPlanner planner(snapshot.get());
+  std::string out = planner.Explain(query);
+  if (result_cache_ != nullptr) {
+    const bool hit = result_cache_->Contains(query.ToSqlString(), *snapshot);
+    out = StrCat(out, "result cache: ", hit ? "hit" : "miss", " (",
+                 result_cache_->size(), "/", result_cache_->capacity(),
+                 " entries)\n");
+  }
+  return out;
+}
+
+void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
+                                bool schema_changed) {
+  if (snapshots_ == nullptr) return;
+  const std::shared_ptr<const WarehouseSnapshot> prev = snapshots_->Current();
+  auto next = std::make_shared<WarehouseSnapshot>();
+  next->version = sequence_;
+  next->schema_catalog =
+      (schema_changed || prev->schema_catalog == nullptr)
+          ? std::make_shared<const Catalog>(schema_catalog_)
+          : prev->schema_catalog;
+  next->order = registration_order_;
+  for (const std::string& name : registration_order_) {
+    auto prev_it = prev->views.find(name);
+    if (touched.count(name) == 0 && prev_it != prev->views.end()) {
+      next->views.emplace(name, prev_it->second);  // COW: share.
+      continue;
+    }
+    const SelfMaintenanceEngine& engine = *engines_.at(name);
+    Result<Table> contents = engine.View();
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    if (!contents.ok() || !augmented.ok()) {
+      // Best-effort: a render failure keeps the view's last published
+      // state (readers stay consistent) rather than failing the commit
+      // that already happened.
+      if (prev_it != prev->views.end()) {
+        next->views.emplace(name, prev_it->second);
+      }
+      continue;
+    }
+    auto served = std::make_shared<ServedView>();
+    served->version = sequence_;
+    served->def =
+        std::make_shared<const GpsjViewDef>(engine.derivation().view());
+    served->derivation =
+        std::make_shared<const Derivation>(engine.derivation());
+    served->contents =
+        std::make_shared<const Table>(std::move(*contents));
+    served->augmented =
+        std::make_shared<const Table>(std::move(*augmented));
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      served->aux.emplace(
+          aux.base_table,
+          std::make_shared<const Table>(engine.AuxContents(aux.base_table)));
+    }
+    next->views.emplace(name, std::move(served));
+  }
+  if (result_cache_ != nullptr) result_cache_->InvalidateViews(touched);
+  snapshots_->Publish(std::move(next));
 }
 
 const SelfMaintenanceEngine& Warehouse::engine(

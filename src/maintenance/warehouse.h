@@ -49,6 +49,16 @@
 //    GPSJ invariants against its auxiliary views; failing views are
 //    marked degraded and RepairView() rebuilds them from the last
 //    checkpoint plus WAL replay.
+//
+// Serving layer (on by default, see WarehouseOptions::serve_snapshots):
+// every committed batch publishes an immutable WarehouseSnapshot —
+// copy-on-write at batch boundaries, re-rendering only the views the
+// batch touched — so View() and Query() read consistent state without
+// locking maintenance, from any number of threads. Query() answers
+// ad-hoc GPSJ queries by rewriting over the materialized views (summary
+// roll-up, or the auxiliary-view join fallback; see serve/planner.h)
+// and memoizes results in an invalidation-aware LRU cache keyed by the
+// view version each answer was computed from.
 
 #ifndef MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 #define MINDETAIL_MAINTENANCE_WAREHOUSE_H_
@@ -61,6 +71,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -71,6 +82,9 @@
 #include "maintenance/ingest.h"
 #include "maintenance/quarantine.h"
 #include "maintenance/wal.h"
+#include "serve/planner.h"
+#include "serve/result_cache.h"
+#include "serve/snapshot.h"
 
 namespace mindetail {
 
@@ -120,6 +134,14 @@ struct WarehouseOptions {
   // How many recently accepted idempotency keys are remembered (FIFO).
   // 0 disables duplicate detection entirely.
   size_t idempotency_window = 4096;
+  // Serving layer: publish an immutable snapshot after every committed
+  // batch (and on registration/recovery/repair), and route View() and
+  // Query() through it. Disable to fall back to rendering views from
+  // the live engines on every View() call (and to make Query() a
+  // FailedPrecondition).
+  bool serve_snapshots = true;
+  // Result-cache capacity for Query() answers (0 disables caching).
+  size_t result_cache_entries = 64;
   RetryOptions retry;
 
   WarehouseOptions& WithEngineDefaults(EngineOptions options) {
@@ -148,6 +170,14 @@ struct WarehouseOptions {
   }
   WarehouseOptions& WithIdempotencyWindow(size_t window) {
     idempotency_window = window;
+    return *this;
+  }
+  WarehouseOptions& WithServing(bool serve) {
+    serve_snapshots = serve;
+    return *this;
+  }
+  WarehouseOptions& WithResultCache(size_t entries) {
+    result_cache_entries = entries;
     return *this;
   }
   WarehouseOptions& WithRetries(int max_retries) {
@@ -321,8 +351,44 @@ class Warehouse {
   // Human-readable durability state: directory, sequences, WAL size.
   std::string DurabilityReport() const;
 
-  // Current contents of a registered view.
+  // Current contents of a registered view, as of the last committed
+  // batch. With serving enabled (the default) this reads the published
+  // snapshot — one shared, already-rendered table; the returned copy is
+  // the only per-call cost, and concurrent maintenance never tears the
+  // result. With serving disabled it renders from the live engine.
   Result<Table> View(const std::string& view_name) const;
+
+  // Answers an ad-hoc GPSJ query — a bare SELECT or a full CREATE VIEW
+  // statement over the registered base tables — by rewriting it over
+  // the materialized views (serve/planner.h): a summary roll-up when
+  // the query is derivable from a view's augmented summary, otherwise
+  // a duplicate-accounted join of its auxiliary views. The result is
+  // bit-compatible with evaluating the query over the base tables.
+  // Safe from any thread concurrently with maintenance: the whole
+  // query runs over one immutable snapshot. Answers are memoized in
+  // the result cache until a batch touches the answering view.
+  // FailedPrecondition when serving is disabled; NotFound (with every
+  // candidate's rejection reason) when no view can answer.
+  Result<Table> Query(std::string_view sql) const;
+
+  // The planning report for `sql`: chosen view and strategy (or why
+  // the query is unanswerable), rejected candidates, and whether the
+  // result cache currently holds the answer.
+  Result<std::string> ExplainQuery(std::string_view sql) const;
+
+  // The currently published snapshot (never null while serving is
+  // enabled; null when disabled). Holding the pointer pins the
+  // snapshot's tables — they stay valid and consistent regardless of
+  // later batches.
+  std::shared_ptr<const WarehouseSnapshot> CurrentSnapshot() const {
+    return snapshots_ != nullptr ? snapshots_->Current() : nullptr;
+  }
+
+  // Result-cache counters (zeroes when serving or caching is off).
+  ResultCache::Stats QueryCacheStats() const {
+    return result_cache_ != nullptr ? result_cache_->stats()
+                                    : ResultCache::Stats{};
+  }
 
   const SelfMaintenanceEngine& engine(const std::string& view_name) const;
   // Mutable engine access, for tests that tamper with maintained state
@@ -385,6 +451,16 @@ class Warehouse {
   std::vector<std::string> CheckEngineInvariants(
       const SelfMaintenanceEngine& engine) const;
 
+  // Publishes a fresh snapshot after a committed change. Copy-on-write:
+  // views not in `touched` share their rendered state with the previous
+  // snapshot; touched views are re-rendered from their engines. Also
+  // invalidates cached query results that depend on a touched view.
+  // `schema_changed` additionally refreshes the snapshot's catalog.
+  // No-op when serving is disabled; best-effort (a render failure keeps
+  // the previous state for that view rather than failing the commit).
+  void PublishSnapshot(const std::set<std::string>& touched,
+                       bool schema_changed);
+
   // Keyed by view name; unique_ptr keeps engine addresses stable.
   std::map<std::string, std::unique_ptr<SelfMaintenanceEngine>> engines_;
   std::vector<std::string> registration_order_;
@@ -392,6 +468,12 @@ class Warehouse {
   // Non-null iff options_.parallelism > 1 (shared_ptr so the warehouse
   // stays movable with ThreadPool forward-declared).
   std::shared_ptr<ThreadPool> view_pool_;
+
+  // Serving state; both non-null iff options_.serve_snapshots.
+  // (shared_ptr keeps the warehouse movable; readers hold their own
+  // references to published snapshots, so moves never race them.)
+  std::shared_ptr<SnapshotManager> snapshots_;
+  std::shared_ptr<ResultCache> result_cache_;
 
   // Durability state; dir_ empty ⇔ in-memory warehouse (wal_ null).
   std::string dir_;

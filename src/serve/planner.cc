@@ -1,0 +1,481 @@
+#include "serve/planner.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/reconstruct.h"
+#include "gpsj/aggregate.h"
+
+namespace mindetail {
+
+namespace {
+
+// An extra query selection V does not already apply, with its table.
+struct ExtraCondition {
+  std::string table;
+  Condition condition;
+};
+
+bool SameCondition(const Condition& a, const Condition& b) {
+  return a.attr == b.attr && a.op == b.op &&
+         a.constant.Compare(b.constant) == 0;
+}
+
+// Both strategies require the query to range over exactly the view's
+// join expression: same table set, same join edges.
+Status CheckSameShape(const GpsjViewDef& query, const GpsjViewDef& view) {
+  const std::set<std::string> qt(query.tables().begin(),
+                                 query.tables().end());
+  const std::set<std::string> vt(view.tables().begin(),
+                                 view.tables().end());
+  if (qt != vt) {
+    return FailedPreconditionError(
+        "query and view reference different table sets");
+  }
+  auto contains = [](const std::vector<JoinEdge>& edges,
+                     const JoinEdge& e) {
+    for (const JoinEdge& other : edges) {
+      if (other == e) return true;
+    }
+    return false;
+  };
+  for (const JoinEdge& e : query.joins()) {
+    if (!contains(view.joins(), e)) {
+      return FailedPreconditionError(
+          StrCat("view lacks the query join ", e.ToString()));
+    }
+  }
+  for (const JoinEdge& e : view.joins()) {
+    if (!contains(query.joins(), e)) {
+      return FailedPreconditionError(
+          StrCat("query lacks the view join ", e.ToString()));
+    }
+  }
+  return Status::Ok();
+}
+
+// V's local selections must be a subset of Q's — V's contents would
+// otherwise be too narrow. Returns Q's *extra* selections, which the
+// chosen strategy must still apply.
+Result<std::vector<ExtraCondition>> ExtraConditions(
+    const GpsjViewDef& query, const GpsjViewDef& view) {
+  std::vector<ExtraCondition> extras;
+  for (const std::string& table : query.tables()) {
+    const std::vector<Condition>& qc =
+        query.LocalConditions(table).conditions();
+    const std::vector<Condition>& vc =
+        view.LocalConditions(table).conditions();
+    std::vector<bool> used(qc.size(), false);
+    for (const Condition& c : vc) {
+      bool matched = false;
+      for (size_t j = 0; j < qc.size(); ++j) {
+        if (!used[j] && SameCondition(qc[j], c)) {
+          used[j] = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return FailedPreconditionError(
+            StrCat("view filters ", table, " by ", c.ToString(),
+                   ", which the query does not"));
+      }
+    }
+    for (size_t j = 0; j < qc.size(); ++j) {
+      if (!used[j]) extras.push_back(ExtraCondition{table, qc[j]});
+    }
+  }
+  return extras;
+}
+
+// --- Summary roll-up planning ---------------------------------------------
+
+Result<SummaryRollupPlan> TrySummaryPlan(
+    const ServedView& served, const GpsjViewDef& query,
+    const std::vector<ExtraCondition>& extras) {
+  const GpsjViewDef& view = *served.def;
+  if (served.augmented == nullptr) {
+    return InternalError("view has no augmented summary");
+  }
+  const Schema& aug = served.augmented->schema();
+
+  // The view's group-by outputs, by attribute. Output position ==
+  // column index: the augmented schema starts with the render schema,
+  // which lists outputs in output order.
+  std::map<AttributeRef, size_t> retained;
+  for (size_t i = 0; i < view.outputs().size(); ++i) {
+    const OutputItem& item = view.outputs()[i];
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      retained[item.attr] = i;
+    }
+  }
+
+  SummaryRollupPlan plan;
+  std::optional<size_t> shadow = aug.IndexOf(kShadowColumn);
+  if (!shadow.has_value()) {
+    return InternalError("augmented summary lacks __shadow");
+  }
+  plan.shadow_column = *shadow;
+
+  // Extra query selections must land on retained group-by outputs —
+  // the summary's rows are otherwise too coarse to filter.
+  for (const ExtraCondition& extra : extras) {
+    const AttributeRef ref{extra.table, extra.condition.attr};
+    auto it = retained.find(ref);
+    if (it == retained.end()) {
+      return FailedPreconditionError(
+          StrCat("selection on ", ref.ToString(),
+                 ", which is not a group-by output of the view"));
+    }
+    plan.filters.push_back(SummaryFilter{it->second, extra.condition.op,
+                                         extra.condition.constant});
+  }
+
+  // Q's group-bys must be a subset of V's (roll-up only coarsens).
+  std::set<AttributeRef> query_groups;
+  for (const OutputItem& item : query.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      if (retained.find(item.attr) == retained.end()) {
+        return FailedPreconditionError(
+            StrCat("groups by ", item.attr.ToString(),
+                   ", which the view does not retain"));
+      }
+      query_groups.insert(item.attr);
+    }
+  }
+  std::set<AttributeRef> view_groups;
+  for (const auto& [ref, idx] : retained) view_groups.insert(ref);
+  const bool same_grouping = query_groups == view_groups;
+
+  // A view aggregate output matching `pred`, or -1.
+  auto find_view_agg = [&](auto pred) -> int {
+    for (size_t i = 0; i < view.outputs().size(); ++i) {
+      const OutputItem& item = view.outputs()[i];
+      if (item.kind == OutputItem::Kind::kAggregate && pred(item.agg)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+
+  for (const OutputItem& item : query.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      const size_t src = retained.at(item.attr);
+      plan.group_columns.push_back(src);
+      plan.outputs.push_back(SummaryOutput{SummaryOutput::Kind::kGroup,
+                                           src, AggFn::kCountStar,
+                                           aug.attribute(src).type});
+      continue;
+    }
+    const AggregateSpec& spec = item.agg;
+    if (same_grouping) {
+      // One summary row per query group: any aggregate V materializes
+      // — DISTINCT included — carries over verbatim.
+      const int pos = find_view_agg([&](const AggregateSpec& v) {
+        return v.fn == spec.fn && v.distinct == spec.distinct &&
+               (spec.fn == AggFn::kCountStar || v.input == spec.input);
+      });
+      if (pos >= 0) {
+        plan.outputs.push_back(
+            SummaryOutput{SummaryOutput::Kind::kCopy,
+                          static_cast<size_t>(pos), spec.fn,
+                          aug.attribute(pos).type});
+        continue;
+      }
+    }
+    if (spec.distinct) {
+      // DISTINCT is not distributive: value sets cannot be merged
+      // across view groups (paper Sec. 3.1).
+      return FailedPreconditionError(
+          StrCat(spec.ToString(),
+                 " is not distributive over the view's groups"));
+    }
+    switch (spec.fn) {
+      case AggFn::kCountStar:
+      case AggFn::kCount:
+        // Base tables are NULL-free, so COUNT(a) == COUNT(*) == Σ of
+        // the shadow counts.
+        plan.outputs.push_back(SummaryOutput{SummaryOutput::Kind::kCount,
+                                             0, spec.fn,
+                                             ValueType::kInt64});
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg: {
+        const int pos = find_view_agg([&](const AggregateSpec& v) {
+          return (v.fn == AggFn::kSum || v.fn == AggFn::kAvg) &&
+                 !v.distinct && v.input == spec.input;
+        });
+        if (pos < 0) {
+          return FailedPreconditionError(
+              StrCat("the summary carries no running sum over ",
+                     spec.input.ToString()));
+        }
+        std::optional<size_t> src = aug.IndexOf(
+            ShadowSumColumn(view.outputs()[pos].output_name));
+        if (!src.has_value()) {
+          return InternalError(
+              StrCat("augmented summary lacks the running sum backing ",
+                     view.outputs()[pos].output_name));
+        }
+        plan.outputs.push_back(SummaryOutput{
+            spec.fn == AggFn::kSum ? SummaryOutput::Kind::kSum
+                                   : SummaryOutput::Kind::kAvg,
+            *src, spec.fn,
+            spec.fn == AggFn::kSum ? aug.attribute(*src).type
+                                   : ValueType::kDouble});
+        break;
+      }
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        // MIN/MAX are idempotent, so V's output folds distributively
+        // (and a DISTINCT flag on V's output is semantically inert).
+        const int pos = find_view_agg([&](const AggregateSpec& v) {
+          return v.fn == spec.fn && v.input == spec.input;
+        });
+        if (pos < 0) {
+          return FailedPreconditionError(
+              StrCat("the view has no ", AggFnName(spec.fn),
+                     " output over ", spec.input.ToString()));
+        }
+        plan.outputs.push_back(SummaryOutput{
+            spec.fn == AggFn::kMin ? SummaryOutput::Kind::kMin
+                                   : SummaryOutput::Kind::kMax,
+            static_cast<size_t>(pos), spec.fn,
+            aug.attribute(pos).type});
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+// --- Auxiliary-view join planning -----------------------------------------
+
+Result<AuxJoinPlan> TryAuxPlan(const ServedView& served,
+                               const GpsjViewDef& query,
+                               const std::vector<ExtraCondition>& extras,
+                               const Catalog& catalog) {
+  if (served.derivation == nullptr) {
+    return InternalError("view has no derivation");
+  }
+  const Derivation& d = *served.derivation;
+  if (d.IsEliminated(d.root())) {
+    return FailedPreconditionError(
+        "the root auxiliary view was eliminated; the materialized view "
+        "is the only copy of its data");
+  }
+
+  AuxJoinPlan plan;
+  std::set<std::string> required = {d.root()};
+
+  // `ref` must survive as a plain column of its auxiliary view.
+  auto need_plain = [&](const AttributeRef& ref) -> Status {
+    if (d.IsEliminated(ref.table)) {
+      return FailedPreconditionError(
+          StrCat("the auxiliary view of '", ref.table,
+                 "' was eliminated"));
+    }
+    if (!d.aux_for(ref.table).schema.Contains(ref.attr)) {
+      return FailedPreconditionError(
+          StrCat(ref.ToString(), " is not retained in ",
+                 d.aux_for(ref.table).name));
+    }
+    required.insert(ref.table);
+    return Status::Ok();
+  };
+
+  // Extra query selections run over the joined auxiliaries. A filter
+  // on a root plain attribute is sound under compression: duplicates
+  // are only merged when *all* retained attributes agree.
+  for (const ExtraCondition& extra : extras) {
+    const AttributeRef ref{extra.table, extra.condition.attr};
+    MD_RETURN_IF_ERROR(need_plain(ref));
+    plan.filters.push_back(AuxFilter{ref.ToString(), extra.condition.op,
+                                     extra.condition.constant});
+  }
+
+  for (const OutputItem& item : query.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      MD_RETURN_IF_ERROR(need_plain(item.attr));
+      MD_ASSIGN_OR_RETURN(ValueType type,
+                          query.AttrType(catalog, item.attr));
+      plan.group_columns.push_back(item.attr.ToString());
+      plan.outputs.push_back(AuxOutput{AuxOutput::Kind::kGroup,
+                                       item.attr.ToString(), false,
+                                       AggFn::kCountStar, type});
+      continue;
+    }
+    const AggregateSpec& spec = item.agg;
+    if (spec.fn == AggFn::kCountStar ||
+        (spec.fn == AggFn::kCount && !spec.distinct)) {
+      plan.outputs.push_back(AuxOutput{AuxOutput::Kind::kCount, "",
+                                       false, spec.fn,
+                                       ValueType::kInt64});
+      continue;
+    }
+    MD_ASSIGN_OR_RETURN(ValueType input_type,
+                        query.AttrType(catalog, spec.input));
+    if (spec.fn == AggFn::kMin || spec.fn == AggFn::kMax) {
+      // Duplicate-insensitive: a compressed per-group MIN/MAX column
+      // (insert-only relaxation) serves directly, a plain column as-is.
+      const std::string src = ResolveMinMaxSource(d, spec.input, spec.fn);
+      if (src == spec.input.ToString()) {
+        MD_RETURN_IF_ERROR(need_plain(spec.input));
+      }
+      plan.outputs.push_back(AuxOutput{AuxOutput::Kind::kMinMax, src,
+                                       false, spec.fn, input_type});
+      continue;
+    }
+    if (spec.distinct) {
+      // The distinct value set needs the plain column; compression
+      // preserves it (duplicates agree on every retained attribute).
+      MD_RETURN_IF_ERROR(need_plain(spec.input));
+      const ValueType type = spec.fn == AggFn::kCount ? ValueType::kInt64
+                             : spec.fn == AggFn::kAvg ? ValueType::kDouble
+                                                      : input_type;
+      plan.outputs.push_back(AuxOutput{AuxOutput::Kind::kDistinct,
+                                       spec.input.ToString(), false,
+                                       spec.fn, type});
+      continue;
+    }
+    // Non-distinct SUM / AVG: per-group sum column when the root
+    // compressed the attribute, otherwise the plain column scaled by
+    // cnt0 — f(a · cnt0), paper Sec. 3.2.
+    const bool compressed_sum =
+        spec.input.table == d.root() &&
+        d.aux_for(d.root()).plan.SumColumnIndex(spec.input.attr) >= 0;
+    if (!compressed_sum) {
+      MD_RETURN_IF_ERROR(need_plain(spec.input));
+    }
+    const SumSource source = ResolveSumSource(d, spec.input);
+    plan.outputs.push_back(AuxOutput{
+        spec.fn == AggFn::kSum ? AuxOutput::Kind::kSum
+                               : AuxOutput::Kind::kAvg,
+        source.column, source.needs_scaling, spec.fn,
+        spec.fn == AggFn::kSum ? input_type : ValueType::kDouble});
+  }
+
+  // The join must stay connected up to the root, and every table on
+  // the path must still be materialized.
+  required = CloseUpward(d.graph(), std::move(required));
+  for (const std::string& table : required) {
+    if (d.IsEliminated(table)) {
+      return FailedPreconditionError(
+          StrCat("join-path table '", table,
+                 "' has an eliminated auxiliary view"));
+    }
+  }
+  plan.required = std::move(required);
+  plan.weight_column = RootCountColumn(d);
+  return plan;
+}
+
+}  // namespace
+
+Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
+  std::vector<RejectedCandidate> rejected;
+  for (const std::string& name : snapshot_->order) {
+    const ServedView* served = snapshot_->Find(name);
+    if (served == nullptr || served->def == nullptr) continue;
+
+    Status shape = CheckSameShape(query, *served->def);
+    if (!shape.ok()) {
+      rejected.push_back(RejectedCandidate{name, shape.message()});
+      continue;
+    }
+    Result<std::vector<ExtraCondition>> extras =
+        ExtraConditions(query, *served->def);
+    if (!extras.ok()) {
+      rejected.push_back(
+          RejectedCandidate{name, extras.status().message()});
+      continue;
+    }
+
+    Result<SummaryRollupPlan> summary =
+        TrySummaryPlan(*served, query, *extras);
+    if (summary.ok()) {
+      QueryPlan plan;
+      plan.view = name;
+      plan.strategy = QueryPlan::Strategy::kSummaryRollup;
+      plan.summary = std::move(*summary);
+      plan.rejected = std::move(rejected);
+      return plan;
+    }
+    Result<AuxJoinPlan> aux =
+        TryAuxPlan(*served, query, *extras, *snapshot_->schema_catalog);
+    if (aux.ok()) {
+      QueryPlan plan;
+      plan.view = name;
+      plan.strategy = QueryPlan::Strategy::kAuxJoin;
+      plan.aux = std::move(*aux);
+      plan.rejected = std::move(rejected);
+      return plan;
+    }
+    rejected.push_back(RejectedCandidate{
+        name, StrCat("summary roll-up: ", summary.status().message(),
+                     "; auxiliary join: ", aux.status().message())});
+  }
+
+  std::string message = "no materialized view can answer the query";
+  for (const RejectedCandidate& r : rejected) {
+    message = StrCat(message, "\n  ", r.view, ": ", r.reason);
+  }
+  if (rejected.empty()) {
+    message = StrCat(message, " (no views are registered)");
+  }
+  return NotFoundError(std::move(message));
+}
+
+Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
+                                    const GpsjViewDef& query) const {
+  const ServedView* served = snapshot_->Find(plan.view);
+  if (served == nullptr) {
+    return NotFoundError(
+        StrCat("view '", plan.view, "' is not in the snapshot"));
+  }
+  if (plan.strategy == QueryPlan::Strategy::kSummaryRollup) {
+    return ExecuteSummaryRollup(*served, query, plan.summary);
+  }
+  return ExecuteAuxJoin(*served, query, plan.aux);
+}
+
+std::string QueryPlanner::Explain(const GpsjViewDef& query) const {
+  std::string out = StrCat("query: ", query.ToSqlString(), "\n");
+  Result<QueryPlan> plan = Plan(query);
+  if (plan.ok()) {
+    out = StrCat(out, "answer: view '", plan->view, "' via ",
+                 plan->StrategyName(), "\n");
+    for (const RejectedCandidate& r : plan->rejected) {
+      out = StrCat(out, "rejected: ", r.view, " — ", r.reason, "\n");
+    }
+  } else {
+    out = StrCat(out, "unanswerable: ", plan.status().message(), "\n");
+  }
+  return out;
+}
+
+Result<GpsjViewDef> ParseServeQuery(const Catalog& catalog,
+                                    std::string_view sql) {
+  const size_t begin = sql.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) {
+    return InvalidArgumentError("empty query");
+  }
+  const size_t end = sql.find_last_not_of(" \t\r\n;");
+  std::string text(sql.substr(begin, end - begin + 1));
+
+  // A bare SELECT is wrapped as an anonymous view definition; the
+  // canonical rendering of the parsed definition doubles as the result
+  // cache key, so spelling variants of one query share an entry.
+  std::string lowered = text.substr(0, 6);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+  if (lowered == "select") {
+    text = StrCat("CREATE VIEW __query AS ", text);
+  }
+  return ParseGpsjView(text, catalog);
+}
+
+}  // namespace mindetail

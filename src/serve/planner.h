@@ -1,0 +1,100 @@
+// GPSJ query answering by rewriting over materialized views.
+//
+// An ad-hoc GPSJ query is answered without touching base tables by
+// rolling up a materialized summary — the read-side dual of the paper's
+// smart duplicate compression: the augmented summary carries COUNT(*)
+// (__shadow) and running sums precisely so coarser aggregates can be
+// re-derived from it. Per the CSMAS rules, a query Q is derivable from
+// a view V's summary when
+//   * Q references the same tables and join conditions as V,
+//   * V's local selections are a subset of Q's, and every extra
+//     selection of Q is on an attribute V retains as a group-by output,
+//   * Q's group-by attributes are a subset of V's, and
+//   * every aggregate of Q is distributive over V's groups (COUNT via
+//     Σ __shadow, SUM via Σ __sum_*, AVG as their ratio, MIN/MAX over a
+//     matching MIN/MAX output) — or Q groups exactly like V, in which
+//     case any aggregate V materializes (DISTINCT included) is copied.
+// When the summary alone is insufficient (finer grouping, an aggregate
+// over an attribute V only retains in its auxiliary views), the planner
+// falls back to evaluating Q over the auxiliary views {V} ∪ X: join
+// them along the join graph and aggregate with duplicate accounting —
+// f(a · cnt0), paper Sec. 3.2.
+//
+// Everything here runs over an immutable WarehouseSnapshot; planning
+// and execution never block maintenance.
+
+#ifndef MINDETAIL_SERVE_PLANNER_H_
+#define MINDETAIL_SERVE_PLANNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpsj/parser.h"
+#include "serve/rollup.h"
+#include "serve/snapshot.h"
+
+namespace mindetail {
+
+// A candidate view the planner examined and could not use.
+struct RejectedCandidate {
+  std::string view;
+  std::string reason;
+};
+
+// An executable decision: which view answers the query and how.
+struct QueryPlan {
+  enum class Strategy { kSummaryRollup, kAuxJoin };
+
+  std::string view;
+  Strategy strategy = Strategy::kSummaryRollup;
+  // Exactly one of these is populated, matching `strategy`.
+  SummaryRollupPlan summary;
+  AuxJoinPlan aux;
+  // Candidates examined (in registration order) before `view` won.
+  std::vector<RejectedCandidate> rejected;
+
+  const char* StrategyName() const {
+    return strategy == Strategy::kSummaryRollup ? "summary roll-up"
+                                                : "auxiliary-view join";
+  }
+};
+
+// Plans and executes ad-hoc GPSJ queries against one snapshot. The
+// planner borrows the snapshot; keep the shared_ptr alive for the
+// planner's lifetime.
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(const WarehouseSnapshot* snapshot)
+      : snapshot_(snapshot) {}
+
+  // Tries every registered view in registration order — the summary
+  // roll-up first, then the auxiliary-view fallback — and returns the
+  // first executable plan. Fails (kNotFound) with every candidate's
+  // rejection reason when no view can answer the query.
+  Result<QueryPlan> Plan(const GpsjViewDef& query) const;
+
+  // Executes a plan produced by Plan() for the same query. The result
+  // matches direct GPSJ evaluation of `query` over the base tables:
+  // output columns in query output order, HAVING applied, rows sorted.
+  Result<Table> Execute(const QueryPlan& plan,
+                        const GpsjViewDef& query) const;
+
+  // A human-readable planning report: the chosen view and strategy (or
+  // why the query is unanswerable), plus every rejected candidate.
+  std::string Explain(const GpsjViewDef& query) const;
+
+ private:
+  const WarehouseSnapshot* snapshot_;
+};
+
+// Parses an ad-hoc query against a (rowless) schema catalog. Accepts
+// either a bare SELECT (wrapped as CREATE VIEW __query AS …) or a full
+// CREATE VIEW statement. The parsed definition doubles as the
+// normalized cache key via GpsjViewDef::ToSqlString().
+Result<GpsjViewDef> ParseServeQuery(const Catalog& catalog,
+                                    std::string_view sql);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_SERVE_PLANNER_H_

@@ -1,0 +1,98 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace mindetail {
+
+bool ResultCache::Valid(const Entry& entry,
+                        const WarehouseSnapshot& snapshot) {
+  const ServedView* view = snapshot.Find(entry.view);
+  return view != nullptr && view->version == entry.view_version;
+}
+
+std::shared_ptr<const Table> ResultCache::Lookup(
+    const std::string& key, const WarehouseSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (!Valid(*it->second, snapshot)) {
+    // Belt and braces: the commit path invalidates eagerly, but an
+    // entry inserted by a reader racing a commit may postdate the
+    // invalidation sweep. The version guard catches it here.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->result;
+}
+
+bool ResultCache::Contains(const std::string& key,
+                           const WarehouseSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  return it != index_.end() && Valid(*it->second, snapshot);
+}
+
+void ResultCache::Insert(const std::string& key,
+                         const std::string& source_view,
+                         uint64_t view_version,
+                         std::shared_ptr<const Table> result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (a re-computation after invalidation).
+    it->second->view = source_view;
+    it->second->view_version = view_version;
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, source_view, view_version, std::move(result)});
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::InvalidateViews(const std::set<std::string>& views) {
+  if (views.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (views.count(it->view) > 0) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mindetail

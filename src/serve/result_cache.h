@@ -1,0 +1,90 @@
+// An invalidation-aware LRU cache of query results.
+//
+// Entries are keyed by the normalized query text (parse → canonical SQL
+// rendering, so whitespace/case/alias variants share an entry) and
+// guarded by the version of the view the result was computed from: a
+// lookup only hits when the current snapshot still carries that view at
+// that version. The maintenance commit path calls InvalidateViews with
+// the views a batch actually touched, so queries answered from views a
+// batch did not touch stay cached across the batch.
+//
+// Internally synchronized — any number of reader threads may hit the
+// cache while the single writer invalidates.
+
+#ifndef MINDETAIL_SERVE_RESULT_CACHE_H_
+#define MINDETAIL_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "relational/table.h"
+#include "serve/snapshot.h"
+
+namespace mindetail {
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t invalidations = 0;  // Entries dropped by InvalidateViews
+                                 // or a stale-version lookup.
+    uint64_t evictions = 0;      // Entries dropped by LRU pressure.
+  };
+
+  // capacity 0 disables the cache (every lookup misses, inserts drop).
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  // The cached result for `key`, valid against `snapshot` — or null.
+  // A hit refreshes the entry's LRU position; an entry whose source
+  // view changed (or vanished) since insertion is dropped on sight.
+  std::shared_ptr<const Table> Lookup(const std::string& key,
+                                      const WarehouseSnapshot& snapshot);
+
+  // True iff Lookup would hit, without touching LRU order or stats
+  // (Explain support).
+  bool Contains(const std::string& key,
+                const WarehouseSnapshot& snapshot) const;
+
+  // Remembers `result` for `key`, answered from `source_view` at
+  // `view_version`. Evicts the least-recently-used entry on overflow.
+  void Insert(const std::string& key, const std::string& source_view,
+              uint64_t view_version, std::shared_ptr<const Table> result);
+
+  // Drops every entry answered from one of `views` (the commit path's
+  // per-view invalidation hook).
+  void InvalidateViews(const std::set<std::string>& views);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string view;
+    uint64_t view_version = 0;
+    std::shared_ptr<const Table> result;
+  };
+
+  // True when `entry` is still valid against `snapshot`.
+  static bool Valid(const Entry& entry, const WarehouseSnapshot& snapshot);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,356 @@
+#include "serve/rollup.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "core/reconstruct.h"
+#include "relational/value.h"
+
+namespace mindetail {
+
+namespace {
+
+// Output table shaped as the query's outputs: same column names, types
+// as planned, NULLs allowed (aggregates over empty groups).
+Table MakeResultTable(const GpsjViewDef& query,
+                      const std::vector<ValueType>& types) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(query.outputs().size());
+  for (size_t i = 0; i < query.outputs().size(); ++i) {
+    attrs.push_back(Attribute{query.outputs()[i].output_name, types[i]});
+  }
+  Table out(query.name(), Schema(std::move(attrs)));
+  out.set_allow_null(true);
+  return out;
+}
+
+// Skip-NULL MIN/MAX fold, mirroring GroupAggregate's AggState update.
+void FoldExtreme(Value* current, const Value& v, bool is_min) {
+  if (v.is_null()) return;
+  if (current->is_null() ||
+      (is_min ? v.Compare(*current) < 0 : v.Compare(*current) > 0)) {
+    *current = v;
+  }
+}
+
+using DistinctSet = std::unordered_set<Value, ValueHash, ValueEqual>;
+
+// Finalizes a DISTINCT aggregate from its value set, mirroring
+// FinalizeAggregate: COUNT = |set|, SUM = Σ set (NULL when empty),
+// AVG = Σ set / |set| (NULL when empty).
+Value FinalizeDistinct(AggFn fn, const DistinctSet& set) {
+  if (fn == AggFn::kCount) {
+    return Value(static_cast<int64_t>(set.size()));
+  }
+  Value total;
+  for (const Value& v : set) total = AddValues(total, v);
+  if (fn == AggFn::kSum) return total;
+  // AVG.
+  if (set.empty() || total.is_null()) return Value::Null();
+  return Value(total.NumericAsDouble() / static_cast<double>(set.size()));
+}
+
+}  // namespace
+
+// --- Summary roll-up ------------------------------------------------------
+
+namespace {
+
+struct SummaryGroup {
+  int64_t shadow = 0;        // Σ __shadow — the group's base-row count.
+  std::vector<Value> acc;    // Per output; meaning depends on its kind.
+};
+
+}  // namespace
+
+Result<Table> ExecuteSummaryRollup(const ServedView& view,
+                                   const GpsjViewDef& query,
+                                   const SummaryRollupPlan& plan) {
+  if (view.augmented == nullptr) {
+    return InternalError("served view has no augmented summary");
+  }
+  const Table& aug = *view.augmented;
+
+  std::unordered_map<Tuple, SummaryGroup, TupleHash, TupleEqual> groups;
+  for (const Tuple& row : aug.rows()) {
+    bool pass = true;
+    for (const SummaryFilter& f : plan.filters) {
+      if (!EvalCompare(f.op, row[f.column], f.constant)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    Tuple key;
+    key.reserve(plan.group_columns.size());
+    for (size_t c : plan.group_columns) key.push_back(row[c]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    SummaryGroup& g = it->second;
+    if (inserted) g.acc.resize(plan.outputs.size());
+
+    g.shadow += row[plan.shadow_column].AsInt64();
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+      const SummaryOutput& out = plan.outputs[i];
+      switch (out.kind) {
+        case SummaryOutput::Kind::kGroup:
+        case SummaryOutput::Kind::kCount:
+          break;  // Key slot / Σ shadow — nothing per-output to fold.
+        case SummaryOutput::Kind::kSum:
+        case SummaryOutput::Kind::kAvg:
+          g.acc[i] = AddValues(g.acc[i], row[out.source]);
+          break;
+        case SummaryOutput::Kind::kMin:
+          FoldExtreme(&g.acc[i], row[out.source], /*is_min=*/true);
+          break;
+        case SummaryOutput::Kind::kMax:
+          FoldExtreme(&g.acc[i], row[out.source], /*is_min=*/false);
+          break;
+        case SummaryOutput::Kind::kCopy:
+          // Query groups exactly like the view: one summary row per
+          // group, so the value carries over verbatim.
+          g.acc[i] = row[out.source];
+          break;
+      }
+    }
+  }
+
+  std::vector<ValueType> types;
+  types.reserve(plan.outputs.size());
+  for (const SummaryOutput& out : plan.outputs) types.push_back(out.type);
+  Table result = MakeResultTable(query, types);
+
+  auto emit = [&](const Tuple& key, const SummaryGroup& g) -> Status {
+    Tuple row;
+    row.reserve(plan.outputs.size());
+    size_t key_slot = 0;
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+      const SummaryOutput& out = plan.outputs[i];
+      switch (out.kind) {
+        case SummaryOutput::Kind::kGroup:
+          row.push_back(key[key_slot++]);
+          break;
+        case SummaryOutput::Kind::kCount:
+          row.push_back(Value(g.shadow));
+          break;
+        case SummaryOutput::Kind::kAvg:
+          if (g.shadow > 0 && !g.acc[i].is_null()) {
+            row.push_back(Value(g.acc[i].NumericAsDouble() /
+                                static_cast<double>(g.shadow)));
+          } else {
+            row.push_back(Value::Null());
+          }
+          break;
+        case SummaryOutput::Kind::kCopy:
+          // Over empty input (the scalar phantom row) a copied COUNT
+          // must be 0, like the empty AggState it stands in for.
+          if (g.shadow == 0 && g.acc[i].is_null() &&
+              (out.fn == AggFn::kCount || out.fn == AggFn::kCountStar)) {
+            row.push_back(Value(static_cast<int64_t>(0)));
+            break;
+          }
+          row.push_back(g.acc[i]);
+          break;
+        case SummaryOutput::Kind::kSum:
+        case SummaryOutput::Kind::kMin:
+        case SummaryOutput::Kind::kMax:
+          row.push_back(g.acc[i]);
+          break;
+      }
+    }
+    if (!query.PassesHaving(row)) return Status::Ok();
+    return result.Insert(std::move(row));
+  };
+
+  for (const auto& [key, g] : groups) {
+    MD_RETURN_IF_ERROR(emit(key, g));
+  }
+  if (plan.group_columns.empty() && groups.empty()) {
+    // SQL scalar-aggregate semantics: one row of empty-input aggregates
+    // (COUNT = 0, everything else NULL).
+    SummaryGroup empty;
+    empty.acc.resize(plan.outputs.size());
+    MD_RETURN_IF_ERROR(emit(Tuple{}, empty));
+  }
+  SortRows(&result);
+  return result;
+}
+
+// --- Auxiliary-view join --------------------------------------------------
+
+namespace {
+
+struct AuxGroup {
+  int64_t weight = 0;        // Σ weight — the group's base-row count.
+  std::vector<Value> acc;    // Per output; meaning depends on its kind.
+  std::vector<DistinctSet> sets;  // Per output; kDistinct only.
+};
+
+}  // namespace
+
+Result<Table> ExecuteAuxJoin(const ServedView& view,
+                             const GpsjViewDef& query,
+                             const AuxJoinPlan& plan) {
+  if (view.derivation == nullptr) {
+    return InternalError("served view has no derivation");
+  }
+  std::map<std::string, const Table*> tables;
+  for (const std::string& name : plan.required) {
+    auto it = view.aux.find(name);
+    if (it == view.aux.end()) {
+      return InternalError(
+          StrCat("auxiliary view for '", name, "' not in snapshot"));
+    }
+    tables[name] = it->second.get();
+  }
+  MD_ASSIGN_OR_RETURN(
+      Table joined,
+      JoinAuxAlongGraph(*view.derivation, tables, plan.required));
+  const Schema& schema = joined.schema();
+
+  // Resolve every plan column once against the joined schema.
+  auto resolve = [&](const std::string& column) -> Result<size_t> {
+    std::optional<size_t> idx = schema.IndexOf(column);
+    if (!idx.has_value()) {
+      return InternalError(
+          StrCat("column '", column, "' missing from joined auxiliaries"));
+    }
+    return *idx;
+  };
+  std::vector<std::pair<size_t, const AuxFilter*>> filters;
+  for (const AuxFilter& f : plan.filters) {
+    MD_ASSIGN_OR_RETURN(size_t idx, resolve(f.column));
+    filters.emplace_back(idx, &f);
+  }
+  std::vector<size_t> group_idx;
+  for (const std::string& column : plan.group_columns) {
+    MD_ASSIGN_OR_RETURN(size_t idx, resolve(column));
+    group_idx.push_back(idx);
+  }
+  std::vector<size_t> source_idx(plan.outputs.size(), 0);
+  for (size_t i = 0; i < plan.outputs.size(); ++i) {
+    const AuxOutput& out = plan.outputs[i];
+    if (out.kind == AuxOutput::Kind::kGroup ||
+        out.kind == AuxOutput::Kind::kSum ||
+        out.kind == AuxOutput::Kind::kAvg ||
+        out.kind == AuxOutput::Kind::kMinMax ||
+        out.kind == AuxOutput::Kind::kDistinct) {
+      MD_ASSIGN_OR_RETURN(source_idx[i], resolve(out.column));
+    }
+  }
+  std::optional<size_t> weight_idx;
+  if (!plan.weight_column.empty()) {
+    MD_ASSIGN_OR_RETURN(size_t idx, resolve(plan.weight_column));
+    weight_idx = idx;
+  }
+
+  std::unordered_map<Tuple, AuxGroup, TupleHash, TupleEqual> groups;
+  for (const Tuple& row : joined.rows()) {
+    bool pass = true;
+    for (const auto& [idx, f] : filters) {
+      if (!EvalCompare(f->op, row[idx], f->constant)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    // Duplicate accounting: a compressed root row stands for cnt0 base
+    // tuples (paper Sec. 3.2); an uncompressed one for exactly 1.
+    const int64_t w =
+        weight_idx.has_value() ? row[*weight_idx].AsInt64() : 1;
+
+    Tuple key;
+    key.reserve(group_idx.size());
+    for (size_t c : group_idx) key.push_back(row[c]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    AuxGroup& g = it->second;
+    if (inserted) {
+      g.acc.resize(plan.outputs.size());
+      g.sets.resize(plan.outputs.size());
+    }
+
+    g.weight += w;
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+      const AuxOutput& out = plan.outputs[i];
+      switch (out.kind) {
+        case AuxOutput::Kind::kGroup:
+        case AuxOutput::Kind::kCount:
+          break;  // Key slot / Σ weight — nothing per-output to fold.
+        case AuxOutput::Kind::kSum:
+        case AuxOutput::Kind::kAvg: {
+          const Value& v = row[source_idx[i]];
+          g.acc[i] =
+              AddValues(g.acc[i], out.scale ? ScaleValue(v, w) : v);
+          break;
+        }
+        case AuxOutput::Kind::kMinMax:
+          // Idempotent over duplicates — no weighting either way.
+          FoldExtreme(&g.acc[i], row[source_idx[i]],
+                      out.fn == AggFn::kMin);
+          break;
+        case AuxOutput::Kind::kDistinct:
+          g.sets[i].insert(row[source_idx[i]]);
+          break;
+      }
+    }
+  }
+
+  std::vector<ValueType> types;
+  types.reserve(plan.outputs.size());
+  for (const AuxOutput& out : plan.outputs) types.push_back(out.type);
+  Table result = MakeResultTable(query, types);
+
+  auto emit = [&](const Tuple& key, const AuxGroup& g) -> Status {
+    Tuple row;
+    row.reserve(plan.outputs.size());
+    size_t key_slot = 0;
+    for (size_t i = 0; i < plan.outputs.size(); ++i) {
+      const AuxOutput& out = plan.outputs[i];
+      switch (out.kind) {
+        case AuxOutput::Kind::kGroup:
+          row.push_back(key[key_slot++]);
+          break;
+        case AuxOutput::Kind::kCount:
+          row.push_back(Value(g.weight));
+          break;
+        case AuxOutput::Kind::kAvg:
+          if (g.weight > 0 && !g.acc[i].is_null()) {
+            row.push_back(Value(g.acc[i].NumericAsDouble() /
+                                static_cast<double>(g.weight)));
+          } else {
+            row.push_back(Value::Null());
+          }
+          break;
+        case AuxOutput::Kind::kSum:
+        case AuxOutput::Kind::kMinMax:
+          row.push_back(g.acc[i]);
+          break;
+        case AuxOutput::Kind::kDistinct:
+          row.push_back(FinalizeDistinct(out.fn, g.sets[i]));
+          break;
+      }
+    }
+    if (!query.PassesHaving(row)) return Status::Ok();
+    return result.Insert(std::move(row));
+  };
+
+  for (const auto& [key, g] : groups) {
+    MD_RETURN_IF_ERROR(emit(key, g));
+  }
+  if (group_idx.empty() && groups.empty()) {
+    AuxGroup empty;
+    empty.acc.resize(plan.outputs.size());
+    empty.sets.resize(plan.outputs.size());
+    MD_RETURN_IF_ERROR(emit(Tuple{}, empty));
+  }
+  SortRows(&result);
+  return result;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,138 @@
+// Roll-up execution plans and their executors.
+//
+// The planner (planner.h) compiles an ad-hoc GPSJ query into one of two
+// physical shapes, both evaluated purely over a ServedView's immutable
+// snapshot state:
+//
+//  * SummaryRollupPlan — a single pass over the view's *augmented
+//    summary*: filter on retained group-by outputs, re-group on a
+//    subset of the view's group-bys, and re-derive each query aggregate
+//    distributively (COUNT via Σ __shadow, SUM via Σ __sum_*, AVG as
+//    their ratio, MIN/MAX by folding the view's MIN/MAX outputs). This
+//    is the read-side dual of smart duplicate compression: the hidden
+//    columns exist precisely so coarser aggregates stay derivable.
+//
+//  * AuxJoinPlan — join the auxiliary views {V} ∪ X along the join
+//    graph and aggregate with duplicate accounting (f(a · cnt0), paper
+//    Sec. 3.2): every joined row stands for `cnt0` base tuples when the
+//    root is compressed, for exactly one otherwise.
+//
+// Both executors reproduce GroupAggregate's aggregation semantics
+// exactly (NULL-on-empty SUM/AVG/MIN/MAX, scalar queries yielding one
+// row over empty input, sorted output), so a roll-up answer matches
+// direct GPSJ evaluation of the query over the base tables.
+
+#ifndef MINDETAIL_SERVE_ROLLUP_H_
+#define MINDETAIL_SERVE_ROLLUP_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gpsj/view_def.h"
+#include "relational/ops.h"
+#include "relational/predicate.h"
+#include "serve/snapshot.h"
+
+namespace mindetail {
+
+// --- Summary roll-up ------------------------------------------------------
+
+// An extra query selection, pre-bound to a column of the augmented
+// summary (one of the view's retained group-by outputs).
+struct SummaryFilter {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+// One query output derived from the augmented summary.
+struct SummaryOutput {
+  enum class Kind {
+    kGroup,   // Copy the group-by value from `source`.
+    kCount,   // Σ __shadow — COUNT(*) and non-DISTINCT COUNT(a).
+    kSum,     // Σ over `source` (a __sum_* running-sum column).
+    kAvg,     // Σ `source` / Σ __shadow.
+    kMin,     // Fold MIN over `source` (a view MIN output), NULLs skipped.
+    kMax,     // Fold MAX over `source` (a view MAX output), NULLs skipped.
+    kCopy,    // Copy the view's own aggregate output `source` verbatim
+              // (query groups exactly like the view: one row per group).
+  };
+
+  Kind kind = Kind::kGroup;
+  size_t source = 0;       // Column index in the augmented summary
+                           // (unused for kCount).
+  // The query aggregate this output answers — needed by kCopy to
+  // finalize over empty input (COUNT family → 0, everything else NULL,
+  // matching scalar-aggregate semantics).
+  AggFn fn = AggFn::kCountStar;
+  ValueType type = ValueType::kNull;  // Output column type.
+};
+
+// Executed over ServedView::augmented. `group_columns` lists the
+// augmented-summary columns forming the query's group key, in the same
+// order the plan's kGroup outputs appear.
+struct SummaryRollupPlan {
+  size_t shadow_column = 0;  // __shadow's index in the augmented schema.
+  std::vector<size_t> group_columns;
+  std::vector<SummaryFilter> filters;
+  std::vector<SummaryOutput> outputs;  // In query output order.
+};
+
+Result<Table> ExecuteSummaryRollup(const ServedView& view,
+                                   const GpsjViewDef& query,
+                                   const SummaryRollupPlan& plan);
+
+// --- Auxiliary-view join --------------------------------------------------
+
+// An extra query selection over the joined auxiliary table, by
+// qualified column name ("time.month").
+struct AuxFilter {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+};
+
+// One query output computed from the joined auxiliary table.
+struct AuxOutput {
+  enum class Kind {
+    kGroup,     // Copy the group-by value from `column`.
+    kCount,     // Σ weight — COUNT(*) and non-DISTINCT COUNT(a).
+    kSum,       // Σ `column`, scaled by the weight when `scale`.
+    kAvg,       // kSum mass divided by Σ weight.
+    kMinMax,    // Fold MIN/MAX (per `fn`) over `column`, NULLs skipped;
+                // idempotent over duplicates, never scaled.
+    kDistinct,  // Collect `column`'s distinct values, finalize per `fn`
+                // (COUNT → set size, SUM → Σ set, AVG → their ratio).
+  };
+
+  Kind kind = Kind::kGroup;
+  std::string column;  // Qualified source column (empty for kCount).
+  bool scale = false;  // kSum/kAvg: multiply by the weight first — the
+                       // source is a plain column, not a per-group sum.
+  AggFn fn = AggFn::kCountStar;        // kMinMax / kDistinct finalizer.
+  ValueType type = ValueType::kNull;   // Output column type.
+};
+
+// Executed by joining ServedView::aux along the derivation's join
+// graph. `group_columns` is ordered like the plan's kGroup outputs.
+struct AuxJoinPlan {
+  // Tables to join, closed upward to the root (all non-eliminated).
+  std::set<std::string> required;
+  // The root's qualified cnt0 column, or empty when the root auxiliary
+  // view is uncompressed (every joined row then weighs 1).
+  std::string weight_column;
+  std::vector<std::string> group_columns;
+  std::vector<AuxFilter> filters;
+  std::vector<AuxOutput> outputs;  // In query output order.
+};
+
+Result<Table> ExecuteAuxJoin(const ServedView& view,
+                             const GpsjViewDef& query,
+                             const AuxJoinPlan& plan);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_SERVE_ROLLUP_H_

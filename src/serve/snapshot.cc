@@ -1,0 +1,40 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+const ServedView* WarehouseSnapshot::Find(const std::string& name) const {
+  auto it = views.find(name);
+  return it == views.end() ? nullptr : it->second.get();
+}
+
+Result<std::shared_ptr<const Table>> WarehouseSnapshot::View(
+    const std::string& name) const {
+  const ServedView* view = Find(name);
+  if (view == nullptr) {
+    return NotFoundError(StrCat("view '", name, "' is not registered"));
+  }
+  return view->contents;
+}
+
+SnapshotManager::SnapshotManager() {
+  auto empty = std::make_shared<WarehouseSnapshot>();
+  empty->schema_catalog = std::make_shared<const Catalog>();
+  current_ = std::move(empty);
+}
+
+std::shared_ptr<const WarehouseSnapshot> SnapshotManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void SnapshotManager::Publish(
+    std::shared_ptr<const WarehouseSnapshot> next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(next);
+}
+
+}  // namespace mindetail

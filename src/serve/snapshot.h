@@ -1,0 +1,100 @@
+// Serving-layer snapshots: immutable, refcounted, batch-consistent
+// images of a warehouse's materialized state.
+//
+// The warehouse is a single-writer / many-readers system. The writer
+// (the maintenance commit path) publishes a new WarehouseSnapshot after
+// every committed batch; readers grab the current snapshot once and
+// then work entirely on immutable data — no locks are held while a
+// query runs, and maintenance is never blocked by readers.
+//
+// Publishing is copy-on-write at batch boundaries: a new snapshot
+// re-renders only the views the batch actually touched and shares every
+// other view's tables (shared_ptr) with its predecessor. Readers
+// therefore pay zero copies, and a snapshot stays valid (and
+// internally consistent — all views at the same batch boundary) for as
+// long as anyone holds it.
+
+#ifndef MINDETAIL_SERVE_SNAPSHOT_H_
+#define MINDETAIL_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/derive.h"
+#include "gpsj/view_def.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// One view's complete serving state as of a snapshot. Everything is
+// immutable and shared: snapshots that did not touch the view alias the
+// same ServedView instance.
+struct ServedView {
+  // Warehouse sequence of the last committed batch that modified this
+  // view (its registration sequence if never modified). The result
+  // cache keys validity on this: a view untouched by a batch keeps its
+  // version, so its cached query results stay valid across the batch.
+  uint64_t version = 0;
+  // The view definition and its Algorithm 3.2 derivation (copied at
+  // publish time — engines can be swapped by RepairView, so snapshots
+  // must own their metadata).
+  std::shared_ptr<const GpsjViewDef> def;
+  std::shared_ptr<const Derivation> derivation;
+  // Rendered view contents: output columns, HAVING applied, sorted.
+  std::shared_ptr<const Table> contents;
+  // The augmented summary (HAVING ignored; __shadow and __sum_*
+  // columns appended) — the roll-up rewriter's input.
+  std::shared_ptr<const Table> augmented;
+  // Non-eliminated auxiliary views, keyed by base table — the
+  // fallback input when the summary alone cannot answer a query.
+  std::map<std::string, std::shared_ptr<const Table>> aux;
+};
+
+// A consistent image of every registered view at one batch boundary.
+struct WarehouseSnapshot {
+  // Sequence of the last batch folded into this snapshot (0 = empty
+  // warehouse / registration only).
+  uint64_t version = 0;
+  // Rowless schema catalog of every referenced base table — what
+  // ad-hoc queries are parsed and type-checked against.
+  std::shared_ptr<const Catalog> schema_catalog;
+  // View names in registration order.
+  std::vector<std::string> order;
+  std::map<std::string, std::shared_ptr<const ServedView>> views;
+
+  bool HasView(const std::string& name) const {
+    return views.count(name) > 0;
+  }
+  // The view's serving state, or nullptr when not registered.
+  const ServedView* Find(const std::string& name) const;
+  // The view's rendered contents — a shared handle, no copy.
+  Result<std::shared_ptr<const Table>> View(const std::string& name) const;
+};
+
+// Hands out the current snapshot and accepts newly published ones.
+// Current() is safe from any number of threads concurrently with one
+// publisher; the mutex only guards the pointer swap, never a render or
+// a query.
+class SnapshotManager {
+ public:
+  SnapshotManager();
+
+  // Never null: an empty warehouse serves an empty snapshot.
+  std::shared_ptr<const WarehouseSnapshot> Current() const;
+
+  void Publish(std::shared_ptr<const WarehouseSnapshot> next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const WarehouseSnapshot> current_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_SERVE_SNAPSHOT_H_

@@ -12,6 +12,7 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 #include "io/log_format.h"
 #include "io/warehouse_io.h"
@@ -783,6 +784,97 @@ TEST(IngestionStressTest, DirtyStreamMatchesCleanTwinExactly) {
   MD_ASSERT_OK_AND_ASSIGN(IntegrityReport report, dirty.VerifyIntegrity());
   EXPECT_TRUE(report.clean());
   std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Sharded admission control: with a thread pool, per-table checks run
+// concurrently but must report byte-identically to the serial
+// validator. TSan-checked via this file's `concurrency` label.
+// -------------------------------------------------------------------
+
+class ShardedValidationTest : public ::testing::Test {
+ protected:
+  ShardedValidationTest() : retail_(SmallRetail()), pool_(4) {
+    for (const std::string& name : retail_.catalog.TableNames()) {
+      const Table* table = retail_.catalog.GetTable(name).value();
+      ledger_.Track(name, *table->key_index(), *table);
+    }
+  }
+
+  // The serial validator is the spec: same status code, same message.
+  void ExpectIdentical(const std::map<std::string, Delta>& changes) {
+    const Status serial =
+        ValidateBatch(retail_.catalog, ledger_, changes, nullptr);
+    const Status pooled =
+        ValidateBatch(retail_.catalog, ledger_, changes, &pool_);
+    EXPECT_EQ(serial.ToString(), pooled.ToString());
+  }
+
+  RetailWarehouse retail_;
+  KeyLedger ledger_;
+  ThreadPool pool_;
+};
+
+TEST_F(ShardedValidationTest, AcceptsAValidWideTransaction) {
+  std::map<std::string, Delta> changes;
+  changes["sale"].inserts.push_back(FreshSale(900001));
+  changes["store"].inserts.push_back({Value(int64_t{900001}),
+                                      Value("1 New St"),
+                                      Value("Springfield"), Value("US"),
+                                      Value("Kim")});
+  changes["product"].inserts.push_back(
+      {Value(int64_t{900001}), Value("Acme"), Value("toys")});
+  MD_EXPECT_OK(ValidateBatch(retail_.catalog, ledger_, changes, &pool_));
+  ExpectIdentical(changes);
+}
+
+TEST_F(ShardedValidationTest, FirstFailingTableInMapOrderWins) {
+  // Three independently invalid tables; map order makes "product" the
+  // canonical error regardless of which shard finishes first.
+  std::map<std::string, Delta> changes;
+  changes["product"].inserts.push_back(
+      {Value(int64_t{1}), Value("Acme"), Value("toys")});  // Duplicate key.
+  changes["sale"].deletes.push_back(FreshSale(987654321));  // Missing row.
+  changes["store"].inserts.push_back({Value(int64_t{900001})});  // Arity.
+  const Status pooled =
+      ValidateBatch(retail_.catalog, ledger_, changes, &pool_);
+  EXPECT_FALSE(pooled.ok());
+  EXPECT_NE(pooled.message().find("product"), std::string::npos)
+      << pooled.message();
+  ExpectIdentical(changes);
+}
+
+TEST_F(ShardedValidationTest, CrossTableIntegrityStillChecked) {
+  // The RI pass runs after the sharded per-table checks: a sale row
+  // referencing a store deleted by the same wide batch must fail the
+  // same way serially and pooled.
+  const Table* store = retail_.catalog.GetTable("store").value();
+  std::map<std::string, Delta> changes;
+  changes["sale"].inserts.push_back(FreshSale(900001));
+  changes["store"].deletes.push_back(store->rows().front());
+  const Status pooled =
+      ValidateBatch(retail_.catalog, ledger_, changes, &pool_);
+  EXPECT_FALSE(pooled.ok());
+  ExpectIdentical(changes);
+}
+
+TEST_F(ShardedValidationTest, WarehouseRejectsIdenticallyAtAnyWidth) {
+  std::map<std::string, Delta> bad;
+  bad["sale"].deletes.push_back(FreshSale(987654321));
+  bad["store"].inserts.push_back({Value(int64_t{900001})});
+  std::string messages[2];
+  int i = 0;
+  for (int parallelism : {1, 4}) {
+    RetailWarehouse retail = SmallRetail();
+    Warehouse warehouse(WarehouseOptions{}.WithParallelism(parallelism));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kPerStoreSql));
+    const Status status = warehouse.ApplyTransaction(bad);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(warehouse.ingest_stats().rejected, 1u);
+    messages[i++] = status.ToString();
+  }
+  EXPECT_EQ(messages[0], messages[1]);
 }
 
 }  // namespace

@@ -1,0 +1,445 @@
+// Serving-layer planner units: every CSMAS accept/reject rule of the
+// summary roll-up rewriter, the auxiliary-view fallback, the
+// invalidation-aware result cache, and the snapshot-backed View() path.
+// All fixtures use int64 measures, so every comparison against direct
+// GPSJ evaluation is exact (TablesExactlyEqual, no tolerance).
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "gpsj/evaluator.h"
+#include "maintenance/warehouse.h"
+#include "serve/planner.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::TablesExactlyEqual;
+
+// The paper's Table 3 instance: sale(id, timeid, productid, price) with
+// int64 prices, joined to time and product.
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW by_time_brand AS
+  SELECT time.id, product.brand, SUM(sale.price) AS Total,
+         COUNT(*) AS Cnt, AVG(sale.price) AS AvgPrice
+  FROM sale, time, product
+  WHERE sale.timeid = time.id AND sale.productid = product.id
+  GROUP BY time.id, product.brand
+)sql";
+
+// Warehouse with the fixture view registered and its catalog.
+struct Served {
+  Catalog catalog;
+  Warehouse warehouse;
+};
+
+Served MakeServed(WarehouseOptions options = WarehouseOptions{}) {
+  Served s{PaperTable3Fixture(), Warehouse(std::move(options))};
+  MD_CHECK(s.warehouse.AddViewSql(s.catalog, kViewSql).ok());
+  return s;
+}
+
+// Oracle: evaluate the ad-hoc query directly over the base tables.
+Table Oracle(const Catalog& catalog, const std::string& sql) {
+  Result<GpsjViewDef> def = ParseServeQuery(catalog, sql);
+  MD_CHECK(def.ok());
+  Result<Table> table = EvaluateGpsj(catalog, *def);
+  MD_CHECK(table.ok());
+  return std::move(table).value();
+}
+
+// -------------------------------------------------------------------
+// Summary roll-up: accepted rewrites.
+// -------------------------------------------------------------------
+
+TEST(PlannerTest, RollupCoarserGroupingMatchesOracleExactly) {
+  Served s = MakeServed();
+  const std::string sql =
+      "SELECT product.brand, SUM(sale.price) AS T, COUNT(*) AS C, "
+      "AVG(sale.price) AS A "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY product.brand";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          s.warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+}
+
+TEST(PlannerTest, RollupScalarQueryMatchesOracleExactly) {
+  Served s = MakeServed();
+  const std::string sql =
+      "SELECT SUM(sale.price) AS T, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+}
+
+TEST(PlannerTest, RollupExtraSelectionOnRetainedGroupBy) {
+  Served s = MakeServed();
+  // product.brand is a group-by output of the view, so the extra
+  // selection filters summary rows directly.
+  const std::string sql =
+      "SELECT time.id, SUM(sale.price) AS T, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "AND product.brand = 'Alpha' "
+      "GROUP BY time.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          s.warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+}
+
+TEST(PlannerTest, SameGroupingCopiesViewAggregates) {
+  Served s = MakeServed();
+  const std::string sql =
+      "SELECT time.id, product.brand, AVG(sale.price) AS A, "
+      "COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY time.id, product.brand";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+}
+
+TEST(PlannerTest, RollupAppliesQueryHaving) {
+  Served s = MakeServed();
+  const std::string sql =
+      "SELECT product.brand, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY product.brand "
+      "HAVING C >= 3";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+}
+
+// -------------------------------------------------------------------
+// Auxiliary-view fallback.
+// -------------------------------------------------------------------
+
+TEST(PlannerTest, AuxJoinAnswersFinerGrouping) {
+  Served s = MakeServed();
+  // sale.productid is not a group-by output of the view, so the summary
+  // is too coarse — but the root auxiliary view retains it (join attr).
+  const std::string sql =
+      "SELECT sale.productid, SUM(sale.price) AS T, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY sale.productid";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          s.warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+}
+
+TEST(PlannerTest, AuxJoinAnswersSelectionOnNonRetainedAttribute) {
+  Served s = MakeServed();
+  // sale.productid is not retained by the summary, so the extra
+  // selection forces the auxiliary-view path.
+  const std::string sql =
+      "SELECT time.id, SUM(sale.price) AS T, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "AND sale.productid = 2 "
+      "GROUP BY time.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          s.warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// Rejections.
+// -------------------------------------------------------------------
+
+TEST(PlannerTest, RejectsAggregateNeitherStrategySupports) {
+  Served s = MakeServed();
+  // The view has no MIN output, and smart duplicate compression folded
+  // sale.price into sum_price — the plain column is gone from the root
+  // auxiliary view, so neither strategy can answer MIN.
+  const std::string sql =
+      "SELECT product.brand, MIN(sale.price) AS M "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY product.brand";
+  Result<Table> got = s.warehouse.Query(sql);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(got.status().message().find(
+                "no materialized view can answer the query"),
+            std::string::npos);
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          s.warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("unanswerable:"), std::string::npos);
+}
+
+TEST(PlannerTest, RejectsDifferentTableSet) {
+  Served s = MakeServed();
+  const std::string sql =
+      "SELECT time.id, COUNT(*) AS C "
+      "FROM sale, time "
+      "WHERE sale.timeid = time.id "
+      "GROUP BY time.id";
+  Result<Table> got = s.warehouse.Query(sql);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("different table sets"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, RejectsWhenViewFiltersMoreThanQuery) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, R"sql(
+    CREATE VIEW narrow AS
+    SELECT product.brand, COUNT(*) AS Cnt
+    FROM sale, time, product
+    WHERE sale.timeid = time.id AND sale.productid = product.id
+      AND time.year = 1998
+    GROUP BY product.brand
+  )sql"));
+  const std::string sql =
+      "SELECT product.brand, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY product.brand";
+  Result<Table> got = warehouse.Query(sql);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().message().find("view filters"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, RejectsDistinctOverCoarserGroups) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, R"sql(
+    CREATE VIEW with_distinct AS
+    SELECT time.id, COUNT(DISTINCT product.brand) AS Brands,
+           COUNT(*) AS Cnt
+    FROM sale, time, product
+    WHERE sale.timeid = time.id AND sale.productid = product.id
+    GROUP BY time.id
+  )sql"));
+  // Coarser than the view: the per-group distinct sets cannot be
+  // merged, so the summary rejects; the aux fallback answers instead
+  // (product.brand survives in product's auxiliary view).
+  const std::string sql =
+      "SELECT COUNT(DISTINCT product.brand) AS B, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+}
+
+TEST(PlannerTest, SameGroupingCopiesDistinctAggregate) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, R"sql(
+    CREATE VIEW with_distinct AS
+    SELECT time.id, COUNT(DISTINCT product.brand) AS Brands,
+           COUNT(*) AS Cnt
+    FROM sale, time, product
+    WHERE sale.timeid = time.id AND sale.productid = product.id
+    GROUP BY time.id
+  )sql"));
+  // Same grouping as the view: even the non-distributive DISTINCT
+  // output carries over verbatim.
+  const std::string sql =
+      "SELECT time.id, COUNT(DISTINCT product.brand) AS B "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY time.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(catalog, sql), got));
+
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+}
+
+TEST(PlannerTest, NoViewsRegistered) {
+  Warehouse warehouse;
+  Result<Table> got = warehouse.Query("SELECT COUNT(*) AS C FROM sale");
+  ASSERT_FALSE(got.ok());
+  // An empty warehouse has no schema to parse against.
+  EXPECT_NE(got.status().message().find("sale"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// Result cache.
+// -------------------------------------------------------------------
+
+constexpr char kBrandQuery[] =
+    "SELECT product.brand, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY product.brand";
+
+TEST(ResultCacheTest, RepeatQueryHitsAndNormalizesSpelling) {
+  Served s = MakeServed();
+  MD_ASSERT_OK_AND_ASSIGN(Table first, s.warehouse.Query(kBrandQuery));
+  EXPECT_EQ(s.warehouse.QueryCacheStats().misses, 1u);
+  EXPECT_EQ(s.warehouse.QueryCacheStats().hits, 0u);
+
+  // Same query, different whitespace/case — the parsed definition's
+  // canonical rendering is the key, so this hits.
+  const std::string variant =
+      "select product.brand,  SUM(sale.price) AS T, COUNT(*) AS C\n"
+      "FROM sale, time, product\n"
+      "WHERE sale.timeid = time.id AND sale.productid = product.id\n"
+      "GROUP BY product.brand;";
+  MD_ASSERT_OK_AND_ASSIGN(Table second, s.warehouse.Query(variant));
+  EXPECT_EQ(s.warehouse.QueryCacheStats().hits, 1u);
+  EXPECT_TRUE(TablesExactlyEqual(first, second));
+}
+
+TEST(ResultCacheTest, BatchTouchingSourceViewInvalidates) {
+  Served s = MakeServed();
+  MD_ASSERT_OK_AND_ASSIGN(Table before, s.warehouse.Query(kBrandQuery));
+
+  Delta delta;
+  delta.inserts.push_back(
+      {Value(int64_t{7}), Value(int64_t{1}), Value(int64_t{2}),
+       Value(int64_t{50})});
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", delta);
+  MD_ASSERT_OK(s.warehouse.ApplyTransaction(changes));
+  EXPECT_GE(s.warehouse.QueryCacheStats().invalidations, 1u);
+
+  // Re-query: a miss, and the fresh answer reflects the batch.
+  MD_ASSERT_OK(ApplyDelta(*s.catalog.MutableTable("sale"), delta));
+  MD_ASSERT_OK_AND_ASSIGN(Table after, s.warehouse.Query(kBrandQuery));
+  EXPECT_EQ(s.warehouse.QueryCacheStats().misses, 2u);
+  EXPECT_EQ(s.warehouse.QueryCacheStats().hits, 0u);
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, kBrandQuery), after));
+  EXPECT_FALSE(TablesExactlyEqual(before, after));
+}
+
+TEST(ResultCacheTest, SurvivesBatchesTouchingOtherViews) {
+  // Two views over different tables: a batch against `store` touches
+  // per_store but not monthly_sales, so monthly answers stay cached.
+  RetailWarehouse retail = test::SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, R"sql(
+    CREATE VIEW monthly_sales AS
+    SELECT time.month, COUNT(*) AS Cnt
+    FROM sale, time
+    WHERE sale.timeid = time.id
+    GROUP BY time.month
+  )sql"));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, R"sql(
+    CREATE VIEW per_store AS
+    SELECT store.city, COUNT(*) AS Cnt
+    FROM sale, store
+    WHERE sale.storeid = store.id
+    GROUP BY store.city
+  )sql"));
+  const std::string sql =
+      "SELECT COUNT(*) AS C FROM sale, time "
+      "WHERE sale.timeid = time.id";
+  MD_ASSERT_OK_AND_ASSIGN(Table first, warehouse.Query(sql));
+
+  Delta delta;
+  delta.inserts.push_back({Value(int64_t{900001}), Value("1 New St"),
+                           Value("Springfield"), Value("US"),
+                           Value("Kim")});
+  std::map<std::string, Delta> changes;
+  changes.emplace("store", std::move(delta));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(changes));
+
+  MD_ASSERT_OK_AND_ASSIGN(Table second, warehouse.Query(sql));
+  EXPECT_EQ(warehouse.QueryCacheStats().hits, 1u);
+  EXPECT_TRUE(TablesExactlyEqual(first, second));
+}
+
+TEST(ResultCacheTest, LruEvictionUnderCapacityPressure) {
+  Served s = MakeServed(WarehouseOptions{}.WithResultCache(1));
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  const std::string other =
+      "SELECT time.id, COUNT(*) AS C "
+      "FROM sale, time, product "
+      "WHERE sale.timeid = time.id AND sale.productid = product.id "
+      "GROUP BY time.id";
+  MD_ASSERT_OK(s.warehouse.Query(other).status());
+  EXPECT_EQ(s.warehouse.QueryCacheStats().evictions, 1u);
+  // The first query was evicted: asking again misses.
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  EXPECT_EQ(s.warehouse.QueryCacheStats().hits, 0u);
+  EXPECT_EQ(s.warehouse.QueryCacheStats().misses, 3u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  Served s = MakeServed(WarehouseOptions{}.WithResultCache(0));
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  EXPECT_EQ(s.warehouse.QueryCacheStats().hits, 0u);
+  EXPECT_EQ(s.warehouse.QueryCacheStats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, ExplainReportsCacheState) {
+  Served s = MakeServed();
+  MD_ASSERT_OK_AND_ASSIGN(std::string cold,
+                          s.warehouse.ExplainQuery(kBrandQuery));
+  EXPECT_NE(cold.find("result cache: miss"), std::string::npos);
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  MD_ASSERT_OK_AND_ASSIGN(std::string warm,
+                          s.warehouse.ExplainQuery(kBrandQuery));
+  EXPECT_NE(warm.find("result cache: hit"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// Snapshot-backed View() and the serving switch.
+// -------------------------------------------------------------------
+
+TEST(ServingSwitchTest, ViewMatchesEngineRenderExactly) {
+  Served s = MakeServed();
+  MD_ASSERT_OK_AND_ASSIGN(Table snapshot_view,
+                          s.warehouse.View("by_time_brand"));
+  MD_ASSERT_OK_AND_ASSIGN(Table engine_view,
+                          s.warehouse.engine("by_time_brand").View());
+  EXPECT_TRUE(TablesExactlyEqual(engine_view, snapshot_view));
+}
+
+TEST(ServingSwitchTest, DisabledServingRejectsQueryButServesView) {
+  Served s = MakeServed(WarehouseOptions{}.WithServing(false));
+  EXPECT_EQ(s.warehouse.CurrentSnapshot(), nullptr);
+  Result<Table> q = s.warehouse.Query(kBrandQuery);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kFailedPrecondition);
+  // View() falls back to the live engine render.
+  MD_ASSERT_OK_AND_ASSIGN(Table view, s.warehouse.View("by_time_brand"));
+  MD_ASSERT_OK_AND_ASSIGN(Table engine_view,
+                          s.warehouse.engine("by_time_brand").View());
+  EXPECT_TRUE(TablesExactlyEqual(engine_view, view));
+}
+
+TEST(ServingSwitchTest, RemoveViewDropsItFromSnapshotAndCache) {
+  Served s = MakeServed();
+  MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
+  MD_ASSERT_OK(s.warehouse.RemoveView("by_time_brand"));
+  EXPECT_FALSE(s.warehouse.CurrentSnapshot()->HasView("by_time_brand"));
+  Result<Table> q = s.warehouse.Query(kBrandQuery);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -1,0 +1,369 @@
+// Serving-layer system tests: snapshot publication semantics (COW
+// sharing, batch-boundary consistency, no publish without a commit), a
+// differential stress stream comparing Query() roll-ups against direct
+// GPSJ evaluation after every batch, and a readers-vs-writer
+// concurrency stress (run under TSan via the `concurrency` label) that
+// checks every concurrent read equals some committed batch boundary.
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gpsj/evaluator.h"
+#include "gtest/gtest.h"
+#include "maintenance/warehouse.h"
+#include "serve/planner.h"
+#include "snowflake_stream.h"
+#include "test_util.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using test::GeneratedDelta;
+using test::TablesApproxEqual;
+using test::TablesExactlyEqual;
+
+constexpr char kMonthlySql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+constexpr char kPerStoreSql[] = R"sql(
+  CREATE VIEW per_store AS
+  SELECT store.city, COUNT(*) AS Cnt
+  FROM sale, store
+  WHERE sale.storeid = store.id
+  GROUP BY store.city
+)sql";
+
+std::map<std::string, Delta> OneTable(const std::string& table,
+                                      Delta delta) {
+  std::map<std::string, Delta> changes;
+  changes.emplace(table, std::move(delta));
+  return changes;
+}
+
+// A valid fresh sale row for SmallRetail: (id, timeid, productid,
+// storeid, price).
+Tuple FreshSale(int64_t id) {
+  return {Value(id), Value(int64_t{1}), Value(int64_t{1}),
+          Value(int64_t{1}), Value(9.5)};
+}
+
+// -------------------------------------------------------------------
+// Snapshot publication semantics.
+// -------------------------------------------------------------------
+
+TEST(SnapshotTest, PinnedSnapshotKeepsItsBatchBoundary) {
+  RetailWarehouse retail = test::SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+
+  std::shared_ptr<const WarehouseSnapshot> pinned =
+      warehouse.CurrentSnapshot();
+  ASSERT_NE(pinned, nullptr);
+  MD_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> old_contents,
+                          pinned->View("monthly_sales"));
+
+  Delta delta;
+  delta.inserts.push_back(FreshSale(900001));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneTable("sale", delta)));
+
+  // The pinned snapshot still serves the pre-batch contents; the
+  // warehouse has moved on.
+  MD_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Table> still_old,
+                          pinned->View("monthly_sales"));
+  EXPECT_EQ(old_contents.get(), still_old.get());
+  MD_ASSERT_OK_AND_ASSIGN(Table fresh, warehouse.View("monthly_sales"));
+  EXPECT_FALSE(TablesExactlyEqual(*old_contents, fresh));
+  EXPECT_LT(pinned->version, warehouse.CurrentSnapshot()->version);
+}
+
+TEST(SnapshotTest, UntouchedViewsShareStateAcrossBatches) {
+  RetailWarehouse retail = test::SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kPerStoreSql));
+  std::shared_ptr<const WarehouseSnapshot> before =
+      warehouse.CurrentSnapshot();
+
+  // A store-only batch: per_store references store, monthly_sales does
+  // not.
+  Delta delta;
+  delta.inserts.push_back({Value(int64_t{900001}), Value("1 New St"),
+                           Value("Springfield"), Value("US"),
+                           Value("Kim")});
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneTable("store", delta)));
+  std::shared_ptr<const WarehouseSnapshot> after =
+      warehouse.CurrentSnapshot();
+
+  ASSERT_NE(before.get(), after.get());
+  // Copy-on-write: the untouched view's entire serving state is the
+  // same object; the touched view was re-rendered at the new version.
+  EXPECT_EQ(before->views.at("monthly_sales").get(),
+            after->views.at("monthly_sales").get());
+  EXPECT_NE(before->views.at("per_store").get(),
+            after->views.at("per_store").get());
+  EXPECT_EQ(after->views.at("per_store")->version, after->version);
+  EXPECT_LT(after->views.at("monthly_sales")->version, after->version);
+}
+
+TEST(SnapshotTest, RejectedAndDuplicateBatchesDoNotPublish) {
+  RetailWarehouse retail = test::SmallRetail();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  std::shared_ptr<const WarehouseSnapshot> snap0 =
+      warehouse.CurrentSnapshot();
+
+  // Rejected: deleting a nonexistent sale fails admission control.
+  Delta bad;
+  bad.deletes.push_back(FreshSale(987654321));
+  EXPECT_FALSE(warehouse.ApplyTransaction(OneTable("sale", bad)).ok());
+  EXPECT_EQ(warehouse.CurrentSnapshot().get(), snap0.get());
+
+  // Accepted: publishes a new snapshot.
+  Delta good;
+  good.inserts.push_back(FreshSale(900001));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneTable("sale", good)));
+  std::shared_ptr<const WarehouseSnapshot> snap1 =
+      warehouse.CurrentSnapshot();
+  EXPECT_NE(snap1.get(), snap0.get());
+
+  // Duplicate resend: acknowledged as a no-op, nothing republished.
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneTable("sale", good)));
+  EXPECT_EQ(warehouse.CurrentSnapshot().get(), snap1.get());
+  EXPECT_EQ(warehouse.ingest_stats().duplicates, 1u);
+}
+
+TEST(SnapshotTest, ReopenedWarehouseServesQueries) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mindetail_serve_reopen")
+          .string();
+  std::filesystem::remove_all(dir);
+  RetailWarehouse retail = test::SmallRetail();
+  const std::string sql =
+      "SELECT SUM(sale.price) AS T, COUNT(*) AS C "
+      "FROM sale, time WHERE sale.timeid = time.id";
+  Table before;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+    Delta delta;
+    delta.inserts.push_back(FreshSale(900001));
+    MD_ASSERT_OK(warehouse.ApplyTransaction(OneTable("sale", delta)));
+    MD_ASSERT_OK_AND_ASSIGN(before, warehouse.Query(sql));
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened, Warehouse::Open(dir));
+  ASSERT_NE(reopened.CurrentSnapshot(), nullptr);
+  MD_ASSERT_OK_AND_ASSIGN(Table after, reopened.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Differential stress: Query() vs direct GPSJ evaluation, after every
+// batch of a 200-batch mixed stream.
+// -------------------------------------------------------------------
+
+constexpr char kSnowViewSql[] = R"sql(
+  CREATE VIEW snow AS
+  SELECT dim0.a AS GroupA, dim1.a AS GroupB, SUM(fact.m1) AS SumM1,
+         COUNT(*) AS Cnt, SUM(fact.m2) AS SumM2
+  FROM fact, dim0, dim1
+  WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id
+  GROUP BY dim0.a, dim1.a
+)sql";
+
+constexpr char kSnowJoin[] =
+    "FROM fact, dim0, dim1 "
+    "WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id ";
+
+TEST(ServingDifferentialTest, RollupsMatchDirectEvaluationOverStream) {
+  SnowflakeParams sp;
+  sp.depth = 2;
+  sp.fanout = 1;
+  sp.fact_rows = 200;
+  sp.dim_rows = 15;
+  sp.seed = 20260807;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(sp));
+  Catalog source = snowflake.catalog;  // The twin, kept in lock-step.
+
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kSnowViewSql));
+
+  // Summary roll-up, coarser grouping: int64 measures, so SUM and COUNT
+  // are exact and AVG divides the identical integer totals — all three
+  // must match direct evaluation bit for bit.
+  const std::string q_coarse = StrCat(
+      "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C, "
+      "AVG(fact.m1) AS A ", kSnowJoin, "GROUP BY dim0.a");
+  // Summary roll-up, scalar.
+  const std::string q_scalar =
+      StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin);
+  // Auxiliary-view fallback: dim0.id is not a view group-by, but
+  // survives in dim0's auxiliary view as its key.
+  const std::string q_aux = StrCat(
+      "SELECT dim0.id, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
+      "GROUP BY dim0.id");
+  // Double measures: sums drift by accumulation order, so compare with
+  // tolerance.
+  const std::string q_double = StrCat(
+      "SELECT dim1.a, SUM(fact.m2) AS S2, AVG(fact.m2) AS A2 ",
+      kSnowJoin, "GROUP BY dim1.a");
+
+  auto oracle = [&](const std::string& sql) {
+    Result<GpsjViewDef> def = ParseServeQuery(source, sql);
+    MD_CHECK(def.ok());
+    Result<Table> table = EvaluateGpsj(source, *def);
+    MD_CHECK(table.ok());
+    return std::move(table).value();
+  };
+
+  constexpr int kBatches = 200;
+  Rng rng(sp.seed * 0x9e3779b97f4a7c15ULL + 1);
+  int applied = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        snowflake, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+    SCOPED_TRACE(::testing::Message() << "batch " << applied
+                                      << ", delta on " << generated.table);
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        OneTable(generated.table, generated.delta)));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+
+    for (const std::string* sql : {&q_coarse, &q_scalar, &q_aux}) {
+      MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(*sql));
+      ASSERT_TRUE(TablesExactlyEqual(oracle(*sql), got)) << *sql;
+    }
+    MD_ASSERT_OK_AND_ASSIGN(Table got_double, warehouse.Query(q_double));
+    ASSERT_TRUE(TablesApproxEqual(oracle(q_double), got_double));
+  }
+  ASSERT_EQ(applied, kBatches);
+  // The stream re-asked each query at every boundary, so the cache was
+  // exercised for both insertion and invalidation throughout.
+  EXPECT_GE(warehouse.QueryCacheStats().insertions,
+            static_cast<uint64_t>(kBatches));
+}
+
+// -------------------------------------------------------------------
+// Concurrent readers vs. the maintenance writer. Run under TSan via
+// `ctest -L concurrency`.
+// -------------------------------------------------------------------
+
+// Table::ToString truncates at 50 rows by default; boundary fingerprints
+// must cover every row.
+constexpr size_t kAllRows = 1u << 20;
+
+TEST(ServingConcurrencyTest, ReadersObserveOnlyCommittedBoundaries) {
+  SnowflakeParams sp;
+  sp.depth = 2;
+  sp.fanout = 1;
+  sp.fact_rows = 150;
+  sp.dim_rows = 12;
+  sp.seed = 777;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(sp));
+  Catalog source = snowflake.catalog;
+
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kSnowViewSql));
+  const std::string query = StrCat(
+      "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
+      "GROUP BY dim0.a");
+
+  // The writer records every committed boundary's view contents and
+  // query answer (it is the only mutator, so these renders are taken
+  // at quiescent boundaries).
+  std::mutex mu;
+  std::set<std::string> view_boundaries;
+  std::set<std::string> query_boundaries;
+  auto record_boundary = [&] {
+    Result<Table> view = warehouse.View("snow");
+    MD_CHECK(view.ok());
+    Result<Table> answer = warehouse.Query(query);
+    MD_CHECK(answer.ok());
+    std::lock_guard<std::mutex> lock(mu);
+    view_boundaries.insert(view->ToString(kAllRows));
+    query_boundaries.insert(answer->ToString(kAllRows));
+  };
+  record_boundary();  // Registration-time boundary.
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::string>> seen_views(kReaders);
+  std::vector<std::vector<std::string>> seen_queries(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!done.load(std::memory_order_acquire)) {
+        Result<Table> view = warehouse.View("snow");
+        if (view.ok()) seen_views[t].push_back(view->ToString(kAllRows));
+        Result<Table> answer = warehouse.Query(query);
+        if (answer.ok()) {
+          seen_queries[t].push_back(answer->ToString(kAllRows));
+        }
+      }
+    });
+  }
+
+  constexpr int kBatches = 200;
+  Rng rng(sp.seed * 0x9e3779b97f4a7c15ULL + 1);
+  int applied = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        snowflake, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        OneTable(generated.table, generated.delta)));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+    record_boundary();
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  ASSERT_EQ(applied, kBatches);
+
+  // Every concurrent read — view or query — must equal the serial
+  // render of SOME committed batch boundary: readers never observe a
+  // mid-batch or torn state.
+  size_t observations = 0;
+  for (int t = 0; t < kReaders; ++t) {
+    for (const std::string& v : seen_views[t]) {
+      EXPECT_TRUE(view_boundaries.count(v) > 0)
+          << "reader " << t << " observed a view state that matches no "
+          << "committed batch boundary";
+      ++observations;
+    }
+    for (const std::string& q : seen_queries[t]) {
+      EXPECT_TRUE(query_boundaries.count(q) > 0)
+          << "reader " << t << " observed a query answer that matches "
+          << "no committed batch boundary";
+      ++observations;
+    }
+  }
+  EXPECT_GT(observations, 0u);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -85,6 +85,10 @@ class Cli {
       Show(args[1], args.size() > 2 ? std::stoul(args[2]) : 10);
     } else if (cmd == "sql") {
       Sql(line.substr(line.find("sql") + 3));
+    } else if (cmd == "query") {
+      Query(line.substr(line.find("query") + 5));
+    } else if (cmd == "explain") {
+      Explain(line.substr(line.find("explain") + 7));
     } else if (cmd == "views") {
       for (const std::string& name : warehouse_.ViewNames()) {
         std::cout << "  " << name << "\n";
@@ -129,6 +133,13 @@ class Cli {
         "  show <table> [n]     print the first n rows of a table\n"
         "  sql <CREATE VIEW …;> register a summary view (may span\n"
         "                       lines; end with ';')\n"
+        "  query <SELECT …;>    answer an ad-hoc GPSJ query from the\n"
+        "                       registered views — summary roll-up or\n"
+        "                       auxiliary-view join, never the base\n"
+        "                       tables (may span lines; end with ';')\n"
+        "  explain <SELECT …;>  show which view would answer a query,\n"
+        "                       why other views were rejected, and\n"
+        "                       whether the result cache holds it\n"
         "  views                list registered views\n"
         "  view <name>          print a view's current contents\n"
         "  derivation <name>    print the Algorithm 3.2 report\n"
@@ -223,15 +234,39 @@ class Cli {
     std::cout << (*t)->ToString(n);
   }
 
-  void Sql(std::string statement) {
-    // Keep reading lines until a ';' arrives.
+  // Keeps reading lines until a ';' arrives (SQL may span lines).
+  std::string ReadStatement(std::string statement) {
     while (statement.find(';') == std::string::npos) {
       Prompt("      ...> ");
       std::string more;
       if (!std::getline(std::cin, more)) break;
       statement += "\n" + more;
     }
-    Report(warehouse_.AddViewSql(source_, statement));
+    return statement;
+  }
+
+  void Sql(std::string statement) {
+    Report(warehouse_.AddViewSql(source_, ReadStatement(std::move(statement))));
+  }
+
+  void Query(std::string statement) {
+    Result<Table> result =
+        warehouse_.Query(ReadStatement(std::move(statement)));
+    if (!result.ok()) {
+      Report(result.status());
+      return;
+    }
+    std::cout << result->ToString(30);
+  }
+
+  void Explain(std::string statement) {
+    Result<std::string> plan =
+        warehouse_.ExplainQuery(ReadStatement(std::move(statement)));
+    if (!plan.ok()) {
+      Report(plan.status());
+      return;
+    }
+    std::cout << *plan;
   }
 
   void PrintView(const std::string& name) {
