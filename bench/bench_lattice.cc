@@ -1,0 +1,212 @@
+// Adaptive roll-up lattice costs — what a promoted mini-view buys on
+// the read path and costs on the commit path:
+//
+//   BM_CoarseQueryPromoted   the coarse grouping answered from its
+//                            promoted lattice node (a handful of rows)
+//   BM_CoarseQueryOnTheFly   lattice off: the same query re-aggregates
+//                            the parent's full augmented summary at
+//                            plan time — the PR-5 roll-up path
+//   BM_ApplyLatticeOn        ingesting a batch with two promoted nodes
+//                            folding the summary delta upward
+//   BM_ApplyLatticeOff       the same stream with the lattice disabled
+//                            — the difference is the per-batch fold
+//                            overhead (target: within 10%)
+//   BM_SkewedQueryMix        a Zipf/bursty mix of coarse queries
+//                            (workload/zipf.h) with the lattice
+//                            adapting, vs. the same mix without it
+//
+// The result cache is off for the query benches so they measure the
+// roll-up itself, not a cache hit. google-benchmark harness; wired
+// into the CI bench-smoke job.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "maintenance/warehouse.h"
+#include "workload/snowflake.h"
+#include "workload/zipf.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+// A high-cardinality parent grouping (one group per dim0 row) so the
+// on-the-fly roll-up has a real summary to scan; the coarse groupings
+// collapse to a handful of rows.
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW snow AS
+  SELECT dim0.id AS D0, dim1.a AS GroupB, SUM(fact.m1) AS SumM1,
+         COUNT(*) AS Cnt, SUM(fact.m2) AS SumM2
+  FROM fact, dim0, dim1
+  WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id
+  GROUP BY dim0.id, dim1.a
+)sql";
+
+constexpr char kSnowJoin[] =
+    "FROM fact, dim0, dim1 "
+    "WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id ";
+
+SnowflakeWarehouse MakeSource() {
+  SnowflakeParams params;
+  params.depth = 2;
+  params.fanout = 1;
+  params.fact_rows = 40000;
+  params.dim_rows = 4000;
+  params.seed = 20260809;
+  return Unwrap(GenerateSnowflake(params));
+}
+
+std::string CoarseSql() {
+  return StrCat("SELECT dim1.a, SUM(fact.m1) AS S, COUNT(*) AS C ",
+                kSnowJoin, "GROUP BY dim1.a");
+}
+
+std::vector<std::string> CoarsePool() {
+  return {
+      CoarseSql(),
+      StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin),
+      StrCat("SELECT dim1.a, SUM(fact.m2) AS S2, AVG(fact.m2) AS A2 ",
+             kSnowJoin, "GROUP BY dim1.a"),
+      StrCat("SELECT dim1.a, AVG(fact.m1) AS A ", kSnowJoin,
+             "GROUP BY dim1.a"),
+  };
+}
+
+void RunCoarseQuery(benchmark::State& state, bool promoted) {
+  SnowflakeWarehouse snowflake = MakeSource();
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithResultCache(0)
+                          .WithLatticeBudget(promoted ? SIZE_MAX : 0));
+  Check(warehouse.AddViewSql(snowflake.catalog, kViewSql));
+  if (promoted) Check(warehouse.LatticePromote("snow", {"GroupB"}));
+  const std::string sql = CoarseSql();
+  for (auto _ : state) {
+    Table result = Unwrap(warehouse.Query(sql));
+    benchmark::DoNotOptimize(result);
+  }
+  const LatticeStats stats = warehouse.lattice_stats();
+  state.counters["lattice_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["summary_rows"] = benchmark::Counter(
+      static_cast<double>(Unwrap(warehouse.View("snow")).NumRows()));
+}
+
+void BM_CoarseQueryPromoted(benchmark::State& state) {
+  RunCoarseQuery(state, true);
+}
+void BM_CoarseQueryOnTheFly(benchmark::State& state) {
+  RunCoarseQuery(state, false);
+}
+
+// state.range(0): batch size. One iteration = one ingested batch, with
+// the scalar and GroupB nodes folding on every commit when the lattice
+// is on.
+void RunApply(benchmark::State& state, bool lattice) {
+  SnowflakeWarehouse snowflake = MakeSource();
+  Catalog& source = snowflake.catalog;
+  Warehouse warehouse(
+      WarehouseOptions{}.WithLatticeBudget(lattice ? SIZE_MAX : 0));
+  Check(warehouse.AddViewSql(source, kViewSql));
+  if (lattice) {
+    Check(warehouse.LatticePromote("snow", {"GroupB"}));
+    Check(warehouse.LatticePromote("snow", std::vector<std::string>{}));
+  }
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Table* fact = Unwrap(source.GetTable("fact"));
+  int64_t next_id = static_cast<int64_t>(fact->NumRows()) + 1000000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta;
+    for (size_t i = 0; i < n; ++i) {
+      const Table* dim0 = Unwrap(source.GetTable("dim0"));
+      delta.inserts.push_back(
+          {Value(next_id++),
+           dim0->row(rng.NextBelow(dim0->NumRows()))[0],
+           Value(rng.NextInt(0, 9)),
+           Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0)});
+    }
+    Check(ApplyDelta(Unwrap(source.MutableTable("fact")), delta));
+    std::map<std::string, Delta> changes;
+    changes.emplace("fact", std::move(delta));
+    state.ResumeTiming();
+    Check(warehouse.ApplyTransaction(changes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  const LatticeStats stats = warehouse.lattice_stats();
+  state.counters["folds"] =
+      benchmark::Counter(static_cast<double>(stats.folds));
+}
+
+void BM_ApplyLatticeOn(benchmark::State& state) { RunApply(state, true); }
+void BM_ApplyLatticeOff(benchmark::State& state) {
+  RunApply(state, false);
+}
+
+// The adaptive loop end to end: a bursty Zipf query mix heats coarse
+// groupings, commits promote them, later draws are answered from the
+// nodes. One iteration = one query draw.
+void RunSkewedMix(benchmark::State& state, bool lattice) {
+  SnowflakeWarehouse snowflake = MakeSource();
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithResultCache(0)
+                          .WithLatticeBudget(lattice ? SIZE_MAX : 0)
+                          .WithLatticePromoteHits(2));
+  Check(warehouse.AddViewSql(snowflake.catalog, kViewSql));
+  const std::vector<std::string> pool = CoarsePool();
+  BurstyZipfParams zp;
+  zp.num_items = pool.size();
+  zp.exponent = 1.2;
+  zp.seed = 21;
+  BurstyZipfStream picks(zp);
+  // Warm-up: heat the pool, then one commit so promotions land.
+  for (int i = 0; i < 8; ++i) {
+    Table result = Unwrap(warehouse.Query(pool[picks.Next()]));
+    benchmark::DoNotOptimize(result);
+  }
+  Delta delta;
+  const Table* dim0 = Unwrap(snowflake.catalog.GetTable("dim0"));
+  delta.inserts.push_back({Value(int64_t{99000001}), dim0->row(0)[0],
+                           Value(int64_t{3}), Value(4.5)});
+  std::map<std::string, Delta> changes;
+  changes.emplace("fact", std::move(delta));
+  Check(warehouse.ApplyTransaction(changes));
+
+  for (auto _ : state) {
+    Table result = Unwrap(warehouse.Query(pool[picks.Next()]));
+    benchmark::DoNotOptimize(result);
+  }
+  const LatticeStats stats = warehouse.lattice_stats();
+  state.counters["promotions"] =
+      benchmark::Counter(static_cast<double>(stats.promotions));
+  state.counters["lattice_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+}
+
+void BM_SkewedQueryMixLattice(benchmark::State& state) {
+  RunSkewedMix(state, true);
+}
+void BM_SkewedQueryMixBaseline(benchmark::State& state) {
+  RunSkewedMix(state, false);
+}
+
+BENCHMARK(BM_CoarseQueryPromoted);
+BENCHMARK(BM_CoarseQueryOnTheFly);
+BENCHMARK(BM_ApplyLatticeOn)->Arg(64)->Arg(256);
+BENCHMARK(BM_ApplyLatticeOff)->Arg(64)->Arg(256);
+BENCHMARK(BM_SkewedQueryMixLattice);
+BENCHMARK(BM_SkewedQueryMixBaseline);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -410,6 +410,8 @@ std::string ContentHashHex(const std::string& contents) {
 
 // Framing magic of the ingest-state sidecar file.
 constexpr uint32_t kIngestMagic = 0x4E49444D;  // "MDIN"
+// Framing magic of the lattice-state sidecar file.
+constexpr uint32_t kLatticeMagic = 0x544C444D;  // "MDLT"
 
 // The serialized per-view files of a checkpoint, rendered up front so
 // the manifest can embed their content hashes.
@@ -627,6 +629,11 @@ Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
         StrCat(tmp_path, "/", kIngestStateFile),
         logfmt::FrameRecord(kIngestMagic, cp.ingest_state)));
   }
+  if (!cp.lattice_state.empty()) {
+    MD_RETURN_IF_ERROR(WriteFileDurably(
+        StrCat(tmp_path, "/", kLatticeStateFile),
+        logfmt::FrameRecord(kLatticeMagic, cp.lattice_state)));
+  }
   MD_RETURN_IF_ERROR(FsyncPath(tmp_path));
   MD_FAILPOINT("checkpoint.after_temp");
 
@@ -760,6 +767,25 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
                                   "' is torn or corrupt"));
     }
     cp.ingest_state = std::move(payload);
+  }
+
+  // Optional lattice-state sidecar (absent when the lattice is off or
+  // the checkpoint predates it).
+  if (Result<std::string> framed = logfmt::ReadFileContents(
+          StrCat(cp_dir, "/", kLatticeStateFile));
+      framed.ok()) {
+    std::string payload;
+    const size_t good_end = logfmt::ScanFrames(
+        *framed, kLatticeMagic, [&](const std::string& p) {
+          payload = p;
+          return true;
+        });
+    if (good_end != framed->size() || payload.empty()) {
+      return InternalError(StrCat("checkpoint integrity failure: '",
+                                  cp_dir, "/", kLatticeStateFile,
+                                  "' is torn or corrupt"));
+    }
+    cp.lattice_state = std::move(payload);
   }
   return cp;
 }

@@ -36,6 +36,7 @@ inline constexpr char kCurrentFile[] = "CURRENT";
 inline constexpr char kWalFile[] = "wal.log";
 inline constexpr char kCheckpointManifest[] = "checkpoint.manifest";
 inline constexpr char kIngestStateFile[] = "ingest.bin";
+inline constexpr char kLatticeStateFile[] = "lattice.bin";
 
 // Engine options as persisted (mirrors maintenance/EngineOptions; io
 // cannot depend on the maintenance layer).
@@ -64,6 +65,11 @@ struct WarehouseCheckpoint {
   // sidecar file (kIngestStateFile); empty means absent — checkpoints
   // written before ingestion hardening load with an empty state.
   std::string ingest_state;
+  // Opaque roll-up lattice state (promoted-node directory + candidate
+  // heat; serve/lattice.h owns the encoding). Same sidecar treatment
+  // (kLatticeStateFile); empty means absent. Node *tables* are never
+  // checkpointed — recovery rebuilds them from the recovered summaries.
+  std::string lattice_state;
 };
 
 // Writes a complete checkpoint under `dir` and atomically repoints

@@ -123,6 +123,12 @@ Warehouse::Warehouse(WarehouseOptions options)
     snapshots_ = std::make_shared<SnapshotManager>();
     result_cache_ =
         std::make_shared<ResultCache>(options_.result_cache_entries);
+    if (options_.lattice_budget_bytes > 0) {
+      LatticeOptions lattice;
+      lattice.budget_bytes = options_.lattice_budget_bytes;
+      lattice.promote_hits = options_.lattice_promote_hits;
+      lattice_ = std::make_shared<RollupLattice>(lattice);
+    }
   }
 }
 
@@ -136,6 +142,16 @@ void Warehouse::set_options(WarehouseOptions options) {
     snapshots_ = std::make_shared<SnapshotManager>();
     result_cache_ =
         std::make_shared<ResultCache>(options_.result_cache_entries);
+    // The lattice starts cold under the new budget; promotion heat does
+    // not survive an options swap.
+    if (options_.lattice_budget_bytes > 0) {
+      LatticeOptions lattice;
+      lattice.budget_bytes = options_.lattice_budget_bytes;
+      lattice.promote_hits = options_.lattice_promote_hits;
+      lattice_ = std::make_shared<RollupLattice>(lattice);
+    } else {
+      lattice_ = nullptr;
+    }
     // Re-render everything into the fresh manager.
     PublishSnapshot(
         std::set<std::string>(registration_order_.begin(),
@@ -144,6 +160,7 @@ void Warehouse::set_options(WarehouseOptions options) {
   } else {
     snapshots_ = nullptr;
     result_cache_ = nullptr;
+    lattice_ = nullptr;
   }
 }
 
@@ -176,6 +193,13 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
       for (const std::string& key : wh.recent_keys_) {
         wh.recent_key_set_.insert(key);
       }
+    }
+    // Restore the promoted-node directory and candidate heat; the node
+    // tables themselves are rebuilt from the recovered summaries by the
+    // recovery publish below, so promotions survive Open bit-correctly
+    // no matter where the crash landed.
+    if (!cp.lattice_state.empty() && wh.lattice_ != nullptr) {
+      MD_RETURN_IF_ERROR(wh.lattice_->RestoreState(cp.lattice_state));
     }
   } else if (loaded.status().code() != StatusCode::kNotFound) {
     return loaded.status();
@@ -579,6 +603,7 @@ Status Warehouse::Checkpoint() {
     cp.views.push_back(std::move(vc));
   }
   cp.ingest_state = ComposeIngestState(ledger_, recent_keys_);
+  if (lattice_ != nullptr) cp.lattice_state = lattice_->SerializeState();
   MD_ASSIGN_OR_RETURN(std::string kept, SaveWarehouseCheckpoint(cp, dir_));
   checkpoint_epoch_ = cp.epoch;
   // The WAL is now redundant up to cp.sequence — and nothing beyond it
@@ -849,11 +874,31 @@ Result<Table> Warehouse::Query(std::string_view sql) const {
   }
   QueryPlanner planner(snapshot.get());
   MD_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
+  if (lattice_ != nullptr) {
+    // Promotion heat: a node answer keeps the node hot; a summary
+    // roll-up that *could* have come from a (not yet promoted) coarser
+    // node records that grouping as a candidate.
+    if (plan.strategy == QueryPlan::Strategy::kLatticeRollup) {
+      lattice_->RecordHit(plan.lattice_node);
+    } else if (plan.strategy == QueryPlan::Strategy::kSummaryRollup) {
+      if (const ServedView* served = snapshot->Find(plan.view)) {
+        if (std::optional<std::vector<std::string>> grouping =
+                LatticeCandidateGrouping(*served, plan.summary)) {
+          lattice_->RecordUse(plan.view, *grouping);
+        }
+      }
+    }
+  }
   MD_ASSIGN_OR_RETURN(Table result, planner.Execute(plan, query));
   if (result_cache_ != nullptr) {
-    const ServedView* served = snapshot->Find(plan.view);
-    if (served != nullptr) {
-      result_cache_->Insert(key, plan.view, served->version,
+    // Guard the entry with its actual source: the node key and version
+    // for lattice answers, so a demotion or refresh invalidates it.
+    const std::string source =
+        plan.strategy == QueryPlan::Strategy::kLatticeRollup
+            ? plan.lattice_node
+            : plan.view;
+    if (std::optional<uint64_t> version = snapshot->SourceVersion(source)) {
+      result_cache_->Insert(key, source, *version,
                             std::make_shared<const Table>(result));
     }
   }
@@ -879,6 +924,15 @@ Result<std::string> Warehouse::ExplainQuery(std::string_view sql) const {
     out = StrCat(out, "result cache: ", hit ? "hit" : "miss", " (",
                  result_cache_->size(), "/", result_cache_->capacity(),
                  " entries)\n");
+  }
+  if (lattice_ != nullptr) {
+    const LatticeStats stats = lattice_->stats();
+    out = StrCat(out, "lattice: ", stats.nodes, " node(s), ",
+                 FormatBytes(stats.bytes), " of ",
+                 options_.lattice_budget_bytes == SIZE_MAX
+                     ? std::string("unbounded")
+                     : FormatBytes(options_.lattice_budget_bytes),
+                 " budget, ", stats.hits, " hit(s)\n");
   }
   return out;
 }
@@ -930,8 +984,78 @@ void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
     }
     next->views.emplace(name, std::move(served));
   }
-  if (result_cache_ != nullptr) result_cache_->InvalidateViews(touched);
+  std::set<std::string> invalidate = touched;
+  if (lattice_ != nullptr) {
+    // Fold the batch upward into every promoted node, promote/demote
+    // under the budget, and attach the node snapshots. Runs strictly
+    // after the commit succeeded — a rolled-back batch never gets here,
+    // so lattice state and engine state cannot diverge.
+    std::set<std::string> stale = lattice_->Maintain(*prev, next.get(),
+                                                     touched);
+    invalidate.insert(stale.begin(), stale.end());
+  }
+  if (result_cache_ != nullptr) result_cache_->InvalidateViews(invalidate);
   snapshots_->Publish(std::move(next));
+}
+
+Status Warehouse::LatticePromote(
+    const std::string& view, const std::vector<std::string>& group_outputs) {
+  if (lattice_ == nullptr) {
+    return FailedPreconditionError(
+        "lattice is disabled (WarehouseOptions::lattice_budget_bytes)");
+  }
+  MD_RETURN_IF_ERROR(
+      lattice_->ForcePromote(*snapshots_->Current(), view, group_outputs));
+  // An empty touched set re-publishes with every view shared; only the
+  // lattice map changes.
+  PublishSnapshot({}, /*schema_changed=*/false);
+  return Status::Ok();
+}
+
+Status Warehouse::LatticeDemote(const std::string& node_key) {
+  if (lattice_ == nullptr) {
+    return FailedPreconditionError(
+        "lattice is disabled (WarehouseOptions::lattice_budget_bytes)");
+  }
+  MD_RETURN_IF_ERROR(lattice_->Demote(node_key));
+  PublishSnapshot({}, /*schema_changed=*/false);
+  return Status::Ok();
+}
+
+std::vector<LatticeNodeInfo> Warehouse::LatticeNodes() const {
+  return lattice_ != nullptr ? lattice_->Nodes()
+                             : std::vector<LatticeNodeInfo>{};
+}
+
+LatticeStats Warehouse::lattice_stats() const {
+  return lattice_ != nullptr ? lattice_->stats() : LatticeStats{};
+}
+
+std::string Warehouse::LatticeReport() const {
+  if (lattice_ == nullptr) {
+    return "lattice disabled (WarehouseOptions::lattice_budget_bytes)\n";
+  }
+  const LatticeStats stats = lattice_->stats();
+  std::string out = StrCat(
+      "Lattice: ", stats.nodes, " node(s), ", FormatBytes(stats.bytes),
+      " of ",
+      options_.lattice_budget_bytes == SIZE_MAX
+          ? std::string("unbounded")
+          : FormatBytes(options_.lattice_budget_bytes),
+      " budget\n");
+  out += StrCat("  promotions ", stats.promotions, ", demotions ",
+                stats.demotions, ", folds ", stats.folds, ", rebuilds ",
+                stats.rebuilds, ", hits ", stats.hits, "\n");
+  for (const LatticeNodeInfo& node : lattice_->Nodes()) {
+    out += StrCat("  node ", node.key, ": ", node.rows, " rows, ",
+                  FormatBytes(node.bytes), ", v", node.version, ", ",
+                  node.hits, " hit(s)\n");
+  }
+  for (const LatticeCandidateInfo& candidate : lattice_->Candidates()) {
+    out += StrCat("  candidate ", candidate.key, ": ", candidate.hits,
+                  " use(s)\n");
+  }
+  return out;
 }
 
 const SelfMaintenanceEngine& Warehouse::engine(

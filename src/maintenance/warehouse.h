@@ -82,6 +82,7 @@
 #include "maintenance/ingest.h"
 #include "maintenance/quarantine.h"
 #include "maintenance/wal.h"
+#include "serve/lattice.h"
 #include "serve/planner.h"
 #include "serve/result_cache.h"
 #include "serve/snapshot.h"
@@ -142,6 +143,12 @@ struct WarehouseOptions {
   bool serve_snapshots = true;
   // Result-cache capacity for Query() answers (0 disables caching).
   size_t result_cache_entries = 64;
+  // Adaptive roll-up lattice (serve/lattice.h): total bytes of promoted
+  // mini-view tables. 0 (default) disables the lattice entirely;
+  // SIZE_MAX is an unbounded budget. Requires serve_snapshots.
+  size_t lattice_budget_bytes = 0;
+  // Observed uses of one coarser grouping before it is promoted.
+  uint64_t lattice_promote_hits = 3;
   RetryOptions retry;
 
   WarehouseOptions& WithEngineDefaults(EngineOptions options) {
@@ -178,6 +185,14 @@ struct WarehouseOptions {
   }
   WarehouseOptions& WithResultCache(size_t entries) {
     result_cache_entries = entries;
+    return *this;
+  }
+  WarehouseOptions& WithLatticeBudget(size_t bytes) {
+    lattice_budget_bytes = bytes;
+    return *this;
+  }
+  WarehouseOptions& WithLatticePromoteHits(uint64_t hits) {
+    lattice_promote_hits = hits;
     return *this;
   }
   WarehouseOptions& WithRetries(int max_retries) {
@@ -390,6 +405,26 @@ class Warehouse {
                                     : ResultCache::Stats{};
   }
 
+  // --- Adaptive roll-up lattice (serve/lattice.h) ---------------------
+  // All entry points need the lattice enabled
+  // (lattice_budget_bytes > 0 with serving on); they return
+  // FailedPrecondition otherwise (the const accessors return empties).
+
+  // Manually promotes a coarser grouping of `view` — `group_outputs`
+  // names a strict subset of the view's group-by output columns — into
+  // a maintained mini-view, and publishes a snapshot carrying it.
+  Status LatticePromote(const std::string& view,
+                        const std::vector<std::string>& group_outputs);
+  // Drops a promoted node (by node key, "<view>@<g1,g2,…>") and
+  // publishes a snapshot without it; its cached answers are
+  // invalidated.
+  Status LatticeDemote(const std::string& node_key);
+
+  std::vector<LatticeNodeInfo> LatticeNodes() const;
+  LatticeStats lattice_stats() const;
+  // Human-readable lattice inventory (nodes, candidates, budget).
+  std::string LatticeReport() const;
+
   const SelfMaintenanceEngine& engine(const std::string& view_name) const;
   // Mutable engine access, for tests that tamper with maintained state
   // to exercise the scrubber. Aborts when the view is not registered.
@@ -474,6 +509,11 @@ class Warehouse {
   // references to published snapshots, so moves never race them.)
   std::shared_ptr<SnapshotManager> snapshots_;
   std::shared_ptr<ResultCache> result_cache_;
+  // Non-null iff serving is on and lattice_budget_bytes > 0. Mutated
+  // only on the commit path (inside PublishSnapshot) and by the manual
+  // promote/demote calls — never by a rolled-back batch, so lattice
+  // state cannot drift from the engines it derives from.
+  std::shared_ptr<RollupLattice> lattice_;
 
   // Durability state; dir_ empty ⇔ in-memory warehouse (wal_ null).
   std::string dir_;

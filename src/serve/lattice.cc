@@ -1,0 +1,642 @@
+#include "serve/lattice.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strings.h"
+#include "gpsj/aggregate.h"
+#include "io/log_format.h"
+#include "relational/ops.h"
+#include "relational/value.h"
+
+namespace mindetail {
+
+namespace {
+
+// Observed-grouping heat is bounded: the coldest candidates fall off
+// once the table outgrows this, so an adversarial query stream cannot
+// grow lattice bookkeeping without bound.
+constexpr size_t kMaxCandidates = 256;
+
+constexpr uint32_t kLatticeStateVersion = 1;
+
+// How a node's mini summary maps onto its parent's augmented summary.
+struct NodeSpec {
+  std::vector<size_t> grouping;   // Parent output positions, ascending.
+  std::vector<std::string> names;  // Their output names, same order.
+  size_t shadow_col = 0;           // __shadow in the parent augmented.
+  std::vector<size_t> sum_cols;    // Parent running-sum columns.
+  std::vector<AttributeRef> sum_inputs;
+  Schema node_schema{std::vector<Attribute>{}};
+};
+
+// Resolves a grouping (by parent group-by output name) against the
+// parent view: canonical positions, the parent columns to fold, and the
+// node table's schema. Rejects groupings that are not strictly coarser
+// than the parent's own.
+Result<NodeSpec> ResolveNodeSpec(
+    const ServedView& parent,
+    const std::vector<std::string>& group_outputs) {
+  if (parent.def == nullptr || parent.augmented == nullptr) {
+    return InternalError("parent view has no served summary");
+  }
+  const GpsjViewDef& view = *parent.def;
+  const Schema& aug = parent.augmented->schema();
+
+  NodeSpec spec;
+  size_t parent_groups = 0;
+  for (size_t i = 0; i < view.outputs().size(); ++i) {
+    const OutputItem& item = view.outputs()[i];
+    if (item.kind != OutputItem::Kind::kGroupBy) continue;
+    ++parent_groups;
+    if (std::find(group_outputs.begin(), group_outputs.end(),
+                  item.output_name) != group_outputs.end()) {
+      spec.grouping.push_back(i);  // Ascending: outputs are in order.
+      spec.names.push_back(item.output_name);
+    }
+  }
+  if (spec.names.size() != group_outputs.size()) {
+    return InvalidArgumentError(
+        StrCat("grouping names a column that is not a group-by output "
+               "of view '", view.name(), "'"));
+  }
+  if (spec.grouping.size() >= parent_groups) {
+    return InvalidArgumentError(
+        StrCat("grouping is not strictly coarser than view '",
+               view.name(), "'"));
+  }
+
+  std::optional<size_t> shadow = aug.IndexOf(kShadowColumn);
+  if (!shadow.has_value()) {
+    return InternalError("augmented summary lacks __shadow");
+  }
+  spec.shadow_col = *shadow;
+
+  std::vector<Attribute> attrs;
+  for (size_t i : spec.grouping) {
+    attrs.push_back(Attribute{view.outputs()[i].output_name,
+                              aug.attribute(i).type});
+  }
+  attrs.push_back(Attribute{kShadowColumn, ValueType::kInt64});
+  // One running sum per distinct non-DISTINCT SUM/AVG input.
+  for (const OutputItem& item : view.outputs()) {
+    if (item.kind != OutputItem::Kind::kAggregate) continue;
+    const AggregateSpec& agg = item.agg;
+    if (agg.distinct || (agg.fn != AggFn::kSum && agg.fn != AggFn::kAvg)) {
+      continue;
+    }
+    if (std::find(spec.sum_inputs.begin(), spec.sum_inputs.end(),
+                  agg.input) != spec.sum_inputs.end()) {
+      continue;
+    }
+    const std::string column = ShadowSumColumn(item.output_name);
+    std::optional<size_t> src = aug.IndexOf(column);
+    if (!src.has_value()) {
+      return InternalError(
+          StrCat("augmented summary lacks ", column));
+    }
+    spec.sum_inputs.push_back(agg.input);
+    spec.sum_cols.push_back(*src);
+    attrs.push_back(Attribute{column, aug.attribute(*src).type});
+  }
+  spec.node_schema = Schema(std::move(attrs));
+  return spec;
+}
+
+// Mutable node contents during a build or fold: coarse key → __shadow
+// and the running sums.
+struct NodeAccumulator {
+  int64_t shadow = 0;
+  std::vector<Value> sums;
+};
+using NodeMap =
+    std::unordered_map<Tuple, NodeAccumulator, TupleHash, TupleEqual>;
+
+void FoldRow(NodeMap* acc, const NodeSpec& spec, const Tuple& row,
+             bool negate) {
+  Tuple key;
+  key.reserve(spec.grouping.size());
+  for (size_t c : spec.grouping) key.push_back(row[c]);
+  auto [it, inserted] = acc->try_emplace(std::move(key));
+  NodeAccumulator& group = it->second;
+  if (inserted) group.sums.resize(spec.sum_cols.size());
+  const int64_t shadow = row[spec.shadow_col].AsInt64();
+  group.shadow += negate ? -shadow : shadow;
+  for (size_t j = 0; j < spec.sum_cols.size(); ++j) {
+    const Value& v = row[spec.sum_cols[j]];
+    group.sums[j] = AddValues(group.sums[j], negate ? NegateValue(v) : v);
+  }
+  // The shadow count is exact integer arithmetic: 0 means the coarse
+  // group has no base rows left, so it leaves the node (any double
+  // residue in its sums is the usual incremental rounding, not data).
+  if (group.shadow == 0) acc->erase(it);
+}
+
+Result<LatticeNodeSnapshot> RenderNode(const std::string& view,
+                                       const NodeSpec& spec,
+                                       NodeMap&& acc) {
+  LatticeNodeSnapshot node;
+  node.key = LatticeNodeKey(view, spec.names);
+  node.view = view;
+  node.grouping = spec.grouping;
+  node.sum_inputs = spec.sum_inputs;
+  Table table(node.key, spec.node_schema);
+  table.set_allow_null(true);
+  for (auto& [key, group] : acc) {
+    Tuple row = key;
+    row.push_back(Value(group.shadow));
+    for (Value& v : group.sums) row.push_back(std::move(v));
+    MD_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  }
+  SortRows(&table);
+  node.table = std::make_shared<const Table>(std::move(table));
+  return node;
+}
+
+NodeMap LoadNodeMap(const LatticeNodeSnapshot& node) {
+  NodeMap acc;
+  const size_t shadow_col = node.ShadowColumn();
+  const size_t num_sums = node.table->schema().size() - shadow_col - 1;
+  for (const Tuple& row : node.table->rows()) {
+    Tuple key(row.begin(), row.begin() + shadow_col);
+    NodeAccumulator group;
+    group.shadow = row[shadow_col].AsInt64();
+    group.sums.assign(row.begin() + shadow_col + 1,
+                      row.begin() + shadow_col + 1 + num_sums);
+    acc.emplace(std::move(key), std::move(group));
+  }
+  return acc;
+}
+
+// Whole-row ordering identical to SortRows' (relational/ops.cc). The
+// engine renders every augmented summary sorted under it, so two
+// renders of the same view can be set-differenced with one linear
+// merge walk instead of a hash join on the group key.
+int CompareRows(const Tuple& a, const Tuple& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+// The augmented rows only in `before` (to fold out) and only in
+// `after` (to fold in). Group keys are unique within each summary, so
+// a changed group appears as one removed row plus one added row, and
+// the two deltas compose at any coarser key — no group pairing needed.
+// Computed once per touched view and shared by all of its nodes.
+struct SummaryDiff {
+  std::vector<const Tuple*> removed;
+  std::vector<const Tuple*> added;
+};
+
+SummaryDiff DiffAugmented(const Table& before, const Table& after) {
+  SummaryDiff diff;
+  const std::vector<Tuple>& old_rows = before.rows();
+  const std::vector<Tuple>& new_rows = after.rows();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < old_rows.size() && j < new_rows.size()) {
+    const int c = CompareRows(old_rows[i], new_rows[j]);
+    if (c == 0) {
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      diff.removed.push_back(&old_rows[i++]);
+    } else {
+      diff.added.push_back(&new_rows[j++]);
+    }
+  }
+  for (; i < old_rows.size(); ++i) diff.removed.push_back(&old_rows[i]);
+  for (; j < new_rows.size(); ++j) diff.added.push_back(&new_rows[j]);
+  return diff;
+}
+
+// The batch's effect on the parent summary, folded upward: each
+// changed augmented row lands on the node's coarse key — removed rows
+// negate, added rows add.
+Result<LatticeNodeSnapshot> FoldLatticeNode(const LatticeNodeSnapshot& node,
+                                            const ServedView& next_parent,
+                                            const SummaryDiff& diff) {
+  MD_ASSIGN_OR_RETURN(NodeSpec spec,
+                      ResolveNodeSpec(next_parent, [&] {
+                        std::vector<std::string> names;
+                        for (size_t i : node.grouping) {
+                          names.push_back(
+                              next_parent.def->outputs()[i].output_name);
+                        }
+                        return names;
+                      }()));
+
+  NodeMap acc = LoadNodeMap(node);
+  for (const Tuple* row : diff.removed) {
+    FoldRow(&acc, spec, *row, /*negate=*/true);
+  }
+  for (const Tuple* row : diff.added) {
+    FoldRow(&acc, spec, *row, /*negate=*/false);
+  }
+  return RenderNode(node.view, spec, std::move(acc));
+}
+
+}  // namespace
+
+std::string LatticeNodeKey(const std::string& view,
+                           const std::vector<std::string>& group_outputs) {
+  std::string key = StrCat(view, "@");
+  for (size_t i = 0; i < group_outputs.size(); ++i) {
+    if (i > 0) key += ",";
+    key += group_outputs[i];
+  }
+  return key;
+}
+
+std::optional<std::vector<std::string>> LatticeCandidateGrouping(
+    const ServedView& served, const SummaryRollupPlan& plan) {
+  if (served.def == nullptr) return std::nullopt;
+  // Only pure COUNT/SUM/AVG roll-ups benefit: kCopy (query groups like
+  // the view) is not coarser, and kMin/kMax need per-group state a node
+  // folds away.
+  std::set<size_t> positions;
+  for (const SummaryOutput& out : plan.outputs) {
+    switch (out.kind) {
+      case SummaryOutput::Kind::kGroup:
+        positions.insert(out.source);
+        break;
+      case SummaryOutput::Kind::kCount:
+      case SummaryOutput::Kind::kSum:
+      case SummaryOutput::Kind::kAvg:
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  for (const SummaryFilter& f : plan.filters) positions.insert(f.column);
+  size_t parent_groups = 0;
+  for (const OutputItem& item : served.def->outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) ++parent_groups;
+  }
+  if (positions.size() >= parent_groups) return std::nullopt;
+  std::vector<std::string> names;
+  for (size_t pos : positions) {  // std::set: ascending == canonical.
+    names.push_back(served.def->outputs()[pos].output_name);
+  }
+  return names;
+}
+
+Result<LatticeNodeSnapshot> BuildLatticeNode(
+    const ServedView& parent, const std::string& view,
+    const std::vector<std::string>& group_outputs) {
+  MD_ASSIGN_OR_RETURN(NodeSpec spec,
+                      ResolveNodeSpec(parent, group_outputs));
+  NodeMap acc;
+  for (const Tuple& row : parent.augmented->rows()) {
+    FoldRow(&acc, spec, row, /*negate=*/false);
+  }
+  MD_ASSIGN_OR_RETURN(LatticeNodeSnapshot node,
+                      RenderNode(view, spec, std::move(acc)));
+  node.version = parent.version;
+  return node;
+}
+
+RollupLattice::RollupLattice(LatticeOptions options)
+    : options_(std::move(options)) {}
+
+void RollupLattice::RecordUse(const std::string& view,
+                              const std::vector<std::string>& group_outputs) {
+  const std::string key = LatticeNodeKey(view, group_outputs);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (nodes_.count(key) > 0) return;  // Already promoted.
+  auto [it, inserted] = candidates_.try_emplace(key);
+  Candidate& candidate = it->second;
+  if (inserted) {
+    candidate.view = view;
+    candidate.group_outputs = group_outputs;
+  }
+  ++candidate.hits;
+  candidate.last_used = ++tick_;
+  if (candidates_.size() > kMaxCandidates) {
+    auto coldest = candidates_.begin();
+    for (auto c = candidates_.begin(); c != candidates_.end(); ++c) {
+      if (c->second.last_used < coldest->second.last_used) coldest = c;
+    }
+    candidates_.erase(coldest);
+  }
+}
+
+void RollupLattice::RecordHit(const std::string& node_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node_key);
+  if (it == nodes_.end()) return;
+  ++it->second.hits;
+  it->second.last_used = ++tick_;
+  ++stats_.hits;
+}
+
+size_t RollupLattice::TotalBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [key, node] : nodes_) {
+    if (node.snap != nullptr) total += node.snap->table->ActualSizeBytes();
+  }
+  return total;
+}
+
+std::set<std::string> RollupLattice::Maintain(
+    const WarehouseSnapshot& prev, WarehouseSnapshot* next,
+    const std::set<std::string>& touched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> invalidate = std::move(pending_invalidations_);
+  pending_invalidations_.clear();
+
+  // 1. Refresh every node against the freshly rendered views: fold the
+  // batch's summary delta upward when the version chain is intact,
+  // rebuild otherwise; drop nodes whose parent left the warehouse. The
+  // sorted diff of old vs. new augmented rows is computed at most once
+  // per view and shared by every node folding over it.
+  std::map<std::string, SummaryDiff> diffs;
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    Node& node = it->second;
+    const ServedView* parent = next->Find(node.view);
+    const bool stale =
+        node.snap == nullptr ||
+        (parent != nullptr && node.snap->version != parent->version);
+    if (parent == nullptr) {
+      invalidate.insert(it->first);
+      ++stats_.demotions;
+      it = nodes_.erase(it);
+      continue;
+    }
+    if (touched.count(node.view) == 0 && !stale) {
+      ++it;  // COW: the published node snapshot is reused as-is.
+      continue;
+    }
+    const ServedView* prev_parent = prev.Find(node.view);
+    Result<LatticeNodeSnapshot> refreshed = InternalError("unset");
+    if (node.snap != nullptr && prev_parent != nullptr &&
+        node.snap->version == prev_parent->version &&
+        prev_parent->augmented != nullptr && parent->augmented != nullptr &&
+        prev_parent->augmented->schema().size() ==
+            parent->augmented->schema().size()) {
+      auto diff = diffs.find(node.view);
+      if (diff == diffs.end()) {
+        diff = diffs
+                   .emplace(node.view,
+                            DiffAugmented(*prev_parent->augmented,
+                                          *parent->augmented))
+                   .first;
+      }
+      refreshed = FoldLatticeNode(*node.snap, *parent, diff->second);
+      if (refreshed.ok()) ++stats_.folds;
+    }
+    if (!refreshed.ok()) {
+      refreshed = BuildLatticeNode(*parent, node.view, node.group_outputs);
+      if (refreshed.ok()) ++stats_.rebuilds;
+    }
+    if (!refreshed.ok()) {
+      // The grouping no longer resolves (the view was re-registered
+      // with a different shape): the node cannot be maintained.
+      invalidate.insert(it->first);
+      ++stats_.demotions;
+      it = nodes_.erase(it);
+      continue;
+    }
+    refreshed->version = parent->version;
+    node.snap =
+        std::make_shared<const LatticeNodeSnapshot>(std::move(*refreshed));
+    invalidate.insert(it->first);
+    ++it;
+  }
+
+  // 2. Promote hot candidates, hottest first. Each new node starts at
+  // the current tick so budget pressure evicts older cold nodes, not
+  // the promotion that caused it.
+  std::vector<std::map<std::string, Candidate>::iterator> hot;
+  for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+    if (it->second.hits >= options_.promote_hits) hot.push_back(it);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a->second.hits != b->second.hits
+               ? a->second.hits > b->second.hits
+               : a->first < b->first;
+  });
+  for (auto& it : hot) {
+    const Candidate& candidate = it->second;
+    const ServedView* parent = next->Find(candidate.view);
+    if (parent == nullptr) {
+      candidates_.erase(it);
+      continue;
+    }
+    Result<LatticeNodeSnapshot> built =
+        BuildLatticeNode(*parent, candidate.view, candidate.group_outputs);
+    if (!built.ok()) {
+      candidates_.erase(it);  // Never promotable; stop re-trying.
+      continue;
+    }
+    built->version = parent->version;
+    Node node;
+    node.view = candidate.view;
+    node.group_outputs = candidate.group_outputs;
+    node.hits = 0;
+    node.last_used = ++tick_;
+    node.snap =
+        std::make_shared<const LatticeNodeSnapshot>(std::move(*built));
+    nodes_.emplace(it->first, std::move(node));
+    ++stats_.promotions;
+    candidates_.erase(it);
+  }
+
+  // 3. Enforce the budget: demote the least-recently-used node until
+  // the directory fits.
+  while (!nodes_.empty() && TotalBytesLocked() > options_.budget_bytes) {
+    auto coldest = nodes_.begin();
+    for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+      if (it->second.last_used < coldest->second.last_used) coldest = it;
+    }
+    invalidate.insert(coldest->first);
+    ++stats_.demotions;
+    nodes_.erase(coldest);
+  }
+
+  for (const auto& [key, node] : nodes_) {
+    if (node.snap != nullptr) next->lattice.emplace(key, node.snap);
+  }
+  stats_.nodes = nodes_.size();
+  stats_.bytes = TotalBytesLocked();
+  return invalidate;
+}
+
+Status RollupLattice::ForcePromote(
+    const WarehouseSnapshot& current, const std::string& view,
+    const std::vector<std::string>& group_outputs) {
+  const ServedView* parent = current.Find(view);
+  if (parent == nullptr) {
+    return NotFoundError(StrCat("view '", view, "' is not registered"));
+  }
+  MD_ASSIGN_OR_RETURN(LatticeNodeSnapshot built,
+                      BuildLatticeNode(*parent, view, group_outputs));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = built.key;
+  if (nodes_.count(key) > 0) {
+    return AlreadyExistsError(
+        StrCat("lattice node '", key, "' is already promoted"));
+  }
+  Node node;
+  node.view = view;
+  // Store the names in the node's canonical ordering, not the caller's.
+  for (size_t i : built.grouping) {
+    node.group_outputs.push_back(parent->def->outputs()[i].output_name);
+  }
+  node.last_used = ++tick_;
+  node.snap = std::make_shared<const LatticeNodeSnapshot>(std::move(built));
+  nodes_.emplace(key, std::move(node));
+  candidates_.erase(key);
+  ++stats_.promotions;
+  return Status::Ok();
+}
+
+Status RollupLattice::Demote(const std::string& node_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node_key);
+  if (it == nodes_.end()) {
+    return NotFoundError(
+        StrCat("lattice node '", node_key, "' is not promoted"));
+  }
+  nodes_.erase(it);
+  pending_invalidations_.insert(node_key);
+  ++stats_.demotions;
+  return Status::Ok();
+}
+
+std::vector<LatticeNodeInfo> RollupLattice::Nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LatticeNodeInfo> out;
+  for (const auto& [key, node] : nodes_) {
+    LatticeNodeInfo info;
+    info.key = key;
+    info.view = node.view;
+    info.group_outputs = node.group_outputs;
+    info.hits = node.hits;
+    info.last_used = node.last_used;
+    if (node.snap != nullptr) {
+      info.version = node.snap->version;
+      info.rows = node.snap->table->NumRows();
+      info.bytes = node.snap->table->ActualSizeBytes();
+      info.materialized = true;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<LatticeCandidateInfo> RollupLattice::Candidates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LatticeCandidateInfo> out;
+  for (const auto& [key, candidate] : candidates_) {
+    out.push_back(LatticeCandidateInfo{key, candidate.view,
+                                       candidate.group_outputs,
+                                       candidate.hits});
+  }
+  return out;
+}
+
+LatticeStats RollupLattice::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LatticeStats stats = stats_;
+  stats.nodes = nodes_.size();
+  stats.bytes = TotalBytesLocked();
+  return stats;
+}
+
+std::string RollupLattice::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  logfmt::PutU32(&out, kLatticeStateVersion);
+  logfmt::PutU64(&out, tick_);
+  auto put_grouping = [&](const std::string& view,
+                          const std::vector<std::string>& names,
+                          uint64_t hits, uint64_t last_used) {
+    logfmt::PutString(&out, view);
+    logfmt::PutU32(&out, static_cast<uint32_t>(names.size()));
+    for (const std::string& name : names) logfmt::PutString(&out, name);
+    logfmt::PutU64(&out, hits);
+    logfmt::PutU64(&out, last_used);
+  };
+  logfmt::PutU32(&out, static_cast<uint32_t>(nodes_.size()));
+  for (const auto& [key, node] : nodes_) {
+    put_grouping(node.view, node.group_outputs, node.hits, node.last_used);
+  }
+  logfmt::PutU32(&out, static_cast<uint32_t>(candidates_.size()));
+  for (const auto& [key, candidate] : candidates_) {
+    put_grouping(candidate.view, candidate.group_outputs, candidate.hits,
+                 candidate.last_used);
+  }
+  return out;
+}
+
+Status RollupLattice::RestoreState(const std::string& payload) {
+  logfmt::PayloadReader reader(payload.data(), payload.size());
+  uint32_t version = 0;
+  if (!reader.ReadU32(&version) || version != kLatticeStateVersion) {
+    return InternalError("checkpoint lattice state has unknown version");
+  }
+  const auto truncated = [] {
+    return InternalError("checkpoint lattice state is truncated");
+  };
+  uint64_t tick = 0;
+  if (!reader.ReadU64(&tick)) return truncated();
+  auto read_grouping = [&](std::string* view,
+                           std::vector<std::string>* names, uint64_t* hits,
+                           uint64_t* last_used) {
+    if (!reader.ReadString(view)) return false;
+    uint32_t n = 0;
+    if (!reader.ReadU32(&n)) return false;
+    names->clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string name;
+      if (!reader.ReadString(&name)) return false;
+      names->push_back(std::move(name));
+    }
+    return reader.ReadU64(hits) && reader.ReadU64(last_used);
+  };
+
+  std::map<std::string, Node> nodes;
+  std::map<std::string, Candidate> candidates;
+  uint32_t num_nodes = 0;
+  if (!reader.ReadU32(&num_nodes)) return truncated();
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    Node node;
+    if (!read_grouping(&node.view, &node.group_outputs, &node.hits,
+                       &node.last_used)) {
+      return truncated();
+    }
+    // snap stays null: the recovery publish rebuilds the table from the
+    // recovered augmented summary.
+    nodes.emplace(LatticeNodeKey(node.view, node.group_outputs),
+                  std::move(node));
+  }
+  uint32_t num_candidates = 0;
+  if (!reader.ReadU32(&num_candidates)) return truncated();
+  for (uint32_t i = 0; i < num_candidates; ++i) {
+    Candidate candidate;
+    if (!read_grouping(&candidate.view, &candidate.group_outputs,
+                       &candidate.hits, &candidate.last_used)) {
+      return truncated();
+    }
+    candidates.emplace(
+        LatticeNodeKey(candidate.view, candidate.group_outputs),
+        std::move(candidate));
+  }
+  if (!reader.AtEnd()) {
+    return InternalError("checkpoint lattice state has trailing bytes");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_ = tick;
+  nodes_ = std::move(nodes);
+  candidates_ = std::move(candidates);
+  return Status::Ok();
+}
+
+}  // namespace mindetail

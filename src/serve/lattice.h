@@ -1,0 +1,189 @@
+// Adaptive roll-up lattice: hot coarser groupings promoted to
+// self-maintained mini-views.
+//
+// The paper's augmented summary answers any coarser GPSJ grouping by
+// re-aggregating shadow counts and running sums at plan time (the
+// summary roll-up in rollup.h). That very property also makes coarser
+// roll-ups *self-maintainable by the same delta math*: a committed
+// batch's effect on a coarse grouping is exactly the parent summary's
+// per-group (Δshadow, Δsum…) folded upward — no base-table access.
+//
+// The lattice watches the read path for coarser groupings the planner
+// keeps re-deriving (RecordUse), promotes the hot ones into
+// materialized mini summaries (one table per node: the coarse group
+// columns, __shadow, and the parent's running sums), maintains every
+// node incrementally at each commit (Maintain, called from the
+// warehouse's snapshot publish), and demotes cold nodes whenever the
+// configured memory budget (WarehouseOptions::lattice_budget_bytes)
+// overflows. Queries then plan against the finest covering node —
+// strictly fewer rows than the parent summary, same answers.
+//
+// Fold-up delta math (per committed batch, per promoted node):
+//   diff the parent's old and new augmented summaries on the parent's
+//   full group key; for every changed parent group compute
+//     Δshadow = shadow' − shadow,   Δsum_i = sum_i' + (−sum_i)
+//   and add the deltas to the node row owning that group's coarse key.
+//   A coarse group whose shadow reaches 0 is dropped. Integer state is
+//   exact; doubles accumulate like every other incremental path here.
+//   A node whose recorded parent version does not match the previous
+//   snapshot (first publish after promotion, recovery) is rebuilt from
+//   the new augmented summary in one pass instead.
+//
+// Thread safety: RecordUse/RecordHit may be called from any number of
+// reader threads; Maintain and the manual promote/demote entry points
+// run on the single writer. Everything is guarded by one mutex — the
+// read-path critical sections only bump counters.
+
+#ifndef MINDETAIL_SERVE_LATTICE_H_
+#define MINDETAIL_SERVE_LATTICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/rollup.h"
+#include "serve/snapshot.h"
+
+namespace mindetail {
+
+struct LatticeOptions {
+  // Total bytes of promoted node tables (Table::ActualSizeBytes). 0
+  // disables the lattice entirely; SIZE_MAX is an unbounded budget.
+  size_t budget_bytes = 0;
+  // Recorded uses of one coarser grouping before it is promoted.
+  uint64_t promote_hits = 3;
+};
+
+// One promoted node, for the CLI and tests.
+struct LatticeNodeInfo {
+  std::string key;
+  std::string view;
+  std::vector<std::string> group_outputs;
+  uint64_t version = 0;
+  uint64_t hits = 0;       // Queries the node answered.
+  uint64_t last_used = 0;  // Logical tick of the last use.
+  size_t rows = 0;
+  size_t bytes = 0;
+  bool materialized = false;  // False only between restore and rebuild.
+};
+
+// One observed-but-unpromoted coarser grouping.
+struct LatticeCandidateInfo {
+  std::string key;
+  std::string view;
+  std::vector<std::string> group_outputs;
+  uint64_t hits = 0;
+};
+
+struct LatticeStats {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;  // Budget evictions + manual demotes + drops.
+  uint64_t folds = 0;      // Incremental delta fold-ups.
+  uint64_t rebuilds = 0;   // Full rebuilds from the parent summary.
+  uint64_t hits = 0;       // Queries answered from a node.
+  size_t nodes = 0;        // Currently promoted.
+  size_t bytes = 0;        // Their total footprint.
+};
+
+// Canonical node key: "<view>@<g1,g2,…>". `group_outputs` must already
+// be in canonical order (ascending parent output position).
+std::string LatticeNodeKey(const std::string& view,
+                           const std::vector<std::string>& group_outputs);
+
+// The coarser grouping a successful summary roll-up exposes: the
+// parent group-by output names the query consumed (its group-bys plus
+// extra filters), in canonical order — or nullopt when the plan needs
+// state a node does not carry (kCopy/kMin/kMax outputs) or is not
+// strictly coarser than the parent's own grouping.
+std::optional<std::vector<std::string>> LatticeCandidateGrouping(
+    const ServedView& served, const SummaryRollupPlan& plan);
+
+// Materializes one node from the parent's augmented summary: resolve
+// `group_outputs` against the parent's group-by outputs (rejecting
+// groupings that are not strictly coarser), then aggregate __shadow and
+// every non-DISTINCT SUM/AVG running sum under the coarse key.
+Result<LatticeNodeSnapshot> BuildLatticeNode(
+    const ServedView& parent, const std::string& view,
+    const std::vector<std::string>& group_outputs);
+
+class RollupLattice {
+ public:
+  explicit RollupLattice(LatticeOptions options);
+
+  // Read path: a summary roll-up re-derived `group_outputs` from
+  // `view`'s full summary — promotion heat for that grouping.
+  void RecordUse(const std::string& view,
+                 const std::vector<std::string>& group_outputs);
+  // Read path: a query was answered from the node.
+  void RecordHit(const std::string& node_key);
+
+  // Commit path, called while the warehouse publishes `next` (views
+  // already rendered; `prev` is the snapshot being replaced): folds the
+  // batch's summary deltas into every node whose parent is in
+  // `touched` (rebuilding when the version chain is broken), applies
+  // pending promotions and budget demotions, and attaches the resulting
+  // node snapshots to next->lattice. Returns every node key whose
+  // cached query results must be invalidated (refreshed, demoted, or
+  // dropped nodes, plus any invalidations queued by Demote).
+  std::set<std::string> Maintain(const WarehouseSnapshot& prev,
+                                 WarehouseSnapshot* next,
+                                 const std::set<std::string>& touched);
+
+  // Manual promotion/demotion (CLI). Both only mutate lattice state;
+  // the caller must publish a snapshot afterwards so readers see it.
+  Status ForcePromote(const WarehouseSnapshot& current,
+                      const std::string& view,
+                      const std::vector<std::string>& group_outputs);
+  Status Demote(const std::string& node_key);
+
+  std::vector<LatticeNodeInfo> Nodes() const;
+  std::vector<LatticeCandidateInfo> Candidates() const;
+  LatticeStats stats() const;
+  const LatticeOptions& options() const { return options_; }
+
+  // Checkpoint sidecar payload: the promoted-node directory and
+  // candidate heat (groupings, hit counts, the tick clock) — node
+  // *tables* are never persisted; RestoreState marks every node for
+  // rebuild and the recovery publish re-materializes them from the
+  // recovered augmented summaries.
+  std::string SerializeState() const;
+  Status RestoreState(const std::string& payload);
+
+ private:
+  struct Node {
+    std::string view;
+    std::vector<std::string> group_outputs;
+    // Null between RestoreState and the next Maintain.
+    std::shared_ptr<const LatticeNodeSnapshot> snap;
+    uint64_t hits = 0;
+    uint64_t last_used = 0;
+  };
+  struct Candidate {
+    std::string view;
+    std::vector<std::string> group_outputs;
+    uint64_t hits = 0;
+    uint64_t last_used = 0;
+  };
+
+  size_t TotalBytesLocked() const;
+
+  const LatticeOptions options_;
+  mutable std::mutex mu_;
+  uint64_t tick_ = 0;
+  std::map<std::string, Node> nodes_;            // By node key.
+  std::map<std::string, Candidate> candidates_;  // By node key.
+  LatticeStats stats_;
+  // Keys demoted/dropped since the last Maintain, awaiting cache
+  // invalidation at the next publish.
+  std::set<std::string> pending_invalidations_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_SERVE_LATTICE_H_

@@ -253,6 +253,100 @@ Result<SummaryRollupPlan> TrySummaryPlan(
   return plan;
 }
 
+// --- Lattice-node planning ------------------------------------------------
+
+// A lattice node is a coarser augmented summary of its parent view, so
+// the plan is a SummaryRollupPlan bound to the node's own columns: the
+// grouping columns come first, then __shadow, then the running sums.
+// Nodes carry no MIN/MAX or DISTINCT state — those queries fall
+// through to the parent's full summary.
+Result<SummaryRollupPlan> TryLatticeNodePlan(
+    const LatticeNodeSnapshot& node, const GpsjViewDef& view,
+    const GpsjViewDef& query, const std::vector<ExtraCondition>& extras) {
+  if (node.table == nullptr) {
+    return InternalError("lattice node has no materialized table");
+  }
+  const Schema& schema = node.table->schema();
+
+  // Node column per retained parent group-by attribute.
+  std::map<AttributeRef, size_t> retained;
+  for (size_t j = 0; j < node.grouping.size(); ++j) {
+    retained[view.outputs()[node.grouping[j]].attr] = j;
+  }
+
+  SummaryRollupPlan plan;
+  plan.shadow_column = node.ShadowColumn();
+  for (const ExtraCondition& extra : extras) {
+    const AttributeRef ref{extra.table, extra.condition.attr};
+    auto it = retained.find(ref);
+    if (it == retained.end()) {
+      return FailedPreconditionError(
+          StrCat("selection on ", ref.ToString(),
+                 ", which the node does not retain"));
+    }
+    plan.filters.push_back(SummaryFilter{it->second, extra.condition.op,
+                                         extra.condition.constant});
+  }
+
+  for (const OutputItem& item : query.outputs()) {
+    if (item.kind == OutputItem::Kind::kGroupBy) {
+      auto it = retained.find(item.attr);
+      if (it == retained.end()) {
+        return FailedPreconditionError(
+            StrCat("groups by ", item.attr.ToString(),
+                   ", which the node does not retain"));
+      }
+      plan.group_columns.push_back(it->second);
+      plan.outputs.push_back(SummaryOutput{SummaryOutput::Kind::kGroup,
+                                           it->second, AggFn::kCountStar,
+                                           schema.attribute(it->second).type});
+      continue;
+    }
+    const AggregateSpec& spec = item.agg;
+    if (spec.distinct) {
+      return FailedPreconditionError(
+          StrCat(spec.ToString(), " is not derivable from a lattice node"));
+    }
+    switch (spec.fn) {
+      case AggFn::kCountStar:
+      case AggFn::kCount:
+        plan.outputs.push_back(SummaryOutput{SummaryOutput::Kind::kCount,
+                                             0, spec.fn,
+                                             ValueType::kInt64});
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg: {
+        int pos = -1;
+        for (size_t j = 0; j < node.sum_inputs.size(); ++j) {
+          if (node.sum_inputs[j] == spec.input) {
+            pos = static_cast<int>(j);
+            break;
+          }
+        }
+        if (pos < 0) {
+          return FailedPreconditionError(
+              StrCat("the node carries no running sum over ",
+                     spec.input.ToString()));
+        }
+        const size_t src = node.ShadowColumn() + 1 + pos;
+        plan.outputs.push_back(SummaryOutput{
+            spec.fn == AggFn::kSum ? SummaryOutput::Kind::kSum
+                                   : SummaryOutput::Kind::kAvg,
+            src, spec.fn,
+            spec.fn == AggFn::kSum ? schema.attribute(src).type
+                                   : ValueType::kDouble});
+        break;
+      }
+      case AggFn::kMin:
+      case AggFn::kMax:
+        return FailedPreconditionError(
+            StrCat("lattice nodes fold away ", AggFnName(spec.fn),
+                   " state"));
+    }
+  }
+  return plan;
+}
+
 // --- Auxiliary-view join planning -----------------------------------------
 
 Result<AuxJoinPlan> TryAuxPlan(const ServedView& served,
@@ -378,6 +472,7 @@ Result<AuxJoinPlan> TryAuxPlan(const ServedView& served,
 
 Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
   std::vector<RejectedCandidate> rejected;
+  std::vector<RejectedCandidate> lattice_rejected;
   for (const std::string& name : snapshot_->order) {
     const ServedView* served = snapshot_->Find(name);
     if (served == nullptr || served->def == nullptr) continue;
@@ -395,6 +490,36 @@ Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
       continue;
     }
 
+    // Prefer the finest covering lattice node: the same answer as the
+    // view's summary roll-up, derived from strictly fewer rows.
+    const LatticeNodeSnapshot* best_node = nullptr;
+    SummaryRollupPlan best_node_plan;
+    for (const auto& [key, node] : snapshot_->lattice) {
+      if (node->view != name) continue;
+      Result<SummaryRollupPlan> node_plan =
+          TryLatticeNodePlan(*node, *served->def, query, *extras);
+      if (!node_plan.ok()) {
+        lattice_rejected.push_back(
+            RejectedCandidate{key, node_plan.status().message()});
+        continue;
+      }
+      if (best_node == nullptr ||
+          node->table->NumRows() < best_node->table->NumRows()) {
+        best_node = node.get();
+        best_node_plan = std::move(*node_plan);
+      }
+    }
+    if (best_node != nullptr) {
+      QueryPlan plan;
+      plan.view = name;
+      plan.strategy = QueryPlan::Strategy::kLatticeRollup;
+      plan.summary = std::move(best_node_plan);
+      plan.lattice_node = best_node->key;
+      plan.rejected = std::move(rejected);
+      plan.lattice_rejected = std::move(lattice_rejected);
+      return plan;
+    }
+
     Result<SummaryRollupPlan> summary =
         TrySummaryPlan(*served, query, *extras);
     if (summary.ok()) {
@@ -403,6 +528,7 @@ Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
       plan.strategy = QueryPlan::Strategy::kSummaryRollup;
       plan.summary = std::move(*summary);
       plan.rejected = std::move(rejected);
+      plan.lattice_rejected = std::move(lattice_rejected);
       return plan;
     }
     Result<AuxJoinPlan> aux =
@@ -413,6 +539,7 @@ Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
       plan.strategy = QueryPlan::Strategy::kAuxJoin;
       plan.aux = std::move(*aux);
       plan.rejected = std::move(rejected);
+      plan.lattice_rejected = std::move(lattice_rejected);
       return plan;
     }
     rejected.push_back(RejectedCandidate{
@@ -432,6 +559,20 @@ Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
 
 Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
                                     const GpsjViewDef& query) const {
+  if (plan.strategy == QueryPlan::Strategy::kLatticeRollup) {
+    const LatticeNodeSnapshot* node =
+        snapshot_->FindLatticeNode(plan.lattice_node);
+    if (node == nullptr) {
+      return NotFoundError(StrCat("lattice node '", plan.lattice_node,
+                                  "' is not in the snapshot"));
+    }
+    // The node table is itself an augmented summary (coarse groups,
+    // __shadow, running sums), so the summary executor runs unchanged
+    // over a synthetic served view wrapping it.
+    ServedView synthetic;
+    synthetic.augmented = node->table;
+    return ExecuteSummaryRollup(synthetic, query, plan.summary);
+  }
   const ServedView* served = snapshot_->Find(plan.view);
   if (served == nullptr) {
     return NotFoundError(
@@ -448,9 +589,20 @@ std::string QueryPlanner::Explain(const GpsjViewDef& query) const {
   Result<QueryPlan> plan = Plan(query);
   if (plan.ok()) {
     out = StrCat(out, "answer: view '", plan->view, "' via ",
-                 plan->StrategyName(), "\n");
+                 plan->StrategyName());
+    if (plan->strategy == QueryPlan::Strategy::kLatticeRollup) {
+      const LatticeNodeSnapshot* node =
+          snapshot_->FindLatticeNode(plan->lattice_node);
+      out = StrCat(out, " (node '", plan->lattice_node, "', ",
+                   node != nullptr ? node->table->NumRows() : 0,
+                   " rows)");
+    }
+    out += "\n";
     for (const RejectedCandidate& r : plan->rejected) {
       out = StrCat(out, "rejected: ", r.view, " — ", r.reason, "\n");
+    }
+    for (const RejectedCandidate& r : plan->lattice_rejected) {
+      out = StrCat(out, "lattice miss: ", r.view, " — ", r.reason, "\n");
     }
   } else {
     out = StrCat(out, "unanswerable: ", plan.status().message(), "\n");

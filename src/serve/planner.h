@@ -44,19 +44,35 @@ struct RejectedCandidate {
 
 // An executable decision: which view answers the query and how.
 struct QueryPlan {
-  enum class Strategy { kSummaryRollup, kAuxJoin };
+  enum class Strategy { kSummaryRollup, kAuxJoin, kLatticeRollup };
 
   std::string view;
   Strategy strategy = Strategy::kSummaryRollup;
-  // Exactly one of these is populated, matching `strategy`.
+  // kSummaryRollup and kLatticeRollup both execute `summary` — over the
+  // view's augmented summary or over the lattice node's mini summary
+  // (the node is itself a coarser augmented summary, so one executor
+  // serves both). kAuxJoin executes `aux`.
   SummaryRollupPlan summary;
   AuxJoinPlan aux;
+  // kLatticeRollup: the winning node's key (snapshot lattice map).
+  std::string lattice_node;
   // Candidates examined (in registration order) before `view` won.
   std::vector<RejectedCandidate> rejected;
+  // Lattice nodes examined and unusable (`view` holds the node key) —
+  // kept even when another strategy wins, so ExplainQuery can say why
+  // the lattice did not serve.
+  std::vector<RejectedCandidate> lattice_rejected;
 
   const char* StrategyName() const {
-    return strategy == Strategy::kSummaryRollup ? "summary roll-up"
-                                                : "auxiliary-view join";
+    switch (strategy) {
+      case Strategy::kSummaryRollup:
+        return "summary roll-up";
+      case Strategy::kAuxJoin:
+        return "auxiliary-view join";
+      case Strategy::kLatticeRollup:
+        return "lattice roll-up";
+    }
+    return "unknown";
   }
 };
 

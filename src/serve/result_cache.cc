@@ -6,8 +6,11 @@ namespace mindetail {
 
 bool ResultCache::Valid(const Entry& entry,
                         const WarehouseSnapshot& snapshot) {
-  const ServedView* view = snapshot.Find(entry.view);
-  return view != nullptr && view->version == entry.view_version;
+  // The source may be a view or a lattice node; either way the entry
+  // is only served while the snapshot still carries it at the version
+  // the answer was computed from.
+  const std::optional<uint64_t> version = snapshot.SourceVersion(entry.view);
+  return version.has_value() && *version == entry.view_version;
 }
 
 std::shared_ptr<const Table> ResultCache::Lookup(

@@ -52,13 +52,14 @@ class ResultCache {
   bool Contains(const std::string& key,
                 const WarehouseSnapshot& snapshot) const;
 
-  // Remembers `result` for `key`, answered from `source_view` at
-  // `view_version`. Evicts the least-recently-used entry on overflow.
+  // Remembers `result` for `key`, answered from `source_view` — a view
+  // name or a lattice node key — at `view_version`. Evicts the
+  // least-recently-used entry on overflow.
   void Insert(const std::string& key, const std::string& source_view,
               uint64_t view_version, std::shared_ptr<const Table> result);
 
-  // Drops every entry answered from one of `views` (the commit path's
-  // per-view invalidation hook).
+  // Drops every entry answered from one of `views` — view names and/or
+  // lattice node keys (the commit path's invalidation hook).
   void InvalidateViews(const std::set<std::string>& views);
 
   void Clear();

@@ -11,6 +11,21 @@ const ServedView* WarehouseSnapshot::Find(const std::string& name) const {
   return it == views.end() ? nullptr : it->second.get();
 }
 
+const LatticeNodeSnapshot* WarehouseSnapshot::FindLatticeNode(
+    const std::string& key) const {
+  auto it = lattice.find(key);
+  return it == lattice.end() ? nullptr : it->second.get();
+}
+
+std::optional<uint64_t> WarehouseSnapshot::SourceVersion(
+    const std::string& name) const {
+  if (const ServedView* view = Find(name)) return view->version;
+  if (const LatticeNodeSnapshot* node = FindLatticeNode(name)) {
+    return node->version;
+  }
+  return std::nullopt;
+}
+
 Result<std::shared_ptr<const Table>> WarehouseSnapshot::View(
     const std::string& name) const {
   const ServedView* view = Find(name);

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,37 @@ struct ServedView {
   std::map<std::string, std::shared_ptr<const Table>> aux;
 };
 
+// One promoted roll-up lattice node as of a snapshot: a coarser
+// grouping of a parent view's augmented summary, materialized as its
+// own mini summary table and maintained incrementally (serve/lattice.h).
+// Immutable and shared exactly like ServedView.
+struct LatticeNodeSnapshot {
+  // Canonical node key: "<view>@<g1,g2,…>" over the parent's group-by
+  // output names (sorted by output position; "<view>@" for the fully
+  // aggregated node).
+  std::string key;
+  // The parent view this node rolls up from.
+  std::string view;
+  // Parent output positions forming the node's grouping, ascending.
+  std::vector<size_t> grouping;
+  // Parent version the node's contents correspond to. Bumped whenever
+  // a committed batch touches the parent, so result-cache entries
+  // answered from this node invalidate exactly like view-backed ones.
+  uint64_t version = 0;
+  // The mini summary: one column per grouping output (parent names and
+  // types), then __shadow (Σ of the parent groups' shadow counts), then
+  // one running-sum column per distinct non-DISTINCT SUM/AVG input of
+  // the parent (named like the parent's __sum_* columns). Rows sorted.
+  std::shared_ptr<const Table> table;
+  // Per running-sum column (in table order, after __shadow): the
+  // aggregate input attribute it sums — what the planner matches query
+  // SUM/AVG aggregates against.
+  std::vector<AttributeRef> sum_inputs;
+
+  // Column index of __shadow in `table` (== grouping.size()).
+  size_t ShadowColumn() const { return grouping.size(); }
+};
+
 // A consistent image of every registered view at one batch boundary.
 struct WarehouseSnapshot {
   // Sequence of the last batch folded into this snapshot (0 = empty
@@ -67,12 +99,23 @@ struct WarehouseSnapshot {
   // View names in registration order.
   std::vector<std::string> order;
   std::map<std::string, std::shared_ptr<const ServedView>> views;
+  // Promoted roll-up lattice nodes, by node key. Maintained alongside
+  // the views at each publish (serve/lattice.h); empty when the lattice
+  // is disabled.
+  std::map<std::string, std::shared_ptr<const LatticeNodeSnapshot>> lattice;
 
   bool HasView(const std::string& name) const {
     return views.count(name) > 0;
   }
   // The view's serving state, or nullptr when not registered.
   const ServedView* Find(const std::string& name) const;
+  // The lattice node's serving state, or nullptr when not promoted.
+  const LatticeNodeSnapshot* FindLatticeNode(const std::string& key) const;
+  // The version of a query-answer source — a view name or a lattice
+  // node key — or nullopt when this snapshot no longer carries it. The
+  // result cache validates entries through this, so answers computed
+  // from a since-demoted or refreshed node are never served.
+  std::optional<uint64_t> SourceVersion(const std::string& name) const;
   // The view's rendered contents — a shared handle, no copy.
   Result<std::shared_ptr<const Table>> View(const std::string& name) const;
 };

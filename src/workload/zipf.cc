@@ -1,0 +1,47 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mindetail {
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  if (n == 0) n = 1;
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding shortfall.
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::distance(cdf_.begin(), it));
+}
+
+BurstyZipfStream::BurstyZipfStream(const BurstyZipfParams& params)
+    : sampler_(params.num_items, params.exponent),
+      params_(params),
+      rng_(params.seed) {
+  phase_left_ = params_.calm_len;
+}
+
+size_t BurstyZipfStream::Next() {
+  if (phase_left_ == 0) {
+    bursting_ = !bursting_;
+    if (bursting_) {
+      phase_left_ = params_.burst_len;
+      burst_item_ = sampler_.Sample(rng_);
+    } else {
+      phase_left_ = params_.calm_len;
+    }
+  }
+  --phase_left_;
+  return bursting_ ? burst_item_ : sampler_.Sample(rng_);
+}
+
+}  // namespace mindetail

@@ -1,0 +1,69 @@
+// Skewed workload generation: Zipfian item sampling and a bursty
+// query/update stream built on it. Hot-key skew is what makes the
+// adaptive roll-up lattice (serve/lattice.h) promote anything, so the
+// differential tests and benches both draw their workloads from here —
+// seeded and fully deterministic via common/rng.h.
+
+#ifndef MINDETAIL_WORKLOAD_ZIPF_H_
+#define MINDETAIL_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mindetail {
+
+// Samples item ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^exponent — rank 0
+// is the hottest item. The CDF is precomputed once; Sample is a binary
+// search, deterministic given the Rng's state.
+class ZipfSampler {
+ public:
+  // n ≥ 1; exponent ≥ 0 (0 = uniform, ~1 = classic Zipf, larger =
+  // sharper skew).
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // Normalized, ascending, back() == 1.0.
+};
+
+// A two-phase stream of item picks: calm phases draw Zipf-distributed
+// items; burst phases hammer one hot item (re-drawn per burst from the
+// Zipf head) for `burst_len` consecutive picks. Models the flash-crowd
+// pattern that should drive lattice promotions — a grouping that is
+// merely warm stays a candidate, a bursted grouping crosses the
+// promotion threshold quickly.
+struct BurstyZipfParams {
+  size_t num_items = 8;
+  double exponent = 1.2;
+  size_t calm_len = 12;   // Picks per calm phase.
+  size_t burst_len = 6;   // Picks per burst phase.
+  uint64_t seed = 7;
+};
+
+class BurstyZipfStream {
+ public:
+  explicit BurstyZipfStream(const BurstyZipfParams& params);
+
+  // The next item index in [0, num_items).
+  size_t Next();
+
+  bool in_burst() const { return phase_left_ > 0 && bursting_; }
+
+ private:
+  ZipfSampler sampler_;
+  BurstyZipfParams params_;
+  Rng rng_;
+  bool bursting_ = false;
+  size_t phase_left_ = 0;
+  size_t burst_item_ = 0;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_WORKLOAD_ZIPF_H_

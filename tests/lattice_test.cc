@@ -1,0 +1,653 @@
+// Adaptive roll-up lattice system tests.
+//
+// The centerpiece is a skewed differential stress: a 200-batch mixed
+// update stream (snowflake deltas) with a Zipf/bursty query mix on
+// top, run at lattice budgets {0, small, unbounded}. Every Query() a
+// boundary issues is checked against direct GPSJ evaluation of a
+// lock-step source twin — integer measures bit for bit, doubles with
+// tolerance (incremental ± accumulation drifts like every other
+// incremental path here). The remaining cases pin down the result
+// cache interplay (promotions/demotions never serve stale entries),
+// ExplainQuery's lattice hit/miss reporting, readers racing the
+// maintenance writer (run under TSan via the `concurrency` label), and
+// a kill-at-failpoint child that proves promoted-node state survives
+// Open() bit-correctly.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gpsj/evaluator.h"
+#include "gtest/gtest.h"
+#include "maintenance/warehouse.h"
+#include "serve/lattice.h"
+#include "serve/planner.h"
+#include "snowflake_stream.h"
+#include "test_util.h"
+#include "workload/snowflake.h"
+#include "workload/zipf.h"
+
+namespace mindetail {
+namespace {
+
+using test::GeneratedDelta;
+using test::TablesApproxEqual;
+using test::TablesExactlyEqual;
+
+constexpr char kSnowViewSql[] = R"sql(
+  CREATE VIEW snow AS
+  SELECT dim0.a AS GroupA, dim1.a AS GroupB, SUM(fact.m1) AS SumM1,
+         COUNT(*) AS Cnt, SUM(fact.m2) AS SumM2
+  FROM fact, dim0, dim1
+  WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id
+  GROUP BY dim0.a, dim1.a
+)sql";
+
+constexpr char kSnowJoin[] =
+    "FROM fact, dim0, dim1 "
+    "WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id ";
+
+std::map<std::string, Delta> OneTable(const std::string& table,
+                                      Delta delta) {
+  std::map<std::string, Delta> changes;
+  changes.emplace(table, std::move(delta));
+  return changes;
+}
+
+SnowflakeParams StreamParams(uint64_t seed) {
+  SnowflakeParams sp;
+  sp.depth = 2;
+  sp.fanout = 1;
+  sp.fact_rows = 200;
+  sp.dim_rows = 15;
+  sp.seed = seed;
+  return sp;
+}
+
+// The query pool the Zipf stream draws from. Integer-measure entries
+// must match the oracle bit for bit; double-measure entries drift by
+// accumulation order and compare with tolerance.
+struct PoolQuery {
+  std::string sql;
+  bool exact;
+};
+
+std::vector<PoolQuery> QueryPool() {
+  return {
+      {StrCat("SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C, "
+              "AVG(fact.m1) AS A ",
+              kSnowJoin, "GROUP BY dim0.a"),
+       true},
+      {StrCat("SELECT dim1.a, SUM(fact.m1) AS S, COUNT(*) AS C ",
+              kSnowJoin, "GROUP BY dim1.a"),
+       true},
+      {StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin),
+       true},
+      {StrCat("SELECT dim0.a, SUM(fact.m2) AS S2, AVG(fact.m2) AS A2 ",
+              kSnowJoin, "GROUP BY dim0.a"),
+       false},
+      // Filter on GroupA while grouping by GroupB: consumes the full
+      // parent grouping, so it is never promotable and exercises
+      // lattice-node rejection on every planned boundary.
+      {StrCat("SELECT dim1.a, SUM(fact.m1) AS S, COUNT(*) AS C ",
+              kSnowJoin, "AND dim0.a >= 2 GROUP BY dim1.a"),
+       true},
+      {StrCat("SELECT dim1.a, AVG(fact.m2) AS AD ", kSnowJoin,
+              "GROUP BY dim1.a"),
+       false},
+  };
+}
+
+Table Oracle(const Catalog& source, const std::string& sql) {
+  Result<GpsjViewDef> def = ParseServeQuery(source, sql);
+  MD_CHECK(def.ok());
+  Result<Table> table = EvaluateGpsj(source, *def);
+  MD_CHECK(table.ok());
+  return std::move(table).value();
+}
+
+// -------------------------------------------------------------------
+// Differential stress: the same skewed 200-batch stream at three
+// budgets. Answer correctness must not depend on what the lattice
+// chose to promote or evict.
+// -------------------------------------------------------------------
+
+LatticeStats RunSkewedDifferentialStream(size_t budget_bytes) {
+  Result<SnowflakeWarehouse> generated_warehouse =
+      GenerateSnowflake(StreamParams(20260809));
+  MD_CHECK(generated_warehouse.ok());
+  SnowflakeWarehouse snowflake = std::move(*generated_warehouse);
+  Catalog source = snowflake.catalog;  // The twin, kept in lock-step.
+
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithLatticeBudget(budget_bytes)
+                          .WithLatticePromoteHits(2));
+  MD_EXPECT_OK(warehouse.AddViewSql(source, kSnowViewSql));
+
+  const std::vector<PoolQuery> pool = QueryPool();
+  BurstyZipfParams zp;
+  zp.num_items = pool.size();
+  zp.exponent = 1.2;
+  zp.calm_len = 9;
+  zp.burst_len = 5;
+  zp.seed = 13;
+  BurstyZipfStream picks(zp);
+
+  auto check = [&](const PoolQuery& q) {
+    Result<Table> got = warehouse.Query(q.sql);
+    ASSERT_TRUE(got.ok()) << q.sql << ": " << got.status().message();
+    if (q.exact) {
+      ASSERT_TRUE(TablesExactlyEqual(Oracle(source, q.sql), *got))
+          << q.sql;
+    } else {
+      ASSERT_TRUE(TablesApproxEqual(Oracle(source, q.sql), *got))
+          << q.sql;
+    }
+  };
+
+  constexpr int kBatches = 200;
+  Rng rng(0x5eed1a77u ^ budget_bytes);
+  int applied = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        snowflake, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+    SCOPED_TRACE(::testing::Message() << "budget " << budget_bytes
+                                      << ", batch " << applied
+                                      << ", delta on " << generated.table);
+    MD_EXPECT_OK(warehouse.ApplyTransaction(
+        OneTable(generated.table, generated.delta)));
+    MD_EXPECT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+
+    // The skewed query mix: three Zipf draws per boundary keep a hot
+    // grouping hot; every 10th boundary sweeps the whole pool so cold
+    // queries stay covered too.
+    for (int draw = 0; draw < 3; ++draw) check(pool[picks.Next()]);
+    if (applied % 10 == 0) {
+      for (const PoolQuery& q : pool) check(q);
+    }
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  EXPECT_EQ(applied, kBatches);
+  return warehouse.lattice_stats();
+}
+
+TEST(LatticeDifferentialTest, BudgetZeroMatchesOracle) {
+  const LatticeStats stats = RunSkewedDifferentialStream(0);
+  // Budget 0 disables the lattice entirely: nothing promoted, nothing
+  // answered from a node, yet every answer above already matched.
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(LatticeDifferentialTest, SmallBudgetMatchesOracleWithinBudget) {
+  constexpr size_t kBudget = 2048;
+  const LatticeStats stats = RunSkewedDifferentialStream(kBudget);
+  // Eviction keeps the footprint at or under budget at every publish.
+  EXPECT_LE(stats.bytes, kBudget);
+  EXPECT_GT(stats.promotions, 0u);
+}
+
+TEST(LatticeDifferentialTest, UnboundedBudgetMatchesOracleAndServesHits) {
+  const LatticeStats stats = RunSkewedDifferentialStream(SIZE_MAX);
+  EXPECT_GT(stats.nodes, 0u);
+  EXPECT_GT(stats.promotions, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.folds, 0u);  // Incremental fold-ups, not rebuilds.
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+// -------------------------------------------------------------------
+// Result-cache interplay: entries answered from a node are keyed to
+// that node's key and version, so promotions, demotions, and folds can
+// never serve a stale cached table.
+// -------------------------------------------------------------------
+
+TEST(LatticeCacheInterplayTest, PromotionsAndDemotionsNeverServeStale) {
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(771)));
+  Catalog source = snowflake.catalog;
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithLatticeBudget(SIZE_MAX)
+                          .WithLatticePromoteHits(1));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kSnowViewSql));
+
+  const std::string sql = StrCat(
+      "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
+      "GROUP BY dim0.a");
+  const std::string node_key = LatticeNodeKey("snow", {"GroupA"});
+  Rng rng(9001);
+
+  auto next_batch = [&] {
+    for (;;) {
+      GeneratedDelta generated = test::MakeSnowflakeDelta(
+          snowflake, source, rng, /*append_only=*/false);
+      if (generated.delta.Empty()) continue;
+      MD_ASSERT_OK(warehouse.ApplyTransaction(
+          OneTable(generated.table, generated.delta)));
+      MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                              generated.delta));
+      return;
+    }
+  };
+
+  // Heat the grouping on the summary path, then commit: the publish
+  // promotes it.
+  MD_ASSERT_OK_AND_ASSIGN(Table first, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), first));
+  next_batch();
+  ASSERT_GE(warehouse.lattice_stats().promotions, 1u);
+  ASSERT_FALSE(warehouse.LatticeNodes().empty());
+
+  // Answered from the node now, and cached under the node's key.
+  MD_ASSERT_OK_AND_ASSIGN(Table from_node, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), from_node));
+  EXPECT_GE(warehouse.lattice_stats().hits, 1u);
+  const uint64_t cache_hits_before = warehouse.QueryCacheStats().hits;
+  MD_ASSERT_OK_AND_ASSIGN(Table from_cache, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(from_node, from_cache));
+  EXPECT_GT(warehouse.QueryCacheStats().hits, cache_hits_before);
+
+  // A commit folds the node and invalidates its cached answers: the
+  // next read must show the new data, not the cached table.
+  for (int i = 0; i < 5; ++i) {
+    next_batch();
+    MD_ASSERT_OK_AND_ASSIGN(Table after, warehouse.Query(sql));
+    ASSERT_TRUE(TablesExactlyEqual(Oracle(source, sql), after));
+  }
+
+  // Demotion drops the node and its cached answers; the query falls
+  // back to the parent summary with the same (fresh) result.
+  MD_ASSERT_OK(warehouse.LatticeDemote(node_key));
+  EXPECT_TRUE(warehouse.LatticeNodes().empty());
+  MD_ASSERT_OK_AND_ASSIGN(Table demoted, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), demoted));
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          warehouse.ExplainQuery(sql));
+  EXPECT_EQ(explain.find("lattice roll-up"), std::string::npos);
+
+  // Manual re-promotion: served from the node again, still fresh.
+  MD_ASSERT_OK(warehouse.LatticePromote("snow", {"GroupA"}));
+  next_batch();
+  MD_ASSERT_OK_AND_ASSIGN(Table repromoted, warehouse.Query(sql));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), repromoted));
+  MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(sql));
+  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
+
+  // Guard rails: duplicate promotion and unknown demotion fail loudly.
+  EXPECT_FALSE(warehouse.LatticePromote("snow", {"GroupA"}).ok());
+  EXPECT_FALSE(warehouse.LatticeDemote("snow@NoSuchGroup").ok());
+}
+
+TEST(LatticeCacheInterplayTest, DisabledLatticeRejectsManagementCalls) {
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(772)));
+  Warehouse warehouse;  // Default options: lattice_budget_bytes == 0.
+  MD_ASSERT_OK(warehouse.AddViewSql(snowflake.catalog, kSnowViewSql));
+  EXPECT_EQ(warehouse.LatticePromote("snow", {"GroupA"}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(warehouse.LatticeDemote("snow@GroupA").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(warehouse.LatticeNodes().empty());
+  EXPECT_NE(warehouse.LatticeReport().find("disabled"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// ExplainQuery reporting: node answers name the node; underivable
+// aggregates surface as "lattice miss" with the rejection reason and
+// fall through to the parent summary.
+// -------------------------------------------------------------------
+
+constexpr char kSnowMaxViewSql[] = R"sql(
+  CREATE VIEW snowmax AS
+  SELECT dim0.a AS GroupA, dim1.a AS GroupB, SUM(fact.m1) AS SumM1,
+         COUNT(*) AS Cnt, MAX(fact.m1) AS MaxM1
+  FROM fact, dim0, dim1
+  WHERE fact.fk_dim0 = dim0.id AND dim0.fk_dim1 = dim1.id
+  GROUP BY dim0.a, dim1.a
+)sql";
+
+TEST(LatticeExplainTest, ReportsNodeHitsAndRejectionReasons) {
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(773)));
+  Catalog source = snowflake.catalog;
+  Warehouse warehouse(WarehouseOptions{}.WithLatticeBudget(SIZE_MAX));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kSnowMaxViewSql));
+  MD_ASSERT_OK(warehouse.LatticePromote("snowmax", {"GroupA"}));
+  const std::string node_key = LatticeNodeKey("snowmax", {"GroupA"});
+
+  // Derivable: SUM/COUNT by the retained grouping — a node answer,
+  // named in the explain output along with the lattice footer.
+  const std::string q_sum = StrCat(
+      "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
+      "GROUP BY dim0.a");
+  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+                          warehouse.ExplainQuery(q_sum));
+  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
+  EXPECT_NE(explain.find(node_key), std::string::npos);
+  EXPECT_NE(explain.find("lattice: 1 node(s)"), std::string::npos);
+  MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(q_sum));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_sum), got));
+
+  // A scalar roll-up is coarser than any node, so the node answers it
+  // too — from its handful of rows instead of the parent summary.
+  const std::string q_scalar =
+      StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin);
+  MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_scalar));
+  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
+  MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_scalar));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_scalar), got));
+
+  // MAX folds away in a node: rejected with a reason, answered by the
+  // parent's summary roll-up instead — and still correct.
+  const std::string q_max = StrCat(
+      "SELECT dim0.a, MAX(fact.m1) AS M ", kSnowJoin, "GROUP BY dim0.a");
+  MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_max));
+  EXPECT_NE(explain.find("lattice miss: "), std::string::npos);
+  EXPECT_NE(explain.find("MAX"), std::string::npos);
+  EXPECT_NE(explain.find("summary roll-up"), std::string::npos);
+  MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_max));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_max), got));
+
+  // Grouping the node does not retain: rejected, parent answers.
+  const std::string q_other = StrCat(
+      "SELECT dim1.a, SUM(fact.m1) AS S ", kSnowJoin, "GROUP BY dim1.a");
+  MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_other));
+  EXPECT_NE(explain.find("lattice miss: "), std::string::npos);
+  MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_other));
+  EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_other), got));
+}
+
+// -------------------------------------------------------------------
+// Readers vs. the maintenance writer with the lattice folding on every
+// commit. Run under TSan via `ctest -L concurrency`. Every concurrent
+// read must equal some committed batch boundary — a reader must never
+// observe a half-folded node.
+// -------------------------------------------------------------------
+
+// Table::ToString truncates at 50 rows by default; boundary
+// fingerprints must cover every row.
+constexpr size_t kAllRows = 1u << 20;
+
+TEST(LatticeConcurrencyTest, ReadersSeeOnlyCommittedFoldBoundaries) {
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(774)));
+  Catalog source = snowflake.catalog;
+
+  const std::string sql = StrCat(
+      "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
+      "GROUP BY dim0.a");
+
+  // Precompute the delta stream and the oracle answer at every
+  // boundary (including the initial one) before any thread starts.
+  constexpr int kBatches = 30;
+  Rng rng(5150);
+  std::vector<GeneratedDelta> deltas;
+  std::set<std::string> boundaries;
+  boundaries.insert(Oracle(source, sql).ToString(kAllRows));
+  while (deltas.size() < kBatches) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        snowflake, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+    boundaries.insert(Oracle(source, sql).ToString(kAllRows));
+    deltas.push_back(std::move(generated));
+  }
+
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithLatticeBudget(SIZE_MAX)
+                          .WithLatticePromoteHits(1));
+  MD_ASSERT_OK(warehouse.AddViewSql(snowflake.catalog, kSnowViewSql));
+  // Heat + one early commit so readers race against a promoted node.
+  MD_ASSERT_OK(warehouse.Query(sql).status());
+
+  std::atomic<bool> done{false};
+  std::vector<std::string> observed;
+  std::mutex observed_mu;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        Result<Table> got = warehouse.Query(sql);
+        MD_CHECK(got.ok());
+        std::string fingerprint = got->ToString(kAllRows);
+        std::lock_guard<std::mutex> lock(observed_mu);
+        observed.push_back(std::move(fingerprint));
+      }
+    });
+  }
+  for (const GeneratedDelta& generated : deltas) {
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        OneTable(generated.table, generated.delta)));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_FALSE(observed.empty());
+  for (const std::string& fingerprint : observed) {
+    EXPECT_EQ(boundaries.count(fingerprint), 1u)
+        << "reader observed a non-boundary state:\n" << fingerprint;
+  }
+  EXPECT_GT(warehouse.lattice_stats().folds, 0u);
+}
+
+// -------------------------------------------------------------------
+// Crash recovery: the promoted-node directory and heat live in the
+// checkpoint (io/lattice.bin, atomic with the checkpoint rename);
+// node tables are rebuilt from the recovered summaries on Open. Kill
+// the child at every failpoint and verify the reopened warehouse
+// answers exactly like a never-crashed oracle — and keeps folding.
+// -------------------------------------------------------------------
+
+constexpr uint64_t kCrashSeed = 20260808;
+constexpr int kCrashBatches = 8;
+
+WarehouseOptions LatticeCrashOptions() {
+  return WarehouseOptions{}
+      .WithLatticeBudget(SIZE_MAX)
+      .WithLatticePromoteHits(1);
+}
+
+std::string CrashQueryA() {
+  return StrCat("SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ",
+                kSnowJoin, "GROUP BY dim0.a");
+}
+
+std::string CrashQueryScalar() {
+  return StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin);
+}
+
+std::string BatchKey(uint64_t i) { return StrCat("lattice-batch-", i); }
+
+std::string AckPath(const std::string& dir) { return dir + "/acked"; }
+
+void AppendAck(const std::string& path, uint64_t sequence) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(&sequence, sizeof(sequence), 1, f), 1u);
+  ASSERT_EQ(std::fflush(f), 0);
+  ASSERT_EQ(::fsync(::fileno(f)), 0);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+uint64_t LastAckedSequence(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return 0;
+  const auto size = static_cast<uint64_t>(in.tellg());
+  if (size < sizeof(uint64_t)) return 0;
+  in.seekg(size - sizeof(uint64_t));
+  uint64_t sequence = 0;
+  in.read(reinterpret_cast<char*>(&sequence), sizeof(sequence));
+  return sequence;
+}
+
+// The deterministic batch stream both the child and the oracle replay:
+// delta i depends only on the source state after deltas 1..i-1, so a
+// fresh Rng at the same seed regenerates the identical stream.
+GeneratedDelta NextCrashBatch(const SnowflakeWarehouse& snowflake,
+                              const Catalog& source, Rng& rng) {
+  for (;;) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        snowflake, source, rng, /*append_only=*/false);
+    if (!generated.delta.Empty()) return generated;
+  }
+}
+
+// Driver-only: skipped unless MINDETAIL_LATTICE_CRASH_DIR is set. The
+// scenario heats a coarse grouping every batch (so a node is promoted
+// from the first publish on), checkpoints mid-stream with the node
+// directory in the payload, and acknowledges every applied sequence.
+TEST(LatticeCrashChild, Run) {
+  const char* dir_env = std::getenv("MINDETAIL_LATTICE_CRASH_DIR");
+  if (dir_env == nullptr) GTEST_SKIP() << "driver-only child scenario";
+  const std::string dir = dir_env;
+  MD_ASSERT_OK(Failpoints::ArmFromEnv());
+
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(kCrashSeed)));
+  Catalog source = snowflake.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse,
+                          Warehouse::Open(dir, LatticeCrashOptions()));
+  MD_ASSERT_OK(warehouse.AddViewSql(source, kSnowViewSql));
+
+  Rng rng(kCrashSeed);
+  for (int i = 1; i <= kCrashBatches; ++i) {
+    MD_ASSERT_OK(warehouse.Query(CrashQueryA()).status());
+    MD_ASSERT_OK(warehouse.Query(CrashQueryScalar()).status());
+    GeneratedDelta generated = NextCrashBatch(snowflake, source, rng);
+    MD_ASSERT_OK(warehouse.ApplyTransaction(
+        OneTable(generated.table, generated.delta), BatchKey(i)));
+    AppendAck(AckPath(dir), warehouse.last_sequence());
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+    if (i == kCrashBatches / 2) MD_ASSERT_OK(warehouse.Checkpoint());
+  }
+}
+
+std::string SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+void VerifyLatticeRecovery(const std::string& dir) {
+  MD_ASSERT_OK_AND_ASSIGN(
+      Warehouse recovered, Warehouse::Open(dir, LatticeCrashOptions()));
+  ASSERT_GE(recovered.last_sequence(), LastAckedSequence(AckPath(dir)));
+  const uint64_t n = recovered.last_sequence();
+
+  // Replay the identical stream into a source twin up to the recovered
+  // sequence; the recovered warehouse must answer from it exactly.
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse snowflake,
+                          GenerateSnowflake(StreamParams(kCrashSeed)));
+  Catalog source = snowflake.catalog;
+  Rng rng(kCrashSeed);
+  for (uint64_t i = 1; i <= n; ++i) {
+    GeneratedDelta generated = NextCrashBatch(snowflake, source, rng);
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+  }
+
+  const bool has_view = !recovered.ViewNames().empty();
+  if (has_view) {
+    for (const std::string& sql : {CrashQueryA(), CrashQueryScalar()}) {
+      MD_ASSERT_OK_AND_ASSIGN(Table got, recovered.Query(sql));
+      ASSERT_TRUE(TablesExactlyEqual(Oracle(source, sql), got)) << sql;
+    }
+  }
+
+  // Every node restored from the checkpoint was re-materialized by the
+  // recovery publish — promotions survive Open. A checkpoint written
+  // after the mid-stream batch always carries the promoted directory.
+  for (const LatticeNodeInfo& node : recovered.LatticeNodes()) {
+    EXPECT_TRUE(node.materialized) << node.key;
+    EXPECT_GT(node.rows, 0u) << node.key;
+    EXPECT_EQ(node.view, "snow");
+  }
+  if (recovered.recovery_stats().checkpoint_sequence >=
+      static_cast<uint64_t>(kCrashBatches / 2)) {
+    EXPECT_FALSE(recovered.LatticeNodes().empty());
+  }
+
+  // Recovery is not a dead end: the rebuilt nodes keep folding. A
+  // crash during registration legitimately recovers no view; finish
+  // the setup like a restarting operator would.
+  if (!has_view) {
+    MD_ASSERT_OK(recovered.AddViewSql(source, kSnowViewSql));
+  }
+  for (uint64_t i = n + 1; i <= static_cast<uint64_t>(kCrashBatches) + 2;
+       ++i) {
+    MD_ASSERT_OK(recovered.Query(CrashQueryA()).status());
+    GeneratedDelta generated = NextCrashBatch(snowflake, source, rng);
+    MD_ASSERT_OK(recovered.ApplyTransaction(
+        OneTable(generated.table, generated.delta), BatchKey(i)));
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+    for (const std::string& sql : {CrashQueryA(), CrashQueryScalar()}) {
+      MD_ASSERT_OK_AND_ASSIGN(Table got, recovered.Query(sql));
+      ASSERT_TRUE(TablesExactlyEqual(Oracle(source, sql), got)) << sql;
+    }
+  }
+}
+
+TEST(LatticeCrashRecoveryTest, KillAtFailpointsPreservesLatticeState) {
+  const std::string exe = SelfExePath();
+  ASSERT_FALSE(exe.empty());
+  int crashes = 0;
+  for (const std::string& site : Failpoints::KnownSites()) {
+    // Trigger 1 lands in setup (AddViewSql writes a checkpoint);
+    // trigger 2 lands mid-stream, after nodes are promoted — for the
+    // checkpoint.* sites that is the checkpoint carrying lattice state.
+    for (int trigger : {1, 2}) {
+      SCOPED_TRACE(StrCat(site, ":crash:", trigger));
+      const std::string dir =
+          (std::filesystem::temp_directory_path() /
+           StrCat("mindetail_lattice_crash_", site, "_", trigger))
+              .string();
+      std::filesystem::remove_all(dir);
+
+      const std::string cmd = StrCat(
+          "MINDETAIL_LATTICE_CRASH_DIR='", dir,
+          "' MINDETAIL_FAILPOINT='", site, ":crash:", trigger, "' '",
+          exe, "' --gtest_filter=LatticeCrashChild.Run >/dev/null 2>&1");
+      const int rc = std::system(cmd.c_str());
+      ASSERT_TRUE(WIFEXITED(rc)) << "child did not exit normally";
+      const int exit_code = WEXITSTATUS(rc);
+      ASSERT_TRUE(exit_code == 0 ||
+                  exit_code == Failpoints::kCrashExitCode)
+          << "child exit code " << exit_code;
+      if (exit_code == Failpoints::kCrashExitCode) ++crashes;
+
+      VerifyLatticeRecovery(dir);
+      std::filesystem::remove_all(dir);
+    }
+  }
+  EXPECT_GE(crashes, 8) << "too few failpoints fired";
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -2,9 +2,12 @@
 #include "workload/retail.h"
 #include "workload/sizing.h"
 #include "workload/snowflake.h"
+#include "workload/zipf.h"
 
+#include <map>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "gtest/gtest.h"
@@ -147,6 +150,81 @@ TEST(DeltaGeneratorTest, MixedBatchHasNoDeleteUpdateCollision) {
   }
   MD_ASSERT_OK(
       ApplyDelta(*warehouse.catalog.MutableTable("sale"), delta));
+}
+
+// --- Zipfian / bursty stream generator ---------------------------------
+
+TEST(ZipfSamplerTest, DeterministicForSameSeed) {
+  ZipfSampler sampler(16, 1.2);
+  Rng a(42), b(42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sampler.Sample(a), sampler.Sample(b));
+  }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  ZipfSampler sampler(10, 1.2);
+  Rng rng(7);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[sampler.Sample(rng)];
+  // Rank 0 must dominate rank 5 and beyond under exponent 1.2.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 5000 / 10);  // Well above the uniform share.
+  for (const auto& [rank, n] : counts) {
+    EXPECT_LT(rank, 10u);
+    EXPECT_GT(n, 0);
+  }
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsRoughlyUniform) {
+  ZipfSampler sampler(4, 0.0);
+  Rng rng(11);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t rank = 0; rank < 4; ++rank) {
+    EXPECT_GT(counts[rank], 8000 / 4 / 2);  // Within 2x of the fair share.
+    EXPECT_LT(counts[rank], 8000 / 4 * 2);
+  }
+}
+
+TEST(BurstyZipfStreamTest, DeterministicForSameSeed) {
+  BurstyZipfParams params;
+  params.seed = 99;
+  BurstyZipfStream a(params), b(params);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(BurstyZipfStreamTest, BurstPhasesRepeatOneItem) {
+  BurstyZipfParams params;
+  params.num_items = 32;
+  params.calm_len = 5;
+  params.burst_len = 8;
+  params.seed = 3;
+  BurstyZipfStream stream(params);
+  bool saw_burst = false;
+  for (int phase = 0; phase < 20; ++phase) {
+    std::vector<size_t> picks;
+    const bool bursting_before = [&] {
+      size_t first = stream.Next();
+      picks.push_back(first);
+      return stream.in_burst();
+    }();
+    const size_t len = bursting_before ? params.burst_len : params.calm_len;
+    for (size_t i = 1; i < len; ++i) picks.push_back(stream.Next());
+    if (bursting_before) {
+      saw_burst = true;
+      for (size_t p : picks) EXPECT_EQ(p, picks[0]);
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(BurstyZipfStreamTest, AllPicksInRange) {
+  BurstyZipfParams params;
+  params.num_items = 6;
+  params.seed = 17;
+  BurstyZipfStream stream(params);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(stream.Next(), 6u);
 }
 
 // --- Sizing model: the paper's Sec. 1.1 arithmetic, exactly ------------

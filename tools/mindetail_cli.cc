@@ -15,6 +15,7 @@
 //   mindetail> insert sale 999999,10,5,1,12.5
 //   mindetail> view monthly
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -111,6 +112,8 @@ class Cli {
       Verify();
     } else if (cmd == "quarantine") {
       Quarantine(args);
+    } else if (cmd == "lattice") {
+      Lattice(args);
     } else {
       std::cout << "unrecognized command; try 'help'\n";
     }
@@ -159,6 +162,14 @@ class Cli {
         "  quarantine [list]    list quarantined batches\n"
         "  quarantine retry <n> re-ingest quarantined batch n\n"
         "  quarantine drop <n>  discard quarantined batch n\n"
+        "  lattice [list]       adaptive roll-up inventory: promoted\n"
+        "                       nodes, candidates, budget use\n"
+        "  lattice budget <n>   set the lattice byte budget (0 off,\n"
+        "                       'unbounded' for no cap); resets heat\n"
+        "  lattice promote <view> <g1,g2,..>\n"
+        "                       materialize a coarser grouping now\n"
+        "  lattice demote <node-key>\n"
+        "                       drop a promoted node\n"
         "  quit\n";
   }
 
@@ -509,6 +520,40 @@ class Cli {
       if (status.ok()) std::cout << "batch dropped\n";
     } else {
       std::cout << "usage: quarantine [list|retry <n>|drop <n>]\n";
+    }
+  }
+
+  void Lattice(const std::vector<std::string>& args) {
+    const std::string sub = args.size() > 1 ? args[1] : "list";
+    if (sub == "list") {
+      std::cout << warehouse_.LatticeReport();
+    } else if (sub == "budget" && args.size() == 3) {
+      WarehouseOptions options = warehouse_.options();
+      options.lattice_budget_bytes =
+          args[2] == "unbounded" ? SIZE_MAX : std::stoul(args[2]);
+      warehouse_.set_options(options);
+      std::cout << "lattice budget set to "
+                << (options.lattice_budget_bytes == SIZE_MAX
+                        ? std::string("unbounded")
+                        : FormatBytes(options.lattice_budget_bytes))
+                << " (heat reset)\n";
+    } else if (sub == "promote" && args.size() == 4) {
+      std::vector<std::string> group_outputs;
+      std::istringstream in(args[3]);
+      std::string name;
+      while (std::getline(in, name, ',')) {
+        if (!name.empty()) group_outputs.push_back(name);
+      }
+      const Status status = warehouse_.LatticePromote(args[2], group_outputs);
+      Report(status);
+      if (status.ok()) std::cout << "grouping promoted\n";
+    } else if (sub == "demote" && args.size() == 3) {
+      const Status status = warehouse_.LatticeDemote(args[2]);
+      Report(status);
+      if (status.ok()) std::cout << "node demoted\n";
+    } else {
+      std::cout << "usage: lattice [list|budget <bytes|unbounded>|"
+                   "promote <view> <g1,g2,..>|demote <node-key>]\n";
     }
   }
 
