@@ -1,0 +1,136 @@
+// Replication costs — what log shipping adds on top of leader
+// durability: follower catch-up throughput from a cold start (bootstrap
+// install + WAL backlog replay, frames/sec) and the steady-state
+// ship/replay round trip (one leader batch → follower caught up, with
+// the post-round snapshot lag reported as a counter — it must be 0).
+// google-benchmark timing harness.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "maintenance/warehouse.h"
+#include "replication/follower.h"
+#include "replication/health.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+using replication::Follower;
+using replication::HealthMonitor;
+using replication::HealthOptions;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE time.year = 1997 AND sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 40;
+  params.stores = 4;
+  params.products = 300;
+  params.products_sold_per_store_day = 30;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// state.range(0): WAL backlog depth in frames. One iteration = one
+// cold follower catching up through checkpoint install + full replay.
+void BM_FollowerCatchUp(benchmark::State& state) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  const std::string leader_dir =
+      FreshDir(StrCat("mindetail_bench_repl_leader_", state.range(0)));
+  Warehouse leader = Unwrap(Warehouse::Open(leader_dir));
+  Check(leader.AddViewSql(source, kViewSql));
+  RetailDeltaGenerator gen(7);
+  const int backlog = static_cast<int>(state.range(0));
+  for (int i = 0; i < backlog; ++i) {
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, 12, 6, 3));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    Check(leader.Apply("sale", delta));
+  }
+  const std::string follower_dir =
+      FreshDir(StrCat("mindetail_bench_repl_follower_", state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(follower_dir);
+    state.ResumeTiming();
+    Follower follower = Unwrap(Follower::Open(leader_dir, follower_dir));
+    Follower::Progress progress = Unwrap(follower.CatchUp());
+    benchmark::DoNotOptimize(progress);
+    Check(follower.applied_sequence() == leader.last_sequence()
+              ? Status::Ok()
+              : InternalError("follower did not catch up"));
+  }
+  state.SetItemsProcessed(state.iterations() * backlog);
+  std::filesystem::remove_all(leader_dir);
+  std::filesystem::remove_all(follower_dir);
+}
+
+// One iteration = one leader batch shipped and replayed, driven by the
+// health monitor (so the measured path is the production one: Tick →
+// CatchUp → ApplyReplicated → snapshot publish). The lag counter is
+// the follower's snapshot staleness after the round — 0 when shipping
+// keeps up within the round.
+void BM_SteadyStateShipReplay(benchmark::State& state) {
+  RetailWarehouse retail = MakeSource();
+  Catalog& source = retail.catalog;
+  const std::string leader_dir =
+      FreshDir("mindetail_bench_repl_steady_leader");
+  const std::string follower_dir =
+      FreshDir("mindetail_bench_repl_steady_follower");
+  Warehouse leader = Unwrap(Warehouse::Open(leader_dir));
+  Check(leader.AddViewSql(source, kViewSql));
+  Follower follower = Unwrap(Follower::Open(leader_dir, follower_dir));
+  HealthMonitor monitor((HealthOptions()));
+  monitor.Register("bench", &follower);
+  monitor.Tick(leader.last_sequence());
+
+  RetailDeltaGenerator gen(7);
+  uint64_t lag_sum = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = Unwrap(gen.MixedSaleBatch(source, 12, 6, 3));
+    Check(ApplyDelta(Unwrap(source.MutableTable("sale")), delta));
+    state.ResumeTiming();
+    Check(leader.Apply("sale", delta));
+    monitor.Tick(leader.last_sequence());
+    lag_sum += monitor.Find("bench")->lag;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["snapshot_lag"] = benchmark::Counter(
+      static_cast<double>(lag_sum), benchmark::Counter::kAvgIterations);
+  std::filesystem::remove_all(leader_dir);
+  std::filesystem::remove_all(follower_dir);
+}
+
+BENCHMARK(BM_FollowerCatchUp)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SteadyStateShipReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -30,6 +30,9 @@ constexpr const char* kKnownSites[] = {
     "checkpoint.after_temp",
     "checkpoint.after_rename",
     "checkpoint.after_current",
+    "warehouse.replica.after_log",
+    "replication.transfer.after_copy",
+    "replication.transfer.after_current",
 };
 
 struct ArmedSite {

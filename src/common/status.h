@@ -32,6 +32,10 @@ enum class StatusCode {
   kUnimplemented,
   // Internal invariant failure surfaced as a recoverable error.
   kInternal,
+  // Durable state is missing or unrecoverable (e.g. the CURRENT
+  // pointer names a checkpoint that no longer exists, or a shipped
+  // WAL frame fails its CRC).
+  kDataLoss,
 };
 
 // Returns the canonical name of `code` (e.g. "InvalidArgument").
@@ -77,6 +81,7 @@ Status AlreadyExistsError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DataLossError(std::string message);
 
 }  // namespace mindetail
 

@@ -221,25 +221,46 @@ std::string FrameRecord(uint32_t magic, const std::string& payload) {
 
 size_t ScanFrames(const std::string& contents, uint32_t magic,
                   const std::function<bool(const std::string&)>& on_payload) {
-  size_t good_end = 0;
+  return ScanFramesDetail(contents, magic, on_payload).good_end;
+}
+
+FrameScan ScanFramesDetail(
+    const std::string& contents, uint32_t magic,
+    const std::function<bool(const std::string&)>& on_payload) {
+  FrameScan scan;
   size_t pos = 0;
-  while (pos + kFrameHeaderSize <= contents.size()) {
+  while (pos < contents.size()) {
+    if (pos + kFrameHeaderSize > contents.size()) {
+      scan.stop = FrameScanStop::kTornTail;
+      return scan;
+    }
     uint32_t frame_magic, length, crc;
     std::memcpy(&frame_magic, contents.data() + pos, 4);
     std::memcpy(&length, contents.data() + pos + 4, 4);
     std::memcpy(&crc, contents.data() + pos + 8, 4);
-    if (frame_magic != magic || length > kMaxFramePayload ||
-        pos + kFrameHeaderSize + length > contents.size()) {
-      break;
+    if (frame_magic != magic || length > kMaxFramePayload) {
+      scan.stop = FrameScanStop::kCorrupt;
+      return scan;
+    }
+    if (pos + kFrameHeaderSize + length > contents.size()) {
+      scan.stop = FrameScanStop::kTornTail;
+      return scan;
     }
     const std::string payload =
         contents.substr(pos + kFrameHeaderSize, length);
-    if (Crc32(payload.data(), payload.size()) != crc) break;
-    if (!on_payload(payload)) break;
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      scan.stop = FrameScanStop::kCorrupt;
+      return scan;
+    }
+    if (!on_payload(payload)) {
+      scan.stop = FrameScanStop::kConsumerStop;
+      return scan;
+    }
     pos += kFrameHeaderSize + length;
-    good_end = pos;
+    scan.good_end = pos;
   }
-  return good_end;
+  scan.stop = FrameScanStop::kCleanEnd;
+  return scan;
 }
 
 Result<std::string> ReadFileContents(const std::string& path) {

@@ -85,6 +85,37 @@ std::string FrameRecord(uint32_t magic, const std::string& payload);
 size_t ScanFrames(const std::string& contents, uint32_t magic,
                   const std::function<bool(const std::string&)>& on_payload);
 
+// Why a frame scan stopped. A shipper tailing a live log must treat an
+// incomplete tail (the writer is mid-append) differently from a frame
+// that is fully present but fails its checks (the bytes are wrong and
+// will never heal).
+enum class FrameScanStop {
+  // All bytes consumed as complete valid frames.
+  kCleanEnd,
+  // Trailing bytes form an incomplete frame (short header, or a header
+  // whose declared payload extends past end-of-buffer). Retrying after
+  // the writer appends more may complete it.
+  kTornTail,
+  // A complete frame is present but has a bad magic, an oversize
+  // length, or a CRC mismatch — permanent corruption.
+  kCorrupt,
+  // `on_payload` returned false for an otherwise valid frame.
+  kConsumerStop,
+};
+
+struct FrameScan {
+  // Byte offset just past the last accepted frame.
+  size_t good_end = 0;
+  FrameScanStop stop = FrameScanStop::kCleanEnd;
+};
+
+// As ScanFrames, but reports why the scan stopped. A header with bad
+// magic or an oversize length is classified as kCorrupt even when the
+// buffer ends early: no amount of appended bytes can make it valid.
+FrameScan ScanFramesDetail(
+    const std::string& contents, uint32_t magic,
+    const std::function<bool(const std::string&)>& on_payload);
+
 // Whole-file read; NotFound when the file cannot be opened.
 Result<std::string> ReadFileContents(const std::string& path);
 

@@ -3,8 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -431,6 +433,11 @@ Result<std::string> RenderCheckpointManifest(
   out << "# mindetail warehouse checkpoint\n";
   out << "EPOCH " << cp.epoch << "\n";
   out << "SEQ " << cp.sequence << "\n";
+  // Written only once the warehouse has replicated, so pre-replication
+  // manifests are byte-stable.
+  if (cp.leader_epoch > 0) {
+    out << "LEADER_EPOCH " << cp.leader_epoch << "\n";
+  }
   out << "BEGIN_CATALOG\n";
   MD_RETURN_IF_ERROR(WriteManifest(cp.schema_catalog, out));
   out << "END_CATALOG\n";
@@ -477,6 +484,7 @@ struct ManifestView {
 struct ParsedManifest {
   uint64_t epoch = 0;
   uint64_t sequence = 0;
+  uint64_t leader_epoch = 0;
   Catalog schema_catalog;
   std::vector<ManifestView> views;
 };
@@ -497,6 +505,8 @@ Result<ParsedManifest> ParseCheckpointManifest(std::istream& in) {
       fields >> parsed.epoch;
     } else if (directive == "SEQ") {
       fields >> parsed.sequence;
+    } else if (directive == "LEADER_EPOCH") {
+      fields >> parsed.leader_epoch;
     } else if (directive == "BEGIN_CATALOG") {
       std::ostringstream catalog_text;
       bool closed = false;
@@ -666,14 +676,24 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
     return InvalidArgumentError(
         StrCat("CURRENT file in '", dir, "' is empty"));
   }
-  const std::string cp_dir = StrCat(dir, "/", current);
+  return LoadCheckpointByName(dir, current);
+}
+
+Result<WarehouseCheckpoint> LoadCheckpointByName(const std::string& dir,
+                                                 const std::string& name) {
+  const std::string cp_dir = StrCat(dir, "/", name);
 
   ParsedManifest parsed;
   {
     std::ifstream in(StrCat(cp_dir, "/", kCheckpointManifest));
     if (!in.is_open()) {
-      return InvalidArgumentError(StrCat(
-          "checkpoint '", cp_dir, "' lacks ", kCheckpointManifest));
+      // The durable pointer names state that is not there — either the
+      // whole directory or its manifest is gone. That is data loss, not
+      // a malformed argument: the caller may be able to fall back to an
+      // older complete checkpoint.
+      return DataLossError(StrCat(
+          "checkpoint '", cp_dir, "' is missing or incomplete (no ",
+          kCheckpointManifest, ")"));
     }
     MD_ASSIGN_OR_RETURN(parsed, ParseCheckpointManifest(in));
   }
@@ -681,6 +701,7 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
   WarehouseCheckpoint cp;
   cp.epoch = parsed.epoch;
   cp.sequence = parsed.sequence;
+  cp.leader_epoch = parsed.leader_epoch;
   cp.schema_catalog = std::move(parsed.schema_catalog);
   for (ManifestView& mview : parsed.views) {
     ViewCheckpoint view;
@@ -689,7 +710,7 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
     {
       std::ifstream in(StrCat(cp_dir, "/", mview.name, ".def"));
       if (!in.is_open()) {
-        return InvalidArgumentError(
+        return DataLossError(
             StrCat("checkpoint lacks def for view '", mview.name, "'"));
       }
       MD_ASSIGN_OR_RETURN(view.def,
@@ -703,7 +724,7 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
                              const std::string& what) -> Result<std::string> {
       Result<std::string> contents = logfmt::ReadFileContents(path);
       if (!contents.ok()) {
-        return InvalidArgumentError(
+        return DataLossError(
             StrCat("checkpoint lacks ", what, " ('", path, "')"));
       }
       if (!expected_hash.empty() &&
@@ -788,6 +809,75 @@ Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(
     cp.lattice_state = std::move(payload);
   }
   return cp;
+}
+
+std::vector<std::string> ListCheckpointNames(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!StartsWith(name, "checkpoint-") || EndsWith(name, ".tmp")) {
+      continue;
+    }
+    names.push_back(name);
+  }
+  // Newest epoch first. The epoch is the numeric suffix; fall back to
+  // lexicographic order for anything unparsable.
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              const uint64_t ea =
+                  std::strtoull(a.c_str() + sizeof("checkpoint-") - 1,
+                                nullptr, 10);
+              const uint64_t eb =
+                  std::strtoull(b.c_str() + sizeof("checkpoint-") - 1,
+                                nullptr, 10);
+              if (ea != eb) return ea > eb;
+              return a > b;
+            });
+  return names;
+}
+
+Status SetCurrentCheckpoint(const std::string& dir,
+                            const std::string& name) {
+  return ReplaceFileDurably(StrCat(dir, "/", kCurrentFile),
+                            StrCat(name, "\n"), dir);
+}
+
+Status TransferCheckpoint(const std::string& src_dir,
+                          const std::string& name,
+                          const std::string& dst_dir) {
+  const std::string src = StrCat(src_dir, "/", name);
+  std::error_code ec;
+  if (!fs::is_directory(src, ec)) {
+    return DataLossError(StrCat("checkpoint '", src,
+                                "' is not there to transfer"));
+  }
+  MD_RETURN_IF_ERROR(EnsureDirectory(dst_dir));
+  const std::string tmp = StrCat(dst_dir, "/", name, ".tmp");
+  const std::string final_path = StrCat(dst_dir, "/", name);
+  fs::remove_all(tmp, ec);
+  MD_RETURN_IF_ERROR(EnsureDirectory(tmp));
+  for (const fs::directory_entry& entry : fs::directory_iterator(src, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    MD_ASSIGN_OR_RETURN(std::string contents,
+                        logfmt::ReadFileContents(entry.path().string()));
+    MD_RETURN_IF_ERROR(WriteFileDurably(StrCat(tmp, "/", file), contents));
+  }
+  MD_RETURN_IF_ERROR(FsyncPath(tmp));
+  MD_FAILPOINT("replication.transfer.after_copy");
+
+  fs::remove_all(final_path, ec);
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    return InternalError(StrCat(
+        "cannot rename transferred checkpoint into place: ", ec.message()));
+  }
+  MD_RETURN_IF_ERROR(FsyncPath(dst_dir));
+  MD_RETURN_IF_ERROR(SetCurrentCheckpoint(dst_dir, name));
+  MD_FAILPOINT("replication.transfer.after_current");
+  return Status::Ok();
 }
 
 void RemoveStaleCheckpoints(const std::string& dir,

@@ -58,6 +58,10 @@ struct ViewCheckpoint {
 struct WarehouseCheckpoint {
   uint64_t epoch = 0;     // Monotonic checkpoint counter.
   uint64_t sequence = 0;  // Last WAL sequence folded in.
+  // Monotonic replication leader epoch (0 when the warehouse has never
+  // replicated). Promotion bumps it and checkpoints, so the fence
+  // against a deposed leader survives restarts.
+  uint64_t leader_epoch = 0;
   Catalog schema_catalog;  // Schemas/keys/metadata only; no rows.
   std::vector<ViewCheckpoint> views;
   // Opaque ingestion state (key ledger + idempotency window; the
@@ -82,8 +86,32 @@ Result<std::string> SaveWarehouseCheckpoint(const WarehouseCheckpoint& cp,
                                             const std::string& dir);
 
 // Loads the checkpoint CURRENT points at. NotFound when the directory
-// has no CURRENT file (a fresh warehouse).
+// has no CURRENT file (a fresh warehouse); DataLoss when CURRENT names
+// a checkpoint directory that is missing or incomplete (no manifest,
+// missing view-state files).
 Result<WarehouseCheckpoint> LoadWarehouseCheckpoint(const std::string& dir);
+
+// Loads the named checkpoint directory of `dir`, ignoring CURRENT.
+// Used for fallback recovery when CURRENT points at lost state.
+Result<WarehouseCheckpoint> LoadCheckpointByName(const std::string& dir,
+                                                 const std::string& name);
+
+// Names of complete-looking checkpoint directories under `dir`
+// ("checkpoint-<epoch>", skipping abandoned temp dirs), newest epoch
+// first. Lists only; contents are verified on load.
+std::vector<std::string> ListCheckpointNames(const std::string& dir);
+
+// Durably repoints CURRENT of `dir` at checkpoint `name`.
+Status SetCurrentCheckpoint(const std::string& dir, const std::string& name);
+
+// Installs checkpoint `name` of `src_dir` into `dst_dir` (file copy
+// into a temp directory, fsync, atomic rename, then CURRENT repoint) —
+// the bootstrap path that ships a leader checkpoint to a new or lagging
+// follower. A crash at any point leaves the follower's previous
+// checkpoint (or its absence) fully intact.
+Status TransferCheckpoint(const std::string& src_dir,
+                          const std::string& name,
+                          const std::string& dst_dir);
 
 // Best-effort removal of checkpoint directories other than `keep`
 // (including abandoned temp directories).

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
@@ -85,6 +86,7 @@ QuarantineLog::~QuarantineLog() {
 QuarantineLog::QuarantineLog(QuarantineLog&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
+      options_(other.options_),
       next_id_(other.next_id_),
       num_entries_(other.num_entries_),
       size_bytes_(other.size_bytes_) {
@@ -96,6 +98,7 @@ QuarantineLog& QuarantineLog::operator=(QuarantineLog&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    options_ = other.options_;
     next_id_ = other.next_id_;
     num_entries_ = other.num_entries_;
     size_bytes_ = other.size_bytes_;
@@ -104,9 +107,11 @@ QuarantineLog& QuarantineLog::operator=(QuarantineLog&& other) noexcept {
   return *this;
 }
 
-Result<QuarantineLog> QuarantineLog::Open(const std::string& path) {
+Result<QuarantineLog> QuarantineLog::Open(const std::string& path,
+                                          Options options) {
   QuarantineLog log;
   log.path_ = path;
+  log.options_ = options;
 
   std::string contents;
   if (Result<std::string> existing = logfmt::ReadFileContents(path);
@@ -135,6 +140,8 @@ Result<QuarantineLog> QuarantineLog::Open(const std::string& path) {
                                 "': ", std::strerror(errno)));
   }
   log.size_bytes_ = good_end;
+  // A pre-existing log may already exceed freshly-lowered caps.
+  MD_RETURN_IF_ERROR(log.EnforceCaps(0, 0));
   return log;
 }
 
@@ -155,6 +162,7 @@ Result<uint64_t> QuarantineLog::Append(
   entry.key = key;
   entry.changes = changes;
   const std::string frame = logfmt::FrameRecord(kMagic, EncodeEntry(entry));
+  MD_RETURN_IF_ERROR(EnforceCaps(1, frame.size()));
   Status written = WriteFrame(fd_, path_, frame);
   if (!written.ok()) {
     // Rewind a partial frame so the log stays scannable.
@@ -179,20 +187,71 @@ Result<std::vector<QuarantineLog::Entry>> QuarantineLog::Entries() const {
 Status QuarantineLog::Remove(uint64_t id) {
   MD_CHECK_GE(fd_, 0);
   MD_ASSIGN_OR_RETURN(std::vector<Entry> entries, Entries());
-  std::string rewritten;
+  std::vector<Entry> kept;
   bool found = false;
-  uint64_t kept = 0;
-  for (const Entry& entry : entries) {
+  for (Entry& entry : entries) {
     if (entry.id == id) {
       found = true;
       continue;
     }
-    rewritten += logfmt::FrameRecord(kMagic, EncodeEntry(entry));
-    ++kept;
+    kept.push_back(std::move(entry));
   }
   if (!found) {
     return NotFoundError(
         StrCat("quarantine has no entry with id ", id));
+  }
+  return RewriteAll(kept);
+}
+
+Status QuarantineLog::EnforceCaps(uint64_t incoming_entries,
+                                  uint64_t incoming_bytes) {
+  const bool over_entries =
+      options_.max_entries > 0 &&
+      num_entries_ + incoming_entries > options_.max_entries;
+  const bool over_bytes =
+      options_.max_bytes > 0 &&
+      size_bytes_ + incoming_bytes > options_.max_bytes;
+  if (!over_entries && !over_bytes) return Status::Ok();
+
+  MD_ASSIGN_OR_RETURN(std::vector<Entry> entries, Entries());
+  // Drop oldest-first until the incoming entry fits under both caps.
+  // The incoming entry itself is never dropped, so a single oversize
+  // batch still quarantines (see Options).
+  size_t first_kept = 0;
+  std::vector<uint64_t> frame_bytes;
+  frame_bytes.reserve(entries.size());
+  uint64_t kept_bytes = 0;
+  for (const Entry& entry : entries) {
+    frame_bytes.push_back(
+        logfmt::FrameRecord(kMagic, EncodeEntry(entry)).size());
+    kept_bytes += frame_bytes.back();
+  }
+  while (first_kept < entries.size() &&
+         ((options_.max_entries > 0 &&
+           entries.size() - first_kept + incoming_entries >
+               options_.max_entries) ||
+          (options_.max_bytes > 0 &&
+           kept_bytes + incoming_bytes > options_.max_bytes))) {
+    kept_bytes -= frame_bytes[first_kept];
+    ++first_kept;
+  }
+  // At open (no incoming entry) the newest existing entry plays the
+  // "never dropped" role: the caps bound growth, they never empty the
+  // log of its freshest evidence.
+  if (incoming_entries == 0 && !entries.empty() &&
+      first_kept == entries.size()) {
+    first_kept = entries.size() - 1;
+  }
+  if (first_kept == 0) return Status::Ok();
+  return RewriteAll(std::vector<Entry>(
+      std::make_move_iterator(entries.begin() + first_kept),
+      std::make_move_iterator(entries.end())));
+}
+
+Status QuarantineLog::RewriteAll(const std::vector<Entry>& entries) {
+  std::string rewritten;
+  for (const Entry& entry : entries) {
+    rewritten += logfmt::FrameRecord(kMagic, EncodeEntry(entry));
   }
 
   // Atomic rewrite: temp file + fsync + rename, then swap the fd.
@@ -236,7 +295,7 @@ Status QuarantineLog::Remove(uint64_t id) {
   }
   ::close(fd_);
   fd_ = fd;
-  num_entries_ = kept;
+  num_entries_ = entries.size();
   size_bytes_ = rewritten.size();
   return Status::Ok();
 }

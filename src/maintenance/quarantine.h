@@ -30,6 +30,17 @@ inline constexpr char kQuarantineFile[] = "quarantine.log";
 
 class QuarantineLog {
  public:
+  // Growth caps. A poison source that keeps producing distinct bad
+  // batches must not grow the dead-letter log without bound: when a cap
+  // would be exceeded, the oldest entries rotate out (atomic rewrite,
+  // same mechanism as Remove) until the newest entry fits. 0 disables a
+  // cap. The newest entry is always kept, even when it alone exceeds
+  // max_bytes — the cap bounds growth, it never refuses fresh evidence.
+  struct Options {
+    uint64_t max_entries = 0;
+    uint64_t max_bytes = 0;
+  };
+
   struct Entry {
     uint64_t id = 0;  // Stable handle; assigned at append, never reused.
     StatusCode code = StatusCode::kInvalidArgument;
@@ -46,8 +57,13 @@ class QuarantineLog {
   QuarantineLog& operator=(QuarantineLog&& other) noexcept;
 
   // Opens `path` for appending, creating it if absent; scans existing
-  // entries (truncating a torn tail) to restore the id counter.
-  static Result<QuarantineLog> Open(const std::string& path);
+  // entries (truncating a torn tail) to restore the id counter. An
+  // existing log over the caps is rotated down at open.
+  static Result<QuarantineLog> Open(const std::string& path,
+                                    Options options);
+  static Result<QuarantineLog> Open(const std::string& path) {
+    return Open(path, Options());
+  }
 
   // Durably appends one refused batch; returns its assigned id. A
   // non-empty `key` already present in the log is not duplicated — the
@@ -66,11 +82,23 @@ class QuarantineLog {
   Status Remove(uint64_t id);
 
   uint64_t num_entries() const { return num_entries_; }
+  // Id the next fresh append will be assigned. An Append returning an
+  // id below this deduplicated against an existing entry.
+  uint64_t next_id() const { return next_id_; }
+  uint64_t size_bytes() const { return size_bytes_; }
   const std::string& path() const { return path_; }
 
  private:
+  // Atomically replaces the log's contents with `entries` (temp file +
+  // fsync + rename + fd swap).
+  Status RewriteAll(const std::vector<Entry>& entries);
+  // Rotates oldest entries out until `incoming_bytes` more fit under
+  // the caps.
+  Status EnforceCaps(uint64_t incoming_entries, uint64_t incoming_bytes);
+
   std::string path_;
   int fd_ = -1;
+  Options options_;
   uint64_t next_id_ = 1;
   uint64_t num_entries_ = 0;
   uint64_t size_bytes_ = 0;

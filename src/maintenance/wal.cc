@@ -1,6 +1,7 @@
 #include "maintenance/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -25,10 +26,16 @@ bool DecodeRecord(const std::string& payload,
   }
   if (record->kind != WriteAheadLog::kKindApply &&
       record->kind != WriteAheadLog::kKindTransaction &&
-      record->kind != WriteAheadLog::kKindKeyedTransaction) {
+      record->kind != WriteAheadLog::kKindKeyedTransaction &&
+      record->kind != WriteAheadLog::kKindEpochTransaction) {
     return false;
   }
-  if (record->kind == WriteAheadLog::kKindKeyedTransaction &&
+  if (record->kind == WriteAheadLog::kKindEpochTransaction &&
+      !reader.ReadU64(&record->epoch)) {
+    return false;
+  }
+  if ((record->kind == WriteAheadLog::kKindKeyedTransaction ||
+       record->kind == WriteAheadLog::kKindEpochTransaction) &&
       !reader.ReadString(&record->key)) {
     return false;
   }
@@ -38,11 +45,15 @@ bool DecodeRecord(const std::string& payload,
 
 std::string EncodePayload(uint64_t sequence, uint8_t kind,
                           const std::map<std::string, Delta>& changes,
-                          const std::string& key) {
+                          const std::string& key, uint64_t epoch) {
   std::string payload;
   logfmt::PutU64(&payload, sequence);
   logfmt::PutU8(&payload, kind);
-  if (kind == WriteAheadLog::kKindKeyedTransaction) {
+  if (kind == WriteAheadLog::kKindEpochTransaction) {
+    logfmt::PutU64(&payload, epoch);
+  }
+  if (kind == WriteAheadLog::kKindKeyedTransaction ||
+      kind == WriteAheadLog::kKindEpochTransaction) {
     logfmt::PutString(&payload, key);
   }
   logfmt::PutChanges(&payload, changes);
@@ -143,7 +154,7 @@ Result<std::vector<WriteAheadLog::Record>> WriteAheadLog::ReadAll(
 
 Status WriteAheadLog::Append(uint64_t sequence, uint8_t kind,
                              const std::map<std::string, Delta>& changes,
-                             const std::string& key) {
+                             const std::string& key, uint64_t epoch) {
   MD_CHECK_GE(fd_, 0);
   // Strictly increasing, including across Reset(): the warehouse keys
   // recovery off "record.sequence > checkpoint sequence", so a reused
@@ -153,9 +164,13 @@ Status WriteAheadLog::Append(uint64_t sequence, uint8_t kind,
         StrCat("WAL sequence ", sequence, " does not advance past ",
                last_sequence_));
   }
-  if (!key.empty()) kind = kKindKeyedTransaction;
-  const std::string frame =
-      logfmt::FrameRecord(kMagic, EncodePayload(sequence, kind, changes, key));
+  if (epoch > 0) {
+    kind = kKindEpochTransaction;
+  } else if (!key.empty()) {
+    kind = kKindKeyedTransaction;
+  }
+  const std::string frame = logfmt::FrameRecord(
+      kMagic, EncodePayload(sequence, kind, changes, key, epoch));
 
   // Once any byte of the frame is on disk, a failure must rewind the
   // log to the last acknowledged record: otherwise a complete-but-
@@ -214,6 +229,92 @@ Status WriteAheadLog::Reset() {
   num_records_ = 0;
   size_bytes_ = 0;
   return Status::Ok();
+}
+
+WalStreamReader::WalStreamReader(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 1;
+}
+
+Result<bool> WalStreamReader::FetchAndScan(Batch* batch) {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return true;  // No log yet = nothing shipped.
+    return InternalError(StrCat("cannot open WAL '", path_,
+                                "' for shipping: ", std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return InternalError(StrCat("cannot stat WAL '", path_,
+                                "': ", std::strerror(err)));
+  }
+  if (static_cast<uint64_t>(st.st_size) < offset_) {
+    // The writer truncated (checkpoint Reset or abandoned append):
+    // everything we were mid-way through is gone. Restart from zero;
+    // the sequence filter below drops frames already delivered.
+    ::close(fd);
+    offset_ = 0;
+    pending_.clear();
+    batch->restarted = true;
+    return FetchAndScan(batch);
+  }
+
+  // Pull [offset_, EOF) in bounded chunks.
+  std::string chunk(options_.chunk_bytes, '\0');
+  while (true) {
+    const ssize_t n = ::pread(fd, chunk.data(), chunk.size(),
+                              static_cast<off_t>(offset_));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return InternalError(StrCat("cannot read WAL '", path_,
+                                  "': ", std::strerror(err)));
+    }
+    if (n == 0) break;
+    pending_.append(chunk.data(), static_cast<size_t>(n));
+    offset_ += static_cast<uint64_t>(n);
+    if (static_cast<size_t>(n) < chunk.size()) break;
+  }
+  ::close(fd);
+
+  const logfmt::FrameScan scan = logfmt::ScanFramesDetail(
+      pending_, kMagic, [&](const std::string& payload) {
+        WriteAheadLog::Record record;
+        if (!DecodeRecord(payload, &record)) return false;
+        if (record.sequence > last_sequence_) {
+          last_sequence_ = record.sequence;
+          batch->records.push_back(std::move(record));
+        }
+        return true;
+      });
+  pending_.erase(0, scan.good_end);
+  batch->torn_tail = scan.stop == logfmt::FrameScanStop::kTornTail;
+  return scan.stop != logfmt::FrameScanStop::kCorrupt &&
+         scan.stop != logfmt::FrameScanStop::kConsumerStop;
+}
+
+Result<WalStreamReader::Batch> WalStreamReader::Poll() {
+  Batch batch;
+  MD_ASSIGN_OR_RETURN(bool clean, FetchAndScan(&batch));
+  if (!clean && !batch.restarted) {
+    // A frame failed its checks mid-file. If the writer reset the log
+    // and regrew it past our offset between polls, we may simply be
+    // misaligned — rescan once from zero (the sequence filter keeps
+    // delivery exactly-once) before declaring the bytes lost.
+    offset_ = 0;
+    pending_.clear();
+    batch.restarted = true;
+    MD_ASSIGN_OR_RETURN(clean, FetchAndScan(&batch));
+  }
+  if (!clean) {
+    return DataLossError(StrCat("WAL '", path_,
+                                "' has a corrupt frame at offset ",
+                                offset_ - pending_.size()));
+  }
+  return batch;
 }
 
 }  // namespace mindetail

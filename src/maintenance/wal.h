@@ -7,10 +7,14 @@
 //
 // Payload: u64 sequence, u8 kind (1 = single-table Apply, 2 =
 // multi-table ApplyTransaction, 3 = transaction carrying an
-// idempotency key), for kind 3 a length-prefixed idempotency key, then
-// u32 table count and per table a length-prefixed name and the
-// serialized Delta (tuples as u32 arity + tagged values: 0 NULL,
-// 1 int64, 2 double, 3 length-prefixed string).
+// idempotency key, 4 = transaction carrying a leader epoch), for
+// kind 3 a length-prefixed idempotency key, for kind 4 a u64 leader
+// epoch followed by a length-prefixed idempotency key (possibly
+// empty), then u32 table count and per table a length-prefixed name
+// and the serialized Delta (tuples as u32 arity + tagged values:
+// 0 NULL, 1 int64, 2 double, 3 length-prefixed string). Kind 4 is what
+// a replicating leader writes: followers use the epoch to fence stale
+// leaders after a promotion.
 //
 // Append() writes one framed record with a single write() and — in sync
 // mode — fsyncs before returning, so an acknowledged batch survives a
@@ -29,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -45,12 +50,16 @@ class WriteAheadLog {
   static constexpr uint8_t kKindApply = 1;
   static constexpr uint8_t kKindTransaction = 2;
   static constexpr uint8_t kKindKeyedTransaction = 3;
+  static constexpr uint8_t kKindEpochTransaction = 4;
 
   // One decoded log record.
   struct Record {
     uint64_t sequence = 0;
     uint8_t kind = kKindApply;
-    // Idempotency key (kKindKeyedTransaction only; empty otherwise).
+    // Leader epoch (kKindEpochTransaction only; 0 otherwise).
+    uint64_t epoch = 0;
+    // Idempotency key (kKindKeyedTransaction / kKindEpochTransaction
+    // only; empty otherwise).
     std::string key;
     // Singleton for kKindApply; the full change set for transactions.
     std::map<std::string, Delta> changes;
@@ -79,10 +88,12 @@ class WriteAheadLog {
   // over every earlier append — including appends before a Reset() —
   // or the append is rejected with InvalidArgument. `key` is the
   // batch's idempotency key; non-empty keys are recorded in the frame
-  // (kind is then forced to kKindKeyedTransaction).
+  // (kind is then forced to kKindKeyedTransaction). A non-zero `epoch`
+  // marks the frame with the writing leader's epoch (kind is then
+  // forced to kKindEpochTransaction, which carries the key too).
   Status Append(uint64_t sequence, uint8_t kind,
                 const std::map<std::string, Delta>& changes,
-                const std::string& key = std::string());
+                const std::string& key = std::string(), uint64_t epoch = 0);
 
   // Truncates the log to empty (after a successful checkpoint). The
   // sequence high-water mark survives: later appends must still advance
@@ -101,6 +112,61 @@ class WriteAheadLog {
   uint64_t last_sequence_ = 0;
   uint64_t num_records_ = 0;
   uint64_t size_bytes_ = 0;
+};
+
+// Incremental reader for tailing a live WAL file — the leader half of
+// log shipping. Each Poll() re-opens the file, reads newly appended
+// bytes in bounded chunks, and decodes every complete frame past the
+// previous poll; a trailing partial frame (the writer is mid-append)
+// is carried across polls and surfaced as `torn_tail`, never as an
+// error. Records are deduplicated by sequence, so a log that was
+// Reset() (checkpoint truncation) or rewound (abandoned append) is
+// handled by restarting the scan at offset zero: sequences strictly
+// increase for the lifetime of the warehouse, so already-delivered
+// frames are filtered and only genuinely new ones are returned. A
+// complete frame that fails its magic/length/CRC checks from a
+// from-zero scan is permanent corruption and reported as DataLoss.
+class WalStreamReader {
+ public:
+  struct Options {
+    // Read granularity. Small values exercise frame-at-chunk-boundary
+    // paths; the default amortizes syscalls.
+    size_t chunk_bytes = 64 * 1024;
+  };
+
+  struct Batch {
+    std::vector<WriteAheadLog::Record> records;
+    // The file shrank since the last poll (leader checkpoint Reset or
+    // abandoned append) and the scan restarted from offset zero.
+    bool restarted = false;
+    // A partial trailing frame was left pending for the next poll.
+    bool torn_tail = false;
+  };
+
+  WalStreamReader(std::string path, Options options);
+  explicit WalStreamReader(std::string path)
+      : WalStreamReader(std::move(path), Options()) {}
+
+  // Decodes frames appended since the previous poll. A missing file
+  // reads as empty (the leader may not have written yet).
+  Result<Batch> Poll();
+
+  // Highest sequence ever returned by Poll().
+  uint64_t last_sequence() const { return last_sequence_; }
+
+ private:
+  // Reads [offset_, EOF) into pending_ and scans it, appending
+  // newly-seen records to `batch`. Returns false when the scan hit a
+  // complete-but-corrupt frame.
+  Result<bool> FetchAndScan(Batch* batch);
+
+  std::string path_;
+  Options options_;
+  // File offset up to which bytes have been fetched; pending_ holds
+  // the fetched-but-not-yet-consumed suffix ending at offset_.
+  uint64_t offset_ = 0;
+  std::string pending_;
+  uint64_t last_sequence_ = 0;
 };
 
 }  // namespace mindetail

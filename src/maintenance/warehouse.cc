@@ -171,10 +171,27 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
   wh.dir_ = dir;
 
   Result<WarehouseCheckpoint> loaded = LoadWarehouseCheckpoint(dir);
+  if (loaded.status().code() == StatusCode::kDataLoss) {
+    // CURRENT names a checkpoint that is missing or incomplete. An
+    // older complete checkpoint may still be on disk (stale-checkpoint
+    // removal is best-effort and runs after CURRENT moves): fall back
+    // to the newest one that loads, repoint CURRENT durably, and let
+    // WAL replay carry recovery as far forward as it can. Only when no
+    // checkpoint loads does the DataLoss propagate.
+    for (const std::string& name : ListCheckpointNames(dir)) {
+      Result<WarehouseCheckpoint> fallback = LoadCheckpointByName(dir, name);
+      if (!fallback.ok()) continue;
+      MD_RETURN_IF_ERROR(SetCurrentCheckpoint(dir, name));
+      wh.recovery_.fallback_checkpoint = name;
+      loaded = std::move(fallback);
+      break;
+    }
+  }
   if (loaded.ok()) {
     WarehouseCheckpoint cp = std::move(loaded).value();
     wh.checkpoint_epoch_ = cp.epoch;
     wh.sequence_ = cp.sequence;
+    wh.leader_epoch_ = cp.leader_epoch;
     wh.recovery_.checkpoint_sequence = cp.sequence;
     wh.schema_catalog_ = std::move(cp.schema_catalog);
     for (ViewCheckpoint& vc : cp.views) {
@@ -214,15 +231,22 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
                       WriteAheadLog::Open(wal_path, wal_options));
   wh.wal_ = std::make_unique<WriteAheadLog>(std::move(wal));
 
+  QuarantineLog::Options quarantine_options;
+  quarantine_options.max_entries = wh.options_.quarantine_max_entries;
+  quarantine_options.max_bytes = wh.options_.quarantine_max_bytes;
   MD_ASSIGN_OR_RETURN(
       QuarantineLog quarantine,
-      QuarantineLog::Open(StrCat(dir, "/", kQuarantineFile)));
+      QuarantineLog::Open(StrCat(dir, "/", kQuarantineFile),
+                          quarantine_options));
   wh.quarantine_ =
       std::make_unique<QuarantineLog>(std::move(quarantine));
 
   for (const WriteAheadLog::Record& record : records) {
     // Records at or below the checkpoint sequence are already folded in.
     if (record.sequence <= wh.sequence_) continue;
+    // The fence may have advanced past the checkpoint inside the WAL
+    // tail (a promotion is itself followed by epoch-stamped frames).
+    if (record.epoch > wh.leader_epoch_) wh.leader_epoch_ = record.epoch;
     // New records are all transactions; kKindApply only appears in WALs
     // written before Apply became a wrapper over ApplyTransaction, and
     // replays with its original single-call semantics.
@@ -291,6 +315,10 @@ Status Warehouse::MergeSchemas(const Catalog& source,
 
 Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
                           std::optional<EngineOptions> options) {
+  if (options_.read_only) {
+    return FailedPreconditionError(
+        "warehouse is a read-only follower; register views on the leader");
+  }
   if (engines_.count(def.name()) > 0) {
     return AlreadyExistsError(
         StrCat("view '", def.name(), "' is already registered"));
@@ -316,6 +344,10 @@ Status Warehouse::AddViewSql(const Catalog& source, std::string_view sql,
 }
 
 Status Warehouse::RemoveView(const std::string& view_name) {
+  if (options_.read_only) {
+    return FailedPreconditionError(
+        "warehouse is a read-only follower; remove views on the leader");
+  }
   auto it = engines_.find(view_name);
   if (it == engines_.end()) {
     return NotFoundError(
@@ -369,16 +401,24 @@ void Warehouse::BackoffSleep(int attempt) {
 void Warehouse::QuarantineBatch(const Status& cause, const std::string& key,
                                 const std::map<std::string, Delta>& changes) {
   if (quarantine_ == nullptr) return;
-  const uint64_t before = quarantine_->num_entries();
+  // A fresh append gets the next id; a dedup returns an older entry's.
+  // (Entry-count growth can't tell the two apart: a capped log rotates
+  // an old entry out while admitting the new one, count unchanged.)
+  const uint64_t next_before = quarantine_->next_id();
   Result<uint64_t> id =
       quarantine_->Append(cause.code(), cause.message(), key, changes);
-  if (id.ok() && quarantine_->num_entries() > before) {
+  if (id.ok() && *id >= next_before) {
     ++ingest_stats_.quarantined;
   }
 }
 
 Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
                               const std::string& client_key) {
+  if (options_.read_only) {
+    return FailedPreconditionError(
+        "warehouse is a read-only follower; ingest on the leader (or "
+        "PromoteToLeader first)");
+  }
   std::string key = client_key;
   if (key.empty() && options_.hash_idempotency) {
     key = logfmt::ContentHashKey(changes);
@@ -433,7 +473,7 @@ Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes,
     Status logged = Status::Ok();
     for (int attempt = 0;; ++attempt) {
       logged = wal_->Append(sequence_ + 1, WriteAheadLog::kKindTransaction,
-                            changes, key);
+                            changes, key, leader_epoch_);
       if (logged.ok() || attempt >= budget ||
           logged.code() != StatusCode::kInternal) {
         break;
@@ -579,6 +619,102 @@ Status Warehouse::ApplyTransaction(
   return IngestBatch(changes, idempotency_key);
 }
 
+Status Warehouse::ApplyReplicated(const WriteAheadLog::Record& record) {
+  if (leader_epoch_ > 0 && record.epoch < leader_epoch_) {
+    return FailedPreconditionError(StrCat(
+        "replicated frame carries leader epoch ", record.epoch,
+        " but this replica is fenced at epoch ", leader_epoch_,
+        "; the sender was deposed"));
+  }
+  // Exactly-once replay: re-shipped frames at or below the local high
+  // water mark are acknowledged as no-ops.
+  if (record.sequence <= sequence_) return Status::Ok();
+  if (record.sequence != sequence_ + 1) {
+    return FailedPreconditionError(StrCat(
+        "replicated frame jumps from local sequence ", sequence_, " to ",
+        record.sequence, "; bootstrap from a leader checkpoint first"));
+  }
+  if (record.epoch > leader_epoch_) leader_epoch_ = record.epoch;
+
+  const int budget = std::max(0, options_.retry.max_retries);
+  if (wal_ != nullptr) {
+    // Log under the leader's exact sequence/key/epoch so the follower's
+    // WAL is a byte-faithful mirror: its own recovery replays the same
+    // frames, and a later promotion ships them onward unchanged.
+    Status logged = Status::Ok();
+    for (int attempt = 0;; ++attempt) {
+      logged = wal_->Append(record.sequence, WriteAheadLog::kKindTransaction,
+                            record.changes, record.key, record.epoch);
+      if (logged.ok() || attempt >= budget ||
+          logged.code() != StatusCode::kInternal) {
+        break;
+      }
+      ++ingest_stats_.retries;
+      BackoffSleep(attempt + 1);
+    }
+    MD_RETURN_IF_ERROR(logged);
+  }
+  sequence_ = record.sequence;
+  MD_FAILPOINT("warehouse.replica.after_log");
+
+  Status applied = Status::Ok();
+  for (int attempt = 0;; ++attempt) {
+    applied = ApplyToEngines(record.changes,
+                             record.kind != WriteAheadLog::kKindApply);
+    if (applied.ok() || attempt >= budget ||
+        applied.code() != StatusCode::kInternal) {
+      break;
+    }
+    ++ingest_stats_.retries;
+    BackoffSleep(attempt + 1);
+  }
+  if (!applied.ok()) {
+    // Mirror Open's replay: the frame keeps its sequence, the engines
+    // rolled back atomically, and the outcome is preserved — the leader
+    // resolves the same frame the same way at its own recovery, so the
+    // replicas stay bit-identical.
+    ++ingest_stats_.rejected;
+    return Status::Ok();
+  }
+  ++ingest_stats_.accepted;
+  ledger_.Fold(record.changes);
+  RecordKey(record.key);
+  if (snapshots_ != nullptr) {
+    // Publish at the leader's sequence: readers on any replica see the
+    // same versioned snapshot, and result-cache entries keyed on it are
+    // shareable across the fleet.
+    std::set<std::string> touched;
+    for (const std::string& name : registration_order_) {
+      const GpsjViewDef& def = engines_.at(name)->derivation().view();
+      for (const auto& [table, delta] : record.changes) {
+        if (def.ReferencesTable(table)) {
+          touched.insert(name);
+          break;
+        }
+      }
+    }
+    PublishSnapshot(touched, /*schema_changed=*/false);
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::PromoteToLeader() {
+  if (!options_.read_only) {
+    return FailedPreconditionError("warehouse is already a leader");
+  }
+  if (!durable()) {
+    return FailedPreconditionError(
+        "warehouse is in-memory; promotion needs a durable epoch fence");
+  }
+  options_.read_only = false;
+  ++leader_epoch_;
+  // Persist the fence before acknowledging the promotion: the manifest
+  // carries the new epoch and every subsequent WAL frame is stamped
+  // with it, so a deposed leader's stale frames are refused by every
+  // replica even across restarts.
+  return Checkpoint();
+}
+
 Status Warehouse::Checkpoint() {
   if (!durable()) {
     return FailedPreconditionError(
@@ -588,6 +724,7 @@ Status Warehouse::Checkpoint() {
   WarehouseCheckpoint cp;
   cp.epoch = checkpoint_epoch_ + 1;
   cp.sequence = sequence_;
+  cp.leader_epoch = leader_epoch_;
   cp.schema_catalog = schema_catalog_;
   for (const std::string& name : registration_order_) {
     const SelfMaintenanceEngine& engine = *engines_.at(name);
@@ -812,6 +949,9 @@ std::string Warehouse::DurabilityReport() const {
   std::string out = StrCat("directory: ", dir_, "\n");
   out += StrCat("last sequence: ", sequence_, "\n");
   out += StrCat("checkpoint epoch: ", checkpoint_epoch_, "\n");
+  out += StrCat("role: ",
+                options_.read_only ? "follower (read-only)" : "leader",
+                ", leader epoch ", leader_epoch_, "\n");
   out += StrCat("recovered: checkpoint seq ",
                 recovery_.checkpoint_sequence, ", ",
                 recovery_.replayed_batches, " replayed, ",
@@ -943,6 +1083,7 @@ void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
   const std::shared_ptr<const WarehouseSnapshot> prev = snapshots_->Current();
   auto next = std::make_shared<WarehouseSnapshot>();
   next->version = sequence_;
+  next->epoch = leader_epoch_;
   next->schema_catalog =
       (schema_changed || prev->schema_catalog == nullptr)
           ? std::make_shared<const Catalog>(schema_catalog_)

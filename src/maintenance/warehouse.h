@@ -149,6 +149,16 @@ struct WarehouseOptions {
   size_t lattice_budget_bytes = 0;
   // Observed uses of one coarser grouping before it is promoted.
   uint64_t lattice_promote_hits = 3;
+  // Follower mode (replication): external mutations — ApplyTransaction,
+  // Apply, AddView, RemoveView, quarantine retry — are refused with
+  // FailedPrecondition; the warehouse changes only through
+  // ApplyReplicated (shipped leader WAL frames) and serves reads.
+  // PromoteToLeader() clears this at failover.
+  bool read_only = false;
+  // Quarantine dead-letter log growth caps (oldest entries rotate out;
+  // see QuarantineLog::Options). 0 disables a cap.
+  uint64_t quarantine_max_entries = 1024;
+  uint64_t quarantine_max_bytes = 64ull << 20;
   RetryOptions retry;
 
   WarehouseOptions& WithEngineDefaults(EngineOptions options) {
@@ -195,6 +205,16 @@ struct WarehouseOptions {
     lattice_promote_hits = hits;
     return *this;
   }
+  WarehouseOptions& WithReadOnly(bool read_only_mode) {
+    read_only = read_only_mode;
+    return *this;
+  }
+  WarehouseOptions& WithQuarantineCaps(uint64_t max_entries,
+                                       uint64_t max_bytes) {
+    quarantine_max_entries = max_entries;
+    quarantine_max_bytes = max_bytes;
+    return *this;
+  }
   WarehouseOptions& WithRetries(int max_retries) {
     retry.max_retries = max_retries;
     return *this;
@@ -219,6 +239,9 @@ struct RecoveryStats {
   uint64_t checkpoint_sequence = 0;  // Folded into the loaded checkpoint.
   uint64_t replayed_batches = 0;     // WAL records applied on Open.
   uint64_t rejected_batches = 0;     // WAL records engines rejected.
+  // CURRENT named a missing/incomplete checkpoint and recovery fell
+  // back to the named older complete one (empty = no fallback needed).
+  std::string fallback_checkpoint;
 };
 
 // One integrity problem found by VerifyIntegrity().
@@ -316,6 +339,37 @@ class Warehouse {
   // content hash is recorded in the manifest and re-verified on load.
   // Fails on an in-memory warehouse.
   Status Checkpoint();
+
+  // --- Replication (src/replication/) --------------------------------
+
+  // Applies one shipped leader WAL frame on a follower: logs it to the
+  // local WAL under the leader's exact sequence/key/epoch, folds it
+  // into the engines through the same apply path as the leader, and
+  // publishes the snapshot at the leader's committed version — so
+  // follower reads are bit-identical to the leader's at that boundary,
+  // and result-cache entries keyed by version are shareable across
+  // replicas. Idempotent: a frame at or below the local sequence is
+  // acknowledged as a no-op (duplicates/resends are harmless).
+  // FailedPrecondition when the frame's epoch is behind the local
+  // leader-epoch fence (a deposed leader is still writing), or when it
+  // would leave a sequence gap (the follower must bootstrap from a
+  // leader checkpoint first — see replication/log_shipper.h). A frame
+  // the engines deterministically reject consumed a sequence on the
+  // leader too; it consumes one here and returns Ok, exactly like WAL
+  // replay on Open.
+  Status ApplyReplicated(const WriteAheadLog::Record& record);
+
+  // Failover: turns a read-only follower into a leader. Bumps the
+  // leader epoch past everything ever seen and checkpoints, making the
+  // fence durable — frames the deposed leader keeps writing under its
+  // old epoch are refused by every receiver that saw the new one.
+  Status PromoteToLeader();
+
+  // Current leader-epoch fence (0 = never replicated/promoted).
+  uint64_t leader_epoch() const { return leader_epoch_; }
+
+  // True when this warehouse is a read-only follower.
+  bool read_only() const { return options_.read_only; }
 
   // True when this warehouse was constructed by Open() and logs/
   // checkpoints under a directory.
@@ -520,6 +574,10 @@ class Warehouse {
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t sequence_ = 0;
   uint64_t checkpoint_epoch_ = 0;
+  // Replication fence: the highest leader epoch this warehouse has
+  // written, replicated, or recovered. Stamped into WAL frames and
+  // checkpoint manifests once > 0.
+  uint64_t leader_epoch_ = 0;
   RecoveryStats recovery_;
   // Schemas/keys/metadata of every table any registered view references
   // (no rows); persisted in checkpoints and used to re-derive engines.

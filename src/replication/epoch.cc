@@ -1,0 +1,67 @@
+#include "replication/epoch.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "io/log_format.h"
+#include "io/warehouse_io.h"
+
+namespace mindetail {
+namespace replication {
+
+Result<CheckpointInfo> PeekCurrentCheckpoint(const std::string& dir) {
+  Result<std::string> current =
+      logfmt::ReadFileContents(StrCat(dir, "/", kCurrentFile));
+  if (!current.ok()) {
+    return NotFoundError(
+        StrCat("warehouse '", dir, "' has no CURRENT checkpoint"));
+  }
+  CheckpointInfo info;
+  info.name = *current;
+  while (!info.name.empty() &&
+         (info.name.back() == '\n' || info.name.back() == '\r')) {
+    info.name.pop_back();
+  }
+
+  std::ifstream in(
+      StrCat(dir, "/", info.name, "/", kCheckpointManifest));
+  if (!in.is_open()) {
+    return DataLossError(StrCat("CURRENT of '", dir, "' names '",
+                                info.name,
+                                "' but its manifest is missing"));
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string directive;
+    fields >> directive;
+    if (directive == "EPOCH") {
+      fields >> info.checkpoint_epoch;
+    } else if (directive == "SEQ") {
+      fields >> info.sequence;
+    } else if (directive == "LEADER_EPOCH") {
+      fields >> info.leader_epoch;
+    } else if (directive == "VIEW") {
+      std::string name;
+      fields >> name;
+      if (!name.empty()) info.views.push_back(std::move(name));
+    }
+    // Everything else (catalog block, per-view metadata) is load-time
+    // detail; the peek only wants the header and the view directory.
+  }
+  return info;
+}
+
+Status EpochFence::Check(uint64_t epoch) const {
+  if (epoch_ > 0 && epoch < epoch_) {
+    return FailedPreconditionError(
+        StrCat("epoch ", epoch, " is behind the fence at ", epoch_,
+               "; the sender was deposed"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace replication
+}  // namespace mindetail

@@ -1,0 +1,69 @@
+// Leader-epoch fencing primitives for replication.
+//
+// Failover safety rests on one monotonic number: the leader epoch. A
+// promotion bumps it, checkpoints it into the new leader's manifest,
+// and stamps it into every WAL frame the new leader writes. Any
+// receiver that has seen epoch N refuses frames below N — so a deposed
+// leader that keeps writing (a network partition, a slow shutdown)
+// cannot corrupt a follower that already acknowledged its successor.
+//
+// This header also provides a cheap manifest peek: the shipping and
+// catch-up paths need a warehouse's checkpoint sequence, leader epoch,
+// and view list far more often than they need its tables, so
+// PeekCurrentCheckpoint reads only the manifest header lines.
+
+#ifndef MINDETAIL_REPLICATION_EPOCH_H_
+#define MINDETAIL_REPLICATION_EPOCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mindetail {
+namespace replication {
+
+// What a checkpoint manifest says about itself, without any view state
+// loaded (or verified — the full load still checks content hashes).
+struct CheckpointInfo {
+  std::string name;              // "checkpoint-<epoch>" directory name.
+  uint64_t checkpoint_epoch = 0;
+  uint64_t sequence = 0;      // Last WAL sequence folded in.
+  uint64_t leader_epoch = 0;  // 0 = never replicated/promoted.
+  std::vector<std::string> views;  // Registered views, manifest order.
+};
+
+// Reads the manifest of the checkpoint CURRENT points at. NotFound
+// when `dir` has no CURRENT (a fresh warehouse); DataLoss when CURRENT
+// names a checkpoint whose manifest is missing.
+Result<CheckpointInfo> PeekCurrentCheckpoint(const std::string& dir);
+
+// A monotonic epoch high-water mark. Adopt() only moves forward;
+// Check() refuses anything behind the fence.
+class EpochFence {
+ public:
+  explicit EpochFence(uint64_t epoch = 0) : epoch_(epoch) {}
+
+  uint64_t current() const { return epoch_; }
+
+  // Adopts `epoch` when it is ahead of the fence; returns whether the
+  // fence moved.
+  bool Adopt(uint64_t epoch) {
+    if (epoch <= epoch_) return false;
+    epoch_ = epoch;
+    return true;
+  }
+
+  // Ok when `epoch` is at or above the fence (an unfenced receiver —
+  // fence 0 — accepts everything); FailedPrecondition otherwise.
+  Status Check(uint64_t epoch) const;
+
+ private:
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace replication
+}  // namespace mindetail
+
+#endif  // MINDETAIL_REPLICATION_EPOCH_H_

@@ -1,0 +1,93 @@
+#include "replication/follower.h"
+
+#include <utility>
+
+namespace mindetail {
+namespace replication {
+
+Result<Follower> Follower::Open(const std::string& leader_dir,
+                                const std::string& follower_dir,
+                                Options options) {
+  WarehouseOptions wh_options = options.warehouse;
+  wh_options.read_only = true;
+  MD_ASSIGN_OR_RETURN(Warehouse wh,
+                      Warehouse::Open(follower_dir, std::move(wh_options)));
+  LogShipper::Options ship_options;
+  ship_options.stream = options.stream;
+  return Follower(follower_dir, std::move(options),
+                  std::make_unique<Warehouse>(std::move(wh)),
+                  LogShipper(leader_dir, ship_options));
+}
+
+Result<Follower::Progress> Follower::CatchUp() {
+  Progress progress;
+  // Streaming can only carry the replica forward from the leader's last
+  // checkpoint boundary; anything older (or any view-set difference)
+  // needs a checkpoint install first.
+  MD_ASSIGN_OR_RETURN(
+      bool needs_bootstrap,
+      shipper_.NeedsBootstrap(warehouse_->last_sequence(),
+                              warehouse_->ViewNames()));
+  if (needs_bootstrap) MD_RETURN_IF_ERROR(Bootstrap(&progress));
+
+  MD_ASSIGN_OR_RETURN(WalStreamReader::Batch batch, shipper_.Poll());
+  for (const WriteAheadLog::Record& record : batch.records) {
+    if (record.sequence <= warehouse_->last_sequence()) {
+      ++progress.duplicates;  // Re-shipped after a restart; exactly-once.
+      continue;
+    }
+    Status applied = warehouse_->ApplyReplicated(record);
+    if (applied.code() == StatusCode::kFailedPrecondition &&
+        record.sequence > warehouse_->last_sequence() + 1) {
+      // A leader checkpoint raced this round: the frame is beyond what
+      // streaming can bridge. Install the checkpoint and retry once.
+      MD_RETURN_IF_ERROR(Bootstrap(&progress));
+      if (record.sequence <= warehouse_->last_sequence()) {
+        ++progress.duplicates;
+        continue;
+      }
+      applied = warehouse_->ApplyReplicated(record);
+    }
+    if (!applied.ok()) {
+      // Drop the stream state: the next round rescans the leader's WAL
+      // from zero, and the warehouse's sequence filter turns every
+      // re-delivered frame into a no-op — so the frames this round
+      // fetched but never applied are not lost.
+      LogShipper::Options ship_options;
+      ship_options.stream = options_.stream;
+      shipper_ = LogShipper(std::string(shipper_.leader_dir()),
+                            ship_options);
+      return applied;
+    }
+    ++progress.applied;
+  }
+  return progress;
+}
+
+Status Follower::Bootstrap(Progress* progress) {
+  MD_RETURN_IF_ERROR(shipper_.Bootstrap(follower_dir_).status());
+  // A bootstrap is a stream discontinuity: the leader checkpointed
+  // (and Reset its WAL) past what the old reader had fetched, and the
+  // regrown log may be large enough that the reader's byte offset
+  // never observes a shrink — leaving it misaligned mid-frame. Start a
+  // fresh reader from offset zero; the warehouse's sequence filter
+  // turns any re-delivered frames into duplicates.
+  LogShipper::Options ship_options;
+  ship_options.stream = options_.stream;
+  shipper_ =
+      LogShipper(std::string(shipper_.leader_dir()), ship_options);
+  // Reopen from the installed checkpoint. The local WAL tail is all at
+  // or below the checkpoint sequence (that is why a bootstrap was
+  // needed), so replay skips it.
+  warehouse_.reset();
+  WarehouseOptions wh_options = options_.warehouse;
+  wh_options.read_only = true;
+  MD_ASSIGN_OR_RETURN(Warehouse reopened,
+                      Warehouse::Open(follower_dir_, std::move(wh_options)));
+  warehouse_ = std::make_unique<Warehouse>(std::move(reopened));
+  progress->bootstrapped = true;
+  return Status::Ok();
+}
+
+}  // namespace replication
+}  // namespace mindetail

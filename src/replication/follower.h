@@ -1,0 +1,105 @@
+// A hot-standby follower replica: a read-only Warehouse kept current
+// by replaying the leader's shipped WAL frames.
+//
+// The follower owns its own warehouse directory — a full durable
+// warehouse with its own WAL (mirroring the leader's frames under the
+// leader's exact sequences/keys/epochs), its own checkpoints, and its
+// own crash recovery. Reads go through the ordinary serving layer:
+// CatchUp() publishes each replayed batch as a WarehouseSnapshot at
+// the leader's committed sequence, so Query()/ExplainQuery() on the
+// follower return bit-identical answers to the leader's at the same
+// version, and result-cache entries (keyed by version) are shareable
+// across replicas.
+//
+// CatchUp() is one round of the catch-up protocol and is safe to call
+// forever, from cold start through steady state, across crashes of
+// either side:
+//   * fresh or lagging follower      → checkpoint bootstrap, then stream
+//   * leader checkpointed (WAL reset) → stream restarts, dups filtered
+//   * leader crashed mid-append       → torn tail carried, never applied
+//   * follower crashed mid-replay     → local recovery, replay resumes
+//   * frames re-shipped after either  → idempotent no-ops by sequence
+//   * deposed leader still shipping   → refused by the epoch fence
+//
+// Promotion (failover) goes through warehouse().PromoteToLeader();
+// after it this object should be discarded — the directory is now a
+// leader directory and accepts writes.
+
+#ifndef MINDETAIL_REPLICATION_FOLLOWER_H_
+#define MINDETAIL_REPLICATION_FOLLOWER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "maintenance/warehouse.h"
+#include "replication/log_shipper.h"
+
+namespace mindetail {
+namespace replication {
+
+class Follower {
+ public:
+  struct Options {
+    // Options for the follower's warehouse; read_only is forced on.
+    WarehouseOptions warehouse;
+    WalStreamReader::Options stream;
+  };
+
+  // What one CatchUp() round did.
+  struct Progress {
+    uint64_t applied = 0;     // Frames folded in this round.
+    uint64_t duplicates = 0;  // Re-shipped frames skipped by sequence.
+    bool bootstrapped = false;  // A leader checkpoint was installed.
+  };
+
+  // Opens (or creates) the follower warehouse at `follower_dir`,
+  // shipping from the leader warehouse at `leader_dir`.
+  static Result<Follower> Open(const std::string& leader_dir,
+                               const std::string& follower_dir,
+                               Options options = Options());
+
+  Follower(Follower&&) = default;
+  Follower& operator=(Follower&&) = default;
+
+  // One catch-up round: bootstrap from the leader's checkpoint when
+  // streaming cannot close the gap, then poll the leader's WAL and
+  // replay every new committed frame. Returns what happened; errors
+  // are transient unless they are DataLoss (corrupt leader WAL) or
+  // FailedPrecondition (this follower is fenced ahead of the leader —
+  // the leader was deposed).
+  Result<Progress> CatchUp();
+
+  // The replica itself — serve reads from it, or promote it.
+  Warehouse& warehouse() { return *warehouse_; }
+  const Warehouse& warehouse() const { return *warehouse_; }
+
+  // Leader sequence of the last frame folded in.
+  uint64_t applied_sequence() const { return warehouse_->last_sequence(); }
+
+  const std::string& leader_dir() const { return shipper_.leader_dir(); }
+  const std::string& follower_dir() const { return follower_dir_; }
+
+ private:
+  Follower(std::string follower_dir, Options options,
+           std::unique_ptr<Warehouse> warehouse, LogShipper shipper)
+      : follower_dir_(std::move(follower_dir)),
+        options_(std::move(options)),
+        warehouse_(std::move(warehouse)),
+        shipper_(std::move(shipper)) {}
+
+  // Installs the leader's CURRENT checkpoint and reopens the local
+  // warehouse from it.
+  Status Bootstrap(Progress* progress);
+
+  std::string follower_dir_;
+  Options options_;
+  std::unique_ptr<Warehouse> warehouse_;
+  LogShipper shipper_;
+};
+
+}  // namespace replication
+}  // namespace mindetail
+
+#endif  // MINDETAIL_REPLICATION_FOLLOWER_H_

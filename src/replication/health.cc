@@ -1,0 +1,135 @@
+#include "replication/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace mindetail {
+namespace replication {
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kHealthy:
+      return "healthy";
+    case ReplicaState::kDegraded:
+      return "degraded";
+    case ReplicaState::kDisconnected:
+      return "disconnected";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options)
+    : options_(std::move(options)), rng_(options_.retry.jitter_seed) {}
+
+void HealthMonitor::Register(std::string name, Follower* follower) {
+  Entry entry;
+  entry.follower = follower;
+  entry.health.name = std::move(name);
+  replicas_.push_back(std::move(entry));
+}
+
+void HealthMonitor::BackoffSleep(int attempt) {
+  const RetryOptions& retry = options_.retry;
+  double delay = static_cast<double>(retry.base_delay_ms) *
+                 std::pow(2.0, attempt - 1);
+  delay = std::min(delay, static_cast<double>(retry.max_delay_ms));
+  delay *= 0.5 + 0.5 * rng_.NextDouble();
+  const int ms = std::max(0, static_cast<int>(delay));
+  if (retry.sleeper) {
+    retry.sleeper(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void HealthMonitor::Tick(uint64_t leader_sequence) {
+  for (Entry& entry : replicas_) {
+    ReplicaHealth& health = entry.health;
+    const bool was_failing = !health.last_error.empty();
+    bool succeeded = false;
+    const int attempts = std::max(1, options_.max_attempts);
+    for (int attempt = 1; attempt <= attempts; ++attempt) {
+      Result<Follower::Progress> round = entry.follower->CatchUp();
+      if (round.ok()) {
+        succeeded = true;
+        ++health.rounds;
+        if (was_failing) ++health.reconnects;
+        health.last_error.clear();
+        break;
+      }
+      ++health.failures;
+      health.last_error = StrCat(
+          StatusCodeName(round.status().code()), ": ",
+          round.status().message());
+      // A fenced deposed leader or corrupt shipped frames will not heal
+      // by waiting; keep the replica visible as disconnected instead of
+      // burning the backoff budget.
+      if (round.status().code() == StatusCode::kFailedPrecondition ||
+          round.status().code() == StatusCode::kDataLoss) {
+        break;
+      }
+      if (attempt < attempts) BackoffSleep(attempt);
+    }
+
+    health.applied_sequence = entry.follower->applied_sequence();
+    const std::shared_ptr<const WarehouseSnapshot> snapshot =
+        entry.follower->warehouse().CurrentSnapshot();
+    health.snapshot_version =
+        snapshot != nullptr ? snapshot->version : health.applied_sequence;
+    health.lag = leader_sequence > health.applied_sequence
+                     ? leader_sequence - health.applied_sequence
+                     : 0;
+    if (!succeeded) {
+      health.state = ReplicaState::kDisconnected;
+    } else if (health.lag > options_.lag_budget) {
+      health.state = ReplicaState::kDegraded;
+    } else {
+      health.state = ReplicaState::kHealthy;
+    }
+  }
+}
+
+const ReplicaHealth* HealthMonitor::Find(const std::string& name) const {
+  for (const Entry& entry : replicas_) {
+    if (entry.health.name == name) return &entry.health;
+  }
+  return nullptr;
+}
+
+bool HealthMonitor::DegradedRead(const std::string& name) const {
+  const ReplicaHealth* health = Find(name);
+  return health == nullptr || health->state != ReplicaState::kHealthy;
+}
+
+std::vector<ReplicaHealth> HealthMonitor::Report() const {
+  std::vector<ReplicaHealth> out;
+  out.reserve(replicas_.size());
+  for (const Entry& entry : replicas_) out.push_back(entry.health);
+  return out;
+}
+
+std::string HealthMonitor::ReportText() const {
+  std::string out = StrCat("Replicas: ", replicas_.size(), "\n");
+  for (const Entry& entry : replicas_) {
+    const ReplicaHealth& health = entry.health;
+    out += StrCat("  ", health.name, ": ", ReplicaStateName(health.state),
+                  ", applied seq ", health.applied_sequence,
+                  " (snapshot v", health.snapshot_version, "), lag ",
+                  health.lag, ", ", health.rounds, " round(s), ",
+                  health.failures, " failure(s), ", health.reconnects,
+                  " reconnect(s)");
+    if (!health.last_error.empty()) {
+      out += StrCat(" — ", health.last_error);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace replication
+}  // namespace mindetail

@@ -1,0 +1,107 @@
+// Replica health monitoring: drives every registered follower's
+// catch-up, tracks applied-sequence and snapshot lag, and classifies
+// each replica for the degraded-read contract.
+//
+// States:
+//   kHealthy      — last round succeeded and the replica trails the
+//                   leader by at most the lag budget; reads serve the
+//                   strong contract (bit-identical to the leader at
+//                   the snapshot's version).
+//   kDegraded     — catching up, but behind by more than the budget;
+//                   reads still serve a consistent snapshot, just a
+//                   stale one, and callers honoring the degraded-read
+//                   contract must surface that (or route elsewhere).
+//   kDisconnected — the catch-up budget for the tick was exhausted (or
+//                   the replica hit a permanent error: a fenced deposed
+//                   leader, corrupt shipped frames); reconnection is
+//                   retried with backoff on subsequent ticks.
+//
+// Transient failures inside one Tick are retried with the same bounded
+// exponential-backoff-with-jitter schedule the warehouse uses for
+// batch applies (RetryOptions); permanent failures (DataLoss,
+// FailedPrecondition) skip the retries — waiting cannot fix them.
+
+#ifndef MINDETAIL_REPLICATION_HEALTH_H_
+#define MINDETAIL_REPLICATION_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "maintenance/warehouse.h"
+#include "replication/follower.h"
+
+namespace mindetail {
+namespace replication {
+
+enum class ReplicaState { kHealthy, kDegraded, kDisconnected };
+
+const char* ReplicaStateName(ReplicaState state);
+
+struct HealthOptions {
+  // Committed frames a replica may trail the leader by — measured
+  // after its catch-up round — before its reads are marked degraded.
+  uint64_t lag_budget = 0;
+  // Catch-up attempts per replica per Tick before it is declared
+  // disconnected for the tick.
+  int max_attempts = 3;
+  // Backoff between attempts; only max_retries is ignored (the attempt
+  // budget above governs), the schedule knobs and sleeper apply.
+  RetryOptions retry;
+};
+
+struct ReplicaHealth {
+  std::string name;
+  ReplicaState state = ReplicaState::kDisconnected;
+  uint64_t applied_sequence = 0;   // Leader sequence last folded in.
+  uint64_t snapshot_version = 0;   // Version the replica serves reads at.
+  uint64_t lag = 0;                // leader_sequence − applied_sequence.
+  uint64_t rounds = 0;             // Successful catch-up rounds.
+  uint64_t failures = 0;           // Failed catch-up attempts.
+  uint64_t reconnects = 0;         // Successes that followed a failure.
+  std::string last_error;          // Empty while healthy.
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthOptions options = HealthOptions());
+
+  // Registers a follower (not owned; must outlive the monitor).
+  void Register(std::string name, Follower* follower);
+
+  // One monitoring round: every registered follower catches up (with
+  // bounded retry), then is classified against `leader_sequence` —
+  // normally the leader warehouse's last_sequence().
+  void Tick(uint64_t leader_sequence);
+
+  // Health of one replica (nullptr when never registered).
+  const ReplicaHealth* Find(const std::string& name) const;
+
+  // True when `name`'s reads must be served under the degraded-read
+  // contract (stale-but-consistent at best). Unknown replicas are
+  // degraded by definition.
+  bool DegradedRead(const std::string& name) const;
+
+  std::vector<ReplicaHealth> Report() const;
+
+  // Human-readable fleet summary for the CLI.
+  std::string ReportText() const;
+
+ private:
+  struct Entry {
+    Follower* follower = nullptr;
+    ReplicaHealth health;
+  };
+
+  void BackoffSleep(int attempt);
+
+  HealthOptions options_;
+  Rng rng_;
+  std::vector<Entry> replicas_;
+};
+
+}  // namespace replication
+}  // namespace mindetail
+
+#endif  // MINDETAIL_REPLICATION_HEALTH_H_

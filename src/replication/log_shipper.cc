@@ -1,0 +1,52 @@
+#include "replication/log_shipper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "io/warehouse_io.h"
+
+namespace mindetail {
+namespace replication {
+
+LogShipper::LogShipper(std::string leader_dir, Options options)
+    : leader_dir_(std::move(leader_dir)),
+      reader_(StrCat(leader_dir_, "/", kWalFile), options.stream) {}
+
+Result<WalStreamReader::Batch> LogShipper::Poll() {
+  return reader_.Poll();
+}
+
+Result<bool> LogShipper::NeedsBootstrap(
+    uint64_t follower_sequence,
+    const std::vector<std::string>& follower_views) const {
+  Result<CheckpointInfo> peek = PeekCurrentCheckpoint(leader_dir_);
+  if (peek.status().code() == StatusCode::kNotFound) {
+    // The leader never checkpointed: its whole history is in the WAL
+    // and streaming alone replays it (there are no views to install
+    // either — registration checkpoints immediately).
+    return false;
+  }
+  MD_RETURN_IF_ERROR(peek.status());
+  if (peek->sequence > follower_sequence) return true;
+  // View registrations and removals are checkpoint events: a follower
+  // with the right sequence but the wrong view set cannot converge by
+  // streaming (frames only carry change batches).
+  std::vector<std::string> leader_views = peek->views;
+  std::vector<std::string> have = follower_views;
+  std::sort(leader_views.begin(), leader_views.end());
+  std::sort(have.begin(), have.end());
+  return leader_views != have;
+}
+
+Result<CheckpointInfo> LogShipper::Bootstrap(
+    const std::string& follower_dir) const {
+  MD_ASSIGN_OR_RETURN(CheckpointInfo info,
+                      PeekCurrentCheckpoint(leader_dir_));
+  MD_RETURN_IF_ERROR(
+      TransferCheckpoint(leader_dir_, info.name, follower_dir));
+  return info;
+}
+
+}  // namespace replication
+}  // namespace mindetail

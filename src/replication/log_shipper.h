@@ -1,0 +1,88 @@
+// Leader-side log shipping: streams committed WAL frames to followers
+// and installs checkpoint bootstraps for new or lagging ones.
+//
+// The shipper is a read-only observer of a leader's warehouse
+// directory — it opens nothing for writing and takes no locks, so it
+// runs safely beside live maintenance (the WAL is append-only between
+// checkpoints, and every shipped frame was fsync'd before the leader
+// acknowledged it; an uncommitted tail frame is carried, never
+// shipped). Robustness is pushed into the stream reader: torn tails
+// heal on the next poll, checkpoint truncations restart the scan, and
+// re-delivered frames are filtered by sequence — each committed frame
+// is handed out exactly once.
+//
+// Catch-up protocol (driven by replication/follower.h):
+//   1. The follower asks NeedsBootstrap(applied, views): streaming can
+//      only carry a follower forward from the leader's last checkpoint
+//      boundary — frames before it were truncated from the WAL, and
+//      view registrations are checkpoint events, not WAL events.
+//   2. If so, Bootstrap(follower_dir) installs the leader's CURRENT
+//      checkpoint atomically (io/warehouse_io.h TransferCheckpoint).
+//   3. Poll() then streams the WAL tail; the follower replays each
+//      frame through Warehouse::ApplyReplicated.
+
+#ifndef MINDETAIL_REPLICATION_LOG_SHIPPER_H_
+#define MINDETAIL_REPLICATION_LOG_SHIPPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "maintenance/wal.h"
+#include "replication/epoch.h"
+
+namespace mindetail {
+namespace replication {
+
+class LogShipper {
+ public:
+  struct Options {
+    WalStreamReader::Options stream;
+  };
+
+  // Ships from the leader warehouse rooted at `leader_dir`.
+  explicit LogShipper(std::string leader_dir, Options options = Options());
+
+  // Committed WAL frames appended since the previous poll, in sequence
+  // order, each delivered exactly once. A missing or truncated WAL
+  // reads as empty/restarted, never as an error; permanent frame
+  // corruption is DataLoss.
+  Result<WalStreamReader::Batch> Poll();
+
+  // Whether a follower whose applied sequence is `follower_sequence`
+  // and whose registered views are `follower_views` must install a
+  // checkpoint before streaming: true when the leader's CURRENT
+  // checkpoint is ahead of the follower, or registers a different view
+  // set. False when the leader has no checkpoint yet (everything it
+  // ever logged is still in the WAL).
+  Result<bool> NeedsBootstrap(
+      uint64_t follower_sequence,
+      const std::vector<std::string>& follower_views) const;
+
+  // Installs the leader's CURRENT checkpoint into `follower_dir`
+  // (atomic: a crash leaves the follower's previous state intact) and
+  // returns what was installed. NotFound when the leader has no
+  // checkpoint to ship.
+  Result<CheckpointInfo> Bootstrap(const std::string& follower_dir) const;
+
+  // The leader's CURRENT checkpoint manifest header (NotFound when the
+  // leader has never checkpointed).
+  Result<CheckpointInfo> PeekCheckpoint() const {
+    return PeekCurrentCheckpoint(leader_dir_);
+  }
+
+  // Highest sequence ever returned by Poll().
+  uint64_t last_shipped_sequence() const { return reader_.last_sequence(); }
+
+  const std::string& leader_dir() const { return leader_dir_; }
+
+ private:
+  std::string leader_dir_;
+  WalStreamReader reader_;
+};
+
+}  // namespace replication
+}  // namespace mindetail
+
+#endif  // MINDETAIL_REPLICATION_LOG_SHIPPER_H_

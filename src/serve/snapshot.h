@@ -91,8 +91,14 @@ struct LatticeNodeSnapshot {
 // A consistent image of every registered view at one batch boundary.
 struct WarehouseSnapshot {
   // Sequence of the last batch folded into this snapshot (0 = empty
-  // warehouse / registration only).
+  // warehouse / registration only). A follower publishes under the
+  // leader's sequence, so the same version means the same data on every
+  // replica — result-cache entries keyed on it are shareable.
   uint64_t version = 0;
+  // Leader epoch the publishing warehouse was fenced at (0 before any
+  // promotion). Readers can tell a deposed leader's final snapshots
+  // from the new leader's by comparing epochs.
+  uint64_t epoch = 0;
   // Rowless schema catalog of every referenced base table — what
   // ad-hoc queries are parsed and type-checked against.
   std::shared_ptr<const Catalog> schema_catalog;

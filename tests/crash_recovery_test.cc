@@ -483,5 +483,181 @@ TEST(WalTest, ResetEmptiesLogButKeepsSequenceHighWaterMark) {
   std::filesystem::remove(path);
 }
 
+// A frame landing exactly on (and spanning) every possible chunk
+// boundary must decode identically: chunk_bytes=1 forces each frame
+// through the partial-carry path one byte at a time, and a chunk size
+// equal to the first frame's length puts the second frame's header
+// exactly at a boundary.
+TEST(WalStreamTest, FrameAtExactChunkBoundary) {
+  const std::string path = FreshWalPath("mindetail_stream_boundary");
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", TinyDelta(5));
+  size_t first_frame_size = 0;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+    MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindTransaction, changes));
+    first_frame_size = static_cast<size_t>(wal.size_bytes());
+    MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, changes));
+    MD_ASSERT_OK(wal.Append(3, WriteAheadLog::kKindTransaction, changes));
+  }
+  for (const size_t chunk :
+       {size_t{1}, size_t{11}, first_frame_size - 1, first_frame_size,
+        first_frame_size + 1}) {
+    SCOPED_TRACE(chunk);
+    WalStreamReader::Options options;
+    options.chunk_bytes = chunk;
+    WalStreamReader reader(path, options);
+    MD_ASSERT_OK_AND_ASSIGN(WalStreamReader::Batch batch, reader.Poll());
+    EXPECT_FALSE(batch.torn_tail);
+    ASSERT_EQ(batch.records.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(batch.records[i].sequence, i + 1);
+      EXPECT_TRUE(
+          DeltasEqual(batch.records[i].changes.at("sale"), TinyDelta(5)));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// Unkeyed, keyed, and epoch-stamped frames interleaved in one log all
+// stream back with their kind-specific metadata intact.
+TEST(WalStreamTest, InterleavedKeyedUnkeyedAndEpochFrames) {
+  const std::string path = FreshWalPath("mindetail_stream_kinds");
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", TinyDelta(9));
+  {
+    MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+    MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindApply, changes));
+    MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, changes,
+                            "key-2"));
+    MD_ASSERT_OK(wal.Append(3, WriteAheadLog::kKindTransaction, changes));
+    MD_ASSERT_OK(wal.Append(4, WriteAheadLog::kKindTransaction, changes,
+                            "key-4", /*epoch=*/7));
+    MD_ASSERT_OK(wal.Append(5, WriteAheadLog::kKindTransaction, changes,
+                            /*key=*/"", /*epoch=*/7));
+  }
+  WalStreamReader reader(path);
+  MD_ASSERT_OK_AND_ASSIGN(WalStreamReader::Batch batch, reader.Poll());
+  ASSERT_EQ(batch.records.size(), 5u);
+  EXPECT_EQ(batch.records[0].kind, WriteAheadLog::kKindApply);
+  EXPECT_EQ(batch.records[1].kind, WriteAheadLog::kKindKeyedTransaction);
+  EXPECT_EQ(batch.records[1].key, "key-2");
+  EXPECT_EQ(batch.records[1].epoch, 0u);
+  EXPECT_EQ(batch.records[2].kind, WriteAheadLog::kKindTransaction);
+  EXPECT_EQ(batch.records[2].key, "");
+  EXPECT_EQ(batch.records[3].kind, WriteAheadLog::kKindEpochTransaction);
+  EXPECT_EQ(batch.records[3].key, "key-4");
+  EXPECT_EQ(batch.records[3].epoch, 7u);
+  EXPECT_EQ(batch.records[4].kind, WriteAheadLog::kKindEpochTransaction);
+  EXPECT_EQ(batch.records[4].key, "");
+  EXPECT_EQ(batch.records[4].epoch, 7u);
+  // ReadAll and the streaming reader agree frame for frame.
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<WriteAheadLog::Record> all,
+                          WriteAheadLog::ReadAll(path));
+  ASSERT_EQ(all.size(), batch.records.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].sequence, batch.records[i].sequence);
+    EXPECT_EQ(all[i].kind, batch.records[i].kind);
+    EXPECT_EQ(all[i].key, batch.records[i].key);
+    EXPECT_EQ(all[i].epoch, batch.records[i].epoch);
+  }
+  std::filesystem::remove(path);
+}
+
+// Tailing a live log: every poll surfaces exactly the frames appended
+// since the previous one, a checkpoint Reset() mid-stream restarts the
+// scan without re-delivering, and post-reset appends arrive once.
+TEST(WalStreamTest, PollWhileWriterAppendsAndResets) {
+  const std::string path = FreshWalPath("mindetail_stream_tail");
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", TinyDelta(1));
+  MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+  WalStreamReader reader(path);
+
+  // Nothing yet — an empty (or missing) log polls clean.
+  MD_ASSERT_OK_AND_ASSIGN(WalStreamReader::Batch batch, reader.Poll());
+  EXPECT_TRUE(batch.records.empty());
+
+  MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindTransaction, changes));
+  MD_ASSERT_OK_AND_ASSIGN(batch, reader.Poll());
+  ASSERT_EQ(batch.records.size(), 1u);
+  EXPECT_EQ(batch.records[0].sequence, 1u);
+
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, changes));
+  MD_ASSERT_OK(wal.Append(3, WriteAheadLog::kKindTransaction, changes));
+  MD_ASSERT_OK_AND_ASSIGN(batch, reader.Poll());
+  ASSERT_EQ(batch.records.size(), 2u);
+  EXPECT_EQ(batch.records[0].sequence, 2u);
+  EXPECT_EQ(batch.records[1].sequence, 3u);
+
+  // An idle poll is a no-op, not a re-delivery.
+  MD_ASSERT_OK_AND_ASSIGN(batch, reader.Poll());
+  EXPECT_TRUE(batch.records.empty());
+
+  // Checkpoint truncation: the file shrinks, the scan restarts from
+  // zero, and only the genuinely new post-reset frame comes back.
+  MD_ASSERT_OK(wal.Reset());
+  MD_ASSERT_OK(wal.Append(4, WriteAheadLog::kKindTransaction, changes));
+  MD_ASSERT_OK_AND_ASSIGN(batch, reader.Poll());
+  EXPECT_TRUE(batch.restarted);
+  ASSERT_EQ(batch.records.size(), 1u);
+  EXPECT_EQ(batch.records[0].sequence, 4u);
+  EXPECT_EQ(reader.last_sequence(), 4u);
+  std::filesystem::remove(path);
+}
+
+// Recovery falls back to the previous durable checkpoint when the
+// CURRENT one has gone missing, and reports DataLoss when nothing
+// loadable remains — never silently restarting empty.
+TEST(CheckpointFallbackTest, OpenFallsBackWhenCurrentCheckpointVanishes) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mindetail_cp_fallback")
+          .string();
+  std::filesystem::remove_all(dir);
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  RetailDeltaGenerator gen(kCrashSeed);
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse wh, Warehouse::Open(dir));
+    MD_ASSERT_OK(wh.AddViewSql(source, kMonthlySql));
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 12, 6, 3));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(wh.ApplyTransaction(changes, "fallback-1"));
+    MD_ASSERT_OK(wh.Checkpoint());
+  }
+  // Find the live checkpoint directory named by CURRENT.
+  std::string current;
+  {
+    std::ifstream in(dir + "/CURRENT");
+    ASSERT_TRUE(in.is_open());
+    std::getline(in, current);
+  }
+  ASSERT_FALSE(current.empty());
+
+  // Plant an older sibling (a stale checkpoint that escaped pruning),
+  // then lose the current one.
+  const std::string older = "checkpoint-1";
+  ASSERT_NE(older, current);
+  std::filesystem::copy(dir + "/" + current, dir + "/" + older,
+                        std::filesystem::copy_options::recursive);
+  std::filesystem::remove_all(dir + "/" + current);
+
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered, Warehouse::Open(dir));
+    EXPECT_EQ(recovered.recovery_stats().fallback_checkpoint, older);
+    EXPECT_TRUE(recovered.HasView("monthly_sales"));
+    MD_ASSERT_OK(recovered.View("monthly_sales").status());
+  }
+
+  // With the fallback gone too, recovery must refuse to invent an
+  // empty warehouse over a directory that clearly held one.
+  std::filesystem::remove_all(dir + "/" + older);
+  const Status lost = Warehouse::Open(dir).status();
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace mindetail

@@ -502,6 +502,108 @@ TEST(QuarantineTest, EntriesSurviveReopen) {
   std::filesystem::remove_all(dir);
 }
 
+// The dead-letter log is bounded: when the entry cap would be
+// exceeded, the oldest entries rotate out so a poison source cannot
+// grow the log without bound — and the ids of survivors are stable.
+TEST(QuarantineTest, EntryCapRotatesOldestFirst) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mindetail_quar_caps")
+          .string();
+  std::filesystem::remove(path);
+  QuarantineLog::Options options;
+  options.max_entries = 3;
+  MD_ASSERT_OK_AND_ASSIGN(QuarantineLog log,
+                          QuarantineLog::Open(path, options));
+  std::map<std::string, Delta> changes;
+  Delta delta;
+  delta.inserts.push_back({Value(int64_t{1})});
+  changes.emplace("sale", delta);
+  for (int i = 1; i <= 5; ++i) {
+    MD_ASSERT_OK(log.Append(StatusCode::kInvalidArgument,
+                            "bad batch", StrCat("key-", i), changes)
+                     .status());
+  }
+  EXPECT_EQ(log.num_entries(), 3u);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          log.Entries());
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].key, "key-3");  // 1 and 2 rotated out.
+  EXPECT_EQ(entries[2].key, "key-5");
+  std::filesystem::remove(path);
+}
+
+// The byte cap likewise rotates oldest-first, but never refuses the
+// newest entry — even one bigger than the whole cap is kept (the cap
+// bounds growth; it must not discard fresh evidence).
+TEST(QuarantineTest, ByteCapKeepsNewestEvenWhenOversized) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mindetail_quar_bytes")
+          .string();
+  std::filesystem::remove(path);
+  QuarantineLog::Options options;
+  options.max_bytes = 256;
+  MD_ASSERT_OK_AND_ASSIGN(QuarantineLog log,
+                          QuarantineLog::Open(path, options));
+  std::map<std::string, Delta> big;
+  Delta delta;
+  delta.inserts.push_back({Value(std::string(512, 'x'))});
+  big.emplace("sale", delta);
+  MD_ASSERT_OK(
+      log.Append(StatusCode::kInvalidArgument, "m", "a", big).status());
+  EXPECT_EQ(log.num_entries(), 1u);
+  MD_ASSERT_OK(
+      log.Append(StatusCode::kInvalidArgument, "m", "b", big).status());
+  // The first oversized entry rotated out to admit the second.
+  EXPECT_EQ(log.num_entries(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          log.Entries());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "b");
+
+  // A pre-existing over-cap log is rotated down at open, too.
+  {
+    QuarantineLog::Options uncapped;
+    MD_ASSERT_OK_AND_ASSIGN(QuarantineLog grown,
+                            QuarantineLog::Open(path, uncapped));
+    MD_ASSERT_OK(grown.Append(StatusCode::kInvalidArgument, "m", "c", big)
+                     .status());
+    MD_ASSERT_OK(grown.Append(StatusCode::kInvalidArgument, "m", "d", big)
+                     .status());
+    EXPECT_EQ(grown.num_entries(), 3u);
+  }
+  MD_ASSERT_OK_AND_ASSIGN(QuarantineLog reopened,
+                          QuarantineLog::Open(path, options));
+  EXPECT_EQ(reopened.num_entries(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(entries, reopened.Entries());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].key, "d");
+  std::filesystem::remove(path);
+}
+
+// The warehouse plumbs its quarantine caps through: a stream of
+// distinct bad batches stops growing the dead-letter log at the cap.
+TEST(QuarantineTest, WarehouseHonorsQuarantineCaps) {
+  const std::string dir = FreshDir("mindetail_quarantine_capped");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(
+      Warehouse warehouse,
+      Warehouse::Open(dir, WarehouseOptions{}.WithQuarantineCaps(
+                               /*max_entries=*/2, /*max_bytes=*/0)));
+  MD_ASSERT_OK(warehouse.AddViewSql(retail.catalog, kMonthlySql));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(
+        warehouse
+            .ApplyTransaction(
+                SaleInserts({FreshSale(900001 + i, /*timeid=*/9999)}))
+            .ok());
+  }
+  EXPECT_EQ(warehouse.ingest_stats().quarantined, 4u);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<QuarantineLog::Entry> entries,
+                          warehouse.QuarantineEntries());
+  EXPECT_EQ(entries.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(QuarantineTest, InMemoryWarehouseHasNoQuarantine) {
   Warehouse warehouse;
   EXPECT_EQ(warehouse.QuarantineEntries().status().code(),

@@ -1,0 +1,643 @@
+// Replication: WAL log shipping, hot-standby followers, health-checked
+// catch-up, and promotion failover.
+//
+// The differential oracle throughout is the leader itself: after any
+// catch-up — from cold start, mid-stream, across checkpoints, after
+// crashes of either side — the follower's maintained state must be
+// bit-identical to the leader's at the same committed sequence, and
+// its published snapshot must carry that sequence as its version.
+//
+// The crash harness (ReplicationChildProcess.Run + KillAtEveryFailpoint)
+// extends tests/crash_recovery_test.cc to both ends of the ship/replay
+// pipeline: the child runs a leader and a follower in one process and
+// the parent kills it at every registered failpoint — leader apply,
+// checkpoint, follower replay, checkpoint transfer — then proves the
+// reopened pair reconverges bit-identically and that a fenced epoch is
+// still refused.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+#include "io/warehouse_io.h"
+#include "maintenance/wal.h"
+#include "maintenance/warehouse.h"
+#include "replication/epoch.h"
+#include "replication/follower.h"
+#include "replication/health.h"
+#include "replication/log_shipper.h"
+#include "test_util.h"
+#include "workload/deltas.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using replication::CheckpointInfo;
+using replication::EpochFence;
+using replication::Follower;
+using replication::HealthMonitor;
+using replication::HealthOptions;
+using replication::LogShipper;
+using replication::ReplicaState;
+using test::SmallRetail;
+using test::TablesExactlyEqual;
+
+constexpr char kMonthlySql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, SUM(sale.price) AS TotalPrice, COUNT(*) AS Cnt
+  FROM sale, time
+  WHERE time.year = 1997 AND sale.timeid = time.id
+  GROUP BY time.month
+)sql";
+
+constexpr char kPerStoreSql[] = R"sql(
+  CREATE VIEW per_store AS
+  SELECT store.city, COUNT(*) AS Cnt, AVG(sale.price) AS AvgPrice
+  FROM sale, store
+  WHERE sale.storeid = store.id
+  GROUP BY store.city
+)sql";
+
+constexpr uint64_t kSeed = 7171;
+
+std::string TempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::map<std::string, Table> CaptureState(const Warehouse& warehouse) {
+  std::map<std::string, Table> state;
+  for (const std::string& name : warehouse.ViewNames()) {
+    const SelfMaintenanceEngine& engine = warehouse.engine(name);
+    Result<Table> view = warehouse.View(name);
+    MD_CHECK(view.ok());
+    state.emplace(name + "/view", std::move(view).value());
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    MD_CHECK(augmented.ok());
+    state.emplace(name + "/summary", std::move(augmented).value());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      state.emplace(name + "/aux/" + aux.base_table,
+                    engine.AuxContents(aux.base_table));
+    }
+  }
+  return state;
+}
+
+void ExpectBitIdentical(const Warehouse& leader, const Warehouse& follower) {
+  ASSERT_EQ(leader.ViewNames(), follower.ViewNames());
+  ASSERT_EQ(leader.last_sequence(), follower.last_sequence());
+  const std::map<std::string, Table> a = CaptureState(leader);
+  const std::map<std::string, Table> b = CaptureState(follower);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, table] : a) {
+    auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << key;
+    EXPECT_TRUE(TablesExactlyEqual(table, it->second)) << key;
+  }
+  // Same committed boundary ⇒ same snapshot version: result-cache
+  // entries keyed on it are shareable across the replicas.
+  const auto leader_snap = leader.CurrentSnapshot();
+  const auto follower_snap = follower.CurrentSnapshot();
+  ASSERT_NE(leader_snap, nullptr);
+  ASSERT_NE(follower_snap, nullptr);
+  EXPECT_EQ(leader_snap->version, follower_snap->version);
+}
+
+// A leader warehouse with both views registered.
+Result<Warehouse> OpenLeader(const std::string& dir, Catalog& source) {
+  MD_ASSIGN_OR_RETURN(Warehouse leader, Warehouse::Open(dir));
+  if (!leader.HasView("monthly_sales")) {
+    MD_RETURN_IF_ERROR(leader.AddViewSql(source, kMonthlySql));
+    MD_RETURN_IF_ERROR(leader.AddViewSql(source, kPerStoreSql));
+  }
+  return leader;
+}
+
+Status FeedBatches(Warehouse& leader, Catalog& source,
+                   RetailDeltaGenerator& gen, int count, int first_id) {
+  for (int i = 0; i < count; ++i) {
+    MD_ASSIGN_OR_RETURN(Delta delta,
+                        gen.MixedSaleBatch(source, 12, 6, 3));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_RETURN_IF_ERROR(leader.ApplyTransaction(
+        changes, StrCat("batch-", first_id + i)));
+    MD_RETURN_IF_ERROR(ApplyDelta(*source.MutableTable("sale"), delta));
+  }
+  return Status::Ok();
+}
+
+TEST(ReplicationTest, ShipReplayIsBitIdentical) {
+  const std::string leader_dir = TempDir("mindetail_repl_ship_leader");
+  const std::string follower_dir = TempDir("mindetail_repl_ship_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 5, 1));
+
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK_AND_ASSIGN(Follower::Progress progress, follower.CatchUp());
+  // AddView checkpoints immediately, so a fresh follower bootstraps the
+  // view definitions from the leader's checkpoint, then streams.
+  EXPECT_TRUE(progress.bootstrapped);
+  EXPECT_EQ(progress.applied, 5u);
+  ExpectBitIdentical(leader, follower.warehouse());
+
+  // Followers answer the same ad-hoc queries with the same bits.
+  const char* query =
+      "SELECT time.month, SUM(sale.price) AS TotalPrice FROM sale, time "
+      "WHERE time.year = 1997 AND sale.timeid = time.id "
+      "GROUP BY time.month";
+  MD_ASSERT_OK_AND_ASSIGN(Table on_leader, leader.Query(query));
+  MD_ASSERT_OK_AND_ASSIGN(Table on_follower,
+                          follower.warehouse().Query(query));
+  EXPECT_TRUE(TablesExactlyEqual(on_leader, on_follower));
+
+  // Steady state: more batches, another round, still identical.
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 3, 6));
+  MD_ASSERT_OK_AND_ASSIGN(progress, follower.CatchUp());
+  EXPECT_EQ(progress.applied, 3u);
+  EXPECT_FALSE(progress.bootstrapped);
+  ExpectBitIdentical(leader, follower.warehouse());
+}
+
+TEST(ReplicationTest, CheckpointBootstrapCatchesUpLaggingFollower) {
+  const std::string leader_dir = TempDir("mindetail_repl_boot_leader");
+  const std::string follower_dir = TempDir("mindetail_repl_boot_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 4, 1));
+  // The checkpoint truncates the WAL: frames 1–4 are gone; streaming
+  // alone can never deliver them to anyone.
+  MD_ASSERT_OK(leader.Checkpoint());
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 5));
+
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK_AND_ASSIGN(Follower::Progress progress, follower.CatchUp());
+  EXPECT_TRUE(progress.bootstrapped);
+  EXPECT_EQ(progress.applied, 2u);  // Only the post-checkpoint tail.
+  ExpectBitIdentical(leader, follower.warehouse());
+
+  // A leader checkpoint *between* rounds also heals: the stream
+  // restarts, the bootstrap closes the gap, duplicates are filtered.
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 7));
+  MD_ASSERT_OK(leader.Checkpoint());
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 9));
+  MD_ASSERT_OK_AND_ASSIGN(progress, follower.CatchUp());
+  ExpectBitIdentical(leader, follower.warehouse());
+}
+
+TEST(ReplicationTest, ReshippedFramesAreIdempotentNoOps) {
+  const std::string leader_dir = TempDir("mindetail_repl_dup_leader");
+  const std::string follower_dir = TempDir("mindetail_repl_dup_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 4, 1));
+
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                            Follower::Open(leader_dir, follower_dir));
+    MD_ASSERT_OK(follower.CatchUp().status());
+    ExpectBitIdentical(leader, follower.warehouse());
+  }
+  // A restarted follower process re-reads the whole leader WAL — every
+  // frame arrives again. Exactly-once replay: all duplicates, nothing
+  // re-applied, state unchanged.
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK_AND_ASSIGN(Follower::Progress progress, follower.CatchUp());
+  EXPECT_EQ(progress.applied, 0u);
+  EXPECT_EQ(progress.duplicates, 4u);
+  ExpectBitIdentical(leader, follower.warehouse());
+
+  // Direct re-delivery of an old frame is an acknowledged no-op too.
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::vector<WriteAheadLog::Record> records,
+      WriteAheadLog::ReadAll(StrCat(leader_dir, "/", kWalFile)));
+  ASSERT_FALSE(records.empty());
+  MD_ASSERT_OK(follower.warehouse().ApplyReplicated(records.front()));
+  ExpectBitIdentical(leader, follower.warehouse());
+}
+
+TEST(ReplicationTest, SequenceGapDemandsBootstrap) {
+  const std::string dir = TempDir("mindetail_repl_gap");
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse follower,
+                          Warehouse::Open(dir, WarehouseOptions{}
+                                                   .WithReadOnly(true)));
+  WriteAheadLog::Record record;
+  record.sequence = 7;  // Local sequence is 0; frames 1–6 are missing.
+  record.kind = WriteAheadLog::kKindTransaction;
+  const Status status = follower.ApplyReplicated(record);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("bootstrap"), std::string::npos);
+}
+
+TEST(ReplicationTest, TornLeaderTailIsCarriedNeverApplied) {
+  const std::string leader_dir = TempDir("mindetail_repl_torn_leader");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 1));
+
+  // Simulate the leader dying mid-append: chop the last frame short,
+  // keeping the full bytes around to "finish" the append later.
+  const std::string wal_path = StrCat(leader_dir, "/", kWalFile);
+  std::string full_bytes;
+  {
+    std::ifstream in(wal_path, std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    full_bytes.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+  }
+  std::filesystem::resize_file(wal_path, full_bytes.size() - 5);
+
+  LogShipper shipper(leader_dir);
+  MD_ASSERT_OK_AND_ASSIGN(WalStreamReader::Batch batch, shipper.Poll());
+  EXPECT_TRUE(batch.torn_tail);
+  ASSERT_EQ(batch.records.size(), 1u);
+  EXPECT_EQ(batch.records[0].sequence, 1u);
+
+  // The writer "finishes" the append (restore the full file): the
+  // carried tail completes and ships exactly once.
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::trunc);
+    out.write(full_bytes.data(),
+              static_cast<std::streamsize>(full_bytes.size()));
+  }
+  MD_ASSERT_OK_AND_ASSIGN(batch, shipper.Poll());
+  EXPECT_FALSE(batch.torn_tail);
+  ASSERT_EQ(batch.records.size(), 1u);
+  EXPECT_EQ(batch.records[0].sequence, 2u);
+}
+
+TEST(ReplicationTest, CorruptFrameIsDataLoss) {
+  const std::string leader_dir = TempDir("mindetail_repl_corrupt_leader");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 1));
+
+  // Flip a payload byte mid-file: a complete frame whose CRC cannot
+  // match — permanent corruption, not a torn tail.
+  const std::string wal_path = StrCat(leader_dir, "/", kWalFile);
+  {
+    std::fstream f(wal_path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(20);
+    char byte = 0;
+    f.seekg(20);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0xFF);
+    f.seekp(20);
+    f.write(&byte, 1);
+  }
+  LogShipper shipper(leader_dir);
+  EXPECT_EQ(shipper.Poll().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ReplicationTest, LeaderRestartResumesShipping) {
+  const std::string leader_dir = TempDir("mindetail_repl_restart_leader");
+  const std::string follower_dir =
+      TempDir("mindetail_repl_restart_follower");
+  RetailWarehouse retail = SmallRetail();
+  RetailDeltaGenerator gen(kSeed);
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                            OpenLeader(leader_dir, retail.catalog));
+    MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 3, 1));
+  }
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK(follower.CatchUp().status());
+  EXPECT_EQ(follower.applied_sequence(), 3u);
+
+  // The leader restarts (recovery replays its WAL) and keeps going;
+  // the follower picks up where it left off.
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 4));
+  MD_ASSERT_OK_AND_ASSIGN(Follower::Progress progress, follower.CatchUp());
+  EXPECT_EQ(progress.applied, 2u);
+  ExpectBitIdentical(leader, follower.warehouse());
+}
+
+TEST(ReplicationTest, FollowerRefusesDirectWrites) {
+  const std::string leader_dir = TempDir("mindetail_repl_ro_leader");
+  const std::string follower_dir = TempDir("mindetail_repl_ro_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 1));
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK(follower.CatchUp().status());
+
+  Warehouse& replica = follower.warehouse();
+  EXPECT_TRUE(replica.read_only());
+  MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                          gen.MixedSaleBatch(retail.catalog, 4, 0, 0));
+  EXPECT_EQ(replica.Apply("sale", delta).code(),
+            StatusCode::kFailedPrecondition);
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", delta);
+  EXPECT_EQ(replica.ApplyTransaction(changes).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(replica.AddViewSql(retail.catalog, kMonthlySql).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(replica.RemoveView("monthly_sales").code(),
+            StatusCode::kFailedPrecondition);
+  // Reads keep working.
+  MD_ASSERT_OK(replica.View("monthly_sales").status());
+}
+
+TEST(ReplicationTest, HealthMonitorTracksLagAndDisconnects) {
+  const std::string leader_dir = TempDir("mindetail_repl_health_leader");
+  const std::string follower_dir =
+      TempDir("mindetail_repl_health_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 3, 1));
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+
+  HealthOptions options;
+  options.lag_budget = 1;
+  std::vector<int> slept;
+  options.retry.sleeper = [&](int ms) { slept.push_back(ms); };
+  HealthMonitor monitor(options);
+  monitor.Register("replica-1", &follower);
+
+  // Caught up within the budget → healthy, full strong-read contract.
+  monitor.Tick(leader.last_sequence());
+  const replication::ReplicaHealth* health = monitor.Find("replica-1");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->state, ReplicaState::kHealthy);
+  EXPECT_EQ(health->applied_sequence, 3u);
+  EXPECT_EQ(health->snapshot_version, 3u);
+  EXPECT_EQ(health->lag, 0u);
+  EXPECT_FALSE(monitor.DegradedRead("replica-1"));
+
+  // The leader acknowledges frames the follower has not seen shipped
+  // yet (e.g. the shipper runs behind): past the budget the replica's
+  // reads are marked degraded — still consistent, just stale.
+  monitor.Tick(leader.last_sequence() + 2);
+  EXPECT_EQ(monitor.Find("replica-1")->state, ReplicaState::kDegraded);
+  EXPECT_EQ(monitor.Find("replica-1")->lag, 2u);
+  EXPECT_TRUE(monitor.DegradedRead("replica-1"));
+
+  // Corrupt the leader's WAL: catch-up hits DataLoss — permanent, so
+  // no backoff retries are burned and the replica shows disconnected.
+  const std::string wal_path = StrCat(leader_dir, "/", kWalFile);
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::app);
+    out << "garbage-that-is-not-a-frame-and-never-will-be....";
+  }
+  monitor.Tick(leader.last_sequence());
+  EXPECT_EQ(monitor.Find("replica-1")->state,
+            ReplicaState::kDisconnected);
+  EXPECT_TRUE(slept.empty());  // DataLoss skipped the retry budget.
+  EXPECT_FALSE(monitor.Find("replica-1")->last_error.empty());
+  EXPECT_TRUE(monitor.DegradedRead("replica-1"));
+}
+
+TEST(ReplicationTest, PromotionFencesTheOldLeader) {
+  const std::string leader_dir = TempDir("mindetail_repl_fence_leader");
+  const std::string follower_dir =
+      TempDir("mindetail_repl_fence_follower");
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse old_leader,
+                          OpenLeader(leader_dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(old_leader, retail.catalog, gen, 3, 1));
+  MD_ASSERT_OK_AND_ASSIGN(Follower follower,
+                          Follower::Open(leader_dir, follower_dir));
+  MD_ASSERT_OK(follower.CatchUp().status());
+
+  // Failover: the follower takes over.
+  Warehouse& promoted = follower.warehouse();
+  MD_ASSERT_OK(promoted.PromoteToLeader());
+  EXPECT_FALSE(promoted.read_only());
+  EXPECT_EQ(promoted.leader_epoch(), 1u);
+  EXPECT_EQ(promoted.PromoteToLeader().code(),
+            StatusCode::kFailedPrecondition);  // Already a leader.
+
+  // The deposed leader, unaware, keeps committing under epoch 0. Its
+  // frames are refused by the promoted replica's epoch fence.
+  MD_ASSERT_OK(FeedBatches(old_leader, retail.catalog, gen, 1, 4));
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::vector<WriteAheadLog::Record> stale,
+      WriteAheadLog::ReadAll(StrCat(leader_dir, "/", kWalFile)));
+  ASSERT_FALSE(stale.empty());
+  WriteAheadLog::Record last = stale.back();
+  ASSERT_EQ(last.sequence, 4u);
+  EXPECT_EQ(promoted.ApplyReplicated(last).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The new leader accepts writes and stamps its epoch into them.
+  MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                          gen.MixedSaleBatch(retail.catalog, 4, 0, 0));
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", delta);
+  MD_ASSERT_OK(promoted.ApplyTransaction(changes, "after-failover"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::vector<WriteAheadLog::Record> fresh,
+      WriteAheadLog::ReadAll(StrCat(follower_dir, "/", kWalFile)));
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh.back().epoch, 1u);
+
+  // The fence is durable: a restart of the promoted warehouse still
+  // refuses the deposed leader's frames.
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened,
+                          Warehouse::Open(follower_dir));
+  EXPECT_EQ(reopened.leader_epoch(), 1u);
+  EXPECT_EQ(reopened.ApplyReplicated(last).code(),
+            StatusCode::kFailedPrecondition);
+
+  // And a second-generation follower of the *new* leader replicates
+  // the fence itself: it too refuses the deposed leader.
+  const std::string second_dir = TempDir("mindetail_repl_fence_second");
+  MD_ASSERT_OK_AND_ASSIGN(Follower second,
+                          Follower::Open(follower_dir, second_dir));
+  MD_ASSERT_OK(second.CatchUp().status());
+  EXPECT_EQ(second.warehouse().leader_epoch(), 1u);
+  EXPECT_EQ(second.warehouse().ApplyReplicated(last).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicationTest, EpochFencePrimitives) {
+  EpochFence fence;
+  MD_EXPECT_OK(fence.Check(0));  // Unfenced accepts everything.
+  EXPECT_TRUE(fence.Adopt(3));
+  EXPECT_FALSE(fence.Adopt(2));  // Never moves backwards.
+  EXPECT_EQ(fence.current(), 3u);
+  EXPECT_EQ(fence.Check(2).code(), StatusCode::kFailedPrecondition);
+  MD_EXPECT_OK(fence.Check(3));
+  MD_EXPECT_OK(fence.Check(4));
+}
+
+TEST(ReplicationTest, PeekCurrentCheckpointReadsManifestHeader) {
+  const std::string dir = TempDir("mindetail_repl_peek");
+  EXPECT_EQ(replication::PeekCurrentCheckpoint(dir).status().code(),
+            StatusCode::kNotFound);
+
+  RetailWarehouse retail = SmallRetail();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader, OpenLeader(dir, retail.catalog));
+  RetailDeltaGenerator gen(kSeed);
+  MD_ASSERT_OK(FeedBatches(leader, retail.catalog, gen, 2, 1));
+  MD_ASSERT_OK(leader.Checkpoint());
+
+  MD_ASSERT_OK_AND_ASSIGN(CheckpointInfo info,
+                          replication::PeekCurrentCheckpoint(dir));
+  EXPECT_EQ(info.sequence, 2u);
+  EXPECT_EQ(info.leader_epoch, 0u);
+  EXPECT_EQ(info.views,
+            (std::vector<std::string>{"monthly_sales", "per_store"}));
+
+  // A vanished checkpoint directory peeks as DataLoss.
+  std::filesystem::remove_all(StrCat(dir, "/", info.name));
+  EXPECT_EQ(replication::PeekCurrentCheckpoint(dir).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// -------------------------------------------------------------------
+// Kill-at-every-failpoint: the ship/replay pipeline, both ends.
+// -------------------------------------------------------------------
+
+// The scenario a child process runs: a leader and its follower in one
+// process, catch-up after every batch, a mid-stream leader checkpoint
+// (forcing a bootstrap for the late-joining follower). The armed
+// failpoint kills the child wherever it lands — leader WAL append,
+// checkpoint rename, follower replica log, checkpoint transfer.
+//
+// Driver-only: skipped unless MINDETAIL_REPL_DIR is set.
+TEST(ReplicationChildProcess, Run) {
+  const char* dir_env = std::getenv("MINDETAIL_REPL_DIR");
+  if (dir_env == nullptr) GTEST_SKIP() << "driver-only child scenario";
+  const std::string base = dir_env;
+  MD_ASSERT_OK(Failpoints::ArmFromEnv());
+
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          OpenLeader(base + "/leader", source));
+  RetailDeltaGenerator gen(kSeed);
+
+  // Two batches before the follower exists, then a checkpoint — the
+  // follower must bootstrap, exercising the transfer failpoints.
+  MD_ASSERT_OK(FeedBatches(leader, source, gen, 2, 1));
+  MD_ASSERT_OK(leader.Checkpoint());
+
+  MD_ASSERT_OK_AND_ASSIGN(
+      Follower follower,
+      Follower::Open(base + "/leader", base + "/follower"));
+  MD_ASSERT_OK(follower.CatchUp().status());
+
+  for (int i = 3; i <= 6; ++i) {
+    MD_ASSERT_OK(FeedBatches(leader, source, gen, 1, i));
+    MD_ASSERT_OK(follower.CatchUp().status());
+  }
+}
+
+std::string SelfExePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+// After any crash: reopen both sides, reconnect, and the pair must
+// reconverge bit-identically; then promote the follower and prove the
+// epoch fence refuses the deposed leader.
+void VerifyReconvergence(const std::string& base) {
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader,
+                          Warehouse::Open(base + "/leader"));
+  MD_ASSERT_OK_AND_ASSIGN(
+      Follower follower,
+      Follower::Open(base + "/leader", base + "/follower"));
+  // One round bootstraps if needed, a second drains anything the first
+  // raced with; both may be pure no-ops.
+  MD_ASSERT_OK(follower.CatchUp().status());
+  MD_ASSERT_OK(follower.CatchUp().status());
+  ASSERT_EQ(follower.applied_sequence(), leader.last_sequence());
+  ExpectBitIdentical(leader, follower.warehouse());
+
+  // Failover after the crash: the promoted replica fences the old
+  // leader's epoch, even for a frame with a plausible next sequence.
+  Warehouse& promoted = follower.warehouse();
+  const uint64_t fence_before = promoted.leader_epoch();
+  MD_ASSERT_OK(promoted.PromoteToLeader());
+  ASSERT_GT(promoted.leader_epoch(), fence_before);
+  WriteAheadLog::Record stale;
+  stale.sequence = promoted.last_sequence() + 1;
+  stale.kind = WriteAheadLog::kKindTransaction;
+  stale.epoch = fence_before;  // The deposed leader's epoch.
+  EXPECT_EQ(promoted.ApplyReplicated(stale).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicationCrashTest, KillAtEveryFailpointReconverges) {
+  const std::string exe = SelfExePath();
+  ASSERT_FALSE(exe.empty());
+  int crashes = 0;
+  for (const std::string& site : Failpoints::KnownSites()) {
+    for (int trigger : {1, 3}) {
+      SCOPED_TRACE(StrCat(site, ":crash:", trigger));
+      const std::string base =
+          (std::filesystem::temp_directory_path() /
+           StrCat("mindetail_repl_crash_", site, "_", trigger))
+              .string();
+      std::filesystem::remove_all(base);
+      std::filesystem::create_directories(base);
+
+      const std::string cmd = StrCat(
+          "MINDETAIL_REPL_DIR='", base, "' MINDETAIL_FAILPOINT='", site,
+          ":crash:", trigger, "' '", exe,
+          "' --gtest_filter=ReplicationChildProcess.Run >/dev/null 2>&1");
+      const int rc = std::system(cmd.c_str());
+      ASSERT_TRUE(WIFEXITED(rc)) << "child did not exit normally";
+      const int exit_code = WEXITSTATUS(rc);
+      ASSERT_TRUE(exit_code == 0 ||
+                  exit_code == Failpoints::kCrashExitCode)
+          << "child exit code " << exit_code;
+      if (exit_code == Failpoints::kCrashExitCode) ++crashes;
+
+      VerifyReconvergence(base);
+      std::filesystem::remove_all(base);
+    }
+  }
+  // The harness must actually kill the child at (most of) the sites —
+  // including the replication-specific ones — or it proves nothing.
+  EXPECT_GE(crashes, 8) << "too few failpoints fired";
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -15,17 +15,25 @@
 //   mindetail> insert sale 999999,10,5,1,12.5
 //   mindetail> view monthly
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/strings.h"
 #include "core/estimate.h"
 #include "io/catalog_io.h"
+#include "io/warehouse_io.h"
+#include "maintenance/wal.h"
 #include "maintenance/warehouse.h"
+#include "replication/epoch.h"
+#include "replication/follower.h"
+#include "replication/health.h"
 #include "workload/retail.h"
 
 namespace mindetail {
@@ -114,6 +122,8 @@ class Cli {
       Quarantine(args);
     } else if (cmd == "lattice") {
       Lattice(args);
+    } else if (cmd == "replica") {
+      Replica(args);
     } else {
       std::cout << "unrecognized command; try 'help'\n";
     }
@@ -170,6 +180,16 @@ class Cli {
         "                       materialize a coarser grouping now\n"
         "  lattice demote <node-key>\n"
         "                       drop a promoted node\n"
+        "  replica open <leader-dir> <dir>\n"
+        "                       attach a hot-standby follower at <dir>\n"
+        "                       replaying the leader's shipped WAL\n"
+        "                       ('view' then serves the replica's views)\n"
+        "  replica catchup      ship + replay new leader frames\n"
+        "  replica status       health report: state, applied sequence,\n"
+        "                       snapshot lag vs the leader's durable state\n"
+        "  replica promote      fail over: the follower becomes this\n"
+        "                       shell's active writable warehouse (its\n"
+        "                       bumped epoch fences the old leader)\n"
         "  quit\n";
   }
 
@@ -281,7 +301,14 @@ class Cli {
   }
 
   void PrintView(const std::string& name) {
-    Result<Table> view = warehouse_.View(name);
+    // A hot standby exists to serve reads: when a follower is attached
+    // and the shell's own warehouse doesn't carry the view, answer
+    // from the replica's snapshot.
+    Warehouse& target = (follower_ != nullptr && !warehouse_.HasView(name) &&
+                         follower_->warehouse().HasView(name))
+                            ? follower_->warehouse()
+                            : warehouse_;
+    Result<Table> view = target.View(name);
     if (!view.ok()) {
       Report(view.status());
       return;
@@ -557,8 +584,80 @@ class Cli {
     }
   }
 
+  // The leader's committed high-water mark, read from its durable
+  // state (checkpoint manifest + WAL tail) — the follower and the
+  // leader are different processes, so this is the honest lag anchor.
+  uint64_t LeaderSequence() {
+    uint64_t sequence = follower_->applied_sequence();
+    Result<replication::CheckpointInfo> peek =
+        replication::PeekCurrentCheckpoint(leader_dir_);
+    if (peek.ok()) sequence = std::max(sequence, peek->sequence);
+    Result<std::vector<WriteAheadLog::Record>> records =
+        WriteAheadLog::ReadAll(StrCat(leader_dir_, "/", kWalFile));
+    if (records.ok() && !records->empty()) {
+      sequence = std::max(sequence, records->back().sequence);
+    }
+    return sequence;
+  }
+
+  void Replica(const std::vector<std::string>& args) {
+    const std::string sub = args.size() > 1 ? args[1] : "status";
+    if (sub == "open" && args.size() == 4) {
+      Result<replication::Follower> opened =
+          replication::Follower::Open(args[2], args[3]);
+      if (!opened.ok()) {
+        Report(opened.status());
+        return;
+      }
+      follower_ = std::make_unique<replication::Follower>(
+          std::move(opened).value());
+      leader_dir_ = args[2];
+      monitor_ = std::make_unique<replication::HealthMonitor>();
+      monitor_->Register("follower", follower_.get());
+      std::cout << "following " << args[2] << " from " << args[3]
+                << " (applied seq " << follower_->applied_sequence()
+                << "); 'replica catchup' to replay\n";
+    } else if (follower_ == nullptr) {
+      std::cout << "no follower attached; 'replica open <leader-dir> "
+                   "<dir>' first\n";
+    } else if (sub == "catchup") {
+      Result<replication::Follower::Progress> progress =
+          follower_->CatchUp();
+      if (!progress.ok()) {
+        Report(progress.status());
+        return;
+      }
+      std::cout << "applied " << progress->applied << " frame(s), "
+                << progress->duplicates << " duplicate(s)"
+                << (progress->bootstrapped
+                        ? ", bootstrapped from leader checkpoint"
+                        : "")
+                << "; at seq " << follower_->applied_sequence() << "\n";
+    } else if (sub == "status") {
+      monitor_->Tick(LeaderSequence());
+      std::cout << monitor_->ReportText();
+    } else if (sub == "promote") {
+      const Status status = follower_->warehouse().PromoteToLeader();
+      Report(status);
+      if (!status.ok()) return;
+      warehouse_ = std::move(follower_->warehouse());
+      follower_.reset();
+      monitor_.reset();
+      std::cout << "promoted to leader at epoch "
+                << warehouse_.leader_epoch() << ", seq "
+                << warehouse_.last_sequence()
+                << "; the deposed leader's frames are now fenced\n";
+    } else {
+      std::cout << "usage: replica [open <leader-dir> <dir>|catchup|"
+                   "status|promote]\n";
+    }
+  }
+
   Catalog source_;
   Warehouse warehouse_;
+  std::string leader_dir_;
+  std::unique_ptr<replication::Follower> follower_;
+  std::unique_ptr<replication::HealthMonitor> monitor_;
 };
 
 }  // namespace
