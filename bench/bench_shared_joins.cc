@@ -1,0 +1,147 @@
+// Shared delta-join plans across sibling views: N structurally
+// identical summary views (names differ, join edges / group-bys /
+// outputs match) maintained by one warehouse, with the per-batch
+// SharedJoinCache on or off. With sharing on, each distinct delta-join
+// subexpression is computed exactly once per batch and the memoized
+// fragments fan out to every sibling, so per-batch latency should
+// flatten as siblings grow; with sharing off it grows linearly. The
+// warehouse guarantees results bit-identical either way, so this
+// harness measures latency only. items/s is delta rows per second.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gpsj/builder.h"
+#include "maintenance/warehouse.h"
+#include "relational/delta.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+SnowflakeWarehouse MakeSource() {
+  SnowflakeParams params;
+  params.depth = 2;
+  params.fanout = 2;
+  params.fact_rows = 20000;
+  params.dim_rows = 60;
+  params.seed = 41;
+  return Unwrap(GenerateSnowflake(params));
+}
+
+// Sibling views over the full snowflake join: identical shape (same
+// join edges, group-bys, and outputs) so their canonical join-edge
+// signatures match and every delta join is shareable — only the view
+// name differs.
+GpsjViewDef MakeSibling(const SnowflakeWarehouse& warehouse,
+                        size_t index) {
+  GpsjViewBuilder builder(StrCat("shared_sibling_", index));
+  builder.From(warehouse.fact);
+  for (const std::string& dim : warehouse.dims) {
+    builder.From(dim);
+    builder.Join(warehouse.parent.at(dim), warehouse.link_attr.at(dim),
+                 dim);
+  }
+  builder.GroupBy(warehouse.dims.front(), "a", "GroupA");
+  builder.GroupBy(warehouse.dims.back(), "b", "GroupB");
+  builder.CountStar("Cnt");
+  builder.Sum(warehouse.fact, "m1", "SumM1");
+  builder.Sum(warehouse.fact, "m2", "SumM2");
+  builder.Avg(warehouse.fact, "m2", "AvgM2");
+  return Unwrap(builder.Build(warehouse.catalog));
+}
+
+// One mixed root batch: half inserts (referencing existing dimension
+// rows), a quarter deletes, a quarter updates.
+Delta MakeRootBatch(const SnowflakeWarehouse& warehouse,
+                    const Catalog& source, Rng& rng, size_t batch) {
+  Delta delta;
+  const Table* fact = *source.GetTable(warehouse.fact);
+  int64_t next_id = 0;
+  for (const Tuple& row : fact->rows()) {
+    next_id = std::max(next_id, row[0].AsInt64());
+  }
+  ++next_id;
+  const size_t fk_count = fact->schema().size() - 3;  // id, …, m1, m2.
+  for (size_t i = 0; i < batch / 2; ++i) {
+    Tuple row = {Value(next_id++)};
+    for (size_t f = 0; f < fk_count; ++f) {
+      const std::string fk_attr = fact->schema().attribute(1 + f).name;
+      const std::string dim = fk_attr.substr(3);  // strip "fk_".
+      const Table* dim_table = *source.GetTable(dim);
+      row.push_back(
+          dim_table->row(rng.NextBelow(dim_table->NumRows()))[0]);
+    }
+    row.push_back(Value(rng.NextInt(0, 9)));
+    row.push_back(Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0));
+    delta.inserts.push_back(std::move(row));
+  }
+  std::set<int64_t> touched;
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    delta.deletes.push_back(row);
+  }
+  for (size_t i = 0; i < batch / 4 && fact->NumRows() > 0; ++i) {
+    const Tuple& row = fact->row(rng.NextBelow(fact->NumRows()));
+    if (!touched.insert(row[0].AsInt64()).second) continue;
+    Tuple after = row;
+    after[after.size() - 2] = Value(rng.NextInt(0, 9));
+    after[after.size() - 1] =
+        Value(static_cast<double>(rng.NextInt(2, 100)) / 2.0);
+    delta.updates.push_back(Update{row, std::move(after)});
+  }
+  return delta;
+}
+
+// state.range(0): sibling views; state.range(1): 1 = shared plans.
+// Maintenance runs serially so the curve isolates the sharing effect
+// from cross-view parallelism.
+void BM_SharedDeltaJoins(benchmark::State& state) {
+  SnowflakeWarehouse snowflake = MakeSource();
+  Catalog& source = snowflake.catalog;
+  const bool shared = state.range(1) == 1;
+  Warehouse warehouse(
+      WarehouseOptions{}.WithParallelism(1).WithSharedJoins(shared));
+  const size_t siblings = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < siblings; ++i) {
+    Check(warehouse.AddView(source, MakeSibling(snowflake, i)));
+  }
+  Rng rng(8675);
+  constexpr size_t kBatch = 2048;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Delta delta = MakeRootBatch(snowflake, source, rng, kBatch);
+    Check(ApplyDelta(Unwrap(source.MutableTable(snowflake.fact)), delta));
+    state.ResumeTiming();
+    Check(warehouse.Apply(snowflake.fact, delta));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kBatch));
+  const SharedJoinStats& stats = warehouse.Report().maintenance.shared;
+  state.counters["siblings"] = static_cast<double>(siblings);
+  state.counters["shared"] = shared ? 1.0 : 0.0;
+  state.counters["joins_computed"] =
+      static_cast<double>(stats.joins_computed);
+  state.counters["joins_reused"] =
+      static_cast<double>(stats.joins_reused);
+}
+
+BENCHMARK(BM_SharedDeltaJoins)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

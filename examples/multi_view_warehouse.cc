@@ -84,7 +84,7 @@ int main() {
     GROUP BY product.id, product.brand
   )sql"));
 
-  std::cout << "\n" << warehouse.Report() << "\n";
+  std::cout << "\n" << warehouse.Report().ToString() << "\n";
 
   // 3. Stream a week of changes; each batch reaches exactly the views
   //    that reference the changed table.

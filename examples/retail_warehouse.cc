@@ -104,11 +104,12 @@ int main() {
 
   const EngineStats& stats = engine.stats();
   std::printf(
-      "Engine stats: %llu batches, %llu rows, %llu delta joins, "
-      "%llu group recomputes, %llu shielded skips\n",
+      "Engine stats: %llu batches, %llu rows, %llu delta joins executed "
+      "(%llu planned), %llu group recomputes, %llu shielded skips\n",
       static_cast<unsigned long long>(stats.batches_applied),
       static_cast<unsigned long long>(stats.rows_processed),
-      static_cast<unsigned long long>(stats.delta_joins),
+      static_cast<unsigned long long>(stats.delta_joins_executed),
+      static_cast<unsigned long long>(stats.delta_joins_planned),
       static_cast<unsigned long long>(stats.group_recomputes),
       static_cast<unsigned long long>(stats.shielded_skips));
   return 0;

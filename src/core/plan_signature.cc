@@ -1,0 +1,117 @@
+#include "core/plan_signature.h"
+
+#include <sstream>
+
+#include "core/join_graph.h"
+#include "core/reconstruct.h"
+#include "gpsj/view_def.h"
+
+namespace mindetail {
+
+namespace {
+
+// Derived-attribute formulas of `table`, in definition order. The view
+// SQL does not render these, yet they change the bytes of aux columns
+// (a derived column is materialized like any real attribute), so they
+// must be part of any structural signature.
+void AppendDerivedFormulas(const GpsjViewDef& view, const std::string& table,
+                           std::ostringstream& out) {
+  for (const DerivedAttr& d : view.DerivedAttrsOf(table)) {
+    out << "derived{" << d.ToString() << "}";
+  }
+}
+
+void AppendAuxSignature(const Derivation& derivation, const std::string& table,
+                        std::ostringstream& out) {
+  const AuxViewDef& aux = derivation.aux_for(table);
+  out << "aux{" << aux.ToSqlString() << ";schema=" << aux.schema.ToString()
+      << ";";
+  AppendDerivedFormulas(derivation.view(), table, out);
+  // Recurse over semijoin-reduction dependencies: the aux contents of
+  // `table` are filtered by its dependencies' key sets, so a plan that
+  // reduces against a differently-shaped neighbour is a different plan
+  // even if this table's own definition matches.
+  for (const AuxDependency& dep : aux.dependencies) {
+    out << "dep[" << dep.from_attr << "->";
+    AppendAuxSignature(derivation, dep.to_table, out);
+    out << "]";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string AuxStructuralSignature(const Derivation& derivation,
+                                   const std::string& table) {
+  std::ostringstream out;
+  AppendAuxSignature(derivation, table, out);
+  return out.str();
+}
+
+std::string DeltaJoinSignature(const Derivation& derivation,
+                               const std::string& changed_table,
+                               const std::set<std::string>& required) {
+  const ExtendedJoinGraph& graph = derivation.graph();
+  std::ostringstream out;
+  out << "delta-join{changed=" << changed_table
+      << ";insert_only=" << (derivation.insert_only() ? 1 : 0) << ";tables=[";
+  // Required tables in topological order (root first, parents before
+  // children) with their canonical join edge from the parent. The topo
+  // order normalizes away `required`'s set order and mirrors the order
+  // JoinAuxAlongGraph actually joins in.
+  for (const std::string& table : graph.TopologicalOrder()) {
+    if (required.count(table) == 0) continue;
+    const JoinGraphVertex& vertex = graph.vertex(table);
+    out << table;
+    if (vertex.parent) {
+      out << "<-(" << *vertex.parent << "." << vertex.parent_attr << ")";
+    }
+    out << "@";
+    AppendAuxSignature(derivation, table, out);
+    out << ";";
+  }
+  out << "];outputs=[";
+  // The projected columns: every output item plus the resolved
+  // duplicate-accounting source it reads from the joined table. Two
+  // views with the same join tree but different aggregates (or the
+  // same aggregate resolved against a compressed vs. plain column)
+  // compute different contribution tables.
+  for (const OutputItem& item : derivation.view().outputs()) {
+    out << item.ToString();
+    if (item.kind == OutputItem::Kind::kAggregate && !item.agg.distinct) {
+      const AggFn fn = item.agg.fn;
+      if (fn == AggFn::kSum || fn == AggFn::kAvg) {
+        const SumSource src = ResolveSumSource(derivation, item.agg.input);
+        out << ";src=" << src.column << (src.needs_scaling ? "*cnt0" : "");
+      } else if (fn == AggFn::kMin || fn == AggFn::kMax) {
+        out << ";src=" << ResolveMinMaxSource(derivation, item.agg.input, fn);
+      }
+    }
+    out << "|";
+  }
+  out << "];cnt=" << RootCountColumn(derivation) << "}";
+  return out.str();
+}
+
+std::string ViewStructuralSignature(const GpsjViewDef& def) {
+  std::string sql = def.ToSqlString();
+  // The view name appears only in the "CREATE VIEW <name> AS\n" prefix;
+  // strip through the first "AS\n" so identically-defined siblings
+  // produce equal signatures.
+  static constexpr char kAsMarker[] = "AS\n";
+  const size_t as = sql.find(kAsMarker);
+  if (as != std::string::npos) {
+    sql.erase(0, as + sizeof(kAsMarker) - 1);
+  }
+  std::ostringstream out;
+  out << "view{" << sql << ";";
+  for (const std::string& table : def.tables()) {
+    out << table << ":";
+    AppendDerivedFormulas(def, table, out);
+    out << ";";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace mindetail

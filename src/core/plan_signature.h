@@ -1,0 +1,67 @@
+// Canonical signatures for delta-join subexpressions (multi-query
+// optimization for view maintenance, after Mistry/Roy/Ramamritham/
+// Sudarshan: factor common maintenance subexpressions so a batch pays
+// each join once).
+//
+// Two sibling engines maintained over the same fact table repeat the
+// same per-batch work when — and only when — their delta-join
+// subexpressions are *structurally* identical: same changed table,
+// same canonical set of join edges from the root, same auxiliary-view
+// plans along the path, and same projected columns. These helpers
+// serialize exactly that structure into a string key, deliberately
+// excluding anything that does not affect the bytes of the computed
+// join:
+//
+//   - the view *name* (identically-defined siblings must share), and
+//   - `num_threads` (the engine guarantees bit-identical results at
+//     every thread count, so parallelism is not part of the plan).
+//
+// Options that change the join's shape (`prune_delta_joins` narrows
+// the required set; `allow_elimination` changes which aux views are
+// materialized) flow in through the derivation / `required` set and so
+// are part of the signature by construction.
+//
+// Equal signatures mean equal join *plans*; whether two engines also
+// hold equal aux *contents* (the other half of result equality) is the
+// warehouse's lineage check — see SharedJoinCache.
+
+#ifndef MINDETAIL_CORE_PLAN_SIGNATURE_H_
+#define MINDETAIL_CORE_PLAN_SIGNATURE_H_
+
+#include <set>
+#include <string>
+
+#include "core/derive.h"
+
+namespace mindetail {
+
+// Structural signature of one auxiliary view and (recursively) of
+// every auxiliary view it depends on: the aux view's SQL form, its
+// materialized schema, the derived-attribute formulas of its base
+// table, and its dependencies' signatures. Two tables with equal
+// signatures hold byte-identical aux contents whenever they have seen
+// the same base-table history.
+std::string AuxStructuralSignature(const Derivation& derivation,
+                                   const std::string& table);
+
+// Canonical signature of the delta join "fragment of `changed_table`
+// ⋈ aux views of `required`": the changed table, the join edges of
+// every required table from the root (in topological order), each
+// table's structural signature, the view's output list, and the
+// resolved duplicate-accounting sources (SUM/MIN-MAX columns, root
+// cnt0). `required` must already include `changed_table` and be
+// upward-closed (as produced by the engine's apply path).
+std::string DeltaJoinSignature(const Derivation& derivation,
+                               const std::string& changed_table,
+                               const std::set<std::string>& required);
+
+// Structural signature of a whole view definition, excluding its name:
+// the SQL text with the "CREATE VIEW <name> AS" prefix stripped, plus
+// the per-table derived-attribute formulas (which ToSqlString does not
+// render). Identically-defined views get equal signatures regardless
+// of what they are called.
+std::string ViewStructuralSignature(const GpsjViewDef& def);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_CORE_PLAN_SIGNATURE_H_

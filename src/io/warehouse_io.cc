@@ -449,6 +449,8 @@ Result<std::string> RenderCheckpointManifest(
         << (view.options.trust_referential_integrity ? 1 : 0) << " "
         << (view.options.prune_delta_joins ? 1 : 0) << " "
         << (view.options.allow_elimination ? 1 : 0) << "\n";
+    // Written only when known, so pre-sharing manifests stay byte-stable.
+    if (view.lineage != 0) out << "LINEAGE " << view.lineage << "\n";
     for (const Attribute& attr : view.summary.schema().attributes()) {
       out << "SUMMARY_COL " << attr.name << " " << TypeToken(attr.type)
           << "\n";
@@ -472,6 +474,7 @@ Result<std::string> RenderCheckpointManifest(
 struct ManifestView {
   std::string name;
   EngineOptionsData options;
+  uint64_t lineage = 0;
   std::vector<Attribute> summary_cols;
   std::vector<std::string> aux_order;
   std::map<std::string, std::vector<Attribute>> aux_cols;
@@ -544,6 +547,8 @@ Result<ParsedManifest> ParseCheckpointManifest(std::istream& in) {
       view->options.trust_referential_integrity = trust != 0;
       view->options.prune_delta_joins = prune != 0;
       view->options.allow_elimination = elim != 0;
+    } else if (directive == "LINEAGE") {
+      fields >> view->lineage;
     } else if (directive == "SUMMARY_COL") {
       std::string name, type_token;
       fields >> name >> type_token;
@@ -707,6 +712,7 @@ Result<WarehouseCheckpoint> LoadCheckpointByName(const std::string& dir,
     ViewCheckpoint view;
     view.name = mview.name;
     view.options = mview.options;
+    view.lineage = mview.lineage;
     {
       std::ifstream in(StrCat(cp_dir, "/", mview.name, ".def"));
       if (!in.is_open()) {

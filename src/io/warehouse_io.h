@@ -51,6 +51,9 @@ struct ViewCheckpoint {
   std::string name;
   GpsjViewDef def;
   EngineOptionsData options;
+  // Shared-plan lineage token (maintenance/shared_plan.h). 0 = unknown
+  // (pre-sharing checkpoint); restored engines with 0 never share.
+  uint64_t lineage = 0;
   std::map<std::string, Table> aux;  // Base table → auxiliary contents.
   Table summary;                     // Augmented summary rows.
 };

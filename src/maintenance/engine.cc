@@ -5,6 +5,7 @@
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/plan_signature.h"
 #include "gpsj/builder.h"
 #include "relational/ops.h"
 
@@ -561,6 +562,19 @@ Result<SelfMaintenanceEngine> SelfMaintenanceEngine::CreateSkeleton(
   }
 
   MD_ASSIGN_OR_RETURN(engine.summary_, SummaryStore::Create(def, catalog));
+
+  // Canonical shared-plan signatures for the root-delta path. The join
+  // signature bakes in the `required` set, so ablation options that
+  // change the join's shape (prune_delta_joins, elimination) can never
+  // share with an engine configured differently.
+  const std::string& root = derivation.root();
+  engine.root_fragment_sig_ = AuxStructuralSignature(derivation, root);
+  std::set<std::string> required =
+      options.prune_delta_joins
+          ? OutputSupplierTables(derivation, /*csmas_only=*/true)
+          : std::set<std::string>(def.tables().begin(), def.tables().end());
+  required.insert(root);
+  engine.root_join_sig_ = DeltaJoinSignature(derivation, root, required);
   return engine;
 }
 
@@ -838,21 +852,40 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
 
 Status SelfMaintenanceEngine::ApplyFragmentToSummary(
     const std::string& table, const Table& fragment, int sign,
-    GroupKeySet* affected, const DimensionIndex* dims) {
+    GroupKeySet* affected, const DimensionIndex* dims,
+    SharedJoinCache* shared, const std::string& shared_tag) {
   if (fragment.Empty()) return Status::Ok();
-  std::map<std::string, const Table*> tables = AuxTableMap();
-  tables[table] = &fragment;
-  std::set<std::string> required =
-      options_.prune_delta_joins
-          ? OutputSupplierTables(derivation_, /*csmas_only=*/true)
-          : std::set<std::string>(derivation_.view().tables().begin(),
-                                  derivation_.view().tables().end());
-  required.insert(table);
-  MD_ASSIGN_OR_RETURN(
-      Table contributions,
-      ComputeContributions(derivation_, tables, required, pool_.get(),
-                           dims));
-  ++stats_.delta_joins;
+  ++stats_.delta_joins_planned;
+  const auto compute = [&]() -> Result<Table> {
+    std::map<std::string, const Table*> tables = AuxTableMap();
+    tables[table] = &fragment;
+    std::set<std::string> required =
+        options_.prune_delta_joins
+            ? OutputSupplierTables(derivation_, /*csmas_only=*/true)
+            : std::set<std::string>(derivation_.view().tables().begin(),
+                                    derivation_.view().tables().end());
+    required.insert(table);
+    return ComputeContributions(derivation_, tables, required, pool_.get(),
+                                dims);
+  };
+  if (shared != nullptr && !shared_tag.empty()) {
+    bool reused = false;
+    MD_ASSIGN_OR_RETURN(
+        std::shared_ptr<const Table> contributions,
+        shared->GetOrCompute(
+            SharedJoinCache::Kind::kJoin,
+            StrCat("join|", shared_tag, "|", shared_lineage_, "|",
+                   root_join_sig_),
+            compute, &reused));
+    if (reused) {
+      ++stats_.delta_joins_reused;
+    } else {
+      ++stats_.delta_joins_executed;
+    }
+    return summary_.ApplyContributions(*contributions, sign, affected);
+  }
+  MD_ASSIGN_OR_RETURN(Table contributions, compute());
+  ++stats_.delta_joins_executed;
   return summary_.ApplyContributions(contributions, sign, affected);
 }
 
@@ -871,7 +904,8 @@ Status SelfMaintenanceEngine::RecomputeAffected(const GroupKeySet& affected,
   return summary_.UpdateCachedFrom(recomputed, alive);
 }
 
-Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
+Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta,
+                                             SharedJoinCache* shared) {
   const std::string& root = derivation_.root();
   const Delta normalized = NormalizeUpdates(delta);
   // One read-only index per dimension auxiliary view, built once and
@@ -880,10 +914,33 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
   // auxiliary views, so the indexes stay valid for the whole batch.
   MD_ASSIGN_OR_RETURN(DimensionIndex dims,
                       DimensionIndex::Build(derivation_, AuxTableMap()));
-  MD_ASSIGN_OR_RETURN(Table del_frag,
-                      PrepareFragment(root, normalized.deletes, &dims));
-  MD_ASSIGN_OR_RETURN(Table ins_frag,
-                      PrepareFragment(root, normalized.inserts, &dims));
+
+  // Shared-plan tags: within a transaction the engine sees the root at
+  // most once per phase, and the two phases are distinguishable from
+  // the normalized delta alone (phase 1 carries pure deletions; phase 2
+  // always has inserts and/or update-afters). "D-"/"I-"/"I+" are thus
+  // unambiguous per batch and computed identically by every sibling.
+  const bool share = shared != nullptr && shared_lineage_ != 0;
+  const char* step = normalized.inserts.empty() ? "D" : "I";
+  const auto prepare = [&](const std::vector<Tuple>& rows, const char* sign)
+      -> Result<std::shared_ptr<const Table>> {
+    const auto compute = [&]() -> Result<Table> {
+      return PrepareFragment(root, rows, &dims);
+    };
+    if (share && !rows.empty()) {
+      return shared->GetOrCompute(
+          SharedJoinCache::Kind::kFragment,
+          StrCat("frag|", step, sign, "|", shared_lineage_, "|",
+                 root_fragment_sig_),
+          compute);
+    }
+    MD_ASSIGN_OR_RETURN(Table fragment, compute());
+    return std::make_shared<const Table>(std::move(fragment));
+  };
+  MD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> del_frag,
+                      prepare(normalized.deletes, "-"));
+  MD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> ins_frag,
+                      prepare(normalized.inserts, "+"));
 
   // Merge into the root auxiliary view (unless eliminated). Canonical
   // row order makes the merge shardable: however shard commits
@@ -893,12 +950,14 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
     AuxStore& store = aux_it->second;
     if (store.def().plan.compressed) {
       MD_RETURN_IF_ERROR(
-          store.MergeCompressedFragment(del_frag, -1, pool_.get()));
+          store.MergeCompressedFragment(*del_frag, -1, pool_.get()));
       MD_RETURN_IF_ERROR(
-          store.MergeCompressedFragment(ins_frag, +1, pool_.get()));
+          store.MergeCompressedFragment(*ins_frag, +1, pool_.get()));
     } else {
-      MD_RETURN_IF_ERROR(store.MergePlainFragment(del_frag, -1, pool_.get()));
-      MD_RETURN_IF_ERROR(store.MergePlainFragment(ins_frag, +1, pool_.get()));
+      MD_RETURN_IF_ERROR(
+          store.MergePlainFragment(*del_frag, -1, pool_.get()));
+      MD_RETURN_IF_ERROR(
+          store.MergePlainFragment(*ins_frag, +1, pool_.get()));
     }
   }
   // Crash/error here leaves the root auxiliary view ahead of the
@@ -906,10 +965,13 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta) {
   MD_FAILPOINT("engine.root.after_aux_merge");
 
   GroupKeySet affected;
-  MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(root, del_frag, -1, &affected, &dims));
-  MD_RETURN_IF_ERROR(
-      ApplyFragmentToSummary(root, ins_frag, +1, &affected, &dims));
+  SharedJoinCache* join_cache = share ? shared : nullptr;
+  MD_RETURN_IF_ERROR(ApplyFragmentToSummary(root, *del_frag, -1, &affected,
+                                            &dims, join_cache,
+                                            StrCat(step, "-")));
+  MD_RETURN_IF_ERROR(ApplyFragmentToSummary(root, *ins_frag, +1, &affected,
+                                            &dims, join_cache,
+                                            StrCat(step, "+")));
   if (summary_.has_non_csmas()) {
     MD_RETURN_IF_ERROR(RecomputeAffected(affected, &dims));
   }
@@ -1130,7 +1192,8 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
 }
 
 Status SelfMaintenanceEngine::Apply(const std::string& table,
-                                    const Delta& delta) {
+                                    const Delta& delta,
+                                    SharedJoinCache* shared) {
   if (!derivation_.view().ReferencesTable(table)) {
     return NotFoundError(StrCat("table '", table,
                                 "' is not referenced by view '",
@@ -1146,8 +1209,10 @@ Status SelfMaintenanceEngine::Apply(const std::string& table,
                "updates are not allowed"));
   }
   if (table == derivation_.root()) {
-    MD_RETURN_IF_ERROR(ApplyRootDelta(delta));
+    MD_RETURN_IF_ERROR(ApplyRootDelta(delta, shared));
   } else {
+    // Dimension deltas stay per-engine: the delta join reads the root
+    // auxiliary view, whose contents this batch is mutating.
     MD_RETURN_IF_ERROR(ApplyDimDelta(table, delta));
   }
   // Fires after the batch is fully merged: an error here makes a
@@ -1158,7 +1223,7 @@ Status SelfMaintenanceEngine::Apply(const std::string& table,
 }
 
 Status SelfMaintenanceEngine::ApplyTransaction(
-    const std::map<std::string, Delta>& changes) {
+    const std::map<std::string, Delta>& changes, SharedJoinCache* shared) {
   for (const auto& [table, delta] : changes) {
     (void)delta;
     if (!derivation_.view().ReferencesTable(table)) {
@@ -1176,7 +1241,7 @@ Status SelfMaintenanceEngine::ApplyTransaction(
     if (it == changes.end() || it->second.deletes.empty()) continue;
     Delta deletions;
     deletions.deletes = it->second.deletes;
-    MD_RETURN_IF_ERROR(Apply(table, deletions));
+    MD_RETURN_IF_ERROR(Apply(table, deletions, shared));
   }
   // Phase 2: insertions and updates, leaves-first (a dimension row
   // exists before any fact referencing it).
@@ -1187,7 +1252,7 @@ Status SelfMaintenanceEngine::ApplyTransaction(
     rest.inserts = change->second.inserts;
     rest.updates = change->second.updates;
     if (rest.Empty()) continue;
-    MD_RETURN_IF_ERROR(Apply(*it, rest));
+    MD_RETURN_IF_ERROR(Apply(*it, rest, shared));
   }
   return Status::Ok();
 }

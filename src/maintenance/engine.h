@@ -37,6 +37,7 @@
 #include "core/reconstruct.h"
 #include "gpsj/evaluator.h"
 #include "maintenance/aux_store.h"
+#include "maintenance/shared_plan.h"
 #include "relational/delta.h"
 
 namespace mindetail {
@@ -182,7 +183,13 @@ struct EngineOptions {
 struct EngineStats {
   uint64_t batches_applied = 0;
   uint64_t rows_processed = 0;
-  uint64_t delta_joins = 0;
+  // Delta joins *planned* (a non-empty fragment had to reach the
+  // summary), *executed* by this engine, and satisfied by a shared-plan
+  // *reuse* instead. planned == executed + reused always; joins skipped
+  // by pruning, shielding, or empty fragments appear in none of them.
+  uint64_t delta_joins_planned = 0;
+  uint64_t delta_joins_executed = 0;
+  uint64_t delta_joins_reused = 0;
   uint64_t group_recomputes = 0;
   uint64_t shielded_skips = 0;
 };
@@ -229,14 +236,19 @@ class SelfMaintenanceEngine {
   // full before-/after-images; the engine never consults base tables.
   // Batches must be applied in a referential-integrity-consistent order
   // (delete facts before their dimensions; insert dimensions before
-  // facts that reference them).
-  Status Apply(const std::string& table, const Delta& delta);
+  // facts that reference them). When `shared` is non-null and this
+  // engine carries a nonzero lineage token, root-delta fragments and
+  // delta joins go through the per-batch shared cache — bit-identical
+  // to the unshared path (see shared_plan.h).
+  Status Apply(const std::string& table, const Delta& delta,
+               SharedJoinCache* shared = nullptr);
 
   // Applies a multi-table change set as one unit, ordering the pieces
   // for referential-integrity consistency automatically: deletions run
   // root-first down the join tree, then insertions and updates run
   // leaves-first — so facts never dangle.
-  Status ApplyTransaction(const std::map<std::string, Delta>& changes);
+  Status ApplyTransaction(const std::map<std::string, Delta>& changes,
+                          SharedJoinCache* shared = nullptr);
 
   // The current view contents (view-output columns, sorted rows).
   Result<Table> View() const { return summary_.Render(); }
@@ -251,6 +263,23 @@ class SelfMaintenanceEngine {
   const Derivation& derivation() const { return derivation_; }
   const EngineStats& stats() const { return stats_; }
   const EngineOptions& options() const { return options_; }
+
+  // Lineage token for shared-plan eligibility: equal tokens certify
+  // that two engines were registered over identical contents at the
+  // same warehouse sequence, so equal structural signatures imply
+  // byte-identical auxiliary state forever after. 0 means unknown
+  // (e.g. restored from a pre-lineage checkpoint) and disables
+  // sharing for this engine. Assigned by Warehouse, persisted in
+  // checkpoints.
+  uint64_t shared_lineage() const { return shared_lineage_; }
+  void set_shared_lineage(uint64_t token) { shared_lineage_ = token; }
+
+  // Canonical signatures of this engine's root-delta work (computed
+  // once at creation; see core/plan_signature.h).
+  const std::string& root_fragment_signature() const {
+    return root_fragment_sig_;
+  }
+  const std::string& root_join_signature() const { return root_join_sig_; }
 
   // The summary with hidden state columns, for checkpointing (see
   // SummaryStore::RenderAugmented).
@@ -297,17 +326,22 @@ class SelfMaintenanceEngine {
 
   std::map<std::string, const Table*> AuxTableMap() const;
 
-  Status ApplyRootDelta(const Delta& delta);
+  Status ApplyRootDelta(const Delta& delta, SharedJoinCache* shared);
   Status ApplyDimDelta(const std::string& table, const Delta& delta);
   Status ApplyEliminatedDimUpdates(const std::string& table,
                                    const std::vector<Update>& updates);
 
   // Joins `fragment` (standing in for `table`) with the other auxiliary
   // views and merges the resulting CSMAS contributions with `sign`.
+  // With a non-empty `shared_tag` (root path only), the contribution
+  // table is memoized in `shared` under the tag + lineage + join
+  // signature so structurally identical siblings reuse it.
   Status ApplyFragmentToSummary(const std::string& table,
                                 const Table& fragment, int sign,
                                 GroupKeySet* affected,
-                                const DimensionIndex* dims);
+                                const DimensionIndex* dims,
+                                SharedJoinCache* shared = nullptr,
+                                const std::string& shared_tag = {});
 
   // Recomputes non-CSMAS outputs of the still-alive affected groups.
   // `dims` must not cover any auxiliary view changed since it was built.
@@ -330,6 +364,13 @@ class SelfMaintenanceEngine {
   std::set<std::string> append_only_;
   std::map<std::string, AuxStore> aux_;
   SummaryStore summary_;
+  // Shared-plan identity: lineage token (0 = sharing disabled) and the
+  // precomputed canonical signatures of the root fragment pipeline and
+  // root delta join (fixed per engine — `required` depends only on the
+  // derivation and options).
+  uint64_t shared_lineage_ = 0;
+  std::string root_fragment_sig_;
+  std::string root_join_sig_;
   // Non-null iff options_.num_threads > 1 (shared_ptr so the engine
   // stays movable with ThreadPool forward-declared).
   std::shared_ptr<ThreadPool> pool_;

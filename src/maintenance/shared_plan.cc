@@ -1,0 +1,55 @@
+#include "maintenance/shared_plan.h"
+
+#include <utility>
+
+namespace mindetail {
+
+Result<std::shared_ptr<const Table>> SharedJoinCache::GetOrCompute(
+    Kind kind, const std::string& key,
+    const std::function<Result<Table>()>& compute, bool* reused) {
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Slot>& entry = slots_[key];
+    if (!entry) entry = std::make_unique<Slot>();
+    slot = entry.get();
+  }
+
+  std::unique_lock<std::mutex> slot_lock(slot->mu);
+  if (slot->done) {
+    if (reused) *reused = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (kind == Kind::kJoin) {
+      ++stats_.joins_reused;
+    } else {
+      ++stats_.fragments_reused;
+    }
+    return slot->value;
+  }
+
+  if (reused) *reused = false;
+  Result<Table> computed = compute();
+  if (!computed.ok()) {
+    // Leave the slot not-done: each sibling recomputes and fails the
+    // same way the per-engine baseline would.
+    return computed.status();
+  }
+  slot->value = std::make_shared<const Table>(std::move(*computed));
+  slot->done = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (kind == Kind::kJoin) {
+      ++stats_.joins_computed;
+    } else {
+      ++stats_.fragments_computed;
+    }
+  }
+  return slot->value;
+}
+
+SharedJoinStats SharedJoinCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mindetail

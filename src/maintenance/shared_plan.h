@@ -1,0 +1,96 @@
+// Per-batch shared delta-join cache (the "shared maintenance plan").
+//
+// When one committed batch fans out across several engines, any two
+// engines whose delta-join subexpressions have the same canonical
+// signature (core/plan_signature.h) AND the same lineage token (equal
+// aux contents by construction — see Warehouse::AddView) would compute
+// byte-identical fragments and contribution tables. The warehouse
+// hands each fan-out one SharedJoinCache; the first engine to reach a
+// given key computes the result on its own state (using its own
+// per-batch DimensionIndex) and publishes an immutable copy, and every
+// sibling reuses it instead of re-joining.
+//
+// Correctness notes:
+//   - The cache lives for exactly one ApplyToEngines attempt. Retries
+//     and rollbacks get a fresh cache, so a rolled-back engine can
+//     never leak state into a later attempt.
+//   - Only *successful* results are memoized. A failed computation
+//     leaves the slot unfilled, so every engine reproduces the
+//     baseline error path deterministically.
+//   - Values are self-contained owned Tables (never pointers into an
+//     engine's live aux state), so a reusing engine cannot observe the
+//     computing engine's later mutations.
+//   - One per-slot mutex serializes computation of each key; distinct
+//     keys compute concurrently. The engine never nests GetOrCompute
+//     calls (the fragment slot is filled and released before the join
+//     slot is taken), so lock ordering is trivial and deadlock-free.
+
+#ifndef MINDETAIL_MAINTENANCE_SHARED_PLAN_H_
+#define MINDETAIL_MAINTENANCE_SHARED_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// Counters for one batch (or accumulated across batches by the
+// warehouse). "fragments" are the compressed/plain delta fragments of
+// the changed table; "joins" are the contribution computations
+// (fragment ⋈ dimension aux views).
+struct SharedJoinStats {
+  uint64_t joins_computed = 0;
+  uint64_t joins_reused = 0;
+  uint64_t fragments_computed = 0;
+  uint64_t fragments_reused = 0;
+
+  SharedJoinStats& operator+=(const SharedJoinStats& other) {
+    joins_computed += other.joins_computed;
+    joins_reused += other.joins_reused;
+    fragments_computed += other.fragments_computed;
+    fragments_reused += other.fragments_reused;
+    return *this;
+  }
+};
+
+class SharedJoinCache {
+ public:
+  enum class Kind { kFragment, kJoin };
+
+  SharedJoinCache() = default;
+  SharedJoinCache(const SharedJoinCache&) = delete;
+  SharedJoinCache& operator=(const SharedJoinCache&) = delete;
+
+  // Returns the memoized table for `key`, computing it via `compute`
+  // if this is the first engine to arrive. Sets *reused (if non-null)
+  // to true on a cache hit. On compute failure the error is returned
+  // and nothing is memoized — the next engine with the same key runs
+  // `compute` again and fails the same way.
+  Result<std::shared_ptr<const Table>> GetOrCompute(
+      Kind kind, const std::string& key,
+      const std::function<Result<Table>()>& compute, bool* reused = nullptr);
+
+  SharedJoinStats stats() const;
+
+ private:
+  struct Slot {
+    std::mutex mu;           // Serializes computation of this key.
+    bool done = false;       // Guarded by mu.
+    std::shared_ptr<const Table> value;  // Immutable once done.
+  };
+
+  mutable std::mutex mu_;  // Guards slots_ map shape and stats_.
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+  SharedJoinStats stats_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_SHARED_PLAN_H_

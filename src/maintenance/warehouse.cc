@@ -4,13 +4,16 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <utility>
 
 #include "common/bytes.h"
 #include "common/failpoint.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "core/plan_signature.h"
 #include "io/log_format.h"
 #include "io/warehouse_io.h"
 
@@ -96,6 +99,39 @@ bool ValuesClose(const Value& a, const Value& b) {
     return std::fabs(x - y) <= 1e-9 * scale;
   }
   return a.Compare(b) == 0;
+}
+
+// Deterministic content hashing for the shared-plan lineage token.
+// Doubles hash by bit pattern (never via text rendering), so two
+// engines hash equal exactly when their state is byte-identical.
+uint64_t HashValueInto(uint64_t hash, const Value& value) {
+  hash = HashCombine(hash, static_cast<uint64_t>(value.type()));
+  switch (value.type()) {
+    case ValueType::kNull:
+      return hash;
+    case ValueType::kInt64:
+      return HashCombine(hash, static_cast<uint64_t>(value.AsInt64()));
+    case ValueType::kDouble: {
+      const double d = value.AsDouble();
+      uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(hash, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(hash, Fnv1a(value.AsString()));
+  }
+  return hash;
+}
+
+uint64_t HashTableInto(uint64_t hash, const Table& table) {
+  hash = HashCombine(hash, Fnv1a(table.schema().ToString()));
+  hash = HashCombine(hash, table.NumRows());
+  for (const Tuple& row : table.rows()) {
+    for (const Value& value : row) {
+      hash = HashValueInto(hash, value);
+    }
+  }
+  return hash;
 }
 
 bool TablesClose(const Table& a, const Table& b) {
@@ -200,6 +236,9 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
           SelfMaintenanceEngine::Restore(
               wh.schema_catalog_, vc.def, FromOptionsData(vc.options),
               std::move(vc.aux), vc.summary));
+      // Checkpoints written before sharing landed carry lineage 0,
+      // which simply keeps those engines out of the shared-join cache.
+      engine.set_shared_lineage(vc.lineage);
       wh.engines_.emplace(vc.name, std::make_unique<SelfMaintenanceEngine>(
                                        std::move(engine)));
       wh.registration_order_.push_back(vc.name);
@@ -313,6 +352,27 @@ Status Warehouse::MergeSchemas(const Catalog& source,
   return Status::Ok();
 }
 
+uint64_t Warehouse::ComputeLineage(const SelfMaintenanceEngine& engine,
+                                   uint64_t sequence) {
+  uint64_t hash = Fnv1a("mindetail.lineage");
+  for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+    if (aux.eliminated) continue;
+    hash = HashCombine(hash, Fnv1a(aux.base_table));
+    hash = HashTableInto(hash, engine.AuxContents(aux.base_table));
+  }
+  Result<Table> augmented = engine.RenderAugmentedSummary();
+  if (!augmented.ok()) return 0;  // Unknown — sharing stays off.
+  hash = HashTableInto(hash, *augmented);
+  // Fence history: equal content hashes at *different* registration
+  // sequences do not certify equal futures (the source may have moved
+  // between the two registrations), so the sequence is part of the
+  // token. Engines registered at the same sequence with equal contents
+  // receive the identical batch stream from here on.
+  hash = HashCombine(hash, sequence);
+  if (hash == 0) hash = 0x6D696E64;  // 0 is reserved for "unknown".
+  return hash;
+}
+
 Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
                           std::optional<EngineOptions> options) {
   if (options_.read_only) {
@@ -328,6 +388,10 @@ Status Warehouse::AddView(const Catalog& source, const GpsjViewDef& def,
       SelfMaintenanceEngine::Create(
           source, def, options.has_value() ? *options : options_.engine));
   MD_RETURN_IF_ERROR(MergeSchemas(source, def));
+  // Stamp the sharing lineage token now: sibling views registered at
+  // this same sequence with byte-identical auxiliary state get equal
+  // tokens and may share delta joins (see maintenance/shared_plan.h).
+  engine.set_shared_lineage(ComputeLineage(engine, sequence_));
   engines_.emplace(def.name(), std::make_unique<SelfMaintenanceEngine>(
                                    std::move(engine)));
   registration_order_.push_back(def.name());
@@ -526,11 +590,22 @@ Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
     tasks.push_back(std::move(task));
   }
 
-  auto run = [transaction](EngineTask& task) {
+  // One shared-join cache per apply *attempt*: sibling engines whose
+  // delta joins canonicalize to the same signature (and whose lineage
+  // tokens match) compute each distinct join once and reuse the result.
+  // The cache memoizes successes only, so a failing attempt reproduces
+  // the per-engine baseline error exactly; its stats are folded into
+  // shared_stats_ only when the attempt commits.
+  const bool share = options_.share_delta_joins && tasks.size() >= 2;
+  std::optional<SharedJoinCache> cache;
+  if (share) cache.emplace();
+  SharedJoinCache* shared = share ? &*cache : nullptr;
+
+  auto run = [transaction, shared](EngineTask& task) {
     return transaction
-               ? task.engine->ApplyTransaction(task.relevant)
+               ? task.engine->ApplyTransaction(task.relevant, shared)
                : task.engine->Apply(task.relevant.begin()->first,
-                                    task.relevant.begin()->second);
+                                    task.relevant.begin()->second, shared);
   };
 
   if (view_pool_ == nullptr || tasks.size() < 2) {
@@ -555,6 +630,7 @@ Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
       }
       return failure;
     }
+    if (shared != nullptr) shared_stats_ += shared->stats();
     return Status::Ok();
   }
 
@@ -599,6 +675,7 @@ Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
     }
     return failure;
   }
+  if (shared != nullptr) shared_stats_ += shared->stats();
   return Status::Ok();
 }
 
@@ -732,6 +809,7 @@ Status Warehouse::Checkpoint() {
     vc.name = name;
     vc.def = engine.derivation().view();
     vc.options = ToOptionsData(engine.options());
+    vc.lineage = engine.shared_lineage();
     for (const AuxViewDef& aux : engine.derivation().aux_views()) {
       if (aux.eliminated) continue;
       vc.aux.emplace(aux.base_table, engine.AuxContents(aux.base_table));
@@ -914,6 +992,7 @@ Status Warehouse::RepairView(const std::string& view_name) {
       SelfMaintenanceEngine::Restore(schema_catalog_, vc->def,
                                      FromOptionsData(vc->options),
                                      std::move(vc->aux), vc->summary));
+  rebuilt.set_shared_lineage(vc->lineage);
   // Roll the rebuilt engine forward through the WAL tail, mirroring
   // recovery: apply each record's slice for this view, preserving the
   // original accept/reject outcome per record.
@@ -1045,7 +1124,7 @@ Result<Table> Warehouse::Query(std::string_view sql) const {
   return result;
 }
 
-Result<std::string> Warehouse::ExplainQuery(std::string_view sql) const {
+Result<QueryExplanation> Warehouse::ExplainQuery(std::string_view sql) const {
   if (snapshots_ == nullptr) {
     return FailedPreconditionError(
         "serving is disabled (WarehouseOptions::serve_snapshots)");
@@ -1058,23 +1137,20 @@ Result<std::string> Warehouse::ExplainQuery(std::string_view sql) const {
                                : empty_catalog;
   MD_ASSIGN_OR_RETURN(GpsjViewDef query, ParseServeQuery(catalog, sql));
   QueryPlanner planner(snapshot.get());
-  std::string out = planner.Explain(query);
+  QueryExplanation explanation = planner.Explain(query);
   if (result_cache_ != nullptr) {
-    const bool hit = result_cache_->Contains(query.ToSqlString(), *snapshot);
-    out = StrCat(out, "result cache: ", hit ? "hit" : "miss", " (",
-                 result_cache_->size(), "/", result_cache_->capacity(),
-                 " entries)\n");
+    explanation.has_cache = true;
+    explanation.cache_hit =
+        result_cache_->Contains(query.ToSqlString(), *snapshot);
+    explanation.cache_entries = result_cache_->size();
+    explanation.cache_capacity = result_cache_->capacity();
   }
   if (lattice_ != nullptr) {
-    const LatticeStats stats = lattice_->stats();
-    out = StrCat(out, "lattice: ", stats.nodes, " node(s), ",
-                 FormatBytes(stats.bytes), " of ",
-                 options_.lattice_budget_bytes == SIZE_MAX
-                     ? std::string("unbounded")
-                     : FormatBytes(options_.lattice_budget_bytes),
-                 " budget, ", stats.hits, " hit(s)\n");
+    explanation.has_lattice = true;
+    explanation.lattice = lattice_->stats();
+    explanation.lattice_budget_bytes = options_.lattice_budget_bytes;
   }
-  return out;
+  return explanation;
 }
 
 void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
@@ -1131,8 +1207,10 @@ void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
     // under the budget, and attach the node snapshots. Runs strictly
     // after the commit succeeded — a rolled-back batch never gets here,
     // so lattice state and engine state cannot diverge.
-    std::set<std::string> stale = lattice_->Maintain(*prev, next.get(),
-                                                     touched);
+    const std::optional<std::map<std::string, std::string>> diff_keys =
+        LatticeDiffKeys();
+    std::set<std::string> stale = lattice_->Maintain(
+        *prev, next.get(), touched, diff_keys ? &*diff_keys : nullptr);
     invalidate.insert(stale.begin(), stale.end());
   }
   if (result_cache_ != nullptr) result_cache_->InvalidateViews(invalidate);
@@ -1229,24 +1307,121 @@ uint64_t Warehouse::TotalDetailActualSizeBytes() const {
   return total;
 }
 
-std::string Warehouse::Report() const {
-  std::string out = StrCat("Warehouse: ", engines_.size(),
-                           " summary view(s)\n");
+std::optional<std::map<std::string, std::string>> Warehouse::LatticeDiffKeys()
+    const {
+  if (!options_.share_delta_joins || engines_.size() < 2) return std::nullopt;
+  std::map<std::string, std::string> keys;
+  for (const auto& [name, engine] : engines_) {
+    const uint64_t lineage = engine->shared_lineage();
+    // Lineage 0 means "history unknown" (pre-sharing checkpoint): the
+    // view keeps its name as its diff class — no cross-view sharing.
+    if (lineage == 0) continue;
+    keys.emplace(name,
+                 StrCat(ViewStructuralSignature(engine->derivation().view()),
+                        "#", lineage));
+  }
+  if (keys.empty()) return std::nullopt;
+  return keys;
+}
+
+WarehouseReport Warehouse::Report() const {
+  // Reads every subsystem directly — the per-subsystem getters forward
+  // *here*, so going through them would recurse.
+  WarehouseReport report;
+  for (const auto& [name, engine] : engines_) {
+    const EngineStats& stats = engine->stats();
+    report.maintenance.batches_applied += stats.batches_applied;
+    report.maintenance.rows_processed += stats.rows_processed;
+    report.maintenance.delta_joins_planned += stats.delta_joins_planned;
+    report.maintenance.delta_joins_executed += stats.delta_joins_executed;
+    report.maintenance.delta_joins_reused += stats.delta_joins_reused;
+    report.maintenance.group_recomputes += stats.group_recomputes;
+    report.maintenance.shielded_skips += stats.shielded_skips;
+  }
+  report.maintenance.shared = shared_stats_;
+  report.ingest = ingest_stats_;
+  if (result_cache_ != nullptr) report.cache = result_cache_->stats();
+  if (lattice_ != nullptr) report.lattice = lattice_->stats();
+  report.recovery = recovery_;
+  report.durable = durable();
+  report.directory = dir_;
+  report.read_only = options_.read_only;
+  report.leader_epoch = leader_epoch_;
+  report.last_sequence = sequence_;
   for (const std::string& name : registration_order_) {
     const SelfMaintenanceEngine& engine = *engines_.at(name);
-    out += StrCat("\n== ", name, " ==\n");
+    ViewReport view;
+    view.name = name;
     for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      ViewReport::AuxLine line;
+      line.name = aux.name;
+      line.eliminated = aux.eliminated;
+      if (!aux.eliminated) {
+        const Table& contents = engine.AuxContents(aux.base_table);
+        line.rows = contents.NumRows();
+        line.paper_bytes = contents.PaperSizeBytes();
+      }
+      view.aux.push_back(std::move(line));
+    }
+    report.views.push_back(std::move(view));
+  }
+  report.total_detail_paper_bytes = TotalDetailPaperSizeBytes();
+  return report;
+}
+
+std::string WarehouseReport::ToString() const {
+  // The per-view inventory and total keep the exact legacy Report()
+  // text; the subsystem sections below are additive.
+  std::string out =
+      StrCat("Warehouse: ", views.size(), " summary view(s)\n");
+  for (const ViewReport& view : views) {
+    out += StrCat("\n== ", view.name, " ==\n");
+    for (const ViewReport::AuxLine& aux : view.aux) {
       if (aux.eliminated) {
         out += StrCat("  ", aux.name, ": eliminated\n");
       } else {
-        const Table& contents = engine.AuxContents(aux.base_table);
-        out += StrCat("  ", aux.name, ": ", contents.NumRows(), " rows, ",
-                      FormatBytes(contents.PaperSizeBytes()), "\n");
+        out += StrCat("  ", aux.name, ": ", aux.rows, " rows, ",
+                      FormatBytes(aux.paper_bytes), "\n");
       }
     }
   }
   out += StrCat("\nTotal current detail: ",
-                FormatBytes(TotalDetailPaperSizeBytes()), "\n");
+                FormatBytes(total_detail_paper_bytes), "\n");
+  out += StrCat("\nMaintenance: ", maintenance.batches_applied,
+                " batch(es), ", maintenance.rows_processed,
+                " row(s) processed\n");
+  out += StrCat("  delta joins: ", maintenance.delta_joins_planned,
+                " planned, ", maintenance.delta_joins_executed,
+                " executed, ", maintenance.delta_joins_reused, " reused\n");
+  out += StrCat("  shared plans: ", maintenance.shared.joins_computed,
+                " join(s) computed, ", maintenance.shared.joins_reused,
+                " reused; ", maintenance.shared.fragments_computed,
+                " fragment(s) computed, ",
+                maintenance.shared.fragments_reused, " reused\n");
+  out += StrCat("  group recomputes ", maintenance.group_recomputes,
+                ", shielded skips ", maintenance.shielded_skips, "\n");
+  out += StrCat("Ingest: ", ingest.accepted, " accepted, ",
+                ingest.duplicates, " duplicates, ", ingest.rejected,
+                " rejected, ", ingest.failed, " failed, ", ingest.retries,
+                " retries, ", ingest.quarantined, " quarantined\n");
+  out += StrCat("Result cache: ", cache.hits, " hit(s), ", cache.misses,
+                " miss(es), ", cache.insertions, " insertion(s), ",
+                cache.invalidations, " invalidation(s), ", cache.evictions,
+                " eviction(s)\n");
+  out += StrCat("Lattice: ", lattice.nodes, " node(s), ",
+                FormatBytes(lattice.bytes), "; ", lattice.folds,
+                " fold(s), ", lattice.rebuilds, " rebuild(s), ",
+                lattice.hits, " hit(s), ", lattice.diffs_computed,
+                " diff(s) computed, ", lattice.diffs_shared, " shared\n");
+  if (durable) {
+    out += StrCat("Durability: ", directory, ", ",
+                  read_only ? "follower" : "leader", " epoch ",
+                  leader_epoch, ", last sequence ", last_sequence, "\n");
+    out += StrCat("Recovery: checkpoint seq ",
+                  recovery.checkpoint_sequence, ", ",
+                  recovery.replayed_batches, " replayed, ",
+                  recovery.rejected_batches, " rejected\n");
+  }
   return out;
 }
 

@@ -149,6 +149,14 @@ struct WarehouseOptions {
   size_t lattice_budget_bytes = 0;
   // Observed uses of one coarser grouping before it is promoted.
   uint64_t lattice_promote_hits = 3;
+  // Shared maintenance plans: before fanning a batch across engines,
+  // memoize each distinct root-delta fragment and delta join (keyed by
+  // canonical structural signature + lineage token) in a per-batch
+  // SharedJoinCache, so N identically-defined sibling views pay each
+  // join once instead of N times. Bit-identical to the per-engine
+  // baseline at every thread count. Only kicks in when at least two
+  // engines share a batch.
+  bool share_delta_joins = true;
   // Follower mode (replication): external mutations — ApplyTransaction,
   // Apply, AddView, RemoveView, quarantine retry — are refused with
   // FailedPrecondition; the warehouse changes only through
@@ -205,6 +213,10 @@ struct WarehouseOptions {
     lattice_promote_hits = hits;
     return *this;
   }
+  WarehouseOptions& WithSharedJoins(bool share) {
+    share_delta_joins = share;
+    return *this;
+  }
   WarehouseOptions& WithReadOnly(bool read_only_mode) {
     read_only = read_only_mode;
     return *this;
@@ -254,6 +266,59 @@ struct IntegrityReport {
   uint64_t views_checked = 0;
   std::vector<IntegrityIssue> issues;
   bool clean() const { return issues.empty(); }
+};
+
+// Warehouse-level maintenance counters: the per-engine EngineStats
+// summed across registered views, plus the shared-plan totals
+// accumulated over every committed batch. delta_joins_planned ==
+// delta_joins_executed + delta_joins_reused always holds.
+struct MaintenanceStats {
+  uint64_t batches_applied = 0;
+  uint64_t rows_processed = 0;
+  uint64_t delta_joins_planned = 0;
+  uint64_t delta_joins_executed = 0;
+  uint64_t delta_joins_reused = 0;
+  uint64_t group_recomputes = 0;
+  uint64_t shielded_skips = 0;
+  SharedJoinStats shared;
+};
+
+// One view's line in the WarehouseReport inventory.
+struct ViewReport {
+  struct AuxLine {
+    std::string name;
+    bool eliminated = false;
+    uint64_t rows = 0;
+    uint64_t paper_bytes = 0;
+  };
+  std::string name;
+  std::vector<AuxLine> aux;
+};
+
+// Every introspection surface of the warehouse, composed: maintenance,
+// ingestion, serving (result cache + lattice), recovery, replication,
+// and the per-view auxiliary inventory. Returned by Warehouse::Report();
+// the per-subsystem getters forward to slices of this.
+struct WarehouseReport {
+  MaintenanceStats maintenance;
+  IngestStats ingest;
+  ResultCache::Stats cache;
+  LatticeStats lattice;
+  RecoveryStats recovery;
+  // Replication / durability.
+  bool durable = false;
+  std::string directory;
+  bool read_only = false;
+  uint64_t leader_epoch = 0;
+  uint64_t last_sequence = 0;
+  // Inventory.
+  std::vector<ViewReport> views;
+  uint64_t total_detail_paper_bytes = 0;
+
+  // Human-readable rendering: the classic per-view auxiliary inventory
+  // followed by one section per subsystem (used by the CLI's `report`
+  // and `stats` commands).
+  std::string ToString() const;
 };
 
 class Warehouse {
@@ -384,11 +449,19 @@ class Warehouse {
   uint64_t last_sequence() const { return sequence_; }
 
   // What Open() found (zeroes for an in-memory warehouse).
-  const RecoveryStats& recovery_stats() const { return recovery_; }
+  // Prefer Report().recovery; this getter forwards to it.
+  RecoveryStats recovery_stats() const { return Report().recovery; }
 
   // Ingestion pipeline counters (accepted/duplicates/rejected/failed/
-  // retries/quarantined) since construction.
-  const IngestStats& ingest_stats() const { return ingest_stats_; }
+  // retries/quarantined) since construction. Prefer Report().ingest;
+  // this getter forwards to it.
+  IngestStats ingest_stats() const { return Report().ingest; }
+
+  // Warehouse-level maintenance counters (engine stats summed across
+  // views + shared-plan totals). Prefer Report().maintenance.
+  MaintenanceStats maintenance_stats() const {
+    return Report().maintenance;
+  }
 
   // Quarantine access (durable warehouses only — an in-memory
   // warehouse has nowhere to keep a dead-letter log and returns
@@ -441,9 +514,9 @@ class Warehouse {
   Result<Table> Query(std::string_view sql) const;
 
   // The planning report for `sql`: chosen view and strategy (or why
-  // the query is unanswerable), rejected candidates, and whether the
-  // result cache currently holds the answer.
-  Result<std::string> ExplainQuery(std::string_view sql) const;
+  // the query is unanswerable), rejected candidates, and the result
+  // cache / lattice footers — structured; render with ToString().
+  Result<QueryExplanation> ExplainQuery(std::string_view sql) const;
 
   // The currently published snapshot (never null while serving is
   // enabled; null when disabled). Holding the pointer pins the
@@ -454,10 +527,8 @@ class Warehouse {
   }
 
   // Result-cache counters (zeroes when serving or caching is off).
-  ResultCache::Stats QueryCacheStats() const {
-    return result_cache_ != nullptr ? result_cache_->stats()
-                                    : ResultCache::Stats{};
-  }
+  // Prefer Report().cache; this getter forwards to it.
+  ResultCache::Stats QueryCacheStats() const { return Report().cache; }
 
   // --- Adaptive roll-up lattice (serve/lattice.h) ---------------------
   // All entry points need the lattice enabled
@@ -475,6 +546,7 @@ class Warehouse {
   Status LatticeDemote(const std::string& node_key);
 
   std::vector<LatticeNodeInfo> LatticeNodes() const;
+  // Prefer Report().lattice; this getter forwards to it.
   LatticeStats lattice_stats() const;
   // Human-readable lattice inventory (nodes, candidates, budget).
   std::string LatticeReport() const;
@@ -490,9 +562,11 @@ class Warehouse {
   uint64_t TotalDetailPaperSizeBytes() const;
   uint64_t TotalDetailActualSizeBytes() const;
 
-  // Human-readable inventory: per view, its auxiliary views (or their
-  // elimination) and sizes.
-  std::string Report() const;
+  // Every introspection surface, composed: maintenance counters
+  // (including shared-plan reuse), ingestion, result cache, lattice,
+  // recovery, replication state, and the per-view auxiliary inventory.
+  // Render with WarehouseReport::ToString().
+  WarehouseReport Report() const;
 
  private:
   // The full ingestion pipeline: resolve the idempotency key, detect
@@ -515,8 +589,26 @@ class Warehouse {
   // registration order cancels engines that have not started and rolls
   // back the ones that have. Both modes restore every touched engine on
   // failure and return the same error the serial warehouse would.
+  //
+  // With share_delta_joins on and ≥ 2 affected engines, a fresh
+  // per-attempt SharedJoinCache is handed to every engine so sibling
+  // views reuse each other's root-delta fragments and delta joins; its
+  // counters fold into shared_stats_ only when the attempt commits
+  // (a rolled-back attempt leaves no trace, matching engine rollback).
   Status ApplyToEngines(const std::map<std::string, Delta>& changes,
                         bool transaction);
+
+  // The lineage token AddView stamps on a freshly created engine: a
+  // content hash of its materialized auxiliary views and augmented
+  // summary combined with the registration sequence (never 0; 0 is
+  // reserved for "unknown", which disables sharing).
+  static uint64_t ComputeLineage(const SelfMaintenanceEngine& engine,
+                                 uint64_t sequence);
+
+  // The per-view lattice diff-sharing classes for PublishSnapshot:
+  // structural view signature + lineage for every engine eligible to
+  // share (nullopt when sharing is off or fewer than two views exist).
+  std::optional<std::map<std::string, std::string>> LatticeDiffKeys() const;
 
   // Folds the schemas, keys, and integrity metadata of the tables `def`
   // references into schema_catalog_ (rowless — recovery re-derives the
@@ -592,6 +684,9 @@ class Warehouse {
   std::deque<std::string> recent_keys_;
   std::unordered_set<std::string> recent_key_set_;
   IngestStats ingest_stats_;
+  // Shared-plan totals across every committed batch (per-batch caches
+  // fold in here on success; see ApplyToEngines).
+  SharedJoinStats shared_stats_;
   std::unique_ptr<QuarantineLog> quarantine_;
   std::set<std::string> degraded_;
   Rng retry_rng_{0};  // Re-seeded from options in the constructor.

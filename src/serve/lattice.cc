@@ -345,7 +345,8 @@ size_t RollupLattice::TotalBytesLocked() const {
 
 std::set<std::string> RollupLattice::Maintain(
     const WarehouseSnapshot& prev, WarehouseSnapshot* next,
-    const std::set<std::string>& touched) {
+    const std::set<std::string>& touched,
+    const std::map<std::string, std::string>* diff_keys) {
   std::lock_guard<std::mutex> lock(mu_);
   std::set<std::string> invalidate = std::move(pending_invalidations_);
   pending_invalidations_.clear();
@@ -379,13 +380,28 @@ std::set<std::string> RollupLattice::Maintain(
         prev_parent->augmented != nullptr && parent->augmented != nullptr &&
         prev_parent->augmented->schema().size() ==
             parent->augmented->schema().size()) {
-      auto diff = diffs.find(node.view);
+      // The diff map key is the view's equivalence class (its own name
+      // unless the caller vouched for cross-view sharing) plus both
+      // endpoint versions: identical classes at identical versions
+      // hold byte-identical augmented pairs, so one diff serves all.
+      std::string diff_class = node.view;
+      if (diff_keys != nullptr) {
+        auto dk = diff_keys->find(node.view);
+        if (dk != diff_keys->end()) diff_class = dk->second;
+      }
+      const std::string diff_key =
+          StrCat(diff_class, "@", prev_parent->version, ">",
+                 parent->version);
+      auto diff = diffs.find(diff_key);
       if (diff == diffs.end()) {
         diff = diffs
-                   .emplace(node.view,
+                   .emplace(diff_key,
                             DiffAugmented(*prev_parent->augmented,
                                           *parent->augmented))
                    .first;
+        ++stats_.diffs_computed;
+      } else {
+        ++stats_.diffs_shared;
       }
       refreshed = FoldLatticeNode(*node.snap, *parent, diff->second);
       if (refreshed.ok()) ++stats_.folds;

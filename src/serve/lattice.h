@@ -87,6 +87,8 @@ struct LatticeStats {
   uint64_t folds = 0;      // Incremental delta fold-ups.
   uint64_t rebuilds = 0;   // Full rebuilds from the parent summary.
   uint64_t hits = 0;       // Queries answered from a node.
+  uint64_t diffs_computed = 0;  // Sorted summary diffs computed in folds.
+  uint64_t diffs_shared = 0;    // Fold-ups served by an existing diff.
   size_t nodes = 0;        // Currently promoted.
   size_t bytes = 0;        // Their total footprint.
 };
@@ -131,9 +133,20 @@ class RollupLattice {
   // node snapshots to next->lattice. Returns every node key whose
   // cached query results must be invalidated (refreshed, demoted, or
   // dropped nodes, plus any invalidations queued by Demote).
-  std::set<std::string> Maintain(const WarehouseSnapshot& prev,
-                                 WarehouseSnapshot* next,
-                                 const std::set<std::string>& touched);
+  //
+  // `diff_keys` (optional, view name → equivalence-class key) widens
+  // diff sharing across *sibling* views: nodes over views with the
+  // same class key fold from one sorted summary diff instead of each
+  // view diffing its own (byte-identical) augmented pair. The caller
+  // owns the equivalence proof — the warehouse composes structural
+  // signature + lineage (see maintenance/shared_plan.h); versions are
+  // mixed in here, so a view whose render fell behind its siblings can
+  // never pick up their diff. Views absent from the map fall back to
+  // their name (no cross-view sharing).
+  std::set<std::string> Maintain(
+      const WarehouseSnapshot& prev, WarehouseSnapshot* next,
+      const std::set<std::string>& touched,
+      const std::map<std::string, std::string>* diff_keys = nullptr);
 
   // Manual promotion/demotion (CLI). Both only mutate lattice state;
   // the caller must publish a snapshot afterwards so readers see it.

@@ -6,6 +6,7 @@
 #include <set>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/strings.h"
 #include "core/reconstruct.h"
 #include "gpsj/aggregate.h"
@@ -584,30 +585,66 @@ Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
   return ExecuteAuxJoin(*served, query, plan.aux);
 }
 
-std::string QueryPlanner::Explain(const GpsjViewDef& query) const {
-  std::string out = StrCat("query: ", query.ToSqlString(), "\n");
-  Result<QueryPlan> plan = Plan(query);
-  if (plan.ok()) {
-    out = StrCat(out, "answer: view '", plan->view, "' via ",
-                 plan->StrategyName());
-    if (plan->strategy == QueryPlan::Strategy::kLatticeRollup) {
-      const LatticeNodeSnapshot* node =
-          snapshot_->FindLatticeNode(plan->lattice_node);
-      out = StrCat(out, " (node '", plan->lattice_node, "', ",
-                   node != nullptr ? node->table->NumRows() : 0,
+const char* QueryExplanation::StrategyName() const {
+  QueryPlan plan;
+  plan.strategy = strategy;
+  return plan.StrategyName();
+}
+
+std::string QueryExplanation::ToString() const {
+  std::string out = StrCat("query: ", query_sql, "\n");
+  if (answerable) {
+    out = StrCat(out, "answer: view '", view, "' via ", StrategyName());
+    if (strategy == QueryPlan::Strategy::kLatticeRollup) {
+      out = StrCat(out, " (node '", lattice_node, "', ", lattice_node_rows,
                    " rows)");
     }
     out += "\n";
-    for (const RejectedCandidate& r : plan->rejected) {
+    for (const RejectedCandidate& r : rejected) {
       out = StrCat(out, "rejected: ", r.view, " — ", r.reason, "\n");
     }
-    for (const RejectedCandidate& r : plan->lattice_rejected) {
+    for (const RejectedCandidate& r : lattice_rejected) {
       out = StrCat(out, "lattice miss: ", r.view, " — ", r.reason, "\n");
     }
   } else {
-    out = StrCat(out, "unanswerable: ", plan.status().message(), "\n");
+    out = StrCat(out, "unanswerable: ", unanswerable_reason, "\n");
+  }
+  if (has_cache) {
+    out = StrCat(out, "result cache: ", cache_hit ? "hit" : "miss", " (",
+                 cache_entries, "/", cache_capacity, " entries)\n");
+  }
+  if (has_lattice) {
+    out = StrCat(out, "lattice: ", lattice.nodes, " node(s), ",
+                 FormatBytes(lattice.bytes), " of ",
+                 lattice_budget_bytes == SIZE_MAX
+                     ? std::string("unbounded")
+                     : FormatBytes(lattice_budget_bytes),
+                 " budget, ", lattice.hits, " hit(s)\n");
   }
   return out;
+}
+
+QueryExplanation QueryPlanner::Explain(const GpsjViewDef& query) const {
+  QueryExplanation explanation;
+  explanation.query_sql = query.ToSqlString();
+  Result<QueryPlan> plan = Plan(query);
+  if (plan.ok()) {
+    explanation.answerable = true;
+    explanation.view = plan->view;
+    explanation.strategy = plan->strategy;
+    if (plan->strategy == QueryPlan::Strategy::kLatticeRollup) {
+      explanation.lattice_node = plan->lattice_node;
+      const LatticeNodeSnapshot* node =
+          snapshot_->FindLatticeNode(plan->lattice_node);
+      explanation.lattice_node_rows =
+          node != nullptr ? node->table->NumRows() : 0;
+    }
+    explanation.rejected = std::move(plan->rejected);
+    explanation.lattice_rejected = std::move(plan->lattice_rejected);
+  } else {
+    explanation.unanswerable_reason = plan.status().message();
+  }
+  return explanation;
 }
 
 Result<GpsjViewDef> ParseServeQuery(const Catalog& catalog,

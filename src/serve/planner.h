@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "gpsj/parser.h"
+#include "serve/lattice.h"
 #include "serve/rollup.h"
 #include "serve/snapshot.h"
 
@@ -76,6 +77,45 @@ struct QueryPlan {
   }
 };
 
+// A structured planning report: everything ExplainQuery knows, as
+// data. The CLI (and anything else that wants text) renders it with
+// ToString(); programmatic callers read the fields directly instead of
+// parsing free text.
+struct QueryExplanation {
+  // The normalized query (GpsjViewDef::ToSqlString of the parse).
+  std::string query_sql;
+
+  // Planning outcome. When answerable, `view`/`strategy` (and for
+  // lattice answers `lattice_node`/`lattice_node_rows`) say who won;
+  // otherwise `unanswerable_reason` carries the kNotFound message with
+  // every candidate's rejection folded in.
+  bool answerable = false;
+  std::string view;
+  QueryPlan::Strategy strategy = QueryPlan::Strategy::kSummaryRollup;
+  std::string lattice_node;
+  uint64_t lattice_node_rows = 0;
+  std::vector<RejectedCandidate> rejected;
+  std::vector<RejectedCandidate> lattice_rejected;
+  std::string unanswerable_reason;
+
+  // Result-cache footer (filled by Warehouse::ExplainQuery when a
+  // cache exists): whether the cache currently holds this answer.
+  bool has_cache = false;
+  bool cache_hit = false;
+  size_t cache_entries = 0;
+  size_t cache_capacity = 0;
+
+  // Lattice footer (filled by Warehouse::ExplainQuery when the lattice
+  // is enabled). budget == SIZE_MAX renders as "unbounded".
+  bool has_lattice = false;
+  LatticeStats lattice;
+  size_t lattice_budget_bytes = 0;
+
+  const char* StrategyName() const;
+  // The classic ExplainQuery text, byte-for-byte.
+  std::string ToString() const;
+};
+
 // Plans and executes ad-hoc GPSJ queries against one snapshot. The
 // planner borrows the snapshot; keep the shared_ptr alive for the
 // planner's lifetime.
@@ -96,9 +136,10 @@ class QueryPlanner {
   Result<Table> Execute(const QueryPlan& plan,
                         const GpsjViewDef& query) const;
 
-  // A human-readable planning report: the chosen view and strategy (or
+  // The structured planning report: the chosen view and strategy (or
   // why the query is unanswerable), plus every rejected candidate.
-  std::string Explain(const GpsjViewDef& query) const;
+  // Cache/lattice footers are left unset — the warehouse owns those.
+  QueryExplanation Explain(const GpsjViewDef& query) const;
 
  private:
   const WarehouseSnapshot* snapshot_;

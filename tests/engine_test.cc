@@ -152,11 +152,13 @@ TEST(EngineTest, DimensionInsertionsAreShielded) {
   RetailDeltaGenerator gen(11);
   Result<Delta> delta = gen.ProductInsertions(harness.source(), 5);
   ASSERT_TRUE(delta.ok()) << delta.status();
-  const uint64_t joins_before = harness.engine().stats().delta_joins;
+  const uint64_t joins_before =
+      harness.engine().stats().delta_joins_planned;
   MD_ASSERT_OK(harness.Apply("product", *delta));
   EXPECT_TRUE(harness.ViewMatchesOracle());
   EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
-  EXPECT_EQ(harness.engine().stats().delta_joins, joins_before);
+  // Shielded joins are never even planned, let alone executed.
+  EXPECT_EQ(harness.engine().stats().delta_joins_planned, joins_before);
   EXPECT_GE(harness.engine().stats().shielded_skips, 1u);
 }
 
@@ -172,7 +174,11 @@ TEST(EngineTest, ProductBrandUpdatesFlowThroughDeltaJoin) {
     ASSERT_TRUE(harness.ViewMatchesOracle()) << "round " << round;
   }
   EXPECT_TRUE(harness.AuxMatchesFreshMaterialization());
-  EXPECT_GT(harness.engine().stats().delta_joins, 0u);
+  EXPECT_GT(harness.engine().stats().delta_joins_executed, 0u);
+  // Without a shared-plan cache every planned join runs locally.
+  EXPECT_EQ(harness.engine().stats().delta_joins_planned,
+            harness.engine().stats().delta_joins_executed);
+  EXPECT_EQ(harness.engine().stats().delta_joins_reused, 0u);
 }
 
 TEST(EngineTest, ExposedUpdateWithoutFlagRejected) {

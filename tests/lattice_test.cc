@@ -282,9 +282,9 @@ TEST(LatticeCacheInterplayTest, PromotionsAndDemotionsNeverServeStale) {
   EXPECT_TRUE(warehouse.LatticeNodes().empty());
   MD_ASSERT_OK_AND_ASSIGN(Table demoted, warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), demoted));
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           warehouse.ExplainQuery(sql));
-  EXPECT_EQ(explain.find("lattice roll-up"), std::string::npos);
+  EXPECT_NE(explain.strategy, QueryPlan::Strategy::kLatticeRollup);
 
   // Manual re-promotion: served from the node again, still fresh.
   MD_ASSERT_OK(warehouse.LatticePromote("snow", {"GroupA"}));
@@ -292,7 +292,7 @@ TEST(LatticeCacheInterplayTest, PromotionsAndDemotionsNeverServeStale) {
   MD_ASSERT_OK_AND_ASSIGN(Table repromoted, warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, sql), repromoted));
   MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kLatticeRollup);
 
   // Guard rails: duplicate promotion and unknown demotion fail loudly.
   EXPECT_FALSE(warehouse.LatticePromote("snow", {"GroupA"}).ok());
@@ -342,11 +342,17 @@ TEST(LatticeExplainTest, ReportsNodeHitsAndRejectionReasons) {
   const std::string q_sum = StrCat(
       "SELECT dim0.a, SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin,
       "GROUP BY dim0.a");
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           warehouse.ExplainQuery(q_sum));
-  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
-  EXPECT_NE(explain.find(node_key), std::string::npos);
-  EXPECT_NE(explain.find("lattice: 1 node(s)"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kLatticeRollup);
+  EXPECT_EQ(explain.lattice_node, node_key);
+  ASSERT_TRUE(explain.has_lattice);
+  EXPECT_EQ(explain.lattice.nodes, 1u);
+  // The rendered report keeps the classic wording and footers.
+  EXPECT_NE(explain.ToString().find("lattice roll-up"), std::string::npos);
+  EXPECT_NE(explain.ToString().find(node_key), std::string::npos);
+  EXPECT_NE(explain.ToString().find("lattice: 1 node(s)"),
+            std::string::npos);
   MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(q_sum));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_sum), got));
 
@@ -355,7 +361,7 @@ TEST(LatticeExplainTest, ReportsNodeHitsAndRejectionReasons) {
   const std::string q_scalar =
       StrCat("SELECT SUM(fact.m1) AS S, COUNT(*) AS C ", kSnowJoin);
   MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_scalar));
-  EXPECT_NE(explain.find("lattice roll-up"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kLatticeRollup);
   MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_scalar));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_scalar), got));
 
@@ -364,9 +370,11 @@ TEST(LatticeExplainTest, ReportsNodeHitsAndRejectionReasons) {
   const std::string q_max = StrCat(
       "SELECT dim0.a, MAX(fact.m1) AS M ", kSnowJoin, "GROUP BY dim0.a");
   MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_max));
-  EXPECT_NE(explain.find("lattice miss: "), std::string::npos);
-  EXPECT_NE(explain.find("MAX"), std::string::npos);
-  EXPECT_NE(explain.find("summary roll-up"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kSummaryRollup);
+  ASSERT_FALSE(explain.lattice_rejected.empty());
+  EXPECT_NE(explain.lattice_rejected[0].reason.find("MAX"),
+            std::string::npos);
+  EXPECT_NE(explain.ToString().find("lattice miss: "), std::string::npos);
   MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_max));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_max), got));
 
@@ -374,7 +382,8 @@ TEST(LatticeExplainTest, ReportsNodeHitsAndRejectionReasons) {
   const std::string q_other = StrCat(
       "SELECT dim1.a, SUM(fact.m1) AS S ", kSnowJoin, "GROUP BY dim1.a");
   MD_ASSERT_OK_AND_ASSIGN(explain, warehouse.ExplainQuery(q_other));
-  EXPECT_NE(explain.find("lattice miss: "), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kSummaryRollup);
+  EXPECT_FALSE(explain.lattice_rejected.empty());
   MD_ASSERT_OK_AND_ASSIGN(got, warehouse.Query(q_other));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(source, q_other), got));
 }

@@ -66,9 +66,13 @@ TEST(PlannerTest, RollupCoarserGroupingMatchesOracleExactly) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           s.warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+  EXPECT_TRUE(explain.answerable);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kSummaryRollup);
+  // The rendered report keeps the classic wording.
+  EXPECT_NE(explain.ToString().find("via summary roll-up"),
+            std::string::npos);
 }
 
 TEST(PlannerTest, RollupScalarQueryMatchesOracleExactly) {
@@ -94,9 +98,9 @@ TEST(PlannerTest, RollupExtraSelectionOnRetainedGroupBy) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           s.warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kSummaryRollup);
 }
 
 TEST(PlannerTest, SameGroupingCopiesViewAggregates) {
@@ -139,9 +143,11 @@ TEST(PlannerTest, AuxJoinAnswersFinerGrouping) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           s.warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kAuxJoin);
+  EXPECT_NE(explain.ToString().find("via auxiliary-view join"),
+            std::string::npos);
 }
 
 TEST(PlannerTest, AuxJoinAnswersSelectionOnNonRetainedAttribute) {
@@ -157,9 +163,9 @@ TEST(PlannerTest, AuxJoinAnswersSelectionOnNonRetainedAttribute) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, s.warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(s.catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           s.warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kAuxJoin);
 }
 
 // -------------------------------------------------------------------
@@ -183,9 +189,11 @@ TEST(PlannerTest, RejectsAggregateNeitherStrategySupports) {
                 "no materialized view can answer the query"),
             std::string::npos);
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           s.warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("unanswerable:"), std::string::npos);
+  EXPECT_FALSE(explain.answerable);
+  EXPECT_FALSE(explain.unanswerable_reason.empty());
+  EXPECT_NE(explain.ToString().find("unanswerable:"), std::string::npos);
 }
 
 TEST(PlannerTest, RejectsDifferentTableSet) {
@@ -244,9 +252,9 @@ TEST(PlannerTest, RejectsDistinctOverCoarserGroups) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via auxiliary-view join"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kAuxJoin);
 }
 
 TEST(PlannerTest, SameGroupingCopiesDistinctAggregate) {
@@ -270,9 +278,9 @@ TEST(PlannerTest, SameGroupingCopiesDistinctAggregate) {
   MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.Query(sql));
   EXPECT_TRUE(TablesExactlyEqual(Oracle(catalog, sql), got));
 
-  MD_ASSERT_OK_AND_ASSIGN(std::string explain,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
                           warehouse.ExplainQuery(sql));
-  EXPECT_NE(explain.find("via summary roll-up"), std::string::npos);
+  EXPECT_EQ(explain.strategy, QueryPlan::Strategy::kSummaryRollup);
 }
 
 TEST(PlannerTest, NoViewsRegistered) {
@@ -396,13 +404,17 @@ TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
 
 TEST(ResultCacheTest, ExplainReportsCacheState) {
   Served s = MakeServed();
-  MD_ASSERT_OK_AND_ASSIGN(std::string cold,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation cold,
                           s.warehouse.ExplainQuery(kBrandQuery));
-  EXPECT_NE(cold.find("result cache: miss"), std::string::npos);
+  ASSERT_TRUE(cold.has_cache);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_NE(cold.ToString().find("result cache: miss"), std::string::npos);
   MD_ASSERT_OK(s.warehouse.Query(kBrandQuery).status());
-  MD_ASSERT_OK_AND_ASSIGN(std::string warm,
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation warm,
                           s.warehouse.ExplainQuery(kBrandQuery));
-  EXPECT_NE(warm.find("result cache: hit"), std::string::npos);
+  ASSERT_TRUE(warm.has_cache);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_NE(warm.ToString().find("result cache: hit"), std::string::npos);
 }
 
 // -------------------------------------------------------------------

@@ -1,0 +1,502 @@
+// Shared delta-join plans: join-signature canonicalization, the
+// per-batch SharedJoinCache, the planned/executed/reused counter split,
+// sibling-view lattice diff sharing, and — the oracle — a 200-batch
+// differential stream proving a sharing warehouse stays bit-identical
+// to a per-engine baseline at every thread count. Run under TSan via
+// `ctest -L concurrency`.
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/plan_signature.h"
+#include "gpsj/evaluator.h"
+#include "gtest/gtest.h"
+#include "maintenance/engine.h"
+#include "maintenance/shared_plan.h"
+#include "maintenance/warehouse.h"
+#include "snowflake_stream.h"
+#include "test_util.h"
+#include "workload/snowflake.h"
+
+namespace mindetail {
+namespace {
+
+using test::GeneratedDelta;
+using test::TablesExactlyEqual;
+
+uint64_t StressSeed(uint64_t fallback) {
+  const char* env = std::getenv("MINDETAIL_STRESS_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// A small snowflake plus one view variant, for signature tests.
+struct SnowFixture {
+  SnowflakeWarehouse warehouse;
+  Catalog source;
+};
+
+SnowFixture MakeSnow(uint64_t seed) {
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 60;
+  sp.dim_rows = 8;
+  sp.seed = seed;
+  Result<SnowflakeWarehouse> warehouse = GenerateSnowflake(sp);
+  MD_CHECK(warehouse.ok());
+  SnowFixture fx{std::move(warehouse).value(), Catalog()};
+  fx.source = fx.warehouse.catalog;
+  return fx;
+}
+
+SelfMaintenanceEngine MakeEngine(const SnowFixture& fx,
+                                 const test::SnowflakeViewFlags& flags,
+                                 const std::string& name,
+                                 EngineOptions options = EngineOptions{}) {
+  Result<GpsjViewDef> def =
+      test::BuildSnowflakeView(fx.warehouse, flags, name);
+  MD_CHECK(def.ok());
+  Result<SelfMaintenanceEngine> engine =
+      SelfMaintenanceEngine::Create(fx.source, *def, options);
+  MD_CHECK(engine.ok());
+  return std::move(engine).value();
+}
+
+// -------------------------------------------------------------------
+// Signature canonicalization.
+// -------------------------------------------------------------------
+
+TEST(PlanSignatureTest, SiblingsDifferingOnlyInNameShareSignatures) {
+  SnowFixture fx = MakeSnow(4242);
+  SelfMaintenanceEngine a =
+      MakeEngine(fx, test::SnowflakeViewFlags{}, "sibling_a");
+  SelfMaintenanceEngine b =
+      MakeEngine(fx, test::SnowflakeViewFlags{}, "sibling_b");
+  // The view name is presentation, not structure: every signature the
+  // shared-plan cache keys on must be identical across the siblings.
+  EXPECT_FALSE(a.root_fragment_signature().empty());
+  EXPECT_FALSE(a.root_join_signature().empty());
+  EXPECT_EQ(a.root_fragment_signature(), b.root_fragment_signature());
+  EXPECT_EQ(a.root_join_signature(), b.root_join_signature());
+  EXPECT_EQ(ViewStructuralSignature(a.derivation().view()),
+            ViewStructuralSignature(b.derivation().view()));
+}
+
+TEST(PlanSignatureTest, DifferentOutputsChangeTheJoinSignature) {
+  SnowFixture fx = MakeSnow(4243);
+  SelfMaintenanceEngine plain =
+      MakeEngine(fx, test::SnowflakeViewFlags{}, "plain");
+  test::SnowflakeViewFlags non_csmas;
+  non_csmas.non_csmas = true;
+  SelfMaintenanceEngine fat = MakeEngine(fx, non_csmas, "fat");
+  EXPECT_NE(plain.root_join_signature(), fat.root_join_signature());
+  EXPECT_NE(ViewStructuralSignature(plain.derivation().view()),
+            ViewStructuralSignature(fat.derivation().view()));
+}
+
+TEST(PlanSignatureTest, SelectionsChangeTheFragmentSignature) {
+  SnowFixture fx = MakeSnow(4244);
+  SelfMaintenanceEngine plain =
+      MakeEngine(fx, test::SnowflakeViewFlags{}, "plain");
+  test::SnowflakeViewFlags condition;
+  condition.fact_condition = true;
+  SelfMaintenanceEngine filtered = MakeEngine(fx, condition, "filtered");
+  // The fact selection narrows the root auxiliary view, so neither the
+  // fragment nor the join may be shared with the unfiltered sibling.
+  EXPECT_NE(plain.root_fragment_signature(),
+            filtered.root_fragment_signature());
+  EXPECT_NE(plain.root_join_signature(), filtered.root_join_signature());
+}
+
+// -------------------------------------------------------------------
+// SharedJoinCache mechanics.
+// -------------------------------------------------------------------
+
+TEST(SharedJoinCacheTest, ComputesOncePerKeyAndCountsReuse) {
+  SharedJoinCache cache;
+  int calls = 0;
+  auto compute = [&]() -> Result<Table> {
+    ++calls;
+    return Table("t", Schema({Attribute{"x", ValueType::kInt64}}));
+  };
+  bool reused = false;
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const Table> first,
+      cache.GetOrCompute(SharedJoinCache::Kind::kJoin, "k1", compute,
+                         &reused));
+  EXPECT_FALSE(reused);
+  MD_ASSERT_OK_AND_ASSIGN(
+      std::shared_ptr<const Table> second,
+      cache.GetOrCompute(SharedJoinCache::Kind::kJoin, "k1", compute,
+                         &reused));
+  EXPECT_TRUE(reused);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first.get(), second.get());  // One memoized table.
+  MD_ASSERT_OK(cache
+                   .GetOrCompute(SharedJoinCache::Kind::kFragment, "k2",
+                                 compute, &reused)
+                   .status());
+  EXPECT_EQ(calls, 2);  // Distinct key computes afresh.
+  const SharedJoinStats stats = cache.stats();
+  EXPECT_EQ(stats.joins_computed, 1u);
+  EXPECT_EQ(stats.joins_reused, 1u);
+  EXPECT_EQ(stats.fragments_computed, 1u);
+  EXPECT_EQ(stats.fragments_reused, 0u);
+}
+
+TEST(SharedJoinCacheTest, FailuresAreNotMemoized) {
+  SharedJoinCache cache;
+  int calls = 0;
+  auto failing = [&]() -> Result<Table> {
+    ++calls;
+    return InternalError("transient");
+  };
+  EXPECT_FALSE(cache
+                   .GetOrCompute(SharedJoinCache::Kind::kJoin, "k",
+                                 failing)
+                   .ok());
+  // Every engine re-attempts — exactly the per-engine baseline
+  // behavior — and a later success is memoized normally.
+  EXPECT_FALSE(cache
+                   .GetOrCompute(SharedJoinCache::Kind::kJoin, "k",
+                                 failing)
+                   .ok());
+  EXPECT_EQ(calls, 2);
+  auto succeeding = [&]() -> Result<Table> {
+    return Table("t", Schema({Attribute{"x", ValueType::kInt64}}));
+  };
+  bool reused = true;
+  MD_ASSERT_OK(cache
+                   .GetOrCompute(SharedJoinCache::Kind::kJoin, "k",
+                                 succeeding, &reused)
+                   .status());
+  EXPECT_FALSE(reused);
+}
+
+// -------------------------------------------------------------------
+// Executed-once accounting across sibling views.
+// -------------------------------------------------------------------
+
+TEST(SharedJoinCounterTest, FourSiblingsComputeEachDistinctJoinOnce) {
+  SnowFixture fx = MakeSnow(StressSeed(6010931));
+  Warehouse warehouse;  // share_delta_joins defaults to true.
+  constexpr int kSiblings = 4;
+  for (int i = 0; i < kSiblings; ++i) {
+    MD_ASSERT_OK_AND_ASSIGN(
+        GpsjViewDef def,
+        test::BuildSnowflakeView(fx.warehouse, test::SnowflakeViewFlags{},
+                                 StrCat("sib", i)));
+    MD_ASSERT_OK(warehouse.AddView(fx.source, def));
+  }
+
+  // Root (fact) batches only: dimension deltas stay per-engine by
+  // design, which would blur the exact 1-computed/(N-1)-reused split.
+  Rng rng(771203);
+  int applied = 0;
+  for (int attempt = 0; applied < 25 && attempt < 400; ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        fx.warehouse, fx.source, rng, /*append_only=*/false);
+    if (generated.table != fx.warehouse.fact || generated.delta.Empty()) {
+      continue;
+    }
+    ++applied;
+    MD_ASSERT_OK(warehouse.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(
+        ApplyDelta(*fx.source.MutableTable(generated.table),
+                   generated.delta));
+  }
+  ASSERT_GE(applied, 25);
+
+  uint64_t planned = 0, executed = 0, reused = 0;
+  for (int i = 0; i < kSiblings; ++i) {
+    const EngineStats& stats = warehouse.engine(StrCat("sib", i)).stats();
+    EXPECT_EQ(stats.delta_joins_planned,
+              stats.delta_joins_executed + stats.delta_joins_reused)
+        << "sib" << i;
+    planned += stats.delta_joins_planned;
+    executed += stats.delta_joins_executed;
+    reused += stats.delta_joins_reused;
+  }
+  ASSERT_GT(planned, 0u);
+  // Identical siblings plan identical joins: each distinct join runs
+  // exactly once per batch, the other N-1 engines reuse it.
+  EXPECT_EQ(executed * kSiblings, planned);
+  EXPECT_EQ(reused, executed * (kSiblings - 1));
+
+  const MaintenanceStats totals = warehouse.maintenance_stats();
+  EXPECT_EQ(totals.delta_joins_planned, planned);
+  EXPECT_EQ(totals.delta_joins_executed, executed);
+  EXPECT_EQ(totals.delta_joins_reused, reused);
+  EXPECT_EQ(totals.shared.joins_computed, executed);
+  EXPECT_EQ(totals.shared.joins_reused, reused);
+  EXPECT_GT(totals.shared.fragments_reused, 0u);
+
+  // Views stay correct, not just fast: every sibling matches the
+  // direct evaluation oracle.
+  for (int i = 0; i < kSiblings; ++i) {
+    MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.View(StrCat("sib", i)));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Table oracle,
+        EvaluateGpsj(fx.source,
+                     warehouse.engine(StrCat("sib", i)).derivation().view()));
+    EXPECT_TRUE(test::TablesApproxEqual(oracle, got)) << "sib" << i;
+  }
+}
+
+TEST(SharedJoinCounterTest, LaterRegistrationDisablesSharingSafely) {
+  SnowFixture fx = MakeSnow(6010932);
+  Warehouse warehouse;
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef first,
+      test::BuildSnowflakeView(fx.warehouse, test::SnowflakeViewFlags{},
+                               "early"));
+  MD_ASSERT_OK(warehouse.AddView(fx.source, first));
+
+  // A batch lands between the registrations, so the late sibling's
+  // lineage token differs even though its structure is identical —
+  // sharing must not kick in on trust alone.
+  Rng rng(88114);
+  GeneratedDelta generated;
+  do {
+    generated = test::MakeSnowflakeDelta(fx.warehouse, fx.source, rng,
+                                         /*append_only=*/false);
+  } while (generated.table != fx.warehouse.fact || generated.delta.Empty());
+  MD_ASSERT_OK(warehouse.Apply(generated.table, generated.delta));
+  MD_ASSERT_OK(ApplyDelta(*fx.source.MutableTable(generated.table),
+                          generated.delta));
+
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef second,
+      test::BuildSnowflakeView(fx.warehouse, test::SnowflakeViewFlags{},
+                               "late"));
+  MD_ASSERT_OK(warehouse.AddView(fx.source, second));
+
+  for (int i = 0; i < 6;) {
+    generated = test::MakeSnowflakeDelta(fx.warehouse, fx.source, rng,
+                                         /*append_only=*/false);
+    if (generated.table != fx.warehouse.fact || generated.delta.Empty()) {
+      continue;
+    }
+    ++i;
+    MD_ASSERT_OK(warehouse.Apply(generated.table, generated.delta));
+    MD_ASSERT_OK(ApplyDelta(*fx.source.MutableTable(generated.table),
+                            generated.delta));
+  }
+  // Different lineage tokens → different cache keys → no reuse, and
+  // both views still match the oracle.
+  EXPECT_EQ(warehouse.maintenance_stats().shared.joins_reused, 0u);
+  for (const char* name : {"early", "late"}) {
+    MD_ASSERT_OK_AND_ASSIGN(Table got, warehouse.View(name));
+    MD_ASSERT_OK_AND_ASSIGN(
+        Table oracle,
+        EvaluateGpsj(fx.source,
+                     warehouse.engine(name).derivation().view()));
+    EXPECT_TRUE(test::TablesApproxEqual(oracle, got)) << name;
+  }
+}
+
+// -------------------------------------------------------------------
+// Lattice diff sharing across sibling nodes.
+// -------------------------------------------------------------------
+
+TEST(LatticeDiffSharingTest, SiblingNodesFoldFromOneSummaryDiff) {
+  SnowFixture fx = MakeSnow(6010933);
+  Warehouse warehouse(WarehouseOptions{}.WithLatticeBudget(SIZE_MAX));
+  for (const char* name : {"sib_a", "sib_b"}) {
+    MD_ASSERT_OK_AND_ASSIGN(
+        GpsjViewDef def,
+        test::BuildSnowflakeView(fx.warehouse, test::SnowflakeViewFlags{},
+                                 name));
+    MD_ASSERT_OK(warehouse.AddView(fx.source, def));
+  }
+  MD_ASSERT_OK(warehouse.LatticePromote("sib_a", {"GroupA"}));
+  MD_ASSERT_OK(warehouse.LatticePromote("sib_b", {"GroupA"}));
+
+  Rng rng(515253);
+  GeneratedDelta generated;
+  do {
+    generated = test::MakeSnowflakeDelta(fx.warehouse, fx.source, rng,
+                                         /*append_only=*/false);
+  } while (generated.table != fx.warehouse.fact || generated.delta.Empty());
+  MD_ASSERT_OK(warehouse.Apply(generated.table, generated.delta));
+  MD_ASSERT_OK(ApplyDelta(*fx.source.MutableTable(generated.table),
+                          generated.delta));
+
+  // Both nodes folded, but the (byte-identical) parent summary diff was
+  // computed once and shared by the sibling.
+  const LatticeStats stats = warehouse.lattice_stats();
+  EXPECT_GE(stats.folds, 2u);
+  EXPECT_GE(stats.diffs_shared, 1u);
+  EXPECT_GE(stats.diffs_computed, 1u);
+  EXPECT_LT(stats.diffs_computed, stats.folds);
+}
+
+// -------------------------------------------------------------------
+// The oracle: sharing is bit-identical to the per-engine baseline at
+// every thread count, across a 200-batch mixed stream with multi-table
+// transactions.
+// -------------------------------------------------------------------
+
+std::map<std::string, Table> CaptureState(const Warehouse& warehouse) {
+  std::map<std::string, Table> state;
+  for (const std::string& name : warehouse.ViewNames()) {
+    const SelfMaintenanceEngine& engine = warehouse.engine(name);
+    Result<Table> view = warehouse.View(name);
+    MD_CHECK(view.ok());
+    state.emplace(name + "/view", std::move(view).value());
+    Result<Table> augmented = engine.RenderAugmentedSummary();
+    MD_CHECK(augmented.ok());
+    state.emplace(name + "/summary", std::move(augmented).value());
+    for (const AuxViewDef& aux : engine.derivation().aux_views()) {
+      if (aux.eliminated) continue;
+      state.emplace(name + "/aux/" + aux.base_table,
+                    engine.AuxContents(aux.base_table));
+    }
+  }
+  return state;
+}
+
+TEST(SharedPlanDifferentialStress, BitIdenticalToBaselineAtEveryThreadCount) {
+  const uint64_t seed = StressSeed(77120411ULL);
+  SCOPED_TRACE(::testing::Message()
+               << "stress seed " << seed << " (rerun with "
+               << "MINDETAIL_STRESS_SEED=" << seed << ")");
+
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 150;
+  sp.dim_rows = 16;
+  sp.seed = seed;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(sp));
+  Catalog source = warehouse.catalog;
+
+  // Two identical siblings (the sharing hot path) plus two structural
+  // variants (never shared with them) in one warehouse.
+  std::vector<GpsjViewDef> defs;
+  {
+    MD_ASSERT_OK_AND_ASSIGN(
+        GpsjViewDef def,
+        test::BuildSnowflakeView(warehouse, test::SnowflakeViewFlags{},
+                                 "twin_a"));
+    defs.push_back(std::move(def));
+    MD_ASSERT_OK_AND_ASSIGN(
+        def, test::BuildSnowflakeView(warehouse, test::SnowflakeViewFlags{},
+                                      "twin_b"));
+    defs.push_back(std::move(def));
+    test::SnowflakeViewFlags non_csmas;
+    non_csmas.non_csmas = true;
+    MD_ASSERT_OK_AND_ASSIGN(
+        def, test::BuildSnowflakeView(warehouse, non_csmas, "variant_fat"));
+    defs.push_back(std::move(def));
+    test::SnowflakeViewFlags condition;
+    condition.fact_condition = true;
+    MD_ASSERT_OK_AND_ASSIGN(
+        def, test::BuildSnowflakeView(warehouse, condition,
+                                      "variant_filtered"));
+    defs.push_back(std::move(def));
+  }
+
+  // Baseline: sharing off, serial. Players: sharing on, at serial and
+  // {2, 4} cross-view threads.
+  auto make = [&](WarehouseOptions options) {
+    auto wh = std::make_unique<Warehouse>(std::move(options));
+    for (const GpsjViewDef& def : defs) {
+      MD_CHECK(wh->AddView(source, def).ok());
+    }
+    return wh;
+  };
+  std::unique_ptr<Warehouse> baseline =
+      make(WarehouseOptions{}.WithSharedJoins(false));
+  std::vector<std::unique_ptr<Warehouse>> players;
+  std::vector<std::string> labels;
+  for (int threads : {1, 2, 4}) {
+    players.push_back(
+        make(WarehouseOptions{}.WithParallelism(threads)));
+    labels.push_back(StrCat("shared x", threads));
+  }
+
+  constexpr int kBatches = 200;
+  constexpr int kTransactionEvery = 10;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 29);
+  int applied = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta first = test::MakeSnowflakeDelta(
+        warehouse, source, rng, /*append_only=*/false);
+    if (first.delta.Empty()) continue;
+    ++applied;
+    std::map<std::string, Delta> changes;
+    changes.emplace(first.table, std::move(first.delta));
+    if (applied % kTransactionEvery == 0) {
+      for (int tries = 0; tries < 8; ++tries) {
+        GeneratedDelta second = test::MakeSnowflakeDelta(
+            warehouse, source, rng, /*append_only=*/false);
+        if (second.delta.Empty() || changes.count(second.table) > 0) {
+          continue;
+        }
+        changes.emplace(second.table, std::move(second.delta));
+        break;
+      }
+    }
+    SCOPED_TRACE(::testing::Message()
+                 << "batch " << applied << ", " << changes.size()
+                 << " table(s), first on " << changes.begin()->first);
+
+    MD_ASSERT_OK(baseline->ApplyTransaction(changes));
+    for (std::unique_ptr<Warehouse>& player : players) {
+      MD_ASSERT_OK(player->ApplyTransaction(changes));
+    }
+    for (const auto& [table, delta] : changes) {
+      MD_ASSERT_OK(ApplyDelta(*source.MutableTable(table), delta));
+    }
+
+    for (const GpsjViewDef& def : defs) {
+      MD_ASSERT_OK_AND_ASSIGN(Table base_view, baseline->View(def.name()));
+      for (size_t p = 0; p < players.size(); ++p) {
+        MD_ASSERT_OK_AND_ASSIGN(Table player_view,
+                                players[p]->View(def.name()));
+        ASSERT_TRUE(TablesExactlyEqual(base_view, player_view))
+            << labels[p] << " diverged on " << def.name() << ", seed "
+            << seed << ", batch " << applied;
+      }
+    }
+  }
+  ASSERT_GE(applied, kBatches) << "seed " << seed;
+
+  // Full maintained state — summaries, hidden accumulators, every
+  // auxiliary view — must agree bit-for-bit at the end of the stream.
+  const std::map<std::string, Table> base_state = CaptureState(*baseline);
+  for (size_t p = 0; p < players.size(); ++p) {
+    const std::map<std::string, Table> player_state =
+        CaptureState(*players[p]);
+    ASSERT_EQ(base_state.size(), player_state.size()) << labels[p];
+    for (const auto& [key, table] : base_state) {
+      auto it = player_state.find(key);
+      ASSERT_NE(it, player_state.end()) << labels[p] << " " << key;
+      EXPECT_TRUE(TablesExactlyEqual(table, it->second))
+          << labels[p] << " " << key;
+    }
+  }
+
+  // The sharing path actually ran: the twins reused joins; the
+  // baseline shared nothing.
+  EXPECT_EQ(baseline->maintenance_stats().shared.joins_reused, 0u);
+  for (size_t p = 0; p < players.size(); ++p) {
+    const MaintenanceStats stats = players[p]->maintenance_stats();
+    EXPECT_GT(stats.shared.joins_reused, 0u) << labels[p];
+    EXPECT_EQ(stats.delta_joins_planned,
+              stats.delta_joins_executed + stats.delta_joins_reused)
+        << labels[p];
+  }
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -124,7 +124,10 @@ TEST(WarehouseTest, FootprintAndReport) {
   Warehouse warehouse = MakeWarehouse(retail.catalog);
   EXPECT_GT(warehouse.TotalDetailPaperSizeBytes(), 0u);
   EXPECT_GT(warehouse.TotalDetailActualSizeBytes(), 0u);
-  const std::string report = warehouse.Report();
+  const WarehouseReport structured = warehouse.Report();
+  EXPECT_EQ(structured.views.size(), warehouse.ViewNames().size());
+  EXPECT_GT(structured.total_detail_paper_bytes, 0u);
+  const std::string report = structured.ToString();
   EXPECT_NE(report.find("monthly_sales"), std::string::npos);
   EXPECT_NE(report.find("eliminated"), std::string::npos);  // by_product.
   EXPECT_NE(report.find("Total current detail"), std::string::npos);

@@ -107,7 +107,9 @@ class Cli {
     } else if (cmd == "derivation" && args.size() == 2) {
       Derivation(args[1]);
     } else if (cmd == "report") {
-      std::cout << warehouse_.Report();
+      std::cout << warehouse_.Report().ToString();
+    } else if (cmd == "stats") {
+      Stats();
     } else if (cmd == "estimate" && args.size() == 2) {
       Estimate(args[1]);
     } else if (cmd == "threads") {
@@ -157,6 +159,9 @@ class Cli {
         "  view <name>          print a view's current contents\n"
         "  derivation <name>    print the Algorithm 3.2 report\n"
         "  report               warehouse detail inventory\n"
+        "  stats                every subsystem's counters: maintenance\n"
+        "                       (incl. shared delta-join reuse), ingest,\n"
+        "                       result cache, lattice, recovery\n"
         "  estimate <name>      predicted vs actual auxiliary sizes\n"
         "  threads [n] [--views m]\n"
         "                       n: per-view maintenance threads for views\n"
@@ -291,13 +296,49 @@ class Cli {
   }
 
   void Explain(std::string statement) {
-    Result<std::string> plan =
+    Result<QueryExplanation> plan =
         warehouse_.ExplainQuery(ReadStatement(std::move(statement)));
     if (!plan.ok()) {
       Report(plan.status());
       return;
     }
-    std::cout << *plan;
+    std::cout << plan->ToString();
+  }
+
+  void Stats() {
+    const WarehouseReport report = warehouse_.Report();
+    const MaintenanceStats& m = report.maintenance;
+    std::cout << "maintenance: " << m.batches_applied << " batch(es), "
+              << m.rows_processed << " row(s) processed\n"
+              << "  delta joins: " << m.delta_joins_planned << " planned, "
+              << m.delta_joins_executed << " executed, "
+              << m.delta_joins_reused << " reused\n"
+              << "  shared plans: " << m.shared.joins_computed
+              << " join(s) computed, " << m.shared.joins_reused
+              << " reused; " << m.shared.fragments_computed
+              << " fragment(s) computed, " << m.shared.fragments_reused
+              << " reused\n"
+              << "  group recomputes " << m.group_recomputes
+              << ", shielded skips " << m.shielded_skips << "\n";
+    std::cout << "ingest: " << report.ingest.accepted << " accepted, "
+              << report.ingest.duplicates << " duplicates, "
+              << report.ingest.rejected << " rejected, "
+              << report.ingest.failed << " failed, "
+              << report.ingest.retries << " retries, "
+              << report.ingest.quarantined << " quarantined\n";
+    std::cout << "result cache: " << report.cache.hits << " hit(s), "
+              << report.cache.misses << " miss(es), "
+              << report.cache.evictions << " eviction(s)\n";
+    std::cout << "lattice: " << report.lattice.nodes << " node(s), "
+              << report.lattice.folds << " fold(s), "
+              << report.lattice.diffs_computed << " diff(s) computed, "
+              << report.lattice.diffs_shared << " shared\n";
+    if (report.durable) {
+      std::cout << "durability: " << report.directory << ", "
+                << (report.read_only ? "follower" : "leader") << " epoch "
+                << report.leader_epoch << ", last sequence "
+                << report.last_sequence << "\n";
+    }
   }
 
   void PrintView(const std::string& name) {
