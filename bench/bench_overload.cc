@@ -1,0 +1,288 @@
+// Overload protection under saturating ingest — what the governors buy
+// (and cost) when the warehouse is driven past its apply rate while
+// queries keep arriving.
+//
+// Topology per config: N producer threads generate unique insert-only
+// sale batches and submit them through a front-end OverloadController
+// (the same class the warehouse embeds, placed where a network front
+// end would hold it); admitted batches flow through a bounded queue to
+// the single writer thread, which applies them in arrival order. The
+// timed loop runs the query mix on the calling thread and reports the
+// observed latency distribution:
+//
+//   p50_ms / p99_ms   query latency percentiles over the timed run
+//   shed_rate         refused submissions / total submissions
+//   refused_queries   deadline expiries + budget refusals (degraded,
+//                     not failed: each returns immediately with a
+//                     retryable error instead of occupying the server)
+//
+// Configs (benchmark argument):
+//   0 no-limits  nothing governed — the baseline the others pay for
+//   1 deadline   WithQueryDeadline: slow plans give up at the limit
+//   2 budget     WithQueryMemoryBudget: the aux-join mix member is
+//                refused before materializing
+//   3 shedding   front-end admission on a window of 2 with 4 producers
+//                — saturation sheds instead of queueing unboundedly
+//
+// google-benchmark timing harness; CI emits BENCH_overload.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "maintenance/admission.h"
+#include "maintenance/warehouse.h"
+#include "workload/retail.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, product.brand, SUM(sale.price) AS TotalPrice,
+         COUNT(*) AS Cnt
+  FROM sale, time, product
+  WHERE sale.timeid = time.id AND sale.productid = product.id
+  GROUP BY time.month, product.brand
+)sql";
+
+// Answerable by summary roll-up.
+constexpr char kRollupSql[] =
+    "SELECT product.brand, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY product.brand";
+
+// Forces the auxiliary-view join (sale.productid is not a view output).
+constexpr char kAuxJoinSql[] =
+    "SELECT sale.productid, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY sale.productid";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 30;
+  params.stores = 4;
+  params.products = 200;
+  params.products_sold_per_store_day = 25;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+// Unique insert-only sale batches: valid against the catalog at any
+// point in the stream, and distinct so content-hash dedup never folds
+// a resubmission into an earlier ack.
+std::map<std::string, Delta> FreshBatch(std::atomic<int64_t>& next_id,
+                                        int rows) {
+  Delta delta;
+  for (int i = 0; i < rows; ++i) {
+    const int64_t id = next_id.fetch_add(1);
+    delta.inserts.push_back({Value(id), Value(1 + id % 30),
+                             Value(1 + id % 200), Value(1 + id % 4),
+                             Value(static_cast<double>(5 + id % 40))});
+  }
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  return changes;
+}
+
+struct Config {
+  const char* name;
+  int64_t deadline_ms = 0;
+  uint64_t budget_bytes = 0;
+  int max_inflight = 0;  // Front-end admission window; 0 = no shedding.
+};
+
+const Config kConfigs[] = {
+    {"no_limits"},
+    {"deadline", /*deadline_ms=*/5},
+    {"budget", /*deadline_ms=*/0, /*budget_bytes=*/16 * 1024},
+    {"shedding", /*deadline_ms=*/0, /*budget_bytes=*/0,
+     /*max_inflight=*/2},
+};
+
+// The saturating ingest rig: producers → admission → queue → writer.
+class IngestRig {
+ public:
+  IngestRig(Warehouse* warehouse, int max_inflight, int producers)
+      : warehouse_(warehouse), controller_(MakeOptions(max_inflight)) {
+    writer_ = std::thread([this] { WriterLoop(); });
+    for (int i = 0; i < producers; ++i) {
+      producers_.emplace_back([this] { ProducerLoop(); });
+    }
+  }
+
+  ~IngestRig() {
+    stop_.store(true);
+    queue_cv_.notify_all();
+    for (std::thread& t : producers_) t.join();
+    writer_.join();
+  }
+
+  uint64_t submissions() const { return submissions_.load(); }
+  OverloadStats controller_stats() const { return controller_.Snapshot(); }
+
+ private:
+  struct Pending {
+    std::map<std::string, Delta> changes;
+    OverloadController::Permit permit;
+  };
+
+  static OverloadController::Options MakeOptions(int max_inflight) {
+    OverloadController::Options options;
+    options.max_inflight_batches = max_inflight;
+    return options;
+  }
+
+  void ProducerLoop() {
+    while (!stop_.load()) {
+      std::map<std::string, Delta> changes = FreshBatch(next_id_, 8);
+      ++submissions_;
+      Result<OverloadController::Permit> admitted = controller_.Admit(8);
+      if (!admitted.ok()) {
+        // Shed: a real client would back off by the retry-after hint;
+        // here a short sleep keeps the producers saturating.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_.push_back(
+            Pending{std::move(changes), std::move(*admitted)});
+      }
+      queue_cv_.notify_one();
+      // Pace the producers just enough that the queue stays short of
+      // pathological: admission, not the queue, is the back-pressure.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void WriterLoop() {
+    while (true) {
+      Pending pending;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [this] {
+          return stop_.load() || !queue_.empty();
+        });
+        if (queue_.empty()) return;  // stop_ and drained.
+        pending = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      Check(warehouse_->ApplyTransaction(pending.changes));
+      pending.permit.Release();  // Frees the admission slot.
+    }
+  }
+
+  Warehouse* warehouse_;
+  OverloadController controller_;
+  std::atomic<int64_t> next_id_{1'000'000};
+  std::atomic<uint64_t> submissions_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::thread writer_;
+  std::vector<std::thread> producers_;
+};
+
+double PercentileMs(std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(latencies.size() - 1));
+  return latencies[index];
+}
+
+// state.range(0): index into kConfigs. The timed loop is the query mix
+// (roll-up : aux-join at 3:1) while the rig saturates ingest.
+void BM_OverloadedServing(benchmark::State& state) {
+  const Config& config = kConfigs[state.range(0)];
+  state.SetLabel(config.name);
+
+  RetailWarehouse retail = MakeSource();
+  WarehouseOptions options;
+  if (config.deadline_ms > 0) options.WithQueryDeadline(config.deadline_ms);
+  if (config.budget_bytes > 0) {
+    options.WithQueryMemoryBudget(config.budget_bytes);
+  }
+  Warehouse warehouse(options);
+  Check(warehouse.AddViewSql(retail.catalog, kViewSql));
+
+  const int producers = config.max_inflight > 0 ? 4 : 1;
+  std::vector<double> latencies;
+  uint64_t refused_queries = 0;
+  uint64_t answered = 0;
+  uint64_t shed = 0;
+  uint64_t submissions = 0;
+  {
+    IngestRig rig(&warehouse, config.max_inflight, producers);
+    int i = 0;
+    for (auto _ : state) {
+      const char* sql = (i++ % 4 == 3) ? kAuxJoinSql : kRollupSql;
+      const auto start = std::chrono::steady_clock::now();
+      Result<Table> answer = warehouse.Query(sql);
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start);
+      latencies.push_back(elapsed.count());
+      if (answer.ok()) {
+        ++answered;
+        benchmark::DoNotOptimize(answer->NumRows());
+      } else {
+        // Governed refusals (deadline/budget) are the degradation
+        // being measured; anything else is a real failure.
+        Check(answer.status().code() == StatusCode::kDeadlineExceeded ||
+                      answer.status().code() ==
+                          StatusCode::kResourceExhausted
+                  ? Status::Ok()
+                  : answer.status());
+        ++refused_queries;
+      }
+    }
+    shed = rig.controller_stats().shed;
+    submissions = rig.submissions();
+  }
+
+  state.counters["p50_ms"] = PercentileMs(latencies, 0.50);
+  state.counters["p99_ms"] = PercentileMs(latencies, 0.99);
+  state.counters["shed_rate"] =
+      submissions == 0
+          ? 0.0
+          : static_cast<double>(shed) / static_cast<double>(submissions);
+  state.counters["refused_queries"] = static_cast<double>(refused_queries);
+  state.counters["answered"] = static_cast<double>(answered);
+  const OverloadStats stats = warehouse.overload_stats();
+  state.counters["deadline_expiries"] =
+      static_cast<double>(stats.deadline_queries);
+  state.counters["budget_refusals"] =
+      static_cast<double>(stats.budget_refusals);
+}
+
+BENCHMARK(BM_OverloadedServing)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#include "common/cancellation.h"
+
+#include <chrono>
+
+namespace mindetail {
+
+int64_t MonotonicNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Deadline Deadline::After(int64_t ms, MonotonicClock clock) {
+  if (ms <= 0) return Deadline();
+  const int64_t now =
+      clock ? clock() : MonotonicNowNanos();
+  return Deadline(now + ms * 1'000'000, std::move(clock));
+}
+
+int64_t Deadline::NowNanos() const {
+  return clock_ ? clock_() : MonotonicNowNanos();
+}
+
+bool Deadline::Expired() const {
+  if (deadline_nanos_ == kNever) return false;
+  return NowNanos() >= deadline_nanos_;
+}
+
+int64_t Deadline::remaining_ms() const {
+  if (deadline_nanos_ == kNever) return INT64_MAX;
+  return (deadline_nanos_ - NowNanos()) / 1'000'000;
+}
+
+Status CancellationToken::Check() const {
+  if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+    return CancelledError("operation cancelled by caller");
+  }
+  if (deadline_.Expired()) {
+    return DeadlineExceededError("operation deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

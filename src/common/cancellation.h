@@ -1,0 +1,127 @@
+// Cooperative cancellation and deadlines.
+//
+// Long-running operations (query execution, delta maintenance,
+// replication catch-up) accept a `CancellationToken` and poll
+// `token.Check()` at loop boundaries. A non-OK check means the caller
+// asked the work to stop: either explicitly (`kCancelled`, via the
+// owning `CancellationSource`) or because a `Deadline` expired
+// (`kDeadlineExceeded`). Checks are cheap — one relaxed atomic load
+// plus, when a deadline is set, one monotonic clock read — so they can
+// sit inside per-fragment and per-row-chunk loops.
+//
+// The clock is injectable so tests can trip deadlines deterministically
+// mid-operation without sleeping.
+
+#ifndef MINDETAIL_COMMON_CANCELLATION_H_
+#define MINDETAIL_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mindetail {
+
+// Returns nanoseconds from a monotonic (never-decreasing) clock.
+using MonotonicClock = std::function<int64_t()>;
+
+// The process steady clock, in nanoseconds.
+int64_t MonotonicNowNanos();
+
+// A point on the monotonic clock after which work should stop. A
+// default-constructed Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  // A deadline `ms` milliseconds from now on `clock` (the process
+  // steady clock if omitted). Non-positive `ms` yields an unlimited
+  // deadline, matching `WarehouseOptions::default_query_deadline_ms`'s
+  // "0 = off" convention.
+  static Deadline After(int64_t ms, MonotonicClock clock = nullptr);
+
+  bool unlimited() const { return deadline_nanos_ == kNever; }
+  bool Expired() const;
+  // Milliseconds until expiry; negative once expired, INT64_MAX when
+  // unlimited.
+  int64_t remaining_ms() const;
+
+  // The earlier-expiring of the two (an unlimited deadline never wins
+  // over a set one). Both sides are assumed to read the same clock.
+  static Deadline Earlier(Deadline a, Deadline b) {
+    return a.deadline_nanos_ <= b.deadline_nanos_ ? std::move(a)
+                                                  : std::move(b);
+  }
+
+ private:
+  static constexpr int64_t kNever = INT64_MAX;
+
+  Deadline(int64_t deadline_nanos, MonotonicClock clock)
+      : deadline_nanos_(deadline_nanos), clock_(std::move(clock)) {}
+
+  int64_t NowNanos() const;
+
+  int64_t deadline_nanos_ = kNever;
+  MonotonicClock clock_;  // null → MonotonicNowNanos
+};
+
+// A poll-only view of a cancellation flag plus an optional deadline.
+// Default-constructed tokens never cancel, so APIs can take a token by
+// value (or a defaulted `const CancellationToken*`) without forcing
+// callers to care. Copies observe the same flag.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(Deadline deadline)
+      : deadline_(std::move(deadline)) {}
+
+  // OK while the work may continue; CancelledError once the source
+  // tripped; DeadlineExceededError once the deadline passed. Cancel
+  // wins over deadline when both hold (the caller asked first).
+  Status Check() const;
+
+  bool can_cancel() const { return flag_ != nullptr; }
+  const Deadline& deadline() const { return deadline_; }
+
+  // A copy of this token whose deadline is the earlier of its own and
+  // `deadline` — how a configured default deadline composes with a
+  // caller-supplied token (the stricter limit applies).
+  CancellationToken MergedWith(Deadline deadline) const {
+    return CancellationToken(
+        flag_, Deadline::Earlier(deadline_, std::move(deadline)));
+  }
+
+ private:
+  friend class CancellationSource;
+  CancellationToken(std::shared_ptr<const std::atomic<bool>> flag,
+                    Deadline deadline)
+      : flag_(std::move(flag)), deadline_(std::move(deadline)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;  // null → never cancelled
+  Deadline deadline_;
+};
+
+// Owns the flag behind a family of tokens. Thread-safe: Cancel() may
+// race with Check() on any thread.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  CancellationToken token() const { return CancellationToken(flag_, {}); }
+  CancellationToken TokenWithDeadline(Deadline deadline) const {
+    return CancellationToken(flag_, std::move(deadline));
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_CANCELLATION_H_

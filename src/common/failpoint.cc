@@ -33,6 +33,8 @@ constexpr const char* kKnownSites[] = {
     "warehouse.replica.after_log",
     "replication.transfer.after_copy",
     "replication.transfer.after_current",
+    "warehouse.cancel.before_wal_abort",
+    "warehouse.cancel.after_wal_abort",
 };
 
 struct ArmedSite {
@@ -64,6 +66,29 @@ bool IsKnownSite(const std::string& site) {
 std::vector<std::string> Failpoints::KnownSites() {
   return std::vector<std::string>(std::begin(kKnownSites),
                                   std::end(kKnownSites));
+}
+
+std::vector<Failpoints::SiteInfo> Failpoints::ListSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<SiteInfo> sites;
+  sites.reserve(std::size(kKnownSites));
+  for (const char* known : kKnownSites) {
+    SiteInfo info;
+    info.site = known;
+    if (auto it = registry.armed.find(info.site);
+        it != registry.armed.end()) {
+      info.armed = true;
+      info.action = it->second.action;
+      info.trigger_on_hit = it->second.trigger_on_hit;
+    }
+    if (auto it = registry.hit_counts.find(info.site);
+        it != registry.hit_counts.end()) {
+      info.hits = it->second;
+    }
+    sites.push_back(std::move(info));
+  }
+  return sites;
 }
 
 Status Failpoints::Arm(const std::string& site, Action action,

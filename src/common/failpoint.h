@@ -40,6 +40,20 @@ class Failpoints {
   // Every site compiled into the library, for kill-at-every-site loops.
   static std::vector<std::string> KnownSites();
 
+  // One registry row for ListSites(): the site name plus its current
+  // armed state (if any) and lifetime hit count.
+  struct SiteInfo {
+    std::string site;
+    bool armed = false;
+    Action action = Action::kError;  // Meaningful only when armed.
+    int trigger_on_hit = 0;          // Meaningful only when armed.
+    uint64_t hits = 0;  // Counted only while any site is armed.
+  };
+
+  // Every known site with its armed state, in registry order — the
+  // CLI's `failpoints` subcommand renders this.
+  static std::vector<SiteInfo> ListSites();
+
   // Arms `site` to fire once, on its `trigger_on_hit`-th hit (1 = the
   // next hit), then disarm itself. Unknown sites are rejected.
   static Status Arm(const std::string& site, Action action,

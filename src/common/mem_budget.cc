@@ -1,0 +1,56 @@
+#include "common/mem_budget.h"
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+bool MemoryBudget::ChargeLocal(uint64_t bytes) {
+  uint64_t used = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (limit_bytes_ > 0 && used + bytes > limit_bytes_) {
+      refusals_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const uint64_t now = used + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !peak_.compare_exchange_weak(peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::ReleaseLocal(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status MemoryBudget::TryCharge(uint64_t bytes) {
+  if (bytes == 0) return Status::Ok();
+  if (!ChargeLocal(bytes)) {
+    return ResourceExhaustedError(StrCat(
+        "memory budget '", name_, "' exhausted: ", bytes,
+        " bytes requested, ", used_bytes(), " of ", limit_bytes_,
+        " in use"));
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->TryCharge(bytes);
+    if (!up.ok()) {
+      ReleaseLocal(bytes);
+      return up;
+    }
+  }
+  return Status::Ok();
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  ReleaseLocal(bytes);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+}  // namespace mindetail

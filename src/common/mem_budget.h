@@ -1,0 +1,108 @@
+// Reservation-style hierarchical memory accounting.
+//
+// A `MemoryBudget` tracks bytes an operation intends to materialize
+// (table rows, join intermediates, cached results) against a soft
+// limit. There is no allocator hook: call sites charge the budget
+// *before* materializing and release when the object dies, so a
+// too-large query is refused with `kResourceExhausted` instead of
+// OOMing the process. Budgets form a tree — a per-query budget charges
+// its parent (the warehouse-wide budget) transitively, so the sum of
+// concurrent queries is bounded too. All counters are atomics; charge
+// and release are thread-safe and lock-free.
+
+#ifndef MINDETAIL_COMMON_MEM_BUDGET_H_
+#define MINDETAIL_COMMON_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mindetail {
+
+class MemoryBudget {
+ public:
+  // `limit_bytes` 0 means unlimited (accounting only). `parent` must
+  // outlive this budget; charges propagate to it.
+  explicit MemoryBudget(std::string name, uint64_t limit_bytes = 0,
+                        MemoryBudget* parent = nullptr)
+      : name_(std::move(name)), limit_bytes_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Reserves `bytes` against this budget and every ancestor. On
+  // refusal (any level would exceed its limit) nothing is charged
+  // anywhere and `kResourceExhausted` names the refusing budget.
+  Status TryCharge(uint64_t bytes);
+
+  // Returns a previously charged reservation, up the same chain.
+  void Release(uint64_t bytes);
+
+  const std::string& name() const { return name_; }
+  uint64_t limit_bytes() const { return limit_bytes_; }
+  uint64_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  uint64_t refusals() const {
+    return refusals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Charges this level only; false if the limit would be exceeded.
+  bool ChargeLocal(uint64_t bytes);
+  void ReleaseLocal(uint64_t bytes);
+
+  const std::string name_;
+  const uint64_t limit_bytes_;
+  MemoryBudget* const parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> refusals_{0};
+};
+
+// RAII reservation: releases what it holds on destruction. Movable.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryBudget* budget, uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {}
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation() { Reset(); }
+
+  void Reset() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_COMMON_MEM_BUDGET_H_

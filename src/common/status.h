@@ -36,6 +36,18 @@ enum class StatusCode {
   // pointer names a checkpoint that no longer exists, or a shipped
   // WAL frame fails its CRC).
   kDataLoss,
+  // The operation's deadline expired before it finished. The operation
+  // rolled back; retrying with a larger deadline is safe.
+  kDeadlineExceeded,
+  // The caller cancelled the operation via a CancellationToken. The
+  // operation rolled back; retrying is safe.
+  kCancelled,
+  // A memory budget would be exceeded; the operation was refused
+  // before materializing. Retry with a smaller query or larger budget.
+  kResourceExhausted,
+  // The service is overloaded and shed this request. Transient —
+  // retry after the hinted backoff.
+  kUnavailable,
 };
 
 // Returns the canonical name of `code` (e.g. "InvalidArgument").
@@ -82,6 +94,10 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status CancelledError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 }  // namespace mindetail
 

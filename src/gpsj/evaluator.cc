@@ -42,10 +42,11 @@ Result<Table> ShapeOutput(const Table& input, const GpsjViewDef& def) {
 
 Result<Table> EvaluateJoinOver(
     const std::map<std::string, const Table*>& tables,
-    const GpsjViewDef& def) {
+    const GpsjViewDef& def, const CancellationToken* cancel) {
   // Locally select and qualify every referenced table.
   std::map<std::string, Table> prepared;
   for (const std::string& name : def.tables()) {
+    if (cancel != nullptr) MD_RETURN_IF_ERROR(cancel->Check());
     auto it = tables.find(name);
     if (it == tables.end() || it->second == nullptr) {
       return NotFoundError(StrCat("no table provided for '", name, "'"));
@@ -82,6 +83,7 @@ Result<Table> EvaluateJoinOver(
   // Repeatedly attach any table whose parent is already joined.
   std::vector<JoinEdge> pending = def.joins();
   while (!pending.empty()) {
+    if (cancel != nullptr) MD_RETURN_IF_ERROR(cancel->Check());
     bool progressed = false;
     for (size_t i = 0; i < pending.size(); ++i) {
       const JoinEdge& edge = pending[i];
@@ -135,8 +137,9 @@ Result<Table> EvaluateJoinOver(
 
 Result<Table> EvaluateGpsjOver(
     const std::map<std::string, const Table*>& tables,
-    const GpsjViewDef& def) {
-  MD_ASSIGN_OR_RETURN(Table joined, EvaluateJoinOver(tables, def));
+    const GpsjViewDef& def, const CancellationToken* cancel) {
+  MD_ASSIGN_OR_RETURN(Table joined, EvaluateJoinOver(tables, def, cancel));
+  if (cancel != nullptr) MD_RETURN_IF_ERROR(cancel->Check());
 
   std::vector<std::string> group_attrs;
   for (const AttributeRef& ref : def.GroupByAttrs()) {
@@ -167,13 +170,14 @@ Result<Table> EvaluateGpsjOver(
   return filtered;
 }
 
-Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def) {
+Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def,
+                           const CancellationToken* cancel) {
   std::map<std::string, const Table*> tables;
   for (const std::string& name : def.tables()) {
     MD_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
     tables.emplace(name, table);
   }
-  return EvaluateGpsjOver(tables, def);
+  return EvaluateGpsjOver(tables, def, cancel);
 }
 
 }  // namespace mindetail

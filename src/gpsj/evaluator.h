@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "gpsj/view_def.h"
 #include "relational/catalog.h"
@@ -20,19 +21,22 @@ namespace mindetail {
 // Evaluates `def` over explicitly provided tables (one per referenced
 // base table, with the base-table schema). Output columns follow the
 // view's output order and names; rows are sorted for determinism.
+// A non-null `cancel` is polled between join steps; a tripped token
+// aborts the evaluation with kCancelled/kDeadlineExceeded.
 Result<Table> EvaluateGpsjOver(
     const std::map<std::string, const Table*>& tables,
-    const GpsjViewDef& def);
+    const GpsjViewDef& def, const CancellationToken* cancel = nullptr);
 
 // Convenience: evaluates over the base tables in `catalog`.
-Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def);
+Result<Table> EvaluateGpsj(const Catalog& catalog, const GpsjViewDef& def,
+                           const CancellationToken* cancel = nullptr);
 
 // The join of all referenced tables after local selections, with
 // qualified column names ("sale.price"), *before* generalized
 // projection. Exposed for the PSJ baseline and for tests.
 Result<Table> EvaluateJoinOver(
     const std::map<std::string, const Table*>& tables,
-    const GpsjViewDef& def);
+    const GpsjViewDef& def, const CancellationToken* cancel = nullptr);
 
 }  // namespace mindetail
 

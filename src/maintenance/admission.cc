@@ -1,0 +1,110 @@
+#include "maintenance/admission.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+void OverloadController::Permit::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Finish(start_nanos_);
+  controller_ = nullptr;
+}
+
+OverloadController::OverloadController(Options options)
+    : options_(std::move(options)) {}
+
+int64_t OverloadController::NowNanos() const {
+  return options_.clock ? options_.clock() : MonotonicNowNanos();
+}
+
+int OverloadController::RetryAfterMs(int consecutive_sheds) const {
+  int64_t delay = options_.base_delay_ms;
+  for (int i = 1; i < consecutive_sheds && delay < options_.max_delay_ms;
+       ++i) {
+    delay *= 2;
+  }
+  return static_cast<int>(
+      std::min<int64_t>(delay, options_.max_delay_ms));
+}
+
+Result<OverloadController::Permit> OverloadController::Admit(
+    uint64_t batch_rows) {
+  if (options_.max_inflight_batches > 0) {
+    const int inflight = inflight_.load(std::memory_order_relaxed);
+    const bool heavy = batch_rows >= options_.heavy_batch_rows;
+    const double latency_ms =
+        latency_ewma_nanos_.load(std::memory_order_relaxed) / 1e6;
+    const bool latency_pressure =
+        options_.soft_apply_latency_ms > 0 &&
+        latency_ms > options_.soft_apply_latency_ms;
+    const bool window_full = inflight >= options_.max_inflight_batches;
+    // Heavy batches refuse first: once the window is half occupied, or
+    // whenever observed apply latency is over the soft target.
+    const bool shed_heavy =
+        heavy && (latency_pressure ||
+                  2 * inflight >= options_.max_inflight_batches);
+    if (window_full || shed_heavy) {
+      const int sheds =
+          consecutive_sheds_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const int retry_after = RetryAfterMs(sheds);
+      last_retry_after_ms_.store(retry_after, std::memory_order_relaxed);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (!window_full) {
+        shed_heavy_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return UnavailableError(StrCat(
+          "overloaded: ", inflight, " of ", options_.max_inflight_batches,
+          " batches in flight",
+          window_full ? "" : " (heavy batch shed under pressure)",
+          "; retry after ", retry_after, " ms"));
+    }
+  }
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_sheds_.store(0, std::memory_order_relaxed);
+  return Permit(this, NowNanos());
+}
+
+void OverloadController::Finish(int64_t start_nanos) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  const int64_t elapsed = std::max<int64_t>(0, NowNanos() - start_nanos);
+  int64_t prev = latency_ewma_nanos_.load(std::memory_order_relaxed);
+  while (true) {
+    const int64_t next =
+        prev == 0 ? elapsed
+                  : static_cast<int64_t>(options_.latency_alpha * elapsed +
+                                         (1.0 - options_.latency_alpha) *
+                                             prev);
+    if (latency_ewma_nanos_.compare_exchange_weak(
+            prev, next, std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+OverloadStats OverloadController::Snapshot() const {
+  OverloadStats stats;
+  stats.admission_enabled = options_.max_inflight_batches > 0;
+  stats.max_inflight = options_.max_inflight_batches;
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.shed_heavy = shed_heavy_.load(std::memory_order_relaxed);
+  stats.apply_latency_ewma_ms =
+      latency_ewma_nanos_.load(std::memory_order_relaxed) / 1e6;
+  stats.last_retry_after_ms =
+      last_retry_after_ms_.load(std::memory_order_relaxed);
+  stats.cancelled_batches =
+      cancelled_batches_.load(std::memory_order_relaxed);
+  stats.cancelled_queries =
+      cancelled_queries_.load(std::memory_order_relaxed);
+  stats.deadline_queries =
+      deadline_queries_.load(std::memory_order_relaxed);
+  stats.budget_refusals =
+      budget_refusals_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,148 @@
+// Ingest-path overload protection.
+//
+// An `OverloadController` bounds how many change batches may be in
+// flight at once and sheds load before the warehouse falls behind.
+// Shedding is prioritized: duplicate acks never reach the controller
+// (the warehouse answers them before admission — they cost ~nothing
+// and re-sending them would only add load), new *heavy* batches are
+// refused first (once the window is half full, or whenever the
+// observed apply latency exceeds the soft target), and every batch is
+// refused once the window is full. A shed batch gets `kUnavailable`
+// with a retry-after hint computed from the same exponential-backoff
+// schedule as RetryOptions (jitterless, so the hint is deterministic):
+// consecutive sheds back the hint off, an admit resets it.
+//
+// The controller also owns the warehouse's degradation counters
+// (cancelled batches/queries, deadline expiries, budget refusals) so
+// the const, multi-threaded Query() path can bump them lock-free.
+
+#ifndef MINDETAIL_MAINTENANCE_ADMISSION_H_
+#define MINDETAIL_MAINTENANCE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mindetail {
+
+// Plain snapshot of the controller's state, for WarehouseReport.
+struct OverloadStats {
+  bool admission_enabled = false;
+  int max_inflight = 0;
+  int inflight = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;        // Total refused with kUnavailable.
+  uint64_t shed_heavy = 0;  // Of those, refused by the heavy-first rule.
+  double apply_latency_ewma_ms = 0.0;
+  int last_retry_after_ms = 0;
+  // Graceful-degradation counters (bumped by the warehouse).
+  uint64_t cancelled_batches = 0;
+  uint64_t cancelled_queries = 0;
+  uint64_t deadline_queries = 0;
+  uint64_t budget_refusals = 0;
+};
+
+class OverloadController {
+ public:
+  struct Options {
+    // In-flight batch window; 0 disables shedding (the controller then
+    // only tracks latency and counters).
+    int max_inflight_batches = 0;
+    // Total changed rows at or above which a batch counts as heavy.
+    uint64_t heavy_batch_rows = 10000;
+    // Apply-latency EWMA above this sheds heavy batches even with a
+    // non-full window; 0 disables the latency signal.
+    int soft_apply_latency_ms = 0;
+    // EWMA smoothing factor in (0, 1].
+    double latency_alpha = 0.25;
+    // Retry-after schedule: min(max_delay_ms, base_delay_ms·2^(n-1))
+    // for the n-th consecutive shed. Mirrors RetryOptions sans jitter.
+    int base_delay_ms = 1;
+    int max_delay_ms = 64;
+    // Injectable monotonic clock (tests); null = process steady clock.
+    MonotonicClock clock;
+  };
+
+  // RAII admission slot: releasing it (or letting it die) frees the
+  // in-flight slot and folds the batch's apply latency into the EWMA.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept
+        : controller_(other.controller_), start_nanos_(other.start_nanos_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        start_nanos_ = other.start_nanos_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    void Release();
+    bool active() const { return controller_ != nullptr; }
+
+   private:
+    friend class OverloadController;
+    Permit(OverloadController* controller, int64_t start_nanos)
+        : controller_(controller), start_nanos_(start_nanos) {}
+
+    OverloadController* controller_ = nullptr;
+    int64_t start_nanos_ = 0;
+  };
+
+  explicit OverloadController(Options options);
+
+  // Admission decision for a batch touching `batch_rows` changed rows.
+  // Returns a live Permit, or kUnavailable with a retry-after hint.
+  // Always admits (and tracks latency) when shedding is disabled.
+  Result<Permit> Admit(uint64_t batch_rows);
+
+  // Degradation counters, bumped from the apply/query paths.
+  void RecordCancelledBatch() { Bump(cancelled_batches_); }
+  void RecordCancelledQuery() { Bump(cancelled_queries_); }
+  void RecordDeadlineQuery() { Bump(deadline_queries_); }
+  void RecordBudgetRefusal() { Bump(budget_refusals_); }
+
+  OverloadStats Snapshot() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  static void Bump(std::atomic<uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t NowNanos() const;
+  // min(max_delay, base·2^(n-1)) for the n-th consecutive shed.
+  int RetryAfterMs(int consecutive_sheds) const;
+  void Finish(int64_t start_nanos);  // Permit release.
+
+  const Options options_;
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> shed_heavy_{0};
+  std::atomic<int> consecutive_sheds_{0};
+  std::atomic<int> last_retry_after_ms_{0};
+  // EWMA of batch apply latency, in nanoseconds (CAS-updated).
+  std::atomic<int64_t> latency_ewma_nanos_{0};
+
+  std::atomic<uint64_t> cancelled_batches_{0};
+  std::atomic<uint64_t> cancelled_queries_{0};
+  std::atomic<uint64_t> deadline_queries_{0};
+  std::atomic<uint64_t> budget_refusals_{0};
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_MAINTENANCE_ADMISSION_H_

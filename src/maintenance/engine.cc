@@ -784,6 +784,7 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
   }
 
   if (!shardable) {
+    MD_RETURN_IF_ERROR(CheckCancel());
     Table staged(StrCat("delta_", table), schema);
     for (const Tuple& row : rows) {
       MD_RETURN_IF_ERROR(staged.Insert(row));
@@ -825,6 +826,12 @@ Result<Table> SelfMaintenanceEngine::PrepareFragment(
   std::vector<Result<Table>> shard_results(
       num_shards, Result<Table>(InternalError("fragment shard not run")));
   pool_->ParallelFor(num_shards, [&](size_t s) {
+    // Between-fragment cancellation: a tripped token stops this shard
+    // before it stages anything; the first shard's status wins below.
+    if (Status cancelled = CheckCancel(); !cancelled.ok()) {
+      shard_results[s] = std::move(cancelled);
+      return;
+    }
     Table staged(StrCat("delta_", table), schema);
     for (const Tuple& row : shards[s]) {
       const Status status = staged.Insert(row);
@@ -941,6 +948,7 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta,
                       prepare(normalized.deletes, "-"));
   MD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> ins_frag,
                       prepare(normalized.inserts, "+"));
+  MD_RETURN_IF_ERROR(CheckCancel());
 
   // Merge into the root auxiliary view (unless eliminated). Canonical
   // row order makes the merge shardable: however shard commits
@@ -963,6 +971,7 @@ Status SelfMaintenanceEngine::ApplyRootDelta(const Delta& delta,
   // Crash/error here leaves the root auxiliary view ahead of the
   // summary — exactly the partial state rollback and recovery must fix.
   MD_FAILPOINT("engine.root.after_aux_merge");
+  MD_RETURN_IF_ERROR(CheckCancel());
 
   GroupKeySet affected;
   SharedJoinCache* join_cache = share ? shared : nullptr;
@@ -1178,6 +1187,7 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
   }
 
   GroupKeySet affected;
+  MD_RETURN_IF_ERROR(CheckCancel());
   // The delta join must see the *other* auxiliary views as they are,
   // and the changed table replaced by the delta fragment; the
   // dimension's own store state does not participate.
@@ -1193,12 +1203,22 @@ Status SelfMaintenanceEngine::ApplyDimDelta(const std::string& table,
 
 Status SelfMaintenanceEngine::Apply(const std::string& table,
                                     const Delta& delta,
-                                    SharedJoinCache* shared) {
+                                    SharedJoinCache* shared,
+                                    const CancellationToken* cancel) {
   if (!derivation_.view().ReferencesTable(table)) {
     return NotFoundError(StrCat("table '", table,
                                 "' is not referenced by view '",
                                 derivation_.view().name(), "'"));
   }
+  // Stash the token for the duration of this apply so the const
+  // maintenance internals (fragment pipeline shards, delta joins) can
+  // poll it. Cleared on every exit path.
+  cancel_ = cancel;
+  struct ClearCancel {
+    const CancellationToken*& slot;
+    ~ClearCancel() { slot = nullptr; }
+  } clear_cancel{cancel_};
+  MD_RETURN_IF_ERROR(CheckCancel());
   ++stats_.batches_applied;
   stats_.rows_processed += delta.Size();
   if (delta.Empty()) return Status::Ok();
@@ -1223,7 +1243,8 @@ Status SelfMaintenanceEngine::Apply(const std::string& table,
 }
 
 Status SelfMaintenanceEngine::ApplyTransaction(
-    const std::map<std::string, Delta>& changes, SharedJoinCache* shared) {
+    const std::map<std::string, Delta>& changes, SharedJoinCache* shared,
+    const CancellationToken* cancel) {
   for (const auto& [table, delta] : changes) {
     (void)delta;
     if (!derivation_.view().ReferencesTable(table)) {
@@ -1241,7 +1262,7 @@ Status SelfMaintenanceEngine::ApplyTransaction(
     if (it == changes.end() || it->second.deletes.empty()) continue;
     Delta deletions;
     deletions.deletes = it->second.deletes;
-    MD_RETURN_IF_ERROR(Apply(table, deletions, shared));
+    MD_RETURN_IF_ERROR(Apply(table, deletions, shared, cancel));
   }
   // Phase 2: insertions and updates, leaves-first (a dimension row
   // exists before any fact referencing it).
@@ -1252,7 +1273,7 @@ Status SelfMaintenanceEngine::ApplyTransaction(
     rest.inserts = change->second.inserts;
     rest.updates = change->second.updates;
     if (rest.Empty()) continue;
-    MD_RETURN_IF_ERROR(Apply(*it, rest, shared));
+    MD_RETURN_IF_ERROR(Apply(*it, rest, shared, cancel));
   }
   return Status::Ok();
 }

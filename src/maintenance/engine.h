@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "core/derive.h"
 #include "core/reconstruct.h"
 #include "gpsj/evaluator.h"
@@ -239,16 +240,22 @@ class SelfMaintenanceEngine {
   // facts that reference them). When `shared` is non-null and this
   // engine carries a nonzero lineage token, root-delta fragments and
   // delta joins go through the per-batch shared cache — bit-identical
-  // to the unshared path (see shared_plan.h).
+  // to the unshared path (see shared_plan.h). A non-null `cancel` is
+  // polled between maintenance stages and inside sharded fragment
+  // workers; a tripped token surfaces kCancelled/kDeadlineExceeded,
+  // which the caller handles exactly like any other mid-apply failure
+  // (Warehouse rolls the engine back to its pre-batch snapshot).
   Status Apply(const std::string& table, const Delta& delta,
-               SharedJoinCache* shared = nullptr);
+               SharedJoinCache* shared = nullptr,
+               const CancellationToken* cancel = nullptr);
 
   // Applies a multi-table change set as one unit, ordering the pieces
   // for referential-integrity consistency automatically: deletions run
   // root-first down the join tree, then insertions and updates run
   // leaves-first — so facts never dangle.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes,
-                          SharedJoinCache* shared = nullptr);
+                          SharedJoinCache* shared = nullptr,
+                          const CancellationToken* cancel = nullptr);
 
   // The current view contents (view-output columns, sorted rows).
   Result<Table> View() const { return summary_.Render(); }
@@ -326,6 +333,11 @@ class SelfMaintenanceEngine {
 
   std::map<std::string, const Table*> AuxTableMap() const;
 
+  // Ok unless the in-flight Apply's token tripped.
+  Status CheckCancel() const {
+    return cancel_ == nullptr ? Status::Ok() : cancel_->Check();
+  }
+
   Status ApplyRootDelta(const Delta& delta, SharedJoinCache* shared);
   Status ApplyDimDelta(const std::string& table, const Delta& delta);
   Status ApplyEliminatedDimUpdates(const std::string& table,
@@ -374,6 +386,10 @@ class SelfMaintenanceEngine {
   // Non-null iff options_.num_threads > 1 (shared_ptr so the engine
   // stays movable with ThreadPool forward-declared).
   std::shared_ptr<ThreadPool> pool_;
+  // The in-flight Apply's cancellation token (null outside an apply).
+  // Set at Apply entry so the const fragment pipeline can poll it
+  // without threading a parameter through every private signature.
+  const CancellationToken* cancel_ = nullptr;
 };
 
 }  // namespace mindetail

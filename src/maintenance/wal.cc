@@ -89,7 +89,10 @@ WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
       options_(other.options_),
       last_sequence_(other.last_sequence_),
       num_records_(other.num_records_),
-      size_bytes_(other.size_bytes_) {
+      size_bytes_(other.size_bytes_),
+      abortable_(other.abortable_),
+      prev_last_sequence_(other.prev_last_sequence_),
+      prev_size_bytes_(other.prev_size_bytes_) {
   other.fd_ = -1;
 }
 
@@ -102,6 +105,9 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
     last_sequence_ = other.last_sequence_;
     num_records_ = other.num_records_;
     size_bytes_ = other.size_bytes_;
+    abortable_ = other.abortable_;
+    prev_last_sequence_ = other.prev_last_sequence_;
+    prev_size_bytes_ = other.prev_size_bytes_;
     other.fd_ = -1;
   }
   return *this;
@@ -205,9 +211,39 @@ Status WriteAheadLog::Append(uint64_t sequence, uint8_t kind,
   if (Status s = FailpointCheck("wal.append.after_sync"); !s.ok()) {
     return abandon(std::move(s));
   }
+  abortable_ = true;
+  prev_last_sequence_ = last_sequence_;
+  prev_size_bytes_ = size_bytes_;
   last_sequence_ = sequence;
   ++num_records_;
   size_bytes_ += frame.size();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AbortLast(uint64_t sequence) {
+  MD_CHECK_GE(fd_, 0);
+  if (!abortable_ || sequence != last_sequence_) {
+    return FailedPreconditionError(StrCat(
+        "WAL abort of sequence ", sequence,
+        " refused: only the most recent append (", last_sequence_,
+        abortable_ ? "" : ", no longer abortable", ") can be undone"));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(prev_size_bytes_)) != 0) {
+    return InternalError(StrCat("cannot truncate aborted WAL frame of '",
+                                path_, "': ", std::strerror(errno)));
+  }
+  if (::lseek(fd_, static_cast<off_t>(prev_size_bytes_), SEEK_SET) < 0) {
+    return InternalError(StrCat("cannot rewind WAL '", path_,
+                                "': ", std::strerror(errno)));
+  }
+  if (options_.sync && ::fsync(fd_) != 0) {
+    return InternalError(StrCat("WAL fsync of '", path_,
+                                "' failed: ", std::strerror(errno)));
+  }
+  last_sequence_ = prev_last_sequence_;
+  --num_records_;
+  size_bytes_ = prev_size_bytes_;
+  abortable_ = false;
   return Status::Ok();
 }
 
@@ -228,6 +264,7 @@ Status WriteAheadLog::Reset() {
   // last_sequence_ is intentionally preserved: see Append().
   num_records_ = 0;
   size_bytes_ = 0;
+  abortable_ = false;
   return Status::Ok();
 }
 

@@ -95,6 +95,17 @@ class WriteAheadLog {
                 const std::map<std::string, Delta>& changes,
                 const std::string& key = std::string(), uint64_t epoch = 0);
 
+  // Undoes the most recent successful Append — and only that one:
+  // `sequence` must equal last_sequence() and nothing may have been
+  // appended or Reset() since, or the call is refused with
+  // FailedPrecondition. Truncates the frame off the file (fsync'd in
+  // sync mode) and restores the pre-append counters, leaving the log
+  // byte-identical to the append never happening; the sequence number
+  // becomes reusable. Used when a batch is cancelled after logging but
+  // before any engine commits, so a cancelled batch leaves no WAL
+  // trace.
+  Status AbortLast(uint64_t sequence);
+
   // Truncates the log to empty (after a successful checkpoint). The
   // sequence high-water mark survives: later appends must still advance
   // past every sequence ever acknowledged by this log object.
@@ -112,6 +123,11 @@ class WriteAheadLog {
   uint64_t last_sequence_ = 0;
   uint64_t num_records_ = 0;
   uint64_t size_bytes_ = 0;
+  // Pre-append state of the most recent successful Append, while it is
+  // still abortable (nothing appended or Reset since).
+  bool abortable_ = false;
+  uint64_t prev_last_sequence_ = 0;
+  uint64_t prev_size_bytes_ = 0;
 };
 
 // Incremental reader for tailing a live WAL file — the leader half of

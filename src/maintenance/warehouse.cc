@@ -134,6 +134,32 @@ uint64_t HashTableInto(uint64_t hash, const Table& table) {
   return hash;
 }
 
+// The admission controller inherits the retry backoff schedule for its
+// retry-after hints, so a shed client and a retrying server pace
+// themselves identically.
+OverloadController::Options MakeOverloadOptions(
+    const WarehouseOptions& options) {
+  OverloadController::Options overload;
+  overload.max_inflight_batches = options.max_inflight_batches;
+  overload.base_delay_ms = options.retry.base_delay_ms;
+  overload.max_delay_ms = options.retry.max_delay_ms;
+  return overload;
+}
+
+// Cancellation is a caller decision, not a warehouse failure: these
+// outcomes bypass quarantine and the failed counter, and are safe to
+// resend verbatim.
+bool IsCancelCode(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+uint64_t TotalChangedRows(const std::map<std::string, Delta>& changes) {
+  uint64_t rows = 0;
+  for (const auto& [table, delta] : changes) rows += delta.Size();
+  return rows;
+}
+
 bool TablesClose(const Table& a, const Table& b) {
   if (a.NumRows() != b.NumRows()) return false;
   for (size_t r = 0; r < a.rows().size(); ++r) {
@@ -155,10 +181,14 @@ Warehouse::Warehouse(WarehouseOptions options)
   if (options_.parallelism > 1) {
     view_pool_ = std::make_shared<ThreadPool>(options_.parallelism);
   }
+  overload_ =
+      std::make_shared<OverloadController>(MakeOverloadOptions(options_));
+  query_budget_root_ =
+      std::make_shared<MemoryBudget>("warehouse.query", /*limit_bytes=*/0);
   if (options_.serve_snapshots) {
     snapshots_ = std::make_shared<SnapshotManager>();
-    result_cache_ =
-        std::make_shared<ResultCache>(options_.result_cache_entries);
+    result_cache_ = std::make_shared<ResultCache>(
+        options_.result_cache_entries, options_.result_cache_bytes);
     if (options_.lattice_budget_bytes > 0) {
       LatticeOptions lattice;
       lattice.budget_bytes = options_.lattice_budget_bytes;
@@ -174,10 +204,16 @@ void Warehouse::set_options(WarehouseOptions options) {
                    ? std::make_shared<ThreadPool>(options_.parallelism)
                    : nullptr;
   retry_rng_ = Rng(options_.retry.jitter_seed);
+  // Overload state starts cold under the new knobs, like the lattice
+  // below; degradation counters do not survive an options swap.
+  overload_ =
+      std::make_shared<OverloadController>(MakeOverloadOptions(options_));
+  query_budget_root_ =
+      std::make_shared<MemoryBudget>("warehouse.query", /*limit_bytes=*/0);
   if (options_.serve_snapshots) {
     snapshots_ = std::make_shared<SnapshotManager>();
-    result_cache_ =
-        std::make_shared<ResultCache>(options_.result_cache_entries);
+    result_cache_ = std::make_shared<ResultCache>(
+        options_.result_cache_entries, options_.result_cache_bytes);
     // The lattice starts cold under the new budget; promotion heat does
     // not survive an options swap.
     if (options_.lattice_budget_bytes > 0) {
@@ -477,7 +513,8 @@ void Warehouse::QuarantineBatch(const Status& cause, const std::string& key,
 }
 
 Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
-                              const std::string& client_key) {
+                              const std::string& client_key,
+                              const CancellationToken* cancel) {
   if (options_.read_only) {
     return FailedPreconditionError(
         "warehouse is a read-only follower; ingest on the leader (or "
@@ -487,9 +524,21 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
   if (key.empty() && options_.hash_idempotency) {
     key = logfmt::ContentHashKey(changes);
   }
+  // Duplicate acks come before admission control: they cost ~nothing
+  // and re-sending them under backoff would only add load.
   if (IsDuplicate(key)) {
     ++ingest_stats_.duplicates;
     return Status::Ok();
+  }
+  // Admission: shed before any validation or logging work is spent.
+  // A shed batch is not a warehouse failure — no quarantine, no failed
+  // count; the client retries after the hinted delay.
+  OverloadController::Permit permit;
+  {
+    Result<OverloadController::Permit> admitted =
+        overload_->Admit(TotalChangedRows(changes));
+    MD_RETURN_IF_ERROR(admitted.status());
+    permit = std::move(*admitted);
   }
   if (options_.validate_batches) {
     Status admitted =
@@ -500,8 +549,15 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
       return admitted;
     }
   }
-  Status applied = ApplyLogged(changes, key);
+  Status applied = ApplyLogged(changes, key, cancel);
   if (!applied.ok()) {
+    if (IsCancelCode(applied.code())) {
+      // The rollback already ran: every view, the WAL, and the sequence
+      // are bit-identical to the batch never arriving. Don't quarantine
+      // — the client cancelled on purpose and may resend verbatim.
+      overload_->RecordCancelledBatch();
+      return applied;
+    }
     ++ingest_stats_.failed;
     QuarantineBatch(applied, key, changes);
     return applied;
@@ -528,8 +584,12 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
 }
 
 Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes,
-                              const std::string& key) {
+                              const std::string& key,
+                              const CancellationToken* cancel) {
   const int budget = std::max(0, options_.retry.max_retries);
+  // Pre-log check: a batch cancelled before its WAL append consumes no
+  // sequence number and leaves zero trace.
+  if (cancel != nullptr) MD_RETURN_IF_ERROR(cancel->Check());
   if (wal_ != nullptr) {
     // Phase one: get the batch durably logged. A failed append
     // truncates back to the last acknowledged record (see
@@ -553,9 +613,11 @@ Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes,
   }
   // Phase two: fold the batch into the engines. A failed apply rolls
   // every engine back to the pre-batch state, so a retry starts clean.
+  // Cancel codes are not kInternal, so a tripped token is never
+  // retried.
   Status applied = Status::Ok();
   for (int attempt = 0;; ++attempt) {
-    applied = ApplyToEngines(changes, /*transaction=*/true);
+    applied = ApplyToEngines(changes, /*transaction=*/true, cancel);
     if (applied.ok() || attempt >= budget ||
         applied.code() != StatusCode::kInternal) {
       break;
@@ -563,11 +625,33 @@ Status Warehouse::ApplyLogged(const std::map<std::string, Delta>& changes,
     ++ingest_stats_.retries;
     BackoffSleep(attempt + 1);
   }
+  if (!applied.ok() && IsCancelCode(applied.code())) {
+    // The engines already rolled back; now un-log the batch so crash
+    // recovery cannot replay (and commit) work the client cancelled.
+    // Without this the WAL record would outlive the rollback and the
+    // batch would apply on the next Open — the one case where a logged
+    // record must be withdrawn rather than skipped.
+    if (wal_ != nullptr) {
+      (void)FailpointCheck("warehouse.cancel.before_wal_abort");
+      Status aborted = wal_->AbortLast(sequence_);
+      if (!aborted.ok()) {
+        // The record could not be withdrawn: recovery would replay it.
+        // Surface that as the (retryable) infrastructure failure it is
+        // rather than pretending the cancellation was clean.
+        return InternalError(StrCat(
+            "batch cancelled but its WAL record could not be withdrawn (",
+            aborted.message(), "); recovery would replay it"));
+      }
+      (void)FailpointCheck("warehouse.cancel.after_wal_abort");
+    }
+    --sequence_;
+  }
   return applied;
 }
 
 Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
-                                 bool transaction) {
+                                 bool transaction,
+                                 const CancellationToken* cancel) {
   // The affected engines and their slices of the batch, in registration
   // order — which is also the serial apply order, so "first failure in
   // registration order" below reports exactly the error the serial
@@ -601,11 +685,12 @@ Status Warehouse::ApplyToEngines(const std::map<std::string, Delta>& changes,
   if (share) cache.emplace();
   SharedJoinCache* shared = share ? &*cache : nullptr;
 
-  auto run = [transaction, shared](EngineTask& task) {
+  auto run = [transaction, shared, cancel](EngineTask& task) {
     return transaction
-               ? task.engine->ApplyTransaction(task.relevant, shared)
+               ? task.engine->ApplyTransaction(task.relevant, shared, cancel)
                : task.engine->Apply(task.relevant.begin()->first,
-                                    task.relevant.begin()->second, shared);
+                                    task.relevant.begin()->second, shared,
+                                    cancel);
   };
 
   if (view_pool_ == nullptr || tasks.size() < 2) {
@@ -687,13 +772,19 @@ Status Warehouse::Apply(const std::string& table, const Delta& delta) {
 
 Status Warehouse::ApplyTransaction(
     const std::map<std::string, Delta>& changes) {
-  return IngestBatch(changes, std::string());
+  return IngestBatch(changes, std::string(), nullptr);
 }
 
 Status Warehouse::ApplyTransaction(
     const std::map<std::string, Delta>& changes,
     const std::string& idempotency_key) {
-  return IngestBatch(changes, idempotency_key);
+  return IngestBatch(changes, idempotency_key, nullptr);
+}
+
+Status Warehouse::ApplyTransaction(
+    const std::map<std::string, Delta>& changes,
+    const std::string& idempotency_key, const CancellationToken& cancel) {
+  return IngestBatch(changes, idempotency_key, &cancel);
 }
 
 Status Warehouse::ApplyReplicated(const WriteAheadLog::Record& record) {
@@ -858,7 +949,7 @@ Status Warehouse::QuarantineRetry(uint64_t id) {
   // crash comes back as a duplicate ack — still a success. A batch
   // that fails again stays quarantined (the re-append dedupes on its
   // key), and the entry is kept.
-  MD_RETURN_IF_ERROR(IngestBatch(entry->changes, entry->key));
+  MD_RETURN_IF_ERROR(IngestBatch(entry->changes, entry->key, nullptr));
   return quarantine_->Remove(id);
 }
 
@@ -1071,60 +1162,108 @@ Result<Table> Warehouse::View(const std::string& view_name) const {
 }
 
 Result<Table> Warehouse::Query(std::string_view sql) const {
-  if (snapshots_ == nullptr) {
-    return FailedPreconditionError(
-        "serving is disabled (WarehouseOptions::serve_snapshots)");
-  }
-  // One snapshot for the whole query: parse, plan, and execute all see
-  // the same batch boundary no matter what maintenance does meanwhile.
-  const std::shared_ptr<const WarehouseSnapshot> snapshot =
-      snapshots_->Current();
-  const Catalog empty_catalog;
-  const Catalog& catalog = snapshot->schema_catalog != nullptr
-                               ? *snapshot->schema_catalog
-                               : empty_catalog;
-  MD_ASSIGN_OR_RETURN(GpsjViewDef query, ParseServeQuery(catalog, sql));
-  const std::string key = query.ToSqlString();
-  if (result_cache_ != nullptr) {
-    if (std::shared_ptr<const Table> hit =
-            result_cache_->Lookup(key, *snapshot)) {
-      return *hit;
+  return Query(sql, CancellationToken());
+}
+
+Result<Table> Warehouse::Query(std::string_view sql,
+                               const CancellationToken& cancel) const {
+  auto run = [&]() -> Result<Table> {
+    if (snapshots_ == nullptr) {
+      return FailedPreconditionError(
+          "serving is disabled (WarehouseOptions::serve_snapshots)");
     }
-  }
-  QueryPlanner planner(snapshot.get());
-  MD_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
-  if (lattice_ != nullptr) {
-    // Promotion heat: a node answer keeps the node hot; a summary
-    // roll-up that *could* have come from a (not yet promoted) coarser
-    // node records that grouping as a candidate.
-    if (plan.strategy == QueryPlan::Strategy::kLatticeRollup) {
-      lattice_->RecordHit(plan.lattice_node);
-    } else if (plan.strategy == QueryPlan::Strategy::kSummaryRollup) {
-      if (const ServedView* served = snapshot->Find(plan.view)) {
-        if (std::optional<std::vector<std::string>> grouping =
-                LatticeCandidateGrouping(*served, plan.summary)) {
-          lattice_->RecordUse(plan.view, *grouping);
+    // The caller's token merged with the configured default deadline —
+    // whichever limit is stricter governs the whole query.
+    const CancellationToken token =
+        options_.default_query_deadline_ms > 0
+            ? cancel.MergedWith(
+                  Deadline::After(options_.default_query_deadline_ms))
+            : cancel;
+    MD_RETURN_IF_ERROR(token.Check());
+    // One snapshot for the whole query: parse, plan, and execute all see
+    // the same batch boundary no matter what maintenance does meanwhile.
+    const std::shared_ptr<const WarehouseSnapshot> snapshot =
+        snapshots_->Current();
+    const Catalog empty_catalog;
+    const Catalog& catalog = snapshot->schema_catalog != nullptr
+                                 ? *snapshot->schema_catalog
+                                 : empty_catalog;
+    MD_ASSIGN_OR_RETURN(GpsjViewDef query, ParseServeQuery(catalog, sql));
+    const std::string key = query.ToSqlString();
+    if (result_cache_ != nullptr) {
+      if (std::shared_ptr<const Table> hit =
+              result_cache_->Lookup(key, *snapshot)) {
+        return *hit;
+      }
+    }
+    QueryPlanner planner(snapshot.get());
+    MD_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
+    MD_RETURN_IF_ERROR(token.Check());
+    if (lattice_ != nullptr) {
+      // Promotion heat: a node answer keeps the node hot; a summary
+      // roll-up that *could* have come from a (not yet promoted) coarser
+      // node records that grouping as a candidate.
+      if (plan.strategy == QueryPlan::Strategy::kLatticeRollup) {
+        lattice_->RecordHit(plan.lattice_node);
+      } else if (plan.strategy == QueryPlan::Strategy::kSummaryRollup) {
+        if (const ServedView* served = snapshot->Find(plan.view)) {
+          if (std::optional<std::vector<std::string>> grouping =
+                  LatticeCandidateGrouping(*served, plan.summary)) {
+            lattice_->RecordUse(plan.view, *grouping);
+          }
         }
       }
     }
-  }
-  MD_ASSIGN_OR_RETURN(Table result, planner.Execute(plan, query));
-  if (result_cache_ != nullptr) {
-    // Guard the entry with its actual source: the node key and version
-    // for lattice answers, so a demotion or refresh invalidates it.
-    const std::string source =
-        plan.strategy == QueryPlan::Strategy::kLatticeRollup
-            ? plan.lattice_node
-            : plan.view;
-    if (std::optional<uint64_t> version = snapshot->SourceVersion(source)) {
-      result_cache_->Insert(key, source, *version,
-                            std::make_shared<const Table>(result));
+    // The per-query budget is a child of the warehouse root, so the
+    // root's peak tracks cross-query pressure while each query is
+    // refused individually at its own limit.
+    MemoryBudget query_budget("query", options_.query_memory_budget_bytes,
+                              query_budget_root_.get());
+    ExecContext ctx;
+    ctx.cancel = &token;
+    if (options_.query_memory_budget_bytes > 0) ctx.budget = &query_budget;
+    MD_ASSIGN_OR_RETURN(Table result, planner.Execute(plan, query, ctx));
+    if (result_cache_ != nullptr) {
+      // Guard the entry with its actual source: the node key and version
+      // for lattice answers, so a demotion or refresh invalidates it.
+      // Only a completed result lands here — a cancelled or
+      // budget-refused query never caches anything.
+      const std::string source =
+          plan.strategy == QueryPlan::Strategy::kLatticeRollup
+              ? plan.lattice_node
+              : plan.view;
+      if (std::optional<uint64_t> version = snapshot->SourceVersion(source)) {
+        result_cache_->Insert(key, source, *version,
+                              std::make_shared<const Table>(result));
+      }
+    }
+    return result;
+  };
+  Result<Table> result = run();
+  if (!result.ok()) {
+    switch (result.status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        overload_->RecordDeadlineQuery();
+        break;
+      case StatusCode::kCancelled:
+        overload_->RecordCancelledQuery();
+        break;
+      case StatusCode::kResourceExhausted:
+        overload_->RecordBudgetRefusal();
+        break;
+      default:
+        break;
     }
   }
   return result;
 }
 
 Result<QueryExplanation> Warehouse::ExplainQuery(std::string_view sql) const {
+  return ExplainQuery(sql, CancellationToken());
+}
+
+Result<QueryExplanation> Warehouse::ExplainQuery(
+    std::string_view sql, const CancellationToken& cancel) const {
   if (snapshots_ == nullptr) {
     return FailedPreconditionError(
         "serving is disabled (WarehouseOptions::serve_snapshots)");
@@ -1149,6 +1288,24 @@ Result<QueryExplanation> Warehouse::ExplainQuery(std::string_view sql) const {
     explanation.has_lattice = true;
     explanation.lattice = lattice_->stats();
     explanation.lattice_budget_bytes = options_.lattice_budget_bytes;
+  }
+  if (options_.default_query_deadline_ms > 0 ||
+      options_.query_memory_budget_bytes > 0 || cancel.can_cancel() ||
+      !cancel.deadline().unlimited()) {
+    explanation.has_governor = true;
+    explanation.deadline_ms = options_.default_query_deadline_ms;
+    explanation.memory_budget_bytes = options_.query_memory_budget_bytes;
+    // A plan the governor would reject outright explains why: the
+    // caller's token has already tripped (deadline or cancel), so
+    // Query() with this token returns this status without executing.
+    const CancellationToken token =
+        options_.default_query_deadline_ms > 0
+            ? cancel.MergedWith(
+                  Deadline::After(options_.default_query_deadline_ms))
+            : cancel;
+    if (Status governed = token.Check(); !governed.ok()) {
+      explanation.governor_rejection = std::string(governed.message());
+    }
   }
   return explanation;
 }
@@ -1342,6 +1499,10 @@ WarehouseReport Warehouse::Report() const {
   report.ingest = ingest_stats_;
   if (result_cache_ != nullptr) report.cache = result_cache_->stats();
   if (lattice_ != nullptr) report.lattice = lattice_->stats();
+  if (overload_ != nullptr) report.overload = overload_->Snapshot();
+  if (query_budget_root_ != nullptr) {
+    report.query_memory_peak_bytes = query_budget_root_->peak_bytes();
+  }
   report.recovery = recovery_;
   report.durable = durable();
   report.directory = dir_;
@@ -1408,6 +1569,28 @@ std::string WarehouseReport::ToString() const {
                 " miss(es), ", cache.insertions, " insertion(s), ",
                 cache.invalidations, " invalidation(s), ", cache.evictions,
                 " eviction(s)\n");
+  out += StrCat("  bytes: ", FormatBytes(cache.bytes_used), " resident, ",
+                FormatBytes(cache.bytes_evicted), " evicted (",
+                cache.byte_evictions, " byte eviction(s))\n");
+  out += StrCat("Overload: admission ",
+                overload.admission_enabled
+                    ? StrCat("on (", overload.inflight, " of ",
+                             overload.max_inflight, " in flight)")
+                    : std::string("off"),
+                ", ", overload.admitted, " admitted, ", overload.shed,
+                " shed (", overload.shed_heavy, " heavy)\n");
+  out += StrCat("  cancelled: ", overload.cancelled_batches, " batch(es), ",
+                overload.cancelled_queries, " query(ies); deadline expiries ",
+                overload.deadline_queries, ", budget refusals ",
+                overload.budget_refusals, "\n");
+  {
+    const double ewma = overload.apply_latency_ewma_ms;
+    const int64_t tenths = static_cast<int64_t>(ewma * 10.0 + 0.5);
+    out += StrCat("  apply latency ewma ", tenths / 10, ".", tenths % 10,
+                  " ms, last retry-after ", overload.last_retry_after_ms,
+                  " ms, query memory peak ",
+                  FormatBytes(query_memory_peak_bytes), "\n");
+  }
   out += StrCat("Lattice: ", lattice.nodes, " node(s), ",
                 FormatBytes(lattice.bytes), "; ", lattice.folds,
                 " fold(s), ", lattice.rebuilds, " rebuild(s), ",

@@ -76,8 +76,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/mem_budget.h"
 #include "common/rng.h"
 #include "gpsj/parser.h"
+#include "maintenance/admission.h"
 #include "maintenance/engine.h"
 #include "maintenance/ingest.h"
 #include "maintenance/quarantine.h"
@@ -167,6 +170,22 @@ struct WarehouseOptions {
   // see QuarantineLog::Options). 0 disables a cap.
   uint64_t quarantine_max_entries = 1024;
   uint64_t quarantine_max_bytes = 64ull << 20;
+  // Overload protection (see maintenance/admission.h and DESIGN.md §19).
+  // Every Query() runs under this deadline unless the caller passes a
+  // stricter token; an expired deadline returns kDeadlineExceeded and
+  // never publishes or caches a partial result. 0 = no deadline.
+  int64_t default_query_deadline_ms = 0;
+  // Per-query cap on bytes materialized by planner intermediates (aux
+  // joins); exceeding it returns kResourceExhausted instead of OOMing.
+  // 0 = unlimited.
+  uint64_t query_memory_budget_bytes = 0;
+  // Byte cap for the result cache, alongside result_cache_entries
+  // (0 = entries-only).
+  uint64_t result_cache_bytes = 0;
+  // Ingest admission window: at most this many batches in flight at
+  // once; past it (or for heavy batches under latency pressure) new
+  // batches are shed with kUnavailable + a retry-after hint. 0 = off.
+  int max_inflight_batches = 0;
   RetryOptions retry;
 
   WarehouseOptions& WithEngineDefaults(EngineOptions options) {
@@ -225,6 +244,22 @@ struct WarehouseOptions {
                                        uint64_t max_bytes) {
     quarantine_max_entries = max_entries;
     quarantine_max_bytes = max_bytes;
+    return *this;
+  }
+  WarehouseOptions& WithQueryDeadline(int64_t ms) {
+    default_query_deadline_ms = ms;
+    return *this;
+  }
+  WarehouseOptions& WithQueryMemoryBudget(uint64_t bytes) {
+    query_memory_budget_bytes = bytes;
+    return *this;
+  }
+  WarehouseOptions& WithResultCacheBytes(uint64_t bytes) {
+    result_cache_bytes = bytes;
+    return *this;
+  }
+  WarehouseOptions& WithMaxInflightBatches(int batches) {
+    max_inflight_batches = batches;
     return *this;
   }
   WarehouseOptions& WithRetries(int max_retries) {
@@ -305,6 +340,11 @@ struct WarehouseReport {
   ResultCache::Stats cache;
   LatticeStats lattice;
   RecoveryStats recovery;
+  // Overload protection: admission window, shed/cancelled/deadline/
+  // budget-refusal counters, observed apply latency.
+  OverloadStats overload;
+  // Per-query memory-budget high-water marks (root accounting).
+  uint64_t query_memory_peak_bytes = 0;
   // Replication / durability.
   bool durable = false;
   std::string directory;
@@ -397,6 +437,18 @@ class Warehouse {
   // checkpoints, so the guarantee holds across crash recovery too.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes,
                           const std::string& idempotency_key);
+
+  // As above with cooperative cancellation: the token is polled between
+  // maintenance stages and sharded fragments (see engine.h). A token
+  // that trips mid-apply rolls back exactly like a mid-batch failure —
+  // every view, the WAL sequence, and the idempotency window are left
+  // bit-identical to the batch never having arrived (a batch cancelled
+  // after its WAL append is un-logged via WriteAheadLog::AbortLast).
+  // Cancelled batches return kCancelled/kDeadlineExceeded, are never
+  // quarantined, and may be resent verbatim.
+  Status ApplyTransaction(const std::map<std::string, Delta>& changes,
+                          const std::string& idempotency_key,
+                          const CancellationToken& cancel);
 
   // Persists the complete maintenance state under the warehouse
   // directory (atomic rename; the previous checkpoint stays valid until
@@ -513,10 +565,31 @@ class Warehouse {
   // candidate's rejection reason) when no view can answer.
   Result<Table> Query(std::string_view sql) const;
 
+  // As above with cooperative cancellation. The token merges with the
+  // configured default deadline (the stricter limit applies) and is
+  // polled during planning and row-at-a-time execution; a tripped token
+  // returns kCancelled/kDeadlineExceeded without publishing or caching
+  // anything. When query_memory_budget_bytes is set, planner
+  // intermediates run under a per-query budget and overflow returns
+  // kResourceExhausted instead of OOMing.
+  Result<Table> Query(std::string_view sql,
+                      const CancellationToken& cancel) const;
+
   // The planning report for `sql`: chosen view and strategy (or why
   // the query is unanswerable), rejected candidates, and the result
   // cache / lattice footers — structured; render with ToString().
   Result<QueryExplanation> ExplainQuery(std::string_view sql) const;
+
+  // As above under a caller token: when the token has already tripped
+  // the explanation still renders, with the rejection reason recorded
+  // in QueryExplanation::governor_rejection (a deadline-rejected plan
+  // explains itself).
+  Result<QueryExplanation> ExplainQuery(
+      std::string_view sql, const CancellationToken& cancel) const;
+
+  // Overload-protection counters (admission window, shed/cancelled/
+  // deadline counts, apply-latency EWMA). Prefer Report().overload.
+  OverloadStats overload_stats() const { return Report().overload; }
 
   // The currently published snapshot (never null while serving is
   // enabled; null when disabled). Holding the pointer pins the
@@ -570,16 +643,21 @@ class Warehouse {
 
  private:
   // The full ingestion pipeline: resolve the idempotency key, detect
-  // duplicates, validate, apply with retries, record the key or
-  // quarantine the batch.
+  // duplicates, pass admission control (duplicates never reach it),
+  // validate, apply with retries, record the key or quarantine the
+  // batch. A null `cancel` never cancels.
   Status IngestBatch(const std::map<std::string, Delta>& changes,
-                     const std::string& client_key);
+                     const std::string& client_key,
+                     const CancellationToken* cancel);
 
   // Logs the batch (when durable), then applies it atomically; both
   // the WAL append and the engine apply retry transient failures up to
-  // the retry budget.
+  // the retry budget. A token that trips after the WAL append un-logs
+  // the record (AbortLast) and releases the sequence, so a cancelled
+  // batch leaves no durable trace.
   Status ApplyLogged(const std::map<std::string, Delta>& changes,
-                     const std::string& key);
+                     const std::string& key,
+                     const CancellationToken* cancel);
 
   // The atomic all-or-nothing application. Serial mode snapshots each
   // affected engine immediately before its apply; parallel mode
@@ -596,7 +674,8 @@ class Warehouse {
   // counters fold into shared_stats_ only when the attempt commits
   // (a rolled-back attempt leaves no trace, matching engine rollback).
   Status ApplyToEngines(const std::map<std::string, Delta>& changes,
-                        bool transaction);
+                        bool transaction,
+                        const CancellationToken* cancel = nullptr);
 
   // The lineage token AddView stamps on a freshly created engine: a
   // content hash of its materialized auxiliary views and augmented
@@ -689,6 +768,13 @@ class Warehouse {
   SharedJoinStats shared_stats_;
   std::unique_ptr<QuarantineLog> quarantine_;
   std::set<std::string> degraded_;
+  // Overload protection. The controller is always constructed (it owns
+  // the degradation counters even when shedding is off); shared_ptr so
+  // the const Query() path can bump atomics and the warehouse stays
+  // movable. The root budget has no limit of its own — it aggregates
+  // use and peak across per-query children.
+  std::shared_ptr<OverloadController> overload_;
+  std::shared_ptr<MemoryBudget> query_budget_root_;
   Rng retry_rng_{0};  // Re-seeded from options in the constructor.
 };
 

@@ -19,7 +19,8 @@ Result<Follower> Follower::Open(const std::string& leader_dir,
                   LogShipper(leader_dir, ship_options));
 }
 
-Result<Follower::Progress> Follower::CatchUp() {
+Result<Follower::Progress> Follower::CatchUp(
+    const CancellationToken& cancel) {
   Progress progress;
   // Streaming can only carry the replica forward from the leader's last
   // checkpoint boundary; anything older (or any view-set difference)
@@ -32,6 +33,20 @@ Result<Follower::Progress> Follower::CatchUp() {
 
   MD_ASSIGN_OR_RETURN(WalStreamReader::Batch batch, shipper_.Poll());
   for (const WriteAheadLog::Record& record : batch.records) {
+    if (!cancel.Check().ok()) {
+      // Stop between frames: everything already applied is committed
+      // and published; the rest re-ships next round (idempotent by
+      // sequence), so cancellation never tears a batch. Poll() already
+      // advanced the stream cursor past the frames we are abandoning,
+      // so drop the stream state like the failure path does — the next
+      // round rescans from zero and the sequence filter dedups.
+      progress.cancelled = true;
+      LogShipper::Options ship_options;
+      ship_options.stream = options_.stream;
+      shipper_ = LogShipper(std::string(shipper_.leader_dir()),
+                            ship_options);
+      break;
+    }
     if (record.sequence <= warehouse_->last_sequence()) {
       ++progress.duplicates;  // Re-shipped after a restart; exactly-once.
       continue;

@@ -52,6 +52,10 @@ class Follower {
     uint64_t applied = 0;     // Frames folded in this round.
     uint64_t duplicates = 0;  // Re-shipped frames skipped by sequence.
     bool bootstrapped = false;  // A leader checkpoint was installed.
+    bool cancelled = false;     // The round stopped early on a tripped
+                                // token; everything applied so far is
+                                // committed, the rest re-ships next
+                                // round.
   };
 
   // Opens (or creates) the follower warehouse at `follower_dir`,
@@ -69,7 +73,14 @@ class Follower {
   // are transient unless they are DataLoss (corrupt leader WAL) or
   // FailedPrecondition (this follower is fenced ahead of the leader —
   // the leader was deposed).
-  Result<Progress> CatchUp();
+  Result<Progress> CatchUp() { return CatchUp(CancellationToken()); }
+
+  // As above with cooperative cancellation: the token is polled
+  // between frames, and a tripped token ends the round cleanly after
+  // the frame in flight — Progress::cancelled is set, no error is
+  // raised, and the unapplied remainder re-ships on the next round
+  // (replay is idempotent by sequence).
+  Result<Progress> CatchUp(const CancellationToken& cancel);
 
   // The replica itself — serve reads from it, or promote it.
   Warehouse& warehouse() { return *warehouse_; }

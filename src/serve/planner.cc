@@ -559,7 +559,8 @@ Result<QueryPlan> QueryPlanner::Plan(const GpsjViewDef& query) const {
 }
 
 Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
-                                    const GpsjViewDef& query) const {
+                                    const GpsjViewDef& query,
+                                    const ExecContext& ctx) const {
   if (plan.strategy == QueryPlan::Strategy::kLatticeRollup) {
     const LatticeNodeSnapshot* node =
         snapshot_->FindLatticeNode(plan.lattice_node);
@@ -572,7 +573,7 @@ Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
     // over a synthetic served view wrapping it.
     ServedView synthetic;
     synthetic.augmented = node->table;
-    return ExecuteSummaryRollup(synthetic, query, plan.summary);
+    return ExecuteSummaryRollup(synthetic, query, plan.summary, ctx);
   }
   const ServedView* served = snapshot_->Find(plan.view);
   if (served == nullptr) {
@@ -580,9 +581,9 @@ Result<Table> QueryPlanner::Execute(const QueryPlan& plan,
         StrCat("view '", plan.view, "' is not in the snapshot"));
   }
   if (plan.strategy == QueryPlan::Strategy::kSummaryRollup) {
-    return ExecuteSummaryRollup(*served, query, plan.summary);
+    return ExecuteSummaryRollup(*served, query, plan.summary, ctx);
   }
-  return ExecuteAuxJoin(*served, query, plan.aux);
+  return ExecuteAuxJoin(*served, query, plan.aux, ctx);
 }
 
 const char* QueryExplanation::StrategyName() const {
@@ -620,6 +621,18 @@ std::string QueryExplanation::ToString() const {
                      ? std::string("unbounded")
                      : FormatBytes(lattice_budget_bytes),
                  " budget, ", lattice.hits, " hit(s)\n");
+  }
+  if (has_governor) {
+    out = StrCat(out, "governor: deadline ",
+                 deadline_ms > 0 ? StrCat(deadline_ms, " ms")
+                                 : std::string("none"),
+                 ", memory budget ",
+                 memory_budget_bytes > 0 ? FormatBytes(memory_budget_bytes)
+                                         : std::string("none"),
+                 "\n");
+    if (!governor_rejection.empty()) {
+      out = StrCat(out, "governor rejection: ", governor_rejection, "\n");
+    }
   }
   return out;
 }

@@ -111,6 +111,15 @@ struct QueryExplanation {
   LatticeStats lattice;
   size_t lattice_budget_bytes = 0;
 
+  // Overload-governor footer (filled by Warehouse::ExplainQuery when a
+  // default query deadline or per-query memory budget is configured).
+  bool has_governor = false;
+  int64_t deadline_ms = 0;           // 0 = no deadline.
+  uint64_t memory_budget_bytes = 0;  // 0 = no budget.
+  // Why the governor rejects this plan outright (e.g. the deadline
+  // expired during planning); empty when the plan may execute.
+  std::string governor_rejection;
+
   const char* StrategyName() const;
   // The classic ExplainQuery text, byte-for-byte.
   std::string ToString() const;
@@ -133,8 +142,10 @@ class QueryPlanner {
   // Executes a plan produced by Plan() for the same query. The result
   // matches direct GPSJ evaluation of `query` over the base tables:
   // output columns in query output order, HAVING applied, rows sorted.
-  Result<Table> Execute(const QueryPlan& plan,
-                        const GpsjViewDef& query) const;
+  // `ctx` carries the execution's resource governors (cancellation
+  // token, memory budget); the default imposes no limits.
+  Result<Table> Execute(const QueryPlan& plan, const GpsjViewDef& query,
+                        const ExecContext& ctx = ExecContext{}) const;
 
   // The structured planning report: the chosen view and strategy (or
   // why the query is unanswerable), plus every rejected candidate.

@@ -25,8 +25,7 @@ std::shared_ptr<const Table> ResultCache::Lookup(
     // Belt and braces: the commit path invalidates eagerly, but an
     // entry inserted by a reader racing a commit may postdate the
     // invalidation sweep. The version guard catches it here.
-    lru_.erase(it->second);
-    index_.erase(it);
+    EraseLocked(it->second);
     ++stats_.invalidations;
     ++stats_.misses;
     return nullptr;
@@ -48,6 +47,10 @@ void ResultCache::Insert(const std::string& key,
                          uint64_t view_version,
                          std::shared_ptr<const Table> result) {
   if (capacity_ == 0) return;
+  const uint64_t bytes = result != nullptr ? result->ActualSizeBytes() : 0;
+  // A result that alone exceeds the byte cap would immediately evict
+  // everything (itself included) — don't cache it at all.
+  if (capacity_bytes_ > 0 && bytes > capacity_bytes_) return;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -55,16 +58,27 @@ void ResultCache::Insert(const std::string& key,
     it->second->view = source_view;
     it->second->view_version = view_version;
     it->second->result = std::move(result);
+    stats_.bytes_used += bytes - it->second->bytes;
+    it->second->bytes = bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.push_front(
+        Entry{key, source_view, view_version, std::move(result), bytes});
+    index_.emplace(key, lru_.begin());
+    stats_.bytes_used += bytes;
+    ++stats_.insertions;
+    while (lru_.size() > capacity_) {
+      EraseLocked(std::prev(lru_.end()));
+      ++stats_.evictions;
+    }
   }
-  lru_.push_front(Entry{key, source_view, view_version, std::move(result)});
-  index_.emplace(key, lru_.begin());
-  ++stats_.insertions;
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  // Byte-cap eviction runs on both paths — a refresh can grow an
+  // entry past the cap just as well as a new insertion can.
+  while (capacity_bytes_ > 0 && stats_.bytes_used > capacity_bytes_ &&
+         lru_.size() > 1) {
+    stats_.bytes_evicted += lru_.back().bytes;
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.byte_evictions;
   }
 }
 
@@ -73,8 +87,8 @@ void ResultCache::InvalidateViews(const std::set<std::string>& views) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (views.count(it->view) > 0) {
-      index_.erase(it->key);
-      it = lru_.erase(it);
+      auto doomed = it++;
+      EraseLocked(doomed);
       ++stats_.invalidations;
     } else {
       ++it;
@@ -82,10 +96,17 @@ void ResultCache::InvalidateViews(const std::set<std::string>& views) {
   }
 }
 
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  stats_.bytes_used -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  stats_.bytes_used = 0;
 }
 
 size_t ResultCache::size() const {

@@ -35,11 +35,23 @@ class ResultCache {
     uint64_t insertions = 0;
     uint64_t invalidations = 0;  // Entries dropped by InvalidateViews
                                  // or a stale-version lookup.
-    uint64_t evictions = 0;      // Entries dropped by LRU pressure.
+    uint64_t evictions = 0;       // Entries dropped by entry-count LRU
+                                  // pressure.
+    uint64_t byte_evictions = 0;  // Entries dropped by the byte cap —
+                                  // counted separately from LRU-entry
+                                  // evictions.
+    uint64_t bytes_used = 0;      // Current resident result bytes.
+    uint64_t bytes_evicted = 0;   // Lifetime bytes dropped by the byte
+                                  // cap.
   };
 
   // capacity 0 disables the cache (every lookup misses, inserts drop).
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  // A non-zero `capacity_bytes` additionally bounds the total resident
+  // result bytes (Table::ActualSizeBytes): inserting past it evicts
+  // from the LRU tail until the new entry fits. A single result larger
+  // than the whole byte cap is not cached at all.
+  explicit ResultCache(size_t capacity, uint64_t capacity_bytes = 0)
+      : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
   // The cached result for `key`, valid against `snapshot` — or null.
   // A hit refreshes the entry's LRU position; an entry whose source
@@ -66,6 +78,7 @@ class ResultCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
   Stats stats() const;
 
  private:
@@ -74,13 +87,19 @@ class ResultCache {
     std::string view;
     uint64_t view_version = 0;
     std::shared_ptr<const Table> result;
+    uint64_t bytes = 0;  // result->ActualSizeBytes() at insertion.
   };
 
   // True when `entry` is still valid against `snapshot`.
   static bool Valid(const Entry& entry, const WarehouseSnapshot& snapshot);
 
+  // Unlinks the entry at `it` and returns its bytes to the accounting.
+  // Caller holds mu_ and bumps the appropriate drop counter.
+  void EraseLocked(std::list<Entry>::iterator it);
+
   mutable std::mutex mu_;
   size_t capacity_;
+  uint64_t capacity_bytes_;
   std::list<Entry> lru_;  // Front = most recently used.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   Stats stats_;

@@ -40,6 +40,11 @@ void FoldExtreme(Value* current, const Value& v, bool is_min) {
 
 using DistinctSet = std::unordered_set<Value, ValueHash, ValueEqual>;
 
+// Scan-loop cancellation granularity: poll the token before the scan
+// and every this-many rows, keeping the common (untripped) cost to one
+// relaxed atomic load per chunk.
+constexpr size_t kCancelCheckRows = 256;
+
 // Finalizes a DISTINCT aggregate from its value set, mirroring
 // FinalizeAggregate: COUNT = |set|, SUM = Σ set (NULL when empty),
 // AVG = Σ set / |set| (NULL when empty).
@@ -70,14 +75,20 @@ struct SummaryGroup {
 
 Result<Table> ExecuteSummaryRollup(const ServedView& view,
                                    const GpsjViewDef& query,
-                                   const SummaryRollupPlan& plan) {
+                                   const SummaryRollupPlan& plan,
+                                   const ExecContext& ctx) {
   if (view.augmented == nullptr) {
     return InternalError("served view has no augmented summary");
   }
   const Table& aug = *view.augmented;
+  if (ctx.cancel != nullptr) MD_RETURN_IF_ERROR(ctx.cancel->Check());
 
   std::unordered_map<Tuple, SummaryGroup, TupleHash, TupleEqual> groups;
+  size_t scanned = 0;
   for (const Tuple& row : aug.rows()) {
+    if (ctx.cancel != nullptr && ++scanned % kCancelCheckRows == 0) {
+      MD_RETURN_IF_ERROR(ctx.cancel->Check());
+    }
     bool pass = true;
     for (const SummaryFilter& f : plan.filters) {
       if (!EvalCompare(f.op, row[f.column], f.constant)) {
@@ -195,11 +206,13 @@ struct AuxGroup {
 
 Result<Table> ExecuteAuxJoin(const ServedView& view,
                              const GpsjViewDef& query,
-                             const AuxJoinPlan& plan) {
+                             const AuxJoinPlan& plan,
+                             const ExecContext& ctx) {
   if (view.derivation == nullptr) {
     return InternalError("served view has no derivation");
   }
   std::map<std::string, const Table*> tables;
+  uint64_t input_bytes = 0;
   for (const std::string& name : plan.required) {
     auto it = view.aux.find(name);
     if (it == view.aux.end()) {
@@ -207,10 +220,29 @@ Result<Table> ExecuteAuxJoin(const ServedView& view,
           StrCat("auxiliary view for '", name, "' not in snapshot"));
     }
     tables[name] = it->second.get();
+    input_bytes += it->second->ActualSizeBytes();
+  }
+  if (ctx.cancel != nullptr) MD_RETURN_IF_ERROR(ctx.cancel->Check());
+  // Pre-flight refusal: the join materializes at least on the order of
+  // its inputs, so reserve that much before computing anything, then
+  // top the reservation up to the intermediate's real footprint once
+  // it exists. Either charge failing refuses the query un-OOMed.
+  MemoryReservation preflight;
+  if (ctx.budget != nullptr) {
+    MD_RETURN_IF_ERROR(ctx.budget->TryCharge(input_bytes));
+    preflight = MemoryReservation(ctx.budget, input_bytes);
   }
   MD_ASSIGN_OR_RETURN(
       Table joined,
       JoinAuxAlongGraph(*view.derivation, tables, plan.required));
+  MemoryReservation intermediate;
+  if (ctx.budget != nullptr) {
+    const uint64_t joined_bytes = joined.ActualSizeBytes();
+    const uint64_t extra =
+        joined_bytes > input_bytes ? joined_bytes - input_bytes : 0;
+    MD_RETURN_IF_ERROR(ctx.budget->TryCharge(extra));
+    intermediate = MemoryReservation(ctx.budget, extra);
+  }
   const Schema& schema = joined.schema();
 
   // Resolve every plan column once against the joined schema.
@@ -250,7 +282,11 @@ Result<Table> ExecuteAuxJoin(const ServedView& view,
   }
 
   std::unordered_map<Tuple, AuxGroup, TupleHash, TupleEqual> groups;
+  size_t scanned = 0;
   for (const Tuple& row : joined.rows()) {
+    if (ctx.cancel != nullptr && ++scanned % kCancelCheckRows == 0) {
+      MD_RETURN_IF_ERROR(ctx.cancel->Check());
+    }
     bool pass = true;
     for (const auto& [idx, f] : filters) {
       if (!EvalCompare(f->op, row[idx], f->constant)) {

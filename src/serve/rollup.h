@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/mem_budget.h"
 #include "common/result.h"
 #include "gpsj/view_def.h"
 #include "relational/ops.h"
@@ -37,6 +39,17 @@
 #include "serve/snapshot.h"
 
 namespace mindetail {
+
+// Per-execution resource governors, threaded from Warehouse::Query
+// through the planner into the executors. Default-constructed = no
+// limits. `cancel` is polled between scan chunks (kCancelled /
+// kDeadlineExceeded abort the execution); `budget` is charged before
+// join intermediates materialize (kResourceExhausted refuses the query
+// instead of OOMing).
+struct ExecContext {
+  const CancellationToken* cancel = nullptr;
+  MemoryBudget* budget = nullptr;
+};
 
 // --- Summary roll-up ------------------------------------------------------
 
@@ -83,7 +96,8 @@ struct SummaryRollupPlan {
 
 Result<Table> ExecuteSummaryRollup(const ServedView& view,
                                    const GpsjViewDef& query,
-                                   const SummaryRollupPlan& plan);
+                                   const SummaryRollupPlan& plan,
+                                   const ExecContext& ctx = ExecContext{});
 
 // --- Auxiliary-view join --------------------------------------------------
 
@@ -131,7 +145,8 @@ struct AuxJoinPlan {
 
 Result<Table> ExecuteAuxJoin(const ServedView& view,
                              const GpsjViewDef& query,
-                             const AuxJoinPlan& plan);
+                             const AuxJoinPlan& plan,
+                             const ExecContext& ctx = ExecContext{});
 
 }  // namespace mindetail
 

@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "gtest/gtest.h"
@@ -657,6 +658,172 @@ TEST(CheckpointFallbackTest, OpenFallsBackWhenCurrentCheckpointVanishes) {
   const Status lost = Warehouse::Open(dir).status();
   EXPECT_EQ(lost.code(), StatusCode::kDataLoss);
   std::filesystem::remove_all(dir);
+}
+
+// A fallback checkpoint that exists but is corrupt is as good as gone:
+// recovery must surface kDataLoss rather than silently restarting
+// empty or loading garbage past a failed content-hash check.
+TEST(CheckpointFallbackTest, CorruptFallbackCheckpointSurfacesDataLoss) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       "mindetail_cp_fallback_corrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+  RetailWarehouse retail = SmallRetail();
+  Catalog& source = retail.catalog;
+  RetailDeltaGenerator gen(kCrashSeed);
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse wh, Warehouse::Open(dir));
+    MD_ASSERT_OK(wh.AddViewSql(source, kMonthlySql));
+    MD_ASSERT_OK_AND_ASSIGN(Delta delta,
+                            gen.MixedSaleBatch(source, 12, 6, 3));
+    std::map<std::string, Delta> changes;
+    changes.emplace("sale", delta);
+    MD_ASSERT_OK(wh.ApplyTransaction(changes, "corrupt-fallback-1"));
+    MD_ASSERT_OK(wh.Checkpoint());
+  }
+  std::string current;
+  {
+    std::ifstream in(dir + "/CURRENT");
+    ASSERT_TRUE(in.is_open());
+    std::getline(in, current);
+  }
+  ASSERT_FALSE(current.empty());
+
+  // Plant an older sibling, then scribble over every CSV it holds so
+  // its recorded content hashes can no longer verify.
+  const std::string older = "checkpoint-1";
+  ASSERT_NE(older, current);
+  std::filesystem::copy(dir + "/" + current, dir + "/" + older,
+                        std::filesystem::copy_options::recursive);
+  int corrupted = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/" + older)) {
+    if (entry.path().extension() != ".csv") continue;
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "garbage,that,hashes,differently\n";
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+  std::filesystem::remove_all(dir + "/" + current);
+
+  const Status lost = Warehouse::Open(dir).status();
+  EXPECT_EQ(lost.code(), StatusCode::kDataLoss)
+      << "a corrupt fallback must not restart empty: " << lost.message();
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Crashing around the cancelled-batch WAL withdrawal.
+//
+// A batch cancelled after its WAL append is un-logged via
+// WriteAheadLog::AbortLast. A crash wedged between the append and the
+// abort must resolve atomically to exactly one of the two legal
+// outcomes: the batch fully applied (the record survived, recovery
+// replays it — cancellation was never acknowledged) or the batch fully
+// absent (the record was withdrawn first). Never half of each.
+// -------------------------------------------------------------------
+
+constexpr char kCancelViewSql[] = R"sql(
+  CREATE VIEW cancel_by_brand AS
+  SELECT product.brand, SUM(sale.price) AS Total, COUNT(*) AS Cnt
+  FROM sale, time, product
+  WHERE sale.timeid = time.id AND sale.productid = product.id
+  GROUP BY product.brand
+)sql";
+
+std::map<std::string, Delta> CancelSale(int64_t id) {
+  Delta delta;
+  delta.inserts.push_back(
+      {Value(id), Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{7})});
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  return changes;
+}
+
+// A clock whose copies share one counter: 0 for the first `free_calls`
+// reads, then far future — trips a Deadline::After deadline at the
+// (free_calls+1)-th check, which for the warehouse apply path lands
+// mid-engine, after the WAL append.
+MonotonicClock CancelTripClock(int free_calls) {
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  return [calls, free_calls]() -> int64_t {
+    return calls->fetch_add(1) < free_calls ? 0 : (int64_t{1} << 60);
+  };
+}
+
+// Driver-only child: applies one committed batch, then one batch whose
+// deadline trips mid-apply. With a cancel-site failpoint armed the
+// process dies inside the withdrawal window.
+TEST(CancelCrashChildProcess, Run) {
+  const char* dir_env = std::getenv("MINDETAIL_CANCEL_CRASH_DIR");
+  if (dir_env == nullptr) GTEST_SKIP() << "driver-only child scenario";
+  MD_ASSERT_OK(Failpoints::ArmFromEnv());
+
+  Catalog catalog = test::PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse,
+                          Warehouse::Open(dir_env, CrashOptions()));
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kCancelViewSql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(CancelSale(100)));
+
+  CancellationToken token(Deadline::After(1, CancelTripClock(3)));
+  const Status cancelled =
+      warehouse.ApplyTransaction(CancelSale(101), "", token);
+  // Only reached when no failpoint fired.
+  EXPECT_EQ(cancelled.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelCrashTest, KillAroundWalAbortResolvesAtomically) {
+  const std::string exe = SelfExePath();
+  ASSERT_FALSE(exe.empty());
+  struct Scenario {
+    const char* site;
+    bool batch_survives;  // The legal recovered outcome at this site.
+  };
+  for (const Scenario& scenario :
+       {Scenario{"warehouse.cancel.before_wal_abort", true},
+        Scenario{"warehouse.cancel.after_wal_abort", false}}) {
+    SCOPED_TRACE(scenario.site);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         StrCat("mindetail_cancel_crash_",
+                scenario.batch_survives ? "before" : "after"))
+            .string();
+    std::filesystem::remove_all(dir);
+
+    const std::string cmd = StrCat(
+        "MINDETAIL_CANCEL_CRASH_DIR='", dir, "' MINDETAIL_FAILPOINT='",
+        scenario.site, ":crash:1' '", exe,
+        "' --gtest_filter=CancelCrashChildProcess.Run >/dev/null 2>&1");
+    const int rc = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(rc)) << "child did not exit normally";
+    // The child always cancels mid-apply, so the armed site must fire.
+    ASSERT_EQ(WEXITSTATUS(rc), Failpoints::kCrashExitCode);
+
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse recovered,
+                            Warehouse::Open(dir, CrashOptions()));
+    Catalog catalog = test::PaperTable3Fixture();
+    Warehouse oracle(CrashOptions());
+    MD_ASSERT_OK(oracle.AddViewSql(catalog, kCancelViewSql));
+    MD_ASSERT_OK(oracle.ApplyTransaction(CancelSale(100)));
+    if (scenario.batch_survives) {
+      // The record outlived the crash: recovery replays it to
+      // completion, as if the cancel never happened.
+      MD_ASSERT_OK(oracle.ApplyTransaction(CancelSale(101)));
+      EXPECT_EQ(recovered.last_sequence(), 2u);
+    } else {
+      // The record was withdrawn first: the batch never happened.
+      EXPECT_EQ(recovered.last_sequence(), 1u);
+    }
+    MD_ASSERT_OK_AND_ASSIGN(Table expected,
+                            oracle.View("cancel_by_brand"));
+    MD_ASSERT_OK_AND_ASSIGN(Table actual,
+                            recovered.View("cancel_by_brand"));
+    EXPECT_TRUE(TablesExactlyEqual(expected, actual));
+    // Recovery is not a dead end either way.
+    MD_ASSERT_OK(recovered.ApplyTransaction(CancelSale(102)));
+    std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace

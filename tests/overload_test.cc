@@ -1,0 +1,628 @@
+// Overload-protection units and system tests: cooperative cancellation
+// (tokens, deadlines, injectable clocks), hierarchical memory budgets,
+// the ingest admission controller, result-cache byte eviction, WAL
+// append withdrawal (AbortLast), and the warehouse-level guarantees —
+// a cancelled batch leaves every view, the WAL, and the sequence
+// bit-identical to the batch never arriving; a cancelled or
+// deadline-expired query returns without publishing or caching
+// anything; a budget-refused query returns kResourceExhausted instead
+// of materializing.
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/mem_budget.h"
+#include "gtest/gtest.h"
+#include "maintenance/admission.h"
+#include "maintenance/wal.h"
+#include "maintenance/warehouse.h"
+#include "replication/follower.h"
+#include "serve/result_cache.h"
+#include "test_util.h"
+
+namespace mindetail {
+namespace {
+
+using test::PaperTable3Fixture;
+using test::TablesExactlyEqual;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW by_time_brand AS
+  SELECT time.id, product.brand, SUM(sale.price) AS Total,
+         COUNT(*) AS Cnt
+  FROM sale, time, product
+  WHERE sale.timeid = time.id AND sale.productid = product.id
+  GROUP BY time.id, product.brand
+)sql";
+
+// A query only the auxiliary-view join can answer (sale.productid is
+// not a group-by output of the view).
+constexpr char kAuxJoinSql[] =
+    "SELECT sale.productid, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY sale.productid";
+
+// A summary roll-up query (answerable from the augmented summary).
+constexpr char kRollupSql[] =
+    "SELECT product.brand, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY product.brand";
+
+std::map<std::string, Delta> OneSale(int64_t id) {
+  Delta delta;
+  delta.inserts.push_back(
+      {Value(id), Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{7})});
+  std::map<std::string, Delta> changes;
+  changes.emplace("sale", std::move(delta));
+  return changes;
+}
+
+std::string FreshTempDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A clock whose copies all share one counter: returns 0 for the first
+// `free_calls` reads, then a far-future instant — so a Deadline::After
+// deadline trips exactly at the (free_calls+1)-th check, wherever in
+// the pipeline that lands.
+MonotonicClock TripAfterCalls(int free_calls) {
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  return [calls, free_calls]() -> int64_t {
+    return calls->fetch_add(1) < free_calls ? 0 : (int64_t{1} << 60);
+  };
+}
+
+// -------------------------------------------------------------------
+// Cancellation primitives.
+// -------------------------------------------------------------------
+
+TEST(CancellationTest, DefaultTokenNeverCancels) {
+  CancellationToken token;
+  MD_EXPECT_OK(token.Check());
+  EXPECT_FALSE(token.can_cancel());
+  EXPECT_TRUE(token.deadline().unlimited());
+}
+
+TEST(CancellationTest, SourceTripsEveryCopy) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  CancellationToken copy = token;
+  MD_EXPECT_OK(token.Check());
+  source.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(copy.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(source.cancelled());
+}
+
+TEST(CancellationTest, DeadlineExpiresOnInjectedClock) {
+  // Clock: 0 at After(), far future on the next read.
+  CancellationToken token(Deadline::After(5, TripAfterCalls(1)));
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, NonPositiveDeadlineIsUnlimited) {
+  EXPECT_TRUE(Deadline::After(0).unlimited());
+  EXPECT_TRUE(Deadline::After(-3).unlimited());
+  EXPECT_FALSE(Deadline::After(1000).unlimited());
+}
+
+TEST(CancellationTest, CancelWinsOverExpiredDeadline) {
+  CancellationSource source;
+  source.Cancel();
+  CancellationToken token =
+      source.TokenWithDeadline(Deadline::After(5, TripAfterCalls(1)));
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, MergedWithKeepsTheStricterDeadline) {
+  // An unlimited deadline never wins over a set one.
+  CancellationToken unlimited;
+  CancellationToken merged = unlimited.MergedWith(
+      Deadline::After(5, TripAfterCalls(1)));
+  EXPECT_EQ(merged.Check().code(), StatusCode::kDeadlineExceeded);
+  // The original is untouched.
+  MD_EXPECT_OK(unlimited.Check());
+}
+
+// -------------------------------------------------------------------
+// Memory budgets.
+// -------------------------------------------------------------------
+
+TEST(MemoryBudgetTest, ChargesAndReleasesWithinLimit) {
+  MemoryBudget budget("test", 100);
+  MD_EXPECT_OK(budget.TryCharge(60));
+  EXPECT_EQ(budget.used_bytes(), 60u);
+  MD_EXPECT_OK(budget.TryCharge(40));
+  EXPECT_EQ(budget.used_bytes(), 100u);
+  budget.Release(100);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 100u);
+  EXPECT_EQ(budget.refusals(), 0u);
+}
+
+TEST(MemoryBudgetTest, RefusesOverLimitWithoutCharging) {
+  MemoryBudget budget("test", 100);
+  MD_EXPECT_OK(budget.TryCharge(90));
+  const Status refused = budget.TryCharge(20);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used_bytes(), 90u);  // Unchanged by the refusal.
+  EXPECT_EQ(budget.refusals(), 1u);
+}
+
+TEST(MemoryBudgetTest, ZeroLimitIsUnlimitedAccounting) {
+  MemoryBudget budget("root");
+  MD_EXPECT_OK(budget.TryCharge(uint64_t{1} << 40));
+  EXPECT_EQ(budget.refusals(), 0u);
+}
+
+TEST(MemoryBudgetTest, ParentRefusalRollsBackChild) {
+  MemoryBudget parent("parent", 100);
+  MemoryBudget child("child", 1000, &parent);
+  MD_EXPECT_OK(child.TryCharge(80));
+  EXPECT_EQ(parent.used_bytes(), 80u);
+  // Fits the child's own limit but not the parent's.
+  const Status refused = child.TryCharge(50);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(child.used_bytes(), 80u);  // Local charge rolled back.
+  EXPECT_EQ(parent.used_bytes(), 80u);
+  child.Release(80);
+  EXPECT_EQ(parent.used_bytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, ReservationReleasesOnScopeExit) {
+  MemoryBudget budget("test", 100);
+  {
+    // A reservation adopts bytes already charged and returns them when
+    // it dies.
+    MD_ASSERT_OK(budget.TryCharge(70));
+    MemoryReservation reservation(&budget, 70);
+    EXPECT_EQ(budget.used_bytes(), 70u);
+  }
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 70u);
+}
+
+// -------------------------------------------------------------------
+// Admission controller.
+// -------------------------------------------------------------------
+
+TEST(OverloadControllerTest, FullWindowShedsWithRetryAfter) {
+  OverloadController::Options options;
+  options.max_inflight_batches = 2;
+  OverloadController controller(options);
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit first,
+                          controller.Admit(1));
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit second,
+                          controller.Admit(1));
+  Result<OverloadController::Permit> third = controller.Admit(1);
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(std::string(third.status().message()).find("retry after"),
+            std::string::npos);
+  OverloadStats stats = controller.Snapshot();
+  EXPECT_EQ(stats.inflight, 2);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_GT(stats.last_retry_after_ms, 0);
+  first.Release();
+  MD_EXPECT_OK(controller.Admit(1).status());
+  (void)second;
+}
+
+TEST(OverloadControllerTest, HeavyBatchesShedFirstUnderPressure) {
+  OverloadController::Options options;
+  options.max_inflight_batches = 4;
+  options.heavy_batch_rows = 10;
+  OverloadController controller(options);
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit a, controller.Admit(1));
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit b, controller.Admit(1));
+  // Window half full: a heavy batch is refused while a light one still
+  // passes.
+  Result<OverloadController::Permit> heavy = controller.Admit(100);
+  EXPECT_EQ(heavy.status().code(), StatusCode::kUnavailable);
+  MD_EXPECT_OK(controller.Admit(1).status());
+  OverloadStats stats = controller.Snapshot();
+  EXPECT_EQ(stats.shed_heavy, 1u);
+  (void)a;
+  (void)b;
+}
+
+TEST(OverloadControllerTest, ConsecutiveShedsBackOffTheHint) {
+  OverloadController::Options options;
+  options.max_inflight_batches = 1;
+  options.base_delay_ms = 1;
+  options.max_delay_ms = 64;
+  OverloadController controller(options);
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit only,
+                          controller.Admit(1));
+  std::vector<int> hints;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(controller.Admit(1).ok());
+    hints.push_back(controller.Snapshot().last_retry_after_ms);
+  }
+  EXPECT_EQ(hints, (std::vector<int>{1, 2, 4, 8}));
+  only.Release();
+  // An admit resets the schedule.
+  MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit next,
+                          controller.Admit(1));
+  next.Release();
+  Result<OverloadController::Permit> again = controller.Admit(1);
+  MD_EXPECT_OK(again.status());
+}
+
+TEST(OverloadControllerTest, PermitReleaseFoldsApplyLatency) {
+  OverloadController::Options options;
+  // 1 ms per clock read, shared across copies.
+  auto ticks = std::make_shared<std::atomic<int64_t>>(0);
+  options.clock = [ticks]() {
+    return ticks->fetch_add(1'000'000) + 1'000'000;
+  };
+  OverloadController controller(options);
+  {
+    MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit permit,
+                            controller.Admit(1));
+    permit.Release();
+  }
+  EXPECT_GT(controller.Snapshot().apply_latency_ewma_ms, 0.0);
+}
+
+TEST(OverloadControllerTest, DisabledWindowAlwaysAdmits) {
+  OverloadController controller(OverloadController::Options{});
+  for (int i = 0; i < 100; ++i) {
+    MD_ASSERT_OK_AND_ASSIGN(OverloadController::Permit permit,
+                            controller.Admit(1'000'000));
+    permit.Release();
+  }
+  OverloadStats stats = controller.Snapshot();
+  EXPECT_FALSE(stats.admission_enabled);
+  EXPECT_EQ(stats.admitted, 100u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// -------------------------------------------------------------------
+// Result-cache byte eviction.
+// -------------------------------------------------------------------
+
+Table SmallTable(const std::string& name, int rows) {
+  Table table(name, Schema({{"k", ValueType::kInt64},
+                            {"v", ValueType::kInt64}}));
+  for (int i = 0; i < rows; ++i) {
+    MD_CHECK(table.Insert({Value(int64_t{i}), Value(int64_t{i * 7})}).ok());
+  }
+  return table;
+}
+
+TEST(ResultCacheBytesTest, ByteCapEvictsFromLruTail) {
+  auto result = std::make_shared<const Table>(SmallTable("r", 8));
+  const uint64_t one = result->ActualSizeBytes();
+  // Room for two results by bytes, many by entry count.
+  ResultCache cache(/*capacity=*/100, /*capacity_bytes=*/2 * one + 1);
+  cache.Insert("q1", "v", 1, result);
+  cache.Insert("q2", "v", 1, std::make_shared<const Table>(*result));
+  EXPECT_EQ(cache.stats().bytes_used, 2 * one);
+  cache.Insert("q3", "v", 1, std::make_shared<const Table>(*result));
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(stats.byte_evictions, 1u);
+  EXPECT_EQ(stats.bytes_evicted, one);
+  EXPECT_EQ(stats.bytes_used, 2 * one);
+  // Entry-count LRU evictions are counted separately and stayed zero.
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResultCacheBytesTest, OversizedResultIsNotCachedAtAll) {
+  auto big = std::make_shared<const Table>(SmallTable("big", 64));
+  ResultCache cache(/*capacity=*/100,
+                    /*capacity_bytes=*/big->ActualSizeBytes() - 1);
+  cache.Insert("huge", "v", 1, big);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().bytes_used, 0u);
+}
+
+TEST(ResultCacheBytesTest, EntryCountEvictionReturnsBytes) {
+  auto result = std::make_shared<const Table>(SmallTable("r", 4));
+  const uint64_t one = result->ActualSizeBytes();
+  ResultCache cache(/*capacity=*/2);  // No byte cap.
+  cache.Insert("q1", "v", 1, result);
+  cache.Insert("q2", "v", 1, std::make_shared<const Table>(*result));
+  cache.Insert("q3", "v", 1, std::make_shared<const Table>(*result));
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.byte_evictions, 0u);
+  EXPECT_EQ(stats.bytes_used, 2 * one);
+}
+
+// -------------------------------------------------------------------
+// WAL append withdrawal.
+// -------------------------------------------------------------------
+
+TEST(WalAbortTest, AbortLastLeavesLogBitIdenticalToNeverAppending) {
+  const std::string dir = FreshTempDir("mindetail_wal_abort");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+  MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindTransaction, OneSale(1)));
+  const uint64_t size_after_first = wal.size_bytes();
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, OneSale(2)));
+  MD_ASSERT_OK(wal.AbortLast(2));
+  EXPECT_EQ(wal.size_bytes(), size_after_first);
+  EXPECT_EQ(wal.last_sequence(), 1u);
+  EXPECT_EQ(wal.num_records(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(std::vector<WriteAheadLog::Record> records,
+                          WriteAheadLog::ReadAll(path));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, 1u);
+  // The withdrawn sequence is reusable.
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, OneSale(3)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WalAbortTest, AbortRefusesAnythingButTheLastAppend) {
+  const std::string dir = FreshTempDir("mindetail_wal_abort_refuse");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  MD_ASSERT_OK_AND_ASSIGN(WriteAheadLog wal, WriteAheadLog::Open(path));
+  // Nothing appended yet.
+  EXPECT_EQ(wal.AbortLast(0).code(), StatusCode::kFailedPrecondition);
+  MD_ASSERT_OK(wal.Append(1, WriteAheadLog::kKindTransaction, OneSale(1)));
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, OneSale(2)));
+  // Wrong sequence.
+  EXPECT_EQ(wal.AbortLast(1).code(), StatusCode::kFailedPrecondition);
+  // Only once: a second abort has nothing to withdraw.
+  MD_ASSERT_OK(wal.AbortLast(2));
+  EXPECT_EQ(wal.AbortLast(2).code(), StatusCode::kFailedPrecondition);
+  // Reset clears abortability.
+  MD_ASSERT_OK(wal.Append(2, WriteAheadLog::kKindTransaction, OneSale(2)));
+  MD_ASSERT_OK(wal.Reset());
+  EXPECT_EQ(wal.AbortLast(2).code(), StatusCode::kFailedPrecondition);
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// Warehouse: cancelled batches.
+// -------------------------------------------------------------------
+
+TEST(WarehouseCancelTest, PreCancelledBatchLeavesZeroTrace) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK_AND_ASSIGN(Table before, warehouse.View("by_time_brand"));
+  const uint64_t seq_before = warehouse.last_sequence();
+
+  CancellationSource source;
+  source.Cancel();
+  const Status cancelled =
+      warehouse.ApplyTransaction(OneSale(100), "", source.token());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+
+  MD_ASSERT_OK_AND_ASSIGN(Table after, warehouse.View("by_time_brand"));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  EXPECT_EQ(warehouse.last_sequence(), seq_before);
+  const WarehouseReport report = warehouse.Report();
+  EXPECT_EQ(report.overload.cancelled_batches, 1u);
+  EXPECT_EQ(report.ingest.failed, 0u);
+  EXPECT_EQ(report.ingest.quarantined, 0u);
+  // The identical batch may be resent verbatim and applies cleanly.
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(100)));
+  EXPECT_EQ(warehouse.last_sequence(), seq_before + 1);
+}
+
+TEST(WarehouseCancelTest, MidApplyDeadlineRollsBackLikeAFailure) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(50)));
+  MD_ASSERT_OK_AND_ASSIGN(Table before, warehouse.View("by_time_brand"));
+  const uint64_t seq_before = warehouse.last_sequence();
+
+  // Deadline trips on the third check — past the pre-log check, inside
+  // the engine apply.
+  CancellationToken token(Deadline::After(1, TripAfterCalls(3)));
+  const Status cancelled =
+      warehouse.ApplyTransaction(OneSale(101), "", token);
+  EXPECT_EQ(cancelled.code(), StatusCode::kDeadlineExceeded);
+
+  MD_ASSERT_OK_AND_ASSIGN(Table after, warehouse.View("by_time_brand"));
+  EXPECT_TRUE(TablesExactlyEqual(before, after));
+  EXPECT_EQ(warehouse.last_sequence(), seq_before);
+  EXPECT_EQ(warehouse.Report().overload.cancelled_batches, 1u);
+}
+
+TEST(WarehouseCancelTest, DurableCancelledBatchLeavesNoWalTrace) {
+  const std::string dir = FreshTempDir("mindetail_cancel_durable");
+  Catalog catalog = PaperTable3Fixture();
+  {
+    MD_ASSERT_OK_AND_ASSIGN(Warehouse warehouse, Warehouse::Open(dir));
+    MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+    MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(50)));
+    MD_ASSERT_OK_AND_ASSIGN(Table before, warehouse.View("by_time_brand"));
+    const uint64_t seq_before = warehouse.last_sequence();
+
+    CancellationToken token(Deadline::After(1, TripAfterCalls(3)));
+    const Status cancelled =
+        warehouse.ApplyTransaction(OneSale(101), "", token);
+    EXPECT_EQ(cancelled.code(), StatusCode::kDeadlineExceeded);
+    MD_ASSERT_OK_AND_ASSIGN(Table after, warehouse.View("by_time_brand"));
+    EXPECT_TRUE(TablesExactlyEqual(before, after));
+    EXPECT_EQ(warehouse.last_sequence(), seq_before);
+  }
+  // Recovery replays the surviving WAL: the cancelled batch must not
+  // reappear — its record was withdrawn, not merely skipped.
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse reopened, Warehouse::Open(dir));
+  EXPECT_EQ(reopened.last_sequence(), 1u);
+  MD_ASSERT_OK_AND_ASSIGN(Table recovered, reopened.View("by_time_brand"));
+  // Same contents as a warehouse that never saw the cancelled batch.
+  Warehouse oracle;
+  MD_ASSERT_OK(oracle.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(oracle.ApplyTransaction(OneSale(50)));
+  MD_ASSERT_OK_AND_ASSIGN(Table expected, oracle.View("by_time_brand"));
+  EXPECT_TRUE(TablesExactlyEqual(expected, recovered));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseCancelTest, IngestAdmissionCountsAdmittedBatches) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse(WarehouseOptions{}.WithMaxInflightBatches(4));
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(100)));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(101)));
+  // A duplicate resend is acked before admission and not counted.
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(101)));
+  const WarehouseReport report = warehouse.Report();
+  EXPECT_TRUE(report.overload.admission_enabled);
+  EXPECT_EQ(report.overload.admitted, 2u);
+  EXPECT_EQ(report.overload.inflight, 0);
+  EXPECT_EQ(report.ingest.duplicates, 1u);
+}
+
+// -------------------------------------------------------------------
+// Warehouse: governed queries.
+// -------------------------------------------------------------------
+
+TEST(QueryGovernorTest, ExpiredDeadlineReturnsWithoutCaching) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+
+  CancellationToken token(Deadline::After(1, TripAfterCalls(1)));
+  Result<Table> refused = warehouse.Query(kRollupSql, token);
+  EXPECT_EQ(refused.status().code(), StatusCode::kDeadlineExceeded);
+
+  const WarehouseReport report = warehouse.Report();
+  EXPECT_EQ(report.overload.deadline_queries, 1u);
+  EXPECT_EQ(report.cache.insertions, 0u);
+
+  // The same query without a deadline answers and caches normally.
+  MD_ASSERT_OK(warehouse.Query(kRollupSql).status());
+  EXPECT_EQ(warehouse.Report().cache.insertions, 1u);
+}
+
+TEST(QueryGovernorTest, CancelledQueryReturnsWithoutCaching) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse;
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+  CancellationSource source;
+  source.Cancel();
+  Result<Table> refused = warehouse.Query(kRollupSql, source.token());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCancelled);
+  const WarehouseReport report = warehouse.Report();
+  EXPECT_EQ(report.overload.cancelled_queries, 1u);
+  EXPECT_EQ(report.cache.insertions, 0u);
+}
+
+TEST(QueryGovernorTest, MemoryBudgetRefusesAuxJoinMaterialization) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse(WarehouseOptions{}.WithQueryMemoryBudget(1));
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+
+  // The roll-up path materializes nothing and stays under budget.
+  MD_ASSERT_OK(warehouse.Query(kRollupSql).status());
+  // The aux-join path must materialize the auxiliary inputs: refused.
+  Result<Table> refused = warehouse.Query(kAuxJoinSql);
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  const WarehouseReport report = warehouse.Report();
+  EXPECT_EQ(report.overload.budget_refusals, 1u);
+
+  // A roomy budget answers the same query and tracks the peak.
+  Warehouse roomy(WarehouseOptions{}.WithQueryMemoryBudget(64 << 20));
+  MD_ASSERT_OK(roomy.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(roomy.Query(kAuxJoinSql).status());
+  EXPECT_GT(roomy.Report().query_memory_peak_bytes, 0u);
+}
+
+TEST(QueryGovernorTest, ExplainRendersGovernorFooterAndRejection) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse(WarehouseOptions{}
+                          .WithQueryDeadline(2500)
+                          .WithQueryMemoryBudget(1 << 20));
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation explain,
+                          warehouse.ExplainQuery(kRollupSql));
+  EXPECT_TRUE(explain.has_governor);
+  EXPECT_EQ(explain.deadline_ms, 2500);
+  EXPECT_EQ(explain.memory_budget_bytes, uint64_t{1} << 20);
+  EXPECT_TRUE(explain.governor_rejection.empty());
+  EXPECT_NE(explain.ToString().find("governor: deadline 2500 ms"),
+            std::string::npos);
+
+  // A tripped caller token records why Query() would refuse the plan.
+  CancellationSource source;
+  source.Cancel();
+  MD_ASSERT_OK_AND_ASSIGN(
+      QueryExplanation rejected,
+      warehouse.ExplainQuery(kRollupSql, source.token()));
+  EXPECT_FALSE(rejected.governor_rejection.empty());
+  EXPECT_NE(rejected.ToString().find("governor rejection:"),
+            std::string::npos);
+
+  // Without any governor the footer stays absent — explain output is
+  // byte-identical to the ungoverned warehouse.
+  Warehouse plain;
+  MD_ASSERT_OK(plain.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK_AND_ASSIGN(QueryExplanation bare,
+                          plain.ExplainQuery(kRollupSql));
+  EXPECT_FALSE(bare.has_governor);
+  EXPECT_EQ(bare.ToString().find("governor"), std::string::npos);
+}
+
+TEST(QueryGovernorTest, ReportRendersOverloadSection) {
+  Catalog catalog = PaperTable3Fixture();
+  Warehouse warehouse(WarehouseOptions{}.WithMaxInflightBatches(8));
+  MD_ASSERT_OK(warehouse.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(warehouse.ApplyTransaction(OneSale(100)));
+  const std::string text = warehouse.Report().ToString();
+  EXPECT_NE(text.find("Overload: admission on"), std::string::npos);
+  EXPECT_NE(text.find("cancelled:"), std::string::npos);
+  EXPECT_NE(text.find("apply latency ewma"), std::string::npos);
+}
+
+// -------------------------------------------------------------------
+// Replication: cancellable catch-up.
+// -------------------------------------------------------------------
+
+TEST(FollowerCancelTest, CancelledCatchUpStopsCleanlyAndResumes) {
+  const std::string leader_dir = FreshTempDir("mindetail_cancel_leader");
+  const std::string follower_dir = FreshTempDir("mindetail_cancel_follower");
+  Catalog catalog = PaperTable3Fixture();
+  MD_ASSERT_OK_AND_ASSIGN(Warehouse leader, Warehouse::Open(leader_dir));
+  MD_ASSERT_OK(leader.AddViewSql(catalog, kViewSql));
+  MD_ASSERT_OK(leader.ApplyTransaction(OneSale(100)));
+  MD_ASSERT_OK(leader.ApplyTransaction(OneSale(101)));
+
+  MD_ASSERT_OK_AND_ASSIGN(
+      replication::Follower follower,
+      replication::Follower::Open(leader_dir, follower_dir));
+  // A pre-cancelled round stops before replaying any frame; whatever
+  // the bootstrap installed stays committed.
+  CancellationSource source;
+  source.Cancel();
+  MD_ASSERT_OK_AND_ASSIGN(replication::Follower::Progress cancelled,
+                          follower.CatchUp(source.token()));
+  EXPECT_TRUE(cancelled.cancelled);
+  EXPECT_EQ(cancelled.applied, 0u);
+  // The next (uncancelled) round finishes the job.
+  MD_ASSERT_OK_AND_ASSIGN(replication::Follower::Progress progress,
+                          follower.CatchUp());
+  EXPECT_FALSE(progress.cancelled);
+  EXPECT_EQ(follower.applied_sequence(), leader.last_sequence());
+  MD_ASSERT_OK_AND_ASSIGN(Table leader_view, leader.View("by_time_brand"));
+  MD_ASSERT_OK_AND_ASSIGN(Table follower_view,
+                          follower.warehouse().View("by_time_brand"));
+  EXPECT_TRUE(TablesExactlyEqual(leader_view, follower_view));
+  std::filesystem::remove_all(leader_dir);
+  std::filesystem::remove_all(follower_dir);
+}
+
+}  // namespace
+}  // namespace mindetail

@@ -13,6 +13,7 @@
 // failure; rerun a failing stream with
 //   MINDETAIL_STRESS_SEED=<seed> ./stress_test
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -20,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -244,6 +246,151 @@ TEST(TransientFailureStress, RollbackThenRetryMatchesCleanTwin) {
   }
   ASSERT_GE(applied, kBatches) << "seed " << seed;
   ASSERT_GE(injected, kBatches / kInjectEvery) << "seed " << seed;
+}
+
+// Cancellation mode of the stress harness: the victim takes the same
+// 200-batch mixed stream as a never-cancelled twin, but random batches
+// (and queries) get a deadline that trips mid-flight — at a rotating
+// pipeline depth, so trips land everywhere from the pre-log check to
+// deep inside the sharded engine apply. Every cancelled batch must
+// leave the victim bit-identical to its pre-batch state, the identical
+// batch must then apply cleanly, and the victim and twin must agree
+// exactly at every committed boundary. Run under the TSan preset via
+// `ctest -L concurrency`.
+TEST(CancellationStress, CancelledBatchesLeaveTwinsBitIdentical) {
+  const uint64_t seed = StressSeed(9182736450ULL);
+  SCOPED_TRACE(::testing::Message()
+               << "stress seed " << seed << " (rerun with "
+               << "MINDETAIL_STRESS_SEED=" << seed << ")");
+
+  SnowflakeParams sp;
+  sp.depth = 3;
+  sp.fanout = 1;
+  sp.fact_rows = 200;
+  sp.dim_rows = 16;
+  sp.seed = seed;
+  MD_ASSERT_OK_AND_ASSIGN(SnowflakeWarehouse warehouse,
+                          GenerateSnowflake(sp));
+  Catalog source = warehouse.catalog;
+  MD_ASSERT_OK_AND_ASSIGN(
+      GpsjViewDef def,
+      test::BuildSnowflakeView(warehouse, test::SnowflakeViewFlags{}));
+
+  EngineOptions options;
+  options.num_threads = 4;
+  Warehouse victim;
+  Warehouse twin;
+  MD_ASSERT_OK(victim.AddView(source, def, options));
+  MD_ASSERT_OK(twin.AddView(source, def, options));
+  const std::string& view = def.name();
+  // A coarser roll-up of the view, written as plain SQL (the view
+  // def's rendered SQL is not round-trippable — join targets render as
+  // a "<key>" placeholder).
+  std::string query_sql = StrCat(
+      "SELECT ", warehouse.dims.front(), ".a, SUM(", warehouse.fact,
+      ".m1) AS S, COUNT(*) AS C FROM ", warehouse.fact);
+  for (const std::string& dim : warehouse.dims) {
+    query_sql = StrCat(query_sql, ", ", dim);
+  }
+  std::string separator = " WHERE ";
+  for (const std::string& dim : warehouse.dims) {
+    MD_ASSERT_OK_AND_ASSIGN(std::string key, source.KeyAttr(dim));
+    query_sql =
+        StrCat(query_sql, separator, warehouse.parent.at(dim), ".",
+               warehouse.link_attr.at(dim), " = ", dim, ".", key);
+    separator = " AND ";
+  }
+  query_sql =
+      StrCat(query_sql, " GROUP BY ", warehouse.dims.front(), ".a");
+
+  // A shared-counter clock: 0 for the first `free` reads, then far
+  // future — the deadline trips at the (free+1)-th check, wherever in
+  // the pipeline that lands.
+  auto trip_after = [](int free) -> MonotonicClock {
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    return [calls, free]() -> int64_t {
+      return calls->fetch_add(1) < free ? 0 : (int64_t{1} << 60);
+    };
+  };
+
+  constexpr int kBatches = 200;
+  constexpr int kCancelEvery = 4;
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+  int applied = 0;
+  int cancelled_batches = 0;
+  int cancelled_queries = 0;
+  for (int attempt = 0; applied < kBatches && attempt < kBatches * 12;
+       ++attempt) {
+    GeneratedDelta generated = test::MakeSnowflakeDelta(
+        warehouse, source, rng, /*append_only=*/false);
+    if (generated.delta.Empty()) continue;
+    ++applied;
+    SCOPED_TRACE(::testing::Message() << "batch " << applied
+                                      << ", delta on " << generated.table);
+    std::map<std::string, Delta> changes;
+    changes.emplace(generated.table, generated.delta);
+
+    if (applied % kCancelEvery == 0) {
+      // Rotate the trip depth so cancellation lands at a different
+      // pipeline stage each round.
+      const int depth = 1 + (applied / kCancelEvery) % 6;
+      const std::map<std::string, Table> before = CaptureState(victim);
+      CancellationToken token(Deadline::After(1, trip_after(depth)));
+      const Status outcome = victim.ApplyTransaction(changes, "", token);
+      if (outcome.ok()) {
+        // A deep enough trip depth can outlast the whole apply; the
+        // batch then committed normally and the twin must follow.
+        MD_ASSERT_OK(twin.ApplyTransaction(changes));
+      } else {
+        ASSERT_TRUE(outcome.code() == StatusCode::kDeadlineExceeded ||
+                    outcome.code() == StatusCode::kCancelled)
+            << outcome.message();
+        ++cancelled_batches;
+        ExpectStatesIdentical(before, CaptureState(victim));
+        if (::testing::Test::HasFatalFailure()) return;
+        // The identical batch, resent verbatim, applies cleanly.
+        MD_ASSERT_OK(victim.ApplyTransaction(changes));
+        MD_ASSERT_OK(twin.ApplyTransaction(changes));
+      }
+    } else {
+      MD_ASSERT_OK(victim.ApplyTransaction(changes));
+      MD_ASSERT_OK(twin.ApplyTransaction(changes));
+    }
+    MD_ASSERT_OK(ApplyDelta(*source.MutableTable(generated.table),
+                            generated.delta));
+
+    if (applied % 7 == 0) {
+      // A query cancelled mid-flight must publish nothing; the same
+      // query uncancelled answers identically on victim and twin.
+      CancellationToken token(
+          Deadline::After(1, trip_after(1 + applied % 3)));
+      Result<Table> governed = victim.Query(query_sql, token);
+      if (!governed.ok()) {
+        ASSERT_EQ(governed.status().code(), StatusCode::kDeadlineExceeded)
+            << governed.status().message();
+        ++cancelled_queries;
+      }
+      MD_ASSERT_OK_AND_ASSIGN(Table victim_answer,
+                              victim.Query(query_sql));
+      MD_ASSERT_OK_AND_ASSIGN(Table twin_answer, twin.Query(query_sql));
+      ASSERT_TRUE(TablesExactlyEqual(victim_answer, twin_answer))
+          << "query divergence, seed " << seed << ", batch " << applied;
+    }
+
+    MD_ASSERT_OK_AND_ASSIGN(Table victim_view, victim.View(view));
+    MD_ASSERT_OK_AND_ASSIGN(Table twin_view, twin.View(view));
+    ASSERT_TRUE(TablesExactlyEqual(victim_view, twin_view))
+        << "victim/twin divergence, seed " << seed << ", batch "
+        << applied;
+  }
+  ASSERT_GE(applied, kBatches) << "seed " << seed;
+  // The rotating depths must actually cancel most rounds, or the run
+  // proves nothing.
+  ASSERT_GE(cancelled_batches, kBatches / kCancelEvery / 2)
+      << "seed " << seed;
+  EXPECT_GE(cancelled_queries, 0);
+  EXPECT_EQ(victim.Report().overload.cancelled_batches,
+            static_cast<uint64_t>(cancelled_batches));
 }
 
 // -------------------------------------------------------------------

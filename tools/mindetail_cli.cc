@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/estimate.h"
 #include "io/catalog_io.h"
@@ -114,6 +115,12 @@ class Cli {
       Estimate(args[1]);
     } else if (cmd == "threads") {
       Threads(args);
+    } else if (cmd == "deadline") {
+      Deadline(args);
+    } else if (cmd == "memory") {
+      Memory(args);
+    } else if (cmd == "failpoints") {
+      ListFailpoints();
     } else if (cmd == "insert" && args.size() >= 3) {
       Insert(args[1], line);
     } else if (cmd == "erase" && args.size() == 3) {
@@ -169,6 +176,15 @@ class Cli {
         "                       maintained concurrently per batch (both\n"
         "                       default 1; results are identical at any\n"
         "                       thread count)\n"
+        "  deadline [ms]        show or set the default query deadline\n"
+        "                       (0 disables; an expired deadline returns\n"
+        "                       DeadlineExceeded, nothing is cached)\n"
+        "  memory [q=<bytes>] [cache=<bytes>] [inflight=<n>]\n"
+        "                       show or set the overload knobs: per-query\n"
+        "                       memory budget, result-cache byte cap,\n"
+        "                       max in-flight ingest batches (0 = off)\n"
+        "  failpoints           list registered failpoint sites and\n"
+        "                       whether each is armed\n"
         "  insert <table> v,..  insert one row (routed to all views)\n"
         "  erase <table> <key>  delete one row by key\n"
         "  verify               integrity scrub: cross-check every view\n"
@@ -328,7 +344,18 @@ class Cli {
               << report.ingest.quarantined << " quarantined\n";
     std::cout << "result cache: " << report.cache.hits << " hit(s), "
               << report.cache.misses << " miss(es), "
-              << report.cache.evictions << " eviction(s)\n";
+              << report.cache.evictions << " eviction(s), "
+              << report.cache.byte_evictions << " byte eviction(s); "
+              << FormatBytes(report.cache.bytes_used) << " resident, "
+              << FormatBytes(report.cache.bytes_evicted) << " evicted\n";
+    std::cout << "overload: " << report.overload.admitted << " admitted, "
+              << report.overload.shed << " shed ("
+              << report.overload.shed_heavy << " heavy); cancelled "
+              << report.overload.cancelled_batches << " batch(es), "
+              << report.overload.cancelled_queries
+              << " query(ies); deadline expiries "
+              << report.overload.deadline_queries << ", budget refusals "
+              << report.overload.budget_refusals << "\n";
     std::cout << "lattice: " << report.lattice.nodes << " node(s), "
               << report.lattice.folds << " fold(s), "
               << report.lattice.diffs_computed << " diff(s) computed, "
@@ -445,6 +472,83 @@ class Cli {
     if (changed_views) {
       std::cout << "cross-view parallelism set to " << options.parallelism
                 << " (applies from the next batch)\n";
+    }
+  }
+
+  // deadline [ms] — show or set the default query deadline.
+  void Deadline(const std::vector<std::string>& args) {
+    WarehouseOptions options = warehouse_.options();
+    if (args.size() == 1) {
+      if (options.default_query_deadline_ms > 0) {
+        std::cout << "default query deadline: "
+                  << options.default_query_deadline_ms << " ms\n";
+      } else {
+        std::cout << "default query deadline: none\n";
+      }
+      return;
+    }
+    const int ms = ParseCount(args[1]);
+    if (ms < 0 || (ms == 0 && args[1] != "0")) {
+      std::cout << "usage: deadline [ms] (0 disables)\n";
+      return;
+    }
+    options.WithQueryDeadline(ms);
+    warehouse_.set_options(options);
+    std::cout << (ms > 0 ? StrCat("default query deadline set to ", ms,
+                                  " ms\n")
+                         : std::string("default query deadline disabled\n"));
+  }
+
+  // memory [q=<bytes>] [cache=<bytes>] [inflight=<n>] — the overload
+  // knobs in one place.
+  void Memory(const std::vector<std::string>& args) {
+    WarehouseOptions options = warehouse_.options();
+    if (args.size() == 1) {
+      std::cout << "query memory budget: "
+                << (options.query_memory_budget_bytes > 0
+                        ? FormatBytes(options.query_memory_budget_bytes)
+                        : std::string("unlimited"))
+                << "\nresult cache byte cap: "
+                << (options.result_cache_bytes > 0
+                        ? FormatBytes(options.result_cache_bytes)
+                        : std::string("none"))
+                << "\nmax in-flight batches: "
+                << (options.max_inflight_batches > 0
+                        ? std::to_string(options.max_inflight_batches)
+                        : std::string("unbounded"))
+                << "\n";
+      return;
+    }
+    for (size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::cout << "usage: memory [q=<bytes>] [cache=<bytes>] "
+                     "[inflight=<n>]\n";
+        return;
+      }
+      const std::string knob = arg.substr(0, eq);
+      const uint64_t value = ParseId(arg.substr(eq + 1));
+      if (knob == "q") {
+        options.WithQueryMemoryBudget(value);
+      } else if (knob == "cache") {
+        options.WithResultCacheBytes(value);
+      } else if (knob == "inflight") {
+        options.WithMaxInflightBatches(static_cast<int>(value));
+      } else {
+        std::cout << "unknown knob '" << knob << "'; q, cache, inflight\n";
+        return;
+      }
+    }
+    warehouse_.set_options(options);
+    std::cout << "overload knobs updated (cache and counters reset)\n";
+  }
+
+  void ListFailpoints() {
+    for (const Failpoints::SiteInfo& site : Failpoints::ListSites()) {
+      std::cout << "  " << site.site << ": "
+                << (site.armed ? "ARMED" : "idle") << ", " << site.hits
+                << " hit(s)\n";
     }
   }
 
