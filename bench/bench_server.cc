@@ -1,0 +1,274 @@
+// The network front end under load — what the HTTP layer costs on top
+// of the library call, and what the SSE change feed buys over polling.
+//
+// BM_HttpQuery (argument: concurrent clients, 1/4/16): each client
+// owns one keep-alive connection and issues roll-up queries with a
+// BurstyZipfStream-driven X-Client-Id, so the rate-limiter table (and
+// its LRU) sees the skewed identity mix a real fleet produces. One
+// benchmark iteration is a volley of 8 requests per client issued
+// concurrently; the harness reports
+//
+//   p50_ms / p99_ms   per-request latency percentiles over the run
+//   req/s             items_per_second (requests completed)
+//
+// BM_ChangeFeedFanout (argument: 0 = 16 SSE subscribers, 1 = 16
+// pollers): one iteration commits 8 batches through POST /ingest and
+// waits until every consumer has observed all of them — tailing the
+// SSE stream, or re-GETting /changes?poll=1. `polls` counts the
+// requests the polling arm needed for the same information, the
+// amplification the push feed removes.
+//
+// google-benchmark timing harness; CI emits BENCH_server.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "maintenance/warehouse.h"
+#include "net/http_client.h"
+#include "net/server.h"
+#include "workload/retail.h"
+#include "workload/zipf.h"
+
+namespace mindetail {
+namespace {
+
+using bench::Check;
+using bench::Unwrap;
+
+constexpr char kViewSql[] = R"sql(
+  CREATE VIEW monthly_sales AS
+  SELECT time.month, product.brand, SUM(sale.price) AS TotalPrice,
+         COUNT(*) AS Cnt
+  FROM sale, time, product
+  WHERE sale.timeid = time.id AND sale.productid = product.id
+  GROUP BY time.month, product.brand
+)sql";
+
+constexpr char kRollupSql[] =
+    "SELECT product.brand, SUM(sale.price) AS T, COUNT(*) AS C "
+    "FROM sale, time, product "
+    "WHERE sale.timeid = time.id AND sale.productid = product.id "
+    "GROUP BY product.brand";
+
+RetailWarehouse MakeSource() {
+  RetailParams params;
+  params.days = 30;
+  params.stores = 4;
+  params.products = 200;
+  params.products_sold_per_store_day = 25;
+  params.transactions_per_product = 3;
+  params.daily_distinct_fraction = 0.5;
+  return Unwrap(GenerateRetail(params));
+}
+
+double PercentileMs(std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(latencies.size() - 1));
+  return latencies[index];
+}
+
+// state.range(0): concurrent clients.
+void BM_HttpQuery(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  RetailWarehouse retail = MakeSource();
+  Warehouse warehouse;
+  Check(warehouse.AddViewSql(retail.catalog, kViewSql));
+  HttpServerOptions options;
+  options.num_workers = clients + 2;
+  HttpServer server(&warehouse, options);
+  Check(server.Start());
+
+  std::vector<std::unique_ptr<HttpConnection>> connections;
+  for (int c = 0; c < clients; ++c) {
+    auto connection = std::make_unique<HttpConnection>();
+    Check(connection->Connect("127.0.0.1", server.port()));
+    connections.push_back(std::move(connection));
+  }
+
+  constexpr int kVolley = 8;  // Requests per client per iteration.
+  std::mutex latencies_mu;
+  std::vector<double> latencies;
+  uint64_t requests = 0;
+  std::atomic<uint64_t> failures{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        // Per-thread identity stream: skewed client ids exercise the
+        // limiter's hot/cold bucket paths even while it admits all.
+        BurstyZipfParams params;
+        params.num_items = 64;
+        params.seed = 17 + static_cast<uint64_t>(c);
+        BurstyZipfStream ids(params);
+        std::vector<double> local;
+        local.reserve(kVolley);
+        for (int i = 0; i < kVolley; ++i) {
+          const std::map<std::string, std::string> headers = {
+              {"X-Client-Id", StrCat("client-", ids.Next())}};
+          const auto start = std::chrono::steady_clock::now();
+          Result<ClientResponse> response = connections[c]->Request(
+              "POST", "/query", headers, kRollupSql);
+          const auto elapsed = std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start);
+          if (!response.ok() || (*response).code != 200) {
+            failures.fetch_add(1);
+            continue;
+          }
+          local.push_back(elapsed.count());
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies.insert(latencies.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    requests += static_cast<uint64_t>(clients) * kVolley;
+  }
+  Check(failures.load() == 0
+            ? Status::Ok()
+            : InternalError(StrCat(failures.load(), " requests failed")));
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+  state.counters["p50_ms"] = PercentileMs(latencies, 0.50);
+  state.counters["p99_ms"] = PercentileMs(latencies, 0.99);
+}
+
+// One insert-only batch in the /ingest wire format, ids unique so
+// content-hash dedup never folds two batches together.
+std::string IngestBody(std::atomic<int64_t>& next_id, int rows) {
+  std::string body = "table sale\n";
+  for (int i = 0; i < rows; ++i) {
+    const int64_t id = next_id.fetch_add(1);
+    body += StrCat("+ ", id, ",", 1 + id % 30, ",", 1 + id % 200, ",",
+                   1 + id % 4, ",", 5 + id % 40, "\n");
+  }
+  return body;
+}
+
+// state.range(0): 0 = SSE subscribers tail pushes, 1 = pollers re-GET.
+void BM_ChangeFeedFanout(benchmark::State& state) {
+  constexpr int kConsumers = 16;
+  constexpr int kBatchesPerIteration = 8;
+  const bool polling = state.range(0) == 1;
+  state.SetLabel(polling ? "16_pollers" : "16_sse_subscribers");
+
+  RetailWarehouse retail = MakeSource();
+  Warehouse warehouse;
+  Check(warehouse.AddViewSql(retail.catalog, kViewSql));
+  HttpServerOptions options;
+  options.num_workers = kConsumers + 4;
+  options.max_connections = kConsumers + 8;
+  HttpServer server(&warehouse, options);
+  Check(server.Start());
+  const int port = server.port();
+
+  // Every consumer publishes the newest version it has observed; the
+  // timed loop commits and then waits for all of them to catch up.
+  std::vector<std::atomic<uint64_t>> seen(kConsumers);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> polls{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    if (polling) {
+      consumers.emplace_back([&, c] {
+        HttpConnection connection;
+        if (!connection.Connect("127.0.0.1", port).ok()) return;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const uint64_t from = seen[c].load(std::memory_order_relaxed);
+          Result<ClientResponse> response = connection.Request(
+              "GET", StrCat("/changes?poll=1&from=", from));
+          polls.fetch_add(1, std::memory_order_relaxed);
+          if (!response.ok()) {
+            if (!connection.Connect("127.0.0.1", port).ok()) return;
+            continue;
+          }
+          // First line: "current <version>".
+          const std::string& body = (*response).body;
+          if (body.rfind("current ", 0) == 0) {
+            seen[c].store(
+                std::strtoull(body.c_str() + 8, nullptr, 10),
+                std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+    } else {
+      consumers.emplace_back([&, c] {
+        SseClient client;
+        if (!client.Open("127.0.0.1", port, "/changes?from=0").ok()) {
+          return;
+        }
+        while (!stop.load(std::memory_order_relaxed)) {
+          Result<SseEvent> event = client.Next();
+          if (!event.ok()) return;  // Server stopped.
+          if ((*event).comment || (*event).event != "commit") continue;
+          seen[c].store(std::strtoull((*event).id.c_str(), nullptr, 10),
+                        std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  std::atomic<int64_t> next_id{10'000'000};
+  HttpConnection ingest;
+  Check(ingest.Connect("127.0.0.1", port));
+  uint64_t deliveries = 0;
+  for (auto _ : state) {
+    for (int b = 0; b < kBatchesPerIteration; ++b) {
+      Result<ClientResponse> response = ingest.Request(
+          "POST", "/ingest", {}, IngestBody(next_id, 4));
+      Check(response.ok() && (*response).code == 200
+                ? Status::Ok()
+                : InternalError("ingest failed"));
+    }
+    const uint64_t target = warehouse.last_sequence();
+    for (int c = 0; c < kConsumers; ++c) {
+      while (seen[c].load(std::memory_order_relaxed) < target) {
+        std::this_thread::yield();
+      }
+    }
+    deliveries +=
+        static_cast<uint64_t>(kConsumers) * kBatchesPerIteration;
+  }
+  stop.store(true);
+  server.Stop();  // Ends the SSE streams; pollers see stop.
+  for (std::thread& t : consumers) t.join();
+
+  // Commits delivered to consumers per second (push or poll).
+  state.SetItemsProcessed(static_cast<int64_t>(deliveries));
+  if (polling) {
+    state.counters["polls"] = static_cast<double>(polls.load());
+  }
+}
+
+BENCHMARK(BM_HttpQuery)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_ChangeFeedFanout)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace mindetail
+
+BENCHMARK_MAIN();

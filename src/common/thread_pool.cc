@@ -71,6 +71,19 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MD_CHECK(!stopping_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;

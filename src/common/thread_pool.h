@@ -6,14 +6,16 @@
 // runs everything inline on the caller — byte-identical to not having
 // a pool.
 //
-// The pool deliberately exposes only fork-join parallelism
-// (ParallelFor); maintenance shards are independent by construction,
-// so no futures, task graphs, or work stealing are needed. Nested
-// ParallelFor calls are legal: the inner call runs inline on whichever
-// thread issued it (workers never re-enter the queue), which cannot
-// deadlock. That property is what lets maintenance nest two levels of
-// pools — the warehouse's view pool fans a change batch out across
-// engines, and each engine's own pool shards work within a view.
+// The pool exposes fork-join parallelism (ParallelFor) for maintenance
+// shards — which are independent by construction, so no futures, task
+// graphs, or work stealing are needed — plus standalone one-shot tasks
+// (Submit) for long-lived work such as the network front end's
+// connection handlers. Nested ParallelFor calls are legal: the inner
+// call runs inline on whichever thread issued it (workers never
+// re-enter the queue), which cannot deadlock. That property is what
+// lets maintenance nest two levels of pools — the warehouse's view
+// pool fans a change batch out across engines, and each engine's own
+// pool shards work within a view.
 
 #ifndef MINDETAIL_COMMON_THREAD_POOL_H_
 #define MINDETAIL_COMMON_THREAD_POOL_H_
@@ -47,6 +49,14 @@ class ThreadPool {
   // concurrently — callers are responsible for making the work
   // independent per index.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Enqueues a standalone task for a background worker and returns
+  // immediately. With no workers (num_threads == 1) the task runs
+  // inline on the caller instead. Tasks already enqueued when the pool
+  // is destroyed still run to completion before the workers join; a
+  // task must therefore terminate on its own (long-lived tasks, e.g.
+  // connection handlers, watch an external stop flag).
+  void Submit(std::function<void()> task);
 
  private:
   struct ForState;

@@ -115,6 +115,14 @@ class OverloadController {
 
   OverloadStats Snapshot() const;
 
+  // The hint attached to the most recent shed, in milliseconds (0 when
+  // nothing has been shed since the last admit). Public so a transport
+  // layer can emit it on the wire (e.g. an HTTP Retry-After header)
+  // without composing a full WarehouseReport per refusal.
+  int last_retry_after_ms() const {
+    return last_retry_after_ms_.load(std::memory_order_relaxed);
+  }
+
   const Options& options() const { return options_; }
 
  private:

@@ -39,27 +39,33 @@ EngineOptions FromOptionsData(const EngineOptionsData& data) {
 }
 
 // WarehouseCheckpoint::ingest_state encoding: u32 version, the key
-// ledger, then the idempotency window (u32 count + keys, oldest
-// first).
-constexpr uint32_t kIngestStateVersion = 1;
+// ledger, then the idempotency window (u32 count + entries, oldest
+// first). Version 2 tags each window key with the sequence its batch
+// committed under (what a duplicate resend is acked with); version 1
+// carried bare keys and reads back with sequence 0 ("unknown").
+constexpr uint32_t kIngestStateVersion = 2;
 
-std::string ComposeIngestState(const KeyLedger& ledger,
-                               const std::deque<std::string>& recent_keys) {
+std::string ComposeIngestState(
+    const KeyLedger& ledger,
+    const std::deque<std::pair<std::string, uint64_t>>& recent_keys) {
   std::string out;
   logfmt::PutU32(&out, kIngestStateVersion);
   ledger.SerializeInto(&out);
   logfmt::PutU32(&out, static_cast<uint32_t>(recent_keys.size()));
-  for (const std::string& key : recent_keys) {
+  for (const auto& [key, sequence] : recent_keys) {
     logfmt::PutString(&out, key);
+    logfmt::PutU64(&out, sequence);
   }
   return out;
 }
 
-Status ParseIngestState(const std::string& payload, KeyLedger* ledger,
-                        std::deque<std::string>* recent_keys) {
+Status ParseIngestState(
+    const std::string& payload, KeyLedger* ledger,
+    std::deque<std::pair<std::string, uint64_t>>* recent_keys) {
   logfmt::PayloadReader reader(payload.data(), payload.size());
   uint32_t version = 0;
-  if (!reader.ReadU32(&version) || version != kIngestStateVersion) {
+  if (!reader.ReadU32(&version) ||
+      (version != 1 && version != kIngestStateVersion)) {
     return InternalError("checkpoint ingest state has unknown version");
   }
   const size_t ledger_at = reader.pos();
@@ -75,10 +81,12 @@ Status ParseIngestState(const std::string& payload, KeyLedger* ledger,
   recent_keys->clear();
   for (uint32_t i = 0; i < num_keys; ++i) {
     std::string key;
-    if (!tail.ReadString(&key)) {
+    uint64_t sequence = 0;
+    if (!tail.ReadString(&key) ||
+        (version >= 2 && !tail.ReadU64(&sequence))) {
       return InternalError("checkpoint ingest state is truncated");
     }
-    recent_keys->push_back(std::move(key));
+    recent_keys->emplace_back(std::move(key), sequence);
   }
   if (!tail.AtEnd()) {
     return InternalError("checkpoint ingest state has trailing bytes");
@@ -282,8 +290,8 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
     if (!cp.ingest_state.empty()) {
       MD_RETURN_IF_ERROR(ParseIngestState(cp.ingest_state, &wh.ledger_,
                                           &wh.recent_keys_));
-      for (const std::string& key : wh.recent_keys_) {
-        wh.recent_key_set_.insert(key);
+      for (const auto& [key, sequence] : wh.recent_keys_) {
+        wh.recent_key_set_.emplace(key, sequence);
       }
     }
     // Restore the promoted-node directory and candidate heat; the node
@@ -335,7 +343,7 @@ Result<Warehouse> Warehouse::Open(const std::string& dir,
       // in-flight batch after our crash gets a duplicate ack instead of
       // a double apply.
       wh.ledger_.Fold(record.changes);
-      wh.RecordKey(record.key);
+      wh.RecordKey(record.key, record.sequence);
     } else {
       // The batch was rejected when first applied too (atomically — no
       // engine kept any of it); preserve that outcome and move on.
@@ -474,14 +482,26 @@ std::vector<std::string> Warehouse::ViewNames() const {
   return registration_order_;
 }
 
-void Warehouse::RecordKey(const std::string& key) {
+void Warehouse::RecordKey(const std::string& key, uint64_t sequence) {
   if (key.empty() || options_.idempotency_window == 0) return;
-  if (!recent_key_set_.insert(key).second) return;
-  recent_keys_.push_back(key);
+  if (!recent_key_set_.emplace(key, sequence).second) return;
+  recent_keys_.emplace_back(key, sequence);
   while (recent_keys_.size() > options_.idempotency_window) {
-    recent_key_set_.erase(recent_keys_.front());
+    recent_key_set_.erase(recent_keys_.front().first);
     recent_keys_.pop_front();
   }
+}
+
+std::optional<uint64_t> Warehouse::SequenceForKey(
+    const std::string& key) const {
+  if (key.empty()) return std::nullopt;
+  const auto it = recent_key_set_.find(key);
+  if (it == recent_key_set_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Warehouse::retry_after_hint_ms() const {
+  return overload_->last_retry_after_ms();
 }
 
 void Warehouse::BackoffSleep(int attempt) {
@@ -563,7 +583,7 @@ Status Warehouse::IngestBatch(const std::map<std::string, Delta>& changes,
     return applied;
   }
   ++ingest_stats_.accepted;
-  RecordKey(key);
+  RecordKey(key, sequence_);
   ledger_.Fold(changes);
   if (snapshots_ != nullptr) {
     // Copy-on-write publish: only views referencing a changed table are
@@ -846,7 +866,7 @@ Status Warehouse::ApplyReplicated(const WriteAheadLog::Record& record) {
   }
   ++ingest_stats_.accepted;
   ledger_.Fold(record.changes);
-  RecordKey(record.key);
+  RecordKey(record.key, record.sequence);
   if (snapshots_ != nullptr) {
     // Publish at the leader's sequence: readers on any replica see the
     // same versioned snapshot, and result-cache entries keyed on it are
@@ -1317,6 +1337,7 @@ void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
   auto next = std::make_shared<WarehouseSnapshot>();
   next->version = sequence_;
   next->epoch = leader_epoch_;
+  next->publish_nanos = MonotonicNowNanos();
   next->schema_catalog =
       (schema_changed || prev->schema_catalog == nullptr)
           ? std::make_shared<const Catalog>(schema_catalog_)
@@ -1371,7 +1392,12 @@ void Warehouse::PublishSnapshot(const std::set<std::string>& touched,
     invalidate.insert(stale.begin(), stale.end());
   }
   if (result_cache_ != nullptr) result_cache_->InvalidateViews(invalidate);
+  const std::shared_ptr<const WarehouseSnapshot> published = next;
   snapshots_->Publish(std::move(next));
+  // Fire the change-feed hook strictly after the snapshot is visible to
+  // readers: a listener that republishes the boundary downstream never
+  // advertises a version Current() cannot serve yet.
+  if (commit_listener_) commit_listener_(prev, published);
 }
 
 Status Warehouse::LatticePromote(

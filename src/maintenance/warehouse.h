@@ -63,6 +63,7 @@
 #ifndef MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 #define MINDETAIL_MAINTENANCE_WAREHOUSE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -72,7 +73,7 @@
 #include <set>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -432,9 +433,10 @@ class Warehouse {
 
   // As above with an explicit idempotency key: if `idempotency_key` is
   // non-empty and matches a recently accepted batch, the resend is
-  // acknowledged as a no-op (ingest_stats().duplicates counts it). The
-  // key is logged in the batch's WAL record and persisted across
-  // checkpoints, so the guarantee holds across crash recovery too.
+  // acknowledged as a no-op (ingest_stats().duplicates counts it; the
+  // original sequence stays visible through SequenceForKey). The key is
+  // logged in the batch's WAL record and persisted across checkpoints,
+  // so the guarantee holds across crash recovery too.
   Status ApplyTransaction(const std::map<std::string, Delta>& changes,
                           const std::string& idempotency_key);
 
@@ -499,6 +501,38 @@ class Warehouse {
   // WAL record; batches an engine rejects *after* logging do — their
   // record exists and is skipped on replay.
   uint64_t last_sequence() const { return sequence_; }
+
+  // The sequence number the batch with this idempotency key committed
+  // under, while the key remains inside the idempotency window — what a
+  // transport acks a duplicate resend with (the *original* sequence,
+  // not a new one). Keys restored from a checkpoint written before
+  // sequences were recorded report 0 ("accepted, sequence unknown").
+  // Call from the writer side only (it reads the same window the
+  // ingest path mutates); a serialized front end satisfies this by
+  // holding its ingest lock across apply + lookup.
+  std::optional<uint64_t> SequenceForKey(const std::string& key) const;
+
+  // The retry-after hint attached to the ingest controller's most
+  // recent shed, in milliseconds — what a transport puts in an HTTP
+  // Retry-After header next to a 503. Lock-free; does not compose a
+  // WarehouseReport.
+  int retry_after_hint_ms() const;
+
+  // Registers (or clears, with nullptr) the commit listener: called on
+  // the writer thread immediately after every published snapshot, with
+  // the previous and the just-published snapshot — the hook the network
+  // front end's change feed turns into per-view delta events. The
+  // listener runs synchronously inside the commit path; keep it cheap
+  // relative to batch apply, and never call back into the warehouse's
+  // write API from it. Set/cleared from the writer side only (not
+  // concurrent with ApplyTransaction). No-op snapshots (serving
+  // disabled) never fire it.
+  using CommitListener = std::function<void(
+      const std::shared_ptr<const WarehouseSnapshot>& previous,
+      const std::shared_ptr<const WarehouseSnapshot>& published)>;
+  void SetCommitListener(CommitListener listener) {
+    commit_listener_ = std::move(listener);
+  }
 
   // What Open() found (zeroes for an in-memory warehouse).
   // Prefer Report().recovery; this getter forwards to it.
@@ -695,8 +729,10 @@ class Warehouse {
   // ledger from the source's current rows.
   Status MergeSchemas(const Catalog& source, const GpsjViewDef& def);
 
-  // Remembers an accepted idempotency key in the FIFO window.
-  void RecordKey(const std::string& key);
+  // Remembers an accepted idempotency key in the FIFO window, tagged
+  // with the sequence its batch committed under (0 = unknown, for keys
+  // restored from pre-sequence checkpoints).
+  void RecordKey(const std::string& key, uint64_t sequence);
   // True when `key` matches a remembered accepted batch.
   bool IsDuplicate(const std::string& key) const {
     return !key.empty() && recent_key_set_.count(key) > 0;
@@ -743,7 +779,35 @@ class Warehouse {
   // Durability state; dir_ empty ⇔ in-memory warehouse (wal_ null).
   std::string dir_;
   std::unique_ptr<WriteAheadLog> wal_;
-  uint64_t sequence_ = 0;
+  // Atomic so transport threads (metrics scrapes, feed catch-up
+  // watermarks) can read it while the serialized ingest path advances
+  // it under the commit lock. The wrapper keeps Warehouse movable:
+  // Open() returns by value before any reader thread exists.
+  struct AtomicSequence {
+    std::atomic<uint64_t> value{0};
+    AtomicSequence() = default;
+    AtomicSequence(const AtomicSequence& other)
+        : value(other.value.load(std::memory_order_acquire)) {}
+    AtomicSequence& operator=(const AtomicSequence& other) {
+      value.store(other.value.load(std::memory_order_acquire),
+                  std::memory_order_release);
+      return *this;
+    }
+    AtomicSequence& operator=(uint64_t next) {
+      value.store(next, std::memory_order_release);
+      return *this;
+    }
+    operator uint64_t() const {
+      return value.load(std::memory_order_acquire);
+    }
+    uint64_t operator++() {
+      return value.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    uint64_t operator--() {
+      return value.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    }
+  };
+  AtomicSequence sequence_;
   uint64_t checkpoint_epoch_ = 0;
   // Replication fence: the highest leader epoch this warehouse has
   // written, replicated, or recovered. Stamped into WAL frames and
@@ -756,12 +820,14 @@ class Warehouse {
 
   // Ingestion-hardening state. The ledger mirrors each tracked table's
   // live key set (seeded at registration, folded on every accepted
-  // batch); the FIFO window remembers accepted idempotency keys. Both
-  // persist through checkpoints (WarehouseCheckpoint::ingest_state) and
-  // are rebuilt by WAL replay for the tail.
+  // batch); the FIFO window remembers accepted idempotency keys along
+  // with the sequence each batch committed under (what a duplicate
+  // resend is acked with). Both persist through checkpoints
+  // (WarehouseCheckpoint::ingest_state) and are rebuilt by WAL replay
+  // for the tail.
   KeyLedger ledger_;
-  std::deque<std::string> recent_keys_;
-  std::unordered_set<std::string> recent_key_set_;
+  std::deque<std::pair<std::string, uint64_t>> recent_keys_;
+  std::unordered_map<std::string, uint64_t> recent_key_set_;
   IngestStats ingest_stats_;
   // Shared-plan totals across every committed batch (per-batch caches
   // fold in here on success; see ApplyToEngines).
@@ -775,6 +841,8 @@ class Warehouse {
   // use and peak across per-query children.
   std::shared_ptr<OverloadController> overload_;
   std::shared_ptr<MemoryBudget> query_budget_root_;
+  // Fired at the end of every PublishSnapshot (writer thread).
+  CommitListener commit_listener_;
   Rng retry_rng_{0};  // Re-seeded from options in the constructor.
 };
 

@@ -1,0 +1,170 @@
+#include "net/change_feed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/strings.h"
+#include "net/wire.h"
+
+namespace mindetail {
+
+namespace {
+
+// A view's contents as sorted canonical CSV rows.
+std::vector<std::string> RenderRows(const Table& table) {
+  std::vector<std::string> rows;
+  rows.reserve(table.NumRows());
+  for (const Tuple& row : table.rows()) {
+    rows.push_back(RenderCsvRow(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+ChangeEvent DiffSnapshots(const WarehouseSnapshot& previous,
+                          const WarehouseSnapshot& published) {
+  ChangeEvent event;
+  event.version = published.version;
+  event.prior_version = previous.version;
+  event.epoch = published.epoch;
+  // Union of view names, in the published snapshot's registration
+  // order; views only the previous snapshot carries (dropped by this
+  // commit) follow in their old order.
+  std::vector<std::string> names = published.order;
+  for (const std::string& name : previous.order) {
+    if (!published.HasView(name)) names.push_back(name);
+  }
+  for (const std::string& name : names) {
+    const auto prev_it = previous.views.find(name);
+    const auto next_it = published.views.find(name);
+    const std::shared_ptr<const ServedView> prev =
+        prev_it == previous.views.end() ? nullptr : prev_it->second;
+    const std::shared_ptr<const ServedView> next =
+        next_it == published.views.end() ? nullptr : next_it->second;
+    // Copy-on-write publish shares untouched views; pointer equality
+    // means no row can differ.
+    if (prev == next) continue;
+    ViewDelta delta;
+    delta.view = name;
+    delta.from_version = prev ? prev->version : 0;
+    delta.to_version = next ? next->version : 0;
+    std::vector<std::string> before =
+        prev && prev->contents ? RenderRows(*prev->contents)
+                               : std::vector<std::string>{};
+    std::vector<std::string> after =
+        next && next->contents ? RenderRows(*next->contents)
+                               : std::vector<std::string>{};
+    std::set_difference(after.begin(), after.end(), before.begin(),
+                        before.end(), std::back_inserter(delta.added));
+    std::set_difference(before.begin(), before.end(), after.begin(),
+                        after.end(), std::back_inserter(delta.removed));
+    // A re-rendered but row-identical view (e.g. an engine repair)
+    // produces no visible delta; omit it.
+    if (delta.added.empty() && delta.removed.empty() &&
+        delta.from_version == delta.to_version) {
+      continue;
+    }
+    event.views.push_back(std::move(delta));
+  }
+  return event;
+}
+
+std::string ChangeEvent::ToSse() const {
+  std::string out = StrCat("event: commit\nid: ", version, "\n");
+  out += StrCat("data: commit ", version, " prior ", prior_version,
+                " epoch ", epoch, "\n");
+  for (const ViewDelta& delta : views) {
+    out += StrCat("data: view ", delta.view, " from ", delta.from_version,
+                  " to ", delta.to_version, " added ", delta.added.size(),
+                  " removed ", delta.removed.size(), "\n");
+    for (const std::string& row : delta.added) {
+      out += StrCat("data: + ", row, "\n");
+    }
+    for (const std::string& row : delta.removed) {
+      out += StrCat("data: - ", row, "\n");
+    }
+  }
+  out += "data: end\n\n";
+  return out;
+}
+
+ChangeFeed::ChangeFeed(size_t retention)
+    : retention_(std::max<size_t>(1, retention)) {}
+
+void ChangeFeed::OnCommit(
+    const std::shared_ptr<const WarehouseSnapshot>& previous,
+    const std::shared_ptr<const WarehouseSnapshot>& published) {
+  if (previous == nullptr || published == nullptr) return;
+  auto event = std::make_shared<const ChangeEvent>(
+      DiffSnapshots(*previous, *published));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++commits_;
+    newest_version_ = event->version;
+    ring_.push_back(std::move(event));
+    while (ring_.size() > retention_) {
+      ring_.pop_front();
+      ++dropped_;
+    }
+  }
+  cv_.notify_all();
+}
+
+ChangeFeed::Replay ChangeFeed::ReplayFrom(uint64_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Replay replay;
+  replay.current_version = newest_version_;
+  if (ring_.empty()) {
+    // Nothing retained: any `from` below the newest version has a gap.
+    replay.ok = from >= newest_version_;
+    return replay;
+  }
+  // `from` must cover everything already evicted: the oldest retained
+  // event carries the delta prior→prior+1, so a subscriber at `from`
+  // can only resume gap-free when from >= oldest.prior_version.
+  if (from < ring_.front()->prior_version) {
+    replay.ok = false;
+    return replay;
+  }
+  for (const auto& event : ring_) {
+    if (event->version > from) replay.events.push_back(event);
+  }
+  return replay;
+}
+
+bool ChangeFeed::WaitBeyond(uint64_t from, int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(std::max<int64_t>(
+                         0, timeout_ms)),
+               [&] { return closed_ || newest_version_ > from; });
+  return !closed_ && newest_version_ > from;
+}
+
+void ChangeFeed::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ChangeFeed::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+ChangeFeed::Stats ChangeFeed::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.commits = commits_;
+  stats.dropped = dropped_;
+  stats.retained = ring_.size();
+  stats.newest_version = newest_version_;
+  stats.oldest_version = ring_.empty() ? 0 : ring_.front()->version;
+  return stats;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,121 @@
+// The change feed: per-view delta summaries for every committed
+// snapshot, kept in a bounded ring and streamed to subscribers over
+// SSE (GET /changes).
+//
+// The warehouse fires its CommitListener (on the writer thread,
+// strictly after SnapshotManager::Publish) with the previous and the
+// just-published snapshot; OnCommit diffs the two and appends one
+// ChangeEvent per commit. Diffing is cheap in the common case: a view
+// whose ServedView pointer is shared between the snapshots was
+// untouched by the batch (copy-on-write publish) and is skipped
+// without looking at a row. Touched views are diffed by canonical CSV
+// row (wire.h) — added and removed rows both ways — so the streamed
+// deltas are exactly the difference between the two committed
+// boundaries, bit-identical to what a subscriber would compute by
+// diffing the snapshots itself.
+//
+// Subscribers ask for `from` (the snapshot version they last saw):
+// Replay() returns every retained event after `from`, and
+// WaitBeyond() blocks (bounded) for the next commit past a version —
+// the server loops the two to implement catch-up-then-tail. When
+// `from` predates the retention ring the subscriber is told to resync
+// (an SSE `reset` event) instead of being handed a gapped stream.
+//
+// Thread-safe: one writer (OnCommit), any number of waiting readers.
+
+#ifndef MINDETAIL_NET_CHANGE_FEED_H_
+#define MINDETAIL_NET_CHANGE_FEED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace mindetail {
+
+// One view's delta within a commit.
+struct ViewDelta {
+  std::string view;
+  uint64_t from_version = 0;  // The view's version before the commit.
+  uint64_t to_version = 0;    // After (0 = view dropped by the commit).
+  // Canonical CSV rows (wire.h), sorted.
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+};
+
+// Everything one committed snapshot changed.
+struct ChangeEvent {
+  uint64_t version = 0;        // The published snapshot's version.
+  uint64_t prior_version = 0;  // The predecessor's.
+  uint64_t epoch = 0;
+  std::vector<ViewDelta> views;  // Views with a non-empty delta only.
+
+  // The SSE rendering: `event: commit`, `id: <version>`, data lines,
+  // blank-line terminator (see RenderSse in change_feed.cc).
+  std::string ToSse() const;
+};
+
+// Diffs two committed snapshots into an event (exposed for the
+// differential test, which recomputes feed output independently).
+ChangeEvent DiffSnapshots(const WarehouseSnapshot& previous,
+                          const WarehouseSnapshot& published);
+
+class ChangeFeed {
+ public:
+  struct Stats {
+    uint64_t commits = 0;   // Events appended since construction.
+    uint64_t dropped = 0;   // Events evicted by the retention bound.
+    size_t retained = 0;    // Currently in the ring.
+    uint64_t oldest_version = 0;  // Smallest retained version (0=none).
+    uint64_t newest_version = 0;
+  };
+
+  // Retains up to `retention` events (≥ 1).
+  explicit ChangeFeed(size_t retention = 256);
+
+  // The warehouse CommitListener target. Writer thread only.
+  void OnCommit(const std::shared_ptr<const WarehouseSnapshot>& previous,
+                const std::shared_ptr<const WarehouseSnapshot>& published);
+
+  // Replay outcome: `ok` is false when `from` predates retention (the
+  // subscriber must resync from `current_version`).
+  struct Replay {
+    bool ok = true;
+    uint64_t current_version = 0;
+    std::vector<std::shared_ptr<const ChangeEvent>> events;
+  };
+
+  // Every retained event with version > `from`. `from` at or past the
+  // newest version returns an empty OK replay (tail position).
+  Replay ReplayFrom(uint64_t from) const;
+
+  // Blocks until an event with version > `from` exists, the timeout
+  // elapses, or Close(). Returns true when new events are available.
+  bool WaitBeyond(uint64_t from, int64_t timeout_ms) const;
+
+  // Wakes every waiter permanently (server shutdown). After Close(),
+  // WaitBeyond returns immediately.
+  void Close();
+  bool closed() const;
+
+  Stats stats() const;
+
+ private:
+  const size_t retention_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<std::shared_ptr<const ChangeEvent>> ring_;
+  uint64_t commits_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t newest_version_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_CHANGE_FEED_H_

@@ -1,0 +1,313 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// A header/method token: printable ASCII, no separators that would
+// smuggle a second line.
+bool IsSaneToken(std::string_view token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u <= ' ' || u >= 127) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& name) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string connection = ToLower(Header("connection"));
+  if (connection.find("close") != std::string::npos) return false;
+  if (version == "HTTP/1.0") {
+    return connection.find("keep-alive") != std::string::npos;
+  }
+  return true;
+}
+
+HttpResponse HttpResponse::Text(int code, std::string body) {
+  HttpResponse response;
+  response.code = code;
+  response.body = std::move(body);
+  return response;
+}
+
+const char* HttpReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = StrCat("HTTP/1.1 ", response.code, " ",
+                           HttpReasonPhrase(response.code), "\r\n");
+  out += StrCat("Content-Type: ", response.content_type, "\r\n");
+  out += StrCat("Content-Length: ", response.body.size(), "\r\n");
+  out += StrCat("Connection: ", keep_alive ? "keep-alive" : "close", "\r\n");
+  for (const auto& [name, value] : response.headers) {
+    out += StrCat(name, ": ", value, "\r\n");
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpRequestParser::HttpRequestParser(HttpParserLimits limits)
+    : limits_(limits) {}
+
+Status HttpRequestParser::Fail(int code, std::string message) {
+  state_ = State::kError;
+  error_code_ = code;
+  status_ = InvalidArgumentError(std::move(message));
+  return status_;
+}
+
+Status HttpRequestParser::Consume(std::string_view bytes) {
+  if (state_ == State::kError) return status_;
+  buffer_.append(bytes.data(), bytes.size());
+  return Advance();
+}
+
+Status HttpRequestParser::Advance() {
+  for (;;) {
+    if (state_ == State::kDone || state_ == State::kError) return status_;
+    if (state_ == State::kBody) {
+      if (buffer_.size() < body_length_) return status_;  // Need more.
+      request_.body = buffer_.substr(0, body_length_);
+      buffer_.erase(0, body_length_);
+      state_ = State::kDone;
+      return status_;
+    }
+    // Request line and headers are both line-oriented; pull one line.
+    const size_t eol = buffer_.find('\n');
+    if (eol == std::string::npos) {
+      // No full line yet: still enforce limits on the partial bytes so
+      // an endless unterminated line cannot grow the buffer forever.
+      const size_t cap = state_ == State::kRequestLine
+                             ? limits_.max_request_line_bytes
+                             : limits_.max_header_bytes - header_bytes_;
+      if (buffer_.size() > cap) {
+        return Fail(state_ == State::kRequestLine ? 400 : 431,
+                    "header section exceeds limit");
+      }
+      return status_;
+    }
+    std::string_view line(buffer_.data(), eol);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (state_ == State::kRequestLine) {
+      if (line.empty()) {  // Tolerate stray CRLF before the request.
+        buffer_.erase(0, eol + 1);
+        continue;
+      }
+      if (line.size() > limits_.max_request_line_bytes) {
+        return Fail(400, "request line too long");
+      }
+      MD_RETURN_IF_ERROR(ParseRequestLine(line));
+      buffer_.erase(0, eol + 1);
+      state_ = State::kHeaders;
+      continue;
+    }
+    // State::kHeaders.
+    header_bytes_ += eol + 1;
+    if (header_bytes_ > limits_.max_header_bytes) {
+      return Fail(431, "header section exceeds limit");
+    }
+    if (line.empty()) {
+      buffer_.erase(0, eol + 1);
+      // Headers complete: resolve the body length.
+      const std::string& te = request_.Header("transfer-encoding");
+      if (!te.empty()) {
+        return Fail(501, "transfer-encoding is not supported");
+      }
+      const std::string& cl = request_.Header("content-length");
+      if (cl.empty()) {
+        body_length_ = 0;
+      } else {
+        uint64_t length = 0;
+        for (const char c : cl) {
+          if (c < '0' || c > '9' || length > limits_.max_body_bytes) {
+            return Fail(c < '0' || c > '9' ? 400 : 413,
+                        "bad content-length");
+          }
+          length = length * 10 + static_cast<uint64_t>(c - '0');
+        }
+        if (length > limits_.max_body_bytes) {
+          return Fail(413, "request body exceeds limit");
+        }
+        body_length_ = static_cast<size_t>(length);
+      }
+      state_ = State::kBody;
+      continue;
+    }
+    MD_RETURN_IF_ERROR(ParseHeaderLine(line));
+    buffer_.erase(0, eol + 1);
+  }
+}
+
+Status HttpRequestParser::ParseRequestLine(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (!IsSaneToken(request_.method) || !IsSaneToken(request_.target)) {
+    return Fail(400, "malformed request line");
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version");
+  }
+  const Status target_ok = ParseRequestTarget(request_.target,
+                                             &request_.path,
+                                             &request_.query);
+  if (!target_ok.ok()) return Fail(400, target_ok.message());
+  return Status::Ok();
+}
+
+Status HttpRequestParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, "too many headers");
+  }
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail(400, "malformed header line");
+  }
+  const std::string name = ToLower(Trim(line.substr(0, colon)));
+  if (!IsSaneToken(name)) return Fail(400, "malformed header name");
+  // Last occurrence wins; the server reads single-valued headers only.
+  request_.headers[name] = std::string(Trim(line.substr(colon + 1)));
+  return Status::Ok();
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  return out;
+}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kRequestLine;
+  status_ = Status::Ok();
+  error_code_ = 0;
+  request_ = HttpRequest{};
+  header_bytes_ = 0;
+  body_length_ = 0;
+  // buffer_ keeps any bytes of the next pipelined request.
+  (void)Advance();
+}
+
+Result<std::string> UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      if (i + 2 >= text.size()) {
+        return InvalidArgumentError("truncated percent escape");
+      }
+      const int hi = hex(text[i + 1]);
+      const int lo = hex(text[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return InvalidArgumentError("malformed percent escape");
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Status ParseRequestTarget(std::string_view target, std::string* path,
+                          std::map<std::string, std::string>* query) {
+  path->clear();
+  query->clear();
+  const size_t qmark = target.find('?');
+  *path = std::string(target.substr(0, qmark));
+  if (path->empty() || (*path)[0] != '/') {
+    return InvalidArgumentError("request target must be an absolute path");
+  }
+  if (path->find('%') != std::string::npos) {
+    // Percent-decode the path; '+' stays literal (that rule is
+    // query-string only), so only escaped paths take this pass.
+    MD_ASSIGN_OR_RETURN(*path, UrlDecode(*path));
+  }
+  if (qmark == std::string_view::npos) return Status::Ok();
+  for (const std::string& piece :
+       Split(std::string(target.substr(qmark + 1)), '&')) {
+    if (piece.empty()) continue;
+    const size_t eq = piece.find('=');
+    MD_ASSIGN_OR_RETURN(std::string key,
+                        UrlDecode(std::string_view(piece).substr(0, eq)));
+    std::string value;
+    if (eq != std::string::npos) {
+      MD_ASSIGN_OR_RETURN(
+          value, UrlDecode(std::string_view(piece).substr(eq + 1)));
+    }
+    (*query)[std::move(key)] = std::move(value);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mindetail

@@ -1,0 +1,145 @@
+// Dependency-free HTTP/1.1 message layer for the network front end.
+//
+// The server speaks a deliberately small slice of HTTP/1.1: GET and
+// POST, Content-Length bodies (no chunked transfer coding, no
+// multipart), case-insensitive headers, and query strings with
+// percent-decoding. `HttpRequestParser` is incremental — feed it bytes
+// as they arrive from the socket and it accumulates until a full
+// request is available — and defensive: every limit (request-line
+// length, header count and size, body size) is enforced before the
+// offending bytes are buffered, so a malicious or fuzzed peer can make
+// the parser fail but never make it allocate unboundedly or crash.
+
+#ifndef MINDETAIL_NET_HTTP_H_
+#define MINDETAIL_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mindetail {
+
+// A parsed request. Header names are stored lower-cased; query
+// parameters are percent-decoded.
+struct HttpRequest {
+  std::string method;   // "GET" / "POST" (upper-case as sent).
+  std::string target;   // Raw request target ("/changes?from=3").
+  std::string path;     // Target up to '?' ("/changes").
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0".
+  std::map<std::string, std::string> headers;  // Lower-cased names.
+  std::map<std::string, std::string> query;    // Decoded key → value.
+  std::string body;
+
+  // The header's value, or "" when absent (name given lower-cased).
+  const std::string& Header(const std::string& name) const;
+  bool HasHeader(const std::string& name) const {
+    return headers.count(name) > 0;
+  }
+  // True when the client asked to keep the connection open (HTTP/1.1
+  // default; HTTP/1.0 needs an explicit keep-alive).
+  bool KeepAlive() const;
+};
+
+struct HttpResponse {
+  int code = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  std::string content_type = "text/plain; charset=utf-8";
+
+  static HttpResponse Text(int code, std::string body);
+};
+
+// The canonical reason phrase for `code` ("OK", "Too Many Requests",
+// …); "Unknown" for codes the server never emits.
+const char* HttpReasonPhrase(int code);
+
+// Serializes status line + headers + body. Content-Length and
+// Content-Type are always emitted; `keep_alive` picks the Connection
+// header.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+// Hard ceilings the parser enforces (see class comment).
+struct HttpParserLimits {
+  size_t max_request_line_bytes = 8 * 1024;
+  size_t max_header_bytes = 16 * 1024;  // All header lines together.
+  size_t max_headers = 64;
+  size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+// Incremental request parser. Usage:
+//
+//   HttpRequestParser parser(limits);
+//   while (!parser.done()) {
+//     parser.Consume(bytes_from_socket);      // any chunking
+//     if (!parser.status().ok()) ...          // malformed → reject
+//   }
+//   HttpRequest request = parser.TakeRequest();
+//
+// After a completed request, Reset() rearms the parser for the next
+// pipelined/keep-alive request; bytes past the first request's body
+// stay buffered and carry over.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpParserLimits limits = HttpParserLimits{});
+
+  // Feeds bytes. Returns the parser status: OK while incomplete or
+  // complete, an error once the input is irrecoverably malformed.
+  Status Consume(std::string_view bytes);
+
+  // True once a full request (headers + body) is buffered.
+  bool done() const { return state_ == State::kDone; }
+  // Non-OK once the stream is malformed; the connection should be
+  // answered with `error_code()` and closed.
+  const Status& status() const { return status_; }
+  // The HTTP status code to reject with (400, 413, 431, 501); 0 while
+  // the stream is healthy.
+  int error_code() const { return error_code_; }
+  // True when no byte of the next request has arrived yet — an EOF
+  // here is a clean connection close, not a truncated request.
+  bool at_message_boundary() const {
+    return state_ == State::kRequestLine && buffer_.empty();
+  }
+
+  // Moves the completed request out (valid only when done()).
+  HttpRequest TakeRequest();
+
+  // Rearms for the next request on the same connection, keeping any
+  // already-buffered bytes of it.
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  Status Fail(int code, std::string message);
+  Status ParseRequestLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  // Runs the state machine over the buffer.
+  Status Advance();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  Status status_;
+  int error_code_ = 0;
+  std::string buffer_;  // Unconsumed bytes.
+  HttpRequest request_;
+  size_t header_bytes_ = 0;
+  size_t body_length_ = 0;
+};
+
+// Percent-decodes `text` ('+' becomes space). Malformed escapes fail.
+Result<std::string> UrlDecode(std::string_view text);
+
+// Splits a raw request target into path + decoded query parameters.
+Status ParseRequestTarget(std::string_view target, std::string* path,
+                          std::map<std::string, std::string>* query);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_HTTP_H_

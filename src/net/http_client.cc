@@ -1,0 +1,278 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace {
+
+const std::string kEmpty;
+
+std::string ToLower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Appends more bytes from the socket into `buffer`; false on EOF/error.
+bool ReadMore(int fd, std::string* buffer) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      buffer->append(buf, static_cast<size_t>(n));
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+// Pops one \n-terminated line from the front of `buffer` (CR stripped),
+// reading as needed. False on EOF before a full line.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t eol = buffer->find('\n');
+    if (eol != std::string::npos) {
+      *line = buffer->substr(0, eol);
+      buffer->erase(0, eol + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    if (!ReadMore(fd, buffer)) return false;
+  }
+}
+
+Result<int> OpenSocket(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return UnavailableError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError(StrCat("bad host '", host, "'"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(StrCat("connect to ", host, ":", port,
+                                   " failed: ", std::strerror(err)));
+  }
+  return fd;
+}
+
+std::string SerializeRequest(const std::string& method,
+                             const std::string& target,
+                             const std::map<std::string, std::string>& headers,
+                             const std::string& body) {
+  std::string out = StrCat(method, " ", target, " HTTP/1.1\r\n");
+  out += "Host: localhost\r\n";
+  for (const auto& [name, value] : headers) {
+    out += StrCat(name, ": ", value, "\r\n");
+  }
+  out += StrCat("Content-Length: ", body.size(), "\r\n\r\n");
+  out += body;
+  return out;
+}
+
+// Reads status line + headers + Content-Length body from `fd`.
+Result<ClientResponse> ReadResponse(int fd, std::string* buffer) {
+  ClientResponse response;
+  std::string line;
+  if (!ReadLine(fd, buffer, &line)) {
+    return UnavailableError("connection closed before a response");
+  }
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = line.find(' ');
+  if (line.rfind("HTTP/", 0) != 0 || sp1 == std::string::npos) {
+    return InternalError(StrCat("malformed status line: ", line));
+  }
+  response.code = std::atoi(line.c_str() + sp1 + 1);
+  for (;;) {
+    if (!ReadLine(fd, buffer, &line)) {
+      return UnavailableError("connection closed inside headers");
+    }
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    response.headers[ToLower(line.substr(0, colon))] = std::move(value);
+  }
+  const auto cl = response.headers.find("content-length");
+  const size_t length =
+      cl == response.headers.end()
+          ? 0
+          : static_cast<size_t>(std::strtoull(cl->second.c_str(), nullptr,
+                                              10));
+  while (buffer->size() < length) {
+    if (!ReadMore(fd, buffer)) {
+      return UnavailableError("connection closed inside the body");
+    }
+  }
+  response.body = buffer->substr(0, length);
+  buffer->erase(0, length);
+  return response;
+}
+
+}  // namespace
+
+const std::string& ClientResponse::Header(const std::string& name) const {
+  const auto it = headers.find(name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+HttpConnection::~HttpConnection() { Close(); }
+
+Status HttpConnection::Connect(const std::string& host, int port) {
+  Close();
+  MD_ASSIGN_OR_RETURN(fd_, OpenSocket(host, port));
+  buffer_.clear();
+  return Status::Ok();
+}
+
+void HttpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<ClientResponse> HttpConnection::Request(
+    const std::string& method, const std::string& target,
+    const std::map<std::string, std::string>& headers,
+    const std::string& body) {
+  if (fd_ < 0) return FailedPreconditionError("not connected");
+  if (!SendAll(fd_, SerializeRequest(method, target, headers, body))) {
+    Close();
+    return UnavailableError("send failed");
+  }
+  auto response = ReadResponse(fd_, &buffer_);
+  if (!response.ok()) {
+    Close();
+    return response;
+  }
+  if (ToLower(response->Header("connection")).find("close") !=
+      std::string::npos) {
+    Close();
+  }
+  return response;
+}
+
+Result<ClientResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target,
+    const std::map<std::string, std::string>& headers,
+    const std::string& body) {
+  HttpConnection connection;
+  MD_RETURN_IF_ERROR(connection.Connect(host, port));
+  return connection.Request(method, target, headers, body);
+}
+
+SseClient::~SseClient() { Close(); }
+
+void SseClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status SseClient::Open(const std::string& host, int port,
+                       const std::string& target,
+                       const std::map<std::string, std::string>& headers) {
+  Close();
+  MD_ASSIGN_OR_RETURN(fd_, OpenSocket(host, port));
+  if (!SendAll(fd_, SerializeRequest("GET", target, headers, ""))) {
+    Close();
+    return UnavailableError("send failed");
+  }
+  // Status line + headers; the body is the unbounded event stream.
+  std::string line;
+  if (!ReadLine(fd_, &buffer_, &line)) {
+    Close();
+    return UnavailableError("connection closed before a response");
+  }
+  const size_t sp1 = line.find(' ');
+  const int code =
+      sp1 == std::string::npos ? 0 : std::atoi(line.c_str() + sp1 + 1);
+  std::string content_type;
+  for (;;) {
+    if (!ReadLine(fd_, &buffer_, &line)) {
+      Close();
+      return UnavailableError("connection closed inside headers");
+    }
+    if (line.empty()) break;
+    const std::string lower = ToLower(line);
+    if (lower.rfind("content-type:", 0) == 0) content_type = lower;
+  }
+  if (code != 200) {
+    Close();
+    return UnavailableError(StrCat("stream refused with HTTP ", code));
+  }
+  if (content_type.find("text/event-stream") == std::string::npos) {
+    Close();
+    return InternalError("response is not an event stream");
+  }
+  return Status::Ok();
+}
+
+Result<SseEvent> SseClient::Next() {
+  if (fd_ < 0) return FailedPreconditionError("stream not open");
+  SseEvent event;
+  bool any = false;
+  std::string line;
+  for (;;) {
+    if (!ReadLine(fd_, &buffer_, &line)) {
+      Close();
+      return UnavailableError("stream closed");
+    }
+    if (line.empty()) {
+      if (any) return event;
+      continue;  // Stray blank line between events.
+    }
+    any = true;
+    if (line[0] == ':') {
+      event.comment = true;
+      continue;
+    }
+    if (line.rfind("event: ", 0) == 0) {
+      event.event = line.substr(7);
+    } else if (line.rfind("id: ", 0) == 0) {
+      event.id = line.substr(4);
+    } else if (line.rfind("data: ", 0) == 0) {
+      event.data.push_back(line.substr(6));
+    }
+  }
+}
+
+}  // namespace mindetail

@@ -1,0 +1,94 @@
+// A small blocking HTTP/1.1 client for loopback use — the integration
+// tests, bench_server, and the CLI's `serve selftest` talk to the
+// front end through this instead of shelling out to curl.
+//
+// One-shot requests open a fresh connection; HttpConnection reuses one
+// (keep-alive) across sequential requests, and SseClient holds a
+// /changes stream open and hands back parsed events one at a time.
+
+#ifndef MINDETAIL_NET_HTTP_CLIENT_H_
+#define MINDETAIL_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mindetail {
+
+struct ClientResponse {
+  int code = 0;
+  std::map<std::string, std::string> headers;  // Lower-cased names.
+  std::string body;
+
+  const std::string& Header(const std::string& name) const;
+};
+
+// A reusable keep-alive connection to one server.
+class HttpConnection {
+ public:
+  HttpConnection() = default;
+  ~HttpConnection();
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends one request and reads the complete response. The connection
+  // stays open unless the server answered Connection: close.
+  Result<ClientResponse> Request(
+      const std::string& method, const std::string& target,
+      const std::map<std::string, std::string>& headers = {},
+      const std::string& body = "");
+
+ private:
+  friend class SseClient;
+  int fd_ = -1;
+  std::string buffer_;  // Bytes past the previous response.
+};
+
+// One-shot convenience: connect, request, close.
+Result<ClientResponse> HttpFetch(
+    const std::string& host, int port, const std::string& method,
+    const std::string& target,
+    const std::map<std::string, std::string>& headers = {},
+    const std::string& body = "");
+
+// A parsed SSE event from GET /changes.
+struct SseEvent {
+  std::string event;              // "commit", "reset"; "" for comments.
+  std::string id;
+  std::vector<std::string> data;  // One entry per `data:` line.
+  bool comment = false;           // A `: keepalive` heartbeat.
+};
+
+class SseClient {
+ public:
+  SseClient() = default;
+  ~SseClient();
+  SseClient(const SseClient&) = delete;
+  SseClient& operator=(const SseClient&) = delete;
+
+  // Connects and issues GET `target` (e.g. "/changes?from=0"); checks
+  // the stream answered 200 with an event-stream content type.
+  Status Open(const std::string& host, int port, const std::string& target,
+              const std::map<std::string, std::string>& headers = {});
+
+  // Blocks for the next event (comments included). kUnavailable when
+  // the server closed the stream.
+  Result<SseEvent> Next();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_HTTP_CLIENT_H_

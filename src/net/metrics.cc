@@ -1,0 +1,155 @@
+#include "net/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace {
+
+// Prometheus renders values as decimal floats; integers must not grow
+// a trailing ".000000", so format minimally.
+std::string RenderValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    return StrCat(static_cast<int64_t>(value));
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += StrCat(name, "=\"", EscapeLabelValue(value), "\"");
+  }
+  out.push_back('}');
+  return out;
+}
+
+void MetricsRegistry::Declare(const std::string& name, const std::string& type,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (!inserted) return;
+  it->second.type = type;
+  it->second.help = help;
+}
+
+void MetricsRegistry::CounterAdd(const std::string& name,
+                                 const MetricLabels& labels, double delta) {
+  const std::string series = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) it->second.type = "counter";
+  it->second.series[series] += delta;
+}
+
+void MetricsRegistry::GaugeSet(const std::string& name,
+                               const MetricLabels& labels, double value) {
+  const std::string series = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) it->second.type = "gauge";
+  it->second.series[series] = value;
+}
+
+void MetricsRegistry::DeclareHistogram(const std::string& name,
+                                       const std::string& help,
+                                       std::vector<double> bucket_bounds) {
+  std::sort(bucket_bounds.begin(), bucket_bounds.end());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (!inserted) return;
+  it->second.type = "histogram";
+  it->second.help = help;
+  it->second.histogram.counts.assign(bucket_bounds.size(), 0);
+  it->second.histogram.bounds = std::move(bucket_bounds);
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.type != "histogram") return;
+  Histogram& h = it->second.histogram;
+  for (size_t i = 0; i < h.bounds.size(); ++i) {
+    if (value <= h.bounds[i]) {
+      ++h.counts[i];
+      break;
+    }
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+double MetricsRegistry::CounterValue(const std::string& name,
+                                     const MetricLabels& labels) const {
+  const std::string series = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end()) return 0;
+  const auto series_it = it->second.series.find(series);
+  return series_it == it->second.series.end() ? 0 : series_it->second;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += StrCat("# HELP ", name, " ", family.help, "\n");
+    }
+    out += StrCat("# TYPE ", name, " ",
+                  family.type.empty() ? "untyped" : family.type, "\n");
+    if (family.type == "histogram") {
+      const Histogram& h = family.histogram;
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h.bounds.size(); ++i) {
+        cumulative += h.counts[i];
+        out += StrCat(name, "_bucket{le=\"", RenderValue(h.bounds[i]),
+                      "\"} ", cumulative, "\n");
+      }
+      out += StrCat(name, "_bucket{le=\"+Inf\"} ", h.count, "\n");
+      out += StrCat(name, "_sum ", RenderValue(h.sum), "\n");
+      out += StrCat(name, "_count ", h.count, "\n");
+      continue;
+    }
+    if (family.series.empty()) {
+      // A declared-but-never-touched family still renders one zero
+      // series so dashboards do not show gaps before first use.
+      out += StrCat(name, " 0\n");
+      continue;
+    }
+    for (const auto& [labels, value] : family.series) {
+      out += StrCat(name, labels, " ", RenderValue(value), "\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace mindetail

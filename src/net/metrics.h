@@ -1,0 +1,79 @@
+// A minimal Prometheus text-format metrics registry.
+//
+// The front end exposes three metric kinds on GET /metrics:
+//   * counter   — monotonically increasing doubles, optionally with one
+//                 label set per time series (e.g. endpoint + code),
+//   * gauge     — point-in-time values set at scrape or update time,
+//   * histogram — cumulative le-bucketed observations with _sum/_count,
+//                 the Prometheus classic-histogram convention.
+// RenderText() emits the exposition format exactly as scrapers expect:
+// one `# HELP`/`# TYPE` pair per family, series sorted by label string,
+// histogram buckets cumulative and capped by le="+Inf" == _count.
+//
+// All update paths are thread-safe (one registry mutex; the server's
+// handlers bump counters from many workers). Scrape-time gauges that
+// derive from warehouse state are set by the server just before
+// rendering, so a scrape always reads one consistent pass.
+
+#ifndef MINDETAIL_NET_METRICS_H_
+#define MINDETAIL_NET_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mindetail {
+
+// One "name=value" label pair, rendered as name="value".
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  // Declares a family; re-declaring an existing name is a no-op (the
+  // first help string wins). `type` is "counter"/"gauge"/"histogram".
+  void Declare(const std::string& name, const std::string& type,
+               const std::string& help);
+
+  void CounterAdd(const std::string& name, const MetricLabels& labels,
+                  double delta = 1.0);
+  void GaugeSet(const std::string& name, const MetricLabels& labels,
+                double value);
+  // Observes into the family's buckets; the family must have been
+  // declared with DeclareHistogram (which fixes the bounds).
+  void DeclareHistogram(const std::string& name, const std::string& help,
+                        std::vector<double> bucket_bounds);
+  void Observe(const std::string& name, double value);
+
+  // The full exposition-format page.
+  std::string RenderText() const;
+
+  // Test/introspection helper: current value of one series (0 when the
+  // series does not exist).
+  double CounterValue(const std::string& name,
+                      const MetricLabels& labels) const;
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;   // Ascending, +Inf implicit.
+    std::vector<uint64_t> counts; // Per bound (non-cumulative).
+    uint64_t count = 0;
+    double sum = 0;
+  };
+  struct Family {
+    std::string type;
+    std::string help;
+    std::map<std::string, double> series;  // Rendered label string → value.
+    Histogram histogram;                   // Used when type=="histogram".
+  };
+
+  static std::string RenderLabels(const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_METRICS_H_

@@ -1,0 +1,74 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mindetail {
+
+RateLimiter::RateLimiter(RateLimiterOptions options)
+    : options_(std::move(options)) {
+  // A zero/negative refill with a non-zero capacity would divide by
+  // zero in the retry hint; treat it as "one token a minute".
+  if (options_.refill_per_sec <= 0) options_.refill_per_sec = 1.0 / 60.0;
+}
+
+int64_t RateLimiter::NowNanos() const {
+  return options_.clock ? options_.clock() : MonotonicNowNanos();
+}
+
+RateDecision RateLimiter::Admit(const std::string& client_id) {
+  if (!enabled()) return RateDecision{};
+  const int64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) {
+    while (buckets_.size() >= std::max<size_t>(1, options_.max_clients)) {
+      buckets_.erase(lru_.back());
+      lru_.pop_back();
+      ++evicted_;
+    }
+    lru_.push_front(client_id);
+    Bucket fresh;
+    fresh.tokens = options_.capacity;
+    fresh.refilled_nanos = now;
+    fresh.lru_it = lru_.begin();
+    it = buckets_.emplace(client_id, fresh).first;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    Bucket& bucket = it->second;
+    const double elapsed_sec =
+        static_cast<double>(now - bucket.refilled_nanos) * 1e-9;
+    if (elapsed_sec > 0) {
+      bucket.tokens = std::min(
+          options_.capacity,
+          bucket.tokens + elapsed_sec * options_.refill_per_sec);
+      bucket.refilled_nanos = now;
+    }
+  }
+  Bucket& bucket = it->second;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++admitted_;
+    return RateDecision{};
+  }
+  ++refused_;
+  RateDecision refusal;
+  refusal.admitted = false;
+  const double missing = 1.0 - bucket.tokens;
+  refusal.retry_after_ms = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(missing / options_.refill_per_sec * 1000.0)));
+  return refusal;
+}
+
+RateLimiter::Stats RateLimiter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.refused = refused_;
+  stats.evicted = evicted_;
+  stats.clients = buckets_.size();
+  return stats;
+}
+
+}  // namespace mindetail

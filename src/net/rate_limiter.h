@@ -1,0 +1,93 @@
+// Per-client token-bucket rate limiting for the network front end.
+//
+// Each client (keyed by the X-Client-Id header, falling back to the
+// peer address) owns a bucket of `capacity` tokens refilled at
+// `refill_per_sec`; a request spends one token. Refusals carry a
+// deterministic retry-after hint — how long until the bucket holds a
+// whole token again — so a well-behaved client backs off exactly as
+// long as needed and no longer.
+//
+// This layer sits *in front of* the warehouse's OverloadController:
+// the limiter throttles individually noisy clients by identity, the
+// controller sheds aggregate pressure by cost. A request must pass
+// both. The client table is bounded: least-recently-seen buckets are
+// evicted past `max_clients`, so an attacker cycling client ids can
+// reset their own bucket but never grow server memory.
+//
+// Thread-safe; the clock is injectable so tests refill deterministically.
+
+#ifndef MINDETAIL_NET_RATE_LIMITER_H_
+#define MINDETAIL_NET_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/cancellation.h"
+
+namespace mindetail {
+
+struct RateLimiterOptions {
+  // Bucket capacity (burst allowance), in requests. 0 disables the
+  // limiter: every request is admitted.
+  double capacity = 0;
+  // Sustained refill rate, tokens per second.
+  double refill_per_sec = 10.0;
+  // Bounded client table; least-recently-seen evicted past this.
+  size_t max_clients = 1024;
+  // Injectable monotonic clock (tests); null = process steady clock.
+  MonotonicClock clock;
+};
+
+// One admission decision.
+struct RateDecision {
+  bool admitted = true;
+  // When refused: milliseconds until the bucket next holds a whole
+  // token (≥ 1), the wire Retry-After hint.
+  int64_t retry_after_ms = 0;
+};
+
+class RateLimiter {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t refused = 0;
+    uint64_t evicted = 0;  // Buckets dropped by the LRU bound.
+    size_t clients = 0;    // Currently tracked.
+  };
+
+  explicit RateLimiter(RateLimiterOptions options);
+
+  // Spends one token from `client_id`'s bucket, creating the bucket
+  // (full) on first sight.
+  RateDecision Admit(const std::string& client_id);
+
+  Stats stats() const;
+
+  bool enabled() const { return options_.capacity > 0; }
+  const RateLimiterOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    int64_t refilled_nanos = 0;
+    std::list<std::string>::iterator lru_it;  // Position in lru_.
+  };
+
+  int64_t NowNanos() const;
+
+  RateLimiterOptions options_;  // Fixed after construction.
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  // Most-recently-seen client ids at the front.
+  std::list<std::string> lru_;
+  uint64_t admitted_ = 0;
+  uint64_t refused_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_RATE_LIMITER_H_

@@ -1,0 +1,652 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+#include "io/log_format.h"
+#include "net/wire.h"
+
+namespace mindetail {
+
+namespace {
+
+// Retry-After is specified in whole seconds; round a millisecond hint
+// up so a compliant client never retries early.
+std::string RetryAfterSeconds(int64_t ms) {
+  return StrCat((std::max<int64_t>(1, ms) + 999) / 1000);
+}
+
+// The HTTP rendering of a non-OK warehouse status.
+int HttpCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kResourceExhausted:
+      return 413;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    case StatusCode::kCancelled:
+      return 499;
+    default:
+      return 500;
+  }
+}
+
+Result<uint64_t> ParseU64(const std::string& text) {
+  if (text.empty()) return InvalidArgumentError("empty number");
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+      return InvalidArgumentError(StrCat("'", text, "' is not a number"));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// Histogram bounds for ingest latency, in seconds.
+std::vector<double> LatencyBuckets() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+          0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Warehouse* warehouse, HttpServerOptions options)
+    : warehouse_(warehouse),
+      options_(std::move(options)),
+      rate_limiter_(options_.rate_limit),
+      admission_(options_.admission),
+      feed_(std::make_shared<ChangeFeed>(options_.change_feed_retention)) {
+  DeclareMetrics();
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::DeclareMetrics() {
+  metrics_.Declare("mindetail_http_requests_total", "counter",
+                   "Requests handled, by endpoint and HTTP code.");
+  metrics_.DeclareHistogram("mindetail_ingest_latency_seconds",
+                            "End-to-end /ingest latency.",
+                            LatencyBuckets());
+  metrics_.Declare("mindetail_snapshot_version", "gauge",
+                   "Version of the currently served snapshot.");
+  metrics_.Declare("mindetail_snapshot_age_seconds", "gauge",
+                   "Seconds since the served snapshot was published.");
+  metrics_.Declare("mindetail_cache_hit_rate", "gauge",
+                   "Result-cache hit rate over the warehouse lifetime.");
+  metrics_.Declare("mindetail_cache_resident_bytes", "gauge",
+                   "Result-cache resident bytes.");
+  metrics_.Declare("mindetail_overload_admitted_total", "gauge",
+                   "Batches admitted, by layer.");
+  metrics_.Declare("mindetail_overload_shed_total", "gauge",
+                   "Requests shed with 503/kUnavailable, by layer.");
+  metrics_.Declare("mindetail_cancelled_total", "gauge",
+                   "Cancelled work, by kind.");
+  metrics_.Declare("mindetail_ingest_batches_total", "gauge",
+                   "Warehouse ingestion outcomes, by result.");
+  metrics_.Declare("mindetail_rate_limited_total", "gauge",
+                   "Requests refused by the per-client rate limiter.");
+  metrics_.Declare("mindetail_rate_limiter_clients", "gauge",
+                   "Client buckets currently tracked.");
+  metrics_.Declare("mindetail_connections_active", "gauge",
+                   "Open connections.");
+  metrics_.Declare("mindetail_connections_total", "gauge",
+                   "Connections since start, by outcome.");
+  metrics_.Declare("mindetail_change_feed_commits_total", "gauge",
+                   "Commits recorded by the change feed.");
+  metrics_.Declare("mindetail_change_feed_dropped_total", "gauge",
+                   "Feed events evicted by the retention bound.");
+  metrics_.Declare("mindetail_last_sequence", "gauge",
+                   "Last committed warehouse batch sequence.");
+}
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return UnavailableError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return InvalidArgumentError(
+        StrCat("bad bind address '", options_.bind_address, "'"));
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(StrCat("cannot listen on ",
+                                   options_.bind_address, ":", options_.port,
+                                   ": ", std::strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  // Workers + the pool's inline caller slot; Submit always lands on a
+  // background worker when num_workers ≥ 1.
+  pool_ = std::make_unique<ThreadPool>(std::max(1, options_.num_workers) + 1);
+  // Feed the change feed from the warehouse's commit hook. The
+  // listener holds the feed by shared_ptr, so a commit racing server
+  // destruction still lands on a live (if closed) feed. Registered
+  // before traffic starts, from the thread that owns the writer side.
+  std::shared_ptr<ChangeFeed> feed = feed_;
+  warehouse_->SetCommitListener(
+      [feed](const std::shared_ptr<const WarehouseSnapshot>& previous,
+             const std::shared_ptr<const WarehouseSnapshot>& published) {
+        feed->OnCommit(previous, published);
+      });
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Wake SSE tails, then unblock every connection's recv so handlers
+  // observe stopping_ and exit.
+  feed_->Close();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Joins the workers after the in-flight handlers drain.
+  pool_.reset();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                            &len);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // Listener gone.
+    }
+    char ip[INET_ADDRSTRLEN] = "unknown";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    bool admit = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (connections_.size() < options_.max_connections) {
+        connections_.insert(fd);
+        ++accepted_;
+        admit = true;
+      } else {
+        ++refused_;
+      }
+    }
+    if (!admit) {
+      // Refuse without occupying a worker.
+      HttpResponse full = HttpResponse::Text(503, "connection table full\n");
+      full.headers["Retry-After"] = "1";
+      SendAll(fd, SerializeHttpResponse(full, /*keep_alive=*/false));
+      ::close(fd);
+      continue;
+    }
+    timeval timeout{};
+    timeout.tv_sec = options_.idle_timeout_ms / 1000;
+    timeout.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    const std::string client(ip);
+    pool_->Submit([this, fd, client] { ServeConnection(fd, client); });
+  }
+}
+
+bool HttpServer::SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::ServeConnection(int fd, const std::string& peer) {
+  HttpRequestParser parser(options_.parser_limits);
+  bool keep = true;
+  while (keep && !stopping_.load(std::memory_order_acquire)) {
+    // Accumulate one request.
+    bool closed = false;
+    while (!parser.done() && parser.status().ok()) {
+      char buf[4096];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        (void)parser.Consume(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EOF, timeout, or reset: a close at a message boundary is a
+      // normal keep-alive hangup; mid-request there is no one sane to
+      // answer, so just drop the connection either way.
+      closed = true;
+      break;
+    }
+    if (closed) break;
+    if (!parser.status().ok()) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.CounterAdd(
+          "mindetail_http_requests_total",
+          {{"endpoint", "malformed"},
+           {"code", StrCat(parser.error_code())}});
+      HttpResponse reject = HttpResponse::Text(
+          parser.error_code(), StrCat(parser.status().message(), "\n"));
+      SendAll(fd, SerializeHttpResponse(reject, /*keep_alive=*/false));
+      break;
+    }
+    const HttpRequest request = parser.TakeRequest();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (request.method == "GET" && request.path == "/changes" &&
+        request.query.count("poll") == 0) {
+      StreamChanges(fd, request);
+      break;  // SSE monopolizes the connection; never keep-alive.
+    }
+    const HttpResponse response = Handle(request, peer);
+    keep = request.KeepAlive();
+    if (!SendAll(fd, SerializeHttpResponse(response, keep))) break;
+    if (!keep) break;
+    parser.Reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.erase(fd);
+  }
+  ::close(fd);
+}
+
+HttpResponse HttpServer::Handle(const HttpRequest& request,
+                                const std::string& client_id) {
+  HttpResponse response;
+  if (request.path == "/metrics") {
+    // Never rate limited: a scraper must see the server even when it
+    // is busy refusing everyone else.
+    response = request.method == "GET"
+                   ? HandleMetrics()
+                   : HttpResponse::Text(405, "use GET\n");
+  } else {
+    const std::string& header_id = request.Header("x-client-id");
+    const RateDecision decision =
+        rate_limiter_.Admit(header_id.empty() ? client_id : header_id);
+    if (!decision.admitted) {
+      rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      response = HttpResponse::Text(429, "rate limited\n");
+      response.headers["Retry-After"] =
+          RetryAfterSeconds(decision.retry_after_ms);
+      response.headers["Retry-After-Ms"] = StrCat(decision.retry_after_ms);
+    } else if (request.path == "/ingest") {
+      response = request.method == "POST"
+                     ? HandleIngest(request)
+                     : HttpResponse::Text(405, "use POST\n");
+    } else if (request.path == "/query") {
+      response = request.method == "POST"
+                     ? HandleQuery(request)
+                     : HttpResponse::Text(405, "use POST\n");
+    } else if (request.path == "/explain") {
+      response = request.method == "POST"
+                     ? HandleExplain(request)
+                     : HttpResponse::Text(405, "use POST\n");
+    } else if (request.path == "/report") {
+      response = request.method == "GET"
+                     ? HandleReport(request)
+                     : HttpResponse::Text(405, "use GET\n");
+    } else if (request.path == "/changes") {
+      response = request.method == "GET"
+                     ? HandlePollChanges(request)
+                     : HttpResponse::Text(405, "use GET\n");
+    } else {
+      response = HttpResponse::Text(
+          404, StrCat("no such endpoint: ", request.path, "\n"));
+    }
+  }
+  metrics_.CounterAdd("mindetail_http_requests_total",
+                      {{"endpoint", request.path},
+                       {"code", StrCat(response.code)}});
+  return response;
+}
+
+// The deadline header, as a token. Absent → a never-cancelling token.
+static Result<CancellationToken> TokenForRequest(const HttpRequest& request) {
+  const std::string& header = request.Header("x-deadline-ms");
+  if (header.empty()) return CancellationToken{};
+  MD_ASSIGN_OR_RETURN(const uint64_t ms, ParseU64(header));
+  if (ms == 0) return CancellationToken{};
+  return CancellationToken(Deadline::After(static_cast<int64_t>(ms)));
+}
+
+// Renders a refused/failed warehouse status, attaching Retry-After on
+// 503 from `retry_after_ms`.
+static HttpResponse ErrorResponse(const Status& status,
+                                  int64_t retry_after_ms) {
+  HttpResponse response =
+      HttpResponse::Text(HttpCodeForStatus(status),
+                         StrCat(status.message(), "\n"));
+  if (response.code == 503) {
+    response.headers["Retry-After"] = RetryAfterSeconds(retry_after_ms);
+    response.headers["Retry-After-Ms"] =
+        StrCat(std::max<int64_t>(1, retry_after_ms));
+  }
+  return response;
+}
+
+HttpResponse HttpServer::HandleIngest(const HttpRequest& request) {
+  const int64_t start_nanos = MonotonicNowNanos();
+  // The deadline clock starts when the request arrives, before any
+  // queueing: time spent waiting for admission counts against it.
+  auto token = TokenForRequest(request);
+  if (!token.ok()) {
+    return HttpResponse::Text(400, StrCat(token.status().message(), "\n"));
+  }
+  const std::shared_ptr<const WarehouseSnapshot> snapshot =
+      warehouse_->CurrentSnapshot();
+  if (snapshot == nullptr || snapshot->schema_catalog == nullptr) {
+    return HttpResponse::Text(503, "serving is disabled\n");
+  }
+  auto changes = ParseIngestBody(request.body, *snapshot->schema_catalog);
+  if (!changes.ok()) {
+    return HttpResponse::Text(400, StrCat(changes.status().message(), "\n"));
+  }
+  uint64_t rows = 0;
+  for (const auto& [table, delta] : *changes) rows += delta.Size();
+  auto permit = admission_.Admit(rows);
+  if (!permit.ok()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(permit.status(), admission_.last_retry_after_ms());
+  }
+  if (options_.post_admission_hook) options_.post_admission_hook(request);
+  const std::string& key = request.Header("idempotency-key");
+  uint64_t sequence = 0;
+  bool duplicate = false;
+  {
+    // One writer at a time: last_sequence() before vs. after the apply
+    // is the duplicate signal, so the pair must be atomic.
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    const uint64_t before = warehouse_->last_sequence();
+    const Status applied =
+        warehouse_->ApplyTransaction(*changes, key, *token);
+    if (!applied.ok()) {
+      return ErrorResponse(applied, warehouse_->retry_after_hint_ms());
+    }
+    duplicate = warehouse_->last_sequence() == before;
+    // A duplicate acks with the *original* batch's sequence, which the
+    // warehouse remembers per idempotency key (hash key when none was
+    // sent) — across restarts too, via checkpoint + WAL replay.
+    const std::string& effective =
+        key.empty() ? logfmt::ContentHashKey(*changes) : key;
+    sequence = warehouse_->SequenceForKey(effective)
+                   .value_or(warehouse_->last_sequence());
+  }
+  metrics_.Observe(
+      "mindetail_ingest_latency_seconds",
+      static_cast<double>(MonotonicNowNanos() - start_nanos) * 1e-9);
+  HttpResponse response = HttpResponse::Text(
+      200, StrCat("sequence ", sequence,
+                  duplicate ? " duplicate" : " applied", "\n"));
+  response.headers["X-Sequence"] = StrCat(sequence);
+  response.headers["X-Duplicate"] = duplicate ? "true" : "false";
+  return response;
+}
+
+HttpResponse HttpServer::HandleQuery(const HttpRequest& request) {
+  // Deadline clock starts at arrival (see HandleIngest).
+  auto token = TokenForRequest(request);
+  if (!token.ok()) {
+    return HttpResponse::Text(400, StrCat(token.status().message(), "\n"));
+  }
+  auto permit = admission_.Admit(1);
+  if (!permit.ok()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(permit.status(), admission_.last_retry_after_ms());
+  }
+  if (options_.post_admission_hook) options_.post_admission_hook(request);
+  auto result = warehouse_->Query(request.body, *token);
+  if (!result.ok()) {
+    return ErrorResponse(result.status(), warehouse_->retry_after_hint_ms());
+  }
+  HttpResponse response = HttpResponse::Text(200, RenderTableBody(*result));
+  response.content_type = "text/csv; charset=utf-8";
+  return response;
+}
+
+HttpResponse HttpServer::HandleExplain(const HttpRequest& request) {
+  auto token = TokenForRequest(request);
+  if (!token.ok()) {
+    return HttpResponse::Text(400, StrCat(token.status().message(), "\n"));
+  }
+  auto explanation = warehouse_->ExplainQuery(request.body, *token);
+  if (!explanation.ok()) {
+    return ErrorResponse(explanation.status(),
+                         warehouse_->retry_after_hint_ms());
+  }
+  return HttpResponse::Text(200, explanation->ToString());
+}
+
+HttpResponse HttpServer::HandleReport(const HttpRequest&) {
+  // Report() reads the writer-side stats the ingest path mutates, and
+  // the warehouse keeps no locks of its own ("serialized writer side"
+  // contract) — so the scrape joins the writer queue.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  return HttpResponse::Text(200, warehouse_->Report().ToString());
+}
+
+HttpResponse HttpServer::HandleMetrics() {
+  UpdateScrapeGauges();
+  HttpResponse response = HttpResponse::Text(200, metrics_.RenderText());
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  return response;
+}
+
+HttpResponse HttpServer::HandlePollChanges(const HttpRequest& request) {
+  uint64_t from = feed_->stats().newest_version;
+  const auto it = request.query.find("from");
+  if (it != request.query.end()) {
+    auto parsed = ParseU64(it->second);
+    if (!parsed.ok()) {
+      return HttpResponse::Text(400, "bad 'from' version\n");
+    }
+    from = *parsed;
+  }
+  const ChangeFeed::Replay replay = feed_->ReplayFrom(from);
+  std::string body = StrCat("current ", replay.current_version, "\n");
+  if (!replay.ok) {
+    body += "reset\n";
+  } else {
+    for (const auto& event : replay.events) body += event->ToSse();
+  }
+  return HttpResponse::Text(200, body);
+}
+
+void HttpServer::StreamChanges(int fd, const HttpRequest& request) {
+  uint64_t cursor = feed_->stats().newest_version;
+  const auto from_it = request.query.find("from");
+  if (from_it != request.query.end()) {
+    auto parsed = ParseU64(from_it->second);
+    if (!parsed.ok()) {
+      SendAll(fd, SerializeHttpResponse(
+                      HttpResponse::Text(400, "bad 'from' version\n"),
+                      /*keep_alive=*/false));
+      return;
+    }
+    cursor = *parsed;
+  }
+  // Optional event budget: close after streaming this many commits
+  // (tests and benches end deterministically; 0 = unbounded tail).
+  uint64_t limit = 0;
+  const auto limit_it = request.query.find("limit");
+  if (limit_it != request.query.end()) {
+    auto parsed = ParseU64(limit_it->second);
+    if (parsed.ok()) limit = *parsed;
+  }
+  if (!SendAll(fd,
+               "HTTP/1.1 200 OK\r\n"
+               "Content-Type: text/event-stream\r\n"
+               "Cache-Control: no-cache\r\n"
+               "Connection: close\r\n\r\n")) {
+    return;
+  }
+  uint64_t streamed = 0;
+  for (;;) {
+    ChangeFeed::Replay replay = feed_->ReplayFrom(cursor);
+    if (!replay.ok) {
+      // The cursor predates retention (stale `from`, or the tail fell
+      // behind a burst): tell the subscriber to resync its base state,
+      // then continue from the current boundary.
+      if (!SendAll(fd, StrCat("event: reset\nid: ", replay.current_version,
+                              "\ndata: current ", replay.current_version,
+                              "\n\n"))) {
+        return;
+      }
+      cursor = replay.current_version;
+      continue;
+    }
+    for (const auto& event : replay.events) {
+      if (!SendAll(fd, event->ToSse())) return;
+      cursor = std::max(cursor, event->version);
+      ++streamed;
+      if (limit > 0 && streamed >= limit) return;
+    }
+    if (stopping_.load(std::memory_order_acquire) || feed_->closed()) return;
+    if (!feed_->WaitBeyond(cursor, options_.heartbeat_ms)) {
+      if (stopping_.load(std::memory_order_acquire) || feed_->closed()) {
+        return;
+      }
+      // Idle: a comment keeps intermediaries open and detects a dead
+      // peer (the send fails once the client is gone).
+      if (!SendAll(fd, ": keepalive\n\n")) return;
+    }
+  }
+}
+
+void HttpServer::UpdateScrapeGauges() {
+  // Same writer-queue rule as HandleReport: the warehouse's stats are
+  // only safe to read with the ingest path quiesced.
+  const WarehouseReport report = [this] {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    return warehouse_->Report();
+  }();
+  metrics_.GaugeSet("mindetail_last_sequence", {},
+                    static_cast<double>(report.last_sequence));
+  const std::shared_ptr<const WarehouseSnapshot> snapshot =
+      warehouse_->CurrentSnapshot();
+  if (snapshot != nullptr) {
+    metrics_.GaugeSet("mindetail_snapshot_version", {},
+                      static_cast<double>(snapshot->version));
+    const double age =
+        snapshot->publish_nanos > 0
+            ? static_cast<double>(MonotonicNowNanos() -
+                                  snapshot->publish_nanos) *
+                  1e-9
+            : 0.0;
+    metrics_.GaugeSet("mindetail_snapshot_age_seconds", {}, age);
+  }
+  const uint64_t lookups = report.cache.hits + report.cache.misses;
+  metrics_.GaugeSet("mindetail_cache_hit_rate", {},
+                    lookups == 0 ? 0.0
+                                 : static_cast<double>(report.cache.hits) /
+                                       static_cast<double>(lookups));
+  metrics_.GaugeSet("mindetail_cache_resident_bytes", {},
+                    static_cast<double>(report.cache.bytes_used));
+  // Overload counters, both layers: the warehouse's own admission and
+  // this transport's controller.
+  const OverloadStats transport = admission_.Snapshot();
+  metrics_.GaugeSet("mindetail_overload_admitted_total",
+                    {{"layer", "warehouse"}},
+                    static_cast<double>(report.overload.admitted));
+  metrics_.GaugeSet("mindetail_overload_admitted_total",
+                    {{"layer", "transport"}},
+                    static_cast<double>(transport.admitted));
+  metrics_.GaugeSet("mindetail_overload_shed_total", {{"layer", "warehouse"}},
+                    static_cast<double>(report.overload.shed));
+  metrics_.GaugeSet("mindetail_overload_shed_total", {{"layer", "transport"}},
+                    static_cast<double>(transport.shed));
+  metrics_.GaugeSet("mindetail_cancelled_total", {{"kind", "batches"}},
+                    static_cast<double>(report.overload.cancelled_batches));
+  metrics_.GaugeSet("mindetail_cancelled_total", {{"kind", "queries"}},
+                    static_cast<double>(report.overload.cancelled_queries));
+  metrics_.GaugeSet("mindetail_cancelled_total", {{"kind", "deadline"}},
+                    static_cast<double>(report.overload.deadline_queries));
+  metrics_.GaugeSet("mindetail_ingest_batches_total", {{"result", "accepted"}},
+                    static_cast<double>(report.ingest.accepted));
+  metrics_.GaugeSet("mindetail_ingest_batches_total",
+                    {{"result", "duplicate"}},
+                    static_cast<double>(report.ingest.duplicates));
+  metrics_.GaugeSet("mindetail_ingest_batches_total", {{"result", "rejected"}},
+                    static_cast<double>(report.ingest.rejected));
+  metrics_.GaugeSet("mindetail_ingest_batches_total", {{"result", "failed"}},
+                    static_cast<double>(report.ingest.failed));
+  const RateLimiter::Stats limiter = rate_limiter_.stats();
+  metrics_.GaugeSet("mindetail_rate_limited_total", {},
+                    static_cast<double>(limiter.refused));
+  metrics_.GaugeSet("mindetail_rate_limiter_clients", {},
+                    static_cast<double>(limiter.clients));
+  const ChangeFeed::Stats feed = feed_->stats();
+  metrics_.GaugeSet("mindetail_change_feed_commits_total", {},
+                    static_cast<double>(feed.commits));
+  metrics_.GaugeSet("mindetail_change_feed_dropped_total", {},
+                    static_cast<double>(feed.dropped));
+  const Stats server = stats();
+  metrics_.GaugeSet("mindetail_connections_active", {},
+                    static_cast<double>(server.active));
+  metrics_.GaugeSet("mindetail_connections_total", {{"outcome", "accepted"}},
+                    static_cast<double>(server.accepted));
+  metrics_.GaugeSet("mindetail_connections_total", {{"outcome", "refused"}},
+                    static_cast<double>(server.refused));
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    stats.accepted = accepted_;
+    stats.refused = refused_;
+    stats.active = connections_.size();
+  }
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,198 @@
+// The network front end: a dependency-free HTTP/1.1 server over one
+// Warehouse.
+//
+// Endpoints:
+//   POST /ingest    — a change batch (wire.h body format). Honors the
+//                     Idempotency-Key header end-to-end: a resend is
+//                     acknowledged as a no-op carrying the *original*
+//                     batch sequence (X-Sequence, X-Duplicate: true),
+//                     including across a server/warehouse restart.
+//   POST /query     — an ad-hoc GPSJ query (body = SQL); the answer as
+//                     a header line + CSV rows.
+//   POST /explain   — the structured planning report, rendered.
+//   GET  /report    — WarehouseReport::ToString().
+//   GET  /metrics   — Prometheus text exposition (metrics.h).
+//   GET  /changes   — SSE change feed (change_feed.h): replay from
+//                     ?from=<version>, then tail; ?poll=1 returns the
+//                     replay as a plain bounded response instead.
+//
+// Layering (the transport never reaches into maintenance internals):
+//
+//   connection bound → per-client rate limit → transport admission
+//       (own OverloadController) → warehouse (its own admission,
+//       deadlines, budgets)
+//
+// The connection table is bounded (excess connections get an immediate
+// 503 and are closed); the per-client token bucket (rate_limiter.h)
+// refuses with 429 + Retry-After; the transport OverloadController
+// sheds with 503 + Retry-After from its own hint. A deadline arrives
+// as X-Deadline-Ms and propagates into the warehouse as a
+// CancellationToken — a request that times out or is cancelled returns
+// 504/499 and, by the warehouse's rollback guarantees, never publishes
+// a snapshot or pollutes the result cache.
+//
+// Status → HTTP: kInvalidArgument 400, kNotFound 404, kAlreadyExists /
+// kFailedPrecondition 409, kResourceExhausted 413, kUnavailable 503
+// (+ Retry-After), kDeadlineExceeded 504, kCancelled 499, rest 500.
+
+#ifndef MINDETAIL_NET_SERVER_H_
+#define MINDETAIL_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "maintenance/admission.h"
+#include "maintenance/warehouse.h"
+#include "net/change_feed.h"
+#include "net/http.h"
+#include "net/metrics.h"
+#include "net/rate_limiter.h"
+
+namespace mindetail {
+
+struct HttpServerOptions {
+  // Loopback by default; the front end has no authentication story, so
+  // binding wider is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (read the outcome from port()).
+  // Connection-handler pool size (ThreadPool workers). Each in-flight
+  // connection occupies one worker for its lifetime, so this also
+  // bounds request concurrency.
+  int num_workers = 8;
+  // Connection-table bound: accepts past this are answered 503 and
+  // closed immediately without occupying a worker.
+  size_t max_connections = 64;
+  HttpParserLimits parser_limits;
+  // Per-client token bucket (capacity 0 = disabled).
+  RateLimiterOptions rate_limit;
+  // Transport-level admission window applied to /ingest and /query
+  // (max_inflight_batches 0 = disabled). Separate instance from the
+  // warehouse's own controller: this one sheds by wire concurrency,
+  // the warehouse's by apply cost.
+  OverloadController::Options admission;
+  // Change-feed retention ring (events).
+  size_t change_feed_retention = 256;
+  // Socket read timeout; an idle keep-alive connection is closed after
+  // this long at a message boundary.
+  int idle_timeout_ms = 30'000;
+  // SSE keepalive comment interval (also the WaitBeyond granularity).
+  int heartbeat_ms = 1'000;
+  // Test hook: runs after rate limiting and transport admission both
+  // passed (for /ingest and /query, while the admission permit is
+  // held), before the warehouse sees the request. Lets tests hold one
+  // request in-flight to make a concurrent shed deterministic.
+  std::function<void(const HttpRequest&)> post_admission_hook;
+};
+
+class HttpServer {
+ public:
+  struct Stats {
+    uint64_t accepted = 0;          // Connections accepted.
+    uint64_t refused = 0;           // Closed by the connection bound.
+    size_t active = 0;              // Currently open.
+    uint64_t requests = 0;          // Requests fully handled.
+    uint64_t rate_limited = 0;      // 429s.
+    uint64_t shed = 0;              // Transport-admission 503s.
+    uint64_t malformed = 0;         // Parser rejections.
+  };
+
+  // The warehouse must outlive the server. The server registers itself
+  // as the warehouse's commit listener (change feed); it does not take
+  // ownership.
+  HttpServer(Warehouse* warehouse, HttpServerOptions options);
+  ~HttpServer();  // Calls Stop().
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens, and starts the accept loop. Fails (kUnavailable)
+  // when the address cannot be bound.
+  Status Start();
+
+  // Stops accepting, closes every open connection, wakes SSE waiters,
+  // and joins all threads. Idempotent.
+  void Stop();
+
+  // The bound port (resolved when port 0 was requested); 0 before
+  // Start().
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  ChangeFeed& change_feed() { return *feed_; }
+  RateLimiter& rate_limiter() { return rate_limiter_; }
+  Stats stats() const;
+
+  // Routes one parsed request exactly as the socket path does —
+  // exposed so unit tests can exercise handlers and the error-mapping
+  // matrix without a connection. `client_id` stands in for the peer
+  // identity when the request has no X-Client-Id header.
+  HttpResponse Handle(const HttpRequest& request,
+                      const std::string& client_id);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, const std::string& peer);
+  // Streams GET /changes on `fd` (headers already decided); returns
+  // when the client disconnects, the feed closes, or the server stops.
+  void StreamChanges(int fd, const HttpRequest& request);
+
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleExplain(const HttpRequest& request);
+  HttpResponse HandleReport(const HttpRequest& request);
+  HttpResponse HandleMetrics();
+  // GET /changes?poll=1 (bounded response; the SSE path streams).
+  HttpResponse HandlePollChanges(const HttpRequest& request);
+
+  // Refreshes scrape-time gauges from the warehouse report, snapshot,
+  // limiter, feed, and connection table.
+  void UpdateScrapeGauges();
+  void DeclareMetrics();
+
+  // Sends all of `bytes`; false on a closed/failed peer.
+  bool SendAll(int fd, std::string_view bytes);
+
+  Warehouse* const warehouse_;
+  HttpServerOptions options_;
+  MetricsRegistry metrics_;
+  RateLimiter rate_limiter_;
+  OverloadController admission_;
+  // Shared so the warehouse's commit listener (which may fire from the
+  // writer thread after this server is destroyed) stays valid.
+  std::shared_ptr<ChangeFeed> feed_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  // Atomic: Stop() closes and clears it while AcceptLoop blocks in
+  // accept() on it.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  // Serializes /ingest so duplicate detection (last_sequence before /
+  // after the apply) observes a consistent writer state.
+  std::mutex ingest_mu_;
+
+  mutable std::mutex conn_mu_;
+  std::set<int> connections_;  // Open sockets, for Stop() to unblock.
+  uint64_t accepted_ = 0;
+  uint64_t refused_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rate_limited_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> malformed_{0};
+};
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_SERVER_H_

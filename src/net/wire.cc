@@ -1,0 +1,299 @@
+#include "net/wire.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mindetail {
+
+namespace {
+
+// Splits one CSV line into (text, was_quoted) fields, honoring the
+// io/csv dialect (doubled quotes escape; commas allowed inside quotes).
+// Newlines never appear — the wire formats are strictly line-oriented,
+// and RenderCsvField never emits a raw newline either (see below).
+Status SplitCsvLine(std::string_view line,
+                    std::vector<std::pair<std::string, bool>>* fields) {
+  fields->clear();
+  std::string current;
+  bool quoted_field = false;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i <= line.size()) {
+    if (i == line.size()) {
+      if (in_quotes) return InvalidArgumentError("unterminated quote");
+      fields->emplace_back(std::move(current), quoted_field);
+      break;
+    }
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty() && !quoted_field) {
+      in_quotes = true;
+      quoted_field = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->emplace_back(std::move(current), quoted_field);
+      current.clear();
+      quoted_field = false;
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  return Status::Ok();
+}
+
+Result<Value> ParseCsvField(const std::string& text, bool quoted,
+                            ValueType type, bool allow_null) {
+  if (quoted) {
+    if (type != ValueType::kString) {
+      return InvalidArgumentError(StrCat("quoted value where ",
+                                         ValueTypeName(type), " expected"));
+    }
+    return Value(text);
+  }
+  if (text.empty()) {
+    if (!allow_null) return InvalidArgumentError("NULL in a NULL-free row");
+    return Value();
+  }
+  switch (type) {
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return InvalidArgumentError(StrCat("'", text, "' is not an integer"));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == nullptr || *end != '\0') {
+        return InvalidArgumentError(StrCat("'", text, "' is not a number"));
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return InvalidArgumentError(
+          StrCat("unquoted value '", text, "' where a string was expected"));
+    case ValueType::kNull:
+      break;
+  }
+  return InvalidArgumentError("bad field");
+}
+
+}  // namespace
+
+std::string RenderCsvField(const Value& value) {
+  std::string out;
+  switch (value.type()) {
+    case ValueType::kNull:
+      break;  // Empty field.
+    case ValueType::kInt64:
+      out = std::to_string(value.AsInt64());
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g",
+                    std::numeric_limits<double>::max_digits10,
+                    value.AsDouble());
+      out = buf;
+      break;
+    }
+    case ValueType::kString: {
+      out.push_back('"');
+      for (const char c : value.AsString()) {
+        if (c == '"') out.push_back('"');
+        // A raw newline would break the line-oriented wire formats
+        // (and SSE data framing); escape it as \n, and a literal
+        // backslash as \\ so the escaping stays injective.
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        if (c == '\\') {
+          out += "\\\\";
+          continue;
+        }
+        out.push_back(c);
+      }
+      out.push_back('"');
+      break;
+    }
+  }
+  return out;
+}
+
+std::string RenderCsvRow(const Tuple& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += RenderCsvField(row[i]);
+  }
+  return out;
+}
+
+std::string RenderTableBody(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += schema.attribute(i).name;
+  }
+  out.push_back('\n');
+  for (const Tuple& row : table.rows()) {
+    out += RenderCsvRow(row);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Tuple> ParseCsvRow(std::string_view line, const Schema& schema,
+                          bool allow_null) {
+  std::vector<std::pair<std::string, bool>> fields;
+  MD_RETURN_IF_ERROR(SplitCsvLine(line, &fields));
+  if (fields.size() != schema.size()) {
+    return InvalidArgumentError(StrCat("row has ", fields.size(),
+                                       " fields, schema has ",
+                                       schema.size()));
+  }
+  Tuple row;
+  row.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    auto value = ParseCsvField(fields[i].first, fields[i].second,
+                               schema.attribute(i).type, allow_null);
+    if (!value.ok()) {
+      return InvalidArgumentError(StrCat("column '",
+                                         schema.attribute(i).name, "': ",
+                                         value.status().message()));
+    }
+    // Un-escape RenderCsvField's \n and \\ pairs.
+    if (value->type() == ValueType::kString) {
+      const std::string& text = value->AsString();
+      std::string unescaped;
+      unescaped.reserve(text.size());
+      for (size_t j = 0; j < text.size(); ++j) {
+        if (text[j] == '\\' && j + 1 < text.size()) {
+          if (text[j + 1] == 'n') {
+            unescaped.push_back('\n');
+            ++j;
+            continue;
+          }
+          if (text[j + 1] == '\\') {
+            unescaped.push_back('\\');
+            ++j;
+            continue;
+          }
+        }
+        unescaped.push_back(text[j]);
+      }
+      row.emplace_back(std::move(unescaped));
+      continue;
+    }
+    row.push_back(*std::move(value));
+  }
+  return row;
+}
+
+Result<std::map<std::string, Delta>> ParseIngestBody(
+    std::string_view body, const Catalog& catalog) {
+  std::map<std::string, Delta> changes;
+  const Schema* schema = nullptr;
+  Delta* delta = nullptr;
+  // A pending `<` before-image waiting for its `>` after-image.
+  std::optional<Tuple> pending_before;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t eol = body.find('\n', start);
+    if (eol == std::string_view::npos) eol = body.size();
+    std::string_view line = body.substr(start, eol - start);
+    start = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](std::string_view what) {
+      return InvalidArgumentError(StrCat("ingest line ", line_no, ": ",
+                                         what));
+    };
+    if (line.rfind("table ", 0) == 0) {
+      if (pending_before.has_value()) {
+        return fail("update before-image without an after-image");
+      }
+      const std::string name(line.substr(6));
+      const auto table = catalog.GetTable(name);
+      if (!table.ok()) return fail(StrCat("unknown table '", name, "'"));
+      schema = &(*table)->schema();
+      delta = &changes[name];
+      continue;
+    }
+    if (line.size() < 2 || line[1] != ' ' ||
+        (line[0] != '+' && line[0] != '-' && line[0] != '<' &&
+         line[0] != '>')) {
+      return fail("expected 'table <name>' or '+/-/</> <csv>'");
+    }
+    if (schema == nullptr) return fail("row before any 'table' line");
+    auto row = ParseCsvRow(line.substr(2), *schema);
+    if (!row.ok()) return fail(row.status().message());
+    if (pending_before.has_value() && line[0] != '>') {
+      return fail("update before-image without an after-image");
+    }
+    switch (line[0]) {
+      case '+':
+        delta->inserts.push_back(*std::move(row));
+        break;
+      case '-':
+        delta->deletes.push_back(*std::move(row));
+        break;
+      case '<':
+        pending_before = *std::move(row);
+        break;
+      case '>':
+        if (!pending_before.has_value()) {
+          return fail("update after-image without a before-image");
+        }
+        delta->updates.push_back(
+            Update{*std::move(pending_before), *std::move(row)});
+        pending_before.reset();
+        break;
+    }
+  }
+  if (pending_before.has_value()) {
+    return InvalidArgumentError(
+        "ingest body ends with an unpaired update before-image");
+  }
+  for (auto it = changes.begin(); it != changes.end();) {
+    it = it->second.Empty() ? changes.erase(it) : ++it;
+  }
+  if (changes.empty()) {
+    return InvalidArgumentError("ingest body contains no changes");
+  }
+  return changes;
+}
+
+}  // namespace mindetail

@@ -1,0 +1,61 @@
+// Wire encodings for the network front end.
+//
+// Everything the HTTP server puts on (or accepts off) the wire that is
+// not plain HTTP lives here, so tests can exercise encode/decode
+// without a socket:
+//
+//   * canonical CSV rows — io/csv's dialect (strings always quoted
+//     with "" escaping, doubles via max_digits10, NULL = empty field)
+//     plus \n / \\ escapes inside strings so one row is always one
+//     line. The rendering is injective per schema, so
+//     the change feed can diff view contents by comparing rendered
+//     rows and a subscriber can reconstruct each row exactly.
+//   * query results — header line of column names, then CSV rows.
+//   * the /ingest body — a line-oriented change-batch format:
+//
+//       table sale          # switches the target base table
+//       + 7,2,1,3,9.95      # insert (CSV in schema order)
+//       - 7,2,1,3,9.95      # delete (full before-image)
+//       < 7,2,1,3,9.95      # update: before-image …
+//       > 7,2,1,4,12.50     # … immediately followed by after-image
+//
+//     Blank lines and #-comments are ignored. Rows are parsed and
+//     type-checked against the snapshot's schema catalog, so a
+//     malformed batch is refused before the warehouse sees it.
+
+#ifndef MINDETAIL_NET_WIRE_H_
+#define MINDETAIL_NET_WIRE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/delta.h"
+#include "relational/table.h"
+
+namespace mindetail {
+
+// One CSV field in the io/csv dialect.
+std::string RenderCsvField(const Value& value);
+
+// One row as a canonical CSV line (no trailing newline).
+std::string RenderCsvRow(const Tuple& row);
+
+// Header line (column names, unquoted) + one CSV line per row, each
+// newline-terminated — the /query and /report body format.
+std::string RenderTableBody(const Table& table);
+
+// Parses one CSV line into a tuple matching `schema` (types enforced;
+// empty field = NULL only when `allow_null`).
+Result<Tuple> ParseCsvRow(std::string_view line, const Schema& schema,
+                          bool allow_null = false);
+
+// Parses a complete /ingest body against `catalog` (see file comment).
+Result<std::map<std::string, Delta>> ParseIngestBody(
+    std::string_view body, const Catalog& catalog);
+
+}  // namespace mindetail
+
+#endif  // MINDETAIL_NET_WIRE_H_

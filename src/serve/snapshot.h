@@ -99,6 +99,11 @@ struct WarehouseSnapshot {
   // promotion). Readers can tell a deposed leader's final snapshots
   // from the new leader's by comparing epochs.
   uint64_t epoch = 0;
+  // Monotonic-clock nanoseconds (common/cancellation.h) at which this
+  // snapshot was published. Lets observers report snapshot lag — how
+  // stale the serving cut is — without touching the writer (e.g. the
+  // network front end's Prometheus `snapshot_age` gauge).
+  int64_t publish_nanos = 0;
   // Rowless schema catalog of every referenced base table — what
   // ad-hoc queries are parsed and type-checked against.
   std::shared_ptr<const Catalog> schema_catalog;
